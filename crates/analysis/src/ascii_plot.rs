@@ -1,0 +1,104 @@
+//! Minimal terminal line plots for ratio curves — enough to eyeball the
+//! shape of Figures 4 and 5 without leaving the terminal.
+
+/// One named series of `(x, y)` points.
+pub struct Series<'a> {
+    pub name: &'a str,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render series onto a character grid. The y-axis is anchored at 0 (ratio
+/// plots), the x-axis spans the data.
+pub fn render(series: &[Series<'_>], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4);
+    let markers = ['*', '+', 'o', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return "(no data)\n".into();
+    }
+    let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_max = all.iter().map(|p| p.1).fold(0.0f64, f64::max).max(1e-9);
+    let x_span = (x_max - x_min).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let m = markers[si % markers.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - (y / y_max).clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[row][col.min(width - 1)] = m;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{:>8.3} ┐\n", y_max));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == height - 1 {
+            format!("{:>8.3} ┴", 0.0)
+        } else {
+            "         │".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          {:<10.0}{:>width$.0}\n",
+        x_min,
+        x_max,
+        width = width - 10
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "          {} {}\n",
+            markers[si % markers.len()],
+            s.name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let s = vec![
+            Series {
+                name: "alpha",
+                points: (0..20).map(|i| (i as f64, 0.1 + 0.01 * i as f64)).collect(),
+            },
+            Series {
+                name: "beta",
+                points: (0..20).map(|i| (i as f64, 0.4)).collect(),
+            },
+        ];
+        let out = render(&s, 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("alpha"));
+        assert!(out.contains("beta"));
+        assert!(out.lines().count() >= 12);
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let out = render(
+            &[Series {
+                name: "none",
+                points: vec![],
+            }],
+            40,
+            10,
+        );
+        assert!(out.contains("no data"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_canvas_rejected() {
+        render(&[], 4, 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! `cts-experiments` — regenerate the paper's figures and claims.
+//!
+//! ```text
+//! cargo run --release -p cts-analysis --bin cts-experiments -- all
+//! cargo run --release -p cts-analysis --bin cts-experiments -- fig4 fig5
+//! ```
+//!
+//! Outputs CSV series under `results/` and prints tables/ASCII plots.
+
+use cts_analysis::figures::{self, Ctx};
+
+const USAGE: &str = "usage: cts-experiments [--quick] [--out DIR] <experiment>...
+experiments:
+  fig4                 Figure 4: static vs merge-on-1st ratio curves
+  fig5                 Figure 5: merge-on-1st vs merge-on-Nth (t=5,10)
+  claims               C1-C4: whole-suite cluster-size range claims
+  motivation           M1-M3: Section 1.1 storage/paging/recompute numbers
+  related-work         R1-R2: SK differential and FZ dependency baselines
+  ablation-clustering  A1: greedy vs unnormalized vs k-medoid
+  ablation-contiguous  A2: contiguous clusters vs process numbering
+  ablation-hybrid      collect-then-cluster prefix sweep
+  ablation-migration   process-migration extension on drifting workloads
+  ablation-hierarchy   hierarchy-depth extension (2 vs 3 levels)
+  all                  everything above";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = "results".to_string();
+    let mut quick = false;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let mut ctx = Ctx::standard(&out_dir);
+    ctx.quick = quick;
+
+    for exp in &experiments {
+        let started = std::time::Instant::now();
+        let report = match exp.as_str() {
+            "fig4" => figures::fig4(&ctx),
+            "fig5" => figures::fig5(&ctx),
+            "claims" | "claim-static-range" | "claim-single-size" | "claim-m1-no-range"
+            | "claim-dynamic-range" => figures::claims(&ctx),
+            "motivation" => figures::motivation(&ctx),
+            "related-work" => figures::related_work(&ctx),
+            "ablation-clustering" => figures::ablation_clustering(&ctx),
+            "ablation-contiguous" => figures::ablation_contiguous(&ctx),
+            "ablation-hybrid" => figures::ablation_hybrid(&ctx),
+            "ablation-migration" => figures::ablation_migration(&ctx),
+            "ablation-hierarchy" => figures::ablation_hierarchy(&ctx),
+            "all" => figures::run_all(&ctx),
+            other => {
+                eprintln!("unknown experiment {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+        eprintln!("[{exp} done in {:.1?}; CSVs in {out_dir}/]", started.elapsed());
+    }
+}

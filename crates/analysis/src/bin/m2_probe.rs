@@ -1,0 +1,41 @@
+//! Diagnostic probe for the M2 motivation steps, with per-step timing.
+
+use cts_core::fm::FmStore;
+use cts_store::queries::{greatest_concurrent, scroll_window_sampled};
+use cts_store::vm_sim::PagedTimestampStore;
+use cts_workloads::synthetic::PlantedClusters;
+use cts_workloads::Workload;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let big = PlantedClusters {
+        procs: 1000,
+        groups: 125,
+        messages: 12_000,
+        p_intra: 0.9,
+    }
+    .generate(78);
+    eprintln!("gen: {:?} ({} events)", t0.elapsed(), big.num_events());
+
+    let t1 = Instant::now();
+    let fm = FmStore::compute(&big);
+    eprintln!("fm: {:?} ({} MB)", t1.elapsed(), fm.bytes() / 1_000_000);
+
+    let mut paged = PagedTimestampStore::new(&big, &fm, 2048);
+    let mid = big.at(big.num_events() / 2).id;
+    let t2 = Instant::now();
+    let _ = greatest_concurrent(&mut paged, &big, mid);
+    eprintln!("gc: {:?} ({} page reads)", t2.elapsed(), paged.page_reads());
+
+    paged.reset_counters();
+    let t3 = Instant::now();
+    let n = scroll_window_sampled(&mut paged, &big, 1, 4, 6);
+    eprintln!(
+        "scroll sampled: {:?} ({} ordered, {} page reads, {} touches)",
+        t3.elapsed(),
+        n,
+        paged.page_reads(),
+        paged.element_touches()
+    );
+}

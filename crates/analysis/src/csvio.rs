@@ -1,0 +1,105 @@
+//! Tiny CSV writer for experiment outputs (no external dependency needed —
+//! all our fields are names and numbers).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A CSV table under construction.
+#[derive(Default)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Start a table with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Csv {
+        Csv {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: ToString>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Csv {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table row-less?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize with minimal quoting (fields containing commas or quotes are
+    /// quoted and quotes doubled).
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    let _ = write!(out, "\"{}\"", c.replace('"', "\"\""));
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Write to a file, creating parent directories.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["1", "2"]).row(["x,y", "q\"z"]);
+        let s = c.to_string();
+        assert_eq!(s, "a,b\n1,2\n\"x,y\",\"q\"\"z\"\n");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_mismatch_panics() {
+        Csv::new(["a"]).row(["1", "2"]);
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join("cts-csv-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Csv::new(["k"]);
+        c.row(["v"]);
+        let path = dir.join("deep/nested/table.csv");
+        c.save(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

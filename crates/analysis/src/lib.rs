@@ -1,0 +1,35 @@
+//! # cts-analysis — the experiment harness
+//!
+//! Reproduces every figure and headline claim of the paper's evaluation
+//! (§4), plus the §1.1 motivation numbers and §2.4 related-work claims, over
+//! the 54-computation standard suite of `cts-workloads`. See DESIGN.md §3 for
+//! the experiment index (F4, F5, C1–C4, M1–M3, R1–R2, A1–A2).
+//!
+//! Structure:
+//!
+//! - [`sweep`]: run a clustering strategy across maximum cluster sizes
+//!   2..=50 and record the average-timestamp-size ratio (the y-axis of the
+//!   paper's figures), with a crossbeam-parallel driver for whole-suite runs;
+//! - [`metrics`]: best-achieved ratios, within-20%-of-best ranges, and
+//!   cross-computation coverage — the quantities behind the paper's claims;
+//! - [`figures`]: one driver per experiment, each returning structured
+//!   results and emitting CSV series;
+//! - [`ascii_plot`]: terminal rendering of the ratio curves;
+//! - [`csvio`]: tiny CSV writer for `results/`.
+//!
+//! The `cts-experiments` binary runs any or all of the experiments:
+//!
+//! ```text
+//! cargo run --release -p cts-analysis --bin cts-experiments -- all
+//! ```
+
+pub mod ascii_plot;
+pub mod csvio;
+pub mod figures;
+pub mod metrics;
+pub mod sweep;
+
+/// The cluster-size axis the paper sweeps: 2..=50.
+pub fn paper_sizes() -> Vec<usize> {
+    (2..=50).collect()
+}

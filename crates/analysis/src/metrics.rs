@@ -1,0 +1,159 @@
+//! The quantities behind the paper's §4 claims: best-achieved ratio per
+//! computation, within-x%-of-best cluster-size ranges, and cross-computation
+//! coverage.
+
+use crate::sweep::SweepResult;
+
+/// The best (smallest) ratio in a sweep and the size achieving it.
+pub fn best(sweep: &SweepResult) -> (usize, f64) {
+    sweep
+        .points()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"))
+        .expect("non-empty sweep")
+}
+
+/// Is the ratio at `size` within `slack` (e.g. 0.20) of the sweep's best?
+///
+/// The paper's criterion: "the timestamp size was within 20% of the best
+/// timestamp size achieved" — i.e. `ratio(size) ≤ best · (1 + slack)`.
+pub fn within_best_at(sweep: &SweepResult, size: usize, slack: f64) -> bool {
+    let (_, b) = best(sweep);
+    match sweep.sizes.iter().position(|&s| s == size) {
+        Some(i) => sweep.ratios[i] <= b * (1.0 + slack),
+        None => false,
+    }
+}
+
+/// All sizes whose ratio is within `slack` of the sweep's best.
+pub fn good_sizes(sweep: &SweepResult, slack: f64) -> Vec<usize> {
+    let (_, b) = best(sweep);
+    sweep
+        .points()
+        .filter(|&(_, r)| r <= b * (1.0 + slack))
+        .map(|(s, _)| s)
+        .collect()
+}
+
+/// For each candidate size, how many of the sweeps are within `slack` of
+/// their own best at that size. Input sweeps must share a size axis.
+pub fn coverage_by_size(sweeps: &[SweepResult], slack: f64) -> Vec<(usize, usize)> {
+    assert!(!sweeps.is_empty());
+    let sizes = &sweeps[0].sizes;
+    for s in sweeps {
+        assert_eq!(&s.sizes, sizes, "sweeps must share a size axis");
+    }
+    sizes
+        .iter()
+        .map(|&size| {
+            let n = sweeps
+                .iter()
+                .filter(|s| within_best_at(s, size, slack))
+                .count();
+            (size, n)
+        })
+        .collect()
+}
+
+/// Sizes that are within `slack` of best for **at least** `min_good` of the
+/// sweeps (use `sweeps.len()` for "all computations", `len - 1` for "all but
+/// one", …).
+pub fn universal_sizes(sweeps: &[SweepResult], slack: f64, min_good: usize) -> Vec<usize> {
+    coverage_by_size(sweeps, slack)
+        .into_iter()
+        .filter(|&(_, n)| n >= min_good)
+        .map(|(s, _)| s)
+        .collect()
+}
+
+/// Longest run of consecutive sizes in a sorted list — the paper reports
+/// *ranges* like 9..=17 and 22..=24.
+pub fn longest_consecutive_run(sizes: &[usize]) -> Option<(usize, usize)> {
+    if sizes.is_empty() {
+        return None;
+    }
+    let (mut best_lo, mut best_hi) = (sizes[0], sizes[0]);
+    let (mut lo, mut hi) = (sizes[0], sizes[0]);
+    for &s in &sizes[1..] {
+        if s == hi + 1 {
+            hi = s;
+        } else {
+            lo = s;
+            hi = s;
+        }
+        if hi - lo > best_hi - best_lo {
+            best_lo = lo;
+            best_hi = hi;
+        }
+    }
+    Some((best_lo, best_hi))
+}
+
+/// Curve smoothness: the maximum relative jump between adjacent sizes.
+/// The paper's static curves are "relatively smooth"; merge-on-1st's are not.
+pub fn max_adjacent_jump(sweep: &SweepResult) -> f64 {
+    sweep
+        .ratios
+        .windows(2)
+        .map(|w| ((w[1] - w[0]).abs()) / w[0].max(1e-12))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::StrategyKind;
+
+    fn mk(name: &str, sizes: &[usize], ratios: &[f64]) -> SweepResult {
+        SweepResult {
+            trace_name: name.into(),
+            strategy: StrategyKind::MergeOnFirst,
+            sizes: sizes.to_vec(),
+            ratios: ratios.to_vec(),
+            cluster_receives: vec![0; ratios.len()],
+        }
+    }
+
+    #[test]
+    fn best_and_good_sizes() {
+        let s = mk("a", &[2, 3, 4, 5], &[0.5, 0.2, 0.23, 0.4]);
+        assert_eq!(best(&s), (3, 0.2));
+        assert_eq!(good_sizes(&s, 0.20), vec![3, 4]);
+        assert!(within_best_at(&s, 4, 0.20));
+        assert!(!within_best_at(&s, 5, 0.20));
+        assert!(!within_best_at(&s, 99, 0.20));
+    }
+
+    #[test]
+    fn coverage_counts_per_size() {
+        let a = mk("a", &[2, 3, 4], &[0.2, 0.5, 0.21]);
+        let b = mk("b", &[2, 3, 4], &[0.9, 0.3, 0.31]);
+        let cov = coverage_by_size(&[a, b], 0.20);
+        assert_eq!(cov, vec![(2, 1), (3, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn universal_with_tolerance() {
+        let a = mk("a", &[2, 3, 4], &[0.2, 0.5, 0.21]);
+        let b = mk("b", &[2, 3, 4], &[0.9, 0.3, 0.31]);
+        assert_eq!(universal_sizes(&[a.clone(), b.clone()], 0.2, 2), vec![4]);
+        assert_eq!(universal_sizes(&[a, b], 0.2, 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn consecutive_runs() {
+        assert_eq!(longest_consecutive_run(&[]), None);
+        assert_eq!(longest_consecutive_run(&[5]), Some((5, 5)));
+        assert_eq!(
+            longest_consecutive_run(&[2, 3, 7, 8, 9, 10, 14]),
+            Some((7, 10))
+        );
+    }
+
+    #[test]
+    fn smoothness_metric() {
+        let smooth = mk("s", &[2, 3, 4], &[0.30, 0.31, 0.32]);
+        let bumpy = mk("b", &[2, 3, 4], &[0.30, 0.60, 0.25]);
+        assert!(max_adjacent_jump(&smooth) < 0.05);
+        assert!(max_adjacent_jump(&bumpy) > 0.5);
+    }
+}

@@ -1,0 +1,233 @@
+//! Cluster-size sweeps: the engine behind every ratio curve in the paper.
+
+use cts_core::cluster::{ClusterEngine, ClusterTimestamps, Encoding, SpaceReport};
+use cts_core::clustering::{
+    contiguous_of, greedy_pairwise, greedy_pairwise_unnormalized, kmedoid,
+};
+use cts_core::hybrid::hybrid_pipeline;
+use cts_core::strategy::{MergeOnFirst, MergeOnNth, NeverMerge};
+use cts_core::two_pass::run_static_with_matrix;
+use cts_model::comm::CommMatrix;
+use cts_model::Trace;
+
+/// A timestamping configuration under evaluation (§4 compares four; the rest
+/// are this repository's ablations and extensions).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum StrategyKind {
+    /// Dynamic merge-on-1st-communication (prior work).
+    MergeOnFirst,
+    /// Dynamic merge-on-Nth with a normalized cluster-receive threshold (the
+    /// paper's new strategy; τ=5 and τ=10 appear in Figure 5).
+    MergeOnNth { threshold: f64 },
+    /// Static greedy pairwise clustering (Figure 3) + two-pass timestamping.
+    StaticGreedy,
+    /// Static greedy without count normalization (§3.1's "naive approach").
+    StaticUnnormalized,
+    /// Fixed contiguous clusters (the original Ward/Taylor static baseline).
+    Contiguous,
+    /// k-medoid clustering with k = ⌈N / maxCS⌉ (the rejected approach).
+    KMedoid,
+    /// Never merge (control: singleton clusters).
+    NeverMerge,
+    /// Collect-then-cluster hybrid with the given prefix fraction.
+    Hybrid { prefix_fraction: f64 },
+}
+
+impl StrategyKind {
+    /// Short label for tables and CSV headers.
+    pub fn label(&self) -> String {
+        match self {
+            StrategyKind::MergeOnFirst => "merge-1st".into(),
+            StrategyKind::MergeOnNth { threshold } => format!("merge-nth-t{threshold}"),
+            StrategyKind::StaticGreedy => "static-greedy".into(),
+            StrategyKind::StaticUnnormalized => "static-unnorm".into(),
+            StrategyKind::Contiguous => "contiguous".into(),
+            StrategyKind::KMedoid => "kmedoid".into(),
+            StrategyKind::NeverMerge => "never-merge".into(),
+            StrategyKind::Hybrid { prefix_fraction } => format!("hybrid-p{prefix_fraction}"),
+        }
+    }
+
+    /// Build the cluster timestamps for a trace at one maximum cluster size.
+    ///
+    /// `matrix` caches the trace's communication counts for the static
+    /// variants (compute it once per trace with [`CommMatrix::from_trace`]).
+    pub fn run(&self, trace: &Trace, matrix: &CommMatrix, max_cs: usize) -> ClusterTimestamps {
+        let n = trace.num_processes();
+        match *self {
+            StrategyKind::MergeOnFirst => ClusterEngine::run(trace, MergeOnFirst::new(max_cs)),
+            StrategyKind::MergeOnNth { threshold } => {
+                ClusterEngine::run(trace, MergeOnNth::new(n, max_cs, threshold))
+            }
+            StrategyKind::StaticGreedy => {
+                run_static_with_matrix(trace, matrix, |m| greedy_pairwise(m, max_cs))
+            }
+            StrategyKind::StaticUnnormalized => run_static_with_matrix(trace, matrix, |m| {
+                greedy_pairwise_unnormalized(m, max_cs)
+            }),
+            StrategyKind::Contiguous => {
+                run_static_with_matrix(trace, matrix, |_| contiguous_of(n, max_cs))
+            }
+            StrategyKind::KMedoid => run_static_with_matrix(trace, matrix, |m| {
+                kmedoid(m, (n as usize).div_ceil(max_cs), 20)
+            }),
+            StrategyKind::NeverMerge => ClusterEngine::run(trace, NeverMerge),
+            StrategyKind::Hybrid { prefix_fraction } => {
+                let prefix = (trace.num_events() as f64 * prefix_fraction) as usize;
+                hybrid_pipeline(trace, prefix, max_cs).timestamps
+            }
+        }
+    }
+
+    /// The space ratio at one maximum cluster size, under the paper's
+    /// fixed-vector encoding.
+    pub fn ratio(&self, trace: &Trace, matrix: &CommMatrix, max_cs: usize) -> SpaceReport {
+        let cts = self.run(trace, matrix, max_cs);
+        SpaceReport::measure(&cts, Encoding::paper_default(trace.num_processes(), max_cs))
+    }
+}
+
+/// The ratio curve of one strategy on one trace.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    pub trace_name: String,
+    pub strategy: StrategyKind,
+    pub sizes: Vec<usize>,
+    pub ratios: Vec<f64>,
+    pub cluster_receives: Vec<usize>,
+}
+
+impl SweepResult {
+    /// `(max_cs, ratio)` points.
+    pub fn points(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.sizes.iter().copied().zip(self.ratios.iter().copied())
+    }
+}
+
+/// Sweep one strategy over the given sizes on one trace.
+pub fn sweep(trace: &Trace, strategy: StrategyKind, sizes: &[usize]) -> SweepResult {
+    let matrix = CommMatrix::from_trace(trace);
+    let mut ratios = Vec::with_capacity(sizes.len());
+    let mut crs = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        let r = strategy.ratio(trace, &matrix, s);
+        ratios.push(r.ratio);
+        crs.push(r.num_cluster_receives);
+    }
+    SweepResult {
+        trace_name: trace.name().to_string(),
+        strategy,
+        sizes: sizes.to_vec(),
+        ratios,
+        cluster_receives: crs,
+    }
+}
+
+/// Sweep several strategies over several traces, fanning the
+/// (trace × strategy) tasks over worker threads with crossbeam scoped
+/// threads. Results preserve input order.
+pub fn sweep_all(
+    traces: &[(&str, &Trace)],
+    strategies: &[StrategyKind],
+    sizes: &[usize],
+    workers: usize,
+) -> Vec<SweepResult> {
+    let tasks: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|t| (0..strategies.len()).map(move |s| (t, s)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<SweepResult>>> =
+        tasks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let workers = workers.max(1);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let (ti, si) = tasks[i];
+                let r = sweep(traces[ti].1, strategies[si], sizes);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("task completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_workloads::suite::mini_suite;
+
+    #[test]
+    fn every_strategy_produces_sane_ratios() {
+        let suite = mini_suite();
+        let t = &suite[0].trace;
+        let sizes = [2, 5, 8];
+        for strat in [
+            StrategyKind::MergeOnFirst,
+            StrategyKind::MergeOnNth { threshold: 5.0 },
+            StrategyKind::StaticGreedy,
+            StrategyKind::StaticUnnormalized,
+            StrategyKind::Contiguous,
+            StrategyKind::KMedoid,
+            StrategyKind::NeverMerge,
+            StrategyKind::Hybrid {
+                prefix_fraction: 0.2,
+            },
+        ] {
+            let r = sweep(t, strat, &sizes);
+            assert_eq!(r.ratios.len(), 3, "{}", strat.label());
+            for &ratio in &r.ratios {
+                assert!(
+                    ratio > 0.0 && ratio <= 1.0 + 1e-9,
+                    "{}: ratio {ratio} out of range",
+                    strat.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let suite = mini_suite();
+        let traces: Vec<(&str, &Trace)> = suite
+            .iter()
+            .take(3)
+            .map(|e| (e.name.as_str(), &e.trace))
+            .collect();
+        let strategies = [StrategyKind::MergeOnFirst, StrategyKind::StaticGreedy];
+        let sizes = [2, 4, 6];
+        let par = sweep_all(&traces, &strategies, &sizes, 4);
+        let mut k = 0;
+        for (_, t) in &traces {
+            for &s in &strategies {
+                let seq = sweep(t, s, &sizes);
+                assert_eq!(par[k].ratios, seq.ratios);
+                assert_eq!(par[k].trace_name, seq.trace_name);
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            StrategyKind::MergeOnFirst,
+            StrategyKind::MergeOnNth { threshold: 5.0 },
+            StrategyKind::MergeOnNth { threshold: 10.0 },
+            StrategyKind::StaticGreedy,
+            StrategyKind::Contiguous,
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

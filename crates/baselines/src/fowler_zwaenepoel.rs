@@ -1,0 +1,226 @@
+//! Fowler/Zwaenepoel direct-dependency vectors.
+//!
+//! Each event records only its *direct* dependencies: for every process `q`,
+//! the greatest event index of `q` from which the event's process has
+//! directly received (plus the event's own index). Stored sparsely, these
+//! vectors are much smaller than Fidge/Mattern stamps; the price is that
+//! causality is the *transitive closure* of direct dependency, so a
+//! precedence test must search — in the worst case touching a chain of
+//! dependency vectors linear in the number of messages (§2.4).
+
+use cts_model::{EventId, EventIndex, ProcessId, Trace};
+
+/// A sparse direct-dependency vector: `(process, greatest directly-received
+/// event index)` pairs, sorted by process id. The own-process component is
+/// implicit (it is the event's own index).
+type SparseDdv = Box<[(ProcessId, u32)]>;
+
+/// Direct-dependency vectors for every event of a trace, plus a search-based
+/// precedence test.
+pub struct DdvStore {
+    n: usize,
+    /// Per delivery position.
+    ddvs: Vec<SparseDdv>,
+    /// Query-cost instrumentation: dependency vectors visited by the last
+    /// `precedes` call.
+    last_visited: std::cell::Cell<usize>,
+}
+
+impl DdvStore {
+    /// Compute direct-dependency vectors for a trace.
+    pub fn compute(trace: &Trace) -> DdvStore {
+        let n = trace.num_processes() as usize;
+        // Running direct-dependency state per process (dense while building).
+        let mut state: Vec<Vec<u32>> = vec![vec![0; n]; n];
+        let mut ddvs = Vec::with_capacity(trace.num_events());
+        for ev in trace.events() {
+            let p = ev.process().idx();
+            if let Some(src) = ev.kind.receive_source() {
+                let s = &mut state[p][src.process.idx()];
+                *s = (*s).max(src.index.0);
+            }
+            let sparse: SparseDdv = state[p]
+                .iter()
+                .enumerate()
+                .filter(|&(q, &idx)| idx > 0 && q != p)
+                .map(|(q, &idx)| (ProcessId(q as u32), idx))
+                .collect();
+            ddvs.push(sparse);
+        }
+        DdvStore {
+            n,
+            ddvs,
+            last_visited: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The sparse direct-dependency vector of an event.
+    pub fn ddv(&self, trace: &Trace, id: EventId) -> &[(ProcessId, u32)] {
+        &self.ddvs[trace.delivery_pos(id)]
+    }
+
+    /// Total stored elements (2 per sparse entry + 1 own component per
+    /// event), for space comparison against Fidge/Mattern.
+    pub fn total_elements(&self) -> u64 {
+        self.ddvs
+            .iter()
+            .map(|d| 2 * d.len() as u64 + 1)
+            .sum()
+    }
+
+    /// Mean stored elements per event.
+    pub fn avg_elements(&self) -> f64 {
+        if self.ddvs.is_empty() {
+            0.0
+        } else {
+            self.total_elements() as f64 / self.ddvs.len() as f64
+        }
+    }
+
+    /// Number of dependency vectors visited by the most recent
+    /// [`precedes`](Self::precedes) call — the search cost the paper
+    /// criticizes.
+    pub fn last_query_cost(&self) -> usize {
+        self.last_visited.get()
+    }
+
+    /// Search-based precedence test: `e → f`?
+    ///
+    /// Breadth of the search is bounded by tracking, per process, the
+    /// greatest event index already expanded; total work is O(messages) in
+    /// the worst case.
+    pub fn precedes(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        let mut visited = 0usize;
+        // Greatest index of each process already expanded (or queued).
+        let mut expanded = vec![0u32; self.n];
+        let mut stack: Vec<EventId> = vec![f];
+        expanded[f.process.idx()] = f.index.0;
+        let mut found = false;
+        while let Some(g) = stack.pop() {
+            visited += 1;
+            // Within g's process, everything up to g is in g's past; direct
+            // dependencies of *earlier* events on the same process are
+            // reflected in g's vector already (state is cumulative).
+            for &(q, idx) in self.ddvs[trace.delivery_pos(g)].iter() {
+                if q == e.process && idx >= e.index.0 {
+                    found = true;
+                    break;
+                }
+                if idx > expanded[q.idx()] {
+                    expanded[q.idx()] = idx;
+                    stack.push(EventId::new(q, EventIndex(idx)));
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        self.last_visited.set(visited);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::{Oracle, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn chain(hops: u32) -> Trace {
+        let mut b = TraceBuilder::new(hops + 1);
+        for h in 0..hops {
+            let s = b.send(p(h), p(h + 1)).unwrap();
+            b.receive(p(h + 1), s).unwrap();
+        }
+        b.finish_complete("chain").unwrap()
+    }
+
+    #[test]
+    fn transitive_dependency_needs_search() {
+        let t = chain(4);
+        let d = DdvStore::compute(&t);
+        let first = EventId::new(p(0), EventIndex(1));
+        let last = t.events().last().unwrap().id;
+        assert!(d.precedes(&t, first, last));
+        // The chain forces the search through every hop.
+        assert!(d.last_query_cost() >= 3);
+        // A direct dependency is found immediately.
+        let second = EventId::new(p(1), EventIndex(1));
+        assert!(d.precedes(&t, first, second));
+        assert_eq!(d.last_query_cost(), 1);
+    }
+
+    #[test]
+    fn matches_oracle_on_mixed_trace() {
+        let mut b = TraceBuilder::new(4);
+        let s1 = b.send(p(0), p(1)).unwrap();
+        b.receive(p(1), s1).unwrap();
+        b.sync(p(1), p(2)).unwrap();
+        let s2 = b.send(p(2), p(3)).unwrap();
+        b.internal(p(0)).unwrap();
+        b.receive(p(3), s2).unwrap();
+        let s3 = b.send(p(3), p(0)).unwrap();
+        b.receive(p(0), s3).unwrap();
+        let t = b.finish_complete("mixed").unwrap();
+        let d = DdvStore::compute(&t);
+        let o = Oracle::compute(&t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    d.precedes(&t, e, f),
+                    o.happened_before(&t, e, f),
+                    "{e} -> {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vectors_are_much_smaller_than_fm() {
+        // A 1-D stencil over many processes: direct deps are just the two
+        // neighbours, so ~5 elements/event versus N for Fidge/Mattern.
+        let mut b = TraceBuilder::new(20);
+        for _ in 0..3 {
+            let mut toks = Vec::new();
+            for i in 0..20u32 {
+                if i > 0 {
+                    toks.push((i - 1, b.send(p(i), p(i - 1)).unwrap()));
+                }
+                if i < 19 {
+                    toks.push((i + 1, b.send(p(i), p(i + 1)).unwrap()));
+                }
+            }
+            for (dst, tok) in toks {
+                b.receive(p(dst), tok).unwrap();
+            }
+        }
+        let t = b.finish_complete("stencil").unwrap();
+        let d = DdvStore::compute(&t);
+        assert!(d.avg_elements() < 6.0);
+        let o = Oracle::compute(&t);
+        for e in t.all_event_ids().step_by(7) {
+            for f in t.all_event_ids().step_by(5) {
+                assert_eq!(d.precedes(&t, e, f), o.happened_before(&t, e, f));
+            }
+        }
+    }
+
+    #[test]
+    fn sync_halves_are_mutual() {
+        let mut b = TraceBuilder::new(2);
+        let (x, y) = b.sync(p(0), p(1)).unwrap();
+        let t = b.finish("s");
+        let d = DdvStore::compute(&t);
+        assert!(d.precedes(&t, x, y));
+        assert!(d.precedes(&t, y, x));
+    }
+}

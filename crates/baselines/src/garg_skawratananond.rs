@@ -1,0 +1,300 @@
+//! Garg/Skawratananond timestamps for synchronous computations.
+//!
+//! For a computation whose every communication is synchronous, timestamps
+//! over a **vertex cover** `C` of the process communication graph suffice:
+//! every synchronous edge has at least one endpoint in `C`, so causal
+//! information always flows through covered processes. The costs §2.4
+//! highlights are reproduced faithfully:
+//!
+//! - the communication graph (and hence `C`) is rarely known a priori, so
+//!   this is a *static* technique — [`GsStore::build`] takes the whole trace;
+//! - it only applies to synchronous computations — [`GsStore::build`] rejects
+//!   traces containing any asynchronous message;
+//! - events on uncovered processes need *two* vectors' worth of space and
+//!   cannot be finalized until the process's next synchronous event.
+//!
+//! Precedence for an event `e` on an uncovered process `p` routes through
+//! `p`'s next synchronous event at or after `e`: its covered partner `g`
+//! satisfies `e → f ⇔ f` is later on `p`, or `V(f)[proc(g)] ≥ idx(g)`.
+//! (The *earliest* exit suffices: any causal path leaving `p` later is
+//! dominated by it.)
+
+use cts_model::comm::CommGraph;
+use cts_model::{EventId, EventKind, ProcessId, Trace};
+
+/// Why a trace cannot be GS-timestamped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GsError {
+    /// The trace contains an asynchronous send/receive pair.
+    NotSynchronous(EventId),
+}
+
+impl std::fmt::Display for GsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GsError::NotSynchronous(e) => {
+                write!(f, "event {e} is asynchronous; GS needs a synchronous computation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GsError {}
+
+/// Vertex-cover timestamps for a fully synchronous trace.
+pub struct GsStore {
+    /// The vertex cover, sorted by process id.
+    cover: Vec<ProcessId>,
+    /// cover position per process (usize::MAX if uncovered).
+    cover_pos: Vec<usize>,
+    /// Per event (delivery order): projection of its causal knowledge onto
+    /// the cover.
+    stamps: Vec<Box<[u32]>>,
+    /// Per process: its sync events as `(own index, covered-partner process,
+    /// partner index)`, in increasing own-index order.
+    sync_exits: Vec<Vec<(u32, ProcessId, u32)>>,
+}
+
+impl GsStore {
+    /// Build GS timestamps; fails on any asynchronous communication.
+    pub fn build(trace: &Trace) -> Result<GsStore, GsError> {
+        for ev in trace.events() {
+            match ev.kind {
+                EventKind::Send { .. } | EventKind::Receive { .. } => {
+                    return Err(GsError::NotSynchronous(ev.id));
+                }
+                _ => {}
+            }
+        }
+        let n = trace.num_processes() as usize;
+        let graph = CommGraph::from_trace(trace);
+        let mut cover = graph.vertex_cover_2approx();
+        cover.sort_unstable();
+        let mut cover_pos = vec![usize::MAX; n];
+        for (i, &c) in cover.iter().enumerate() {
+            cover_pos[c.idx()] = i;
+        }
+
+        // Compute per-event cover projections with a frontier engine (like
+        // Fidge/Mattern restricted to cover components).
+        let mut frontier: Vec<Vec<u32>> = vec![vec![0; cover.len()]; n];
+        let mut pending: std::collections::HashMap<EventId, Vec<u32>> = Default::default();
+        let mut stamps: Vec<Box<[u32]>> = Vec::with_capacity(trace.num_events());
+        let mut sync_exits: Vec<Vec<(u32, ProcessId, u32)>> = vec![Vec::new(); n];
+        for ev in trace.events() {
+            let p = ev.process();
+            let stamp: Vec<u32> = match ev.kind {
+                EventKind::Internal => {
+                    let mut s = frontier[p.idx()].clone();
+                    if let Some(cp) = cover_slot(&cover_pos, p) {
+                        s[cp] = ev.index().0;
+                    }
+                    s
+                }
+                EventKind::Sync { peer } => {
+                    let q = peer.process;
+                    // Record the exit for both halves (whichever endpoint is
+                    // covered; for a covered process its own events carry its
+                    // component so exits are only needed for uncovered ones).
+                    let combined = if let Some(s) = pending.remove(&ev.id) {
+                        s
+                    } else {
+                        let mut s = frontier[p.idx()].clone();
+                        for (a, b) in s.iter_mut().zip(frontier[q.idx()].iter()) {
+                            *a = (*a).max(*b);
+                        }
+                        if let Some(cp) = cover_slot(&cover_pos, p) {
+                            s[cp] = ev.index().0;
+                        }
+                        if let Some(cq) = cover_slot(&cover_pos, q) {
+                            s[cq] = peer.index.0;
+                        }
+                        pending.insert(peer, s.clone());
+                        frontier[q.idx()] = s.clone();
+                        s
+                    };
+                    // Exit bookkeeping: the covered endpoint anchors the pair.
+                    if cover_pos[q.idx()] != usize::MAX {
+                        sync_exits[p.idx()].push((ev.index().0, q, peer.index.0));
+                    } else {
+                        // Edge is covered, so p must be covered; anchor on p.
+                        sync_exits[p.idx()].push((ev.index().0, p, ev.index().0));
+                    }
+                    combined
+                }
+                _ => unreachable!("asynchrony rejected above"),
+            };
+            frontier[p.idx()] = stamp.clone();
+            stamps.push(stamp.into_boxed_slice());
+        }
+        Ok(GsStore {
+            cover,
+            cover_pos,
+            stamps,
+            sync_exits,
+        })
+    }
+
+    /// The vertex cover in use.
+    pub fn cover(&self) -> &[ProcessId] {
+        &self.cover
+    }
+
+    /// Timestamp width (cover size) — the size bound of the GS scheme.
+    pub fn width(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// Space accounting per §2.4: events on covered processes store one
+    /// cover-width vector; events on uncovered processes store two.
+    pub fn total_elements(&self, trace: &Trace) -> u64 {
+        trace
+            .events()
+            .iter()
+            .map(|ev| {
+                if self.cover_pos[ev.process().idx()] != usize::MAX {
+                    self.width() as u64
+                } else {
+                    2 * self.width() as u64
+                }
+            })
+            .sum()
+    }
+
+    /// The earliest synchronous exit of process `p` at or after index `idx`:
+    /// `(covered process, its event index)`.
+    fn exit_at_or_after(&self, p: ProcessId, idx: u32) -> Option<(ProcessId, u32)> {
+        let exits = &self.sync_exits[p.idx()];
+        let i = exits.partition_point(|&(own, _, _)| own < idx);
+        exits.get(i).map(|&(_, q, qi)| (q, qi))
+    }
+
+    /// Precedence test.
+    pub fn precedes(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        let fs = &self.stamps[trace.delivery_pos(f)];
+        if let Some(cp) = cover_slot(&self.cover_pos, e.process) {
+            return fs[cp] >= e.index.0;
+        }
+        // Uncovered: route through the earliest synchronous exit.
+        match self.exit_at_or_after(e.process, e.index.0) {
+            Some((g_proc, g_idx)) => {
+                let slot = cover_slot(&self.cover_pos, g_proc)
+                    .expect("exit anchor is covered by construction");
+                fs[slot] >= g_idx
+            }
+            None => false, // e never leaves its process again
+        }
+    }
+}
+
+#[inline]
+fn cover_slot(cover_pos: &[usize], p: ProcessId) -> Option<usize> {
+    let s = cover_pos[p.idx()];
+    (s != usize::MAX).then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::{Oracle, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    /// A star of synchronous communication: centre 0, leaves 1..n.
+    fn sync_star(leaves: u32, rounds: u32) -> Trace {
+        let mut b = TraceBuilder::new(leaves + 1);
+        for _ in 0..rounds {
+            for l in 1..=leaves {
+                b.sync(p(0), p(l)).unwrap();
+                b.internal(p(l)).unwrap();
+            }
+        }
+        b.finish_complete("sync-star").unwrap()
+    }
+
+    #[test]
+    fn rejects_asynchronous_traces() {
+        let mut b = TraceBuilder::new(2);
+        let s = b.send(p(0), p(1)).unwrap();
+        b.receive(p(1), s).unwrap();
+        let t = b.finish_complete("async").unwrap();
+        assert!(matches!(
+            GsStore::build(&t),
+            Err(GsError::NotSynchronous(_))
+        ));
+    }
+
+    #[test]
+    fn star_cover_is_tiny() {
+        let t = sync_star(6, 2);
+        let gs = GsStore::build(&t).unwrap();
+        // A greedy 2-approx on a star picks the centre plus one leaf.
+        assert!(gs.width() <= 2, "cover width {}", gs.width());
+        // Timestamp width beats the 7-wide Fidge/Mattern vector.
+        assert!(gs.width() < t.num_processes() as usize);
+    }
+
+    #[test]
+    fn precedence_matches_oracle_star() {
+        let t = sync_star(4, 3);
+        let gs = GsStore::build(&t).unwrap();
+        let o = Oracle::compute(&t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    gs.precedes(&t, e, f),
+                    o.happened_before(&t, e, f),
+                    "{e} -> {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_matches_oracle_chain() {
+        // Synchronous chain 0-1-2-3 repeated: cover alternates.
+        let mut b = TraceBuilder::new(4);
+        for _ in 0..3 {
+            b.sync(p(0), p(1)).unwrap();
+            b.sync(p(1), p(2)).unwrap();
+            b.sync(p(2), p(3)).unwrap();
+            b.internal(p(3)).unwrap();
+        }
+        let t = b.finish_complete("sync-chain").unwrap();
+        let gs = GsStore::build(&t).unwrap();
+        let o = Oracle::compute(&t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    gs.precedes(&t, e, f),
+                    o.happened_before(&t, e, f),
+                    "{e} -> {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_events_cost_double() {
+        let t = sync_star(6, 1);
+        let gs = GsStore::build(&t).unwrap();
+        let covered: usize = t
+            .events()
+            .iter()
+            .filter(|e| gs.cover().contains(&e.process()))
+            .count();
+        let uncovered = t.num_events() - covered;
+        assert_eq!(
+            gs.total_elements(&t),
+            (covered * gs.width() + uncovered * 2 * gs.width()) as u64
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # cts-baselines — related-work timestamp schemes (§2.4)
+//!
+//! The paper positions cluster timestamps against alternative approaches to
+//! the vector-timestamp-size problem; three are implemented here, from
+//! scratch, so the experiments can reproduce the paper's comparative claims:
+//!
+//! - [`fowler_zwaenepoel`]: direct-dependency vectors. "Substantially smaller
+//!   than Fidge/Mattern timestamps", but "precedence testing requires a
+//!   search through the vector space, which is in the worst case linear in
+//!   the number of messages."
+//! - [`singhal_kshemkalyani`]: differential encoding between successive
+//!   events of a process. The paper reports "we were unable to realize more
+//!   than a factor of three in space saving" with this class of technique.
+//! - [`garg_skawratananond`]: timestamps for *synchronous* computations with
+//!   size equal to a vertex cover of the communication graph; unary events
+//!   need twice the size and cannot be finalized until the process's next
+//!   synchronous event — the reasons §2.4 gives for not comparing against it
+//!   directly.
+//!
+//! Every scheme's precedence test is exact and property-tested against the
+//! ground-truth oracle.
+
+pub mod fowler_zwaenepoel;
+pub mod garg_skawratananond;
+pub mod singhal_kshemkalyani;
+
+pub use fowler_zwaenepoel::DdvStore;
+pub use garg_skawratananond::GsStore;
+pub use singhal_kshemkalyani::DiffStore;

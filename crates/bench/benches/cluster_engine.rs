@@ -1,0 +1,52 @@
+//! Online cluster-timestamp stamping throughput per strategy — the cost of
+//! the paper's contribution on the monitoring entity's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cts_bench::clustered_trace;
+use cts_core::cluster::ClusterEngine;
+use cts_core::strategy::{MergeOnFirst, MergeOnNth, NeverMerge};
+use cts_core::two_pass::static_pipeline;
+
+fn bench_strategies(c: &mut Criterion) {
+    let trace = clustered_trace(200, 8);
+    let n = trace.num_processes();
+    let mut g = c.benchmark_group("cluster_engine_run");
+    g.throughput(Throughput::Elements(trace.num_events() as u64));
+
+    g.bench_function(BenchmarkId::new("merge_on_first", 13), |b| {
+        b.iter(|| ClusterEngine::run(&trace, MergeOnFirst::new(13)).num_cluster_receives());
+    });
+    g.bench_function(BenchmarkId::new("merge_on_nth_t10", 13), |b| {
+        b.iter(|| {
+            ClusterEngine::run(&trace, MergeOnNth::new(n, 13, 10.0)).num_cluster_receives()
+        });
+    });
+    g.bench_function(BenchmarkId::new("never_merge", 13), |b| {
+        b.iter(|| ClusterEngine::run(&trace, NeverMerge).num_cluster_receives());
+    });
+    g.bench_function(BenchmarkId::new("static_two_pass", 13), |b| {
+        b.iter(|| static_pipeline(&trace, 13).1.num_cluster_receives());
+    });
+    g.finish();
+}
+
+fn bench_max_cs_effect(c: &mut Criterion) {
+    let trace = clustered_trace(200, 8);
+    let mut g = c.benchmark_group("cluster_engine_by_max_cs");
+    g.throughput(Throughput::Elements(trace.num_events() as u64));
+    for max_cs in [2usize, 13, 50] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(max_cs),
+            &max_cs,
+            |b, &max_cs| {
+                b.iter(|| {
+                    ClusterEngine::run(&trace, MergeOnFirst::new(max_cs)).num_cluster_receives()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_max_cs_effect);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! The cost of regenerating the paper's figures: one full cluster-size sweep
+//! per strategy on the Figure 4/5 sample computations. (The figures' *data*
+//! comes from `cts-experiments`; this bench tracks how long regeneration
+//! takes.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cts_analysis::sweep::{sweep, StrategyKind};
+use cts_workloads::suite::figure_pair;
+
+fn bench_figure_sweeps(c: &mut Criterion) {
+    let (worst, smooth) = figure_pair();
+    let sizes: Vec<usize> = (2..=50).step_by(4).collect(); // sparse axis for the bench
+    let mut g = c.benchmark_group("figure_sweep");
+    g.sample_size(10);
+
+    g.bench_function("fig4_static_smooth", |b| {
+        b.iter(|| sweep(&smooth, StrategyKind::StaticGreedy, &sizes).ratios.len());
+    });
+    g.bench_function("fig4_merge1st_smooth", |b| {
+        b.iter(|| sweep(&smooth, StrategyKind::MergeOnFirst, &sizes).ratios.len());
+    });
+    g.bench_function("fig5_mergeNth10_worst", |b| {
+        b.iter(|| {
+            sweep(&worst, StrategyKind::MergeOnNth { threshold: 10.0 }, &sizes)
+                .ratios
+                .len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure_sweeps);
+criterion_main!(benches);

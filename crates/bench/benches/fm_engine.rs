@@ -1,0 +1,40 @@
+//! Fidge/Mattern stamping throughput versus process count: the O(N)-per-event
+//! cost that motivates the whole paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cts_bench::{clustered_trace, SCALES};
+use cts_core::fm::{FmEngine, FmStore};
+
+fn bench_fm_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fm_engine_accept");
+    for &n in SCALES {
+        let trace = clustered_trace(n, 8);
+        g.throughput(Throughput::Elements(trace.num_events() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| {
+                let mut eng = FmEngine::new(t.num_processes());
+                let mut acc = 0u64;
+                for &ev in t.events() {
+                    acc = acc.wrapping_add(eng.accept(ev).as_slice()[0] as u64);
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fm_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fm_store_compute");
+    for &n in &[100u32, 400] {
+        let trace = clustered_trace(n, 8);
+        g.throughput(Throughput::Elements(trace.num_events() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| FmStore::compute(t).bytes());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fm_engine, bench_fm_store);
+criterion_main!(benches);

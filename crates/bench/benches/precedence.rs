@@ -1,0 +1,86 @@
+//! Precedence-query latency across every backend in the workspace — the
+//! query-side comparison behind §1.1 and §2.4: precomputed Fidge/Mattern
+//! (O(1)), cluster timestamps (O(1)/O(c log R)), recompute-forward cache
+//! (O(N·chain)), Fowler/Zwaenepoel search (O(messages)), and the SK
+//! differential store (O(checkpoint interval)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cts_baselines::{DdvStore, DiffStore};
+use cts_bench::clustered_trace;
+use cts_core::cluster::ClusterEngine;
+use cts_core::fm::FmStore;
+use cts_core::strategy::MergeOnNth;
+use cts_model::EventId;
+use cts_store::timestamp_cache::TimestampCache;
+
+fn query_pairs(trace: &cts_model::Trace, k: usize) -> Vec<(EventId, EventId)> {
+    let ids: Vec<EventId> = trace.all_event_ids().collect();
+    (0..k)
+        .map(|i| {
+            let a = ids[(i * 7919) % ids.len()];
+            let b = ids[(i * 104729 + 13) % ids.len()];
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_precedence(c: &mut Criterion) {
+    let trace = clustered_trace(200, 8);
+    let pairs = query_pairs(&trace, 256);
+    let mut g = c.benchmark_group("precedence_256_queries");
+
+    let fm = FmStore::compute(&trace);
+    g.bench_function("fm_precomputed", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(e, f)| fm.precedes(&trace, e, f))
+                .count()
+        });
+    });
+
+    let cts = ClusterEngine::run(&trace, MergeOnNth::new(trace.num_processes(), 13, 5.0));
+    g.bench_function("cluster_timestamps", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(e, f)| cts.precedes(&trace, e, f))
+                .count()
+        });
+    });
+
+    let fz = DdvStore::compute(&trace);
+    g.bench_function("fowler_zwaenepoel_search", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(e, f)| fz.precedes(&trace, e, f))
+                .count()
+        });
+    });
+
+    let sk = DiffStore::compute(&trace, 16);
+    g.bench_function("sk_differential_reconstruct", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(e, f)| sk.precedes(&trace, e, f))
+                .count()
+        });
+    });
+
+    g.bench_function("recompute_forward_cache", |b| {
+        b.iter(|| {
+            let mut cache = TimestampCache::new(&trace, 64);
+            pairs
+                .iter()
+                .filter(|&&(e, f)| cache.precedes(e, f))
+                .count()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_precedence);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The Figure 3 static clustering algorithm's O(N³) scaling — "since this is
+//! a static algorithm, this performance is acceptable" (§3.1) — plus the
+//! alternatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cts_bench::{clustered_trace, SCALES};
+use cts_core::clustering::{greedy_pairwise, kmedoid};
+use cts_model::comm::CommMatrix;
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_pairwise_by_n");
+    g.sample_size(10);
+    for &n in SCALES {
+        let trace = clustered_trace(n, 6);
+        let matrix = CommMatrix::from_trace(&trace);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &matrix, |b, m| {
+            b.iter(|| greedy_pairwise(m, 13).num_clusters());
+        });
+    }
+    g.finish();
+}
+
+fn bench_clusterers(c: &mut Criterion) {
+    let trace = clustered_trace(200, 6);
+    let matrix = CommMatrix::from_trace(&trace);
+    let mut g = c.benchmark_group("clusterers_n200");
+    g.sample_size(10);
+    g.bench_function("greedy_pairwise", |b| {
+        b.iter(|| greedy_pairwise(&matrix, 13).num_clusters());
+    });
+    g.bench_function("kmedoid", |b| {
+        b.iter(|| kmedoid(&matrix, 16, 20).num_clusters());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_greedy_scaling, bench_clusterers);
+criterion_main!(benches);

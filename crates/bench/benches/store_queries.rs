@@ -1,0 +1,77 @@
+//! Store-level costs: B+-tree lookups, event-store ingest, paged-memory
+//! greatest-concurrent queries (the §1.1 thrashing scenario), and scrolling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cts_bench::clustered_trace;
+use cts_core::fm::FmStore;
+use cts_model::EventId;
+use cts_store::btree::{key_of, BPlusTree};
+use cts_store::event_store::EventStore;
+use cts_store::queries::{greatest_concurrent, scroll_window, FmBackend};
+use cts_store::vm_sim::PagedTimestampStore;
+
+fn bench_btree(c: &mut Criterion) {
+    let trace = clustered_trace(200, 8);
+    let ids: Vec<EventId> = trace.all_event_ids().collect();
+    let mut g = c.benchmark_group("btree");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    g.bench_function("insert_all", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new();
+            for (i, &id) in ids.iter().enumerate() {
+                t.insert(key_of(id), i as u32);
+            }
+            t.len()
+        });
+    });
+    let mut tree = BPlusTree::new();
+    for (i, &id) in ids.iter().enumerate() {
+        tree.insert(key_of(id), i as u32);
+    }
+    g.bench_function("get_all", |b| {
+        b.iter(|| {
+            ids.iter()
+                .filter(|&&id| tree.get(key_of(id)).is_some())
+                .count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_event_store_ingest(c: &mut Criterion) {
+    let trace = clustered_trace(200, 8);
+    let mut g = c.benchmark_group("event_store");
+    g.throughput(Throughput::Elements(trace.num_events() as u64));
+    g.bench_function("ingest", |b| {
+        b.iter(|| EventStore::from_trace(&trace).len());
+    });
+    g.finish();
+}
+
+fn bench_paged_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paged_queries");
+    g.sample_size(10);
+    for &n in &[100u32, 400] {
+        let trace = clustered_trace(n, 8);
+        let fm = FmStore::compute(&trace);
+        let probe = trace.at(trace.num_events() / 2).id;
+        g.bench_with_input(
+            BenchmarkId::new("greatest_concurrent_paged", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut paged = PagedTimestampStore::new(&trace, &fm, 1024);
+                    let _ = greatest_concurrent(&mut paged, &trace, probe);
+                    paged.page_reads()
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("scroll_window_fm", n), &n, |b, _| {
+            b.iter(|| scroll_window(&mut FmBackend(&fm), &trace, 1, 4));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_event_store_ingest, bench_paged_queries);
+criterion_main!(benches);

@@ -1,0 +1,470 @@
+//! The online cluster-timestamp engine and the queryable result.
+
+use super::membership::ClusterSets;
+use super::stamp::ClusterStamp;
+use crate::clustering::Clustering;
+use crate::fm::FmEngine;
+use crate::strategy::{MergePolicy, StaticClusters};
+use cts_model::{Event, EventId, ProcessId, Trace};
+
+/// A cluster receive recorded as a gateway: the event's sequence number
+/// within its process and where its full stamp lives.
+#[derive(Clone, Copy, Debug)]
+struct CrRecord {
+    /// 1-based event index within the process.
+    index: u32,
+    /// Delivery position, where the `Full` stamp is stored.
+    pos: u32,
+}
+
+/// Online construction of cluster timestamps (§2.3's creation algorithm).
+///
+/// Feed events in delivery order with [`accept`](Self::accept); call
+/// [`finish`](Self::finish) for the queryable [`ClusterTimestamps`]. The
+/// engine internally runs the Fidge/Mattern computation (which retains only
+/// its frontier), classifies cluster receives against the *current* clusters,
+/// consults the [`MergePolicy`] for mergeability, and keeps full stamps only
+/// for non-mergeable cluster receives — "the algorithm deletes Fidge/Mattern
+/// timestamps that are no longer needed".
+pub struct ClusterEngine<S> {
+    fm: FmEngine,
+    sets: ClusterSets,
+    policy: S,
+    stamps: Vec<ClusterStamp>,
+    /// Cluster receives per process, in increasing `index` order.
+    crs: Vec<Vec<CrRecord>>,
+    num_cluster_receives: usize,
+    num_merges: usize,
+}
+
+impl<S: MergePolicy> ClusterEngine<S> {
+    /// Engine starting from singleton clusters (dynamic strategies).
+    pub fn new(num_processes: u32, policy: S) -> ClusterEngine<S> {
+        ClusterEngine {
+            fm: FmEngine::new(num_processes),
+            sets: ClusterSets::singletons(num_processes),
+            policy,
+            stamps: Vec::new(),
+            crs: vec![Vec::new(); num_processes as usize],
+            num_cluster_receives: 0,
+            num_merges: 0,
+        }
+    }
+
+    /// Engine starting from a pre-determined partition (static two-pass
+    /// mode; pair with [`StaticClusters`]).
+    pub fn with_partition(
+        num_processes: u32,
+        clustering: &Clustering,
+        policy: S,
+    ) -> ClusterEngine<S> {
+        ClusterEngine {
+            fm: FmEngine::new(num_processes),
+            sets: ClusterSets::from_partition(num_processes, clustering),
+            policy,
+            stamps: Vec::new(),
+            crs: vec![Vec::new(); num_processes as usize],
+            num_cluster_receives: 0,
+            num_merges: 0,
+        }
+    }
+
+    /// Accept the next event in delivery order.
+    pub fn accept(&mut self, ev: Event) {
+        let fm_stamp = self.fm.accept(ev);
+        let p = ev.process();
+
+        // Cluster-receive classification: a receiving event whose source
+        // process is currently outside the receiver's cluster.
+        let cr_source = match ev.kind.receive_source() {
+            Some(src) if !{
+                let v = self.sets.current_version(p);
+                self.sets.contains(v, src.process)
+            } =>
+            {
+                Some(src)
+            }
+            _ => None,
+        };
+
+        let stamp = match cr_source {
+            None => {
+                // Ordinary event: project onto the current cluster.
+                let v = self.sets.current_version(p);
+                ClusterStamp::Projected {
+                    version: v,
+                    clock: fm_stamp.project(self.sets.members(v)),
+                }
+            }
+            Some(src) => {
+                let ra = self.sets.find(p);
+                let rb = self.sets.find(src.process);
+                if self.policy.on_cluster_receive(ra, rb, &self.sets) {
+                    // Mergeable: the merge makes this event no longer a
+                    // cluster receive; project onto the merged cluster.
+                    let (new_root, v) = self.sets.merge(ra, rb);
+                    self.policy.after_merge(ra, rb, new_root);
+                    self.num_merges += 1;
+                    ClusterStamp::Projected {
+                        version: v,
+                        clock: fm_stamp.project(self.sets.members(v)),
+                    }
+                } else {
+                    // Non-mergeable cluster receive: keep the full stamp and
+                    // note it as the greatest cluster receive of `p` so far.
+                    self.num_cluster_receives += 1;
+                    self.crs[p.idx()].push(CrRecord {
+                        index: ev.index().0,
+                        pos: self.stamps.len() as u32,
+                    });
+                    ClusterStamp::Full { clock: fm_stamp }
+                }
+            }
+        };
+        self.stamps.push(stamp);
+    }
+
+    /// Coarsen the current clusters to realize `target`: every group of the
+    /// target partition becomes one cluster, formed by merging the current
+    /// clusters it contains. Panics if the target would *split* a current
+    /// cluster (clusters may only grow, §1.2).
+    ///
+    /// This is the pivot of the collect-then-cluster hybrid
+    /// ([`crate::hybrid`]): after a prefix of events has been observed with
+    /// singleton clusters, the statically computed clustering is imposed and
+    /// stamping continues.
+    pub fn merge_partition(&mut self, target: &Clustering) {
+        let n = self.sets.num_processes() as u32;
+        target
+            .validate(n)
+            .expect("target clustering must partition the process set");
+        // No current cluster may straddle two target groups.
+        let assign = target.assignment(n);
+        for group in self.sets.current_partition().clusters() {
+            let g0 = assign[group[0].idx()];
+            assert!(
+                group.iter().all(|m| assign[m.idx()] == g0),
+                "target clustering splits an existing cluster"
+            );
+        }
+        for group in target.clusters() {
+            let mut root = self.sets.find(group[0]);
+            for &m in &group[1..] {
+                let rm = self.sets.find(m);
+                if rm != root {
+                    let (new_root, _) = self.sets.merge(root, rm);
+                    self.policy.after_merge(root, rm, new_root);
+                    self.num_merges += 1;
+                    root = new_root;
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the current partition (without consuming the engine).
+    pub fn final_partition_snapshot(&self) -> Clustering {
+        self.sets.current_partition()
+    }
+
+    /// Finish, yielding the queryable timestamp structure.
+    pub fn finish(self) -> ClusterTimestamps {
+        ClusterTimestamps {
+            sets: self.sets,
+            stamps: self.stamps,
+            crs: self.crs,
+            num_cluster_receives: self.num_cluster_receives,
+            num_merges: self.num_merges,
+        }
+    }
+
+    /// Run over a complete trace.
+    pub fn run(trace: &Trace, policy: S) -> ClusterTimestamps {
+        let mut eng = ClusterEngine::new(trace.num_processes(), policy);
+        eng.stamps.reserve(trace.num_events());
+        for &ev in trace.events() {
+            eng.accept(ev);
+        }
+        eng.finish()
+    }
+}
+
+/// Two-pass static mode: timestamp `trace` against a pre-determined
+/// clustering (first pass: compute the clustering; second pass: this).
+pub fn run_static(trace: &Trace, clustering: &Clustering) -> ClusterTimestamps {
+    let mut eng =
+        ClusterEngine::with_partition(trace.num_processes(), clustering, StaticClusters);
+    eng.stamps.reserve(trace.num_events());
+    for &ev in trace.events() {
+        eng.accept(ev);
+    }
+    eng.finish()
+}
+
+/// The complete cluster-timestamp structure for a trace: per-event stamps,
+/// the cluster version history, and the per-process cluster-receive chains
+/// used by precedence queries.
+pub struct ClusterTimestamps {
+    sets: ClusterSets,
+    stamps: Vec<ClusterStamp>,
+    crs: Vec<Vec<CrRecord>>,
+    num_cluster_receives: usize,
+    num_merges: usize,
+}
+
+impl ClusterTimestamps {
+    /// The stamp of the event at a delivery position.
+    pub fn stamp_at(&self, pos: usize) -> &ClusterStamp {
+        &self.stamps[pos]
+    }
+
+    /// The stamp of an event.
+    pub fn stamp(&self, trace: &Trace, id: EventId) -> &ClusterStamp {
+        &self.stamps[trace.delivery_pos(id)]
+    }
+
+    /// All stamps in delivery order.
+    pub fn stamps(&self) -> &[ClusterStamp] {
+        &self.stamps
+    }
+
+    /// Number of non-mergeable cluster receives (the quantity every
+    /// clustering strategy tries to minimize).
+    pub fn num_cluster_receives(&self) -> usize {
+        self.num_cluster_receives
+    }
+
+    /// Number of cluster merges performed by the dynamic strategy.
+    pub fn num_merges(&self) -> usize {
+        self.num_merges
+    }
+
+    /// The cluster version store (for stamp component lookups).
+    pub fn sets(&self) -> &ClusterSets {
+        &self.sets
+    }
+
+    /// The final partition of processes into clusters.
+    pub fn final_partition(&self) -> Clustering {
+        self.sets.current_partition()
+    }
+
+    /// Greatest cluster receive of process `q` with index ≤ `known`, if any.
+    fn greatest_cr(&self, q: ProcessId, known: u32) -> Option<&ClusterStamp> {
+        let list = &self.crs[q.idx()];
+        let i = list.partition_point(|r| r.index <= known);
+        if i == 0 {
+            None
+        } else {
+            Some(&self.stamps[list[i - 1].pos as usize])
+        }
+    }
+
+    /// The cluster-timestamp precedence test: `e → f`?
+    ///
+    /// Three cases, in increasing cost:
+    ///
+    /// 1. same process — compare sequence numbers;
+    /// 2. `f`'s stamp knows `p_e` directly (full stamp, or projected with
+    ///    `p_e` in the cluster) — one comparison;
+    /// 3. otherwise `e` can only precede `f` through a cluster receive in
+    ///    `f`'s cluster: check, for each member process `q`, the **greatest**
+    ///    cluster receive of `q` within `f`'s past (monotonicity of
+    ///    Fidge/Mattern stamps along a process makes the greatest one
+    ///    sufficient) — O(c log R).
+    pub fn precedes(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        let need = e.index.0;
+        match &self.stamps[trace.delivery_pos(f)] {
+            ClusterStamp::Full { clock } => clock.get(e.process) >= need,
+            ClusterStamp::Projected { version, clock } => {
+                if let Some(pos) = self.sets.position(*version, e.process) {
+                    return clock[pos] >= need;
+                }
+                let members = self.sets.members(*version);
+                for (pos, &q) in members.iter().enumerate() {
+                    let known = clock[pos];
+                    if known == 0 {
+                        continue;
+                    }
+                    if let Some(ClusterStamp::Full { clock: cr }) = self.greatest_cr(q, known) {
+                        if cr.get(e.process) >= need {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Are two events concurrent under this timestamp?
+    pub fn concurrent(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        e != f && !self.precedes(trace, e, f) && !self.precedes(trace, f, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{MergeOnFirst, MergeOnNth, NeverMerge};
+    use cts_model::{EventIndex, Oracle, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn id(pr: u32, i: u32) -> EventId {
+        EventId::new(p(pr), EventIndex(i))
+    }
+
+    /// Two chatty pairs (0,1) and (2,3) plus one bridge message 1→2.
+    fn two_pairs_bridge() -> Trace {
+        let mut b = TraceBuilder::new(4);
+        for _ in 0..3 {
+            let s = b.send(p(0), p(1)).unwrap();
+            b.receive(p(1), s).unwrap();
+            let s = b.send(p(3), p(2)).unwrap();
+            b.receive(p(2), s).unwrap();
+        }
+        let s = b.send(p(1), p(2)).unwrap();
+        b.receive(p(2), s).unwrap();
+        let s = b.send(p(2), p(3)).unwrap();
+        b.receive(p(3), s).unwrap();
+        b.finish_complete("two-pairs-bridge").unwrap()
+    }
+
+    fn check_against_oracle(trace: &Trace, cts: &ClusterTimestamps) {
+        let oracle = Oracle::compute(trace);
+        for e in trace.all_event_ids() {
+            for f in trace.all_event_ids() {
+                assert_eq!(
+                    cts.precedes(trace, e, f),
+                    oracle.happened_before(trace, e, f),
+                    "{e} -> {f} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_on_first_exact_precedence() {
+        let t = two_pairs_bridge();
+        for max_cs in 1..=4 {
+            let cts = ClusterEngine::run(&t, MergeOnFirst::new(max_cs));
+            check_against_oracle(&t, &cts);
+        }
+    }
+
+    #[test]
+    fn merge_on_nth_exact_precedence() {
+        let t = two_pairs_bridge();
+        for threshold in [0.0, 0.6, 2.0] {
+            for max_cs in 1..=4 {
+                let cts = ClusterEngine::run(
+                    &t,
+                    MergeOnNth::new(t.num_processes(), max_cs, threshold),
+                );
+                check_against_oracle(&t, &cts);
+            }
+        }
+    }
+
+    #[test]
+    fn never_merge_exact_precedence() {
+        let t = two_pairs_bridge();
+        let cts = ClusterEngine::run(&t, NeverMerge);
+        check_against_oracle(&t, &cts);
+        // Every cross-process receive is a cluster receive.
+        assert_eq!(cts.num_cluster_receives(), t.num_messages());
+        assert_eq!(cts.num_merges(), 0);
+    }
+
+    #[test]
+    fn static_partition_exact_precedence() {
+        let t = two_pairs_bridge();
+        let good = Clustering::new(vec![vec![p(0), p(1)], vec![p(2), p(3)]]).unwrap();
+        let cts = run_static(&t, &good);
+        check_against_oracle(&t, &cts);
+        // Only the 1→2 bridge message crosses clusters (2→3 stays inside
+        // {2,3}).
+        assert_eq!(cts.num_cluster_receives(), 1);
+
+        let bad = Clustering::new(vec![vec![p(0), p(2)], vec![p(1), p(3)]]).unwrap();
+        let cts_bad = run_static(&t, &bad);
+        check_against_oracle(&t, &cts_bad);
+        assert!(cts_bad.num_cluster_receives() > cts.num_cluster_receives());
+    }
+
+    #[test]
+    fn merge_on_first_clusters_the_pairs() {
+        let t = two_pairs_bridge();
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        let part = cts.final_partition();
+        let a = part.assignment(4);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[2], a[3]);
+        assert_ne!(a[0], a[2]);
+        // The 1→2 bridge is the only cluster receive (2→3 is intra-cluster).
+        assert_eq!(cts.num_cluster_receives(), 1);
+        assert_eq!(cts.num_merges(), 2);
+    }
+
+    #[test]
+    fn projected_stamps_match_fm_projection() {
+        use crate::fm::FmStore;
+        let t = two_pairs_bridge();
+        let fm = FmStore::compute(&t);
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(4));
+        for (pos, _) in t.events().iter().enumerate() {
+            match cts.stamp_at(pos) {
+                ClusterStamp::Projected { version, clock } => {
+                    let members = cts.sets().members(*version);
+                    let full = fm.stamp_at(pos);
+                    for (i, &q) in members.iter().enumerate() {
+                        assert_eq!(clock[i], full[q.idx()]);
+                    }
+                }
+                ClusterStamp::Full { clock } => {
+                    assert_eq!(clock.as_slice(), fm.stamp_at(pos));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sync_halves_and_clusters() {
+        let mut b = TraceBuilder::new(3);
+        b.sync(p(0), p(1)).unwrap();
+        b.sync(p(1), p(2)).unwrap();
+        b.sync(p(0), p(2)).unwrap();
+        let t = b.finish_complete("sync-triangle").unwrap();
+        for max_cs in 1..=3 {
+            let cts = ClusterEngine::run(&t, MergeOnFirst::new(max_cs));
+            check_against_oracle(&t, &cts);
+        }
+        // With room for all three, the first sync merges 0 and 1.
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(3));
+        assert_eq!(cts.final_partition().num_clusters(), 1);
+    }
+
+    #[test]
+    fn chain_precedence_via_cluster_receives() {
+        // 0 -> 1 -> 2 -> 3 pipeline with clusters capped at 2: precedence
+        // from P0's send to P3's receive must route through CR chains.
+        let mut b = TraceBuilder::new(4);
+        for hop in 0..3u32 {
+            let s = b.send(p(hop), p(hop + 1)).unwrap();
+            b.receive(p(hop + 1), s).unwrap();
+        }
+        let e_last = b.internal(p(3)).unwrap();
+        let t = b.finish_complete("pipeline").unwrap();
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        assert!(cts.precedes(&t, id(0, 1), e_last));
+        check_against_oracle(&t, &cts);
+    }
+}

@@ -1,0 +1,289 @@
+//! Cluster membership: a union-find over processes with immutable version
+//! snapshots.
+//!
+//! The self-organizing cluster timestamp needs two things from its cluster
+//! bookkeeping: (a) fast *current* membership queries and merges while events
+//! stream in, and (b) a permanent record of the cluster **as it was** when
+//! each event was stamped, because an event's projected timestamp is indexed
+//! by the member list of its cluster at stamping time. We get (a) from a
+//! size-united, path-compressed union-find and (b) from append-only version
+//! snapshots: every merge allocates a new [`ClusterVersionId`] with a sorted
+//! member list, and old versions are never mutated. A computation over `N`
+//! processes creates at most `2N − 1` versions.
+
+use crate::clustering::Clustering;
+use cts_model::ProcessId;
+
+/// Identifier of an immutable cluster snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClusterVersionId(pub u32);
+
+/// Union-find over processes plus immutable version snapshots.
+#[derive(Clone, Debug)]
+pub struct ClusterSets {
+    parent: Vec<u32>,
+    /// For roots: the current version id of the root's cluster. Garbage for
+    /// non-roots.
+    version_at_root: Vec<u32>,
+    /// Sorted member lists, append-only.
+    versions: Vec<Box<[ProcessId]>>,
+}
+
+impl ClusterSets {
+    /// Every process in its own singleton cluster (the initial state of all
+    /// dynamic strategies).
+    pub fn singletons(n: u32) -> ClusterSets {
+        ClusterSets {
+            parent: (0..n).collect(),
+            version_at_root: (0..n).collect(),
+            versions: (0..n)
+                .map(|p| vec![ProcessId(p)].into_boxed_slice())
+                .collect(),
+        }
+    }
+
+    /// Initialize from a pre-determined partition (the static, two-pass
+    /// mode: cluster first, timestamp second).
+    pub fn from_partition(n: u32, clustering: &Clustering) -> ClusterSets {
+        clustering
+            .validate(n)
+            .expect("clustering must be a partition of 0..n");
+        let mut sets = ClusterSets {
+            parent: vec![0; n as usize],
+            version_at_root: vec![0; n as usize],
+            versions: Vec::with_capacity(clustering.num_clusters()),
+        };
+        for members in clustering.clusters() {
+            let root = members[0].0;
+            let vid = sets.versions.len() as u32;
+            for &m in members {
+                sets.parent[m.idx()] = root;
+            }
+            sets.version_at_root[root as usize] = vid;
+            let mut sorted = members.to_vec();
+            sorted.sort_unstable();
+            sets.versions.push(sorted.into_boxed_slice());
+        }
+        sets
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Union-find root of `p`'s cluster, with path compression.
+    pub fn find(&mut self, p: ProcessId) -> u32 {
+        let mut x = p.0;
+        while self.parent[x as usize] != x {
+            // Path halving: point to grandparent as we walk.
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Root without mutation (no compression) — for read-only contexts.
+    pub fn find_readonly(&self, p: ProcessId) -> u32 {
+        let mut x = p.0;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Current version of the cluster containing `p`.
+    pub fn current_version(&mut self, p: ProcessId) -> ClusterVersionId {
+        let r = self.find(p);
+        ClusterVersionId(self.version_at_root[r as usize])
+    }
+
+    /// Current version of the cluster rooted at `root`.
+    pub fn version_of_root(&self, root: u32) -> ClusterVersionId {
+        ClusterVersionId(self.version_at_root[root as usize])
+    }
+
+    /// Are `p` and `q` currently in the same cluster?
+    pub fn same_cluster(&mut self, p: ProcessId, q: ProcessId) -> bool {
+        self.find(p) == self.find(q)
+    }
+
+    /// Size of the cluster rooted at `root`.
+    pub fn size_of_root(&self, root: u32) -> usize {
+        self.versions[self.version_at_root[root as usize] as usize].len()
+    }
+
+    /// Member list of a version snapshot (sorted by process id).
+    #[inline]
+    pub fn members(&self, v: ClusterVersionId) -> &[ProcessId] {
+        &self.versions[v.0 as usize]
+    }
+
+    /// Size of a version snapshot.
+    #[inline]
+    pub fn size(&self, v: ClusterVersionId) -> usize {
+        self.members(v).len()
+    }
+
+    /// Position of `q` in the member list of `v`, if present. This is the
+    /// index of `q`'s component in a timestamp projected over `v`.
+    #[inline]
+    pub fn position(&self, v: ClusterVersionId, q: ProcessId) -> Option<usize> {
+        self.members(v).binary_search(&q).ok()
+    }
+
+    /// Does version `v` contain process `q`?
+    #[inline]
+    pub fn contains(&self, v: ClusterVersionId, q: ProcessId) -> bool {
+        self.position(v, q).is_some()
+    }
+
+    /// Merge the clusters rooted at `ra` and `rb`; returns `(new_root,
+    /// new_version)`. The two roots must be distinct, current roots.
+    pub fn merge(&mut self, ra: u32, rb: u32) -> (u32, ClusterVersionId) {
+        assert_ne!(ra, rb, "merging a cluster with itself");
+        debug_assert_eq!(self.parent[ra as usize], ra);
+        debug_assert_eq!(self.parent[rb as usize], rb);
+        let (big, small) = if self.size_of_root(ra) >= self.size_of_root(rb) {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let va = self.version_at_root[big as usize] as usize;
+        let vb = self.version_at_root[small as usize] as usize;
+        // Sorted merge of the two member lists.
+        let (a, b) = (&self.versions[va], &self.versions[vb]);
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i] < b[j] {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        let vid = ClusterVersionId(self.versions.len() as u32);
+        self.versions.push(merged.into_boxed_slice());
+        self.parent[small as usize] = big;
+        self.version_at_root[big as usize] = vid.0;
+        (big, vid)
+    }
+
+    /// Number of distinct current clusters.
+    pub fn num_clusters(&self) -> usize {
+        (0..self.parent.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .count()
+    }
+
+    /// Snapshot of the current partition as a [`Clustering`].
+    pub fn current_partition(&self) -> Clustering {
+        let n = self.parent.len();
+        let mut groups: Vec<Vec<ProcessId>> = Vec::new();
+        let mut slot: Vec<Option<usize>> = vec![None; n];
+        for p in 0..n {
+            let r = self.find_readonly(ProcessId(p as u32)) as usize;
+            let g = *slot[r].get_or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(ProcessId(p as u32));
+        }
+        Clustering::new(groups).expect("union-find yields a partition")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn singletons_start_separate() {
+        let mut s = ClusterSets::singletons(4);
+        assert_eq!(s.num_clusters(), 4);
+        for i in 0..4 {
+            let v = s.current_version(p(i));
+            assert_eq!(s.members(v), &[p(i)]);
+            assert_eq!(s.size(v), 1);
+        }
+        assert!(!s.same_cluster(p(0), p(1)));
+    }
+
+    #[test]
+    fn merge_creates_new_immutable_version() {
+        let mut s = ClusterSets::singletons(4);
+        let v0 = s.current_version(p(0));
+        let (r, v01) = {
+            let ra = s.find(p(0));
+            let rb = s.find(p(1));
+            s.merge(ra, rb)
+        };
+        assert_eq!(s.members(v01), &[p(0), p(1)]);
+        // Old snapshot unchanged.
+        assert_eq!(s.members(v0), &[p(0)]);
+        assert!(s.same_cluster(p(0), p(1)));
+        assert_eq!(s.num_clusters(), 3);
+        assert_eq!(s.version_of_root(r), v01);
+    }
+
+    #[test]
+    fn merged_member_lists_stay_sorted() {
+        let mut s = ClusterSets::singletons(6);
+        let (ra, rb) = (s.find(p(5)), s.find(p(1)));
+        s.merge(ra, rb);
+        let (ra, rb) = (s.find(p(3)), s.find(p(5)));
+        let (_, v) = s.merge(ra, rb);
+        assert_eq!(s.members(v), &[p(1), p(3), p(5)]);
+        assert_eq!(s.position(v, p(3)), Some(1));
+        assert_eq!(s.position(v, p(0)), None);
+        assert!(s.contains(v, p(5)));
+        assert!(!s.contains(v, p(2)));
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let clustering = Clustering::new(vec![
+            vec![p(0), p(2)],
+            vec![p(1)],
+            vec![p(3), p(4)],
+        ])
+        .unwrap();
+        let mut s = ClusterSets::from_partition(5, &clustering);
+        assert_eq!(s.num_clusters(), 3);
+        assert!(s.same_cluster(p(0), p(2)));
+        assert!(!s.same_cluster(p(0), p(1)));
+        let back = s.current_partition();
+        assert_eq!(back.assignment(5), clustering.assignment(5));
+    }
+
+    #[test]
+    fn version_count_is_bounded() {
+        let mut s = ClusterSets::singletons(8);
+        for i in 1..8 {
+            let (ra, rb) = (s.find(p(0)), s.find(p(i)));
+            s.merge(ra, rb);
+        }
+        assert_eq!(s.num_clusters(), 1);
+        // n singletons + (n-1) merges = 2n - 1 versions.
+        let v = s.current_version(p(0));
+        assert_eq!(v.0 as usize, 2 * 8 - 2); // last version id
+        assert_eq!(s.size(v), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "merging a cluster with itself")]
+    fn self_merge_panics() {
+        let mut s = ClusterSets::singletons(2);
+        let r = s.find(p(0));
+        s.merge(r, r);
+    }
+}

@@ -1,0 +1,536 @@
+//! Process migration between clusters — the paper's second future-work
+//! variant (§5): "processes will be permitted to migrate between clusters in
+//! the event that it is apparent that the clustering initially selected is a
+//! poor one."
+//!
+//! ## Soundness
+//!
+//! The base engine's precedence argument relies on clusters only ever
+//! growing. Migration breaks that, so a **migration marker** restores it:
+//! the first event a process stamps after migrating carries its full
+//! Fidge/Mattern stamp and is recorded in the process's cluster-receive
+//! chain. Any causal path that crosses from the process's pre-migration
+//! history into its new cluster's future passes through that marker (or
+//! through an ordinary cluster receive), so the chain lookup still finds a
+//! full stamp that dominates everything older. Pre-migration events keep
+//! their projections over the old cluster *versions*, which are immutable
+//! snapshots and remain valid.
+//!
+//! ## Policy
+//!
+//! The built-in policy is deliberately simple (this is exploratory future
+//! work in the paper): clusters merge under a merge-on-Nth rule, and a
+//! process migrates into a foreign cluster once it has accumulated
+//! `migrate_after` cluster receives from that cluster while merging was
+//! impossible — the "apparently poor clustering" signal.
+
+use super::space::{Encoding, SpaceReport};
+use super::stamp::ClusterStamp;
+use crate::fm::FmEngine;
+use cts_model::{Event, EventId, ProcessId, Trace};
+use std::collections::HashMap;
+
+/// Identifier of an immutable cluster snapshot (compatible in spirit with
+/// [`super::membership::ClusterVersionId`], but owned by [`FluidClusters`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FluidVersionId(pub u32);
+
+/// Cluster membership that supports both merging and *removal* (migration),
+/// with immutable version snapshots for per-event projections.
+#[derive(Clone, Debug)]
+pub struct FluidClusters {
+    /// Current cluster slot of each process.
+    slot_of: Vec<u32>,
+    /// Current version of each live slot (dead slots keep stale data).
+    version_of_slot: Vec<u32>,
+    /// Immutable sorted member snapshots.
+    versions: Vec<Box<[ProcessId]>>,
+}
+
+impl FluidClusters {
+    /// Singletons.
+    pub fn singletons(n: u32) -> FluidClusters {
+        FluidClusters {
+            slot_of: (0..n).collect(),
+            version_of_slot: (0..n).collect(),
+            versions: (0..n)
+                .map(|p| vec![ProcessId(p)].into_boxed_slice())
+                .collect(),
+        }
+    }
+
+    /// Current slot of a process.
+    #[inline]
+    pub fn slot(&self, p: ProcessId) -> u32 {
+        self.slot_of[p.idx()]
+    }
+
+    /// Current version of a slot.
+    #[inline]
+    pub fn version_of(&self, slot: u32) -> FluidVersionId {
+        FluidVersionId(self.version_of_slot[slot as usize])
+    }
+
+    /// Members of a version snapshot (sorted).
+    #[inline]
+    pub fn members(&self, v: FluidVersionId) -> &[ProcessId] {
+        &self.versions[v.0 as usize]
+    }
+
+    /// Position of `q` in a snapshot, if present.
+    #[inline]
+    pub fn position(&self, v: FluidVersionId, q: ProcessId) -> Option<usize> {
+        self.members(v).binary_search(&q).ok()
+    }
+
+    /// Size of a slot's current cluster.
+    pub fn size_of_slot(&self, slot: u32) -> usize {
+        self.versions[self.version_of_slot[slot as usize] as usize].len()
+    }
+
+    fn push_version(&mut self, members: Vec<ProcessId>) -> u32 {
+        let id = self.versions.len() as u32;
+        self.versions.push(members.into_boxed_slice());
+        id
+    }
+
+    /// Merge slot `b` into slot `a`; returns the merged version.
+    pub fn merge(&mut self, a: u32, b: u32) -> FluidVersionId {
+        assert_ne!(a, b, "merging a slot with itself");
+        let mut members: Vec<ProcessId> = self
+            .members(self.version_of(a))
+            .iter()
+            .chain(self.members(self.version_of(b)).iter())
+            .copied()
+            .collect();
+        members.sort_unstable();
+        for &m in &members {
+            self.slot_of[m.idx()] = a;
+        }
+        let v = self.push_version(members);
+        self.version_of_slot[a as usize] = v;
+        FluidVersionId(v)
+    }
+
+    /// Move process `q` from its current slot into slot `to`. Both clusters
+    /// get fresh versions; returns the destination's new version.
+    pub fn migrate(&mut self, q: ProcessId, to: u32) -> FluidVersionId {
+        let from = self.slot(q);
+        assert_ne!(from, to, "migration must change clusters");
+        let remaining: Vec<ProcessId> = self
+            .members(self.version_of(from))
+            .iter()
+            .copied()
+            .filter(|&m| m != q)
+            .collect();
+        let mut joined: Vec<ProcessId> = self
+            .members(self.version_of(to))
+            .iter()
+            .copied()
+            .chain(std::iter::once(q))
+            .collect();
+        joined.sort_unstable();
+        // An emptied source slot simply goes dead.
+        if !remaining.is_empty() {
+            let v_from = self.push_version(remaining);
+            self.version_of_slot[from as usize] = v_from;
+        }
+        let v_to = self.push_version(joined);
+        self.version_of_slot[to as usize] = v_to;
+        self.slot_of[q.idx()] = to;
+        FluidVersionId(v_to)
+    }
+
+    /// Number of live (non-empty, current) clusters.
+    pub fn num_clusters(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..self.slot_of.len() {
+            seen.insert(self.slot_of[p]);
+        }
+        seen.len()
+    }
+}
+
+/// A cluster receive recorded as a gateway (index within process, stamp pos).
+#[derive(Clone, Copy, Debug)]
+struct CrRecord {
+    index: u32,
+    pos: u32,
+}
+
+/// Online cluster timestamps with merge-on-Nth *and* process migration.
+pub struct MigratingEngine {
+    fm: FmEngine,
+    clusters: FluidClusters,
+    max_cluster_size: usize,
+    merge_threshold: f64,
+    migrate_after: u32,
+    /// CR counts between slot pairs (merge bookkeeping).
+    pair_counts: HashMap<(u32, u32), u64>,
+    /// Per process: CRs received from each foreign slot since the counter
+    /// was last reset (migration bookkeeping).
+    affinity: Vec<HashMap<u32, u32>>,
+    /// Processes whose next event must carry a full stamp (migration marker).
+    pending_marker: Vec<bool>,
+    stamps: Vec<ClusterStamp>,
+    crs: Vec<Vec<CrRecord>>,
+    num_cluster_receives: usize,
+    num_merges: usize,
+    num_migrations: usize,
+}
+
+impl MigratingEngine {
+    /// Engine over `n` processes: clusters capped at `max_cluster_size`,
+    /// merging when the normalized CR count exceeds `merge_threshold`,
+    /// migrating a process after `migrate_after` blocked CRs from one
+    /// foreign cluster.
+    pub fn new(
+        n: u32,
+        max_cluster_size: usize,
+        merge_threshold: f64,
+        migrate_after: u32,
+    ) -> MigratingEngine {
+        assert!(max_cluster_size >= 1);
+        assert!(migrate_after >= 1);
+        MigratingEngine {
+            fm: FmEngine::new(n),
+            clusters: FluidClusters::singletons(n),
+            max_cluster_size,
+            merge_threshold,
+            migrate_after,
+            pair_counts: HashMap::new(),
+            affinity: vec![HashMap::new(); n as usize],
+            pending_marker: vec![false; n as usize],
+            stamps: Vec::new(),
+            crs: vec![Vec::new(); n as usize],
+            num_cluster_receives: 0,
+            num_merges: 0,
+            num_migrations: 0,
+        }
+    }
+
+    fn record_full(&mut self, p: ProcessId, index: u32, clock: crate::clock::VectorClock) {
+        self.crs[p.idx()].push(CrRecord {
+            index,
+            pos: self.stamps.len() as u32,
+        });
+        self.stamps.push(ClusterStamp::Full { clock });
+    }
+
+    /// Accept the next event in delivery order.
+    pub fn accept(&mut self, ev: Event) {
+        let fm_stamp = self.fm.accept(ev);
+        let p = ev.process();
+
+        // Migration marker: the first post-migration event is always a
+        // recorded full stamp, regardless of kind (soundness anchor).
+        if std::mem::take(&mut self.pending_marker[p.idx()]) {
+            self.num_cluster_receives += 1;
+            self.record_full(p, ev.index().0, fm_stamp);
+            return;
+        }
+
+        let my_slot = self.clusters.slot(p);
+        let cr_from = match ev.kind.receive_source() {
+            Some(src) if self.clusters.slot(src.process) != my_slot => {
+                Some(self.clusters.slot(src.process))
+            }
+            _ => None,
+        };
+        match cr_from {
+            None => {
+                let v = self.clusters.version_of(my_slot);
+                self.stamps.push(ClusterStamp::Projected {
+                    version: super::membership::ClusterVersionId(v.0),
+                    clock: fm_stamp.project(self.clusters.members(v)),
+                });
+            }
+            Some(their_slot) => {
+                // Merge bookkeeping (normalized CR count, as merge-on-Nth).
+                let key = (my_slot.min(their_slot), my_slot.max(their_slot));
+                let count = self.pair_counts.entry(key).or_insert(0);
+                *count += 1;
+                let combined =
+                    self.clusters.size_of_slot(my_slot) + self.clusters.size_of_slot(their_slot);
+                let mergeable = combined <= self.max_cluster_size
+                    && (*count as f64 / combined as f64) > self.merge_threshold;
+                if mergeable {
+                    let v = self.clusters.merge(my_slot, their_slot);
+                    self.num_merges += 1;
+                    self.pair_counts.retain(|&(a, b), _| a != their_slot && b != their_slot);
+                    self.stamps.push(ClusterStamp::Projected {
+                        version: super::membership::ClusterVersionId(v.0),
+                        clock: fm_stamp.project(self.clusters.members(v)),
+                    });
+                    return;
+                }
+                // Blocked: consider migrating toward the talkative cluster.
+                let aff = self.affinity[p.idx()].entry(their_slot).or_insert(0);
+                *aff += 1;
+                let should_migrate = *aff >= self.migrate_after
+                    && self.clusters.size_of_slot(their_slot) + 1 <= self.max_cluster_size
+                    && self.clusters.size_of_slot(my_slot) > 1;
+                self.num_cluster_receives += 1;
+                self.record_full(p, ev.index().0, fm_stamp);
+                if should_migrate {
+                    // The migrating process is anchored by this very event
+                    // (full stamp, recorded above). The *remaining* members
+                    // of the old cluster are the subtle case: their future
+                    // projections no longer cover `p`, which could hide
+                    // dependencies that entered through `p` while it was a
+                    // member — so each of them gets a migration marker.
+                    let old_v = self.clusters.version_of(my_slot);
+                    let remaining: Vec<ProcessId> = self
+                        .clusters
+                        .members(old_v)
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != p)
+                        .collect();
+                    self.clusters.migrate(p, their_slot);
+                    self.num_migrations += 1;
+                    self.affinity[p.idx()].clear();
+                    for m in remaining {
+                        self.pending_marker[m.idx()] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finish into a queryable structure.
+    pub fn finish(self) -> MigratingTimestamps {
+        MigratingTimestamps {
+            clusters: self.clusters,
+            stamps: self.stamps,
+            crs: self.crs,
+            num_cluster_receives: self.num_cluster_receives,
+            num_merges: self.num_merges,
+            num_migrations: self.num_migrations,
+        }
+    }
+
+    /// Run over a whole trace.
+    pub fn run(
+        trace: &Trace,
+        max_cs: usize,
+        merge_threshold: f64,
+        migrate_after: u32,
+    ) -> MigratingTimestamps {
+        let mut eng = MigratingEngine::new(
+            trace.num_processes(),
+            max_cs,
+            merge_threshold,
+            migrate_after,
+        );
+        eng.stamps.reserve(trace.num_events());
+        for &ev in trace.events() {
+            eng.accept(ev);
+        }
+        eng.finish()
+    }
+}
+
+/// Queryable cluster timestamps produced by [`MigratingEngine`].
+pub struct MigratingTimestamps {
+    clusters: FluidClusters,
+    stamps: Vec<ClusterStamp>,
+    crs: Vec<Vec<CrRecord>>,
+    num_cluster_receives: usize,
+    num_merges: usize,
+    num_migrations: usize,
+}
+
+impl MigratingTimestamps {
+    /// Stamps in delivery order.
+    pub fn stamps(&self) -> &[ClusterStamp] {
+        &self.stamps
+    }
+
+    /// Number of full-width stamps recorded (cluster receives + markers).
+    pub fn num_cluster_receives(&self) -> usize {
+        self.num_cluster_receives
+    }
+
+    /// Cluster merges performed.
+    pub fn num_merges(&self) -> usize {
+        self.num_merges
+    }
+
+    /// Migrations performed.
+    pub fn num_migrations(&self) -> usize {
+        self.num_migrations
+    }
+
+    /// Number of final clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.num_clusters()
+    }
+
+    fn greatest_cr(&self, q: ProcessId, known: u32) -> Option<&ClusterStamp> {
+        let list = &self.crs[q.idx()];
+        let i = list.partition_point(|r| r.index <= known);
+        (i > 0).then(|| &self.stamps[list[i - 1].pos as usize])
+    }
+
+    /// Exact precedence test (same routing as the base engine).
+    pub fn precedes(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        let need = e.index.0;
+        match &self.stamps[trace.delivery_pos(f)] {
+            ClusterStamp::Full { clock } => clock.get(e.process) >= need,
+            ClusterStamp::Projected { version, clock } => {
+                let v = FluidVersionId(version.0);
+                if let Some(pos) = self.clusters.position(v, e.process) {
+                    return clock[pos] >= need;
+                }
+                for (pos, &q) in self.clusters.members(v).iter().enumerate() {
+                    let known = clock[pos];
+                    if known == 0 {
+                        continue;
+                    }
+                    if let Some(ClusterStamp::Full { clock: cr }) = self.greatest_cr(q, known) {
+                        if cr.get(e.process) >= need {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Space under an encoding policy.
+    pub fn space(&self, enc: Encoding) -> SpaceReport {
+        SpaceReport::measure_from_stamps(&self.stamps, self.num_cluster_receives, enc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::{Oracle, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn check_exact(t: &Trace, mts: &MigratingTimestamps) {
+        let oracle = Oracle::compute(t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    mts.precedes(t, e, f),
+                    oracle.happened_before(t, e, f),
+                    "{e} -> {f}"
+                );
+            }
+        }
+    }
+
+    /// A process whose affinity shifts: P2 first talks to P0/P1, then
+    /// exclusively to P3/P4.
+    fn drifting() -> Trace {
+        let mut b = TraceBuilder::new(5);
+        for _ in 0..4 {
+            let s = b.send(p(0), p(2)).unwrap();
+            b.receive(p(2), s).unwrap();
+            let s = b.send(p(0), p(1)).unwrap();
+            b.receive(p(1), s).unwrap();
+        }
+        for _ in 0..12 {
+            let s = b.send(p(3), p(2)).unwrap();
+            b.receive(p(2), s).unwrap();
+            let s = b.send(p(3), p(4)).unwrap();
+            b.receive(p(4), s).unwrap();
+        }
+        b.finish_complete("drifting").unwrap()
+    }
+
+    #[test]
+    fn fluid_clusters_merge_and_migrate() {
+        let mut fc = FluidClusters::singletons(4);
+        let v = fc.merge(0, 1);
+        assert_eq!(fc.members(v), &[p(0), p(1)]);
+        assert_eq!(fc.slot(p(1)), 0);
+        let v2 = fc.merge(2, 3);
+        assert_eq!(fc.members(v2), &[p(2), p(3)]);
+        // Migrate P1 into {2,3}.
+        let v3 = fc.migrate(p(1), 2);
+        assert_eq!(fc.members(v3), &[p(1), p(2), p(3)]);
+        assert_eq!(fc.slot(p(1)), 2);
+        assert_eq!(fc.size_of_slot(0), 1);
+        // Old snapshots untouched.
+        assert_eq!(fc.members(v), &[p(0), p(1)]);
+        assert_eq!(fc.num_clusters(), 2);
+    }
+
+    #[test]
+    fn migration_happens_on_drifting_affinity() {
+        let t = drifting();
+        // Small clusters; merging {0,1,2} with {3,4} is blocked at max 3.
+        let mts = MigratingEngine::run(&t, 3, 0.0, 3);
+        assert!(
+            mts.num_migrations() >= 1,
+            "expected P2 to migrate, got {} migrations",
+            mts.num_migrations()
+        );
+        check_exact(&t, &mts);
+    }
+
+    #[test]
+    fn migration_reduces_cluster_receives_vs_no_migration() {
+        let t = drifting();
+        let with = MigratingEngine::run(&t, 3, 0.0, 3);
+        let without = MigratingEngine::run(&t, 3, 0.0, u32::MAX - 1);
+        assert!(
+            with.num_cluster_receives() < without.num_cluster_receives(),
+            "migration {} !< frozen {}",
+            with.num_cluster_receives(),
+            without.num_cluster_receives()
+        );
+        check_exact(&t, &without);
+    }
+
+    #[test]
+    fn exactness_across_parameter_grid() {
+        let t = drifting();
+        for max_cs in [1, 2, 3, 5] {
+            for threshold in [0.0, 1.0] {
+                for migrate_after in [1, 2, 100] {
+                    let mts = MigratingEngine::run(&t, max_cs, threshold, migrate_after);
+                    check_exact(&t, &mts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_with_sync_events() {
+        let mut b = TraceBuilder::new(4);
+        for _ in 0..3 {
+            b.sync(p(0), p(1)).unwrap();
+            b.sync(p(2), p(3)).unwrap();
+            b.sync(p(1), p(2)).unwrap();
+        }
+        let t = b.finish_complete("sync-drift").unwrap();
+        for migrate_after in [1, 3] {
+            let mts = MigratingEngine::run(&t, 2, 0.0, migrate_after);
+            check_exact(&t, &mts);
+        }
+    }
+
+    #[test]
+    fn space_accounting_works() {
+        let t = drifting();
+        let mts = MigratingEngine::run(&t, 3, 0.0, 3);
+        let r = mts.space(Encoding::paper_default(5, 3));
+        assert!(r.ratio > 0.0 && r.ratio <= 1.0);
+        assert_eq!(r.num_events, t.num_events());
+    }
+}

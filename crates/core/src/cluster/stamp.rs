@@ -1,0 +1,86 @@
+//! The per-event cluster timestamp representation.
+
+use super::membership::{ClusterSets, ClusterVersionId};
+use crate::clock::VectorClock;
+use cts_model::ProcessId;
+
+/// A cluster timestamp: either a projection of the event's Fidge/Mattern
+/// stamp onto its cluster (the common case) or, for non-mergeable cluster
+/// receives, the full Fidge/Mattern stamp (§2.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterStamp {
+    /// Projection over the member list of `version` (component `i` belongs to
+    /// `sets.members(version)[i]`).
+    Projected {
+        version: ClusterVersionId,
+        clock: Box<[u32]>,
+    },
+    /// A non-mergeable cluster receive carrying its full Fidge/Mattern stamp.
+    Full { clock: VectorClock },
+}
+
+impl ClusterStamp {
+    /// Was this event a (non-mergeable) cluster receive?
+    #[inline]
+    pub fn is_cluster_receive(&self) -> bool {
+        matches!(self, ClusterStamp::Full { .. })
+    }
+
+    /// This stamp's knowledge of process `q`: how many events of `q` are in
+    /// the stamped event's causal past. `None` when the stamp is projected
+    /// and `q` is outside the cluster (the information precedence queries
+    /// recover via cluster receives).
+    pub fn component(&self, sets: &ClusterSets, q: ProcessId) -> Option<u32> {
+        match self {
+            ClusterStamp::Full { clock } => Some(clock.get(q)),
+            ClusterStamp::Projected { version, clock } => {
+                sets.position(*version, q).map(|i| clock[i])
+            }
+        }
+    }
+
+    /// Number of vector elements this stamp actually stores (`c` for
+    /// projected stamps, `N` for cluster receives).
+    pub fn actual_width(&self) -> usize {
+        match self {
+            ClusterStamp::Full { clock } => clock.len(),
+            ClusterStamp::Projected { clock, .. } => clock.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn component_lookup_projected() {
+        let mut sets = ClusterSets::singletons(4);
+        let (ra, rb) = (sets.find(p(1)), sets.find(p(3)));
+        let (_, v) = sets.merge(ra, rb);
+        let s = ClusterStamp::Projected {
+            version: v,
+            clock: vec![5, 9].into_boxed_slice(), // members [P1, P3]
+        };
+        assert_eq!(s.component(&sets, p(1)), Some(5));
+        assert_eq!(s.component(&sets, p(3)), Some(9));
+        assert_eq!(s.component(&sets, p(0)), None);
+        assert!(!s.is_cluster_receive());
+        assert_eq!(s.actual_width(), 2);
+    }
+
+    #[test]
+    fn component_lookup_full() {
+        let sets = ClusterSets::singletons(3);
+        let s = ClusterStamp::Full {
+            clock: VectorClock::from_vec(vec![1, 2, 3]),
+        };
+        assert_eq!(s.component(&sets, p(2)), Some(3));
+        assert!(s.is_cluster_receive());
+        assert_eq!(s.actual_width(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! k-medoid clustering of processes — the approach §3.1 evaluated and
+//! rejected.
+//!
+//! Kept as an ablation: it selects the *number* of clusters rather than
+//! bounding their *size*, so "many processes were grouped within a single
+//! cluster, while the remaining clusters were sparse", which defeats the
+//! cluster timestamp. The experiments in `cts-analysis` reproduce that
+//! observation.
+
+use super::Clustering;
+use cts_model::{comm::CommMatrix, ProcessId};
+
+/// Dissimilarity between two processes: communication makes processes close.
+#[inline]
+fn dist(m: &CommMatrix, p: ProcessId, q: ProcessId) -> f64 {
+    if p == q {
+        0.0
+    } else {
+        1.0 / (1.0 + m.count(p, q) as f64)
+    }
+}
+
+/// Partition the processes into (at most) `k` clusters around medoids,
+/// PAM-style: seed medoids with the `k` most communicative processes, then
+/// alternate assignment and medoid update until stable (or `max_iters`).
+///
+/// Note what this deliberately does **not** do: bound cluster sizes. That is
+/// the paper's criticism of the method.
+pub fn kmedoid(m: &CommMatrix, k: usize, max_iters: usize) -> Clustering {
+    let n = m.num_processes();
+    assert!(k >= 1, "need at least one medoid");
+    let k = k.min(n);
+
+    // Seed: the k processes with the highest total communication volume,
+    // which is deterministic and mirrors "central" processes.
+    let mut volume: Vec<(u64, u32)> = (0..n)
+        .map(|p| {
+            let v: u64 = (0..n)
+                .map(|q| m.count(ProcessId(p as u32), ProcessId(q as u32)))
+                .sum();
+            (v, p as u32)
+        })
+        .collect();
+    volume.sort_unstable_by(|a, b| b.cmp(a));
+    let mut medoids: Vec<u32> = volume.iter().take(k).map(|&(_, p)| p).collect();
+    medoids.sort_unstable();
+
+    let mut assign = vec![0u32; n];
+    for _ in 0..max_iters {
+        // Assignment step: each process to its nearest medoid (ties toward
+        // the lowest medoid id, which is what produces the lopsided clusters
+        // the paper observed on weakly-connected processes).
+        for p in 0..n {
+            let mut best = f64::INFINITY;
+            let mut best_m = 0u32;
+            for (mi, &med) in medoids.iter().enumerate() {
+                let d = dist(m, ProcessId(p as u32), ProcessId(med));
+                if d < best {
+                    best = d;
+                    best_m = mi as u32;
+                }
+            }
+            assign[p] = best_m;
+        }
+        // Update step: medoid = member minimizing intra-cluster distance sum.
+        let mut changed = false;
+        for mi in 0..medoids.len() {
+            let members: Vec<u32> = (0..n as u32).filter(|&p| assign[p as usize] == mi as u32).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best_cost = f64::INFINITY;
+            let mut best_p = medoids[mi];
+            for &cand in &members {
+                let cost: f64 = members
+                    .iter()
+                    .map(|&q| dist(m, ProcessId(cand), ProcessId(q)))
+                    .sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_p = cand;
+                }
+            }
+            if best_p != medoids[mi] {
+                medoids[mi] = best_p;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final assignment with the settled medoids.
+    let mut groups: Vec<Vec<ProcessId>> = vec![Vec::new(); medoids.len()];
+    for p in 0..n {
+        let mut best = f64::INFINITY;
+        let mut best_m = 0usize;
+        for (mi, &med) in medoids.iter().enumerate() {
+            let d = dist(m, ProcessId(p as u32), ProcessId(med));
+            if d < best {
+                best = d;
+                best_m = mi;
+            }
+        }
+        groups[best_m].push(ProcessId(p as u32));
+    }
+    groups.retain(|g| !g.is_empty());
+    Clustering::new(groups).expect("kmedoid produces a partition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn separates_two_obvious_groups() {
+        let mut m = CommMatrix::zero(6);
+        // group A: 0,1,2 densely connected; group B: 3,4,5.
+        for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+            m.add(p(a), p(b), 10);
+        }
+        for (a, b) in [(3, 4), (3, 5), (4, 5)] {
+            m.add(p(a), p(b), 10);
+        }
+        let c = kmedoid(&m, 2, 20);
+        c.validate(6).unwrap();
+        assert_eq!(c.num_clusters(), 2);
+        let a = c.assignment(6);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[0], a[2]);
+        assert_eq!(a[3], a[4]);
+        assert_ne!(a[0], a[3]);
+    }
+
+    #[test]
+    fn produces_unbalanced_clusters_on_hub_patterns() {
+        // A scatter-gather hub: process 0 talks to everyone, the workers talk
+        // to nobody else. k-medoid lumps every worker with the hub — the
+        // degenerate outcome §3.1 describes.
+        let mut m = CommMatrix::zero(9);
+        for w in 1..9u32 {
+            m.add(p(0), p(w), 5);
+        }
+        let c = kmedoid(&m, 3, 20);
+        c.validate(9).unwrap();
+        assert!(
+            c.max_cluster_size() >= 7,
+            "expected one dominant cluster, got sizes {:?}",
+            c.clusters().iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn k_capped_by_n() {
+        let m = CommMatrix::zero(3);
+        let c = kmedoid(&m, 10, 5);
+        c.validate(3).unwrap();
+        assert!(c.num_clusters() <= 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline (static) clustering algorithms over a trace's communication
+//! structure (§3.1 of the paper).
+//!
+//! A [`Clustering`] is a partition of the process set. The paper's static
+//! algorithm is [`greedy_pairwise`]; [`contiguous`] is the fixed-contiguous
+//! baseline of the earlier Ward/Taylor evaluations, and [`kmedoid`] is the
+//! approach §3.1 considered and rejected (kept here for the ablation
+//! experiments that demonstrate *why* it was rejected).
+
+mod greedy;
+mod kmed;
+
+pub use greedy::{
+    greedy_pairwise, greedy_pairwise_unnormalized, greedy_pairwise_with_trace, GreedyStep,
+    GreedyTrace,
+};
+pub use kmed::kmedoid;
+
+/// Free-function form of [`Clustering::contiguous`], convenient as a
+/// clusterer callback.
+pub fn contiguous_of(n: u32, max_cs: usize) -> Clustering {
+    Clustering::contiguous(n, max_cs)
+}
+
+use cts_model::ProcessId;
+use std::fmt;
+
+/// Errors from [`Clustering::new`] / [`Clustering::validate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClusteringError {
+    /// A process appears in two clusters (or twice in one).
+    Duplicate(ProcessId),
+    /// A process id is out of range for the declared process count.
+    OutOfRange(ProcessId),
+    /// Some process in `0..n` appears in no cluster.
+    Missing(ProcessId),
+    /// A cluster has no members.
+    EmptyCluster,
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::Duplicate(p) => write!(f, "process {p} in two clusters"),
+            ClusteringError::OutOfRange(p) => write!(f, "process {p} out of range"),
+            ClusteringError::Missing(p) => write!(f, "process {p} missing from partition"),
+            ClusteringError::EmptyCluster => write!(f, "empty cluster"),
+        }
+    }
+}
+
+impl std::error::Error for ClusteringError {}
+
+/// A partition of the process set into clusters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    clusters: Vec<Vec<ProcessId>>,
+}
+
+impl Clustering {
+    /// Build from explicit member lists; rejects empty clusters and duplicate
+    /// processes (full partition coverage is checked by
+    /// [`validate`](Self::validate), which needs `n`).
+    pub fn new(clusters: Vec<Vec<ProcessId>>) -> Result<Clustering, ClusteringError> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            if c.is_empty() {
+                return Err(ClusteringError::EmptyCluster);
+            }
+            for &m in c {
+                if !seen.insert(m) {
+                    return Err(ClusteringError::Duplicate(m));
+                }
+            }
+        }
+        Ok(Clustering { clusters })
+    }
+
+    /// Validate that this is a partition of exactly `0..n`.
+    pub fn validate(&self, n: u32) -> Result<(), ClusteringError> {
+        let mut seen = vec![false; n as usize];
+        for c in &self.clusters {
+            for &m in c {
+                if m.0 >= n {
+                    return Err(ClusteringError::OutOfRange(m));
+                }
+                if seen[m.idx()] {
+                    return Err(ClusteringError::Duplicate(m));
+                }
+                seen[m.idx()] = true;
+            }
+        }
+        if let Some(i) = seen.iter().position(|&s| !s) {
+            return Err(ClusteringError::Missing(ProcessId(i as u32)));
+        }
+        Ok(())
+    }
+
+    /// The member lists.
+    pub fn clusters(&self) -> &[Vec<ProcessId>] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Size of the largest cluster.
+    pub fn max_cluster_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `assignment[p]` = index of the cluster containing process `p`.
+    pub fn assignment(&self, n: u32) -> Vec<u32> {
+        let mut a = vec![u32::MAX; n as usize];
+        for (ci, c) in self.clusters.iter().enumerate() {
+            for &m in c {
+                a[m.idx()] = ci as u32;
+            }
+        }
+        a
+    }
+
+    /// Every process in its own cluster.
+    pub fn singletons(n: u32) -> Clustering {
+        Clustering {
+            clusters: (0..n).map(|p| vec![ProcessId(p)]).collect(),
+        }
+    }
+
+    /// Fixed contiguous clusters of at most `max_cs` processes: `{0..c-1},
+    /// {c..2c-1}, …` — the clustering used in the original Ward/Taylor
+    /// evaluation, sensitive to process numbering by construction.
+    pub fn contiguous(n: u32, max_cs: usize) -> Clustering {
+        assert!(max_cs >= 1, "cluster size must be positive");
+        let clusters = (0..n)
+            .step_by(max_cs)
+            .map(|start| {
+                (start..(start + max_cs as u32).min(n))
+                    .map(ProcessId)
+                    .collect()
+            })
+            .collect();
+        Clustering { clusters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn new_rejects_duplicates_and_empties() {
+        assert_eq!(
+            Clustering::new(vec![vec![p(0)], vec![p(0)]]),
+            Err(ClusteringError::Duplicate(p(0)))
+        );
+        assert_eq!(
+            Clustering::new(vec![vec![]]),
+            Err(ClusteringError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    fn validate_checks_coverage_and_range() {
+        let c = Clustering::new(vec![vec![p(0), p(2)]]).unwrap();
+        assert_eq!(c.validate(3), Err(ClusteringError::Missing(p(1))));
+        assert_eq!(c.validate(2), Err(ClusteringError::OutOfRange(p(2))));
+        let full = Clustering::new(vec![vec![p(0), p(2)], vec![p(1)]]).unwrap();
+        assert_eq!(full.validate(3), Ok(()));
+    }
+
+    #[test]
+    fn contiguous_blocks() {
+        let c = Clustering::contiguous(7, 3);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.clusters()[0], vec![p(0), p(1), p(2)]);
+        assert_eq!(c.clusters()[2], vec![p(6)]);
+        assert_eq!(c.max_cluster_size(), 3);
+        c.validate(7).unwrap();
+    }
+
+    #[test]
+    fn assignment_maps_back() {
+        let c = Clustering::new(vec![vec![p(1), p(2)], vec![p(0)]]).unwrap();
+        assert_eq!(c.assignment(3), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn singletons_cover_everything() {
+        let c = Clustering::singletons(5);
+        assert_eq!(c.num_clusters(), 5);
+        c.validate(5).unwrap();
+        assert_eq!(c.max_cluster_size(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! The collect-then-cluster hybrid (§5, future work, first variant):
+//! "collect a significant number of events before performing a static
+//! clustering and subsequent timestamp operation. Such an approach will
+//! require a mechanism for precedence determination for those events that
+//! have yet to receive a cluster timestamp."
+//!
+//! Our mechanism for the un-clustered prefix is the degenerate cluster
+//! timestamp itself: during the prefix every process is a singleton cluster,
+//! so every cross-process receive is a cluster receive carrying its full
+//! Fidge/Mattern stamp — precedence works throughout, at full-width cost for
+//! the prefix only. At the pivot the Figure 3 clustering of the prefix's
+//! communication is imposed (clusters only ever grow, so all invariants
+//! hold), and the remainder of the computation is stamped at projected width.
+
+use crate::cluster::engine::{ClusterEngine, ClusterTimestamps};
+use crate::clustering::{greedy_pairwise, Clustering};
+use crate::strategy::NeverMerge;
+use cts_model::{comm::CommMatrix, EventKind, Trace};
+
+/// Outcome of a hybrid run: the clustering chosen at the pivot and the full
+/// timestamp structure.
+pub struct HybridResult {
+    /// The clustering computed from the prefix.
+    pub clustering: Clustering,
+    /// Timestamps for the entire trace (prefix at full width, rest projected).
+    pub timestamps: ClusterTimestamps,
+    /// Number of events observed before the pivot.
+    pub prefix_len: usize,
+}
+
+/// Run the hybrid pipeline: observe `prefix_len` events with singleton
+/// clusters, cluster the prefix's communication with the Figure 3 greedy
+/// algorithm under `max_cs`, then continue statically.
+pub fn hybrid_pipeline(trace: &Trace, prefix_len: usize, max_cs: usize) -> HybridResult {
+    let n = trace.num_processes();
+    let prefix_len = prefix_len.min(trace.num_events());
+    let mut eng = ClusterEngine::new(n, NeverMerge);
+    let mut prefix_comm = CommMatrix::zero(n as usize);
+    for (pos, &ev) in trace.events().iter().enumerate() {
+        if pos == prefix_len {
+            let clustering = greedy_pairwise(&prefix_comm, max_cs);
+            eng.merge_partition(&clustering);
+        }
+        if pos < prefix_len {
+            match ev.kind {
+                EventKind::Receive { from } => prefix_comm.add(ev.process(), from.process, 1),
+                EventKind::Sync { peer } => prefix_comm.add(ev.process(), peer.process, 1),
+                _ => {}
+            }
+        }
+        eng.accept(ev);
+    }
+    // Pivot at end-of-trace if the prefix covered everything.
+    let clustering = if prefix_len >= trace.num_events() {
+        let c = greedy_pairwise(&prefix_comm, max_cs);
+        eng.merge_partition(&c);
+        c
+    } else {
+        eng.final_partition_snapshot()
+    };
+    HybridResult {
+        clustering,
+        timestamps: eng.finish(),
+        prefix_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::space::{Encoding, SpaceReport};
+    use crate::two_pass::static_pipeline;
+    use cts_model::{Oracle, ProcessId, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn grouped_trace(rounds: usize) -> Trace {
+        let mut b = TraceBuilder::new(6);
+        for _ in 0..rounds {
+            for g in 0..3u32 {
+                let (x, y) = (2 * g, 2 * g + 1);
+                let s = b.send(p(x), p(y)).unwrap();
+                b.receive(p(y), s).unwrap();
+            }
+        }
+        b.finish_complete("grouped").unwrap()
+    }
+
+    #[test]
+    fn hybrid_precedence_is_exact() {
+        let t = grouped_trace(6);
+        for prefix in [0, 7, t.num_events(), t.num_events() + 10] {
+            let h = hybrid_pipeline(&t, prefix, 2);
+            let oracle = Oracle::compute(&t);
+            for e in t.all_event_ids() {
+                for f in t.all_event_ids() {
+                    assert_eq!(
+                        h.timestamps.precedes(&t, e, f),
+                        oracle.happened_before(&t, e, f),
+                        "prefix {prefix}: {e} -> {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_finds_the_same_clusters_as_static() {
+        let t = grouped_trace(6);
+        let h = hybrid_pipeline(&t, 12, 2);
+        let (static_clustering, _) = static_pipeline(&t, 2);
+        assert_eq!(
+            h.clustering.assignment(6),
+            static_clustering.assignment(6)
+        );
+    }
+
+    #[test]
+    fn hybrid_costs_between_static_and_never_merge() {
+        let t = grouped_trace(8);
+        let enc = Encoding::Fixed {
+            fm_width: 300,
+            cluster_width: 2,
+        };
+        let (_, st) = static_pipeline(&t, 2);
+        let static_ratio = SpaceReport::measure(&st, enc).ratio;
+        let h_small = hybrid_pipeline(&t, 6, 2);
+        let r_small = SpaceReport::measure(&h_small.timestamps, enc).ratio;
+        let h_all = hybrid_pipeline(&t, t.num_events(), 2);
+        let r_all = SpaceReport::measure(&h_all.timestamps, enc).ratio;
+        assert!(static_ratio <= r_small + 1e-12);
+        assert!(r_small <= r_all + 1e-12);
+    }
+}

@@ -1,0 +1,57 @@
+//! # cts-core — cluster timestamps and clustering strategies
+//!
+//! The primary contribution of *Clustering Strategies for Cluster Timestamps*
+//! (Ward, Huang & Taylor, ICPP 2004), implemented from scratch:
+//!
+//! - [`fm`]: the Fidge/Mattern vector timestamp, computed centrally in the
+//!   monitoring entity (§2.2) — both an online engine and a full store;
+//! - [`cluster`]: the self-organizing hierarchical cluster timestamp (§2.3):
+//!   projected stamps for intra-cluster events, full stamps for cluster
+//!   receives, exact precedence queries routed through per-process
+//!   cluster-receive chains, and space accounting under the paper's
+//!   fixed-vector encoding assumptions;
+//! - [`strategy`]: the dynamic clustering strategies (§3.2) —
+//!   merge-on-1st-communication and the paper's new
+//!   merge-on-Nth-communication with normalized thresholds;
+//! - [`clustering`]: the static clustering algorithms (§3.1) — the Figure 3
+//!   greedy pairwise algorithm, the fixed-contiguous baseline, and the
+//!   rejected k-medoid approach kept for ablations;
+//! - [`two_pass`]: the static cluster-then-timestamp pipeline;
+//! - [`hybrid`]: the paper's future-work variant — collect a prefix of
+//!   events, cluster statically, then continue dynamically.
+//!
+//! Every precedence algorithm in this crate is exact: property tests validate
+//! them against the ground-truth transitive closure in `cts-model`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cts_core::cluster::{ClusterEngine, Encoding, SpaceReport};
+//! use cts_core::strategy::MergeOnFirst;
+//! use cts_model::{ProcessId, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new(2);
+//! let s = b.send(ProcessId(0), ProcessId(1)).unwrap();
+//! let r = b.receive(ProcessId(1), s).unwrap();
+//! let trace = b.finish("example");
+//!
+//! let cts = ClusterEngine::run(&trace, MergeOnFirst::new(2));
+//! assert!(cts.precedes(&trace, s.event(), r));
+//! let report = SpaceReport::measure(&cts, Encoding::paper_default(2, 2));
+//! assert!(report.ratio < 1.0);
+//! ```
+
+pub mod clock;
+pub mod cluster;
+pub mod clustering;
+pub mod fm;
+pub mod hierarchy;
+pub mod hybrid;
+pub mod strategy;
+pub mod two_pass;
+
+pub use clock::VectorClock;
+pub use cluster::{ClusterEngine, ClusterStamp, ClusterTimestamps, Encoding, SpaceReport};
+pub use clustering::Clustering;
+pub use fm::{FmEngine, FmStore};
+pub use strategy::{MergeOnFirst, MergeOnNth, MergePolicy, NeverMerge};

@@ -1,0 +1,69 @@
+//! Merge-on-1st-communication: the original Ward/Taylor dynamic strategy.
+
+use super::MergePolicy;
+use crate::cluster::membership::ClusterSets;
+
+/// Merge the two clusters on the **first** cluster receive between them,
+/// whenever the merged size fits within `max_cluster_size`.
+///
+/// This is the only dynamic strategy evaluated prior to this paper. It can
+/// produce excellent space reduction, but only if `max_cluster_size` happens
+/// to suit the computation — the sensitivity the paper's Figure 4 exhibits
+/// and its §3.2 criticizes.
+#[derive(Clone, Copy, Debug)]
+pub struct MergeOnFirst {
+    max_cluster_size: usize,
+}
+
+impl MergeOnFirst {
+    /// Strategy with the given maximum cluster size.
+    pub fn new(max_cluster_size: usize) -> MergeOnFirst {
+        assert!(max_cluster_size >= 1, "cluster size must be positive");
+        MergeOnFirst { max_cluster_size }
+    }
+
+    /// The configured maximum cluster size.
+    pub fn max_cluster_size(&self) -> usize {
+        self.max_cluster_size
+    }
+}
+
+impl MergePolicy for MergeOnFirst {
+    fn on_cluster_receive(
+        &mut self,
+        receiver_root: u32,
+        sender_root: u32,
+        sets: &ClusterSets,
+    ) -> bool {
+        sets.size_of_root(receiver_root) + sets.size_of_root(sender_root)
+            <= self.max_cluster_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::ProcessId;
+
+    #[test]
+    fn merges_while_size_allows() {
+        let mut sets = ClusterSets::singletons(4);
+        let mut pol = MergeOnFirst::new(2);
+        assert!(pol.on_cluster_receive(0, 1, &sets));
+        let (ra, rb) = (sets.find(ProcessId(0)), sets.find(ProcessId(1)));
+        sets.merge(ra, rb);
+        // {0,1} + {2} = 3 > 2: refused.
+        let r01 = sets.find(ProcessId(0));
+        let r2 = sets.find(ProcessId(2));
+        assert!(!pol.on_cluster_receive(r01, r2, &sets));
+        // {2} + {3} still fits.
+        let r3 = sets.find(ProcessId(3));
+        assert!(pol.on_cluster_receive(r2, r3, &sets));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        MergeOnFirst::new(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Merge-on-Nth-communication: the paper's new dynamic strategy (§3.2).
+//!
+//! A matrix tracks the number of cluster receives observed so far between
+//! every pair of current clusters. On each cluster receive the count is
+//! incremented and normalized by the combined size of the two clusters (the
+//! same normalization as the static algorithm); the clusters merge when the
+//! normalized count **exceeds** the threshold. With a threshold of 0 the
+//! strategy degenerates to merge-on-1st-communication.
+
+use super::MergePolicy;
+use crate::cluster::membership::ClusterSets;
+
+/// Merge two clusters once their normalized cluster-receive count passes a
+/// threshold, subject to a maximum merged size.
+#[derive(Clone, Debug)]
+pub struct MergeOnNth {
+    max_cluster_size: usize,
+    threshold: f64,
+    /// Symmetric cluster-receive counts between clusters, indexed by
+    /// union-find root: `counts[ra * n + rb]`. Folded on merge.
+    counts: Vec<u64>,
+    n: usize,
+}
+
+impl MergeOnNth {
+    /// Strategy with a maximum merged cluster size and a normalized
+    /// cluster-receive threshold (the paper evaluates thresholds 5 and 10).
+    pub fn new(num_processes: u32, max_cluster_size: usize, threshold: f64) -> MergeOnNth {
+        assert!(max_cluster_size >= 1, "cluster size must be positive");
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        let n = num_processes as usize;
+        MergeOnNth {
+            max_cluster_size,
+            threshold,
+            counts: vec![0; n * n],
+            n,
+        }
+    }
+
+    /// The configured maximum cluster size.
+    pub fn max_cluster_size(&self) -> usize {
+        self.max_cluster_size
+    }
+
+    /// The configured normalized threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Accumulated cluster-receive count between two current roots.
+    pub fn pair_count(&self, ra: u32, rb: u32) -> u64 {
+        self.counts[ra as usize * self.n + rb as usize]
+    }
+}
+
+impl MergePolicy for MergeOnNth {
+    fn on_cluster_receive(
+        &mut self,
+        receiver_root: u32,
+        sender_root: u32,
+        sets: &ClusterSets,
+    ) -> bool {
+        let (ra, rb) = (receiver_root as usize, sender_root as usize);
+        self.counts[ra * self.n + rb] += 1;
+        self.counts[rb * self.n + ra] = self.counts[ra * self.n + rb];
+        let combined = sets.size_of_root(receiver_root) + sets.size_of_root(sender_root);
+        if combined > self.max_cluster_size {
+            return false;
+        }
+        let normalized = self.counts[ra * self.n + rb] as f64 / combined as f64;
+        normalized > self.threshold
+    }
+
+    fn after_merge(&mut self, old_root_a: u32, old_root_b: u32, new_root: u32) {
+        // Fold the dead root's row/column into the surviving root so future
+        // normalized counts see the union's history.
+        let dead = if new_root == old_root_a {
+            old_root_b
+        } else {
+            old_root_a
+        } as usize;
+        let live = new_root as usize;
+        debug_assert_ne!(dead, live);
+        for x in 0..self.n {
+            if x == live || x == dead {
+                continue;
+            }
+            let c = self.counts[dead * self.n + x];
+            self.counts[live * self.n + x] += c;
+            self.counts[x * self.n + live] = self.counts[live * self.n + x];
+            self.counts[dead * self.n + x] = 0;
+            self.counts[x * self.n + dead] = 0;
+        }
+        self.counts[live * self.n + dead] = 0;
+        self.counts[dead * self.n + live] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::ProcessId;
+
+    #[test]
+    fn threshold_zero_degenerates_to_merge_on_first() {
+        let sets = ClusterSets::singletons(3);
+        let mut pol = MergeOnNth::new(3, 2, 0.0);
+        // First CR: count 1, normalized 0.5 > 0 → merge immediately.
+        assert!(pol.on_cluster_receive(0, 1, &sets));
+    }
+
+    #[test]
+    fn merges_only_after_enough_communication() {
+        let sets = ClusterSets::singletons(2);
+        // Threshold 1.0 with two singletons: need count/2 > 1, i.e. count 3.
+        let mut pol = MergeOnNth::new(2, 2, 1.0);
+        assert!(!pol.on_cluster_receive(0, 1, &sets));
+        assert!(!pol.on_cluster_receive(0, 1, &sets));
+        assert!(pol.on_cluster_receive(0, 1, &sets));
+        assert_eq!(pol.pair_count(0, 1), 3);
+    }
+
+    #[test]
+    fn size_limit_blocks_merge_but_still_counts() {
+        let mut sets = ClusterSets::singletons(3);
+        let (ra, rb) = (sets.find(ProcessId(0)), sets.find(ProcessId(1)));
+        let (new_root, _) = sets.merge(ra, rb);
+        let mut pol = MergeOnNth::new(3, 2, 0.0);
+        let r2 = sets.find(ProcessId(2));
+        assert!(!pol.on_cluster_receive(new_root, r2, &sets));
+        assert_eq!(pol.pair_count(new_root, r2), 1);
+    }
+
+    #[test]
+    fn after_merge_folds_counts() {
+        let sets = ClusterSets::singletons(4);
+        let mut pol = MergeOnNth::new(4, 4, 100.0); // never merges by itself
+        pol.on_cluster_receive(0, 2, &sets);
+        pol.on_cluster_receive(1, 2, &sets);
+        pol.on_cluster_receive(1, 2, &sets);
+        // Suppose the engine merged 0 and 1 into root 0.
+        pol.after_merge(0, 1, 0);
+        assert_eq!(pol.pair_count(0, 2), 3);
+        assert_eq!(pol.pair_count(1, 2), 0);
+        // Symmetry maintained.
+        assert_eq!(pol.pair_count(2, 0), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Dynamic clustering strategies (§3.2).
+//!
+//! A [`MergePolicy`] is consulted by the online
+//! [`ClusterEngine`](crate::cluster::ClusterEngine) exactly at the point §2.3
+//! identifies as "the point of intersection of the two algorithms": when an
+//! event turns out to be a *cluster receive*, the policy decides whether the
+//! receiver's and sender's clusters merge (making the event an ordinary,
+//! projectable event) or stay apart (leaving the event a full-width cluster
+//! receive).
+//!
+//! Implementations may only look at events once and can never un-merge — the
+//! constraints §1.2 places on dynamic clustering.
+
+mod merge_first;
+mod merge_nth;
+
+pub use merge_first::MergeOnFirst;
+pub use merge_nth::MergeOnNth;
+
+use crate::cluster::membership::ClusterSets;
+
+/// Decides whether two clusters merge when a cluster receive occurs between
+/// them.
+pub trait MergePolicy {
+    /// A cluster receive occurred on a process of the cluster rooted at
+    /// `receiver_root`, from a process of the cluster rooted at
+    /// `sender_root`. Return `true` to merge the two clusters.
+    ///
+    /// Implementations are responsible for enforcing their own maximum
+    /// cluster size; the engine merges unconditionally when `true` is
+    /// returned.
+    fn on_cluster_receive(
+        &mut self,
+        receiver_root: u32,
+        sender_root: u32,
+        sets: &ClusterSets,
+    ) -> bool;
+
+    /// Called after the engine performs a merge, so policies with per-pair
+    /// bookkeeping can fold state from the two old roots into the new root.
+    fn after_merge(&mut self, old_root_a: u32, old_root_b: u32, new_root: u32) {
+        let _ = (old_root_a, old_root_b, new_root);
+    }
+}
+
+/// Never merge: every process stays a singleton cluster and every
+/// cross-process receive is a cluster receive. Control case; with a fixed
+/// encoding this collapses to (almost) Fidge/Mattern behaviour.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeverMerge;
+
+impl MergePolicy for NeverMerge {
+    fn on_cluster_receive(&mut self, _r: u32, _s: u32, _sets: &ClusterSets) -> bool {
+        false
+    }
+}
+
+/// The policy behind the static two-pass mode: clusters are pre-determined
+/// ([`ClusterSets::from_partition`]) and never change, so every cluster
+/// receive is non-mergeable by definition (§3.2's "the static clustering
+/// algorithm might be used … two passes over the event data").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticClusters;
+
+impl MergePolicy for StaticClusters {
+    fn on_cluster_receive(&mut self, _r: u32, _s: u32, _sets: &ClusterSets) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_merge_always_declines() {
+        let sets = ClusterSets::singletons(4);
+        let mut p = NeverMerge;
+        assert!(!p.on_cluster_receive(0, 1, &sets));
+        let mut s = StaticClusters;
+        assert!(!s.on_cluster_receive(2, 3, &sets));
+    }
+}

@@ -1,0 +1,113 @@
+//! The two-pass static pipeline (§3.2, first paragraph): pass one clusters
+//! the event data, pass two timestamps it.
+
+use crate::cluster::engine::{run_static, ClusterTimestamps};
+use crate::clustering::{greedy_pairwise, Clustering};
+use cts_model::{comm::CommMatrix, Trace};
+
+/// Run the full static pipeline of §4's "cluster timestamps using the static
+/// clustering algorithm": count communication occurrences, cluster greedily
+/// (Figure 3) under `max_cs`, then timestamp the trace against the fixed
+/// clustering. Returns both the clustering and the timestamps.
+pub fn static_pipeline(trace: &Trace, max_cs: usize) -> (Clustering, ClusterTimestamps) {
+    let matrix = CommMatrix::from_trace(trace);
+    let clustering = greedy_pairwise(&matrix, max_cs);
+    let cts = run_static(trace, &clustering);
+    (clustering, cts)
+}
+
+/// As [`static_pipeline`] but with a caller-supplied clusterer (contiguous,
+/// k-medoid, unnormalized greedy, …) for the ablation experiments.
+pub fn static_pipeline_with(
+    trace: &Trace,
+    cluster_fn: impl FnOnce(&CommMatrix) -> Clustering,
+) -> (Clustering, ClusterTimestamps) {
+    let matrix = CommMatrix::from_trace(trace);
+    let clustering = cluster_fn(&matrix);
+    let cts = run_static(trace, &clustering);
+    (clustering, cts)
+}
+
+/// Static timestamping against a pre-counted communication matrix — sweep
+/// drivers compute the matrix once per trace and recluster per cluster size.
+pub fn run_static_with_matrix(
+    trace: &Trace,
+    matrix: &CommMatrix,
+    cluster_fn: impl FnOnce(&CommMatrix) -> Clustering,
+) -> ClusterTimestamps {
+    run_static(trace, &cluster_fn(matrix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::space::{Encoding, SpaceReport};
+    use cts_model::{Oracle, ProcessId, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn locality_trace() -> Trace {
+        // Three groups of two with heavy intra-group traffic and a couple of
+        // stray inter-group messages.
+        let mut b = TraceBuilder::new(6);
+        for round in 0..4 {
+            for g in 0..3u32 {
+                let (a, c) = (2 * g, 2 * g + 1);
+                let s = b.send(p(a), p(c)).unwrap();
+                b.receive(p(c), s).unwrap();
+            }
+            if round == 1 {
+                let s = b.send(p(1), p(2)).unwrap();
+                b.receive(p(2), s).unwrap();
+            }
+        }
+        b.finish_complete("locality").unwrap()
+    }
+
+    #[test]
+    fn pipeline_recovers_the_groups() {
+        let t = locality_trace();
+        let (clustering, cts) = static_pipeline(&t, 2);
+        let a = clustering.assignment(6);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[2], a[3]);
+        assert_eq!(a[4], a[5]);
+        assert_ne!(a[0], a[2]);
+        // Only the stray message crosses clusters.
+        assert_eq!(cts.num_cluster_receives(), 1);
+        let oracle = Oracle::compute(&t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(cts.precedes(&t, e, f), oracle.happened_before(&t, e, f));
+            }
+        }
+    }
+
+    #[test]
+    fn good_clustering_beats_bad_clustering() {
+        let t = locality_trace();
+        let (_, good) = static_pipeline(&t, 2);
+        let (_, bad) = static_pipeline_with(&t, |_| {
+            Clustering::new(vec![
+                vec![p(0), p(2)],
+                vec![p(1), p(4)],
+                vec![p(3), p(5)],
+            ])
+            .unwrap()
+        });
+        let enc = Encoding::Fixed {
+            fm_width: 300,
+            cluster_width: 2,
+        };
+        let rg = SpaceReport::measure(&good, enc);
+        let rb = SpaceReport::measure(&bad, enc);
+        assert!(
+            rg.ratio < rb.ratio,
+            "good {} !< bad {}",
+            rg.ratio,
+            rb.ratio
+        );
+    }
+}

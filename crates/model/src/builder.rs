@@ -1,0 +1,321 @@
+//! Validating trace construction.
+
+use crate::event::{Event, EventId, EventIndex, EventKind, ProcessId};
+use crate::trace::Trace;
+use std::fmt;
+
+/// Errors detected while building a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceError {
+    /// A process id `>= N` was used.
+    UnknownProcess(ProcessId),
+    /// A receive referenced a send token that does not exist or was already
+    /// consumed.
+    UnmatchedReceive { claimed_send: EventId },
+    /// The referenced event exists but is not a send.
+    NotASend(EventId),
+    /// The receive landed on a different process than the send's destination.
+    WrongDestination {
+        send: EventId,
+        expected: ProcessId,
+        got: ProcessId,
+    },
+    /// A process attempted to communicate with itself.
+    SelfCommunication(ProcessId),
+    /// An empty trace (zero processes) was requested.
+    NoProcesses,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            TraceError::UnmatchedReceive { claimed_send } => {
+                write!(f, "receive names send {claimed_send} which is absent or consumed")
+            }
+            TraceError::NotASend(e) => write!(f, "event {e} is not a send"),
+            TraceError::WrongDestination {
+                send,
+                expected,
+                got,
+            } => write!(
+                f,
+                "send {send} is addressed to {expected} but was received on {got}"
+            ),
+            TraceError::SelfCommunication(p) => {
+                write!(f, "process {p} cannot communicate with itself")
+            }
+            TraceError::NoProcesses => write!(f, "a trace needs at least one process"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A token returned by [`TraceBuilder::send`], to be handed to
+/// [`TraceBuilder::receive`] to match the message up.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SendToken(EventId);
+
+impl SendToken {
+    /// The send event this token denotes.
+    pub fn event(self) -> EventId {
+        self.0
+    }
+}
+
+/// Incremental, validating builder for [`Trace`]s.
+///
+/// Events are appended in the order the central monitoring entity would
+/// receive them (the *delivery order*). The builder enforces, at append time,
+/// every invariant [`Trace`] relies on: receives follow their sends, sync
+/// halves are adjacent, processes exist, and no process talks to itself.
+pub struct TraceBuilder {
+    num_processes: u32,
+    events: Vec<Event>,
+    /// Next 1-based event index for each process.
+    next_index: Vec<u32>,
+    /// Pending (sent but not yet received) sends: parallel vecs kept sorted by
+    /// insertion; lookup is by exact `EventId`.
+    pending_sends: Vec<(EventId, ProcessId)>,
+}
+
+impl TraceBuilder {
+    /// Start a trace over `num_processes` processes.
+    pub fn new(num_processes: u32) -> TraceBuilder {
+        TraceBuilder {
+            num_processes,
+            events: Vec::new(),
+            next_index: vec![1; num_processes as usize],
+            pending_sends: Vec::new(),
+        }
+    }
+
+    /// Number of processes the trace is declared over.
+    pub fn num_processes(&self) -> u32 {
+        self.num_processes
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events appended so far on process `p`.
+    pub fn process_len(&self, p: ProcessId) -> u32 {
+        self.next_index
+            .get(p.idx())
+            .map(|n| n - 1)
+            .unwrap_or(0)
+    }
+
+    fn check_process(&self, p: ProcessId) -> Result<(), TraceError> {
+        if p.idx() < self.num_processes as usize {
+            Ok(())
+        } else {
+            Err(TraceError::UnknownProcess(p))
+        }
+    }
+
+    fn fresh_id(&mut self, p: ProcessId) -> EventId {
+        let idx = self.next_index[p.idx()];
+        self.next_index[p.idx()] += 1;
+        EventId::new(p, EventIndex(idx))
+    }
+
+    /// Append a unary (internal) event on `p`.
+    pub fn internal(&mut self, p: ProcessId) -> Result<EventId, TraceError> {
+        self.check_process(p)?;
+        let id = self.fresh_id(p);
+        self.events.push(Event::new(id, EventKind::Internal));
+        Ok(id)
+    }
+
+    /// Append a send event on `from` addressed to `to`; returns a token the
+    /// matching [`receive`](Self::receive) must present.
+    pub fn send(&mut self, from: ProcessId, to: ProcessId) -> Result<SendToken, TraceError> {
+        self.check_process(from)?;
+        self.check_process(to)?;
+        if from == to {
+            return Err(TraceError::SelfCommunication(from));
+        }
+        let id = self.fresh_id(from);
+        self.events.push(Event::new(id, EventKind::Send { to }));
+        self.pending_sends.push((id, to));
+        Ok(SendToken(id))
+    }
+
+    /// Append the receive matching `token` on process `on`.
+    pub fn receive(&mut self, on: ProcessId, token: SendToken) -> Result<EventId, TraceError> {
+        self.check_process(on)?;
+        let send_id = token.0;
+        let slot = self
+            .pending_sends
+            .iter()
+            .position(|(id, _)| *id == send_id)
+            .ok_or(TraceError::UnmatchedReceive {
+                claimed_send: send_id,
+            })?;
+        let (_, expected_to) = self.pending_sends[slot];
+        if expected_to != on {
+            return Err(TraceError::WrongDestination {
+                send: send_id,
+                expected: expected_to,
+                got: on,
+            });
+        }
+        self.pending_sends.swap_remove(slot);
+        let id = self.fresh_id(on);
+        self.events
+            .push(Event::new(id, EventKind::Receive { from: send_id }));
+        Ok(id)
+    }
+
+    /// Append the receive of the send event `send_id` on process `on`,
+    /// identifying the send by id rather than token. Used by deserialization;
+    /// subject to the same validation as [`receive`](Self::receive).
+    pub fn receive_id(&mut self, on: ProcessId, send_id: EventId) -> Result<EventId, TraceError> {
+        self.receive(on, SendToken(send_id))
+    }
+
+    /// Append a synchronous communication between `a` and `b`: two adjacent
+    /// `Sync` halves referencing each other.
+    pub fn sync(&mut self, a: ProcessId, b: ProcessId) -> Result<(EventId, EventId), TraceError> {
+        self.check_process(a)?;
+        self.check_process(b)?;
+        if a == b {
+            return Err(TraceError::SelfCommunication(a));
+        }
+        let ia = self.fresh_id(a);
+        let ib = self.fresh_id(b);
+        self.events.push(Event::new(ia, EventKind::Sync { peer: ib }));
+        self.events.push(Event::new(ib, EventKind::Sync { peer: ia }));
+        Ok((ia, ib))
+    }
+
+    /// Send tokens still lacking a matching receive (messages in flight).
+    pub fn pending(&self) -> impl Iterator<Item = SendToken> + '_ {
+        self.pending_sends.iter().map(|&(id, _)| SendToken(id))
+    }
+
+    /// Finalize into an immutable [`Trace`].
+    ///
+    /// In-flight messages are permitted (a send with no receive is a valid
+    /// computation prefix, exactly what a live monitoring entity sees).
+    pub fn finish(self, name: impl Into<String>) -> Trace {
+        Trace::from_parts(name.into(), self.num_processes, self.events)
+    }
+
+    /// Finalize, but fail if any message is still in flight. Workload
+    /// generators use this to assert they matched every send.
+    pub fn finish_complete(self, name: impl Into<String>) -> Result<Trace, TraceError> {
+        if let Some((id, _)) = self.pending_sends.first() {
+            return Err(TraceError::UnmatchedReceive { claimed_send: *id });
+        }
+        Ok(self.finish(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_delivery_order() {
+        let mut b = TraceBuilder::new(3);
+        let s = b.send(ProcessId(0), ProcessId(2)).unwrap();
+        b.internal(ProcessId(1)).unwrap();
+        b.receive(ProcessId(2), s).unwrap();
+        let (x, y) = b.sync(ProcessId(1), ProcessId(2)).unwrap();
+        assert_eq!(x, EventId::new(ProcessId(1), EventIndex(2)));
+        assert_eq!(y, EventId::new(ProcessId(2), EventIndex(2)));
+        let t = b.finish_complete("t").unwrap();
+        assert_eq!(t.num_events(), 5);
+        assert_eq!(t.num_sync_pairs(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_process() {
+        let mut b = TraceBuilder::new(1);
+        assert_eq!(
+            b.internal(ProcessId(1)),
+            Err(TraceError::UnknownProcess(ProcessId(1)))
+        );
+        assert!(matches!(
+            b.send(ProcessId(0), ProcessId(7)),
+            Err(TraceError::UnknownProcess(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_self_communication() {
+        let mut b = TraceBuilder::new(2);
+        assert_eq!(
+            b.send(ProcessId(1), ProcessId(1)),
+            Err(TraceError::SelfCommunication(ProcessId(1)))
+        );
+        assert_eq!(
+            b.sync(ProcessId(0), ProcessId(0)),
+            Err(TraceError::SelfCommunication(ProcessId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_double_receive() {
+        let mut b = TraceBuilder::new(2);
+        let s = b.send(ProcessId(0), ProcessId(1)).unwrap();
+        b.receive(ProcessId(1), s).unwrap();
+        assert!(matches!(
+            b.receive(ProcessId(1), s),
+            Err(TraceError::UnmatchedReceive { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_destination() {
+        let mut b = TraceBuilder::new(3);
+        let s = b.send(ProcessId(0), ProcessId(1)).unwrap();
+        assert!(matches!(
+            b.receive(ProcessId(2), s),
+            Err(TraceError::WrongDestination { .. })
+        ));
+        // The send is still pending and can be received correctly afterwards.
+        b.receive(ProcessId(1), s).unwrap();
+    }
+
+    #[test]
+    fn finish_complete_rejects_in_flight() {
+        let mut b = TraceBuilder::new(2);
+        b.send(ProcessId(0), ProcessId(1)).unwrap();
+        assert!(matches!(
+            b.finish_complete("t"),
+            Err(TraceError::UnmatchedReceive { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_allows_prefix_with_in_flight_messages() {
+        let mut b = TraceBuilder::new(2);
+        b.send(ProcessId(0), ProcessId(1)).unwrap();
+        assert_eq!(b.pending().count(), 1);
+        let t = b.finish("prefix");
+        assert_eq!(t.num_events(), 1);
+        assert_eq!(t.num_messages(), 0); // no matched pair
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceError::WrongDestination {
+            send: EventId::new(ProcessId(0), EventIndex(1)),
+            expected: ProcessId(1),
+            got: ProcessId(2),
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("P1") && msg.contains("P2"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Process-level communication structure.
+//!
+//! The static clustering algorithm of §3.1 operates on *communication
+//! occurrences* between groups of processes: a send in one group whose
+//! matching receive is in the other. Synchronous communications count as
+//! **two** occurrences, because merging the two groups would remove two
+//! cluster-receive events rather than one.
+
+use crate::event::{EventKind, ProcessId};
+use crate::trace::Trace;
+
+/// Symmetric matrix of communication occurrences between process pairs.
+///
+/// `count(p, q)` is the number of messages between `p` and `q` (in either
+/// direction) plus twice the number of synchronous communications between
+/// them.
+#[derive(Clone, Debug)]
+pub struct CommMatrix {
+    n: usize,
+    /// Upper-triangular storage, row-major: entry for (p, q) with p < q at
+    /// `p*n - p*(p+1)/2 + (q - p - 1)`.
+    counts: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Count communication occurrences in a trace.
+    pub fn from_trace(trace: &Trace) -> CommMatrix {
+        let n = trace.num_processes() as usize;
+        let mut m = CommMatrix {
+            n,
+            counts: vec![0; n * (n.saturating_sub(1)) / 2],
+        };
+        for ev in trace.events() {
+            match ev.kind {
+                EventKind::Receive { from } => {
+                    m.add(ev.process(), from.process, 1);
+                }
+                // Each half contributes 1; a pair totals 2, as required.
+                EventKind::Sync { peer } => {
+                    m.add(ev.process(), peer.process, 1);
+                }
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// An empty matrix over `n` processes.
+    pub fn zero(n: usize) -> CommMatrix {
+        CommMatrix {
+            n,
+            counts: vec![0; n * (n.saturating_sub(1)) / 2],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, p: ProcessId, q: ProcessId) -> Option<usize> {
+        let (a, b) = if p.idx() < q.idx() {
+            (p.idx(), q.idx())
+        } else if q.idx() < p.idx() {
+            (q.idx(), p.idx())
+        } else {
+            return None;
+        };
+        Some(a * self.n - a * (a + 1) / 2 + (b - a - 1))
+    }
+
+    /// Add `k` occurrences between `p` and `q` (no-op for `p == q`).
+    pub fn add(&mut self, p: ProcessId, q: ProcessId, k: u64) {
+        if let Some(s) = self.slot(p, q) {
+            self.counts[s] += k;
+        }
+    }
+
+    /// Occurrences between `p` and `q`.
+    pub fn count(&self, p: ProcessId, q: ProcessId) -> u64 {
+        self.slot(p, q).map(|s| self.counts[s]).unwrap_or(0)
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Total occurrences over all pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Communication occurrences between two disjoint groups of processes.
+    pub fn between_groups(&self, a: &[ProcessId], b: &[ProcessId]) -> u64 {
+        let mut sum = 0;
+        for &p in a {
+            for &q in b {
+                sum += self.count(p, q);
+            }
+        }
+        sum
+    }
+}
+
+/// The process communication graph: vertices are processes, an edge joins two
+/// processes that communicate at least once. Used for locality statistics and
+/// for the Garg/Skawratananond vertex-cover size bound (§2.4).
+#[derive(Clone, Debug)]
+pub struct CommGraph {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl CommGraph {
+    /// Build from a communication matrix.
+    pub fn from_matrix(m: &CommMatrix) -> CommGraph {
+        let n = m.num_processes();
+        let mut adj = vec![Vec::new(); n];
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m.count(ProcessId(p as u32), ProcessId(q as u32)) > 0 {
+                    adj[p].push(q as u32);
+                    adj[q].push(p as u32);
+                }
+            }
+        }
+        CommGraph { n, adj }
+    }
+
+    /// Build directly from a trace.
+    pub fn from_trace(trace: &Trace) -> CommGraph {
+        CommGraph::from_matrix(&CommMatrix::from_trace(trace))
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Neighbours of `p`.
+    pub fn neighbours(&self, p: ProcessId) -> &[u32] {
+        &self.adj[p.idx()]
+    }
+
+    /// Degree of `p`.
+    pub fn degree(&self, p: ProcessId) -> usize {
+        self.adj[p.idx()].len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Greedy maximal-matching 2-approximation of a minimum vertex cover.
+    ///
+    /// Garg & Skawratananond's synchronous timestamps have size equal to a
+    /// vertex cover of this graph; the 2-approximation gives a realizable
+    /// upper bound on their timestamp size.
+    pub fn vertex_cover_2approx(&self) -> Vec<ProcessId> {
+        let mut covered = vec![false; self.n];
+        let mut cover = Vec::new();
+        for p in 0..self.n {
+            if covered[p] {
+                continue;
+            }
+            for &q in &self.adj[p] {
+                if !covered[q as usize] {
+                    covered[p] = true;
+                    covered[q as usize] = true;
+                    cover.push(ProcessId(p as u32));
+                    cover.push(ProcessId(q));
+                    break;
+                }
+            }
+        }
+        cover
+    }
+
+    /// Fraction of each process's communication that goes to its `k` most
+    /// frequent partners, averaged over processes — a locality score in
+    /// `[0, 1]`. High values mean "most communication of most processes is
+    /// with a small number of other processes" (§2.3).
+    pub fn locality_score(m: &CommMatrix, k: usize) -> f64 {
+        let n = m.num_processes();
+        let mut total_score = 0.0;
+        let mut active = 0usize;
+        for p in 0..n {
+            let mut row: Vec<u64> = (0..n)
+                .filter(|&q| q != p)
+                .map(|q| m.count(ProcessId(p as u32), ProcessId(q as u32)))
+                .collect();
+            let sum: u64 = row.iter().sum();
+            if sum == 0 {
+                continue;
+            }
+            row.sort_unstable_by(|a, b| b.cmp(a));
+            let top: u64 = row.iter().take(k).sum();
+            total_score += top as f64 / sum as f64;
+            active += 1;
+        }
+        if active == 0 {
+            1.0
+        } else {
+            total_score / active as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn trace_with_sync() -> Trace {
+        let mut b = TraceBuilder::new(4);
+        let s = b.send(p(0), p(1)).unwrap();
+        b.receive(p(1), s).unwrap();
+        let s = b.send(p(1), p(0)).unwrap();
+        b.receive(p(0), s).unwrap();
+        b.sync(p(2), p(3)).unwrap();
+        let s = b.send(p(0), p(2)).unwrap();
+        b.receive(p(2), s).unwrap();
+        b.finish_complete("t").unwrap()
+    }
+
+    #[test]
+    fn matrix_counts_messages_and_syncs() {
+        let t = trace_with_sync();
+        let m = CommMatrix::from_trace(&t);
+        assert_eq!(m.count(p(0), p(1)), 2); // two messages, one each way
+        assert_eq!(m.count(p(1), p(0)), 2); // symmetric
+        assert_eq!(m.count(p(2), p(3)), 2); // one sync counts twice
+        assert_eq!(m.count(p(0), p(2)), 1);
+        assert_eq!(m.count(p(1), p(3)), 0);
+        assert_eq!(m.count(p(0), p(0)), 0);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn group_counts() {
+        let t = trace_with_sync();
+        let m = CommMatrix::from_trace(&t);
+        assert_eq!(m.between_groups(&[p(0), p(1)], &[p(2), p(3)]), 1);
+        assert_eq!(m.between_groups(&[p(0)], &[p(1), p(2)]), 3);
+    }
+
+    #[test]
+    fn graph_structure() {
+        let t = trace_with_sync();
+        let g = CommGraph::from_trace(&t);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(p(0)), 2);
+        assert_eq!(g.degree(p(3)), 1);
+        assert!(g.neighbours(p(2)).contains(&3));
+    }
+
+    #[test]
+    fn vertex_cover_covers_all_edges() {
+        let t = trace_with_sync();
+        let g = CommGraph::from_trace(&t);
+        let cover = g.vertex_cover_2approx();
+        let in_cover = |q: ProcessId| cover.contains(&q);
+        for a in 0..4u32 {
+            for &bq in g.neighbours(p(a)) {
+                assert!(in_cover(p(a)) || in_cover(p(bq)));
+            }
+        }
+    }
+
+    #[test]
+    fn locality_score_bounds() {
+        let t = trace_with_sync();
+        let m = CommMatrix::from_trace(&t);
+        let s1 = CommGraph::locality_score(&m, 1);
+        let s_all = CommGraph::locality_score(&m, 4);
+        assert!((0.0..=1.0).contains(&s1));
+        assert!((s_all - 1.0).abs() < 1e-12);
+        assert!(s1 <= s_all + 1e-12);
+    }
+}

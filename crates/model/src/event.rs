@@ -1,0 +1,213 @@
+//! Strongly-typed event and process identifiers and the event representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sequential process (0-based).
+///
+/// The paper assigns identifiers `0 < p_i <= N`; we use the conventional
+/// 0-based indexing internally and only shift when printing paper-style
+/// output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The process index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// 1-based sequence number of an event within its process.
+///
+/// The Fidge/Mattern self-component of an event always equals its
+/// `EventIndex`, a fact several precedence algorithms in this workspace
+/// exploit: the timestamp of the *earlier* event in a precedence test is never
+/// needed, only its `(process, index)` pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventIndex(pub u32);
+
+impl EventIndex {
+    /// First event of a process.
+    pub const FIRST: EventIndex = EventIndex(1);
+
+    /// 0-based offset into the per-process event list.
+    #[inline]
+    pub fn zero_based(self) -> usize {
+        debug_assert!(self.0 >= 1, "EventIndex is 1-based");
+        (self.0 - 1) as usize
+    }
+
+    /// The index of the next event in the same process.
+    #[inline]
+    pub fn next(self) -> EventIndex {
+        EventIndex(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for EventIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Globally unique event identifier: `(process, 1-based index)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId {
+    pub process: ProcessId,
+    pub index: EventIndex,
+}
+
+impl EventId {
+    #[inline]
+    pub fn new(process: ProcessId, index: EventIndex) -> Self {
+        EventId { process, index }
+    }
+
+    /// The previous event in the same process, if any.
+    #[inline]
+    pub fn prev_in_process(self) -> Option<EventId> {
+        if self.index.0 > 1 {
+            Some(EventId::new(self.process, EventIndex(self.index.0 - 1)))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", self.process, self.index)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.process, self.index.0)
+    }
+}
+
+/// The kind of an event, mirroring §2.1 of the paper (send, receive, unary)
+/// plus the synchronous events discussed in §3.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A unary (internal) event with no partner.
+    Internal,
+    /// A send event; `to` is the destination process. The matching receive is
+    /// recorded on the receive side.
+    Send { to: ProcessId },
+    /// A receive event; `from` identifies the matching send event.
+    Receive { from: EventId },
+    /// One half of a synchronous communication; `peer` identifies the other
+    /// half. Each half acts as both a transmit and a receive (§3.1), so a
+    /// synchronous communication counts as **two** communication occurrences
+    /// when clusters are compared.
+    Sync { peer: EventId },
+}
+
+impl EventKind {
+    /// Does this event receive information from another process?
+    ///
+    /// True for `Receive` and `Sync` events: these are the only events that
+    /// can be *cluster receives* in the cluster-timestamp algorithm.
+    #[inline]
+    pub fn is_receiving(self) -> bool {
+        matches!(self, EventKind::Receive { .. } | EventKind::Sync { .. })
+    }
+
+    /// The remote event this event receives from, if any (the matching send
+    /// for a receive; the peer half for a synchronous event).
+    #[inline]
+    pub fn receive_source(self) -> Option<EventId> {
+        match self {
+            EventKind::Receive { from } => Some(from),
+            EventKind::Sync { peer } => Some(peer),
+            _ => None,
+        }
+    }
+}
+
+/// A single event of the computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Event {
+    pub id: EventId,
+    pub kind: EventKind,
+}
+
+impl Event {
+    #[inline]
+    pub fn new(id: EventId, kind: EventKind) -> Self {
+        Event { id, kind }
+    }
+
+    #[inline]
+    pub fn process(&self) -> ProcessId {
+        self.id.process
+    }
+
+    #[inline]
+    pub fn index(&self) -> EventIndex {
+        self.id.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_index_is_one_based() {
+        assert_eq!(EventIndex::FIRST.zero_based(), 0);
+        assert_eq!(EventIndex(5).zero_based(), 4);
+        assert_eq!(EventIndex(5).next(), EventIndex(6));
+    }
+
+    #[test]
+    fn prev_in_process_stops_at_first() {
+        let first = EventId::new(ProcessId(3), EventIndex::FIRST);
+        assert_eq!(first.prev_in_process(), None);
+        let third = EventId::new(ProcessId(3), EventIndex(3));
+        assert_eq!(
+            third.prev_in_process(),
+            Some(EventId::new(ProcessId(3), EventIndex(2)))
+        );
+    }
+
+    #[test]
+    fn receive_source_identifies_partners() {
+        let s = EventId::new(ProcessId(0), EventIndex(1));
+        assert_eq!(EventKind::Internal.receive_source(), None);
+        assert_eq!(EventKind::Send { to: ProcessId(1) }.receive_source(), None);
+        assert_eq!(EventKind::Receive { from: s }.receive_source(), Some(s));
+        assert_eq!(EventKind::Sync { peer: s }.receive_source(), Some(s));
+    }
+
+    #[test]
+    fn receiving_classification() {
+        let s = EventId::new(ProcessId(0), EventIndex(1));
+        assert!(!EventKind::Internal.is_receiving());
+        assert!(!EventKind::Send { to: ProcessId(1) }.is_receiving());
+        assert!(EventKind::Receive { from: s }.is_receiving());
+        assert!(EventKind::Sync { peer: s }.is_receiving());
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = EventId::new(ProcessId(2), EventIndex(7));
+        assert_eq!(format!("{e}"), "P2#7");
+        assert_eq!(format!("{e:?}"), "P2#7");
+    }
+}

@@ -1,0 +1,357 @@
+//! Ground-truth precedence: bitset transitive closure and on-demand BFS.
+//!
+//! Every timestamp scheme in this workspace is property-tested against
+//! [`Oracle`], which computes the full happened-before relation by transitive
+//! closure over per-event bitsets. The oracle is O(E²/64) space and
+//! O(E·edges/64) time — fine for test-sized traces (a 2 000-event trace costs
+//! half a megabyte); for spot checks on large traces use [`reaches_bfs`].
+//!
+//! ## Synchronous halves
+//!
+//! The two halves of a synchronous pair are *causally identified* (see the
+//! crate docs): they share a **node** in the closure, and `happened_before`
+//! reports `true` between the two halves in both directions, matching the
+//! Fidge/Mattern treatment where both halves carry identical vectors.
+
+use crate::event::{EventId, EventKind};
+use crate::trace::Trace;
+
+/// A dense bit matrix: `rows` rows of `cols` bits.
+#[derive(Clone, Debug)]
+pub struct BitMatrix {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// All-zero matrix.
+    pub fn new(rows: usize, cols: usize) -> BitMatrix {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            words_per_row,
+            bits: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        (self.bits[row * self.words_per_row + col / 64] >> (col % 64)) & 1 == 1
+    }
+
+    /// `row(dst) |= row(src)` — the closure step.
+    pub fn or_row(&mut self, dst: usize, src: usize) {
+        if dst == src {
+            return;
+        }
+        let w = self.words_per_row;
+        let (d, s) = (dst * w, src * w);
+        // Split borrows: the two row ranges never overlap because dst != src.
+        if d < s {
+            let (a, b) = self.bits.split_at_mut(s);
+            let dst_row = &mut a[d..d + w];
+            let src_row = &b[..w];
+            for (x, y) in dst_row.iter_mut().zip(src_row) {
+                *x |= *y;
+            }
+        } else {
+            let (a, b) = self.bits.split_at_mut(d);
+            let src_row = &a[s..s + w];
+            let dst_row = &mut b[..w];
+            for (x, y) in dst_row.iter_mut().zip(src_row) {
+                *x |= *y;
+            }
+        }
+    }
+
+    /// Number of set bits in a row.
+    pub fn count_row(&self, row: usize) -> usize {
+        let w = self.words_per_row;
+        self.bits[row * w..(row + 1) * w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Maps events to closure *nodes*: every event its own node, except that the
+/// two halves of a synchronous pair share one.
+#[derive(Clone, Debug)]
+pub struct NodeMap {
+    /// node id for each delivery position.
+    node_of_pos: Vec<u32>,
+    /// immediate predecessor nodes of each node (deduplicated).
+    preds: Vec<Vec<u32>>,
+}
+
+impl NodeMap {
+    /// Build the node map for a trace.
+    pub fn build(trace: &Trace) -> NodeMap {
+        let n_events = trace.num_events();
+        let mut node_of_pos = vec![u32::MAX; n_events];
+        let mut preds: Vec<Vec<u32>> = Vec::with_capacity(n_events);
+        for (pos, ev) in trace.events().iter().enumerate() {
+            // Sync second half: reuse the node created for the first half.
+            if let EventKind::Sync { peer } = ev.kind {
+                let peer_pos = trace.delivery_pos(peer);
+                if peer_pos < pos {
+                    let node = node_of_pos[peer_pos];
+                    node_of_pos[pos] = node;
+                    if let Some(prev) = ev.id.prev_in_process() {
+                        let p = node_of_pos[trace.delivery_pos(prev)];
+                        if !preds[node as usize].contains(&p) {
+                            preds[node as usize].push(p);
+                        }
+                    }
+                    continue;
+                }
+            }
+            let node = preds.len() as u32;
+            node_of_pos[pos] = node;
+            let mut pv = Vec::new();
+            if let Some(prev) = ev.id.prev_in_process() {
+                pv.push(node_of_pos[trace.delivery_pos(prev)]);
+            }
+            if let EventKind::Receive { from } = ev.kind {
+                let p = node_of_pos[trace.delivery_pos(from)];
+                if !pv.contains(&p) {
+                    pv.push(p);
+                }
+            }
+            preds.push(pv);
+        }
+        NodeMap { node_of_pos, preds }
+    }
+
+    /// Number of nodes (events, with sync pairs merged).
+    pub fn num_nodes(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// The node of an event, by delivery position.
+    #[inline]
+    pub fn node_at(&self, pos: usize) -> u32 {
+        self.node_of_pos[pos]
+    }
+
+    /// The node of an event.
+    #[inline]
+    pub fn node(&self, trace: &Trace, id: EventId) -> u32 {
+        self.node_of_pos[trace.delivery_pos(id)]
+    }
+
+    /// Immediate predecessor nodes of `node`.
+    pub fn preds(&self, node: u32) -> &[u32] {
+        &self.preds[node as usize]
+    }
+}
+
+/// Ground-truth happened-before via full transitive closure.
+pub struct Oracle {
+    nodes: NodeMap,
+    /// `closure.get(n, m)` ⇔ node `m` happened before node `n`.
+    closure: BitMatrix,
+}
+
+impl Oracle {
+    /// Compute the closure for a trace.
+    pub fn compute(trace: &Trace) -> Oracle {
+        let nodes = NodeMap::build(trace);
+        let n = nodes.num_nodes();
+        let mut closure = BitMatrix::new(n, n);
+        // Nodes are numbered in (a) delivery order of their first half, and a
+        // node's predecessors always have smaller ids, so one forward pass
+        // completes the closure... with one exception: a sync node's
+        // second-half in-process predecessor is attached *after* the node was
+        // created, but still refers to an earlier position, hence a smaller
+        // node id. So ascending order is a valid topological order.
+        for node in 0..n as u32 {
+            for i in 0..nodes.preds(node).len() {
+                let p = nodes.preds(node)[i];
+                debug_assert!(p < node);
+                closure.or_row(node as usize, p as usize);
+                closure.set(node as usize, p as usize);
+            }
+        }
+        Oracle { nodes, closure }
+    }
+
+    /// Lamport's happened-before, with sync halves mutually ordered.
+    pub fn happened_before(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        let ne = self.nodes.node(trace, e);
+        let nf = self.nodes.node(trace, f);
+        if ne == nf {
+            return true; // sync partners
+        }
+        self.closure.get(nf as usize, ne as usize)
+    }
+
+    /// Are `e` and `f` concurrent (distinct and unordered)?
+    pub fn concurrent(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        e != f && !self.happened_before(trace, e, f) && !self.happened_before(trace, f, e)
+    }
+
+    /// Number of nodes strictly in the causal past of `e`.
+    pub fn past_size(&self, trace: &Trace, e: EventId) -> usize {
+        let n = self.nodes.node(trace, e);
+        self.closure.count_row(n as usize)
+    }
+
+    /// The node map used by this oracle.
+    pub fn nodes(&self) -> &NodeMap {
+        &self.nodes
+    }
+}
+
+/// On-demand reachability by backward BFS from `f`; equivalent to
+/// [`Oracle::happened_before`] but O(past of `f`) per query and no quadratic
+/// precomputation. Used to validate timestamps on traces too large for the
+/// full closure.
+pub fn reaches_bfs(trace: &Trace, nodes: &NodeMap, e: EventId, f: EventId) -> bool {
+    if e == f {
+        return false;
+    }
+    let target = nodes.node(trace, e);
+    let start = nodes.node(trace, f);
+    if target == start {
+        return true;
+    }
+    let mut seen = vec![false; nodes.num_nodes()];
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(n) = stack.pop() {
+        for &p in nodes.preds(n) {
+            if p == target {
+                return true;
+            }
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                // Predecessor ids are always smaller, so anything below
+                // `target` can never lead back to it.
+                if p > target {
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::{EventIndex, ProcessId};
+
+    fn id(p: u32, i: u32) -> EventId {
+        EventId::new(ProcessId(p), EventIndex(i))
+    }
+
+    /// The Figure 2 computation from the paper.
+    ///
+    /// P1: A(send→P2) B C(recv E)     — paper ids (1,0,0),(2,0,0),(3,2,0)
+    /// P2: D(recv A) E(send→P1) F(recv I)
+    /// P3: G H I(send→P2)
+    ///
+    /// (Mapped to 0-based processes 0,1,2.)
+    fn figure2() -> Trace {
+        let mut b = TraceBuilder::new(3);
+        let a = b.send(ProcessId(0), ProcessId(1)).unwrap(); // A
+        b.internal(ProcessId(0)).unwrap(); // B
+        b.receive(ProcessId(1), a).unwrap(); // D
+        let e = b.send(ProcessId(1), ProcessId(0)).unwrap(); // E
+        b.receive(ProcessId(0), e).unwrap(); // C
+        b.internal(ProcessId(2)).unwrap(); // G
+        b.internal(ProcessId(2)).unwrap(); // H
+        let i = b.send(ProcessId(2), ProcessId(1)).unwrap(); // I
+        b.receive(ProcessId(1), i).unwrap(); // F
+        b.finish_complete("figure2").unwrap()
+    }
+
+    #[test]
+    fn figure2_precedence() {
+        let t = figure2();
+        let o = Oracle::compute(&t);
+        let (a, b, c) = (id(0, 1), id(0, 2), id(0, 3));
+        let (d, e, f) = (id(1, 1), id(1, 2), id(1, 3));
+        let (g, _h, i) = (id(2, 1), id(2, 2), id(2, 3));
+        assert!(o.happened_before(&t, a, b));
+        assert!(o.happened_before(&t, a, d));
+        assert!(o.happened_before(&t, a, c)); // via D, E
+        assert!(o.happened_before(&t, d, c));
+        assert!(o.happened_before(&t, e, c));
+        assert!(o.happened_before(&t, g, f));
+        assert!(o.happened_before(&t, i, f));
+        assert!(o.happened_before(&t, b, c)); // B before C in-process
+        assert!(!o.happened_before(&t, c, a));
+        assert!(o.concurrent(&t, b, d));
+        assert!(o.concurrent(&t, g, a));
+        assert!(o.concurrent(&t, c, f));
+        assert!(!o.happened_before(&t, a, a));
+    }
+
+    #[test]
+    fn sync_halves_are_mutually_ordered_and_share_past() {
+        let mut b = TraceBuilder::new(3);
+        let s = b.send(ProcessId(0), ProcessId(1)).unwrap();
+        b.receive(ProcessId(1), s).unwrap();
+        let (x, y) = b.sync(ProcessId(1), ProcessId(2)).unwrap();
+        b.internal(ProcessId(2)).unwrap();
+        let t = b.finish_complete("sync").unwrap();
+        let o = Oracle::compute(&t);
+        assert!(o.happened_before(&t, x, y));
+        assert!(o.happened_before(&t, y, x));
+        // P2's event after the sync sees P0's send through the sync.
+        assert!(o.happened_before(&t, id(0, 1), id(2, 2)));
+        // And the sync half on P1 sees nothing from P2's future.
+        assert!(!o.happened_before(&t, id(2, 2), x));
+    }
+
+    #[test]
+    fn bfs_agrees_with_closure() {
+        let t = figure2();
+        let o = Oracle::compute(&t);
+        let nm = NodeMap::build(&t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    o.happened_before(&t, e, f),
+                    reaches_bfs(&t, &nm, e, f),
+                    "mismatch for {e} -> {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn past_size_counts_strict_past() {
+        let t = figure2();
+        let o = Oracle::compute(&t);
+        assert_eq!(o.past_size(&t, id(0, 1)), 0); // A
+        assert_eq!(o.past_size(&t, id(1, 1)), 1); // D sees A
+        assert_eq!(o.past_size(&t, id(0, 3)), 4); // C sees A,B,D,E
+    }
+
+    #[test]
+    fn bitmatrix_or_row_both_directions() {
+        let mut m = BitMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(0, 129);
+        m.or_row(2, 0);
+        assert!(m.get(2, 0) && m.get(2, 129));
+        m.set(2, 64);
+        m.or_row(1, 2);
+        assert!(m.get(1, 0) && m.get(1, 64) && m.get(1, 129));
+        assert_eq!(m.count_row(1), 3);
+        // dst < src path
+        m.or_row(0, 2);
+        assert!(m.get(0, 64));
+    }
+}

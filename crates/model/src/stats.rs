@@ -1,0 +1,98 @@
+//! Descriptive statistics for traces.
+
+use crate::comm::{CommGraph, CommMatrix};
+use crate::event::ProcessId;
+use crate::trace::Trace;
+use std::fmt;
+
+/// Summary statistics of a trace, for reports and workload sanity checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    pub name: String,
+    pub num_processes: u32,
+    pub num_events: usize,
+    pub num_messages: usize,
+    pub num_sync_pairs: usize,
+    pub num_internal: usize,
+    /// Mean events per process.
+    pub mean_events_per_process: f64,
+    /// Largest per-process event count.
+    pub max_events_per_process: usize,
+    /// Edges in the process communication graph.
+    pub comm_edges: usize,
+    /// Mean communication-partner count per process.
+    pub mean_degree: f64,
+    /// Fraction of communication going to each process's top-3 partners
+    /// (see [`CommGraph::locality_score`]).
+    pub locality_top3: f64,
+}
+
+impl TraceStats {
+    /// Compute all statistics for a trace.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let n = trace.num_processes();
+        let matrix = CommMatrix::from_trace(trace);
+        let graph = CommGraph::from_matrix(&matrix);
+        let per_proc: Vec<usize> = (0..n)
+            .map(|p| trace.process_len(ProcessId(p)))
+            .collect();
+        let degrees: usize = (0..n).map(|p| graph.degree(ProcessId(p))).sum();
+        TraceStats {
+            name: trace.name().to_string(),
+            num_processes: n,
+            num_events: trace.num_events(),
+            num_messages: trace.num_messages(),
+            num_sync_pairs: trace.num_sync_pairs(),
+            num_internal: trace.num_internal(),
+            mean_events_per_process: trace.num_events() as f64 / n.max(1) as f64,
+            max_events_per_process: per_proc.iter().copied().max().unwrap_or(0),
+            comm_edges: graph.num_edges(),
+            mean_degree: degrees as f64 / n.max(1) as f64,
+            locality_top3: CommGraph::locality_score(&matrix, 3),
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: N={} events={} msgs={} syncs={} internal={} deg={:.1} top3-locality={:.2}",
+            self.name,
+            self.num_processes,
+            self.num_events,
+            self.num_messages,
+            self.num_sync_pairs,
+            self.num_internal,
+            self.mean_degree,
+            self.locality_top3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    #[test]
+    fn stats_of_simple_trace() {
+        let mut b = TraceBuilder::new(3);
+        let s = b.send(ProcessId(0), ProcessId(1)).unwrap();
+        b.receive(ProcessId(1), s).unwrap();
+        b.internal(ProcessId(2)).unwrap();
+        b.sync(ProcessId(1), ProcessId(2)).unwrap();
+        let t = b.finish_complete("s").unwrap();
+        let st = TraceStats::compute(&t);
+        assert_eq!(st.num_processes, 3);
+        assert_eq!(st.num_events, 5);
+        assert_eq!(st.num_messages, 1);
+        assert_eq!(st.num_sync_pairs, 1);
+        assert_eq!(st.num_internal, 1);
+        assert_eq!(st.comm_edges, 2);
+        assert_eq!(st.max_events_per_process, 2);
+        assert!((st.mean_events_per_process - 5.0 / 3.0).abs() < 1e-12);
+        let shown = format!("{st}");
+        assert!(shown.contains("N=3") && shown.contains("msgs=1"));
+    }
+}

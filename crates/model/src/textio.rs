@@ -1,0 +1,209 @@
+//! A compact, line-oriented text serialization for traces.
+//!
+//! The format mirrors what a monitoring entity's wire protocol carries per
+//! event (§1 of the paper: process identifier, event number and type, plus
+//! partner-event identification):
+//!
+//! ```text
+//! trace <name>
+//! procs <N>
+//! i <p>              # internal event on process p
+//! s <p> <q>          # send on p addressed to q
+//! r <p> <sp> <si>    # receive on p of the send (sp, si)
+//! y <p> <q>          # synchronous pair between p and q (two events)
+//! ```
+//!
+//! Lines are in delivery order. Blank lines and `#` comments are ignored.
+
+use crate::builder::{TraceBuilder, TraceError};
+use crate::event::{EventId, EventIndex, EventKind, ProcessId};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Errors from [`parse_trace`].
+#[derive(Debug)]
+pub enum ParseError {
+    /// Line did not match the grammar.
+    Syntax { line: usize, text: String },
+    /// Header (`trace`, `procs`) missing or out of order.
+    Header(String),
+    /// The described computation is invalid.
+    Invalid { line: usize, source: TraceError },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, text } => write!(f, "line {line}: bad syntax: {text:?}"),
+            ParseError::Header(m) => write!(f, "bad header: {m}"),
+            ParseError::Invalid { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a trace to the text format.
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace {}", trace.name());
+    let _ = writeln!(out, "procs {}", trace.num_processes());
+    let mut skip_next_sync = std::collections::HashSet::new();
+    for ev in trace.events() {
+        match ev.kind {
+            EventKind::Internal => {
+                let _ = writeln!(out, "i {}", ev.process().0);
+            }
+            EventKind::Send { to } => {
+                let _ = writeln!(out, "s {} {}", ev.process().0, to.0);
+            }
+            EventKind::Receive { from } => {
+                let _ = writeln!(
+                    out,
+                    "r {} {} {}",
+                    ev.process().0,
+                    from.process.0,
+                    from.index.0
+                );
+            }
+            EventKind::Sync { peer } => {
+                // Emit one `y` line per pair, at the first half.
+                if skip_next_sync.remove(&ev.id) {
+                    continue;
+                }
+                skip_next_sync.insert(peer);
+                let _ = writeln!(out, "y {} {}", ev.process().0, peer.process.0);
+            }
+        }
+    }
+    out
+}
+
+/// Parse the text format back into a validated [`Trace`].
+pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
+    let mut name: Option<String> = None;
+    let mut builder: Option<TraceBuilder> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().unwrap();
+        let syntax = || ParseError::Syntax {
+            line: lineno + 1,
+            text: raw.to_string(),
+        };
+        let num = |parts: &mut std::str::SplitWhitespace| -> Result<u32, ParseError> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(syntax)
+        };
+        match op {
+            "trace" => {
+                name = Some(parts.collect::<Vec<_>>().join(" "));
+            }
+            "procs" => {
+                let n = num(&mut parts)?;
+                builder = Some(TraceBuilder::new(n));
+            }
+            _ => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| ParseError::Header("procs line must precede events".into()))?;
+                let invalid = |line: usize| move |source| ParseError::Invalid { line, source };
+                match op {
+                    "i" => {
+                        let p = num(&mut parts)?;
+                        b.internal(ProcessId(p)).map_err(invalid(lineno + 1))?;
+                    }
+                    "s" => {
+                        let p = num(&mut parts)?;
+                        let q = num(&mut parts)?;
+                        b.send(ProcessId(p), ProcessId(q))
+                            .map_err(invalid(lineno + 1))?;
+                    }
+                    "r" => {
+                        let p = num(&mut parts)?;
+                        let sp = num(&mut parts)?;
+                        let si = num(&mut parts)?;
+                        b.receive_id(
+                            ProcessId(p),
+                            EventId::new(ProcessId(sp), EventIndex(si)),
+                        )
+                        .map_err(invalid(lineno + 1))?;
+                    }
+                    "y" => {
+                        let p = num(&mut parts)?;
+                        let q = num(&mut parts)?;
+                        b.sync(ProcessId(p), ProcessId(q))
+                            .map_err(invalid(lineno + 1))?;
+                    }
+                    _ => return Err(syntax()),
+                }
+            }
+        }
+    }
+    let b = builder.ok_or_else(|| ParseError::Header("missing procs line".into()))?;
+    Ok(b.finish(name.unwrap_or_else(|| "unnamed".into())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::ProcessId;
+
+    fn roundtrip(t: &Trace) -> Trace {
+        parse_trace(&write_trace(t)).expect("roundtrip parse")
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut b = TraceBuilder::new(3);
+        let s = b.send(ProcessId(0), ProcessId(1)).unwrap();
+        b.internal(ProcessId(2)).unwrap();
+        b.receive(ProcessId(1), s).unwrap();
+        b.sync(ProcessId(1), ProcessId(2)).unwrap();
+        let s2 = b.send(ProcessId(2), ProcessId(0)).unwrap();
+        b.receive(ProcessId(0), s2).unwrap();
+        let t = b.finish_complete("round trip").unwrap();
+        let t2 = roundtrip(&t);
+        assert_eq!(t2.name(), "round trip");
+        assert_eq!(t2.num_processes(), 3);
+        assert_eq!(t2.events(), t.events());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "trace x\nprocs 2\n\n# comment\ni 0   # trailing\ns 0 1\nr 1 0 2\n";
+        let t = parse_trace(src).unwrap();
+        assert_eq!(t.num_events(), 3);
+        assert_eq!(t.num_messages(), 1);
+    }
+
+    #[test]
+    fn bad_syntax_reports_line() {
+        let err = parse_trace("trace x\nprocs 2\nz 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 3, .. }));
+        let err = parse_trace("trace x\nprocs 2\ni notanumber\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            parse_trace("i 0\n"),
+            Err(ParseError::Header(_))
+        ));
+        assert!(matches!(parse_trace(""), Err(ParseError::Header(_))));
+    }
+
+    #[test]
+    fn invalid_computation_rejected() {
+        // receive of a send that never happened
+        let err = parse_trace("trace x\nprocs 2\nr 1 0 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid { line: 3, .. }));
+    }
+}

@@ -1,0 +1,325 @@
+//! A from-scratch B+-tree: the "B-tree-like index" the observation tools use
+//! to find an event given its process identifier and event number (§1).
+//!
+//! Arena-allocated nodes, `u64` keys (callers pack `(process, index)` with
+//! [`key_of`]), values in the leaves, leaves linked for range scans.
+
+use cts_model::{EventId, EventIndex, ProcessId};
+
+/// Maximum keys per node (the tree's order). 16 keeps nodes around one cache
+/// line of keys while exercising splits in tests.
+const B: usize = 16;
+
+/// Pack an event id into an ordered `u64` key: process-major, index-minor —
+/// so one process's events are contiguous in key space.
+#[inline]
+pub fn key_of(id: EventId) -> u64 {
+    ((id.process.0 as u64) << 32) | id.index.0 as u64
+}
+
+/// Unpack a key produced by [`key_of`].
+#[inline]
+pub fn id_of(key: u64) -> EventId {
+    EventId::new(ProcessId((key >> 32) as u32), EventIndex(key as u32))
+}
+
+enum Node<V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (≥ key).
+        keys: Vec<u64>,
+        children: Vec<u32>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<V>,
+        next: Option<u32>,
+    },
+}
+
+/// A B+ tree from `u64` keys to copyable values.
+pub struct BPlusTree<V> {
+    nodes: Vec<Node<V>>,
+    root: u32,
+    len: usize,
+}
+
+impl<V: Copy> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy> BPlusTree<V> {
+    /// Empty tree.
+    pub fn new() -> BPlusTree<V> {
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|&k| k <= key);
+                    node = children[i];
+                }
+                Node::Leaf { keys, vals, .. } => {
+                    return keys.binary_search(&key).ok().map(|i| vals[i]);
+                }
+            }
+        }
+    }
+
+    /// Insert (or replace) a key. Returns the previous value if any.
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        let root = self.root;
+        match self.insert_rec(root, key, val) {
+            InsertResult::Done(prev) => {
+                if prev.is_none() {
+                    self.len += 1;
+                }
+                prev
+            }
+            InsertResult::Split(sep, right) => {
+                let new_root = self.nodes.len() as u32;
+                self.nodes.push(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![root, right],
+                });
+                self.root = new_root;
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: u32, key: u64, val: V) -> InsertResult<V> {
+        match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, vals, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let prev = vals[i];
+                        vals[i] = val;
+                        return InsertResult::Done(Some(prev));
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, val);
+                    }
+                }
+                if keys.len() <= B {
+                    return InsertResult::Done(None);
+                }
+                // Split leaf.
+                let mid = keys.len() / 2;
+                let rk: Vec<u64> = keys.split_off(mid);
+                let rv: Vec<V> = vals.split_off(mid);
+                let sep = rk[0];
+                let right_id = self.nodes.len() as u32;
+                // Fix sibling links.
+                let old_next = match &mut self.nodes[node as usize] {
+                    Node::Leaf { next, .. } => {
+                        let o = *next;
+                        *next = Some(right_id);
+                        o
+                    }
+                    _ => unreachable!(),
+                };
+                self.nodes.push(Node::Leaf {
+                    keys: rk,
+                    vals: rv,
+                    next: old_next,
+                });
+                InsertResult::Split(sep, right_id)
+            }
+            Node::Internal { keys, children } => {
+                let i = keys.partition_point(|&k| k <= key);
+                let child = children[i];
+                match self.insert_rec(child, key, val) {
+                    InsertResult::Done(prev) => InsertResult::Done(prev),
+                    InsertResult::Split(sep, right) => {
+                        let (keys, children) = match &mut self.nodes[node as usize] {
+                            Node::Internal { keys, children } => (keys, children),
+                            _ => unreachable!(),
+                        };
+                        keys.insert(i, sep);
+                        children.insert(i + 1, right);
+                        if keys.len() <= B {
+                            return InsertResult::Done(None);
+                        }
+                        // Split internal node: middle key moves up.
+                        let mid = keys.len() / 2;
+                        let up = keys[mid];
+                        let rk: Vec<u64> = keys.split_off(mid + 1);
+                        keys.pop();
+                        let rc: Vec<u32> = children.split_off(mid + 1);
+                        let right_id = self.nodes.len() as u32;
+                        self.nodes.push(Node::Internal {
+                            keys: rk,
+                            children: rc,
+                        });
+                        InsertResult::Split(up, right_id)
+                    }
+                }
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs with `lo <= key < hi`, ascending.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        // Descend to the leaf containing lo.
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|&k| k <= lo);
+                    node = children[i];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut leaf = Some(node);
+        while let Some(l) = leaf {
+            match &self.nodes[l as usize] {
+                Node::Leaf { keys, vals, next } => {
+                    for (i, &k) in keys.iter().enumerate() {
+                        if k >= hi {
+                            return out;
+                        }
+                        if k >= lo {
+                            out.push((k, vals[i]));
+                        }
+                    }
+                    leaf = *next;
+                }
+                _ => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// Height of the tree (1 = just a leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { children, .. } => {
+                    h += 1;
+                    node = children[0];
+                }
+                Node::Leaf { .. } => return h,
+            }
+        }
+    }
+}
+
+enum InsertResult<V> {
+    Done(Option<V>),
+    Split(u64, u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_packing_orders_by_process_then_index() {
+        let a = key_of(EventId::new(ProcessId(1), EventIndex(999)));
+        let b = key_of(EventId::new(ProcessId(2), EventIndex(1)));
+        assert!(a < b);
+        let id = EventId::new(ProcessId(7), EventIndex(42));
+        assert_eq!(id_of(key_of(id)), id);
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        assert!(t.is_empty());
+        for k in [5u64, 1, 9, 3] {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.insert(3, 99), Some(30));
+        assert_eq!(t.get(3), Some(99));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn many_inserts_force_splits() {
+        let mut t = BPlusTree::new();
+        let n = 10_000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = (i * 2_654_435_761) % n;
+            t.insert(k, k as u32);
+        }
+        assert_eq!(t.len() as u64, n);
+        assert!(t.height() >= 3, "height {}", t.height());
+        for k in 0..n {
+            assert_eq!(t.get(k), Some(k as u32), "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_bounded() {
+        let mut t = BPlusTree::new();
+        for k in (0..1000u64).rev() {
+            t.insert(k * 3, k);
+        }
+        let r = t.range(30, 91);
+        let keys: Vec<u64> = r.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![30, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60, 63, 66, 69, 72, 75, 78, 81, 84, 87, 90]);
+    }
+
+    #[test]
+    fn per_process_range_via_key_packing() {
+        let mut t = BPlusTree::new();
+        for p in 0..5u32 {
+            for i in 1..=50u32 {
+                t.insert(key_of(EventId::new(ProcessId(p), EventIndex(i))), p * 100 + i);
+            }
+        }
+        let lo = key_of(EventId::new(ProcessId(2), EventIndex(1)));
+        let hi = key_of(EventId::new(ProcessId(3), EventIndex(1)));
+        let r = t.range(lo, hi);
+        assert_eq!(r.len(), 50);
+        assert!(r.iter().all(|&(k, _)| id_of(k).process == ProcessId(2)));
+    }
+
+    #[test]
+    fn duplicate_heavy_workload() {
+        let mut t = BPlusTree::new();
+        for round in 0..5u32 {
+            for k in 0..200u64 {
+                t.insert(k, round);
+            }
+        }
+        assert_eq!(t.len(), 200);
+        for k in 0..200u64 {
+            assert_eq!(t.get(k), Some(4));
+        }
+    }
+}

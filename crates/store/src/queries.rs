@@ -1,0 +1,253 @@
+//! Higher-level queries a visualization system issues against the store:
+//! precedence, greatest-concurrent-elements, and partial-order scrolling.
+//!
+//! All queries are generic over a [`PrecedenceBackend`], so the same query
+//! code runs against precomputed Fidge/Mattern stamps, cluster timestamps,
+//! the recompute-forward cache, or the paged-memory simulator — which is how
+//! the experiments compare their costs.
+
+use cts_core::cluster::ClusterTimestamps;
+use cts_core::fm::FmStore;
+use cts_model::{EventId, EventIndex, ProcessId, Trace};
+
+/// Anything that can answer `e → f`.
+pub trait PrecedenceBackend {
+    /// Does `e` happen before `f`?
+    fn precedes(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool;
+
+    /// Are `e` and `f` concurrent?
+    fn concurrent(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        e != f && !self.precedes(trace, e, f) && !self.precedes(trace, f, e)
+    }
+}
+
+/// Backend over precomputed Fidge/Mattern stamps.
+pub struct FmBackend<'a>(pub &'a FmStore);
+
+impl PrecedenceBackend for FmBackend<'_> {
+    fn precedes(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        self.0.precedes(trace, e, f)
+    }
+}
+
+/// Backend over cluster timestamps.
+pub struct ClusterBackend<'a>(pub &'a ClusterTimestamps);
+
+impl PrecedenceBackend for ClusterBackend<'_> {
+    fn precedes(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool {
+        self.0.precedes(trace, e, f)
+    }
+}
+
+impl PrecedenceBackend for crate::timestamp_cache::TimestampCache<'_> {
+    fn precedes(&mut self, _trace: &Trace, e: EventId, f: EventId) -> bool {
+        crate::timestamp_cache::TimestampCache::precedes(self, e, f)
+    }
+}
+
+impl PrecedenceBackend for crate::vm_sim::PagedTimestampStore<'_> {
+    fn precedes(&mut self, _trace: &Trace, e: EventId, f: EventId) -> bool {
+        crate::vm_sim::PagedTimestampStore::precedes(self, e, f)
+    }
+}
+
+/// For each other process, the greatest event concurrent with `e` — the
+/// "greatest-concurrent elements" computation of Ward's thesis, used in §1.1
+/// to illustrate virtual-memory thrashing.
+///
+/// Implementation mirrors what a tool does with only precedence tests
+/// available: scan each process's events backwards from the end, skipping
+/// events that causally follow `e`, until one concurrent with `e` is found
+/// (events of one process preceding `e` are a prefix, so the first
+/// non-follower that isn't a predecessor is the greatest concurrent one).
+pub fn greatest_concurrent<B: PrecedenceBackend>(
+    backend: &mut B,
+    trace: &Trace,
+    e: EventId,
+) -> Vec<Option<EventId>> {
+    let mut out = Vec::with_capacity(trace.num_processes() as usize);
+    for q in 0..trace.num_processes() {
+        let q = ProcessId(q);
+        if q == e.process {
+            out.push(None);
+            continue;
+        }
+        let len = trace.process_len(q) as u32;
+        let mut found = None;
+        let mut i = len;
+        while i >= 1 {
+            let cand = EventId::new(q, EventIndex(i));
+            if !backend.precedes(trace, e, cand) {
+                // First event (from the top) not in e's future; concurrent
+                // unless it precedes e.
+                if !backend.precedes(trace, cand, e) {
+                    found = Some(cand);
+                }
+                break;
+            }
+            i -= 1;
+        }
+        out.push(found);
+    }
+    out
+}
+
+/// Partial-order scrolling: the tool renders a window of `width` events per
+/// process starting at index `from`, and must determine the pairwise ordering
+/// of everything visible to draw arrows. Returns the number of ordered pairs
+/// found (and, as a side effect, drives `width² · N²`-ish precedence load
+/// through the backend).
+pub fn scroll_window<B: PrecedenceBackend>(
+    backend: &mut B,
+    trace: &Trace,
+    from: u32,
+    width: u32,
+) -> usize {
+    let mut visible = Vec::new();
+    for q in 0..trace.num_processes() {
+        let q = ProcessId(q);
+        let len = trace.process_len(q) as u32;
+        for i in from..(from + width).min(len + 1) {
+            if i >= 1 {
+                visible.push(EventId::new(q, EventIndex(i)));
+            }
+        }
+    }
+    let mut ordered = 0;
+    for &a in &visible {
+        for &b in &visible {
+            if a != b && backend.precedes(trace, a, b) {
+                ordered += 1;
+            }
+        }
+    }
+    ordered
+}
+
+/// As [`scroll_window`] but only every `stride`-th visible event enters the
+/// pairwise phase — for large-N cost measurements where the full quadratic
+/// pass is unnecessary (the paging behaviour per query is what matters).
+pub fn scroll_window_sampled<B: PrecedenceBackend>(
+    backend: &mut B,
+    trace: &Trace,
+    from: u32,
+    width: u32,
+    stride: usize,
+) -> usize {
+    assert!(stride >= 1);
+    let mut visible = Vec::new();
+    for q in 0..trace.num_processes() {
+        let q = ProcessId(q);
+        let len = trace.process_len(q) as u32;
+        for i in from..(from + width).min(len + 1) {
+            if i >= 1 {
+                visible.push(EventId::new(q, EventIndex(i)));
+            }
+        }
+    }
+    let sampled: Vec<EventId> = visible.into_iter().step_by(stride).collect();
+    let mut ordered = 0;
+    for &a in &sampled {
+        for &b in &sampled {
+            if a != b && backend.precedes(trace, a, b) {
+                ordered += 1;
+            }
+        }
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_core::strategy::MergeOnFirst;
+    use cts_core::ClusterEngine;
+    use cts_model::{Oracle, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn id(pr: u32, i: u32) -> EventId {
+        EventId::new(p(pr), EventIndex(i))
+    }
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(3);
+        let s = b.send(p(0), p(1)).unwrap();
+        b.internal(p(0)).unwrap();
+        b.receive(p(1), s).unwrap();
+        b.internal(p(1)).unwrap();
+        b.internal(p(2)).unwrap();
+        let s2 = b.send(p(1), p(2)).unwrap();
+        b.receive(p(2), s2).unwrap();
+        b.finish_complete("q").unwrap()
+    }
+
+    #[test]
+    fn greatest_concurrent_against_oracle() {
+        let t = sample();
+        let fm = FmStore::compute(&t);
+        let o = Oracle::compute(&t);
+        let e = id(1, 2); // receive on P1
+        let gc = greatest_concurrent(&mut FmBackend(&fm), &t, e);
+        // Verify each reported element really is concurrent and maximal.
+        for (qi, slot) in gc.iter().enumerate() {
+            let q = p(qi as u32);
+            if q == e.process {
+                assert!(slot.is_none());
+                continue;
+            }
+            if let Some(c) = slot {
+                assert!(o.concurrent(&t, e, *c), "{c} not concurrent with {e}");
+                // Nothing later on q is concurrent.
+                for later in (c.index.0 + 1)..=(t.process_len(q) as u32) {
+                    assert!(!o.concurrent(&t, e, id(q.0, later)));
+                }
+            } else {
+                for i in 1..=(t.process_len(q) as u32) {
+                    assert!(!o.concurrent(&t, e, id(q.0, i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_queries() {
+        let t = sample();
+        let fm = FmStore::compute(&t);
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        let mut cache = crate::timestamp_cache::TimestampCache::new(&t, 8);
+        let mut paged = crate::vm_sim::PagedTimestampStore::new(&t, &fm, 64);
+        for e in t.all_event_ids() {
+            let a = greatest_concurrent(&mut FmBackend(&fm), &t, e);
+            let b = greatest_concurrent(&mut ClusterBackend(&cts), &t, e);
+            let c = greatest_concurrent(&mut cache, &t, e);
+            let d = greatest_concurrent(&mut paged, &t, e);
+            assert_eq!(a, b, "cluster backend diverged at {e}");
+            assert_eq!(a, c, "cache backend diverged at {e}");
+            assert_eq!(a, d, "paged backend diverged at {e}");
+        }
+    }
+
+    #[test]
+    fn scroll_counts_ordered_pairs() {
+        let t = sample();
+        let fm = FmStore::compute(&t);
+        let full = scroll_window(&mut FmBackend(&fm), &t, 1, 10);
+        // Count ordered pairs via the oracle.
+        let o = Oracle::compute(&t);
+        let mut expect = 0;
+        for a in t.all_event_ids() {
+            for b in t.all_event_ids() {
+                if a != b && o.happened_before(&t, a, b) {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(full, expect);
+        // A narrow window sees fewer pairs.
+        let narrow = scroll_window(&mut FmBackend(&fm), &t, 1, 1);
+        assert!(narrow < full);
+    }
+}

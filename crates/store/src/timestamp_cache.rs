@@ -1,0 +1,246 @@
+//! The POET/OLT approach: "calculate timestamps as required … implement
+//! their own caching scheme for some timestamps, and calculate forward as
+//! needed. The effect is that the precedence-test cost when using such
+//! timestamps is O(N)" (§1.1).
+//!
+//! An LRU holds recently used Fidge/Mattern stamps; a request for an uncached
+//! stamp recomputes it from its immediate predecessors (recursively, until
+//! cached stamps or process starts are reached). The cache instruments its
+//! work in *element operations* (one `u32` touched), making the O(N)-per-test
+//! growth directly measurable — experiment M3 in DESIGN.md.
+
+use crate::lru::LruCache;
+use cts_model::{EventId, Trace};
+
+/// LRU-cached, recompute-forward Fidge/Mattern stamps.
+pub struct TimestampCache<'t> {
+    trace: &'t Trace,
+    n: usize,
+    cache: LruCache<EventId, Box<[u32]>>,
+    /// Total `u32` element operations performed (vector copies and maxes).
+    element_ops: u64,
+    /// Events whose stamps were (re)computed.
+    computed: u64,
+    /// Precedence queries served.
+    queries: u64,
+}
+
+impl<'t> TimestampCache<'t> {
+    /// Cache over `trace` holding at most `capacity` stamps.
+    pub fn new(trace: &'t Trace, capacity: usize) -> TimestampCache<'t> {
+        TimestampCache {
+            trace,
+            n: trace.num_processes() as usize,
+            cache: LruCache::new(capacity),
+            element_ops: 0,
+            computed: 0,
+            queries: 0,
+        }
+    }
+
+    /// `(element_ops, events_computed, queries)` counters.
+    pub fn cost(&self) -> (u64, u64, u64) {
+        (self.element_ops, self.computed, self.queries)
+    }
+
+    /// Predecessors used for *computation*: a sync half depends on both
+    /// processes' previous events (its peer's stamp is identical to its own,
+    /// so routing through the peer would be circular).
+    fn comp_preds(&self, ev: EventId) -> [Option<EventId>; 2] {
+        match self.trace.kind(ev) {
+            cts_model::EventKind::Sync { peer } => {
+                [ev.prev_in_process(), peer.prev_in_process()]
+            }
+            _ => self.trace.immediate_predecessors(ev),
+        }
+    }
+
+    /// Cache hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.cache.stats()
+    }
+
+    /// The stamp of `id`, recomputing as needed.
+    ///
+    /// Uncached ancestors are collected by DFS with the current cache
+    /// contents as the boundary, then computed in topological order into a
+    /// per-call memo (so a single call computes each ancestor exactly once,
+    /// regardless of cache capacity); finally the computed chain is pushed
+    /// through the LRU so subsequent nearby queries hit.
+    pub fn stamp(&mut self, id: EventId) -> Box<[u32]> {
+        if let Some(s) = self.cache.get(&id) {
+            return s.clone();
+        }
+        use std::collections::HashMap;
+        let mut memo: HashMap<EventId, Box<[u32]>> = HashMap::new();
+        let mut order: Vec<EventId> = Vec::new();
+        let mut visited: std::collections::HashSet<EventId> = Default::default();
+        let mut stack: Vec<(EventId, bool)> = vec![(id, false)];
+        while let Some((ev, expanded)) = stack.pop() {
+            if expanded {
+                order.push(ev);
+                continue;
+            }
+            if visited.contains(&ev) || self.cache.peek(&ev).is_some() {
+                continue;
+            }
+            visited.insert(ev);
+            stack.push((ev, true));
+            for pred in self.comp_preds(ev).into_iter().flatten() {
+                if self.cache.peek(&pred).is_none() && !visited.contains(&pred) {
+                    stack.push((pred, false));
+                }
+            }
+        }
+        for &ev in &order {
+            let mut stamp = vec![0u32; self.n];
+            for pred in self.comp_preds(ev).into_iter().flatten() {
+                let ps = memo
+                    .get(&pred)
+                    .cloned()
+                    .or_else(|| self.cache.peek(&pred).cloned())
+                    .expect("topological order computes predecessors first");
+                for (a, b) in stamp.iter_mut().zip(ps.iter()) {
+                    *a = (*a).max(*b);
+                }
+                self.element_ops += self.n as u64;
+            }
+            stamp[ev.process.idx()] = ev.index.0;
+            if let cts_model::EventKind::Sync { peer } = self.trace.kind(ev) {
+                stamp[peer.process.idx()] = peer.index.0;
+            }
+            self.element_ops += self.n as u64; // write-out
+            self.computed += 1;
+            memo.insert(ev, stamp.into_boxed_slice());
+        }
+        let result = memo[&id].clone();
+        // Warm the LRU with the freshly computed chain, oldest first, so the
+        // most recent (the requested stamp and its vicinity) survive.
+        for ev in order {
+            if let Some(s) = memo.remove(&ev) {
+                self.cache.insert(ev, s);
+            }
+        }
+        result
+    }
+
+    /// Precedence via on-demand computation: `e → f ⇔ e ≠ f ∧ FM(f)[p_e] ≥
+    /// idx(e)`. Only `f`'s stamp is needed.
+    pub fn precedes(&mut self, e: EventId, f: EventId) -> bool {
+        self.queries += 1;
+        if e == f {
+            return false;
+        }
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        let fs = self.stamp(f);
+        fs[e.process.idx()] >= e.index.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_core::fm::FmStore;
+    use cts_model::{EventIndex, ProcessId, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn ladder(rungs: u32) -> Trace {
+        let mut b = TraceBuilder::new(2);
+        for _ in 0..rungs {
+            let s = b.send(p(0), p(1)).unwrap();
+            b.receive(p(1), s).unwrap();
+            let s = b.send(p(1), p(0)).unwrap();
+            b.receive(p(0), s).unwrap();
+        }
+        b.finish_complete("ladder").unwrap()
+    }
+
+    #[test]
+    fn stamps_match_precomputed_store() {
+        let t = ladder(10);
+        let fm = FmStore::compute(&t);
+        let mut cache = TimestampCache::new(&t, 4);
+        for id in t.all_event_ids() {
+            assert_eq!(&*cache.stamp(id), fm.stamp(&t, id), "{id}");
+        }
+    }
+
+    #[test]
+    fn stamps_match_with_sync_events() {
+        let mut b = TraceBuilder::new(3);
+        b.sync(p(0), p(1)).unwrap();
+        b.sync(p(1), p(2)).unwrap();
+        b.internal(p(2)).unwrap();
+        b.sync(p(0), p(2)).unwrap();
+        let t = b.finish_complete("syncs").unwrap();
+        let fm = FmStore::compute(&t);
+        let mut cache = TimestampCache::new(&t, 2);
+        for id in t.all_event_ids() {
+            assert_eq!(&*cache.stamp(id), fm.stamp(&t, id), "{id}");
+        }
+    }
+
+    #[test]
+    fn precedence_is_exact() {
+        let t = ladder(6);
+        let fm = FmStore::compute(&t);
+        let mut cache = TimestampCache::new(&t, 3);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(cache.precedes(e, f), fm.precedes(&t, e, f));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_cache_recomputes_more() {
+        let t = ladder(20);
+        let last = EventId::new(p(0), EventIndex(2 * 20));
+        let mut big = TimestampCache::new(&t, 1024);
+        big.stamp(last);
+        big.stamp(last);
+        let (_, computed_big, _) = big.cost();
+
+        let mut tiny = TimestampCache::new(&t, 2);
+        tiny.stamp(last);
+        // Second request from the far end forces recomputation.
+        tiny.stamp(EventId::new(p(1), EventIndex(1)));
+        tiny.stamp(last);
+        let (_, computed_tiny, _) = tiny.cost();
+        assert!(
+            computed_tiny > computed_big,
+            "tiny {computed_tiny} !> big {computed_big}"
+        );
+    }
+
+    #[test]
+    fn element_ops_scale_with_process_count() {
+        // Same event count, different widths: the §1.1 claim that cost grows
+        // with N even when the number of events is fixed.
+        let cost_for = |n: u32| {
+            let mut b = TraceBuilder::new(n);
+            for r in 0..30u32 {
+                let a = r % n;
+                let q = (a + 1) % n;
+                let s = b.send(p(a), p(q)).unwrap();
+                b.receive(p(q), s).unwrap();
+            }
+            let t = b.finish_complete("w").unwrap();
+            let last = t.events().last().unwrap().id;
+            let mut c = TimestampCache::new(&t, 2);
+            c.precedes(EventId::new(p(0), EventIndex(1)), last);
+            c.cost().0
+        };
+        let small = cost_for(4);
+        let large = cost_for(64);
+        assert!(
+            large > small * 8,
+            "cost should grow ~linearly with N: {small} -> {large}"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! A paged-memory simulator for the §1.1 virtual-memory argument.
+//!
+//! Pre-computed Fidge/Mattern stamps laid out consecutively are read through
+//! a simulated 4 KiB-page memory with a bounded LRU frame pool. A precedence
+//! test touches a *single* element of a stamp, but the paging system reads
+//! the whole page — "virtual memory systems presume spatial and temporal
+//! locality, and thus will read in an entire 4 KB page, or in other words,
+//! the complete vector. The rest of the vector typically has no further
+//! value."
+//!
+//! The simulator counts page reads so experiments can reproduce Ward's
+//! observation that one greatest-concurrent-elements query at 1000 processes
+//! reads on the order of 12 000 pages.
+
+use crate::lru::LruCache;
+use cts_core::fm::FmStore;
+use cts_model::{EventId, Trace};
+
+/// Default page size, matching the paper's 4 KB.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Pre-computed stamps accessed through simulated paged memory.
+pub struct PagedTimestampStore<'t> {
+    trace: &'t Trace,
+    fm: &'t FmStore,
+    /// Resident page frames (page number → ()).
+    frames: LruCache<u64, ()>,
+    page_size: usize,
+    page_reads: u64,
+    element_touches: u64,
+}
+
+impl<'t> PagedTimestampStore<'t> {
+    /// Wrap a precomputed stamp store with a `frame_count`-page LRU memory.
+    pub fn new(trace: &'t Trace, fm: &'t FmStore, frame_count: usize) -> PagedTimestampStore<'t> {
+        Self::with_page_size(trace, fm, frame_count, PAGE_SIZE)
+    }
+
+    /// As [`new`](Self::new) with an explicit page size (tests).
+    pub fn with_page_size(
+        trace: &'t Trace,
+        fm: &'t FmStore,
+        frame_count: usize,
+        page_size: usize,
+    ) -> PagedTimestampStore<'t> {
+        assert!(page_size >= 4, "page must hold at least one element");
+        PagedTimestampStore {
+            trace,
+            fm,
+            frames: LruCache::new(frame_count),
+            page_size,
+            page_reads: 0,
+            element_touches: 0,
+        }
+    }
+
+    /// Pages read from "disk" so far (LRU misses).
+    pub fn page_reads(&self) -> u64 {
+        self.page_reads
+    }
+
+    /// Individual element accesses so far.
+    pub fn element_touches(&self) -> u64 {
+        self.element_touches
+    }
+
+    /// Reset counters (e.g. between query measurements) without flushing the
+    /// resident set.
+    pub fn reset_counters(&mut self) {
+        self.page_reads = 0;
+        self.element_touches = 0;
+    }
+
+    fn touch_byte(&mut self, offset: u64) {
+        let page = offset / self.page_size as u64;
+        if self.frames.get(&page).is_none() {
+            self.page_reads += 1;
+            self.frames.insert(page, ());
+        }
+    }
+
+    /// Read one component of one stamp (the precedence-test access pattern).
+    pub fn read_component(&mut self, f: EventId, component: usize) -> u32 {
+        let pos = self.trace.delivery_pos(f);
+        let n = self.fm.num_processes();
+        debug_assert!(component < n);
+        self.element_touches += 1;
+        self.touch_byte(((pos * n + component) * 4) as u64);
+        self.fm.stamp_at(pos)[component]
+    }
+
+    /// Precedence through paged memory: one component read.
+    pub fn precedes(&mut self, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        self.read_component(f, e.process.idx()) >= e.index.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::{EventIndex, ProcessId, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn wide_trace(n: u32, rounds: u32) -> Trace {
+        let mut b = TraceBuilder::new(n);
+        for r in 0..rounds {
+            for i in 0..n {
+                let q = (i + 1 + r) % n;
+                if q != i {
+                    let s = b.send(p(i), p(q)).unwrap();
+                    b.receive(p(q), s).unwrap();
+                }
+            }
+        }
+        b.finish_complete("wide").unwrap()
+    }
+
+    #[test]
+    fn distinct_stamps_fault_distinct_pages() {
+        let t = wide_trace(16, 4);
+        let fm = FmStore::compute(&t);
+        // Page = one stamp: 16 processes * 4 bytes = 64-byte "pages".
+        let mut paged = PagedTimestampStore::with_page_size(&t, &fm, 8, 64);
+        let e = EventId::new(p(0), EventIndex(1));
+        let mut faults_expected = 0;
+        for f in t.all_event_ids().take(8) {
+            if f.process != e.process {
+                faults_expected += 1;
+                let _ = paged.precedes(e, f);
+            }
+        }
+        assert_eq!(paged.page_reads(), faults_expected);
+    }
+
+    #[test]
+    fn repeated_access_hits_resident_page() {
+        let t = wide_trace(8, 2);
+        let fm = FmStore::compute(&t);
+        let mut paged = PagedTimestampStore::with_page_size(&t, &fm, 4, 32);
+        let e = EventId::new(p(0), EventIndex(1));
+        let f = EventId::new(p(1), EventIndex(2));
+        paged.precedes(e, f);
+        let after_first = paged.page_reads();
+        paged.precedes(e, f);
+        assert_eq!(paged.page_reads(), after_first);
+    }
+
+    #[test]
+    fn thrash_when_frames_scarce() {
+        let t = wide_trace(16, 4);
+        let fm = FmStore::compute(&t);
+        let mut scarce = PagedTimestampStore::with_page_size(&t, &fm, 1, 64);
+        let mut ample = PagedTimestampStore::with_page_size(&t, &fm, 4096, 64);
+        let e = EventId::new(p(0), EventIndex(1));
+        // Two sweeps: the ample memory faults once per page, the scarce one
+        // faults on both sweeps.
+        for _ in 0..2 {
+            for f in t.all_event_ids() {
+                let _ = scarce.precedes(e, f);
+                let _ = ample.precedes(e, f);
+            }
+        }
+        assert!(scarce.page_reads() > ample.page_reads());
+    }
+
+    #[test]
+    fn values_match_unpaged_store() {
+        let t = wide_trace(6, 3);
+        let fm = FmStore::compute(&t);
+        let mut paged = PagedTimestampStore::new(&t, &fm, 64);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(paged.precedes(e, f), fm.precedes(&t, e, f));
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! DCE-style business applications: synchronous RPC between tiers. The
+//! paper's DCE corpus was "sample business-application code"; DCE RPC is
+//! synchronous, so these generators lean on synchronous event pairs —
+//! which also exercises the "synchronous communications count twice" rule of
+//! §3.1.
+
+use crate::{rng, Workload};
+use cts_model::{ProcessId, Trace, TraceBuilder};
+use rand::Rng;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId(i)
+}
+
+/// Three-tier business application: clients make synchronous RPCs to
+/// application servers, which make synchronous RPCs to databases. Clients
+/// are sticky to a home server; servers are sticky to a primary database.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreeTier {
+    pub clients: u32,
+    pub servers: u32,
+    pub databases: u32,
+    pub transactions: u32,
+}
+
+impl ThreeTier {
+    fn server(&self, s: u32) -> u32 {
+        self.clients + s
+    }
+    fn database(&self, d: u32) -> u32 {
+        self.clients + self.servers + d
+    }
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.clients + self.servers + self.databases
+    }
+}
+
+impl Workload for ThreeTier {
+    fn name(&self) -> String {
+        format!(
+            "dce/three-tier-c{}s{}d{}t{}",
+            self.clients, self.servers, self.databases, self.transactions
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.clients >= 1 && self.servers >= 1 && self.databases >= 1);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs());
+        for txn in 0..self.transactions {
+            let c = txn % self.clients;
+            // Home server with occasional failover.
+            let s = if r.gen_bool(0.9) {
+                c % self.servers
+            } else {
+                r.gen_range(0..self.servers)
+            };
+            let d = if r.gen_bool(0.9) {
+                s % self.databases
+            } else {
+                r.gen_range(0..self.databases)
+            };
+            b.internal(p(c)).unwrap();
+            b.sync(p(c), p(self.server(s))).unwrap(); // RPC call
+            b.internal(p(self.server(s))).unwrap();
+            b.sync(p(self.server(s)), p(self.database(d))).unwrap(); // query
+            b.internal(p(self.database(d))).unwrap();
+            b.sync(p(self.database(d)), p(self.server(s))).unwrap(); // result
+            b.sync(p(self.server(s)), p(c)).unwrap(); // RPC return
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// A multi-office business workflow mixing synchronous RPC (within an
+/// office) and asynchronous mail (between offices).
+#[derive(Clone, Copy, Debug)]
+pub struct BusinessWorkflow {
+    pub offices: u32,
+    /// Staff per office (≥ 2).
+    pub staff: u32,
+    pub cases: u32,
+}
+
+impl BusinessWorkflow {
+    fn member(&self, office: u32, m: u32) -> u32 {
+        office * self.staff + m
+    }
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.offices * self.staff
+    }
+}
+
+impl Workload for BusinessWorkflow {
+    fn name(&self) -> String {
+        format!(
+            "dce/workflow-o{}s{}c{}",
+            self.offices, self.staff, self.cases
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.offices >= 2 && self.staff >= 2);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs());
+        for case in 0..self.cases {
+            let office = case % self.offices;
+            let clerk = self.member(office, 0);
+            // Intra-office synchronous processing among the staff.
+            for m in 1..self.staff {
+                b.sync(p(clerk), p(self.member(office, m))).unwrap();
+                b.internal(p(self.member(office, m))).unwrap();
+            }
+            // Occasionally escalate to another office asynchronously.
+            if r.gen_bool(0.5) {
+                let other = (office + 1 + r.gen_range(0..self.offices - 1)) % self.offices;
+                let remote = self.member(other, r.gen_range(0..self.staff));
+                let tok = b.send(p(clerk), p(remote)).unwrap();
+                b.receive(p(remote), tok).unwrap();
+                let back = b.send(p(remote), p(clerk)).unwrap();
+                b.receive(p(clerk), back).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// A purely synchronous computation (every communication a sync pair), used
+/// to exercise the Garg/Skawratananond baseline, which applies only to
+/// synchronous computations — the paper could not compare against it because
+/// "none of our computations contain exclusively synchronous communication".
+#[derive(Clone, Copy, Debug)]
+pub struct AllSync {
+    pub procs: u32,
+    pub communications: u32,
+    /// Department size: most synchronous calls stay within a department of
+    /// this many processes (locality).
+    pub partners: u32,
+}
+
+impl Workload for AllSync {
+    fn name(&self) -> String {
+        format!("dce/all-sync-{}x{}", self.procs, self.communications)
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.procs >= 2);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs);
+        for _ in 0..self.communications {
+            let a = r.gen_range(0..self.procs);
+            // Departments of `partners` processes; most RPCs stay inside the
+            // department, some reach across (real business-code affinity).
+            let dept = self.partners.clamp(2, self.procs);
+            let q = if r.gen_bool(0.85) {
+                let base = (a / dept) * dept;
+                loop {
+                    let cand = base + r.gen_range(0..dept);
+                    if cand != a && cand < self.procs {
+                        break cand;
+                    }
+                }
+            } else {
+                (a + 1 + r.gen_range(0..self.procs - 1)) % self.procs
+            };
+            b.sync(p(a), p(q)).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::stats::TraceStats;
+
+    #[test]
+    fn three_tier_is_all_sync_rpc() {
+        let w = ThreeTier {
+            clients: 4,
+            servers: 2,
+            databases: 1,
+            transactions: 8,
+        };
+        let t = w.generate(9);
+        assert_eq!(t.num_messages(), 0);
+        assert_eq!(t.num_sync_pairs(), 8 * 4);
+        assert_eq!(t.num_processes(), 7);
+    }
+
+    #[test]
+    fn workflow_mixes_sync_and_async() {
+        let w = BusinessWorkflow {
+            offices: 3,
+            staff: 3,
+            cases: 150,
+        };
+        let t = w.generate(13);
+        let st = TraceStats::compute(&t);
+        assert!(st.num_sync_pairs > 0);
+        assert!(st.num_messages > 0, "escalations should occur at 150 cases");
+    }
+
+    #[test]
+    fn all_sync_has_no_plain_messages() {
+        let w = AllSync {
+            procs: 10,
+            communications: 50,
+            partners: 2,
+        };
+        let t = w.generate(17);
+        assert_eq!(t.num_messages(), 0);
+        assert_eq!(t.num_sync_pairs(), 50);
+        // Locality: intra-department edges dominate.
+        let m = cts_model::comm::CommMatrix::from_trace(&t);
+        let intra: u64 = (0..10u32).flat_map(|a| (0..10u32).map(move |q| (a, q)))
+            .filter(|&(a, q)| a < q && a / 2 == q / 2)
+            .map(|(a, q)| m.count(p(a), p(q)))
+            .sum();
+        assert!(intra * 2 > m.total(), "intra {intra} of {}", m.total());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w = ThreeTier {
+            clients: 2,
+            servers: 2,
+            databases: 2,
+            transactions: 5,
+        };
+        assert_eq!(w.generate(1).events(), w.generate(1).events());
+    }
+}
+
+/// A podded three-tier deployment: each pod is one application server, one
+/// database, and a handful of bound clients; cross-pod failover is rare.
+/// This is the business-app shape where each department's clients hit their
+/// departmental server — locality at pod scale.
+#[derive(Clone, Copy, Debug)]
+pub struct PoddedThreeTier {
+    pub pods: u32,
+    pub clients_per_pod: u32,
+    pub transactions: u32,
+    /// Probability a transaction fails over to another pod's server.
+    pub failover: f64,
+}
+
+impl PoddedThreeTier {
+    fn pod_size(&self) -> u32 {
+        self.clients_per_pod + 2
+    }
+    fn client(&self, pod: u32, c: u32) -> u32 {
+        pod * self.pod_size() + c
+    }
+    fn server(&self, pod: u32) -> u32 {
+        pod * self.pod_size() + self.clients_per_pod
+    }
+    fn database(&self, pod: u32) -> u32 {
+        pod * self.pod_size() + self.clients_per_pod + 1
+    }
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.pods * self.pod_size()
+    }
+}
+
+impl Workload for PoddedThreeTier {
+    fn name(&self) -> String {
+        format!(
+            "dce/podded-three-tier-{}x(c{})t{}",
+            self.pods, self.clients_per_pod, self.transactions
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.pods >= 2 && self.clients_per_pod >= 1);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs());
+        let total_clients = self.pods * self.clients_per_pod;
+        for txn in 0..self.transactions {
+            let flat = txn % total_clients;
+            let home = flat / self.clients_per_pod;
+            let c = self.client(home, flat % self.clients_per_pod);
+            let pod = if r.gen_bool(self.failover) {
+                (home + 1 + r.gen_range(0..self.pods - 1)) % self.pods
+            } else {
+                home
+            };
+            b.internal(p(c)).unwrap();
+            b.sync(p(c), p(self.server(pod))).unwrap();
+            b.sync(p(self.server(pod)), p(self.database(pod))).unwrap();
+            b.internal(p(self.database(pod))).unwrap();
+            b.sync(p(self.database(pod)), p(self.server(pod))).unwrap();
+            b.sync(p(self.server(pod)), p(c)).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod podded_tests {
+    use super::*;
+    use cts_model::comm::CommMatrix;
+
+    #[test]
+    fn pods_are_mostly_isolated() {
+        let w = PoddedThreeTier {
+            pods: 4,
+            clients_per_pod: 3,
+            transactions: 200,
+            failover: 0.0,
+        };
+        let t = w.generate(3);
+        assert_eq!(t.num_processes(), 20);
+        let m = CommMatrix::from_trace(&t);
+        // Pod 0's client never reaches pod 1's server without failover.
+        assert_eq!(m.count(p(w.client(0, 0)), p(w.server(1))), 0);
+        assert!(m.count(p(w.client(0, 0)), p(w.server(0))) > 0);
+        // Databases are pod-private.
+        assert_eq!(m.count(p(w.database(0)), p(w.server(1))), 0);
+    }
+
+    #[test]
+    fn failover_bridges_pods() {
+        let w = PoddedThreeTier {
+            pods: 3,
+            clients_per_pod: 2,
+            transactions: 300,
+            failover: 0.2,
+        };
+        let t = w.generate(5);
+        let m = CommMatrix::from_trace(&t);
+        let cross: u64 = (0..3u32)
+            .flat_map(|a| (0..3u32).map(move |b| (a, b)))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| m.count(p(w.server(a)), p(w.client(b, 0))))
+            .sum();
+        assert!(cross > 0);
+    }
+
+    #[test]
+    fn all_communication_is_synchronous() {
+        let w = PoddedThreeTier {
+            pods: 2,
+            clients_per_pod: 2,
+            transactions: 20,
+            failover: 0.1,
+        };
+        let t = w.generate(1);
+        assert_eq!(t.num_messages(), 0);
+        assert_eq!(t.num_sync_pairs(), 20 * 4);
+    }
+}

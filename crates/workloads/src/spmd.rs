@@ -1,0 +1,808 @@
+//! SPMD / PVM-style parallel computations: the strong-locality end of the
+//! spectrum. These mirror the paper's PVM corpus — "SPMD style parallel
+//! computations … a number of them exhibited close neighbour communication
+//! and scatter-gather patterns", including the Cowichan benchmark style.
+
+use crate::Workload;
+use cts_model::{ProcessId, Trace, TraceBuilder};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId(i)
+}
+
+/// One binary-tree reduce + broadcast over all `n` processes — the global
+/// synchronization phase (residual norms, convergence checks, barriers) that
+/// every real SPMD code interleaves with its local exchanges. This traffic
+/// crosses any bounded clustering, which is precisely what keeps the paper's
+/// ratio curves from collapsing to the trivial one-cluster optimum.
+fn tree_allreduce_phase(b: &mut TraceBuilder, n: u32) {
+    for i in (1..n).rev() {
+        let parent = (i - 1) / 2;
+        let tok = b.send(p(i), p(parent)).unwrap();
+        b.receive(p(parent), tok).unwrap();
+    }
+    for i in 1..n {
+        let parent = (i - 1) / 2;
+        let tok = b.send(p(parent), p(i)).unwrap();
+        b.receive(p(i), tok).unwrap();
+    }
+}
+
+/// 1-D halo exchange: every iteration each process swaps with its left and
+/// right neighbours, then computes.
+#[derive(Clone, Copy, Debug)]
+pub struct Stencil1D {
+    pub procs: u32,
+    pub iters: u32,
+}
+
+impl Workload for Stencil1D {
+    fn name(&self) -> String {
+        format!("pvm/stencil1d-{}x{}", self.procs, self.iters)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.procs;
+        assert!(n >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.iters {
+            // Exchange phase: everyone posts sends, then receives arrive.
+            let mut tokens = Vec::new();
+            for i in 0..n {
+                if i > 0 {
+                    tokens.push((i - 1, b.send(p(i), p(i - 1)).unwrap()));
+                }
+                if i + 1 < n {
+                    tokens.push((i + 1, b.send(p(i), p(i + 1)).unwrap()));
+                }
+            }
+            for (dst, tok) in tokens {
+                b.receive(p(dst), tok).unwrap();
+            }
+            // Compute phase.
+            for i in 0..n {
+                b.internal(p(i)).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// 2-D five-point stencil on a `rows × cols` process grid.
+#[derive(Clone, Copy, Debug)]
+pub struct Stencil2D {
+    pub rows: u32,
+    pub cols: u32,
+    pub iters: u32,
+}
+
+impl Stencil2D {
+    fn at(&self, r: u32, c: u32) -> u32 {
+        r * self.cols + c
+    }
+}
+
+impl Workload for Stencil2D {
+    fn name(&self) -> String {
+        format!("pvm/stencil2d-{}x{}x{}", self.rows, self.cols, self.iters)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.rows * self.cols;
+        assert!(n >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.iters {
+            let mut tokens = Vec::new();
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    let me = self.at(r, c);
+                    let mut push = |dst: u32, b: &mut TraceBuilder| {
+                        let tok = b.send(p(me), p(dst)).unwrap();
+                        tokens.push((dst, tok));
+                    };
+                    if r > 0 {
+                        push(self.at(r - 1, c), &mut b);
+                    }
+                    if r + 1 < self.rows {
+                        push(self.at(r + 1, c), &mut b);
+                    }
+                    if c > 0 {
+                        push(self.at(r, c - 1), &mut b);
+                    }
+                    if c + 1 < self.cols {
+                        push(self.at(r, c + 1), &mut b);
+                    }
+                }
+            }
+            for (dst, tok) in tokens {
+                b.receive(p(dst), tok).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Token ring: a message circulates `rounds` times.
+#[derive(Clone, Copy, Debug)]
+pub struct Ring {
+    pub procs: u32,
+    pub rounds: u32,
+}
+
+impl Workload for Ring {
+    fn name(&self) -> String {
+        format!("pvm/ring-{}x{}", self.procs, self.rounds)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.procs;
+        assert!(n >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.rounds {
+            for i in 0..n {
+                let next = (i + 1) % n;
+                let tok = b.send(p(i), p(next)).unwrap();
+                b.receive(p(next), tok).unwrap();
+                b.internal(p(next)).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Master/worker scatter-gather: the master scatters work, workers compute
+/// and reply, master gathers.
+#[derive(Clone, Copy, Debug)]
+pub struct ScatterGather {
+    pub workers: u32,
+    pub rounds: u32,
+    /// Internal events each worker performs per round.
+    pub work: u32,
+}
+
+impl Workload for ScatterGather {
+    fn name(&self) -> String {
+        format!("pvm/scatter-gather-{}x{}", self.workers, self.rounds)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.workers + 1; // process 0 is the master
+        assert!(self.workers >= 1);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.rounds {
+            let mut out = Vec::new();
+            for w in 1..n {
+                out.push((w, b.send(p(0), p(w)).unwrap()));
+            }
+            let mut back = Vec::new();
+            for (w, tok) in out {
+                b.receive(p(w), tok).unwrap();
+                for _ in 0..self.work {
+                    b.internal(p(w)).unwrap();
+                }
+                back.push(b.send(p(w), p(0)).unwrap());
+            }
+            for tok in back {
+                b.receive(p(0), tok).unwrap();
+            }
+            b.internal(p(0)).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Binary-tree allreduce: reduce to the root, then broadcast back down.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeAllreduce {
+    pub procs: u32,
+    pub iters: u32,
+}
+
+impl Workload for TreeAllreduce {
+    fn name(&self) -> String {
+        format!("pvm/tree-allreduce-{}x{}", self.procs, self.iters)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.procs;
+        assert!(n >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.iters {
+            // Reduce: children send to parent, deepest first.
+            for i in (1..n).rev() {
+                let parent = (i - 1) / 2;
+                let tok = b.send(p(i), p(parent)).unwrap();
+                b.receive(p(parent), tok).unwrap();
+            }
+            // Broadcast: parent sends to children, shallowest first.
+            for i in 1..n {
+                let parent = (i - 1) / 2;
+                let tok = b.send(p(parent), p(i)).unwrap();
+                b.receive(p(i), tok).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Hypercube butterfly exchange (requires a power-of-two process count):
+/// `log2(n)` stages of pairwise exchange with partner `i ^ 2^k`.
+#[derive(Clone, Copy, Debug)]
+pub struct Butterfly {
+    pub log2_procs: u32,
+    pub iters: u32,
+}
+
+impl Workload for Butterfly {
+    fn name(&self) -> String {
+        format!("pvm/butterfly-{}x{}", 1u32 << self.log2_procs, self.iters)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = 1u32 << self.log2_procs;
+        assert!(n >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.iters {
+            for k in 0..self.log2_procs {
+                let bit = 1u32 << k;
+                let mut tokens = Vec::new();
+                for i in 0..n {
+                    let partner = i ^ bit;
+                    tokens.push((partner, b.send(p(i), p(partner)).unwrap()));
+                }
+                for (dst, tok) in tokens {
+                    b.receive(p(dst), tok).unwrap();
+                }
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Software pipeline: items flow through the stages in order.
+#[derive(Clone, Copy, Debug)]
+pub struct Pipeline {
+    pub stages: u32,
+    pub items: u32,
+}
+
+impl Workload for Pipeline {
+    fn name(&self) -> String {
+        format!("pvm/pipeline-{}x{}", self.stages, self.items)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.stages;
+        assert!(n >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.items {
+            for s in 0..(n - 1) {
+                b.internal(p(s)).unwrap();
+                let tok = b.send(p(s), p(s + 1)).unwrap();
+                b.receive(p(s + 1), tok).unwrap();
+            }
+            b.internal(p(n - 1)).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// A Cowichan-style phased composite: scatter (randmat) → halo exchange
+/// (thresh/winnow) → tree reduce (norm) → gather (product). One trace
+/// exercising several communication regimes in sequence, the way a real SPMD
+/// benchmark run does.
+#[derive(Clone, Copy, Debug)]
+pub struct CowichanPhases {
+    pub procs: u32,
+    pub repeats: u32,
+}
+
+impl Workload for CowichanPhases {
+    fn name(&self) -> String {
+        format!("pvm/cowichan-{}x{}", self.procs, self.repeats)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.procs;
+        assert!(n >= 3);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.repeats {
+            // Phase 1 (randmat): master scatters seeds.
+            let mut out = Vec::new();
+            for w in 1..n {
+                out.push((w, b.send(p(0), p(w)).unwrap()));
+            }
+            for (w, tok) in out {
+                b.receive(p(w), tok).unwrap();
+                b.internal(p(w)).unwrap();
+            }
+            // Phase 2 (thresh): two rounds of 1-D halo exchange.
+            for _ in 0..2 {
+                let mut tokens = Vec::new();
+                for i in 0..n {
+                    if i > 0 {
+                        tokens.push((i - 1, b.send(p(i), p(i - 1)).unwrap()));
+                    }
+                    if i + 1 < n {
+                        tokens.push((i + 1, b.send(p(i), p(i + 1)).unwrap()));
+                    }
+                }
+                for (dst, tok) in tokens {
+                    b.receive(p(dst), tok).unwrap();
+                }
+            }
+            // Phase 3 (norm): tree reduce to 0.
+            for i in (1..n).rev() {
+                let parent = (i - 1) / 2;
+                let tok = b.send(p(i), p(parent)).unwrap();
+                b.receive(p(parent), tok).unwrap();
+            }
+            // Phase 4 (product): gather final rows at the master.
+            let mut back = Vec::new();
+            for w in 1..n {
+                back.push(b.send(p(w), p(0)).unwrap());
+            }
+            for tok in back {
+                b.receive(p(0), tok).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::comm::{CommGraph, CommMatrix};
+    use cts_model::Oracle;
+
+    #[test]
+    fn stencil1d_structure() {
+        let t = Stencil1D { procs: 5, iters: 2 }.generate(0);
+        // Per iter: 2*(n-1) messages + n internals.
+        assert_eq!(t.num_messages(), 2 * (2 * 4));
+        assert_eq!(t.num_internal(), 2 * 5);
+        let m = CommMatrix::from_trace(&t);
+        assert!(m.count(ProcessId(0), ProcessId(1)) > 0);
+        assert_eq!(m.count(ProcessId(0), ProcessId(2)), 0);
+    }
+
+    #[test]
+    fn stencil2d_neighbours_only() {
+        let w = Stencil2D {
+            rows: 3,
+            cols: 3,
+            iters: 1,
+        };
+        let t = w.generate(0);
+        let m = CommMatrix::from_trace(&t);
+        // Centre talks to its four neighbours only.
+        let centre = ProcessId(4);
+        assert!(m.count(centre, ProcessId(1)) > 0);
+        assert!(m.count(centre, ProcessId(3)) > 0);
+        assert!(m.count(centre, ProcessId(5)) > 0);
+        assert!(m.count(centre, ProcessId(7)) > 0);
+        assert_eq!(m.count(centre, ProcessId(0)), 0);
+        assert_eq!(m.count(centre, ProcessId(8)), 0);
+    }
+
+    #[test]
+    fn ring_is_causally_chained() {
+        let t = Ring { procs: 4, rounds: 1 }.generate(0);
+        let o = Oracle::compute(&t);
+        // First send on P0 precedes the last event of the round on P0.
+        let first = cts_model::EventId::new(ProcessId(0), cts_model::EventIndex(1));
+        let last_ev = t.events().last().unwrap().id;
+        assert!(o.happened_before(&t, first, last_ev));
+    }
+
+    #[test]
+    fn scatter_gather_hub_degree() {
+        let w = ScatterGather {
+            workers: 6,
+            rounds: 2,
+            work: 1,
+        };
+        let t = w.generate(0);
+        let g = CommGraph::from_trace(&t);
+        assert_eq!(g.degree(ProcessId(0)), 6);
+        assert_eq!(g.degree(ProcessId(3)), 1);
+    }
+
+    #[test]
+    fn tree_allreduce_roundtrip_count() {
+        let t = TreeAllreduce { procs: 7, iters: 3 }.generate(0);
+        assert_eq!(t.num_messages(), 3 * 2 * 6);
+    }
+
+    #[test]
+    fn butterfly_partner_structure() {
+        let t = Butterfly {
+            log2_procs: 3,
+            iters: 1,
+        }
+        .generate(0);
+        let m = CommMatrix::from_trace(&t);
+        // Partners at Hamming distance 1 communicate; others don't.
+        assert!(m.count(ProcessId(0), ProcessId(1)) > 0);
+        assert!(m.count(ProcessId(0), ProcessId(2)) > 0);
+        assert!(m.count(ProcessId(0), ProcessId(4)) > 0);
+        assert_eq!(m.count(ProcessId(0), ProcessId(3)), 0);
+        assert_eq!(m.count(ProcessId(0), ProcessId(7)), 0);
+    }
+
+    #[test]
+    fn pipeline_counts() {
+        let t = Pipeline {
+            stages: 4,
+            items: 5,
+        }
+        .generate(0);
+        assert_eq!(t.num_messages(), 5 * 3);
+        assert_eq!(t.num_internal(), 5 * 4);
+    }
+
+    #[test]
+    fn cowichan_runs_all_phases() {
+        let t = CowichanPhases {
+            procs: 8,
+            repeats: 2,
+        }
+        .generate(0);
+        assert!(t.num_messages() > 0);
+        // master + halo: both hub and neighbour structure present.
+        let m = CommMatrix::from_trace(&t);
+        assert!(m.count(ProcessId(0), ProcessId(7)) > 0); // scatter/gather
+        assert!(m.count(ProcessId(3), ProcessId(4)) > 0); // halo
+    }
+}
+
+/// 1-D halo exchange with *blocked* weights: neighbour pairs inside a block
+/// of `block` processes exchange twice per iteration, pairs straddling a
+/// block boundary once. Real SPMD codes have exactly this heterogeneity
+/// (logical subdomains, multigrid levels, …); it is what gives the static
+/// clusterer a signal to find subdomain boundaries.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockedStencil1D {
+    pub procs: u32,
+    pub iters: u32,
+    pub block: u32,
+}
+
+impl Workload for BlockedStencil1D {
+    fn name(&self) -> String {
+        format!(
+            "pvm/blocked-stencil1d-{}x{}b{}",
+            self.procs, self.iters, self.block
+        )
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.procs;
+        assert!(n >= 2 && self.block >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.iters {
+            let mut tokens = Vec::new();
+            for i in 0..(n - 1) {
+                let weight = if i / self.block == (i + 1) / self.block {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..weight {
+                    tokens.push((i + 1, b.send(p(i), p(i + 1)).unwrap()));
+                    tokens.push((i, b.send(p(i + 1), p(i)).unwrap()));
+                }
+            }
+            for (dst, tok) in tokens {
+                b.receive(p(dst), tok).unwrap();
+            }
+            for i in 0..n {
+                b.internal(p(i)).unwrap();
+            }
+            // Global residual-norm allreduce: the cross-subdomain traffic
+            // floor every real iterative solver has.
+            tree_allreduce_phase(&mut b, n);
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// 2-D stencil with row-major decomposition weights: horizontal (same-row)
+/// neighbours exchange twice per iteration, vertical neighbours once — the
+/// communication profile of a row-blocked domain decomposition.
+#[derive(Clone, Copy, Debug)]
+pub struct RowMajorStencil2D {
+    pub rows: u32,
+    pub cols: u32,
+    pub iters: u32,
+}
+
+impl RowMajorStencil2D {
+    fn at(&self, r: u32, c: u32) -> u32 {
+        r * self.cols + c
+    }
+}
+
+impl Workload for RowMajorStencil2D {
+    fn name(&self) -> String {
+        format!(
+            "pvm/rowmajor-stencil2d-{}x{}x{}",
+            self.rows, self.cols, self.iters
+        )
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.rows * self.cols;
+        assert!(n >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.iters {
+            let mut tokens = Vec::new();
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    let me = self.at(r, c);
+                    // Horizontal, heavy.
+                    if c + 1 < self.cols {
+                        let right = self.at(r, c + 1);
+                        for _ in 0..2 {
+                            tokens.push((right, b.send(p(me), p(right)).unwrap()));
+                            tokens.push((me, b.send(p(right), p(me)).unwrap()));
+                        }
+                    }
+                    // Vertical, light.
+                    if r + 1 < self.rows {
+                        let down = self.at(r + 1, c);
+                        tokens.push((down, b.send(p(me), p(down)).unwrap()));
+                        tokens.push((me, b.send(p(down), p(me)).unwrap()));
+                    }
+                }
+            }
+            for (dst, tok) in tokens {
+                b.receive(p(dst), tok).unwrap();
+            }
+            tree_allreduce_phase(&mut b, n);
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Token ring organized in convoys: links inside a convoy of `convoy`
+/// processes carry two tokens per round, convoy-boundary links one.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvoyRing {
+    pub procs: u32,
+    pub rounds: u32,
+    pub convoy: u32,
+}
+
+impl Workload for ConvoyRing {
+    fn name(&self) -> String {
+        format!("pvm/convoy-ring-{}x{}c{}", self.procs, self.rounds, self.convoy)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.procs;
+        assert!(n >= 2 && self.convoy >= 2);
+        let mut b = TraceBuilder::new(n);
+        for round in 0..self.rounds {
+            for i in 0..n {
+                let next = (i + 1) % n;
+                let weight = if next != 0 && i / self.convoy == next / self.convoy {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..weight {
+                    let tok = b.send(p(i), p(next)).unwrap();
+                    b.receive(p(next), tok).unwrap();
+                }
+            }
+            if round % 2 == 0 {
+                tree_allreduce_phase(&mut b, n);
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Pipeline whose stages form groups: an item handoff inside a group is
+/// acknowledged (two messages), a handoff between groups is fire-and-forget.
+#[derive(Clone, Copy, Debug)]
+pub struct StagedPipeline {
+    pub stages: u32,
+    pub items: u32,
+    pub group: u32,
+}
+
+impl Workload for StagedPipeline {
+    fn name(&self) -> String {
+        format!(
+            "pvm/staged-pipeline-{}x{}g{}",
+            self.stages, self.items, self.group
+        )
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let n = self.stages;
+        assert!(n >= 2 && self.group >= 2);
+        let mut b = TraceBuilder::new(n);
+        for _ in 0..self.items {
+            for s in 0..(n - 1) {
+                b.internal(p(s)).unwrap();
+                let tok = b.send(p(s), p(s + 1)).unwrap();
+                b.receive(p(s + 1), tok).unwrap();
+                if s / self.group == (s + 1) / self.group {
+                    let ack = b.send(p(s + 1), p(s)).unwrap();
+                    b.receive(p(s), ack).unwrap();
+                }
+            }
+            b.internal(p(n - 1)).unwrap();
+            // Flow-control credit wave back along the tree: the cross-group
+            // traffic floor of a real pipeline with bounded buffers.
+            tree_allreduce_phase(&mut b, n);
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Scatter-gather organized in independent teams, each with its own master —
+/// the shape of real master/worker codes at scale (hierarchical masters). A
+/// light master-to-master ring keeps the computation connected.
+#[derive(Clone, Copy, Debug)]
+pub struct TeamScatterGather {
+    pub teams: u32,
+    pub workers_per_team: u32,
+    pub rounds: u32,
+    pub work: u32,
+}
+
+impl TeamScatterGather {
+    fn team_size(&self) -> u32 {
+        self.workers_per_team + 1
+    }
+    fn master(&self, t: u32) -> u32 {
+        t * self.team_size()
+    }
+    fn worker(&self, t: u32, w: u32) -> u32 {
+        t * self.team_size() + 1 + w
+    }
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.teams * self.team_size()
+    }
+}
+
+impl Workload for TeamScatterGather {
+    fn name(&self) -> String {
+        format!(
+            "pvm/team-scatter-{}t{}w{}r",
+            self.teams, self.workers_per_team, self.rounds
+        )
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        assert!(self.teams >= 2 && self.workers_per_team >= 1);
+        let mut b = TraceBuilder::new(self.procs());
+        for round in 0..self.rounds {
+            for t in 0..self.teams {
+                let mut out = Vec::new();
+                for w in 0..self.workers_per_team {
+                    out.push((w, b.send(p(self.master(t)), p(self.worker(t, w))).unwrap()));
+                }
+                let mut back = Vec::new();
+                for (w, tok) in out {
+                    b.receive(p(self.worker(t, w)), tok).unwrap();
+                    for _ in 0..self.work {
+                        b.internal(p(self.worker(t, w))).unwrap();
+                    }
+                    back.push(b.send(p(self.worker(t, w)), p(self.master(t))).unwrap());
+                }
+                for tok in back {
+                    b.receive(p(self.master(t)), tok).unwrap();
+                }
+            }
+            // Master coordination, every round, both directions: the
+            // cross-team traffic floor.
+            for t in 0..self.teams {
+                let next = (t + 1) % self.teams;
+                let tok = b.send(p(self.master(t)), p(self.master(next))).unwrap();
+                b.receive(p(self.master(next)), tok).unwrap();
+                let back = b.send(p(self.master(next)), p(self.master(t))).unwrap();
+                b.receive(p(self.master(t)), back).unwrap();
+            }
+            let _ = round;
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod blocked_tests {
+    use super::*;
+    use cts_model::comm::CommMatrix;
+
+    #[test]
+    fn blocked_stencil_weights_blocks_heavier() {
+        let t = BlockedStencil1D {
+            procs: 8,
+            iters: 2,
+            block: 4,
+        }
+        .generate(0);
+        let m = CommMatrix::from_trace(&t);
+        // Intra-block pairs outweigh boundary pairs; a tree-reduce floor
+        // connects everything.
+        assert!(
+            m.count(ProcessId(1), ProcessId(2)) > m.count(ProcessId(3), ProcessId(4)),
+            "intra {} !> boundary {}",
+            m.count(ProcessId(1), ProcessId(2)),
+            m.count(ProcessId(3), ProcessId(4))
+        );
+        // Tree edge (0,1) present beyond the halo traffic.
+        assert!(m.count(ProcessId(0), ProcessId(1)) >= 8);
+    }
+
+    #[test]
+    fn rowmajor_stencil_horizontal_heavier() {
+        let w = RowMajorStencil2D {
+            rows: 3,
+            cols: 3,
+            iters: 1,
+        };
+        let t = w.generate(0);
+        let m = CommMatrix::from_trace(&t);
+        // Horizontal is heavier than vertical; the tree phase adds a floor.
+        assert!(m.count(ProcessId(0), ProcessId(1)) > m.count(ProcessId(0), ProcessId(3)));
+        // (0,4) is not a grid edge; only tree traffic may touch it (4's tree
+        // parent is 1, so none here).
+        assert_eq!(m.count(ProcessId(0), ProcessId(4)), 0);
+    }
+
+    #[test]
+    fn convoy_ring_boundary_links_lighter() {
+        let t = ConvoyRing {
+            procs: 8,
+            rounds: 3,
+            convoy: 4,
+        }
+        .generate(0);
+        let m = CommMatrix::from_trace(&t);
+        assert!(m.count(ProcessId(1), ProcessId(2)) > m.count(ProcessId(3), ProcessId(4)));
+        assert!(m.count(ProcessId(7), ProcessId(0)) >= 3); // wrap link exists
+    }
+
+    #[test]
+    fn staged_pipeline_acks_within_groups() {
+        let t = StagedPipeline {
+            stages: 6,
+            items: 4,
+            group: 3,
+        }
+        .generate(0);
+        let m = CommMatrix::from_trace(&t);
+        // In-group handoffs (item+ack) outweigh cross-group (item only).
+        assert!(m.count(ProcessId(1), ProcessId(2)) > m.count(ProcessId(2), ProcessId(3)));
+    }
+
+    #[test]
+    fn team_scatter_isolates_teams() {
+        let w = TeamScatterGather {
+            teams: 3,
+            workers_per_team: 4,
+            rounds: 4,
+            work: 1,
+        };
+        let t = w.generate(0);
+        assert_eq!(t.num_processes(), 15);
+        let m = CommMatrix::from_trace(&t);
+        // Worker of team 0 never talks to worker of team 1.
+        assert_eq!(m.count(ProcessId(1), ProcessId(6)), 0);
+        // Masters are connected (coordination ring).
+        assert!(m.count(ProcessId(0), ProcessId(5)) > 0);
+        // Team-internal traffic in aggregate dominates the master ring: the
+        // master exchanges with each of its 4 workers every round but with
+        // its ring neighbour only once per round each way.
+        let team0_internal: u64 = (1..5).map(|w| m.count(ProcessId(0), ProcessId(w))).sum();
+        assert!(team0_internal > 2 * m.count(ProcessId(0), ProcessId(5)));
+    }
+}

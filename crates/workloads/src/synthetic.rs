@@ -1,0 +1,342 @@
+//! Adversarial and parameter-controlled synthetic patterns. These let the
+//! experiments place computations precisely on the locality spectrum —
+//! including the no-locality extreme where cluster timestamps should (and
+//! do) lose most of their advantage.
+
+use crate::{rng, Workload};
+use cts_model::{ProcessId, Trace, TraceBuilder};
+use rand::Rng;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId(i)
+}
+
+/// Uniform random messaging: every message picks an independent (sender,
+/// receiver) pair. No locality whatsoever — the worst case for clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformRandom {
+    pub procs: u32,
+    pub messages: u32,
+}
+
+impl Workload for UniformRandom {
+    fn name(&self) -> String {
+        format!("synthetic/uniform-{}x{}", self.procs, self.messages)
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.procs >= 2);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs);
+        for _ in 0..self.messages {
+            let a = r.gen_range(0..self.procs);
+            let q = (a + 1 + r.gen_range(0..self.procs - 1)) % self.procs;
+            let tok = b.send(p(a), p(q)).unwrap();
+            b.receive(p(q), tok).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Planted clusters: processes are grouped; each message stays inside the
+/// sender's group with probability `p_intra`. The knob that sweeps a
+/// computation from perfectly clusterable to uniform.
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedClusters {
+    pub procs: u32,
+    pub groups: u32,
+    pub messages: u32,
+    pub p_intra: f64,
+}
+
+impl Workload for PlantedClusters {
+    fn name(&self) -> String {
+        format!(
+            "synthetic/planted-{}g{}i{:02}",
+            self.procs,
+            self.groups,
+            (self.p_intra * 100.0) as u32
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.groups >= 1 && self.procs >= 2 * self.groups);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs);
+        let group_of = |x: u32| x % self.groups; // striped assignment
+        for _ in 0..self.messages {
+            let a = r.gen_range(0..self.procs);
+            // With a single group there is no "other group": every message
+            // is intra-group by definition (guards the rejection loop below
+            // against non-termination).
+            let q = if self.groups == 1 || r.gen_bool(self.p_intra) {
+                // Same group, different process.
+                loop {
+                    let cand = group_of(a) + self.groups * r.gen_range(0..self.procs / self.groups);
+                    if cand != a && cand < self.procs {
+                        break cand;
+                    }
+                }
+            } else {
+                loop {
+                    let cand = r.gen_range(0..self.procs);
+                    if group_of(cand) != group_of(a) {
+                        break cand;
+                    }
+                }
+            };
+            let tok = b.send(p(a), p(q)).unwrap();
+            b.receive(p(q), tok).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Hotspot: every process exchanges with a single server process 0 (an
+/// extreme hub; clusters larger than {hub, one client} buy little).
+#[derive(Clone, Copy, Debug)]
+pub struct Hotspot {
+    pub procs: u32,
+    pub rounds: u32,
+}
+
+impl Workload for Hotspot {
+    fn name(&self) -> String {
+        format!("synthetic/hotspot-{}x{}", self.procs, self.rounds)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        assert!(self.procs >= 2);
+        let mut b = TraceBuilder::new(self.procs);
+        for _ in 0..self.rounds {
+            for c in 1..self.procs {
+                let tok = b.send(p(c), p(0)).unwrap();
+                b.receive(p(0), tok).unwrap();
+                let back = b.send(p(0), p(c)).unwrap();
+                b.receive(p(c), back).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Hierarchical organization: a `branching`-ary process tree where most
+/// traffic goes to the parent and some to the grandparent. Layered locality
+/// at multiple scales.
+#[derive(Clone, Copy, Debug)]
+pub struct Hierarchy {
+    pub procs: u32,
+    pub branching: u32,
+    pub messages: u32,
+}
+
+impl Workload for Hierarchy {
+    fn name(&self) -> String {
+        format!(
+            "synthetic/hier-{}b{}m{}",
+            self.procs, self.branching, self.messages
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.procs >= 2 && self.branching >= 2);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs);
+        let parent = |x: u32| (x - 1) / self.branching;
+        for _ in 0..self.messages {
+            let a = 1 + r.gen_range(0..self.procs - 1); // non-root
+            let q = if a > self.branching && r.gen_bool(0.05) {
+                parent(parent(a)) // grandparent
+            } else {
+                parent(a)
+            };
+            let tok = b.send(p(a), p(q)).unwrap();
+            b.receive(p(q), tok).unwrap();
+            if r.gen_bool(0.5) {
+                let back = b.send(p(q), p(a)).unwrap();
+                b.receive(p(a), back).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Drifting affinity: processes start with one home group, and at the switch
+/// point a fraction of them permanently change home group. Merge-based
+/// clustering locks in the first phase's structure; the paper's future-work
+/// *migration* variant is designed for exactly this shape.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftingAffinity {
+    pub procs: u32,
+    pub groups: u32,
+    /// Messages per phase.
+    pub messages_per_phase: u32,
+    /// Fraction of processes that change home group at the switch.
+    pub drift_fraction: f64,
+}
+
+impl Workload for DriftingAffinity {
+    fn name(&self) -> String {
+        format!(
+            "synthetic/drift-{}g{}d{:02}",
+            self.procs,
+            self.groups,
+            (self.drift_fraction * 100.0) as u32
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.groups >= 2 && self.procs >= 2 * self.groups);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs);
+        let mut home: Vec<u32> = (0..self.procs).map(|x| x % self.groups).collect();
+        for phase in 0..2 {
+            if phase == 1 {
+                for h in home.iter_mut() {
+                    if r.gen_bool(self.drift_fraction) {
+                        *h = (*h + 1 + r.gen_range(0..self.groups - 1)) % self.groups;
+                    }
+                }
+            }
+            for _ in 0..self.messages_per_phase {
+                let a = r.gen_range(0..self.procs);
+                // Find a same-home partner (falls back to any process).
+                let mut q = None;
+                for _ in 0..16 {
+                    let cand = r.gen_range(0..self.procs);
+                    if cand != a && home[cand as usize] == home[a as usize] {
+                        q = Some(cand);
+                        break;
+                    }
+                }
+                let q = q.unwrap_or((a + 1) % self.procs);
+                let tok = b.send(p(a), p(q)).unwrap();
+                b.receive(p(q), tok).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::comm::CommMatrix;
+    use cts_model::stats::TraceStats;
+
+    #[test]
+    fn uniform_spreads_communication() {
+        let t = UniformRandom {
+            procs: 12,
+            messages: 600,
+        }
+        .generate(23);
+        let st = TraceStats::compute(&t);
+        // With 600 messages over 66 pairs, nearly every pair communicates.
+        assert!(st.mean_degree > 8.0, "mean degree {}", st.mean_degree);
+        assert!(st.locality_top3 < 0.6);
+    }
+
+    #[test]
+    fn planted_clusters_respect_p_intra_extremes() {
+        let pure = PlantedClusters {
+            procs: 12,
+            groups: 3,
+            messages: 200,
+            p_intra: 1.0,
+        }
+        .generate(5);
+        let m = CommMatrix::from_trace(&pure);
+        // No cross-group pair communicates (groups are striped mod 3).
+        for a in 0..12u32 {
+            for q in 0..12u32 {
+                if a != q && a % 3 != q % 3 {
+                    assert_eq!(m.count(p(a), p(q)), 0, "{a}->{q}");
+                }
+            }
+        }
+        let cross = PlantedClusters {
+            p_intra: 0.0,
+            ..PlantedClusters {
+                procs: 12,
+                groups: 3,
+                messages: 200,
+                p_intra: 0.0,
+            }
+        }
+        .generate(5);
+        let mc = CommMatrix::from_trace(&cross);
+        for a in 0..12u32 {
+            for q in 0..12u32 {
+                if a % 3 == q % 3 {
+                    assert_eq!(mc.count(p(a), p(q)), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planted_single_group_terminates() {
+        // Regression: groups = 1 used to hang in the inter-group rejection
+        // loop (there is no other group to draw from).
+        let t = PlantedClusters {
+            procs: 8,
+            groups: 1,
+            messages: 200,
+            p_intra: 0.9,
+        }
+        .generate(1);
+        assert_eq!(t.num_messages(), 200);
+    }
+
+    #[test]
+    fn hotspot_all_roads_lead_to_zero() {
+        let t = Hotspot {
+            procs: 8,
+            rounds: 3,
+        }
+        .generate(0);
+        let m = CommMatrix::from_trace(&t);
+        for a in 1..8u32 {
+            assert!(m.count(p(0), p(a)) > 0);
+            for q in 1..8u32 {
+                if a != q {
+                    assert_eq!(m.count(p(a), p(q)), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drifting_affinity_changes_partners() {
+        let w = DriftingAffinity {
+            procs: 12,
+            groups: 3,
+            messages_per_phase: 150,
+            drift_fraction: 0.5,
+        };
+        let t = w.generate(3);
+        assert_eq!(t.num_messages(), 300);
+        // Deterministic under seed.
+        assert_eq!(t.events(), w.generate(3).events());
+        // Phase structure: communication graph is denser than a single
+        // static grouping would produce (drifters bridge groups).
+        let st = TraceStats::compute(&t);
+        assert!(st.mean_degree > 3.0, "drift should widen partner sets");
+    }
+
+    #[test]
+    fn hierarchy_traffic_follows_tree() {
+        let t = Hierarchy {
+            procs: 13,
+            branching: 3,
+            messages: 150,
+        }
+        .generate(31);
+        let m = CommMatrix::from_trace(&t);
+        // Siblings never talk directly.
+        assert_eq!(m.count(p(1), p(2)), 0);
+        // Children do talk to the root.
+        assert!(m.count(p(1), p(0)) > 0);
+    }
+}

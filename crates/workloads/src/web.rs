@@ -1,0 +1,374 @@
+//! Web-like applications: the paper's Java corpus was "web-like
+//! applications, including various web-server executions". Hub-and-spoke
+//! locality with moderate randomness.
+
+use crate::{rng, Workload};
+use cts_model::{ProcessId, Trace, TraceBuilder};
+use rand::Rng;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId(i)
+}
+
+/// An acceptor/worker-pool web server with a shared backend.
+///
+/// Process layout: `[clients… | acceptor | workers… | backend]`. Each request:
+/// client → acceptor → worker → backend → worker → client. With probability
+/// `affinity` a client's request is dispatched to the same worker as its
+/// previous one (session affinity), which is what gives the computation its
+/// communication locality.
+#[derive(Clone, Copy, Debug)]
+pub struct WebServer {
+    pub clients: u32,
+    pub workers: u32,
+    /// Total requests issued (spread round-robin over clients).
+    pub requests: u32,
+    /// Probability of reusing the client's previous worker.
+    pub affinity: f64,
+}
+
+impl WebServer {
+    fn acceptor(&self) -> u32 {
+        self.clients
+    }
+    fn worker(&self, w: u32) -> u32 {
+        self.clients + 1 + w
+    }
+    fn backend(&self) -> u32 {
+        self.clients + 1 + self.workers
+    }
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.clients + self.workers + 2
+    }
+}
+
+impl Workload for WebServer {
+    fn name(&self) -> String {
+        format!(
+            "web/server-c{}w{}r{}a{:02}",
+            self.clients,
+            self.workers,
+            self.requests,
+            (self.affinity * 100.0) as u32
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.clients >= 1 && self.workers >= 1);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs());
+        let mut last_worker: Vec<Option<u32>> = vec![None; self.clients as usize];
+        for req in 0..self.requests {
+            let client = req % self.clients;
+            // client -> acceptor
+            let t1 = b.send(p(client), p(self.acceptor())).unwrap();
+            b.receive(p(self.acceptor()), t1).unwrap();
+            // acceptor dispatches, honouring session affinity
+            let w = match last_worker[client as usize] {
+                Some(w) if r.gen_bool(self.affinity) => w,
+                _ => r.gen_range(0..self.workers),
+            };
+            last_worker[client as usize] = Some(w);
+            let t2 = b.send(p(self.acceptor()), p(self.worker(w))).unwrap();
+            b.receive(p(self.worker(w)), t2).unwrap();
+            b.internal(p(self.worker(w))).unwrap();
+            // worker <-> backend
+            let t3 = b.send(p(self.worker(w)), p(self.backend())).unwrap();
+            b.receive(p(self.backend()), t3).unwrap();
+            let t4 = b.send(p(self.backend()), p(self.worker(w))).unwrap();
+            b.receive(p(self.worker(w)), t4).unwrap();
+            // worker -> client (response)
+            let t5 = b.send(p(self.worker(w)), p(client)).unwrap();
+            b.receive(p(client), t5).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+/// Tiered microservices: requests enter tier 0 and fan out to services in
+/// deeper tiers, with responses flowing back. Call targets are sticky per
+/// (caller, tier) pair, giving layered locality.
+#[derive(Clone, Debug)]
+pub struct Microservices {
+    /// Service count per tier, e.g. `[4, 8, 16]`.
+    pub tiers: Vec<u32>,
+    pub requests: u32,
+    /// Downstream calls per request per hop.
+    pub fanout: u32,
+}
+
+impl Microservices {
+    fn base(&self, tier: usize) -> u32 {
+        self.tiers[..tier].iter().sum()
+    }
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.tiers.iter().sum()
+    }
+}
+
+impl Workload for Microservices {
+    fn name(&self) -> String {
+        let shape: Vec<String> = self.tiers.iter().map(u32::to_string).collect();
+        format!("web/micro-{}-r{}", shape.join("_"), self.requests)
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.tiers.len() >= 2, "need at least two tiers");
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs());
+        // Sticky downstream choice per (service, slot).
+        let mut sticky: std::collections::HashMap<(u32, u32), u32> = Default::default();
+        for req in 0..self.requests {
+            let entry = self.base(0) + (req % self.tiers[0]);
+            // Depth-first call chain with per-hop fanout 1..=fanout.
+            let mut stack = vec![(entry, 0usize)];
+            let mut returns: Vec<(u32, u32)> = Vec::new(); // (callee, caller)
+            while let Some((svc, tier)) = stack.pop() {
+                b.internal(p(svc)).unwrap();
+                if tier + 1 < self.tiers.len() {
+                    let calls = 1 + (r.gen_range(0..self.fanout.max(1)));
+                    for slot in 0..calls {
+                        let next = *sticky.entry((svc, slot)).or_insert_with(|| {
+                            self.base(tier + 1) + r.gen_range(0..self.tiers[tier + 1])
+                        });
+                        let tok = b.send(p(svc), p(next)).unwrap();
+                        b.receive(p(next), tok).unwrap();
+                        stack.push((next, tier + 1));
+                        returns.push((next, svc));
+                    }
+                }
+            }
+            // Responses bubble back (reverse call order).
+            for (callee, caller) in returns.into_iter().rev() {
+                let tok = b.send(p(callee), p(caller)).unwrap();
+                b.receive(p(caller), tok).unwrap();
+            }
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::comm::CommGraph;
+    use cts_model::stats::TraceStats;
+
+    #[test]
+    fn webserver_message_count() {
+        let w = WebServer {
+            clients: 3,
+            workers: 2,
+            requests: 12,
+            affinity: 0.9,
+        };
+        let t = w.generate(7);
+        // 5 messages per request.
+        assert_eq!(t.num_messages(), 12 * 5);
+        assert_eq!(t.num_processes(), w.procs());
+    }
+
+    #[test]
+    fn webserver_affinity_raises_locality() {
+        let sticky = WebServer {
+            clients: 6,
+            workers: 6,
+            requests: 120,
+            affinity: 0.95,
+        };
+        let diffuse = WebServer {
+            affinity: 0.0,
+            ..sticky
+        };
+        let ls = TraceStats::compute(&sticky.generate(1)).locality_top3;
+        let ld = TraceStats::compute(&diffuse.generate(1)).locality_top3;
+        assert!(
+            ls >= ld,
+            "affinity should concentrate communication: {ls} vs {ld}"
+        );
+    }
+
+    #[test]
+    fn webserver_hub_is_the_acceptor() {
+        let w = WebServer {
+            clients: 4,
+            workers: 3,
+            requests: 40,
+            affinity: 0.5,
+        };
+        let t = w.generate(3);
+        let g = CommGraph::from_trace(&t);
+        // The acceptor hears from every client and talks to every worker.
+        assert_eq!(g.degree(ProcessId(w.acceptor())), (4 + 3) as usize);
+    }
+
+    #[test]
+    fn microservices_partition_by_tier() {
+        let w = Microservices {
+            tiers: vec![2, 3, 4],
+            requests: 10,
+            fanout: 2,
+        };
+        let t = w.generate(11);
+        assert_eq!(t.num_processes(), 9);
+        assert!(t.num_messages() > 0);
+        // Calls only cross adjacent tiers.
+        let m = cts_model::comm::CommMatrix::from_trace(&t);
+        assert_eq!(m.count(ProcessId(0), ProcessId(1)), 0); // same tier
+        assert_eq!(m.count(ProcessId(0), ProcessId(5)), 0); // tier 0 -> 2
+    }
+
+    #[test]
+    fn microservices_deterministic() {
+        let w = Microservices {
+            tiers: vec![2, 2],
+            requests: 5,
+            fanout: 1,
+        };
+        assert_eq!(w.generate(5).events(), w.generate(5).events());
+    }
+}
+
+/// A sharded web service: each shard has its own acceptor, worker pool and
+/// backend, with clients bound to a shard (the deployment shape of a scaled
+/// web tier). A small fraction of requests are redirected cross-shard.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedWebServer {
+    pub shards: u32,
+    pub clients_per_shard: u32,
+    pub workers_per_shard: u32,
+    /// Total requests, round-robin over all clients.
+    pub requests: u32,
+    /// Session affinity to the previous worker, within the shard.
+    pub affinity: f64,
+    /// Probability a request is redirected to another shard's acceptor.
+    pub redirect: f64,
+}
+
+impl ShardedWebServer {
+    fn shard_size(&self) -> u32 {
+        self.clients_per_shard + self.workers_per_shard + 2
+    }
+    fn client(&self, s: u32, c: u32) -> u32 {
+        s * self.shard_size() + c
+    }
+    fn acceptor(&self, s: u32) -> u32 {
+        s * self.shard_size() + self.clients_per_shard
+    }
+    fn worker(&self, s: u32, w: u32) -> u32 {
+        s * self.shard_size() + self.clients_per_shard + 1 + w
+    }
+    fn backend(&self, s: u32) -> u32 {
+        s * self.shard_size() + self.clients_per_shard + 1 + self.workers_per_shard
+    }
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.shards * self.shard_size()
+    }
+}
+
+impl Workload for ShardedWebServer {
+    fn name(&self) -> String {
+        format!(
+            "web/sharded-{}x(c{}w{})r{}",
+            self.shards, self.clients_per_shard, self.workers_per_shard, self.requests
+        )
+    }
+
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.shards >= 2 && self.clients_per_shard >= 1 && self.workers_per_shard >= 1);
+        let mut r = rng(seed);
+        let mut b = TraceBuilder::new(self.procs());
+        let total_clients = self.shards * self.clients_per_shard;
+        let mut last_worker: Vec<Option<u32>> = vec![None; total_clients as usize];
+        for req in 0..self.requests {
+            let flat = req % total_clients;
+            let home = flat / self.clients_per_shard;
+            let c = self.client(home, flat % self.clients_per_shard);
+            // Occasionally the request lands on a foreign shard.
+            let s = if r.gen_bool(self.redirect) {
+                (home + 1 + r.gen_range(0..self.shards - 1)) % self.shards
+            } else {
+                home
+            };
+            let t1 = b.send(p(c), p(self.acceptor(s))).unwrap();
+            b.receive(p(self.acceptor(s)), t1).unwrap();
+            let w = match last_worker[flat as usize] {
+                Some(w) if s == home && r.gen_bool(self.affinity) => w,
+                _ => r.gen_range(0..self.workers_per_shard),
+            };
+            if s == home {
+                last_worker[flat as usize] = Some(w);
+            }
+            let t2 = b.send(p(self.acceptor(s)), p(self.worker(s, w))).unwrap();
+            b.receive(p(self.worker(s, w)), t2).unwrap();
+            let t3 = b.send(p(self.worker(s, w)), p(self.backend(s))).unwrap();
+            b.receive(p(self.backend(s)), t3).unwrap();
+            let t4 = b.send(p(self.backend(s)), p(self.worker(s, w))).unwrap();
+            b.receive(p(self.worker(s, w)), t4).unwrap();
+            let t5 = b.send(p(self.worker(s, w)), p(c)).unwrap();
+            b.receive(p(c), t5).unwrap();
+        }
+        b.finish_complete(self.name()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+    use cts_model::comm::CommMatrix;
+    use cts_model::ProcessId;
+
+    #[test]
+    fn shards_are_mostly_isolated() {
+        let w = ShardedWebServer {
+            shards: 3,
+            clients_per_shard: 3,
+            workers_per_shard: 2,
+            requests: 180,
+            affinity: 0.9,
+            redirect: 0.0,
+        };
+        let t = w.generate(7);
+        assert_eq!(t.num_processes(), 21);
+        let m = CommMatrix::from_trace(&t);
+        // With zero redirects, shard 0's client never reaches shard 1's
+        // acceptor.
+        assert_eq!(m.count(ProcessId(w.client(0, 0)), ProcessId(w.acceptor(1))), 0);
+        // Its own acceptor, it does.
+        assert!(m.count(ProcessId(w.client(0, 0)), ProcessId(w.acceptor(0))) > 0);
+    }
+
+    #[test]
+    fn redirects_bridge_shards() {
+        let w = ShardedWebServer {
+            shards: 2,
+            clients_per_shard: 2,
+            workers_per_shard: 2,
+            requests: 300,
+            affinity: 0.5,
+            redirect: 0.3,
+        };
+        let t = w.generate(9);
+        let m = CommMatrix::from_trace(&t);
+        let cross: u64 = (0..2u32)
+            .map(|c| m.count(ProcessId(w.client(0, c)), ProcessId(w.acceptor(1))))
+            .sum();
+        assert!(cross > 0, "expected some redirected requests");
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = ShardedWebServer {
+            shards: 2,
+            clients_per_shard: 2,
+            workers_per_shard: 1,
+            requests: 40,
+            affinity: 0.8,
+            redirect: 0.1,
+        };
+        assert_eq!(w.generate(1).events(), w.generate(1).events());
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's future work, demonstrated: processes whose communication
+//! affinity *drifts* defeat merge-based clustering (clusters can only grow
+//! and never reconsider), while the migration-capable engine follows the
+//! processes to their new partners (§5, second variant).
+//!
+//! ```text
+//! cargo run --release --example migration_demo
+//! ```
+
+use cluster_timestamps::prelude::*;
+use cts_core::cluster::MigratingEngine;
+use cts_workloads::synthetic::DriftingAffinity;
+
+fn main() {
+    println!("drift   merge-1st  merge-Nth(5)  migrating   (migrations)");
+    println!("-----   ---------  ------------  ---------   ------------");
+    for drift in [0.0, 0.25, 0.5, 0.75] {
+        let trace = DriftingAffinity {
+            procs: 60,
+            groups: 6,
+            messages_per_phase: 1500,
+            drift_fraction: drift,
+        }
+        .generate(7);
+        let n = trace.num_processes();
+        let max_cs = 12;
+        let enc = Encoding::paper_default(n, max_cs);
+
+        let m1 = SpaceReport::measure(
+            &ClusterEngine::run(&trace, MergeOnFirst::new(max_cs)),
+            enc,
+        );
+        let mn = SpaceReport::measure(
+            &ClusterEngine::run(&trace, MergeOnNth::new(n, max_cs, 5.0)),
+            enc,
+        );
+        let mig = MigratingEngine::run(&trace, max_cs, 5.0, 4);
+        let mig_report = mig.space(enc);
+
+        println!(
+            "{drift:>5.2}   {:>9.3}  {:>12.3}  {:>9.3}   ({})",
+            m1.ratio,
+            mn.ratio,
+            mig_report.ratio,
+            mig.num_migrations()
+        );
+
+        // All engines stay exact regardless of drift — verify on a sample.
+        let oracle = Oracle::compute(&trace);
+        let ids: Vec<EventId> = trace.all_event_ids().step_by(97).collect();
+        for &e in &ids {
+            for &f in &ids {
+                assert_eq!(
+                    mig.precedes(&trace, e, f),
+                    oracle.happened_before(&trace, e, f)
+                );
+            }
+        }
+    }
+    println!("\nhigher drift → merge-based clusters freeze on phase-1 structure; the");
+    println!("migrating engine re-homes drifted processes (at the cost of full-width");
+    println!("marker stamps), keeping the ratio down.");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: record a small computation, timestamp it three ways, and
+//! compare precedence answers and space.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cluster_timestamps::prelude::*;
+
+fn main() {
+    // --- Record the paper's Figure 2 computation -------------------------
+    // P0: A(send→P1) B(send→P2) C(recv E)
+    // P1: D(recv A)  E(send→P0) F(recv H)
+    // P2: G(recv B)  H(send→P1) I(unary)
+    let mut b = TraceBuilder::new(3);
+    let a = b.send(ProcessId(0), ProcessId(1)).unwrap();
+    let bb = b.send(ProcessId(0), ProcessId(2)).unwrap();
+    let d = b.receive(ProcessId(1), a).unwrap();
+    let e = b.send(ProcessId(1), ProcessId(0)).unwrap();
+    let c = b.receive(ProcessId(0), e).unwrap();
+    let g = b.receive(ProcessId(2), bb).unwrap();
+    let h = b.send(ProcessId(2), ProcessId(1)).unwrap();
+    let f = b.receive(ProcessId(1), h).unwrap();
+    let i = b.internal(ProcessId(2)).unwrap();
+    let trace = b.finish("figure2");
+    println!("trace: {} events over {} processes", trace.num_events(), trace.num_processes());
+
+    // --- Fidge/Mattern stamps (the baseline the paper starts from) -------
+    let fm = FmStore::compute(&trace);
+    println!("\nFidge/Mattern stamps:");
+    for ev in trace.events() {
+        println!("  {:>6} {:?}", format!("{}", ev.id), fm.stamp(&trace, ev.id));
+    }
+
+    // --- Cluster timestamps with a dynamic strategy -----------------------
+    let cts = ClusterEngine::run(&trace, MergeOnFirst::new(2));
+    println!(
+        "\nmerge-on-1st, maxCS=2: {} cluster receives, {} merges, final clusters: {:?}",
+        cts.num_cluster_receives(),
+        cts.num_merges(),
+        cts.final_partition().clusters()
+    );
+
+    // --- Precedence queries agree across all schemes ----------------------
+    let oracle = Oracle::compute(&trace);
+    for (x, y, label) in [
+        (a.event(), c, "A → C (via D, E)"),
+        (bb.event(), f, "B → F (via G, H)"),
+        (d, i, "D → I (false: no path)"),
+        (g, c, "G → C (false: concurrent)"),
+    ] {
+        let want = oracle.happened_before(&trace, x, y);
+        let got_fm = fm.precedes(&trace, x, y);
+        let got_ct = cts.precedes(&trace, x, y);
+        assert_eq!(want, got_fm);
+        assert_eq!(want, got_ct);
+        println!("  {label:<28} => {want}");
+    }
+
+    // --- Space under the paper's fixed-vector encoding ---------------------
+    let report = SpaceReport::measure(&cts, Encoding::paper_default(3, 2));
+    println!(
+        "\nspace: cluster {} elements vs Fidge/Mattern {} (ratio {:.3})",
+        report.cluster_elements, report.fm_elements, report.ratio
+    );
+}

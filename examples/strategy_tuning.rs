@@ -1,0 +1,89 @@
+//! Strategy tuning: sweep the maximum-cluster-size knob across strategies on
+//! a workload of your choice and print the ratio curves — a miniature of the
+//! paper's Figures 4 and 5 for your own traces.
+//!
+//! ```text
+//! cargo run --release --example strategy_tuning [-- <workload>]
+//! # workload: stencil | web | dce | uniform (default: web)
+//! ```
+
+use cluster_timestamps::prelude::*;
+use cts_analysis::ascii_plot::{render, Series};
+use cts_analysis::metrics;
+use cts_analysis::sweep::{sweep, StrategyKind};
+use cts_workloads::dce::ThreeTier;
+use cts_workloads::spmd::Stencil2D;
+use cts_workloads::synthetic::UniformRandom;
+use cts_workloads::web::WebServer;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "web".into());
+    let trace: Trace = match which.as_str() {
+        "stencil" => Stencil2D {
+            rows: 8,
+            cols: 8,
+            iters: 8,
+        }
+        .generate(3),
+        "dce" => ThreeTier {
+            clients: 40,
+            servers: 8,
+            databases: 2,
+            transactions: 400,
+        }
+        .generate(3),
+        "uniform" => UniformRandom {
+            procs: 64,
+            messages: 1500,
+        }
+        .generate(3),
+        _ => WebServer {
+            clients: 24,
+            workers: 12,
+            requests: 600,
+            affinity: 0.8,
+        }
+        .generate(3),
+    };
+    println!(
+        "sweeping {} ({} events, {} processes)\n",
+        trace.name(),
+        trace.num_events(),
+        trace.num_processes()
+    );
+
+    let sizes: Vec<usize> = (2..=50).collect();
+    let strategies = [
+        StrategyKind::StaticGreedy,
+        StrategyKind::MergeOnFirst,
+        StrategyKind::MergeOnNth { threshold: 5.0 },
+        StrategyKind::MergeOnNth { threshold: 10.0 },
+    ];
+    let mut curves = Vec::new();
+    for s in strategies {
+        let r = sweep(&trace, s, &sizes);
+        let (best_size, best_ratio) = metrics::best(&r);
+        let good = metrics::good_sizes(&r, 0.20);
+        let range = metrics::longest_consecutive_run(&good);
+        println!(
+            "{:<16} best {:.3} @ size {:<3} within-20% range {:?}  smoothness {:.3}",
+            s.label(),
+            best_ratio,
+            best_size,
+            range,
+            metrics::max_adjacent_jump(&r)
+        );
+        curves.push(r);
+    }
+
+    let series: Vec<Series<'_>> = curves
+        .iter()
+        .map(|r| Series {
+            name: Box::leak(r.strategy.label().into_boxed_str()),
+            points: r.points().map(|(x, y)| (x as f64, y)).collect(),
+        })
+        .collect();
+    println!("\nratio of cluster-timestamp size to Fidge/Mattern size:");
+    println!("{}", render(&series, 64, 18));
+    println!("pick the static curve's flat region — that is the paper's headline result.");
+}

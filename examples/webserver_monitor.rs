@@ -1,0 +1,103 @@
+//! Online monitoring of a web-server computation: events stream into the
+//! monitoring entity one at a time; the dynamic cluster-timestamp engine
+//! stamps them as they arrive (the deployment mode §3.2 argues dynamic
+//! clustering exists for), while an event store maintains the queryable
+//! partial order.
+//!
+//! ```text
+//! cargo run --release --example webserver_monitor
+//! ```
+
+use cluster_timestamps::prelude::*;
+use cts_core::cluster::ClusterEngine;
+use cts_store::event_store::EventStore;
+use cts_store::queries::{greatest_concurrent, ClusterBackend};
+use cts_workloads::web::WebServer;
+
+fn main() {
+    let workload = WebServer {
+        clients: 12,
+        workers: 6,
+        requests: 300,
+        affinity: 0.9,
+    };
+    let trace = workload.generate(7);
+    println!(
+        "monitoring {}: {} events, {} processes",
+        trace.name(),
+        trace.num_events(),
+        trace.num_processes()
+    );
+
+    // The monitoring entity: store + dynamic timestamp engine, fed online.
+    let mut store = EventStore::new(trace.num_processes());
+    let mut engine = ClusterEngine::new(
+        trace.num_processes(),
+        MergeOnNth::new(trace.num_processes(), 13, 5.0),
+    );
+    for (k, &ev) in trace.events().iter().enumerate() {
+        store.insert(ev).expect("valid delivery order");
+        engine.accept(ev);
+        if (k + 1) % 500 == 0 {
+            println!(
+                "  after {:>5} events: {} clusters",
+                k + 1,
+                engine.final_partition_snapshot().num_clusters()
+            );
+        }
+    }
+    let cts = engine.finish();
+    println!(
+        "\nfinal: {} cluster receives, {} merges",
+        cts.num_cluster_receives(),
+        cts.num_merges()
+    );
+    let clusters = cts.final_partition();
+    println!("clusters found (sessions gravitate to their workers):");
+    for (i, c) in clusters.clusters().iter().enumerate().take(8) {
+        let names: Vec<String> = c
+            .iter()
+            .map(|p| {
+                let x = p.0;
+                if x < 12 {
+                    format!("client{x}")
+                } else if x == 12 {
+                    "acceptor".into()
+                } else if x < 19 {
+                    format!("worker{}", x - 13)
+                } else {
+                    "backend".into()
+                }
+            })
+            .collect();
+        println!("  {i}: {}", names.join(" "));
+    }
+
+    // Interactive-style queries a visualization would pose.
+    let probe = trace.at(trace.num_events() / 2).id;
+    let gc = greatest_concurrent(&mut ClusterBackend(&cts), &trace, probe);
+    let concurrent_count = gc.iter().flatten().count();
+    println!(
+        "\ngreatest-concurrent of {probe}: {concurrent_count} processes have a concurrent event"
+    );
+
+    // Scrolling: fetch a window of each process's events from the B+-tree.
+    let window = store.process_window(ProcessId(12), 1, 21);
+    println!(
+        "acceptor's first {} events: {} sends/receives",
+        window.len(),
+        window
+            .iter()
+            .filter(|r| r.event.kind.receive_source().is_some()
+                || matches!(r.event.kind, EventKind::Send { .. }))
+            .count()
+    );
+
+    let report = SpaceReport::measure(&cts, Encoding::paper_default(trace.num_processes(), 13));
+    println!(
+        "\nspace: {:.1} elements/event vs {} for Fidge/Mattern (ratio {:.3})",
+        report.avg_cluster_elements,
+        300.max(trace.num_processes()),
+        report.ratio
+    );
+}

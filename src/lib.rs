@@ -1,0 +1,62 @@
+//! # cluster-timestamps
+//!
+//! A complete, from-scratch Rust reproduction of *Clustering Strategies for
+//! Cluster Timestamps* (Paul A.S. Ward, Tao Huang, David J. Taylor — ICPP
+//! 2004): self-organizing hierarchical cluster timestamps for scalable
+//! precedence determination in parallel-program observation tools, together
+//! with the static and dynamic clustering strategies the paper evaluates,
+//! the Fidge/Mattern baseline, the monitoring-entity substrate, related-work
+//! baselines, synthetic workload generators, and the experiment harness that
+//! regenerates the paper's figures and claims.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`model`] (`cts-model`): events, traces, the happened-before oracle;
+//! - [`workloads`] (`cts-workloads`): synthetic PVM/Java/DCE trace suites;
+//! - [`core`] (`cts-core`): Fidge/Mattern + cluster timestamps + strategies;
+//! - [`baselines`] (`cts-baselines`): Fowler/Zwaenepoel,
+//!   Singhal/Kshemkalyani, Garg/Skawratananond;
+//! - [`store`] (`cts-store`): B+-tree event store, timestamp caches, paging
+//!   simulator, queries;
+//! - [`analysis`] (`cts-analysis`): the figure/claim experiment drivers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cluster_timestamps::prelude::*;
+//!
+//! // Record a tiny computation: P0 sends to P1, P1 syncs with P2.
+//! let mut b = TraceBuilder::new(3);
+//! let s = b.send(ProcessId(0), ProcessId(1)).unwrap();
+//! let r = b.receive(ProcessId(1), s).unwrap();
+//! b.sync(ProcessId(1), ProcessId(2)).unwrap();
+//! let trace = b.finish("quickstart");
+//!
+//! // Timestamp it with the dynamic merge-on-1st strategy, clusters ≤ 2.
+//! let cts = ClusterEngine::run(&trace, MergeOnFirst::new(2));
+//! assert!(cts.precedes(&trace, s.event(), r));
+//!
+//! // Space against the Fidge/Mattern baseline under the paper's encoding.
+//! let report = SpaceReport::measure(&cts, Encoding::paper_default(3, 2));
+//! assert!(report.ratio < 1.0);
+//! ```
+
+pub use cts_analysis as analysis;
+pub use cts_baselines as baselines;
+pub use cts_core as core;
+pub use cts_model as model;
+pub use cts_store as store;
+pub use cts_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cts_core::cluster::{ClusterEngine, ClusterTimestamps, Encoding, SpaceReport};
+    pub use cts_core::clustering::{greedy_pairwise, Clustering};
+    pub use cts_core::fm::{FmEngine, FmStore};
+    pub use cts_core::strategy::{MergeOnFirst, MergeOnNth, MergePolicy, NeverMerge};
+    pub use cts_core::two_pass::static_pipeline;
+    pub use cts_model::{
+        Event, EventId, EventIndex, EventKind, Oracle, ProcessId, Trace, TraceBuilder,
+    };
+    pub use cts_workloads::Workload;
+}

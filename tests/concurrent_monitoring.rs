@@ -1,0 +1,103 @@
+//! Concurrency: a live monitoring entity has one ingest thread and many
+//! query threads. The shared store must expose a consistent prefix at every
+//! instant — queries observe a valid partial order no matter when they land.
+
+use cluster_timestamps::prelude::*;
+use cts_store::event_store::{into_shared, EventStore};
+use cts_workloads::web::WebServer;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn readers_see_consistent_prefixes_during_ingest() {
+    let trace = WebServer {
+        clients: 6,
+        workers: 3,
+        requests: 150,
+        affinity: 0.8,
+    }
+    .generate(17);
+    let trace = Arc::new(trace);
+    let shared = into_shared(EventStore::new(trace.num_processes()));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for r in 0..3 {
+        let shared = Arc::clone(&shared);
+        let done = Arc::clone(&done);
+        let trace = Arc::clone(&trace);
+        readers.push(std::thread::spawn(move || {
+            let mut checks = 0usize;
+            let mut last_len = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let g = shared.read();
+                // Prefix property: the store only grows.
+                assert!(g.len() >= last_len, "store shrank");
+                last_len = g.len();
+                // Every stored receive's source is also stored (consistent
+                // prefix, not an arbitrary subset).
+                if let Some(rec) = g.records().last() {
+                    if let Some(src) = rec.event.kind.receive_source() {
+                        let sync = matches!(rec.event.kind, EventKind::Sync { .. });
+                        assert!(
+                            g.get(src).is_some() || sync,
+                            "dangling receive source {src}"
+                        );
+                    }
+                    // The B+-tree agrees with the record list.
+                    assert_eq!(g.get(rec.event.id).unwrap().event, rec.event);
+                }
+                drop(g);
+                checks += 1;
+                if r == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            checks
+        }));
+    }
+
+    for &ev in trace.events() {
+        shared.write().insert(ev).unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let total_checks: usize = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total_checks > 0, "readers never ran");
+    assert_eq!(shared.read().len(), trace.num_events());
+}
+
+#[test]
+fn parallel_engines_agree_with_sequential() {
+    // Several threads each run an independent engine over the same trace;
+    // results are deterministic and identical (no hidden global state).
+    let trace = Arc::new(
+        WebServer {
+            clients: 5,
+            workers: 3,
+            requests: 60,
+            affinity: 0.7,
+        }
+        .generate(23),
+    );
+    let reference = cts_core::ClusterEngine::run(&trace, MergeOnFirst::new(4));
+    let ref_crs = reference.num_cluster_receives();
+    let ref_partition = reference.final_partition().assignment(trace.num_processes());
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let trace = Arc::clone(&trace);
+            std::thread::spawn(move || {
+                let cts = cts_core::ClusterEngine::run(&trace, MergeOnFirst::new(4));
+                (
+                    cts.num_cluster_receives(),
+                    cts.final_partition().assignment(trace.num_processes()),
+                )
+            })
+        })
+        .collect();
+    for h in handles {
+        let (crs, partition) = h.join().unwrap();
+        assert_eq!(crs, ref_crs);
+        assert_eq!(partition, ref_partition);
+    }
+}

@@ -1,0 +1,72 @@
+//! Delivery-order invariance: a monitoring entity may observe the same
+//! computation in many valid orders. Fidge/Mattern stamps must be identical
+//! per event under every order; cluster timestamps may *cluster* differently
+//! (dynamic merge decisions are order-dependent by nature) but must stay
+//! exact for precedence under every order.
+
+use cluster_timestamps::prelude::*;
+use cts_core::cluster::ClusterEngine;
+use cts_model::linearize::{is_valid_delivery_order, relinearize};
+use cts_workloads::suite::mini_suite;
+
+#[test]
+fn fm_stamps_are_delivery_order_invariant() {
+    for entry in mini_suite().into_iter().take(6) {
+        let t = &entry.trace;
+        let fm = FmStore::compute(t);
+        for seed in 0..3 {
+            let r = relinearize(t, seed);
+            assert!(is_valid_delivery_order(r.num_processes(), r.events()));
+            let fm2 = FmStore::compute(&r);
+            for id in t.all_event_ids() {
+                assert_eq!(
+                    fm.stamp(t, id),
+                    fm2.stamp(&r, id),
+                    "{}: stamp of {id} changed under reordering (seed {seed})",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_precedence_is_exact_under_any_order() {
+    for entry in mini_suite().into_iter().take(4) {
+        let t = &entry.trace;
+        let oracle = Oracle::compute(t);
+        let ids: Vec<EventId> = t.all_event_ids().step_by(3).collect();
+        for seed in 0..3 {
+            let r = relinearize(t, seed);
+            let cts = ClusterEngine::run(&r, MergeOnFirst::new(4));
+            for &e in &ids {
+                for &f in &ids {
+                    assert_eq!(
+                        cts.precedes(&r, e, f),
+                        oracle.happened_before(t, e, f),
+                        "{} seed {seed}: {e} -> {f}",
+                        entry.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_node_counts_stable_under_reordering() {
+    for entry in mini_suite().into_iter().take(4) {
+        let t = &entry.trace;
+        let o = Oracle::compute(t);
+        let r = relinearize(t, 9);
+        let o2 = Oracle::compute(&r);
+        for id in t.all_event_ids() {
+            assert_eq!(
+                o.past_size(t, id),
+                o2.past_size(&r, id),
+                "{}: past of {id}",
+                entry.name
+            );
+        }
+    }
+}

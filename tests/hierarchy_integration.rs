@@ -1,0 +1,109 @@
+//! Multi-level hierarchical timestamps across the mini suite: exactness at
+//! every depth, and the structural monotonicity deeper levels buy.
+
+use cluster_timestamps::prelude::*;
+use cts_core::hierarchy::{HierarchicalTimestamps, NestedClustering};
+use cts_model::comm::CommMatrix;
+use cts_workloads::suite::mini_suite;
+
+fn pairs(trace: &Trace) -> Vec<(EventId, EventId)> {
+    let ids: Vec<EventId> = trace.all_event_ids().collect();
+    let step = (ids.len() / 40).max(1);
+    let sample: Vec<EventId> = ids.into_iter().step_by(step).collect();
+    sample
+        .iter()
+        .flat_map(|&a| sample.iter().map(move |&b| (a, b)))
+        .collect()
+}
+
+#[test]
+fn hierarchical_precedence_matches_oracle_at_depths_1_and_2() {
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let oracle = Oracle::compute(t);
+        for caps in [vec![3], vec![3, 6]] {
+            let h = HierarchicalTimestamps::build_greedy(t, &caps);
+            for (e, f) in pairs(t) {
+                assert_eq!(
+                    h.precedes(t, e, f),
+                    oracle.happened_before(t, e, f),
+                    "{} caps {caps:?}: {e} -> {f}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deeper_hierarchies_never_store_more_elements() {
+    use cts_core::cluster::Encoding;
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let enc = Encoding::Actual {
+            n: t.num_processes() as usize,
+        };
+        let flat = HierarchicalTimestamps::build_greedy(t, &[3]);
+        let deep = HierarchicalTimestamps::build_greedy(t, &[3, 6]);
+        assert!(
+            deep.total_elements(enc) <= flat.total_elements(enc),
+            "{}: deep {} > flat {}",
+            entry.name,
+            deep.total_elements(enc),
+            flat.total_elements(enc)
+        );
+    }
+}
+
+#[test]
+fn nested_clustering_levels_refine() {
+    for entry in mini_suite().into_iter().take(6) {
+        let t = &entry.trace;
+        let m = CommMatrix::from_trace(t);
+        let nc = NestedClustering::build(&m, &[2, 4, 8]);
+        let n = t.num_processes();
+        for p in 0..n {
+            for q in 0..n {
+                let (p, q) = (ProcessId(p), ProcessId(q));
+                // Once together, always together at coarser levels.
+                let mut together = false;
+                for k in 0..nc.num_levels() {
+                    let now = nc.cluster_of(k, p) == nc.cluster_of(k, q);
+                    assert!(
+                        !together || now,
+                        "{}: {p},{q} split at level {k}",
+                        entry.name
+                    );
+                    together = now;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchy_agrees_with_flat_engine_semantics() {
+    // Depth-1 hierarchy and the flat static pipeline at the same cap answer
+    // every query identically (both are exact), and classify comparable
+    // numbers of full-width receives.
+    use cts_core::two_pass::static_pipeline;
+    for entry in mini_suite().into_iter().take(6) {
+        let t = &entry.trace;
+        let h = HierarchicalTimestamps::build_greedy(t, &[4]);
+        let (_, flat) = static_pipeline(t, 4);
+        for (e, f) in pairs(t) {
+            assert_eq!(
+                h.precedes(t, e, f),
+                flat.precedes(t, e, f),
+                "{}: {e} -> {f}",
+                entry.name
+            );
+        }
+        assert_eq!(
+            *h.receives_by_level().last().unwrap(),
+            flat.num_cluster_receives(),
+            "{}",
+            entry.name
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Shape tests for the paper's qualitative results: not exact numbers (our
+//! corpus is synthetic), but the orderings and trends the paper reports must
+//! hold. These are the cheapest always-on guard that the reproduction keeps
+//! reproducing; the full-scale versions live in `cts-experiments`.
+
+use cluster_timestamps::prelude::*;
+use cts_analysis::metrics;
+use cts_analysis::sweep::{sweep, StrategyKind};
+use cts_workloads::spmd::Stencil2D;
+use cts_workloads::synthetic::{PlantedClusters, UniformRandom};
+use cts_workloads::web::WebServer;
+
+fn sizes() -> Vec<usize> {
+    (2..=30).collect()
+}
+
+/// Cluster timestamps save substantial space on locality-rich computations
+/// (the paper: "up to an order-of-magnitude less space").
+#[test]
+fn clustering_saves_big_on_locality() {
+    let t = PlantedClusters {
+        procs: 40,
+        groups: 8,
+        messages: 800,
+        p_intra: 0.95,
+    }
+    .generate(11);
+    let r = sweep(&t, StrategyKind::StaticGreedy, &sizes());
+    let (_, best) = metrics::best(&r);
+    assert!(
+        best < 0.15,
+        "expected large saving on planted clusters, best ratio {best}"
+    );
+}
+
+/// On a no-locality computation the saving largely evaporates.
+#[test]
+fn uniform_random_resists_clustering() {
+    let uni = UniformRandom {
+        procs: 40,
+        messages: 800,
+    }
+    .generate(11);
+    let r = sweep(&uni, StrategyKind::StaticGreedy, &sizes());
+    let (_, best_uniform) = metrics::best(&r);
+    let planted = PlantedClusters {
+        procs: 40,
+        groups: 8,
+        messages: 800,
+        p_intra: 0.95,
+    }
+    .generate(11);
+    let rp = sweep(&planted, StrategyKind::StaticGreedy, &sizes());
+    let (_, best_planted) = metrics::best(&rp);
+    assert!(
+        best_uniform > 2.0 * best_planted,
+        "uniform {best_uniform} should be much worse than planted {best_planted}"
+    );
+}
+
+/// The static curve is smoother than merge-on-1st's (the paper's second
+/// claim: insensitivity to the max-cluster-size choice).
+#[test]
+fn static_curves_are_smoother_than_merge_on_first() {
+    let t = WebServer {
+        clients: 16,
+        workers: 8,
+        requests: 400,
+        affinity: 0.7,
+    }
+    .generate(3);
+    let st = sweep(&t, StrategyKind::StaticGreedy, &sizes());
+    let m1 = sweep(&t, StrategyKind::MergeOnFirst, &sizes());
+    let range_static = metrics::good_sizes(&st, 0.20).len();
+    let range_m1 = metrics::good_sizes(&m1, 0.20).len();
+    assert!(
+        range_static >= range_m1,
+        "static within-20% range ({range_static}) should be at least merge-1st's ({range_m1})"
+    );
+}
+
+/// Raising the merge-Nth threshold flattens the curve (Figure 5's observed
+/// smoothing) relative to merge-on-1st on hub-dominated traffic.
+#[test]
+fn merge_nth_threshold_flattens_the_curve() {
+    let t = WebServer {
+        clients: 16,
+        workers: 8,
+        requests: 500,
+        affinity: 0.6,
+    }
+    .generate(9);
+    let m1 = sweep(&t, StrategyKind::MergeOnFirst, &sizes());
+    let n10 = sweep(&t, StrategyKind::MergeOnNth { threshold: 10.0 }, &sizes());
+    assert!(
+        metrics::max_adjacent_jump(&n10) <= metrics::max_adjacent_jump(&m1) + 1e-9,
+        "threshold 10 should not be bumpier than merge-on-1st"
+    );
+}
+
+/// Deferring merges leaves more cluster receives: the merge-Nth curve should
+/// sit at or above merge-on-1st in cluster-receive counts.
+#[test]
+fn deferred_merging_costs_cluster_receives() {
+    let t = Stencil2D {
+        rows: 6,
+        cols: 6,
+        iters: 6,
+    }
+    .generate(2);
+    let m1 = sweep(&t, StrategyKind::MergeOnFirst, &[13]);
+    let n10 = sweep(&t, StrategyKind::MergeOnNth { threshold: 10.0 }, &[13]);
+    assert!(n10.cluster_receives[0] >= m1.cluster_receives[0]);
+}
+
+/// The greedy static algorithm beats fixed contiguous clusters when process
+/// numbering does not happen to align with communication (the reason the
+/// paper built a real clustering algorithm).
+#[test]
+fn greedy_beats_contiguous_on_scattered_numbering() {
+    let t = PlantedClusters {
+        procs: 36,
+        groups: 6,
+        messages: 700,
+        p_intra: 0.95,
+    }
+    .generate(13);
+    // Planted groups are striped mod 6, so contiguous blocks are maximally
+    // wrong already; also verify greedy invariance under relabeling.
+    let greedy = sweep(&t, StrategyKind::StaticGreedy, &[6]);
+    let contiguous = sweep(&t, StrategyKind::Contiguous, &[6]);
+    assert!(
+        greedy.ratios[0] < contiguous.ratios[0] * 0.7,
+        "greedy {} should clearly beat contiguous {}",
+        greedy.ratios[0],
+        contiguous.ratios[0]
+    );
+}
+
+/// Never-merge (singleton clusters) is the pessimal clustering: every other
+/// strategy does at least as well at any size.
+#[test]
+fn never_merge_is_pessimal() {
+    let t = WebServer {
+        clients: 10,
+        workers: 5,
+        requests: 200,
+        affinity: 0.8,
+    }
+    .generate(21);
+    let never = sweep(&t, StrategyKind::NeverMerge, &[13]);
+    for strat in [
+        StrategyKind::StaticGreedy,
+        StrategyKind::MergeOnFirst,
+        StrategyKind::MergeOnNth { threshold: 5.0 },
+    ] {
+        let r = sweep(&t, strat, &[13]);
+        assert!(
+            r.ratios[0] <= never.ratios[0] + 1e-9,
+            "{} ({}) worse than never-merge ({})",
+            strat.label(),
+            r.ratios[0],
+            never.ratios[0]
+        );
+    }
+}

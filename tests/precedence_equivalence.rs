@@ -1,0 +1,125 @@
+//! Cross-crate integration: every timestamp scheme in the workspace answers
+//! precedence queries identically to the ground-truth oracle, across the
+//! mini suite of workloads.
+
+use cluster_timestamps::prelude::*;
+use cts_baselines::{DdvStore, DiffStore, GsStore};
+use cts_core::cluster::ClusterEngine;
+use cts_core::hybrid::hybrid_pipeline;
+use cts_core::two_pass::static_pipeline;
+use cts_workloads::suite::mini_suite;
+
+/// Sampled event pairs (dense enough to hit all interesting shapes, sparse
+/// enough to keep debug-mode runtime sane).
+fn pairs(trace: &Trace) -> Vec<(EventId, EventId)> {
+    let ids: Vec<EventId> = trace.all_event_ids().collect();
+    let step = (ids.len() / 60).max(1);
+    let sample: Vec<EventId> = ids.into_iter().step_by(step).collect();
+    let mut out = Vec::new();
+    for &a in &sample {
+        for &b in &sample {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+#[test]
+fn fm_matches_oracle_on_mini_suite() {
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let oracle = Oracle::compute(t);
+        let fm = FmStore::compute(t);
+        for (e, f) in pairs(t) {
+            assert_eq!(
+                fm.precedes(t, e, f),
+                oracle.happened_before(t, e, f),
+                "{}: {e} -> {f}",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_cluster_strategies_match_oracle() {
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let oracle = Oracle::compute(t);
+        let n = t.num_processes();
+        let schemes: Vec<(&str, cts_core::cluster::ClusterTimestamps)> = vec![
+            ("m1/3", ClusterEngine::run(t, MergeOnFirst::new(3))),
+            ("m1/13", ClusterEngine::run(t, MergeOnFirst::new(13))),
+            ("mN0/4", ClusterEngine::run(t, MergeOnNth::new(n, 4, 0.0))),
+            ("mN5/6", ClusterEngine::run(t, MergeOnNth::new(n, 6, 5.0))),
+            ("never", ClusterEngine::run(t, NeverMerge)),
+        ];
+        for (label, cts) in &schemes {
+            for (e, f) in pairs(t) {
+                assert_eq!(
+                    cts.precedes(t, e, f),
+                    oracle.happened_before(t, e, f),
+                    "{} {label}: {e} -> {f}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_and_hybrid_match_oracle() {
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let oracle = Oracle::compute(t);
+        let (_, st) = static_pipeline(t, 5);
+        let hy = hybrid_pipeline(t, t.num_events() / 3, 5);
+        for (e, f) in pairs(t) {
+            let want = oracle.happened_before(t, e, f);
+            assert_eq!(st.precedes(t, e, f), want, "{} static", entry.name);
+            assert_eq!(
+                hy.timestamps.precedes(t, e, f),
+                want,
+                "{} hybrid",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn related_work_baselines_match_oracle() {
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let oracle = Oracle::compute(t);
+        let fz = DdvStore::compute(t);
+        let sk = DiffStore::compute(t, 8);
+        for (e, f) in pairs(t) {
+            let want = oracle.happened_before(t, e, f);
+            assert_eq!(fz.precedes(t, e, f), want, "{} FZ: {e}->{f}", entry.name);
+            assert_eq!(sk.precedes(t, e, f), want, "{} SK: {e}->{f}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn gs_matches_oracle_on_synchronous_computations() {
+    let mut found = 0;
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let Ok(gs) = GsStore::build(t) else { continue };
+        found += 1;
+        let oracle = Oracle::compute(t);
+        for (e, f) in pairs(t) {
+            assert_eq!(
+                gs.precedes(t, e, f),
+                oracle.happened_before(t, e, f),
+                "{} GS: {e}->{f}",
+                entry.name
+            );
+        }
+        // The GS selling point: width ≤ N.
+        assert!(gs.width() <= t.num_processes() as usize);
+    }
+    assert!(found >= 1, "mini suite should contain an all-sync trace");
+}

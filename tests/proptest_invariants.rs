@@ -1,0 +1,254 @@
+//! Property-based tests: arbitrary valid computations are generated op by
+//! op, and every invariant of the timestamp structures must hold.
+
+use cluster_timestamps::prelude::*;
+use cts_core::cluster::{ClusterStamp, ClusterTimestamps};
+use cts_core::clustering::greedy_pairwise;
+use cts_core::two_pass::static_pipeline;
+use cts_model::comm::CommMatrix;
+use proptest::prelude::*;
+
+/// A generator op; receives refer to the k-th pending send at apply time.
+#[derive(Clone, Debug)]
+enum Op {
+    Internal(u32),
+    Send(u32, u32),
+    Receive(u32),
+    Sync(u32, u32),
+}
+
+fn apply_ops(n: u32, ops: &[Op]) -> Trace {
+    let mut b = TraceBuilder::new(n);
+    let mut pending = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Internal(p) => {
+                b.internal(ProcessId(p % n)).unwrap();
+            }
+            Op::Send(p, q) => {
+                let (p, q) = (p % n, q % n);
+                if p != q {
+                    pending.push(b.send(ProcessId(p), ProcessId(q)).unwrap());
+                }
+            }
+            Op::Receive(k) => {
+                if !pending.is_empty() {
+                    let tok = pending.remove(k as usize % pending.len());
+                    // Destination is encoded in the token; find it by retry.
+                    for dest in 0..n {
+                        if b.receive(ProcessId(dest), tok).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Op::Sync(p, q) => {
+                let (p, q) = (p % n, q % n);
+                if p != q {
+                    b.sync(ProcessId(p), ProcessId(q)).unwrap();
+                }
+            }
+        }
+    }
+    b.finish("proptest")
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..8).prop_map(Op::Internal),
+        (0u32..8, 0u32..8).prop_map(|(p, q)| Op::Send(p, q)),
+        (0u32..64).prop_map(Op::Receive),
+        (0u32..8, 0u32..8).prop_map(|(p, q)| Op::Sync(p, q)),
+    ]
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    (2u32..6, proptest::collection::vec(op_strategy(), 1..40))
+        .prop_map(|(n, ops)| apply_ops(n, &ops))
+}
+
+fn check_exact_wrap(
+    t: &Trace,
+    cts: &ClusterTimestamps,
+) -> proptest::test_runner::TestCaseResult {
+    let oracle = Oracle::compute(t);
+    for e in t.all_event_ids() {
+        for f in t.all_event_ids() {
+            prop_assert_eq!(
+                cts.precedes(t, e, f),
+                oracle.happened_before(t, e, f),
+                "{} -> {}",
+                e,
+                f
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fm_equals_oracle(t in trace_strategy()) {
+        let oracle = Oracle::compute(&t);
+        let fm = FmStore::compute(&t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                prop_assert_eq!(fm.precedes(&t, e, f), oracle.happened_before(&t, e, f));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_on_first_equals_oracle(t in trace_strategy(), max_cs in 1usize..6) {
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(max_cs));
+        check_exact_wrap(&t, &cts)?;
+    }
+
+    #[test]
+    fn merge_on_nth_equals_oracle(
+        t in trace_strategy(),
+        max_cs in 1usize..6,
+        threshold in 0.0f64..4.0,
+    ) {
+        let cts = ClusterEngine::run(&t, MergeOnNth::new(t.num_processes(), max_cs, threshold));
+        check_exact_wrap(&t, &cts)?;
+    }
+
+    #[test]
+    fn static_greedy_equals_oracle(t in trace_strategy(), max_cs in 1usize..6) {
+        let (_, cts) = static_pipeline(&t, max_cs);
+        check_exact_wrap(&t, &cts)?;
+    }
+
+    #[test]
+    fn clusters_partition_and_respect_max_size(t in trace_strategy(), max_cs in 1usize..6) {
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(max_cs));
+        let part = cts.final_partition();
+        part.validate(t.num_processes()).expect("partition");
+        prop_assert!(part.max_cluster_size() <= max_cs.max(1));
+    }
+
+    #[test]
+    fn greedy_clustering_respects_max_size(t in trace_strategy(), max_cs in 1usize..8) {
+        let m = CommMatrix::from_trace(&t);
+        let c = greedy_pairwise(&m, max_cs);
+        c.validate(t.num_processes()).expect("partition");
+        prop_assert!(c.max_cluster_size() <= max_cs.max(1));
+        // No two clusters that communicate could still merge within the cap.
+        let cl = c.clusters();
+        for i in 0..cl.len() {
+            for j in (i + 1)..cl.len() {
+                if cl[i].len() + cl[j].len() <= max_cs {
+                    prop_assert_eq!(
+                        m.between_groups(&cl[i], &cl[j]),
+                        0,
+                        "mergeable communicating pair left behind"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projected_stamps_are_fm_projections(t in trace_strategy(), max_cs in 1usize..6) {
+        let fm = FmStore::compute(&t);
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(max_cs));
+        for pos in 0..t.num_events() {
+            match cts.stamp_at(pos) {
+                ClusterStamp::Projected { version, clock } => {
+                    let members = cts.sets().members(*version);
+                    for (i, &q) in members.iter().enumerate() {
+                        prop_assert_eq!(clock[i], fm.stamp_at(pos)[q.idx()]);
+                    }
+                }
+                ClusterStamp::Full { clock } => {
+                    prop_assert_eq!(clock.as_slice(), fm.stamp_at(pos));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_bounded_by_one_under_fixed_encoding(t in trace_strategy(), max_cs in 1usize..6) {
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(max_cs));
+        let enc = Encoding::paper_default(t.num_processes(), max_cs);
+        let r = SpaceReport::measure(&cts, enc);
+        prop_assert!(r.ratio <= 1.0 + 1e-12, "ratio {} > 1", r.ratio);
+        prop_assert!(r.ratio >= 0.0);
+    }
+
+    #[test]
+    fn merge_nth_zero_threshold_equals_merge_first(t in trace_strategy(), max_cs in 1usize..6) {
+        let a = ClusterEngine::run(&t, MergeOnFirst::new(max_cs));
+        let b = ClusterEngine::run(&t, MergeOnNth::new(t.num_processes(), max_cs, 0.0));
+        prop_assert_eq!(a.num_cluster_receives(), b.num_cluster_receives());
+        prop_assert_eq!(a.num_merges(), b.num_merges());
+        prop_assert_eq!(
+            a.final_partition().assignment(t.num_processes()),
+            b.final_partition().assignment(t.num_processes())
+        );
+    }
+
+    #[test]
+    fn migrating_engine_equals_oracle(
+        t in trace_strategy(),
+        max_cs in 1usize..6,
+        threshold in 0.0f64..2.0,
+        migrate_after in 1u32..4,
+    ) {
+        use cts_core::cluster::MigratingEngine;
+        let mts = MigratingEngine::run(&t, max_cs, threshold, migrate_after);
+        let oracle = Oracle::compute(&t);
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                prop_assert_eq!(
+                    mts.precedes(&t, e, f),
+                    oracle.happened_before(&t, e, f),
+                    "{} -> {}", e, f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relinearization_preserves_fm_stamps(t in trace_strategy(), seed in 0u64..1000) {
+        use cts_model::linearize::{is_valid_delivery_order, relinearize};
+        let r = relinearize(&t, seed);
+        prop_assert!(is_valid_delivery_order(r.num_processes(), r.events()));
+        let fm_a = FmStore::compute(&t);
+        let fm_b = FmStore::compute(&r);
+        for id in t.all_event_ids() {
+            prop_assert_eq!(fm_a.stamp(&t, id), fm_b.stamp(&r, id));
+        }
+    }
+
+    #[test]
+    fn textio_roundtrip(t in trace_strategy()) {
+        let text = cts_model::textio::write_trace(&t);
+        let back = cts_model::textio::parse_trace(&text).expect("roundtrip");
+        prop_assert_eq!(back.events(), t.events());
+        prop_assert_eq!(back.num_processes(), t.num_processes());
+    }
+
+    #[test]
+    fn oracle_is_a_strict_partial_order_modulo_sync(t in trace_strategy()) {
+        // Irreflexive always; antisymmetric except for sync halves (which are
+        // causally identified by convention).
+        let oracle = Oracle::compute(&t);
+        let nodes = cts_model::oracle::NodeMap::build(&t);
+        for e in t.all_event_ids() {
+            prop_assert!(!oracle.happened_before(&t, e, e));
+            for f in t.all_event_ids() {
+                if oracle.happened_before(&t, e, f) && oracle.happened_before(&t, f, e) {
+                    prop_assert_eq!(
+                        nodes.node(&t, e),
+                        nodes.node(&t, f),
+                        "mutual order only for sync halves"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Serialization across the whole workload zoo: every mini-suite trace
+//! survives a text round trip with its events, statistics, and causal order
+//! intact — the property the monitoring entity's wire format needs.
+
+use cluster_timestamps::prelude::*;
+use cts_model::stats::TraceStats;
+use cts_model::textio::{parse_trace, write_trace};
+use cts_workloads::suite::mini_suite;
+
+#[test]
+fn every_mini_suite_trace_roundtrips() {
+    for entry in mini_suite() {
+        let t = &entry.trace;
+        let text = write_trace(t);
+        let back = parse_trace(&text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", entry.name));
+        assert_eq!(back.events(), t.events(), "{}", entry.name);
+        assert_eq!(back.num_processes(), t.num_processes());
+        assert_eq!(
+            TraceStats::compute(&back),
+            TraceStats::compute(t),
+            "{}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn roundtrip_preserves_precedence() {
+    for entry in mini_suite().into_iter().take(4) {
+        let t = &entry.trace;
+        let back = parse_trace(&write_trace(t)).unwrap();
+        let fm_a = FmStore::compute(t);
+        let fm_b = FmStore::compute(&back);
+        let ids: Vec<EventId> = t.all_event_ids().step_by(5).collect();
+        for &e in &ids {
+            for &f in &ids {
+                assert_eq!(
+                    fm_a.precedes(t, e, f),
+                    fm_b.precedes(&back, e, f),
+                    "{}: {e} -> {f}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn text_format_is_line_per_communication() {
+    for entry in mini_suite().into_iter().take(4) {
+        let t = &entry.trace;
+        let text = write_trace(t);
+        let event_lines = text
+            .lines()
+            .filter(|l| !l.starts_with("trace") && !l.starts_with("procs"))
+            .count();
+        // One line per event, except sync pairs which collapse to one line.
+        assert_eq!(
+            event_lines,
+            t.num_events() - t.num_sync_pairs(),
+            "{}",
+            entry.name
+        );
+    }
+}

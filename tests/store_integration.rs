@@ -1,0 +1,106 @@
+//! Integration of the store substrate with the timestamp engines: one
+//! monitoring-entity pipeline end to end, plus cross-backend query agreement.
+
+use cluster_timestamps::prelude::*;
+use cts_core::cluster::ClusterEngine;
+use cts_store::event_store::EventStore;
+use cts_store::queries::{greatest_concurrent, scroll_window, ClusterBackend, FmBackend};
+use cts_store::timestamp_cache::TimestampCache;
+use cts_store::vm_sim::PagedTimestampStore;
+use cts_workloads::suite::mini_suite;
+use cts_workloads::web::WebServer;
+
+#[test]
+fn online_pipeline_ingests_and_answers_queries() {
+    let trace = WebServer {
+        clients: 5,
+        workers: 3,
+        requests: 40,
+        affinity: 0.8,
+    }
+    .generate(99);
+    let mut store = EventStore::new(trace.num_processes());
+    let mut engine = ClusterEngine::new(
+        trace.num_processes(),
+        MergeOnNth::new(trace.num_processes(), 6, 2.0),
+    );
+    for &ev in trace.events() {
+        store.insert(ev).unwrap();
+        engine.accept(ev);
+    }
+    assert_eq!(store.len(), trace.num_events());
+    let cts = engine.finish();
+    let fm = FmStore::compute(&trace);
+    let oracle = Oracle::compute(&trace);
+
+    // The store's transitive-reduction edges agree with the trace.
+    for rec in store.records() {
+        assert_eq!(rec.preds, trace.immediate_predecessors(rec.event.id));
+        for succ in &rec.succs {
+            assert!(oracle.happened_before(&trace, rec.event.id, *succ));
+        }
+    }
+
+    // Queries agree across backends.
+    let probe = trace.at(trace.num_events() / 2).id;
+    let via_fm = greatest_concurrent(&mut FmBackend(&fm), &trace, probe);
+    let via_ct = greatest_concurrent(&mut ClusterBackend(&cts), &trace, probe);
+    let mut cache = TimestampCache::new(&trace, 16);
+    let via_cache = greatest_concurrent(&mut cache, &trace, probe);
+    let mut paged = PagedTimestampStore::new(&trace, &fm, 128);
+    let via_paged = greatest_concurrent(&mut paged, &trace, probe);
+    assert_eq!(via_fm, via_ct);
+    assert_eq!(via_fm, via_cache);
+    assert_eq!(via_fm, via_paged);
+}
+
+#[test]
+fn scrolling_is_backend_independent() {
+    for entry in mini_suite().into_iter().take(4) {
+        let t = &entry.trace;
+        let fm = FmStore::compute(t);
+        let cts = ClusterEngine::run(t, MergeOnFirst::new(4));
+        let a = scroll_window(&mut FmBackend(&fm), t, 1, 5);
+        let b = scroll_window(&mut ClusterBackend(&cts), t, 1, 5);
+        assert_eq!(a, b, "{}", entry.name);
+    }
+}
+
+#[test]
+fn paged_store_reports_thrash_on_scattered_access() {
+    let trace = WebServer {
+        clients: 8,
+        workers: 4,
+        requests: 120,
+        affinity: 0.5,
+    }
+    .generate(5);
+    let fm = FmStore::compute(&trace);
+    // Frames hold only a sliver of the stamp data.
+    let mut paged = PagedTimestampStore::with_page_size(&trace, &fm, 4, 64);
+    let probe = trace.at(trace.num_events() / 2).id;
+    let _ = greatest_concurrent(&mut paged, &trace, probe);
+    // Every process's scan touches pages that can't all stay resident.
+    assert!(
+        paged.page_reads() as usize >= trace.num_processes() as usize / 2,
+        "expected thrash, got {} page reads",
+        paged.page_reads()
+    );
+}
+
+#[test]
+fn btree_window_matches_trace_contents() {
+    for entry in mini_suite().into_iter().take(3) {
+        let t = &entry.trace;
+        let store = EventStore::from_trace(t);
+        for p in 0..t.num_processes() {
+            let p = ProcessId(p);
+            let len = t.process_len(p) as u32;
+            let w = store.process_window(p, 1, len + 1);
+            assert_eq!(w.len(), len as usize, "{} {p}", entry.name);
+            for (i, rec) in w.iter().enumerate() {
+                assert_eq!(rec.event.id, EventId::new(p, EventIndex(i as u32 + 1)));
+            }
+        }
+    }
+}
