@@ -12,7 +12,10 @@ pub struct Series<'a> {
 pub fn render(series: &[Series<'_>], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4);
     let markers = ['*', '+', 'o', 'x', '#', '@'];
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return "(no data)\n".into();
     }

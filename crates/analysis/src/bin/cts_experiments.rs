@@ -57,7 +57,10 @@ fn main() {
         let report = match exp.as_str() {
             "fig4" => figures::fig4(&ctx),
             "fig5" => figures::fig5(&ctx),
-            "claims" | "claim-static-range" | "claim-single-size" | "claim-m1-no-range"
+            "claims"
+            | "claim-static-range"
+            | "claim-single-size"
+            | "claim-m1-no-range"
             | "claim-dynamic-range" => figures::claims(&ctx),
             "motivation" => figures::motivation(&ctx),
             "related-work" => figures::related_work(&ctx),
@@ -73,6 +76,9 @@ fn main() {
             }
         };
         println!("{report}");
-        eprintln!("[{exp} done in {:.1?}; CSVs in {out_dir}/]", started.elapsed());
+        eprintln!(
+            "[{exp} done in {:.1?}; CSVs in {out_dir}/]",
+            started.elapsed()
+        );
     }
 }

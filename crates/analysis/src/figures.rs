@@ -64,7 +64,13 @@ impl Ctx {
 }
 
 fn curves_csv(results: &[SweepResult]) -> Csv {
-    let mut csv = Csv::new(["trace", "strategy", "max_cluster_size", "ratio", "cluster_receives"]);
+    let mut csv = Csv::new([
+        "trace",
+        "strategy",
+        "max_cluster_size",
+        "ratio",
+        "cluster_receives",
+    ]);
     for r in results {
         for (i, (size, ratio)) in r.points().enumerate() {
             csv.row([
@@ -101,11 +107,7 @@ pub fn fig4(ctx: &Ctx) -> String {
     for (panel, trace) in [("upper (worst case)", &worst), ("lower (typical)", &smooth)] {
         let st = sweep(trace, StrategyKind::StaticGreedy, &sizes);
         let m1 = sweep(trace, StrategyKind::MergeOnFirst, &sizes);
-        let _ = writeln!(
-            report,
-            "\n== Figure 4, {panel} panel — {} ==",
-            trace.name()
-        );
+        let _ = writeln!(report, "\n== Figure 4, {panel} panel — {} ==", trace.name());
         report.push_str(&plot_sweeps("ratio vs max cluster size", &[&st, &m1]));
         let _ = writeln!(
             report,
@@ -137,11 +139,7 @@ pub fn fig5(ctx: &Ctx) -> String {
         let m1 = sweep(trace, StrategyKind::MergeOnFirst, &sizes);
         let n5 = sweep(trace, StrategyKind::MergeOnNth { threshold: 5.0 }, &sizes);
         let n10 = sweep(trace, StrategyKind::MergeOnNth { threshold: 10.0 }, &sizes);
-        let _ = writeln!(
-            report,
-            "\n== Figure 5, {panel} panel — {} ==",
-            trace.name()
-        );
+        let _ = writeln!(report, "\n== Figure 5, {panel} panel — {} ==", trace.name());
         report.push_str(&plot_sweeps("ratio vs max cluster size", &[&m1, &n5, &n10]));
         let _ = writeln!(
             report,
@@ -169,10 +167,7 @@ pub fn claims(ctx: &Ctx) -> String {
     use cts_workloads::suite::Env;
     let suite = ctx.suite();
     let sizes = ctx.sizes();
-    let traces: Vec<(&str, &Trace)> = suite
-        .iter()
-        .map(|e| (e.name.as_str(), &e.trace))
-        .collect();
+    let traces: Vec<(&str, &Trace)> = suite.iter().map(|e| (e.name.as_str(), &e.trace)).collect();
     let strategies = [
         StrategyKind::StaticGreedy,
         StrategyKind::MergeOnFirst,
@@ -230,10 +225,7 @@ pub fn claims(ctx: &Ctx) -> String {
         report,
         "\n== C2 (static greedy): sizes within 20% of best for ALL computations =="
     );
-    let _ = writeln!(
-        report,
-        "sizes: {universal:?}  (paper: 13 or 14)"
-    );
+    let _ = writeln!(report, "sizes: {universal:?}  (paper: 13 or 14)");
 
     // C3: merge-on-1st has no good universal size.
     let cov1 = metrics::coverage_by_size(&m1s, 0.20);
@@ -292,8 +284,7 @@ pub fn claims(ctx: &Ctx) -> String {
     let synthetics: Vec<SweepResult> = results
         .iter()
         .filter(|r| {
-            r.strategy == StrategyKind::StaticGreedy
-                && !paper_env.contains(r.trace_name.as_str())
+            r.strategy == StrategyKind::StaticGreedy && !paper_env.contains(r.trace_name.as_str())
         })
         .cloned()
         .collect();
@@ -354,7 +345,11 @@ pub fn motivation(ctx: &Ctx) -> String {
         t.num_events(),
         fm.bytes(),
         expect,
-        if fm.bytes() == expect { "exact" } else { "MISMATCH" }
+        if fm.bytes() == expect {
+            "exact"
+        } else {
+            "MISMATCH"
+        }
     );
 
     // M2: paging behaviour of precomputed stamps.
@@ -433,7 +428,11 @@ pub fn motivation(ctx: &Ctx) -> String {
             report,
             "N={n:>5}: {per_query:>12} element ops per precedence query"
         );
-        csv.row([n.to_string(), t.num_events().to_string(), per_query.to_string()]);
+        csv.row([
+            n.to_string(),
+            t.num_events().to_string(),
+            per_query.to_string(),
+        ]);
     }
     ctx.save("motivation_m3.csv", &csv);
     let _ = writeln!(
@@ -512,7 +511,13 @@ pub fn ablation_clustering(ctx: &Ctx) -> String {
     let subset: Vec<&SuiteEntry> = suite.iter().take(10).collect();
     let max_cs = 13;
     let mut report = String::new();
-    let mut csv = Csv::new(["trace", "greedy", "unnormalized", "kmedoid", "kmedoid_max_cluster"]);
+    let mut csv = Csv::new([
+        "trace",
+        "greedy",
+        "unnormalized",
+        "kmedoid",
+        "kmedoid_max_cluster",
+    ]);
     let _ = writeln!(
         report,
         "\n== A1: static clustering ablation at maxCS={max_cs} (actual-element ratios) ==\n\
@@ -584,7 +589,10 @@ pub fn ablation_contiguous(ctx: &Ctx) -> String {
     let greedy_shuf = sweep(&shuffled, StrategyKind::StaticGreedy, &sizes);
 
     let mut report = String::new();
-    let _ = writeln!(report, "\n== A2: contiguous clusters vs process numbering ==");
+    let _ = writeln!(
+        report,
+        "\n== A2: contiguous clusters vs process numbering =="
+    );
     report.push_str(&plot_sweeps(
         "contiguous (original vs shuffled ids) and greedy",
         &[&cont_orig, &cont_shuf, &greedy_orig],

@@ -9,7 +9,8 @@
 //!
 //! - [`sweep`]: run a clustering strategy across maximum cluster sizes
 //!   2..=50 and record the average-timestamp-size ratio (the y-axis of the
-//!   paper's figures), with a crossbeam-parallel driver for whole-suite runs;
+//!   paper's figures), with a scoped-thread parallel driver (labelled panic
+//!   propagation) for whole-suite runs;
 //! - [`metrics`]: best-achieved ratios, within-20%-of-best ranges, and
 //!   cross-computation coverage — the quantities behind the paper's claims;
 //! - [`figures`]: one driver per experiment, each returning structured

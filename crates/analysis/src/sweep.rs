@@ -1,9 +1,7 @@
 //! Cluster-size sweeps: the engine behind every ratio curve in the paper.
 
 use cts_core::cluster::{ClusterEngine, ClusterTimestamps, Encoding, SpaceReport};
-use cts_core::clustering::{
-    contiguous_of, greedy_pairwise, greedy_pairwise_unnormalized, kmedoid,
-};
+use cts_core::clustering::{contiguous_of, greedy_pairwise, greedy_pairwise_unnormalized, kmedoid};
 use cts_core::hybrid::hybrid_pipeline;
 use cts_core::strategy::{MergeOnFirst, MergeOnNth, NeverMerge};
 use cts_core::two_pass::run_static_with_matrix;
@@ -62,9 +60,9 @@ impl StrategyKind {
             StrategyKind::StaticGreedy => {
                 run_static_with_matrix(trace, matrix, |m| greedy_pairwise(m, max_cs))
             }
-            StrategyKind::StaticUnnormalized => run_static_with_matrix(trace, matrix, |m| {
-                greedy_pairwise_unnormalized(m, max_cs)
-            }),
+            StrategyKind::StaticUnnormalized => {
+                run_static_with_matrix(trace, matrix, |m| greedy_pairwise_unnormalized(m, max_cs))
+            }
             StrategyKind::Contiguous => {
                 run_static_with_matrix(trace, matrix, |_| contiguous_of(n, max_cs))
             }
@@ -124,39 +122,96 @@ pub fn sweep(trace: &Trace, strategy: StrategyKind, sizes: &[usize]) -> SweepRes
 }
 
 /// Sweep several strategies over several traces, fanning the
-/// (trace × strategy) tasks over worker threads with crossbeam scoped
-/// threads. Results preserve input order.
+/// (trace × strategy) tasks over `std::thread::scope` worker threads.
+/// Results preserve input order.
+///
+/// # Panics
+///
+/// If any task panics, panics with a message naming every failed
+/// `trace × strategy` pair (and the first underlying panic message), so a
+/// whole-suite run points straight at the offending computation instead of
+/// dying with a bare `expect("task completed")`.
 pub fn sweep_all(
     traces: &[(&str, &Trace)],
     strategies: &[StrategyKind],
     sizes: &[usize],
     workers: usize,
 ) -> Vec<SweepResult> {
-    let tasks: Vec<(usize, usize)> = (0..traces.len())
+    let tasks: Vec<(String, _)> = (0..traces.len())
         .flat_map(|t| (0..strategies.len()).map(move |s| (t, s)))
+        .map(|(ti, si)| {
+            let label = format!("{} × {}", traces[ti].0, strategies[si].label());
+            let task = move || sweep(traces[ti].1, strategies[si], sizes);
+            (label, task)
+        })
         .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<SweepResult>>> =
+    run_labeled_tasks("sweep_all", tasks, workers)
+}
+
+/// Run labeled tasks over a fixed pool of scoped worker threads, preserving
+/// input order. On task panic, every completed task still drains; the
+/// aggregate panic names each failed task's label.
+///
+/// Public so other drivers (and the regression tests) can reuse the pool
+/// with injected tasks.
+pub fn run_labeled_tasks<T, F>(what: &str, tasks: Vec<(String, F)>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let slots: Vec<std::sync::Mutex<Option<Result<T, String>>>> =
         tasks.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let workers = workers.max(1);
-    crossbeam::thread::scope(|scope| {
+    // LIFO is fine: results are written by index, not completion order.
+    let queue = std::sync::Mutex::new(
+        tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, f))| (i, label, f))
+            .collect::<Vec<_>>(),
+    );
+    let workers = workers.clamp(1, slots.len().max(1));
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= tasks.len() {
-                    break;
-                }
-                let (ti, si) = tasks[i];
-                let r = sweep(traces[ti].1, strategies[si], sizes);
-                *results[i].lock().unwrap() = Some(r);
+            scope.spawn(|| loop {
+                let job = queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop();
+                let Some((i, label, f)) = job else { break };
+                let outcome = catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+                    format!(
+                        "task '{label}' panicked: {}",
+                        cts_util::check::panic_message(payload.as_ref())
+                    )
+                });
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
+    let mut failures = Vec::new();
+    let mut results = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot
+            .into_inner()
+            .unwrap()
+            .expect("worker pool drained queue")
+        {
+            Ok(r) => results.push(r),
+            Err(msg) => failures.push(msg),
+        }
+    }
+    if !failures.is_empty() {
+        panic!(
+            "{what}: {} task(s) failed: {}",
+            failures.len(),
+            failures.join("; ")
+        );
+    }
     results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("task completed"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -213,6 +268,40 @@ mod tests {
                 k += 1;
             }
         }
+    }
+
+    #[test]
+    fn panicking_task_reports_its_label() {
+        // Regression: the old crossbeam driver died with a bare
+        // `expect("task completed")`, losing which (trace × strategy) task
+        // failed. The labelled runner must name the failing task.
+        let tasks: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = vec![
+            ("web-7 × merge-1st".to_string(), Box::new(|| 1)),
+            (
+                "spmd-3 × kmedoid".to_string(),
+                Box::new(|| panic!("degenerate medoid")),
+            ),
+            ("dce-2 × static-greedy".to_string(), Box::new(|| 3)),
+        ];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_labeled_tasks("sweep_all", tasks, 2)
+        }))
+        .expect_err("a panicking task must fail the run");
+        let msg = cts_util::check::panic_message(err.as_ref());
+        assert!(msg.contains("spmd-3 × kmedoid"), "missing label: {msg}");
+        assert!(msg.contains("degenerate medoid"), "missing cause: {msg}");
+        assert!(
+            !msg.contains("merge-1st") && !msg.contains("static-greedy"),
+            "healthy tasks must not be reported as failed: {msg}"
+        );
+    }
+
+    #[test]
+    fn labeled_tasks_preserve_order_with_many_workers() {
+        let tasks: Vec<(String, _)> = (0..40).map(|i| (format!("t{i}"), move || i * i)).collect();
+        let got = run_labeled_tasks("square", tasks, 8);
+        let want: Vec<i32> = (0..40).map(|i| i * i).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

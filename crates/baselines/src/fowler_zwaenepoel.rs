@@ -62,10 +62,7 @@ impl DdvStore {
     /// Total stored elements (2 per sparse entry + 1 own component per
     /// event), for space comparison against Fidge/Mattern.
     pub fn total_elements(&self) -> u64 {
-        self.ddvs
-            .iter()
-            .map(|d| 2 * d.len() as u64 + 1)
-            .sum()
+        self.ddvs.iter().map(|d| 2 * d.len() as u64 + 1).sum()
     }
 
     /// Mean stored elements per event.

@@ -33,7 +33,10 @@ impl std::fmt::Display for GsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GsError::NotSynchronous(e) => {
-                write!(f, "event {e} is asynchronous; GS needs a synchronous computation")
+                write!(
+                    f,
+                    "event {e} is asynchronous; GS needs a synchronous computation"
+                )
             }
         }
     }

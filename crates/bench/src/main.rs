@@ -1,0 +1,265 @@
+//! `cts-bench` — the workspace's dependency-free benchmark runner.
+//!
+//! Ports the former Criterion benches onto `cts_util::bench::Bencher`:
+//! every group measures the same deterministic fixtures (see `lib.rs`), and
+//! the report is machine-readable JSON on stdout (schema `cts-bench/1`).
+//!
+//! ```text
+//! cargo run --release -p cts-bench                 # full run
+//! cargo run --release -p cts-bench -- --quick      # short samples (CI smoke)
+//! cargo run --release -p cts-bench -- precedence   # only ids containing "precedence"
+//! ```
+
+use cts_analysis::sweep::{sweep, StrategyKind};
+use cts_baselines::{DdvStore, DiffStore};
+use cts_bench::{clustered_trace, SCALES};
+use cts_core::cluster::ClusterEngine;
+use cts_core::clustering::{greedy_pairwise, kmedoid};
+use cts_core::fm::{FmEngine, FmStore};
+use cts_core::strategy::{MergeOnFirst, MergeOnNth, NeverMerge};
+use cts_core::two_pass::static_pipeline;
+use cts_model::comm::CommMatrix;
+use cts_model::EventId;
+use cts_store::btree::{key_of, BPlusTree};
+use cts_store::event_store::EventStore;
+use cts_store::queries::{greatest_concurrent, scroll_window, FmBackend};
+use cts_store::timestamp_cache::TimestampCache;
+use cts_store::vm_sim::PagedTimestampStore;
+use cts_util::bench::Bencher;
+use cts_workloads::suite::figure_pair;
+
+/// A bencher plus a substring filter over `group/name` ids.
+struct Runner {
+    bencher: Bencher,
+    filter: Option<String>,
+}
+
+impl Runner {
+    fn run<T, F: FnMut() -> T>(&mut self, group: &str, name: &str, f: F) {
+        let id = format!("{group}/{name}");
+        if let Some(pat) = &self.filter {
+            if !id.contains(pat.as_str()) {
+                return;
+            }
+        }
+        let e = self.bencher.bench(group, name, f);
+        eprintln!("{:<48} median {:>12} ns", e.id(), e.median_ns);
+    }
+}
+
+fn bench_fm(r: &mut Runner) {
+    for &n in SCALES {
+        let trace = clustered_trace(n, 8);
+        r.run("fm_engine_accept", &n.to_string(), || {
+            let mut eng = FmEngine::new(trace.num_processes());
+            let mut acc = 0u64;
+            for &ev in trace.events() {
+                acc = acc.wrapping_add(eng.accept(ev).as_slice()[0] as u64);
+            }
+            acc
+        });
+    }
+    for &n in &[100u32, 400] {
+        let trace = clustered_trace(n, 8);
+        r.run("fm_store_compute", &n.to_string(), || {
+            FmStore::compute(&trace).bytes()
+        });
+    }
+}
+
+fn bench_cluster_engine(r: &mut Runner) {
+    let trace = clustered_trace(200, 8);
+    let n = trace.num_processes();
+    r.run("cluster_engine_run", "merge_on_first_13", || {
+        ClusterEngine::run(&trace, MergeOnFirst::new(13)).num_cluster_receives()
+    });
+    r.run("cluster_engine_run", "merge_on_nth_t10_13", || {
+        ClusterEngine::run(&trace, MergeOnNth::new(n, 13, 10.0)).num_cluster_receives()
+    });
+    r.run("cluster_engine_run", "never_merge", || {
+        ClusterEngine::run(&trace, NeverMerge).num_cluster_receives()
+    });
+    r.run("cluster_engine_run", "static_two_pass_13", || {
+        static_pipeline(&trace, 13).1.num_cluster_receives()
+    });
+    for max_cs in [2usize, 13, 50] {
+        r.run("cluster_engine_by_max_cs", &max_cs.to_string(), || {
+            ClusterEngine::run(&trace, MergeOnFirst::new(max_cs)).num_cluster_receives()
+        });
+    }
+}
+
+/// Deterministic pseudo-random query pairs (fixed prime strides).
+fn query_pairs(trace: &cts_model::Trace, k: usize) -> Vec<(EventId, EventId)> {
+    let ids: Vec<EventId> = trace.all_event_ids().collect();
+    (0..k)
+        .map(|i| {
+            let a = ids[(i * 7919) % ids.len()];
+            let b = ids[(i * 104729 + 13) % ids.len()];
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_precedence(r: &mut Runner) {
+    let trace = clustered_trace(200, 8);
+    let pairs = query_pairs(&trace, 256);
+    let g = "precedence_256_queries";
+
+    let fm = FmStore::compute(&trace);
+    r.run(g, "fm_precomputed", || {
+        pairs
+            .iter()
+            .filter(|&&(e, f)| fm.precedes(&trace, e, f))
+            .count()
+    });
+
+    let cts = ClusterEngine::run(&trace, MergeOnNth::new(trace.num_processes(), 13, 5.0));
+    r.run(g, "cluster_timestamps", || {
+        pairs
+            .iter()
+            .filter(|&&(e, f)| cts.precedes(&trace, e, f))
+            .count()
+    });
+
+    let fz = DdvStore::compute(&trace);
+    r.run(g, "fowler_zwaenepoel_search", || {
+        pairs
+            .iter()
+            .filter(|&&(e, f)| fz.precedes(&trace, e, f))
+            .count()
+    });
+
+    let sk = DiffStore::compute(&trace, 16);
+    r.run(g, "sk_differential_reconstruct", || {
+        pairs
+            .iter()
+            .filter(|&&(e, f)| sk.precedes(&trace, e, f))
+            .count()
+    });
+
+    r.run(g, "recompute_forward_cache", || {
+        let mut cache = TimestampCache::new(&trace, 64);
+        pairs.iter().filter(|&&(e, f)| cache.precedes(e, f)).count()
+    });
+}
+
+fn bench_static_clustering(r: &mut Runner) {
+    for &n in SCALES {
+        let trace = clustered_trace(n, 6);
+        let matrix = CommMatrix::from_trace(&trace);
+        r.run("greedy_pairwise_by_n", &n.to_string(), || {
+            greedy_pairwise(&matrix, 13).num_clusters()
+        });
+    }
+    let trace = clustered_trace(200, 6);
+    let matrix = CommMatrix::from_trace(&trace);
+    r.run("clusterers_n200", "greedy_pairwise", || {
+        greedy_pairwise(&matrix, 13).num_clusters()
+    });
+    r.run("clusterers_n200", "kmedoid", || {
+        kmedoid(&matrix, 16, 20).num_clusters()
+    });
+}
+
+fn bench_figure_sweeps(r: &mut Runner) {
+    let (worst, smooth) = figure_pair();
+    let sizes: Vec<usize> = (2..=50).step_by(4).collect(); // sparse axis for the bench
+    r.run("figure_sweep", "fig4_static_smooth", || {
+        sweep(&smooth, StrategyKind::StaticGreedy, &sizes)
+            .ratios
+            .len()
+    });
+    r.run("figure_sweep", "fig4_merge1st_smooth", || {
+        sweep(&smooth, StrategyKind::MergeOnFirst, &sizes)
+            .ratios
+            .len()
+    });
+    r.run("figure_sweep", "fig5_mergeNth10_worst", || {
+        sweep(&worst, StrategyKind::MergeOnNth { threshold: 10.0 }, &sizes)
+            .ratios
+            .len()
+    });
+}
+
+fn bench_store_queries(r: &mut Runner) {
+    let trace = clustered_trace(200, 8);
+    let ids: Vec<EventId> = trace.all_event_ids().collect();
+    r.run("btree", "insert_all", || {
+        let mut t = BPlusTree::new();
+        for (i, &id) in ids.iter().enumerate() {
+            t.insert(key_of(id), i as u32);
+        }
+        t.len()
+    });
+    let mut tree = BPlusTree::new();
+    for (i, &id) in ids.iter().enumerate() {
+        tree.insert(key_of(id), i as u32);
+    }
+    r.run("btree", "get_all", || {
+        ids.iter()
+            .filter(|&&id| tree.get(key_of(id)).is_some())
+            .count()
+    });
+    r.run("event_store", "ingest", || {
+        EventStore::from_trace(&trace).len()
+    });
+
+    for &n in &[100u32, 400] {
+        let trace = clustered_trace(n, 8);
+        let fm = FmStore::compute(&trace);
+        let probe = trace.at(trace.num_events() / 2).id;
+        r.run(
+            "paged_queries",
+            &format!("greatest_concurrent_paged_{n}"),
+            || {
+                let mut paged = PagedTimestampStore::new(&trace, &fm, 1024);
+                let _ = greatest_concurrent(&mut paged, &trace, probe);
+                paged.page_reads()
+            },
+        );
+        r.run("paged_queries", &format!("scroll_window_fm_{n}"), || {
+            scroll_window(&mut FmBackend(&fm), &trace, 1, 4)
+        });
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: cts-bench [--quick] [FILTER]");
+                eprintln!("  --quick   short samples (smoke-test timings)");
+                eprintln!("  FILTER    run only benches whose group/name contains FILTER");
+                return;
+            }
+            other if !other.starts_with('-') => filter = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut r = Runner {
+        bencher: if quick {
+            Bencher::quick()
+        } else {
+            Bencher::standard()
+        },
+        filter,
+    };
+    bench_fm(&mut r);
+    bench_cluster_engine(&mut r);
+    bench_precedence(&mut r);
+    bench_static_clustering(&mut r);
+    bench_figure_sweeps(&mut r);
+    bench_store_queries(&mut r);
+    if r.bencher.entries().is_empty() {
+        eprintln!("no benches matched the filter");
+        std::process::exit(1);
+    }
+    println!("{}", r.bencher.to_json());
+}

@@ -77,10 +77,11 @@ impl<S: MergePolicy> ClusterEngine<S> {
         // Cluster-receive classification: a receiving event whose source
         // process is currently outside the receiver's cluster.
         let cr_source = match ev.kind.receive_source() {
-            Some(src) if !{
-                let v = self.sets.current_version(p);
-                self.sets.contains(v, src.process)
-            } =>
+            Some(src)
+                if !{
+                    let v = self.sets.current_version(p);
+                    self.sets.contains(v, src.process)
+                } =>
             {
                 Some(src)
             }
@@ -191,8 +192,7 @@ impl<S: MergePolicy> ClusterEngine<S> {
 /// Two-pass static mode: timestamp `trace` against a pre-determined
 /// clustering (first pass: compute the clustering; second pass: this).
 pub fn run_static(trace: &Trace, clustering: &Clustering) -> ClusterTimestamps {
-    let mut eng =
-        ClusterEngine::with_partition(trace.num_processes(), clustering, StaticClusters);
+    let mut eng = ClusterEngine::with_partition(trace.num_processes(), clustering, StaticClusters);
     eng.stamps.reserve(trace.num_events());
     for &ev in trace.events() {
         eng.accept(ev);
@@ -365,10 +365,8 @@ mod tests {
         let t = two_pairs_bridge();
         for threshold in [0.0, 0.6, 2.0] {
             for max_cs in 1..=4 {
-                let cts = ClusterEngine::run(
-                    &t,
-                    MergeOnNth::new(t.num_processes(), max_cs, threshold),
-                );
+                let cts =
+                    ClusterEngine::run(&t, MergeOnNth::new(t.num_processes(), max_cs, threshold));
                 check_against_oracle(&t, &cts);
             }
         }

@@ -251,12 +251,8 @@ mod tests {
 
     #[test]
     fn partition_roundtrip() {
-        let clustering = Clustering::new(vec![
-            vec![p(0), p(2)],
-            vec![p(1)],
-            vec![p(3), p(4)],
-        ])
-        .unwrap();
+        let clustering =
+            Clustering::new(vec![vec![p(0), p(2)], vec![p(1)], vec![p(3), p(4)]]).unwrap();
         let mut s = ClusterSets::from_partition(5, &clustering);
         assert_eq!(s.num_clusters(), 3);
         assert!(s.same_cluster(p(0), p(2)));

@@ -257,7 +257,8 @@ impl MigratingEngine {
                 if mergeable {
                     let v = self.clusters.merge(my_slot, their_slot);
                     self.num_merges += 1;
-                    self.pair_counts.retain(|&(a, b), _| a != their_slot && b != their_slot);
+                    self.pair_counts
+                        .retain(|&(a, b), _| a != their_slot && b != their_slot);
                     self.stamps.push(ClusterStamp::Projected {
                         version: super::membership::ClusterVersionId(v.0),
                         clock: fm_stamp.project(self.clusters.members(v)),

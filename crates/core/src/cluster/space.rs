@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn paper_default_widens_for_large_n() {
         match Encoding::paper_default(500, 10) {
-            Encoding::Fixed { fm_width, cluster_width } => {
+            Encoding::Fixed {
+                fm_width,
+                cluster_width,
+            } => {
                 assert_eq!(fm_width, 500);
                 assert_eq!(cluster_width, 10);
             }

@@ -66,7 +66,10 @@ impl GreedyState {
     /// Merge slot `j` into slot `i`, folding communication counts.
     fn merge(&mut self, i: usize, j: usize) {
         let moved = self.clusters[j].take().expect("merge of dead slot");
-        self.clusters[i].as_mut().expect("merge into dead slot").extend(moved);
+        self.clusters[i]
+            .as_mut()
+            .expect("merge into dead slot")
+            .extend(moved);
         for x in 0..self.n {
             if x == i || x == j {
                 continue;
@@ -82,8 +85,7 @@ impl GreedyState {
     }
 
     fn into_clustering(self) -> Clustering {
-        let mut groups: Vec<Vec<ProcessId>> =
-            self.clusters.into_iter().flatten().collect();
+        let mut groups: Vec<Vec<ProcessId>> = self.clusters.into_iter().flatten().collect();
         for g in &mut groups {
             g.sort_unstable();
         }

@@ -65,7 +65,9 @@ pub fn kmedoid(m: &CommMatrix, k: usize, max_iters: usize) -> Clustering {
         // Update step: medoid = member minimizing intra-cluster distance sum.
         let mut changed = false;
         for mi in 0..medoids.len() {
-            let members: Vec<u32> = (0..n as u32).filter(|&p| assign[p as usize] == mi as u32).collect();
+            let members: Vec<u32> = (0..n as u32)
+                .filter(|&p| assign[p as usize] == mi as u32)
+                .collect();
             if members.is_empty() {
                 continue;
             }

@@ -123,7 +123,8 @@ impl NestedClustering {
                 for q in 0..n as usize {
                     if self.assignment[k - 1][p] == self.assignment[k - 1][q] {
                         assert_eq!(
-                            self.assignment[k][p], self.assignment[k][q],
+                            self.assignment[k][p],
+                            self.assignment[k][q],
                             "level {k} must coarsen level {}",
                             k - 1
                         );
@@ -153,8 +154,7 @@ impl NestedClustering {
     /// The smallest level whose cluster around `p` contains `q`, or `None`
     /// if only the implicit top level does.
     pub fn common_level(&self, p: ProcessId, q: ProcessId) -> Option<usize> {
-        (0..self.num_levels())
-            .find(|&k| self.assignment[k][p.idx()] == self.assignment[k][q.idx()])
+        (0..self.num_levels()).find(|&k| self.assignment[k][p.idx()] == self.assignment[k][q.idx()])
     }
 }
 
@@ -449,9 +449,8 @@ mod tests {
         let nc = NestedClustering::from_partitions(4, &[fine.clone(), coarse]);
         assert_eq!(nc.num_levels(), 2);
         let bad_coarse = Clustering::new(vec![vec![p(0), p(2)], vec![p(1), p(3)]]).unwrap();
-        let res = std::panic::catch_unwind(|| {
-            NestedClustering::from_partitions(4, &[fine, bad_coarse])
-        });
+        let res =
+            std::panic::catch_unwind(|| NestedClustering::from_partitions(4, &[fine, bad_coarse]));
         assert!(res.is_err(), "non-nesting partitions must be rejected");
     }
 

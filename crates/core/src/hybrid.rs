@@ -111,10 +111,7 @@ mod tests {
         let t = grouped_trace(6);
         let h = hybrid_pipeline(&t, 12, 2);
         let (static_clustering, _) = static_pipeline(&t, 2);
-        assert_eq!(
-            h.clustering.assignment(6),
-            static_clustering.assignment(6)
-        );
+        assert_eq!(h.clustering.assignment(6), static_clustering.assignment(6));
     }
 
     #[test]

@@ -35,8 +35,7 @@ impl MergePolicy for MergeOnFirst {
         sender_root: u32,
         sets: &ClusterSets,
     ) -> bool {
-        sets.size_of_root(receiver_root) + sets.size_of_root(sender_root)
-            <= self.max_cluster_size
+        sets.size_of_root(receiver_root) + sets.size_of_root(sender_root) <= self.max_cluster_size
     }
 }
 

@@ -90,12 +90,7 @@ mod tests {
         let t = locality_trace();
         let (_, good) = static_pipeline(&t, 2);
         let (_, bad) = static_pipeline_with(&t, |_| {
-            Clustering::new(vec![
-                vec![p(0), p(2)],
-                vec![p(1), p(4)],
-                vec![p(3), p(5)],
-            ])
-            .unwrap()
+            Clustering::new(vec![vec![p(0), p(2)], vec![p(1), p(4)], vec![p(3), p(5)]]).unwrap()
         });
         let enc = Encoding::Fixed {
             fm_width: 300,
@@ -103,11 +98,6 @@ mod tests {
         };
         let rg = SpaceReport::measure(&good, enc);
         let rb = SpaceReport::measure(&bad, enc);
-        assert!(
-            rg.ratio < rb.ratio,
-            "good {} !< bad {}",
-            rg.ratio,
-            rb.ratio
-        );
+        assert!(rg.ratio < rb.ratio, "good {} !< bad {}", rg.ratio, rb.ratio);
     }
 }

@@ -31,7 +31,10 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::UnknownProcess(p) => write!(f, "unknown process {p}"),
             TraceError::UnmatchedReceive { claimed_send } => {
-                write!(f, "receive names send {claimed_send} which is absent or consumed")
+                write!(
+                    f,
+                    "receive names send {claimed_send} which is absent or consumed"
+                )
             }
             TraceError::NotASend(e) => write!(f, "event {e} is not a send"),
             TraceError::WrongDestination {
@@ -108,10 +111,7 @@ impl TraceBuilder {
 
     /// Number of events appended so far on process `p`.
     pub fn process_len(&self, p: ProcessId) -> u32 {
-        self.next_index
-            .get(p.idx())
-            .map(|n| n - 1)
-            .unwrap_or(0)
+        self.next_index.get(p.idx()).map(|n| n - 1).unwrap_or(0)
     }
 
     fn check_process(&self, p: ProcessId) -> Result<(), TraceError> {
@@ -193,8 +193,10 @@ impl TraceBuilder {
         }
         let ia = self.fresh_id(a);
         let ib = self.fresh_id(b);
-        self.events.push(Event::new(ia, EventKind::Sync { peer: ib }));
-        self.events.push(Event::new(ib, EventKind::Sync { peer: ia }));
+        self.events
+            .push(Event::new(ia, EventKind::Sync { peer: ib }));
+        self.events
+            .push(Event::new(ib, EventKind::Sync { peer: ia }));
         Ok((ia, ib))
     }
 

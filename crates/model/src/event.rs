@@ -1,6 +1,5 @@
 //! Strongly-typed event and process identifiers and the event representation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a sequential process (0-based).
@@ -8,7 +7,7 @@ use std::fmt;
 /// The paper assigns identifiers `0 < p_i <= N`; we use the conventional
 /// 0-based indexing internally and only shift when printing paper-style
 /// output.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub u32);
 
 impl ProcessId {
@@ -37,7 +36,7 @@ impl fmt::Display for ProcessId {
 /// `EventIndex`, a fact several precedence algorithms in this workspace
 /// exploit: the timestamp of the *earlier* event in a precedence test is never
 /// needed, only its `(process, index)` pair.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventIndex(pub u32);
 
 impl EventIndex {
@@ -65,7 +64,7 @@ impl fmt::Debug for EventIndex {
 }
 
 /// Globally unique event identifier: `(process, 1-based index)`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId {
     pub process: ProcessId,
     pub index: EventIndex,
@@ -102,7 +101,7 @@ impl fmt::Display for EventId {
 
 /// The kind of an event, mirroring §2.1 of the paper (send, receive, unary)
 /// plus the synchronous events discussed in §3.1.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EventKind {
     /// A unary (internal) event with no partner.
     Internal,
@@ -141,7 +140,7 @@ impl EventKind {
 }
 
 /// A single event of the computation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Event {
     pub id: EventId,
     pub kind: EventKind,

@@ -65,28 +65,29 @@ pub fn relinearize(trace: &Trace, seed: u64) -> Trace {
         state.wrapping_mul(0x2545_F491_4F6C_DD1D)
     };
 
-    let enabled = |next: &[u32], delivered: &std::collections::HashSet<EventId>, p: u32| -> Option<Event> {
-        let idx = next[p as usize];
-        if idx as usize > trace.process_len(ProcessId(p)) {
-            return None;
-        }
-        let id = EventId::new(ProcessId(p), crate::event::EventIndex(idx));
-        let ev = trace.event(id);
-        match ev.kind {
-            EventKind::Receive { from } if !delivered.contains(&from) => None,
-            EventKind::Sync { peer } => {
-                // Both halves must be next-in-line simultaneously.
-                if delivered.contains(&peer) {
-                    Some(ev)
-                } else if next[peer.process.idx()] == peer.index.0 {
-                    Some(ev)
-                } else {
-                    None
-                }
+    let enabled =
+        |next: &[u32], delivered: &std::collections::HashSet<EventId>, p: u32| -> Option<Event> {
+            let idx = next[p as usize];
+            if idx as usize > trace.process_len(ProcessId(p)) {
+                return None;
             }
-            _ => Some(ev),
-        }
-    };
+            let id = EventId::new(ProcessId(p), crate::event::EventIndex(idx));
+            let ev = trace.event(id);
+            match ev.kind {
+                EventKind::Receive { from } if !delivered.contains(&from) => None,
+                EventKind::Sync { peer } => {
+                    // Both halves must be next-in-line simultaneously.
+                    if delivered.contains(&peer) {
+                        Some(ev)
+                    } else if next[peer.process.idx()] == peer.index.0 {
+                        Some(ev)
+                    } else {
+                        None
+                    }
+                }
+                _ => Some(ev),
+            }
+        };
 
     while out.len() < trace.num_events() {
         let candidates: Vec<Event> = (0..n)
@@ -162,7 +163,10 @@ mod tests {
     fn relinearization_changes_order_sometimes() {
         let t = sample();
         let changed = (0..20).any(|seed| relinearize(&t, seed).events() != t.events());
-        assert!(changed, "20 reshuffles should produce at least one new order");
+        assert!(
+            changed,
+            "20 reshuffles should produce at least one new order"
+        );
     }
 
     #[test]

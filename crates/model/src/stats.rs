@@ -33,9 +33,7 @@ impl TraceStats {
         let n = trace.num_processes();
         let matrix = CommMatrix::from_trace(trace);
         let graph = CommGraph::from_matrix(&matrix);
-        let per_proc: Vec<usize> = (0..n)
-            .map(|p| trace.process_len(ProcessId(p)))
-            .collect();
+        let per_proc: Vec<usize> = (0..n).map(|p| trace.process_len(ProcessId(p))).collect();
         let degrees: usize = (0..n).map(|p| graph.degree(ProcessId(p))).sum();
         TraceStats {
             name: trace.name().to_string(),

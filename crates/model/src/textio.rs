@@ -13,7 +13,14 @@
 //! y <p> <q>          # synchronous pair between p and q (two events)
 //! ```
 //!
-//! Lines are in delivery order. Blank lines and `#` comments are ignored.
+//! Lines are in delivery order. Blank lines and `#` comments are ignored —
+//! except on the `trace` header line, where everything after the first
+//! space is the name, verbatim (names may contain `#` and internal spaces;
+//! they may not contain newlines). This format is the workspace's only
+//! serialization: every trace round-trips through it losslessly (name,
+//! process count, and the full event sequence in delivery order), which the
+//! `serialization_roundtrip` integration tests pin across the entire
+//! workload suite.
 
 use crate::builder::{TraceBuilder, TraceError};
 use crate::event::{EventId, EventIndex, EventKind, ProcessId};
@@ -44,7 +51,14 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Serialize a trace to the text format.
+///
+/// The name is written verbatim; it must not contain newlines (the only
+/// shape the line-oriented format cannot carry).
 pub fn write_trace(trace: &Trace) -> String {
+    debug_assert!(
+        !trace.name().contains(['\n', '\r']),
+        "trace names may not contain newlines"
+    );
     let mut out = String::new();
     let _ = writeln!(out, "trace {}", trace.name());
     let _ = writeln!(out, "procs {}", trace.num_processes());
@@ -84,6 +98,18 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
     let mut name: Option<String> = None;
     let mut builder: Option<TraceBuilder> = None;
     for (lineno, raw) in input.lines().enumerate() {
+        // The header line carries the name verbatim (it may contain '#' and
+        // spaces), so it is matched before comment stripping.
+        let raw_line = raw.strip_suffix('\r').unwrap_or(raw);
+        let header = raw_line.trim_start();
+        if let Some(rest) = header.strip_prefix("trace ") {
+            name = Some(rest.to_string());
+            continue;
+        }
+        if header == "trace" {
+            name = Some(String::new());
+            continue;
+        }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -95,15 +121,9 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
             text: raw.to_string(),
         };
         let num = |parts: &mut std::str::SplitWhitespace| -> Result<u32, ParseError> {
-            parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(syntax)
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(syntax)
         };
         match op {
-            "trace" => {
-                name = Some(parts.collect::<Vec<_>>().join(" "));
-            }
             "procs" => {
                 let n = num(&mut parts)?;
                 builder = Some(TraceBuilder::new(n));
@@ -128,11 +148,8 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
                         let p = num(&mut parts)?;
                         let sp = num(&mut parts)?;
                         let si = num(&mut parts)?;
-                        b.receive_id(
-                            ProcessId(p),
-                            EventId::new(ProcessId(sp), EventIndex(si)),
-                        )
-                        .map_err(invalid(lineno + 1))?;
+                        b.receive_id(ProcessId(p), EventId::new(ProcessId(sp), EventIndex(si)))
+                            .map_err(invalid(lineno + 1))?;
                     }
                     "y" => {
                         let p = num(&mut parts)?;
@@ -193,11 +210,32 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        assert!(matches!(
-            parse_trace("i 0\n"),
-            Err(ParseError::Header(_))
-        ));
+        assert!(matches!(parse_trace("i 0\n"), Err(ParseError::Header(_))));
         assert!(matches!(parse_trace(""), Err(ParseError::Header(_))));
+    }
+
+    #[test]
+    fn names_round_trip_verbatim() {
+        // Full round-trip coverage for the header: names may contain '#'
+        // (no comment stripping on the trace line), repeated internal
+        // spaces, and may be empty.
+        for name in ["plain", "has # hash", "a  b   c", "", "trace trace", "#"] {
+            let mut b = TraceBuilder::new(2);
+            b.internal(ProcessId(0)).unwrap();
+            let t = b.finish(name);
+            let back = roundtrip(&t);
+            assert_eq!(back.name(), name, "name {name:?} did not round-trip");
+            assert_eq!(back.events(), t.events());
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = TraceBuilder::new(4).finish("empty");
+        let back = roundtrip(&t);
+        assert_eq!(back.num_processes(), 4);
+        assert_eq!(back.num_events(), 0);
+        assert_eq!(back.name(), "empty");
     }
 
     #[test]

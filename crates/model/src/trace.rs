@@ -1,7 +1,6 @@
 //! Immutable, validated traces in delivery order.
 
 use crate::event::{Event, EventId, EventIndex, EventKind, ProcessId};
-use serde::{Deserialize, Serialize};
 
 /// An immutable parallel-computation trace.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// This is exactly the order in which a central monitoring entity can consume
 /// events for *dynamic* (online) timestamping. Traces are produced by
 /// [`crate::TraceBuilder`], which enforces these invariants.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     name: String,
     num_processes: u32,
@@ -172,11 +171,7 @@ impl Trace {
                 Event::new(id, kind)
             })
             .collect();
-        Trace::from_parts(
-            format!("{}+relabel", self.name),
-            self.num_processes,
-            events,
-        )
+        Trace::from_parts(format!("{}+relabel", self.name), self.num_processes, events)
     }
 
     /// Iterate over the event ids of one process, in order.
@@ -186,8 +181,7 @@ impl Trace {
 
     /// Iterate over all event ids, grouped by process.
     pub fn all_event_ids(&self) -> impl Iterator<Item = EventId> + '_ {
-        (0..self.num_processes)
-            .flat_map(move |p| self.process_events(ProcessId(p)))
+        (0..self.num_processes).flat_map(move |p| self.process_events(ProcessId(p)))
     }
 }
 

@@ -291,7 +291,12 @@ mod tests {
         }
         let r = t.range(30, 91);
         let keys: Vec<u64> = r.iter().map(|&(k, _)| k).collect();
-        assert_eq!(keys, vec![30, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60, 63, 66, 69, 72, 75, 78, 81, 84, 87, 90]);
+        assert_eq!(
+            keys,
+            vec![
+                30, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60, 63, 66, 69, 72, 75, 78, 81, 84, 87, 90
+            ]
+        );
     }
 
     #[test]
@@ -299,7 +304,10 @@ mod tests {
         let mut t = BPlusTree::new();
         for p in 0..5u32 {
             for i in 1..=50u32 {
-                t.insert(key_of(EventId::new(ProcessId(p), EventIndex(i))), p * 100 + i);
+                t.insert(
+                    key_of(EventId::new(ProcessId(p), EventIndex(i))),
+                    p * 100 + i,
+                );
             }
         }
         let lo = key_of(EventId::new(ProcessId(2), EventIndex(1)));

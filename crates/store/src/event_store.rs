@@ -8,8 +8,8 @@
 //! order of events" (§1).
 
 use crate::btree::{key_of, BPlusTree};
+use crate::sync::RwLock;
 use cts_model::{Event, EventId, EventKind, ProcessId, Trace};
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// One stored event: the event itself, its transitive-reduction in-edges

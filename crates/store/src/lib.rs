@@ -17,12 +17,15 @@
 //!   memory — "about 12,000 pages of virtual memory to be read, only to be
 //!   discarded" for one greatest-concurrent query at 1000 processes;
 //! - [`queries`]: precedence, greatest-concurrent-elements, and partial-order
-//!   scrolling over any timestamp backend.
+//!   scrolling over any timestamp backend;
+//! - [`sync`]: the poison-tolerant `RwLock` wrapper the shared store hands
+//!   its query threads.
 
 pub mod btree;
 pub mod event_store;
 pub mod lru;
 pub mod queries;
+pub mod sync;
 pub mod timestamp_cache;
 pub mod vm_sim;
 

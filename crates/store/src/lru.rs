@@ -31,11 +31,17 @@ pub struct LruCache<K, V> {
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Cache holding at most `capacity` entries (≥ 1).
+    ///
+    /// Pre-allocation is clamped (like the entry arena) so a pathological
+    /// capacity — e.g. "effectively unbounded" expressed as `usize::MAX` —
+    /// does not eagerly allocate; storage still grows on demand up to
+    /// `capacity` entries.
     pub fn new(capacity: usize) -> LruCache<K, V> {
         assert!(capacity >= 1, "capacity must be positive");
+        const PREALLOC_CAP: usize = 1 << 20;
         LruCache {
-            map: HashMap::with_capacity(capacity + 1),
-            entries: Vec::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity(capacity.saturating_add(1).min(PREALLOC_CAP)),
+            entries: Vec::with_capacity(capacity.min(PREALLOC_CAP)),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
@@ -268,6 +274,23 @@ mod tests {
             }
             assert_eq!(c.len(), model.len());
         }
+    }
+
+    #[test]
+    fn huge_capacity_does_not_preallocate() {
+        // Regression: `new` used to pass the raw capacity to
+        // `HashMap::with_capacity` (and `capacity + 1` overflowed on
+        // usize::MAX). A pathological capacity must construct instantly and
+        // behave like an unbounded cache.
+        let mut c: LruCache<u64, u64> = LruCache::new(usize::MAX);
+        assert_eq!(c.capacity(), usize::MAX);
+        for k in 0..10_000 {
+            c.insert(k, k * 3);
+        }
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(c.get(&1234), Some(&3702));
+        let (_, _, evictions) = c.stats();
+        assert_eq!(evictions, 0, "nothing should ever be evicted");
     }
 
     #[test]

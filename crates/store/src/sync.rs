@@ -1,0 +1,92 @@
+//! A poison-tolerant reader/writer lock over `std::sync::RwLock`.
+//!
+//! The monitoring entity's query threads are read-mostly and independent: a
+//! panic in one reader (or even a writer that left the store in a *valid*
+//! but partial state) should not wedge every other thread behind a
+//! `PoisonError`. This wrapper recovers the guard from a poisoned lock,
+//! matching the `parking_lot` semantics the store was written against —
+//! without the external dependency.
+
+use std::sync::{PoisonError, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader/writer lock whose guards ignore poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Shared access. Blocks; recovers from poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive access. Blocks; recovers from poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the lock, returning the value (poison-tolerant).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive access through a `&mut` borrow — no locking needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwLock::new(1);
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+        assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn concurrent_readers_see_writes() {
+        let lock = Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 4000);
+    }
+
+    #[test]
+    fn poisoned_lock_still_serves() {
+        let lock = Arc::new(RwLock::new(7));
+        let l = Arc::clone(&lock);
+        // Panic while holding the write guard: the std lock is now poisoned.
+        let _ = std::thread::spawn(move || {
+            let _guard = l.write();
+            panic!("poison it");
+        })
+        .join();
+        // Readers and writers keep working.
+        assert_eq!(*lock.read(), 7);
+        *lock.write() = 8;
+        assert_eq!(*lock.read(), 8);
+    }
+}

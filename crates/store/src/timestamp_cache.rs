@@ -48,9 +48,7 @@ impl<'t> TimestampCache<'t> {
     /// so routing through the peer would be circular).
     fn comp_preds(&self, ev: EventId) -> [Option<EventId>; 2] {
         match self.trace.kind(ev) {
-            cts_model::EventKind::Sync { peer } => {
-                [ev.prev_in_process(), peer.prev_in_process()]
-            }
+            cts_model::EventKind::Sync { peer } => [ev.prev_in_process(), peer.prev_in_process()],
             _ => self.trace.immediate_predecessors(ev),
         }
     }

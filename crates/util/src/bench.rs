@@ -1,0 +1,207 @@
+//! A small micro-benchmark harness: warmup, N timed samples, median/p95,
+//! and a JSON report (`BENCH_*.json`-style) — the in-repo replacement for
+//! Criterion, so benches run on a network-isolated machine.
+//!
+//! Model: each *sample* runs the measured closure `iters_per_sample` times
+//! and records the mean nanoseconds per iteration; statistics are taken over
+//! the samples. The iteration count is auto-calibrated so one sample takes
+//! roughly [`Bencher::target_sample_ns`].
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Benchmark group (e.g. `"fm_engine_accept"`).
+    pub group: String,
+    /// Case name within the group (e.g. `"n200"`).
+    pub name: String,
+    /// Timed samples taken (after warmup).
+    pub samples: usize,
+    /// Iterations averaged inside each sample.
+    pub iters_per_sample: u64,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub p95_ns: f64,
+    pub mean_ns: f64,
+}
+
+impl BenchEntry {
+    /// `"group/name"`, the stable identifier used in reports.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.group, self.name)
+    }
+}
+
+/// Harness configuration plus collected results.
+pub struct Bencher {
+    /// Target wall time per sample, used to calibrate iteration counts.
+    pub target_sample_ns: u64,
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Warmup samples (run, discarded).
+    pub warmup_samples: usize,
+    entries: Vec<BenchEntry>,
+}
+
+impl Bencher {
+    /// The default configuration: 25 samples of ~10 ms after 3 warmups.
+    pub fn standard() -> Bencher {
+        Bencher {
+            target_sample_ns: 10_000_000,
+            samples: 25,
+            warmup_samples: 3,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A fast smoke configuration for CI and `--quick` runs.
+    pub fn quick() -> Bencher {
+        Bencher {
+            target_sample_ns: 1_000_000,
+            samples: 7,
+            warmup_samples: 1,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, recording the result under `group`/`name`. The closure's
+    /// return value is passed through [`black_box`] so its computation cannot
+    /// be optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, group: &str, name: &str, mut f: F) -> &BenchEntry {
+        // Calibrate: time a single iteration, then size samples to target.
+        let t0 = Instant::now();
+        black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let iters = (self.target_sample_ns / once_ns).clamp(1, 1_000_000);
+
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for round in 0..self.warmup_samples + self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            if round >= self.warmup_samples {
+                per_iter.push(ns);
+            }
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let entry = BenchEntry {
+            group: group.to_string(),
+            name: name.to_string(),
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+            min_ns: per_iter[0],
+            median_ns: percentile(&per_iter, 50.0),
+            p95_ns: percentile(&per_iter, 95.0),
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        };
+        self.entries.push(entry);
+        self.entries.last().unwrap()
+    }
+
+    /// All results recorded so far.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// The full report as a JSON document:
+    /// `{"schema": "cts-bench/1", "benches": [{...}, ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"cts-bench/1\",\n  \"benches\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": {}, \"name\": {}, \"samples\": {}, \
+                 \"iters_per_sample\": {}, \"min_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"p95_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+                json_string(&e.group),
+                json_string(&e.name),
+                e.samples,
+                e.iters_per_sample,
+                e.min_ns,
+                e.median_ns,
+                e.p95_ns,
+                e.mean_ns,
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Minimal JSON string encoder (the identifiers here are ASCII, but stay
+/// correct for anything).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_ordered_stats() {
+        let mut b = Bencher {
+            target_sample_ns: 10_000,
+            samples: 5,
+            warmup_samples: 1,
+            entries: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.bench("g", "sum", || {
+            for i in 0..100u64 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        let e = &b.entries()[0];
+        assert_eq!(e.id(), "g/sum");
+        assert_eq!(e.samples, 5);
+        assert!(e.min_ns > 0.0);
+        assert!(e.min_ns <= e.median_ns);
+        assert!(e.median_ns <= e.p95_ns);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut b = Bencher::quick();
+        b.bench("grp", "a\"b", || 1 + 1);
+        let j = b.to_json();
+        assert!(j.contains("\"schema\": \"cts-bench/1\""));
+        assert!(j.contains("\"group\": \"grp\""));
+        assert!(j.contains("a\\\"b"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 95.0), 5.0);
+    }
+}

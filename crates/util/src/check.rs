@@ -1,0 +1,109 @@
+//! A hand-rolled property-test runner: many seeded cases, shrink-free
+//! failure reporting. The in-repo replacement for proptest.
+//!
+//! Each case gets its own [`ChaCha8Rng`] derived from `(base_seed, case)`,
+//! so a failure report's case number is enough to replay the exact input:
+//!
+//! ```
+//! use cts_util::check::run_cases;
+//! use cts_util::prng::Rng;
+//!
+//! run_cases("addition commutes", 64, 0xC75, |rng| {
+//!     let (a, b) = (rng.next_u32() as u64, rng.next_u32() as u64);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::prng::ChaCha8Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Derive the per-case RNG for `(base_seed, case)` — public so a failing
+/// case can be replayed in isolation from the number in the report.
+pub fn case_rng(base_seed: u64, case: u64) -> ChaCha8Rng {
+    // SplitMix64-style mix keeps neighbouring cases uncorrelated.
+    let mut z = base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Run `cases` seeded cases of `property`. On the first panic inside the
+/// property, panics with the property name, the case number and base seed
+/// (enough to replay via [`case_rng`]), and the original message — no
+/// shrinking, the full failing input is deterministic.
+pub fn run_cases<F>(name: &str, cases: u64, base_seed: u64, property: F)
+where
+    F: Fn(&mut ChaCha8Rng),
+{
+    for case in 0..cases {
+        let mut rng = case_rng(base_seed, case);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            panic!(
+                "property '{name}' failed at case {case}/{cases} (base seed {base_seed:#x}): {}",
+                panic_message(payload.as_ref())
+            );
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message. Pass the payload's
+/// trait object itself (`payload.as_ref()` on the `Box` from
+/// `catch_unwind`), not a reference to the `Box` — the `Box` would be
+/// unsize-coerced into a fresh `dyn Any` and every downcast would miss.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let n = std::cell::Cell::new(0u64);
+        run_cases("ranges stay in bounds", 32, 2, |rng| {
+            n.set(n.get() + 1);
+            let hi = 1 + rng.gen_range(1u32..100);
+            assert!(rng.gen_range(0..hi) < hi);
+        });
+        assert_eq!(n.get(), 32);
+    }
+
+    #[test]
+    fn failure_reports_case_and_seed() {
+        let err = catch_unwind(|| {
+            run_cases("always fails", 8, 0xABC, |_| panic!("boom 42"));
+        })
+        .unwrap_err();
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("always fails"), "{msg}");
+        assert!(msg.contains("case 0/8"), "{msg}");
+        assert!(msg.contains("0xabc"), "{msg}");
+        assert!(msg.contains("boom 42"), "{msg}");
+    }
+
+    #[test]
+    fn case_rngs_differ_and_replay() {
+        let a: Vec<u32> = {
+            let mut r = case_rng(5, 0);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = case_rng(5, 1);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let a2: Vec<u32> = {
+            let mut r = case_rng(5, 0);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,20 @@
+//! # cts-util — the in-repo, zero-dependency substrate
+//!
+//! The workspace must build, test, and bench on a network-isolated machine:
+//! no crates-io dependencies, no vendored sources. This crate supplies the
+//! three pieces of infrastructure the rest of the workspace previously pulled
+//! from external crates:
+//!
+//! - [`prng`]: a ChaCha8 stream-cipher PRNG with `seed_from_u64`-compatible
+//!   seeding and a minimal [`prng::Rng`] trait. All workload generation runs
+//!   on it, and its keystream is pinned by committed known-answer vectors so
+//!   the 54-computation standard suite stays bit-deterministic across
+//!   refactors (the replay-clock reproducibility discipline).
+//! - [`bench`]: a micro-benchmark harness (warmup + timed samples,
+//!   median/p95, JSON report) replacing the Criterion benches.
+//! - [`check`]: a seeded property-test case runner (shrink-free failure
+//!   reporting) replacing proptest.
+
+pub mod bench;
+pub mod check;
+pub mod prng;

@@ -6,7 +6,7 @@
 
 use crate::{rng, Workload};
 use cts_model::{ProcessId, Trace, TraceBuilder};
-use rand::Rng;
+use cts_util::prng::Rng;
 
 fn p(i: u32) -> ProcessId {
     ProcessId(i)
@@ -215,7 +215,8 @@ mod tests {
         assert_eq!(t.num_sync_pairs(), 50);
         // Locality: intra-department edges dominate.
         let m = cts_model::comm::CommMatrix::from_trace(&t);
-        let intra: u64 = (0..10u32).flat_map(|a| (0..10u32).map(move |q| (a, q)))
+        let intra: u64 = (0..10u32)
+            .flat_map(|a| (0..10u32).map(move |q| (a, q)))
             .filter(|&(a, q)| a < q && a / 2 == q / 2)
             .map(|(a, q)| m.count(p(a), p(q)))
             .sum();

@@ -21,7 +21,9 @@
 //! as the stand-in for the paper's corpus.
 //!
 //! All generators are deterministic functions of their parameters and an
-//! explicit seed (ChaCha8).
+//! explicit seed: the in-repo ChaCha8 PRNG of `cts-util`, whose keystream is
+//! pinned by known-answer tests (and the suite's first events by golden
+//! tests), so the corpus is bit-reproducible across machines and refactors.
 
 pub mod dce;
 pub mod spmd;
@@ -40,9 +42,8 @@ pub trait Workload {
     fn generate(&self, seed: u64) -> Trace;
 }
 
-pub(crate) fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
-    use rand::SeedableRng;
-    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+pub(crate) fn rng(seed: u64) -> cts_util::prng::ChaCha8Rng {
+    cts_util::prng::ChaCha8Rng::seed_from_u64(seed)
 }
 
 #[cfg(test)]

@@ -388,7 +388,11 @@ mod tests {
 
     #[test]
     fn ring_is_causally_chained() {
-        let t = Ring { procs: 4, rounds: 1 }.generate(0);
+        let t = Ring {
+            procs: 4,
+            rounds: 1,
+        }
+        .generate(0);
         let o = Oracle::compute(&t);
         // First send on P0 precedes the last event of the round on P0.
         let first = cts_model::EventId::new(ProcessId(0), cts_model::EventIndex(1));
@@ -577,7 +581,10 @@ pub struct ConvoyRing {
 
 impl Workload for ConvoyRing {
     fn name(&self) -> String {
-        format!("pvm/convoy-ring-{}x{}c{}", self.procs, self.rounds, self.convoy)
+        format!(
+            "pvm/convoy-ring-{}x{}c{}",
+            self.procs, self.rounds, self.convoy
+        )
     }
 
     fn generate(&self, _seed: u64) -> Trace {

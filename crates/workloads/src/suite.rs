@@ -51,66 +51,520 @@ pub fn standard_suite() -> Vec<SuiteEntry> {
     let mut v = Vec::with_capacity(54);
 
     // ---- PVM / SPMD (18) ----
-    v.push(entry(Pvm, &BlockedStencil1D { procs: 64, iters: 12, block: 8 }, 1));
-    v.push(entry(Pvm, &BlockedStencil1D { procs: 96, iters: 8, block: 12 }, 2));
-    v.push(entry(Pvm, &BlockedStencil1D { procs: 128, iters: 6, block: 8 }, 3));
-    v.push(entry(Pvm, &RowMajorStencil2D { rows: 8, cols: 8, iters: 8 }, 4));
-    v.push(entry(Pvm, &RowMajorStencil2D { rows: 10, cols: 10, iters: 6 }, 5));
-    v.push(entry(Pvm, &RowMajorStencil2D { rows: 12, cols: 12, iters: 4 }, 6));
-    v.push(entry(Pvm, &ConvoyRing { procs: 60, rounds: 25, convoy: 6 }, 7));
-    v.push(entry(Pvm, &ConvoyRing { procs: 96, rounds: 15, convoy: 8 }, 8));
-    v.push(entry(Pvm, &TeamScatterGather { teams: 8, workers_per_team: 10, rounds: 16, work: 2 }, 9));
-    v.push(entry(Pvm, &TeamScatterGather { teams: 12, workers_per_team: 10, rounds: 10, work: 1 }, 10));
-    v.push(entry(Pvm, &BlockedStencil1D { procs: 72, iters: 10, block: 9 }, 11));
-    v.push(entry(Pvm, &TreeAllreduce { procs: 127, iters: 10 }, 12));
-    v.push(entry(Pvm, &Butterfly { log2_procs: 6, iters: 8 }, 13));
-    v.push(entry(Pvm, &RowMajorStencil2D { rows: 12, cols: 8, iters: 6 }, 14));
-    v.push(entry(Pvm, &StagedPipeline { stages: 60, items: 40, group: 6 }, 15));
-    v.push(entry(Pvm, &StagedPipeline { stages: 96, items: 24, group: 8 }, 16));
-    v.push(entry(Pvm, &CowichanPhases { procs: 64, repeats: 5 }, 17));
-    v.push(entry(Pvm, &CowichanPhases { procs: 96, repeats: 3 }, 18));
+    v.push(entry(
+        Pvm,
+        &BlockedStencil1D {
+            procs: 64,
+            iters: 12,
+            block: 8,
+        },
+        1,
+    ));
+    v.push(entry(
+        Pvm,
+        &BlockedStencil1D {
+            procs: 96,
+            iters: 8,
+            block: 12,
+        },
+        2,
+    ));
+    v.push(entry(
+        Pvm,
+        &BlockedStencil1D {
+            procs: 128,
+            iters: 6,
+            block: 8,
+        },
+        3,
+    ));
+    v.push(entry(
+        Pvm,
+        &RowMajorStencil2D {
+            rows: 8,
+            cols: 8,
+            iters: 8,
+        },
+        4,
+    ));
+    v.push(entry(
+        Pvm,
+        &RowMajorStencil2D {
+            rows: 10,
+            cols: 10,
+            iters: 6,
+        },
+        5,
+    ));
+    v.push(entry(
+        Pvm,
+        &RowMajorStencil2D {
+            rows: 12,
+            cols: 12,
+            iters: 4,
+        },
+        6,
+    ));
+    v.push(entry(
+        Pvm,
+        &ConvoyRing {
+            procs: 60,
+            rounds: 25,
+            convoy: 6,
+        },
+        7,
+    ));
+    v.push(entry(
+        Pvm,
+        &ConvoyRing {
+            procs: 96,
+            rounds: 15,
+            convoy: 8,
+        },
+        8,
+    ));
+    v.push(entry(
+        Pvm,
+        &TeamScatterGather {
+            teams: 8,
+            workers_per_team: 10,
+            rounds: 16,
+            work: 2,
+        },
+        9,
+    ));
+    v.push(entry(
+        Pvm,
+        &TeamScatterGather {
+            teams: 12,
+            workers_per_team: 10,
+            rounds: 10,
+            work: 1,
+        },
+        10,
+    ));
+    v.push(entry(
+        Pvm,
+        &BlockedStencil1D {
+            procs: 72,
+            iters: 10,
+            block: 9,
+        },
+        11,
+    ));
+    v.push(entry(
+        Pvm,
+        &TreeAllreduce {
+            procs: 127,
+            iters: 10,
+        },
+        12,
+    ));
+    v.push(entry(
+        Pvm,
+        &Butterfly {
+            log2_procs: 6,
+            iters: 8,
+        },
+        13,
+    ));
+    v.push(entry(
+        Pvm,
+        &RowMajorStencil2D {
+            rows: 12,
+            cols: 8,
+            iters: 6,
+        },
+        14,
+    ));
+    v.push(entry(
+        Pvm,
+        &StagedPipeline {
+            stages: 60,
+            items: 40,
+            group: 6,
+        },
+        15,
+    ));
+    v.push(entry(
+        Pvm,
+        &StagedPipeline {
+            stages: 96,
+            items: 24,
+            group: 8,
+        },
+        16,
+    ));
+    v.push(entry(
+        Pvm,
+        &CowichanPhases {
+            procs: 64,
+            repeats: 5,
+        },
+        17,
+    ));
+    v.push(entry(
+        Pvm,
+        &CowichanPhases {
+            procs: 96,
+            repeats: 3,
+        },
+        18,
+    ));
 
     // ---- Java / web-like (12) ----
-    v.push(entry(Java, &ShardedWebServer { shards: 8, clients_per_shard: 6, workers_per_shard: 3, requests: 700, affinity: 0.9, redirect: 0.28 }, 19));
-    v.push(entry(Java, &ShardedWebServer { shards: 12, clients_per_shard: 4, workers_per_shard: 2, requests: 860, affinity: 0.8, redirect: 0.30 }, 20));
-    v.push(entry(Java, &ShardedWebServer { shards: 8, clients_per_shard: 6, workers_per_shard: 3, requests: 800, affinity: 0.7, redirect: 0.22 }, 21));
-    v.push(entry(Java, &ShardedWebServer { shards: 16, clients_per_shard: 4, workers_per_shard: 3, requests: 1000, affinity: 0.95, redirect: 0.20 }, 22));
-    v.push(entry(Java, &ShardedWebServer { shards: 10, clients_per_shard: 5, workers_per_shard: 2, requests: 900, affinity: 0.6, redirect: 0.25 }, 23));
-    v.push(entry(Java, &ShardedWebServer { shards: 24, clients_per_shard: 6, workers_per_shard: 4, requests: 1100, affinity: 0.85, redirect: 0.25 }, 24));
-    v.push(entry(Java, &Microservices { tiers: vec![8, 16, 32], requests: 90, fanout: 2 }, 25));
-    v.push(entry(Java, &Microservices { tiers: vec![12, 24, 48], requests: 70, fanout: 2 }, 26));
-    v.push(entry(Java, &Microservices { tiers: vec![16, 32, 64], requests: 60, fanout: 2 }, 27));
-    v.push(entry(Java, &Microservices { tiers: vec![4, 8, 16, 32], requests: 60, fanout: 2 }, 28));
-    v.push(entry(Java, &Microservices { tiers: vec![10, 20, 40], requests: 90, fanout: 3 }, 29));
-    v.push(entry(Java, &Microservices { tiers: vec![20, 40, 80], requests: 50, fanout: 2 }, 30));
+    v.push(entry(
+        Java,
+        &ShardedWebServer {
+            shards: 8,
+            clients_per_shard: 6,
+            workers_per_shard: 3,
+            requests: 700,
+            affinity: 0.9,
+            redirect: 0.28,
+        },
+        19,
+    ));
+    v.push(entry(
+        Java,
+        &ShardedWebServer {
+            shards: 12,
+            clients_per_shard: 4,
+            workers_per_shard: 2,
+            requests: 860,
+            affinity: 0.8,
+            redirect: 0.30,
+        },
+        20,
+    ));
+    v.push(entry(
+        Java,
+        &ShardedWebServer {
+            shards: 8,
+            clients_per_shard: 6,
+            workers_per_shard: 3,
+            requests: 800,
+            affinity: 0.7,
+            redirect: 0.22,
+        },
+        21,
+    ));
+    v.push(entry(
+        Java,
+        &ShardedWebServer {
+            shards: 16,
+            clients_per_shard: 4,
+            workers_per_shard: 3,
+            requests: 1000,
+            affinity: 0.95,
+            redirect: 0.20,
+        },
+        22,
+    ));
+    v.push(entry(
+        Java,
+        &ShardedWebServer {
+            shards: 10,
+            clients_per_shard: 5,
+            workers_per_shard: 2,
+            requests: 900,
+            affinity: 0.6,
+            redirect: 0.25,
+        },
+        23,
+    ));
+    v.push(entry(
+        Java,
+        &ShardedWebServer {
+            shards: 24,
+            clients_per_shard: 6,
+            workers_per_shard: 4,
+            requests: 1100,
+            affinity: 0.85,
+            redirect: 0.25,
+        },
+        24,
+    ));
+    v.push(entry(
+        Java,
+        &Microservices {
+            tiers: vec![8, 16, 32],
+            requests: 90,
+            fanout: 2,
+        },
+        25,
+    ));
+    v.push(entry(
+        Java,
+        &Microservices {
+            tiers: vec![12, 24, 48],
+            requests: 70,
+            fanout: 2,
+        },
+        26,
+    ));
+    v.push(entry(
+        Java,
+        &Microservices {
+            tiers: vec![16, 32, 64],
+            requests: 60,
+            fanout: 2,
+        },
+        27,
+    ));
+    v.push(entry(
+        Java,
+        &Microservices {
+            tiers: vec![4, 8, 16, 32],
+            requests: 60,
+            fanout: 2,
+        },
+        28,
+    ));
+    v.push(entry(
+        Java,
+        &Microservices {
+            tiers: vec![10, 20, 40],
+            requests: 90,
+            fanout: 3,
+        },
+        29,
+    ));
+    v.push(entry(
+        Java,
+        &Microservices {
+            tiers: vec![20, 40, 80],
+            requests: 50,
+            fanout: 2,
+        },
+        30,
+    ));
 
     // ---- DCE / business RPC (9) ----
-    v.push(entry(Dce, &PoddedThreeTier { pods: 10, clients_per_pod: 4, transactions: 400, failover: 0.15 }, 31));
-    v.push(entry(Dce, &PoddedThreeTier { pods: 16, clients_per_pod: 4, transactions: 450, failover: 0.12 }, 32));
-    v.push(entry(Dce, &PoddedThreeTier { pods: 16, clients_per_pod: 3, transactions: 500, failover: 0.20 }, 33));
-    v.push(entry(Dce, &PoddedThreeTier { pods: 25, clients_per_pod: 4, transactions: 500, failover: 0.20 }, 34));
-    v.push(entry(Dce, &PoddedThreeTier { pods: 50, clients_per_pod: 4, transactions: 600, failover: 0.15 }, 35));
-    v.push(entry(Dce, &BusinessWorkflow { offices: 8, staff: 10, cases: 200 }, 36));
-    v.push(entry(Dce, &BusinessWorkflow { offices: 12, staff: 11, cases: 220 }, 37));
-    v.push(entry(Dce, &BusinessWorkflow { offices: 20, staff: 6, cases: 300 }, 38));
-    v.push(entry(Dce, &AllSync { procs: 60, communications: 800, partners: 6 }, 39));
+    v.push(entry(
+        Dce,
+        &PoddedThreeTier {
+            pods: 10,
+            clients_per_pod: 4,
+            transactions: 400,
+            failover: 0.15,
+        },
+        31,
+    ));
+    v.push(entry(
+        Dce,
+        &PoddedThreeTier {
+            pods: 16,
+            clients_per_pod: 4,
+            transactions: 450,
+            failover: 0.12,
+        },
+        32,
+    ));
+    v.push(entry(
+        Dce,
+        &PoddedThreeTier {
+            pods: 16,
+            clients_per_pod: 3,
+            transactions: 500,
+            failover: 0.20,
+        },
+        33,
+    ));
+    v.push(entry(
+        Dce,
+        &PoddedThreeTier {
+            pods: 25,
+            clients_per_pod: 4,
+            transactions: 500,
+            failover: 0.20,
+        },
+        34,
+    ));
+    v.push(entry(
+        Dce,
+        &PoddedThreeTier {
+            pods: 50,
+            clients_per_pod: 4,
+            transactions: 600,
+            failover: 0.15,
+        },
+        35,
+    ));
+    v.push(entry(
+        Dce,
+        &BusinessWorkflow {
+            offices: 8,
+            staff: 10,
+            cases: 200,
+        },
+        36,
+    ));
+    v.push(entry(
+        Dce,
+        &BusinessWorkflow {
+            offices: 12,
+            staff: 11,
+            cases: 220,
+        },
+        37,
+    ));
+    v.push(entry(
+        Dce,
+        &BusinessWorkflow {
+            offices: 20,
+            staff: 6,
+            cases: 300,
+        },
+        38,
+    ));
+    v.push(entry(
+        Dce,
+        &AllSync {
+            procs: 60,
+            communications: 800,
+            partners: 6,
+        },
+        39,
+    ));
 
     // ---- Synthetic locality extremes (15) ----
-    v.push(entry(Synthetic, &UniformRandom { procs: 64, messages: 1200 }, 40));
-    v.push(entry(Synthetic, &UniformRandom { procs: 96, messages: 1800 }, 41));
-    v.push(entry(Synthetic, &UniformRandom { procs: 128, messages: 2500 }, 42));
-    v.push(entry(Synthetic, &PlantedClusters { procs: 60, groups: 6, messages: 1200, p_intra: 0.95 }, 43));
-    v.push(entry(Synthetic, &PlantedClusters { procs: 96, groups: 12, messages: 2000, p_intra: 0.9 }, 44));
-    v.push(entry(Synthetic, &PlantedClusters { procs: 120, groups: 10, messages: 2400, p_intra: 0.8 }, 45));
-    v.push(entry(Synthetic, &PlantedClusters { procs: 72, groups: 6, messages: 1500, p_intra: 0.6 }, 46));
-    v.push(entry(Synthetic, &PlantedClusters { procs: 144, groups: 12, messages: 2600, p_intra: 0.99 }, 47));
-    v.push(entry(Synthetic, &PlantedClusters { procs: 288, groups: 24, messages: 3600, p_intra: 0.9 }, 48));
-    v.push(entry(Synthetic, &Hotspot { procs: 64, rounds: 15 }, 49));
-    v.push(entry(Synthetic, &Hotspot { procs: 100, rounds: 12 }, 50));
-    v.push(entry(Synthetic, &Hierarchy { procs: 63, branching: 3, messages: 1200 }, 51));
-    v.push(entry(Synthetic, &Hierarchy { procs: 121, branching: 3, messages: 1800 }, 52));
-    v.push(entry(Synthetic, &Hierarchy { procs: 85, branching: 4, messages: 1400 }, 53));
-    v.push(entry(Synthetic, &Hierarchy { procs: 259, branching: 6, messages: 2600 }, 54));
+    v.push(entry(
+        Synthetic,
+        &UniformRandom {
+            procs: 64,
+            messages: 1200,
+        },
+        40,
+    ));
+    v.push(entry(
+        Synthetic,
+        &UniformRandom {
+            procs: 96,
+            messages: 1800,
+        },
+        41,
+    ));
+    v.push(entry(
+        Synthetic,
+        &UniformRandom {
+            procs: 128,
+            messages: 2500,
+        },
+        42,
+    ));
+    v.push(entry(
+        Synthetic,
+        &PlantedClusters {
+            procs: 60,
+            groups: 6,
+            messages: 1200,
+            p_intra: 0.95,
+        },
+        43,
+    ));
+    v.push(entry(
+        Synthetic,
+        &PlantedClusters {
+            procs: 96,
+            groups: 12,
+            messages: 2000,
+            p_intra: 0.9,
+        },
+        44,
+    ));
+    v.push(entry(
+        Synthetic,
+        &PlantedClusters {
+            procs: 120,
+            groups: 10,
+            messages: 2400,
+            p_intra: 0.8,
+        },
+        45,
+    ));
+    v.push(entry(
+        Synthetic,
+        &PlantedClusters {
+            procs: 72,
+            groups: 6,
+            messages: 1500,
+            p_intra: 0.6,
+        },
+        46,
+    ));
+    v.push(entry(
+        Synthetic,
+        &PlantedClusters {
+            procs: 144,
+            groups: 12,
+            messages: 2600,
+            p_intra: 0.99,
+        },
+        47,
+    ));
+    v.push(entry(
+        Synthetic,
+        &PlantedClusters {
+            procs: 288,
+            groups: 24,
+            messages: 3600,
+            p_intra: 0.9,
+        },
+        48,
+    ));
+    v.push(entry(
+        Synthetic,
+        &Hotspot {
+            procs: 64,
+            rounds: 15,
+        },
+        49,
+    ));
+    v.push(entry(
+        Synthetic,
+        &Hotspot {
+            procs: 100,
+            rounds: 12,
+        },
+        50,
+    ));
+    v.push(entry(
+        Synthetic,
+        &Hierarchy {
+            procs: 63,
+            branching: 3,
+            messages: 1200,
+        },
+        51,
+    ));
+    v.push(entry(
+        Synthetic,
+        &Hierarchy {
+            procs: 121,
+            branching: 3,
+            messages: 1800,
+        },
+        52,
+    ));
+    v.push(entry(
+        Synthetic,
+        &Hierarchy {
+            procs: 85,
+            branching: 4,
+            messages: 1400,
+        },
+        53,
+    ));
+    v.push(entry(
+        Synthetic,
+        &Hierarchy {
+            procs: 259,
+            branching: 6,
+            messages: 2600,
+        },
+        54,
+    ));
 
     v
 }
@@ -120,18 +574,108 @@ pub fn standard_suite() -> Vec<SuiteEntry> {
 pub fn mini_suite() -> Vec<SuiteEntry> {
     use Env::*;
     vec![
-        entry(Pvm, &BlockedStencil1D { procs: 8, iters: 3, block: 4 }, 1),
-        entry(Pvm, &RowMajorStencil2D { rows: 3, cols: 3, iters: 2 }, 2),
-        entry(Pvm, &TeamScatterGather { teams: 2, workers_per_team: 3, rounds: 4, work: 1 }, 3),
+        entry(
+            Pvm,
+            &BlockedStencil1D {
+                procs: 8,
+                iters: 3,
+                block: 4,
+            },
+            1,
+        ),
+        entry(
+            Pvm,
+            &RowMajorStencil2D {
+                rows: 3,
+                cols: 3,
+                iters: 2,
+            },
+            2,
+        ),
+        entry(
+            Pvm,
+            &TeamScatterGather {
+                teams: 2,
+                workers_per_team: 3,
+                rounds: 4,
+                work: 1,
+            },
+            3,
+        ),
         entry(Pvm, &TreeAllreduce { procs: 7, iters: 3 }, 4),
-        entry(Java, &WebServer { clients: 4, workers: 3, requests: 30, affinity: 0.8 }, 5),
-        entry(Java, &Microservices { tiers: vec![2, 4], requests: 12, fanout: 2 }, 6),
-        entry(Dce, &PoddedThreeTier { pods: 2, clients_per_pod: 2, transactions: 20, failover: 0.1 }, 7),
-        entry(Dce, &AllSync { procs: 8, communications: 40, partners: 2 }, 8),
-        entry(Synthetic, &UniformRandom { procs: 10, messages: 60 }, 9),
-        entry(Synthetic, &PlantedClusters { procs: 12, groups: 3, messages: 80, p_intra: 0.9 }, 10),
-        entry(Synthetic, &Hotspot { procs: 9, rounds: 4 }, 11),
-        entry(Synthetic, &Hierarchy { procs: 13, branching: 3, messages: 70 }, 12),
+        entry(
+            Java,
+            &WebServer {
+                clients: 4,
+                workers: 3,
+                requests: 30,
+                affinity: 0.8,
+            },
+            5,
+        ),
+        entry(
+            Java,
+            &Microservices {
+                tiers: vec![2, 4],
+                requests: 12,
+                fanout: 2,
+            },
+            6,
+        ),
+        entry(
+            Dce,
+            &PoddedThreeTier {
+                pods: 2,
+                clients_per_pod: 2,
+                transactions: 20,
+                failover: 0.1,
+            },
+            7,
+        ),
+        entry(
+            Dce,
+            &AllSync {
+                procs: 8,
+                communications: 40,
+                partners: 2,
+            },
+            8,
+        ),
+        entry(
+            Synthetic,
+            &UniformRandom {
+                procs: 10,
+                messages: 60,
+            },
+            9,
+        ),
+        entry(
+            Synthetic,
+            &PlantedClusters {
+                procs: 12,
+                groups: 3,
+                messages: 80,
+                p_intra: 0.9,
+            },
+            10,
+        ),
+        entry(
+            Synthetic,
+            &Hotspot {
+                procs: 9,
+                rounds: 4,
+            },
+            11,
+        ),
+        entry(
+            Synthetic,
+            &Hierarchy {
+                procs: 13,
+                branching: 3,
+                messages: 70,
+            },
+            12,
+        ),
     ]
 }
 
@@ -177,7 +721,10 @@ mod tests {
         let max_n = s.iter().map(|e| e.trace.num_processes()).max().unwrap();
         let min_n = s.iter().map(|e| e.trace.num_processes()).min().unwrap();
         assert_eq!(max_n, 300, "largest computation should have 300 processes");
-        assert!(min_n >= 56, "suite computations must exceed the maxCS sweep range (got {min_n})");
+        assert!(
+            min_n >= 56,
+            "suite computations must exceed the maxCS sweep range (got {min_n})"
+        );
         for e in &s {
             assert!(e.trace.num_events() > 100, "{} too small", e.name);
             assert!(

@@ -5,7 +5,7 @@
 
 use crate::{rng, Workload};
 use cts_model::{ProcessId, Trace, TraceBuilder};
-use rand::Rng;
+use cts_util::prng::Rng;
 
 fn p(i: u32) -> ProcessId {
     ProcessId(i)

@@ -4,7 +4,7 @@
 
 use crate::{rng, Workload};
 use cts_model::{ProcessId, Trace, TraceBuilder};
-use rand::Rng;
+use cts_util::prng::Rng;
 
 fn p(i: u32) -> ProcessId {
     ProcessId(i)
@@ -336,7 +336,10 @@ mod sharded_tests {
         let m = CommMatrix::from_trace(&t);
         // With zero redirects, shard 0's client never reaches shard 1's
         // acceptor.
-        assert_eq!(m.count(ProcessId(w.client(0, 0)), ProcessId(w.acceptor(1))), 0);
+        assert_eq!(
+            m.count(ProcessId(w.client(0, 0)), ProcessId(w.acceptor(1))),
+            0
+        );
         // Its own acceptor, it does.
         assert!(m.count(ProcessId(w.client(0, 0)), ProcessId(w.acceptor(0))) > 0);
     }

@@ -1,0 +1,132 @@
+//! Golden tests pinning the suite's generated traces.
+//!
+//! The standard suite stands in for the paper's corpus of captured
+//! computations; its scientific value rests on being *replayable*. These
+//! tests freeze (a) the first events of one computation per workload family
+//! (SPMD, web, DCE, synthetic) and (b) per-family aggregate shapes, so any
+//! change to the PRNG, the seed expansion, or a generator's draw sequence
+//! that silently alters the corpus fails loudly. If a change here is
+//! *intentional*, regenerate the constants with
+//! `cargo test -p cts-workloads --test golden_traces -- --nocapture dump`
+//! (the `dump_golden` test prints the current values).
+
+use cts_model::{Event, EventKind};
+use cts_workloads::dce::PoddedThreeTier;
+use cts_workloads::spmd::BlockedStencil1D;
+use cts_workloads::synthetic::PlantedClusters;
+use cts_workloads::web::ShardedWebServer;
+use cts_workloads::Workload;
+
+/// One representative per family, with the exact parameters and seed the
+/// standard suite uses for its first entry of that family.
+fn family_reps() -> Vec<(&'static str, Box<dyn Workload>, u64)> {
+    vec![
+        (
+            "spmd",
+            Box::new(BlockedStencil1D {
+                procs: 64,
+                iters: 12,
+                block: 8,
+            }),
+            1,
+        ),
+        (
+            "web",
+            Box::new(ShardedWebServer {
+                shards: 8,
+                clients_per_shard: 6,
+                workers_per_shard: 3,
+                requests: 700,
+                affinity: 0.9,
+                redirect: 0.28,
+            }),
+            19,
+        ),
+        (
+            "dce",
+            Box::new(PoddedThreeTier {
+                pods: 10,
+                clients_per_pod: 4,
+                transactions: 400,
+                failover: 0.15,
+            }),
+            31,
+        ),
+        (
+            "synthetic",
+            Box::new(PlantedClusters {
+                procs: 60,
+                groups: 6,
+                messages: 1200,
+                p_intra: 0.95,
+            }),
+            43,
+        ),
+    ]
+}
+
+/// Compact, stable rendering of an event: `P<p>#<i>:<kind>`.
+fn fmt_event(e: &Event) -> String {
+    let kind = match e.kind {
+        EventKind::Internal => "i".to_string(),
+        EventKind::Send { to } => format!("s>{}", to.0),
+        EventKind::Receive { from } => format!("r<{}#{}", from.process.0, from.index.0),
+        EventKind::Sync { peer } => format!("y~{}#{}", peer.process.0, peer.index.0),
+    };
+    format!("P{}#{}:{}", e.process().0, e.index().0, kind)
+}
+
+fn first_events(w: &dyn Workload, seed: u64, n: usize) -> (String, usize, Vec<String>) {
+    let t = w.generate(seed);
+    let head = t.events().iter().take(n).map(fmt_event).collect();
+    (t.name().to_string(), t.num_events(), head)
+}
+
+/// Run with `-- --nocapture dump` to print the constants below.
+#[test]
+fn dump_golden() {
+    for (family, w, seed) in family_reps() {
+        let (name, total, head) = first_events(w.as_ref(), seed, 10);
+        println!("(\"{family}\", \"{name}\", {total}, &{head:?}),");
+    }
+    let suite = cts_workloads::suite::standard_suite();
+    let total: usize = suite.iter().map(|e| e.trace.num_events()).sum();
+    let msgs: usize = suite.iter().map(|e| e.trace.num_messages()).sum();
+    let syncs: usize = suite.iter().map(|e| e.trace.num_sync_pairs()).sum();
+    println!("suite totals: events {total}, messages {msgs}, sync pairs {syncs}");
+}
+
+/// Whole-corpus canary: the event/message/sync totals over all 54 standard
+/// suite computations. Any draw-sequence change anywhere in any generator
+/// moves at least one of these.
+#[test]
+fn golden_suite_totals() {
+    let suite = cts_workloads::suite::standard_suite();
+    assert_eq!(suite.len(), 54);
+    let total: usize = suite.iter().map(|e| e.trace.num_events()).sum();
+    let msgs: usize = suite.iter().map(|e| e.trace.num_messages()).sum();
+    let syncs: usize = suite.iter().map(|e| e.trace.num_sync_pairs()).sum();
+    assert_eq!((total, msgs, syncs), (338_320, 140_634, 16_100));
+}
+
+#[test]
+fn golden_first_events_per_family() {
+    #[rustfmt::skip]
+    let expected: &[(&str, &str, usize, &[&str])] = &[
+        // (family, trace name, total events, first 10 events)
+        ("spmd", "pvm/blocked-stencil1d-64x12b8", 9504, &["P0#1:s>1", "P1#1:s>0", "P0#2:s>1", "P1#2:s>0", "P1#3:s>2", "P2#1:s>1", "P1#4:s>2", "P2#2:s>1", "P2#3:s>3", "P3#1:s>2"]),
+        ("web", "web/sharded-8x(c6w3)r700", 7000, &["P0#1:s>6", "P6#1:r<0#1", "P6#2:s>9", "P9#1:r<6#2", "P9#2:s>10", "P10#1:r<9#2", "P10#2:s>9", "P9#3:r<10#2", "P9#4:s>0", "P0#2:r<9#4"]),
+        ("dce", "dce/podded-three-tier-10x(c4)t400", 4000, &["P0#1:i", "P0#2:y~4#1", "P4#1:y~0#2", "P4#2:y~5#1", "P5#1:y~4#2", "P5#2:i", "P5#3:y~4#3", "P4#3:y~5#3", "P4#4:y~0#3", "P0#3:y~4#4"]),
+        ("synthetic", "synthetic/planted-60g6i95", 2400, &["P21#1:s>39", "P39#1:r<21#1", "P48#1:s>24", "P24#1:r<48#1", "P10#1:s>22", "P22#1:r<10#1", "P42#1:s>54", "P54#1:r<42#1", "P57#1:s>33", "P33#1:r<57#1"]),
+    ];
+    for ((family, w, seed), (e_family, e_name, e_total, e_head)) in
+        family_reps().into_iter().zip(expected)
+    {
+        assert_eq!(family, *e_family);
+        let (name, total, head) = first_events(w.as_ref(), seed, e_head.len());
+        assert_eq!(name, *e_name, "{family}: trace name changed");
+        assert_eq!(total, *e_total, "{family}: event count changed");
+        let head_ref: Vec<&str> = head.iter().map(String::as_str).collect();
+        assert_eq!(head_ref, *e_head, "{family}: first events changed");
+    }
+}

@@ -26,10 +26,7 @@ fn main() {
         let max_cs = 12;
         let enc = Encoding::paper_default(n, max_cs);
 
-        let m1 = SpaceReport::measure(
-            &ClusterEngine::run(&trace, MergeOnFirst::new(max_cs)),
-            enc,
-        );
+        let m1 = SpaceReport::measure(&ClusterEngine::run(&trace, MergeOnFirst::new(max_cs)), enc);
         let mn = SpaceReport::measure(
             &ClusterEngine::run(&trace, MergeOnNth::new(n, max_cs, 5.0)),
             enc,

@@ -23,13 +23,21 @@ fn main() {
     let f = b.receive(ProcessId(1), h).unwrap();
     let i = b.internal(ProcessId(2)).unwrap();
     let trace = b.finish("figure2");
-    println!("trace: {} events over {} processes", trace.num_events(), trace.num_processes());
+    println!(
+        "trace: {} events over {} processes",
+        trace.num_events(),
+        trace.num_processes()
+    );
 
     // --- Fidge/Mattern stamps (the baseline the paper starts from) -------
     let fm = FmStore::compute(&trace);
     println!("\nFidge/Mattern stamps:");
     for ev in trace.events() {
-        println!("  {:>6} {:?}", format!("{}", ev.id), fm.stamp(&trace, ev.id));
+        println!(
+            "  {:>6} {:?}",
+            format!("{}", ev.id),
+            fm.stamp(&trace, ev.id)
+        );
     }
 
     // --- Cluster timestamps with a dynamic strategy -----------------------

@@ -32,10 +32,7 @@ fn main() {
     }
     .generate(1);
     let fm = FmStore::compute(&trace);
-    println!(
-        "\n== measured at N={n}, {} events ==",
-        trace.num_events()
-    );
+    println!("\n== measured at N={n}, {} events ==", trace.num_events());
     println!(
         "precomputed Fidge/Mattern store: {:.1} MB",
         fm.bytes() as f64 / 1e6
@@ -81,17 +78,11 @@ fn main() {
     let report = SpaceReport::measure(&cts, Encoding::paper_default(n, 13));
     println!(
         "space ratio vs Fidge/Mattern: {:.3} ({} cluster receives / {} events)",
-        report.ratio,
-        report.num_cluster_receives,
-        report.num_events
+        report.ratio, report.num_cluster_receives, report.num_events
     );
     let mut fm_backend = FmBackend(&fm);
     let a = greatest_concurrent(&mut fm_backend, &trace, probe);
-    let b = greatest_concurrent(
-        &mut cts_store::queries::ClusterBackend(&cts),
-        &trace,
-        probe,
-    );
+    let b = greatest_concurrent(&mut cts_store::queries::ClusterBackend(&cts), &trace, probe);
     assert_eq!(a, b, "cluster timestamps answer queries identically");
     println!("greatest-concurrent answers identical to Fidge/Mattern: yes");
 }

@@ -70,10 +70,7 @@ fn main() {
 
     let enc = Encoding::paper_default(trace.num_processes(), 13);
     let r_static = SpaceReport::measure(&cts, enc);
-    let r_first = SpaceReport::measure(
-        &ClusterEngine::run(&trace, MergeOnFirst::new(13)),
-        enc,
-    );
+    let r_first = SpaceReport::measure(&ClusterEngine::run(&trace, MergeOnFirst::new(13)), enc);
     let r_nth = SpaceReport::measure(
         &ClusterEngine::run(&trace, MergeOnNth::new(trace.num_processes(), 13, 10.0)),
         enc,

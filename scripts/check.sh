@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build, full test suite, formatting.
+# The workspace has zero external dependencies — if any step here needs the
+# network, that is itself a regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+
+echo "check.sh: all green"

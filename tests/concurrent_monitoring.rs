@@ -81,7 +81,9 @@ fn parallel_engines_agree_with_sequential() {
     );
     let reference = cts_core::ClusterEngine::run(&trace, MergeOnFirst::new(4));
     let ref_crs = reference.num_cluster_receives();
-    let ref_partition = reference.final_partition().assignment(trace.num_processes());
+    let ref_partition = reference
+        .final_partition()
+        .assignment(trace.num_processes());
 
     let handles: Vec<_> = (0..4)
         .map(|_| {

@@ -12,8 +12,8 @@ fn every_mini_suite_trace_roundtrips() {
     for entry in mini_suite() {
         let t = &entry.trace;
         let text = write_trace(t);
-        let back = parse_trace(&text)
-            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", entry.name));
+        let back =
+            parse_trace(&text).unwrap_or_else(|e| panic!("{}: parse failed: {e}", entry.name));
         assert_eq!(back.events(), t.events(), "{}", entry.name);
         assert_eq!(back.num_processes(), t.num_processes());
         assert_eq!(
