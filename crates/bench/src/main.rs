@@ -18,7 +18,10 @@ use cts_core::clustering::{greedy_pairwise, kmedoid};
 use cts_core::fm::{FmEngine, FmStore};
 use cts_core::strategy::{MergeOnFirst, MergeOnNth, NeverMerge};
 use cts_core::two_pass::static_pipeline;
+use cts_daemon::wire::{self, Msg};
+use cts_daemon::ReorderBuffer;
 use cts_model::comm::CommMatrix;
+use cts_model::linearize::relinearize;
 use cts_model::EventId;
 use cts_store::btree::{key_of, BPlusTree};
 use cts_store::event_store::EventStore;
@@ -224,6 +227,61 @@ fn bench_store_queries(r: &mut Runner) {
     }
 }
 
+fn bench_daemon(r: &mut Runner) {
+    let trace = clustered_trace(200, 8);
+    let g = "daemon_ingest";
+
+    // Wire codec: frame a suite-sized event stream in 512-event batches,
+    // then parse it back (the daemon's per-event serialization cost).
+    let batches: Vec<Msg> = trace
+        .events()
+        .chunks(512)
+        .map(|c| Msg::Events(c.to_vec()))
+        .collect();
+    r.run(g, "wire_encode", || {
+        let mut buf = Vec::new();
+        for msg in &batches {
+            wire::write_msg(&mut buf, msg).unwrap();
+        }
+        buf.len()
+    });
+    let mut encoded = Vec::new();
+    for msg in &batches {
+        wire::write_msg(&mut encoded, msg).unwrap();
+    }
+    r.run(g, "wire_decode", || {
+        let mut cur = &encoded[..];
+        let mut n = 0usize;
+        while let Some(Msg::Events(evs)) = wire::read_msg(&mut cur).unwrap() {
+            n += evs.len();
+        }
+        n
+    });
+
+    // Reorder buffer: the in-order fast path (every offer delivers
+    // immediately) vs. a fully reversed arrival stream (everything parks
+    // until the stream's first events finally arrive — worst-case depth and
+    // cascade length). `relinearize` output is also a *valid* order, so it
+    // exercises the fast path under a different schedule.
+    let relin = relinearize(&trace, 7);
+    r.run(g, "reorder_in_order", || {
+        let mut buf = ReorderBuffer::new(trace.num_processes());
+        let mut out = 0usize;
+        for &ev in relin.events() {
+            out += buf.offer(ev).unwrap().len();
+        }
+        out
+    });
+    r.run(g, "reorder_reversed", || {
+        let mut buf = ReorderBuffer::new(trace.num_processes());
+        let mut out = 0usize;
+        for &ev in trace.events().iter().rev() {
+            out += buf.offer(ev).unwrap().len();
+        }
+        out
+    });
+}
+
 fn main() {
     let mut quick = false;
     let mut filter: Option<String> = None;
@@ -257,6 +315,7 @@ fn main() {
     bench_static_clustering(&mut r);
     bench_figure_sweeps(&mut r);
     bench_store_queries(&mut r);
+    bench_daemon(&mut r);
     if r.bencher.entries().is_empty() {
         eprintln!("no benches matched the filter");
         std::process::exit(1);

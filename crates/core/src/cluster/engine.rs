@@ -26,6 +26,10 @@ struct CrRecord {
 /// consults the [`MergePolicy`] for mergeability, and keeps full stamps only
 /// for non-mergeable cluster receives — "the algorithm deletes Fidge/Mattern
 /// timestamps that are no longer needed".
+///
+/// `Clone` captures the complete engine state; see
+/// [`snapshot`](Self::snapshot) for the live-query use case.
+#[derive(Clone)]
 pub struct ClusterEngine<S> {
     fm: FmEngine,
     sets: ClusterSets,
@@ -165,6 +169,17 @@ impl<S: MergePolicy> ClusterEngine<S> {
     /// Snapshot of the current partition (without consuming the engine).
     pub fn final_partition_snapshot(&self) -> Clustering {
         self.sets.current_partition()
+    }
+
+    /// A queryable snapshot of the timestamps built *so far*, without
+    /// stopping the engine — the epoch-publication primitive of a live
+    /// monitoring entity: ingest keeps calling [`accept`](Self::accept) on
+    /// the original while query threads read the frozen copy.
+    pub fn snapshot(&self) -> ClusterTimestamps
+    where
+        S: Clone,
+    {
+        self.clone().finish()
     }
 
     /// Finish, yielding the queryable timestamp structure.
@@ -448,6 +463,34 @@ mod tests {
         // With room for all three, the first sync merges 0 and 1.
         let cts = ClusterEngine::run(&t, MergeOnFirst::new(3));
         assert_eq!(cts.final_partition().num_clusters(), 1);
+    }
+
+    #[test]
+    fn snapshot_matches_prefix_run_and_engine_continues() {
+        let t = two_pairs_bridge();
+        let half = t.num_events() / 2;
+        let mut eng = ClusterEngine::new(t.num_processes(), MergeOnFirst::new(2));
+        for &ev in &t.events()[..half] {
+            eng.accept(ev);
+        }
+        let snap = eng.snapshot();
+        // The snapshot equals an engine run over just the prefix...
+        let mut prefix_eng = ClusterEngine::new(t.num_processes(), MergeOnFirst::new(2));
+        for &ev in &t.events()[..half] {
+            prefix_eng.accept(ev);
+        }
+        let prefix = prefix_eng.finish();
+        assert_eq!(snap.stamps().len(), half);
+        assert_eq!(snap.stamps(), prefix.stamps());
+        assert_eq!(snap.num_cluster_receives(), prefix.num_cluster_receives());
+        // ...and the original engine keeps stamping, unaffected by the fork.
+        for &ev in &t.events()[half..] {
+            eng.accept(ev);
+        }
+        let full = eng.finish();
+        let reference = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        assert_eq!(full.stamps(), reference.stamps());
+        check_against_oracle(&t, &full);
     }
 
     #[test]

@@ -25,6 +25,10 @@ use std::collections::HashMap;
 ///
 /// Feed events in a valid delivery order via [`accept`](Self::accept); each
 /// call returns the event's stamp.
+///
+/// `Clone` captures the full engine state, so a live consumer (the
+/// `cts-daemon` snapshotter) can fork a frozen copy mid-stream.
+#[derive(Clone)]
 pub struct FmEngine {
     n: usize,
     /// Last stamp of each process (the frontier); zero clock before the

@@ -1,0 +1,157 @@
+//! The `cts-loadgen` binary: replay the workload suite against a daemon as
+//! concurrent client streams, differentially check every answer, and report
+//! throughput/latency in the `cts-bench/1` JSON schema.
+//!
+//! ```text
+//! cts-loadgen [--addr HOST:PORT] [--connections 8] [--seed 1]
+//!             [--max-cluster-size 8] [--quick | --smoke]
+//!             [--json PATH] [--shutdown]
+//! ```
+//!
+//! Without `--addr`, an in-process daemon is started on an ephemeral
+//! loopback port and shut down afterwards (the self-contained mode used by
+//! `scripts/check.sh` to record `results/BENCH_ingest.json`). With
+//! `--addr`, the load is aimed at an already-running daemon; add
+//! `--shutdown` to send the wire Shutdown message at the end.
+//!
+//! `--quick` uses the reduced mini suite; `--smoke` streams a single SPMD
+//! computation with a handful of queries (the CI liveness check). The
+//! default replays the full 54-computation standard suite. Exit status is
+//! non-zero on any differential mismatch.
+
+use cts_daemon::loadgen::{self, LoadConfig};
+use cts_daemon::server::{Daemon, DaemonConfig};
+use cts_daemon::Client;
+use cts_util::bench::Bencher;
+use cts_workloads::suite::{mini_suite, standard_suite, SuiteEntry};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cts-loadgen [--addr HOST:PORT] [--connections N] [--seed N]\n\
+         \x20                  [--max-cluster-size N] [--quick | --smoke]\n\
+         \x20                  [--json PATH] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut quick = false;
+    let mut smoke = false;
+    let mut send_shutdown = false;
+    let mut cfg = LoadConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(value(&mut i)),
+            "--connections" => cfg.connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-cluster-size" => {
+                cfg.max_cluster_size = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--quick" => quick = true,
+            "--smoke" => smoke = true,
+            "--json" => json = Some(value(&mut i)),
+            "--shutdown" => send_shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let suite: Vec<SuiteEntry> = if smoke {
+        let mut s = standard_suite();
+        s.truncate(1);
+        s
+    } else if quick {
+        mini_suite()
+    } else {
+        standard_suite()
+    };
+    if smoke {
+        cfg.precedence_queries = 25;
+        cfg.gc_probes = 1;
+    } else if quick {
+        cfg.precedence_queries = 50;
+    }
+    eprintln!(
+        "[cts-loadgen] {} computations, {} events, {} connections",
+        suite.len(),
+        suite.iter().map(|e| e.trace.num_events()).sum::<usize>(),
+        cfg.connections
+    );
+
+    // Aim at an external daemon, or run one in-process.
+    let own_daemon = if addr.is_none() {
+        let daemon = match Daemon::start(DaemonConfig::default()) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cts-loadgen: cannot start in-process daemon: {e}");
+                std::process::exit(1);
+            }
+        };
+        cfg.addr = daemon.local_addr();
+        eprintln!("[cts-loadgen] in-process daemon on {}", cfg.addr);
+        Some(daemon)
+    } else {
+        cfg.addr = match addr.as_deref().unwrap().parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("cts-loadgen: bad --addr: {e}");
+                std::process::exit(2);
+            }
+        };
+        None
+    };
+
+    let report = match loadgen::run(&suite, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cts-loadgen: load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.render());
+
+    if let Some(path) = &json {
+        let mut bencher = Bencher::quick();
+        for entry in report.bench_entries() {
+            bencher.record_entry(entry);
+        }
+        if let Err(e) = std::fs::write(path, bencher.to_json()) {
+            eprintln!("cts-loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[cts-loadgen] wrote {path}");
+    }
+
+    if send_shutdown {
+        let r = Client::connect(cfg.addr).and_then(|mut c| c.shutdown_daemon());
+        match r {
+            Ok(()) => eprintln!("[cts-loadgen] daemon acknowledged shutdown"),
+            Err(e) => eprintln!("cts-loadgen: shutdown request failed: {e}"),
+        }
+    }
+    if let Some(daemon) = own_daemon {
+        daemon.shutdown();
+    }
+
+    if report.mismatches > 0 {
+        eprintln!(
+            "cts-loadgen: {} differential mismatches — daemon answers diverge \
+             from the offline engine",
+            report.mismatches
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,136 @@
+//! A blocking, typed client for the daemon's wire protocol — what a
+//! visualization front end (or the load generator) links against.
+
+use crate::wire::{self, read_msg, write_msg, Msg, StatsSnapshot};
+use cts_model::{Event, EventId};
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One connection to the daemon, carrying at most one session at a time
+/// (re-`hello` rebinds the session to another computation).
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: stream,
+            writer,
+        })
+    }
+
+    fn send(&mut self, msg: &Msg) -> io::Result<()> {
+        write_msg(&mut self.writer, msg)?;
+        self.writer.flush()
+    }
+
+    /// Send a request and read its (single) reply.
+    fn call(&mut self, msg: &Msg) -> io::Result<Msg> {
+        self.send(msg)?;
+        read_msg(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })
+    }
+
+    fn protocol_error(got: &Msg) -> io::Error {
+        let text = match got {
+            Msg::Error { code, message } => format!("daemon error {code}: {message}"),
+            other => format!("unexpected reply: {other:?}"),
+        };
+        io::Error::new(io::ErrorKind::InvalidData, text)
+    }
+
+    /// Bind this connection to a computation. Returns `(session_id,
+    /// existed_already)`.
+    pub fn hello(
+        &mut self,
+        computation: &str,
+        num_processes: u32,
+        max_cluster_size: u32,
+    ) -> io::Result<(u64, bool)> {
+        match self.call(&Msg::Hello {
+            computation: computation.to_string(),
+            num_processes,
+            max_cluster_size,
+        })? {
+            Msg::HelloAck { session, existing } => Ok((session, existing)),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Stream events, `batch` per frame, without waiting for any reply
+    /// (ingest is fire-and-forget; use [`flush`](Self::flush) as the
+    /// barrier).
+    pub fn stream_events(&mut self, events: &[Event], batch: usize) -> io::Result<()> {
+        for chunk in events.chunks(batch.max(1)) {
+            write_msg(&mut self.writer, &Msg::Events(chunk.to_vec()))?;
+        }
+        self.writer.flush()
+    }
+
+    /// Barrier: wait until the daemon has delivered `expected_total` events
+    /// of this computation and published a covering snapshot. Returns
+    /// `(epoch, delivered)`.
+    pub fn flush(&mut self, expected_total: u64) -> io::Result<(u64, u64)> {
+        match self.call(&Msg::Flush { expected_total })? {
+            Msg::FlushAck { epoch, delivered } => Ok((epoch, delivered)),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Does `e` happen before `f`?
+    pub fn precedes(&mut self, e: EventId, f: EventId) -> io::Result<bool> {
+        match self.call(&Msg::QueryPrecedes { e, f })? {
+            Msg::PrecedesResult { precedes, .. } => Ok(precedes),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Greatest event of every process concurrent with `e`.
+    pub fn greatest_concurrent(&mut self, e: EventId) -> io::Result<Vec<Option<EventId>>> {
+        match self.call(&Msg::QueryGreatestConcurrent { e })? {
+            Msg::GcResult { slots, .. } => Ok(slots),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Event ids of process `p` with indices in `[from, to)`.
+    pub fn window(&mut self, process: u32, from: u32, to: u32) -> io::Result<Vec<EventId>> {
+        match self.call(&Msg::QueryWindow { process, from, to })? {
+            Msg::WindowResult { ids } => Ok(ids),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// The computation's metrics counters.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.call(&Msg::Stats)? {
+            Msg::StatsResult(s) => Ok(s),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Ask the daemon to shut down gracefully; waits for the ack.
+    pub fn shutdown_daemon(&mut self) -> io::Result<()> {
+        match self.call(&Msg::Shutdown)? {
+            Msg::ShutdownAck => Ok(()),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Close the session politely.
+    pub fn goodbye(mut self) -> io::Result<()> {
+        self.send(&Msg::Goodbye)
+    }
+
+    /// Expose the raw wire version for diagnostics.
+    pub fn protocol_version() -> u8 {
+        wire::VERSION
+    }
+}

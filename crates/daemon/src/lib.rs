@@ -1,0 +1,44 @@
+//! # cts-daemon — an online monitoring-entity server
+//!
+//! The paper's monitoring entity (§1) is an *online* system: processes of the
+//! target computation forward their events as they happen, the entity builds
+//! timestamps incrementally, and interactive tools query precedence while the
+//! computation is still running. The rest of this workspace exercises that
+//! machinery in batch; this crate closes the loop and runs it as a server:
+//!
+//! - [`wire`]: a length-prefixed binary protocol over TCP (`std::net` only);
+//! - [`reorder`]: a causal-delivery buffer that repairs the arbitrary
+//!   arrival interleaving of concurrent client streams — duplicates dropped,
+//!   gaps parked until their predecessors arrive;
+//! - [`pipeline`]: the per-computation ingest pipeline — reorder buffer →
+//!   [`cts_core::ClusterEngine`] → [`cts_store::SharedStore`] — publishing
+//!   immutable epoch snapshots that query threads read without blocking
+//!   ingest;
+//! - [`server`]: the TCP daemon — bounded ingest queues for backpressure,
+//!   per-connection sessions, graceful shutdown;
+//! - [`client`]: a blocking typed client used by tests and the load
+//!   generator;
+//! - [`metrics`]: lock-free counters and latency histograms behind the
+//!   `Stats` wire message;
+//! - [`loadgen`]: replays the standard workload suite as concurrent client
+//!   streams and differentially checks every answer against the offline
+//!   batch engine.
+//!
+//! Correctness rests on the delivery-order-invariance property established
+//! by the core crates: any valid delivery order yields exact precedence, so
+//! the daemon's answers must be byte-identical to an offline run no matter
+//! how the network interleaves the streams. `tests/daemon_soak.rs` asserts
+//! exactly that over the full 54-computation suite.
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod pipeline;
+pub mod reorder;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use loadgen::{LoadConfig, LoadReport};
+pub use reorder::ReorderBuffer;
+pub use server::{Daemon, DaemonConfig};

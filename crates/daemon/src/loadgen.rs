@@ -1,0 +1,436 @@
+//! The load generator: replays workload suites as concurrent client
+//! streams and differentially checks the daemon's answers against the
+//! offline batch engine.
+//!
+//! For every computation the generator:
+//!
+//! 1. splits the trace's delivery order round-robin into several *slices*
+//!    (emulating independently-forwarding monitored processes), window-
+//!    shuffles each slice deterministically, and injects duplicates;
+//! 2. streams the slices from a pool of concurrent connections;
+//! 3. issues a `Flush` barrier for the full event count;
+//! 4. replays sampled precedence pairs, greatest-concurrent probes, and a
+//!    window scroll against the daemon, comparing every answer with a local
+//!    [`ClusterEngine`] batch run over the original in-order trace.
+//!
+//! Any divergence is a *mismatch* — by the delivery-order-invariance
+//! property, the correct count is exactly zero. The report doubles as the
+//! ingest/query benchmark behind `results/BENCH_ingest.json`.
+
+use crate::client::Client;
+use cts_core::strategy::MergeOnFirst;
+use cts_core::ClusterEngine;
+use cts_model::{Event, EventId};
+use cts_store::queries::{greatest_concurrent, ClusterBackend};
+use cts_util::bench::BenchEntry;
+use cts_util::hist::AtomicHistogram;
+use cts_util::prng::{ChaCha8Rng, Rng};
+use cts_workloads::suite::SuiteEntry;
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    pub addr: SocketAddr,
+    /// Concurrent client connections during ingest (also bounds the query
+    /// pool).
+    pub connections: usize,
+    /// Seed for the deterministic shuffles and duplicate placement.
+    pub seed: u64,
+    pub max_cluster_size: u32,
+    /// Slices each computation's stream is split into.
+    pub slices_per_comp: usize,
+    /// Window size of the per-slice shuffle (events may move at most a
+    /// window away from their in-order position).
+    pub shuffle_window: usize,
+    /// Re-send every `duplicate_every`-th event (0 disables).
+    pub duplicate_every: usize,
+    /// Events per wire frame.
+    pub batch: usize,
+    /// Sampled precedence pairs per computation.
+    pub precedence_queries: usize,
+    /// Greatest-concurrent probes per computation.
+    pub gc_probes: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            connections: 8,
+            seed: 1,
+            max_cluster_size: 8,
+            slices_per_comp: 2,
+            shuffle_window: 64,
+            duplicate_every: 97,
+            batch: 512,
+            precedence_queries: 200,
+            gc_probes: 3,
+        }
+    }
+}
+
+/// Outcome of a load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    pub computations: usize,
+    pub total_events: u64,
+    pub duplicates_sent: u64,
+    pub ingest_wall_ns: u64,
+    pub query_wall_ns: u64,
+    pub precedence_checked: u64,
+    pub gc_checked: u64,
+    pub windows_checked: u64,
+    /// Differential failures against the offline engine. Must be zero.
+    pub mismatches: u64,
+    pub rtt_min_ns: u64,
+    pub rtt_p50_ns: u64,
+    pub rtt_p95_ns: u64,
+    pub rtt_mean_ns: u64,
+    pub rtt_samples: u64,
+}
+
+impl LoadReport {
+    /// Events ingested per second of ingest wall time.
+    pub fn ingest_events_per_sec(&self) -> f64 {
+        if self.ingest_wall_ns == 0 {
+            return 0.0;
+        }
+        self.total_events as f64 / (self.ingest_wall_ns as f64 / 1e9)
+    }
+
+    /// Ingest-side nanoseconds per event (wall clock over the whole pool).
+    pub fn ns_per_event(&self) -> f64 {
+        if self.total_events == 0 {
+            return 0.0;
+        }
+        self.ingest_wall_ns as f64 / self.total_events as f64
+    }
+
+    /// The report as `cts-bench/1` entries for the perf trajectory.
+    pub fn bench_entries(&self) -> Vec<BenchEntry> {
+        let ns_per_event = self.ns_per_event();
+        vec![
+            BenchEntry {
+                group: "daemon_ingest".into(),
+                name: "suite_ns_per_event".into(),
+                samples: 1,
+                iters_per_sample: self.total_events,
+                min_ns: ns_per_event,
+                median_ns: ns_per_event,
+                p95_ns: ns_per_event,
+                mean_ns: ns_per_event,
+            },
+            BenchEntry {
+                group: "daemon_query".into(),
+                name: "precedes_rtt".into(),
+                samples: self.rtt_samples as usize,
+                iters_per_sample: 1,
+                min_ns: self.rtt_min_ns as f64,
+                median_ns: self.rtt_p50_ns as f64,
+                p95_ns: self.rtt_p95_ns as f64,
+                mean_ns: self.rtt_mean_ns as f64,
+            },
+        ]
+    }
+
+    /// Human-readable summary block.
+    pub fn render(&self) -> String {
+        format!(
+            "computations      {}\n\
+             events streamed   {} (+{} duplicates)\n\
+             ingest wall       {:.3} s  ({:.0} events/s, {:.0} ns/event)\n\
+             query wall        {:.3} s\n\
+             checks            {} precedence, {} greatest-concurrent, {} windows\n\
+             query RTT         p50 {} ns, p95 {} ns (n = {})\n\
+             mismatches        {}",
+            self.computations,
+            self.total_events,
+            self.duplicates_sent,
+            self.ingest_wall_ns as f64 / 1e9,
+            self.ingest_events_per_sec(),
+            self.ns_per_event(),
+            self.query_wall_ns as f64 / 1e9,
+            self.precedence_checked,
+            self.gc_checked,
+            self.windows_checked,
+            self.rtt_p50_ns,
+            self.rtt_p95_ns,
+            self.rtt_samples,
+            self.mismatches,
+        )
+    }
+}
+
+/// Build one slice of a computation's stream: round-robin split, window
+/// shuffle, duplicate injection. Deterministic in `(seed, comp, slice)`.
+pub fn build_slice(
+    events: &[Event],
+    slice: usize,
+    cfg: &LoadConfig,
+    comp_index: usize,
+) -> (Vec<Event>, u64) {
+    let mut out: Vec<Event> = events
+        .iter()
+        .enumerate()
+        .filter(|(pos, _)| pos % cfg.slices_per_comp.max(1) == slice)
+        .map(|(_, &ev)| ev)
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        cfg.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((comp_index as u64) << 20)
+            .wrapping_add(slice as u64),
+    );
+    let w = cfg.shuffle_window.max(1);
+    for window in out.chunks_mut(w) {
+        // Fisher–Yates within the window.
+        for i in (1..window.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            window.swap(i, j);
+        }
+    }
+    let mut duplicates = 0u64;
+    if cfg.duplicate_every > 0 {
+        let mut i = cfg.duplicate_every - 1;
+        while i < out.len() {
+            let dup = out[i];
+            out.insert(i + 1, dup);
+            duplicates += 1;
+            i += cfg.duplicate_every + 1;
+        }
+    }
+    (out, duplicates)
+}
+
+/// Fixed-size thread pool draining a job queue; each worker owns one
+/// connection for its whole lifetime.
+fn run_pool<J, F>(connections: usize, jobs: Vec<J>, addr: SocketAddr, f: F) -> io::Result<()>
+where
+    J: Send,
+    F: Fn(&mut Client, J) -> io::Result<()> + Sync,
+{
+    let queue = Mutex::new(VecDeque::from(jobs));
+    let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..connections.max(1) {
+            s.spawn(|| {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        set_error(&first_error, e);
+                        return;
+                    }
+                };
+                loop {
+                    if lock(&first_error).is_some() {
+                        return;
+                    }
+                    let Some(job) = lock(&queue).pop_front() else {
+                        break;
+                    };
+                    if let Err(e) = f(&mut client, job) {
+                        set_error(&first_error, e);
+                        return;
+                    }
+                }
+                let _ = client.goodbye();
+            });
+        }
+    });
+    let result = lock(&first_error).take();
+    match result {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+fn set_error(slot: &Mutex<Option<io::Error>>, e: io::Error) {
+    let mut g = lock(slot);
+    if g.is_none() {
+        *g = Some(e);
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run the full load scenario against a daemon at `cfg.addr`.
+pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let total_events: u64 = suite.iter().map(|e| e.trace.num_events() as u64).sum();
+    let duplicates_sent = AtomicU64::new(0);
+
+    // ---- ingest phase: all (computation, slice) jobs over the pool ----
+    let mut ingest_jobs: Vec<(usize, usize)> = Vec::new();
+    for c in 0..suite.len() {
+        for s in 0..cfg.slices_per_comp.max(1) {
+            ingest_jobs.push((c, s));
+        }
+    }
+    let t0 = Instant::now();
+    run_pool(cfg.connections, ingest_jobs, cfg.addr, |client, (c, s)| {
+        let entry = &suite[c];
+        client.hello(
+            &entry.name,
+            entry.trace.num_processes(),
+            cfg.max_cluster_size,
+        )?;
+        let (events, dups) = build_slice(entry.trace.events(), s, cfg, c);
+        duplicates_sent.fetch_add(dups, Ordering::Relaxed);
+        client.stream_events(&events, cfg.batch)
+    })?;
+
+    // ---- barrier: every computation fully delivered and snapshotted ----
+    let flush_jobs: Vec<usize> = (0..suite.len()).collect();
+    run_pool(cfg.connections, flush_jobs, cfg.addr, |client, c| {
+        let entry = &suite[c];
+        client.hello(
+            &entry.name,
+            entry.trace.num_processes(),
+            cfg.max_cluster_size,
+        )?;
+        let expected = entry.trace.num_events() as u64;
+        let (_, delivered) = client.flush(expected)?;
+        if delivered != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: flush delivered {delivered}, expected {expected}",
+                    entry.name
+                ),
+            ));
+        }
+        Ok(())
+    })?;
+    let ingest_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    // ---- query phase: differential checks per computation ----
+    let mismatches = AtomicU64::new(0);
+    let precedence_checked = AtomicU64::new(0);
+    let gc_checked = AtomicU64::new(0);
+    let windows_checked = AtomicU64::new(0);
+    let rtt = AtomicHistogram::new();
+    let rtt_min = AtomicU64::new(u64::MAX);
+
+    let t1 = Instant::now();
+    let query_jobs: Vec<usize> = (0..suite.len()).collect();
+    run_pool(cfg.connections, query_jobs, cfg.addr, |client, c| {
+        let entry = &suite[c];
+        let trace = &entry.trace;
+        client.hello(&entry.name, trace.num_processes(), cfg.max_cluster_size)?;
+        let offline = ClusterEngine::run(trace, MergeOnFirst::new(cfg.max_cluster_size as usize));
+        let ids: Vec<EventId> = trace.all_event_ids().collect();
+        if ids.is_empty() {
+            return Ok(());
+        }
+        // Prime strides decorrelate the sampled pairs from trace layout.
+        for k in 0..cfg.precedence_queries {
+            let e = ids[(k * 7919) % ids.len()];
+            let f = ids[(k * 104_729 + 13) % ids.len()];
+            let q0 = Instant::now();
+            let got = client.precedes(e, f)?;
+            let ns = q0.elapsed().as_nanos() as u64;
+            rtt.record(ns);
+            rtt_min.fetch_min(ns, Ordering::Relaxed);
+            precedence_checked.fetch_add(1, Ordering::Relaxed);
+            if got != offline.precedes(trace, e, f) {
+                mismatches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for k in 0..cfg.gc_probes {
+            let e = ids[(k * 15_485_863 + 3) % ids.len()];
+            let got = client.greatest_concurrent(e)?;
+            gc_checked.fetch_add(1, Ordering::Relaxed);
+            if got != greatest_concurrent(&mut ClusterBackend(&offline), trace, e) {
+                mismatches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // One window scroll against the store: process 0's first events.
+        let p0 = cts_model::ProcessId(0);
+        let upto = (trace.process_len(p0) as u32).min(16) + 1;
+        let got = client.window(0, 1, upto)?;
+        let expect: Vec<EventId> = trace
+            .process_events(p0)
+            .filter(|id| id.index.0 < upto)
+            .collect();
+        windows_checked.fetch_add(1, Ordering::Relaxed);
+        if got != expect {
+            mismatches.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    })?;
+    let query_wall_ns = t1.elapsed().as_nanos() as u64;
+
+    let rtt_samples = rtt.count();
+    let (rtt_p50_ns, rtt_p95_ns) = rtt.p50_p95();
+    Ok(LoadReport {
+        computations: suite.len(),
+        total_events,
+        duplicates_sent: duplicates_sent.into_inner(),
+        ingest_wall_ns,
+        query_wall_ns,
+        precedence_checked: precedence_checked.into_inner(),
+        gc_checked: gc_checked.into_inner(),
+        windows_checked: windows_checked.into_inner(),
+        mismatches: mismatches.into_inner(),
+        rtt_min_ns: if rtt_samples == 0 {
+            0
+        } else {
+            rtt_min.into_inner()
+        },
+        rtt_p50_ns,
+        rtt_p95_ns,
+        rtt_mean_ns: rtt.mean() as u64,
+        rtt_samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::linearize::is_valid_delivery_order;
+    use cts_workloads::suite::mini_suite;
+
+    #[test]
+    fn slices_partition_the_trace_and_shuffles_are_deterministic() {
+        let suite = mini_suite();
+        let trace = &suite[0].trace;
+        let cfg = LoadConfig::default();
+        let (a0, d0) = build_slice(trace.events(), 0, &cfg, 0);
+        let (a1, d1) = build_slice(trace.events(), 1, &cfg, 0);
+        // Together (minus duplicates) the slices hold every event once.
+        let mut seen: Vec<EventId> = a0.iter().chain(a1.iter()).map(|e| e.id).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), trace.num_events());
+        assert_eq!(
+            (a0.len() + a1.len()) as u64,
+            trace.num_events() as u64 + d0 + d1
+        );
+        // Same inputs, same slice.
+        let (b0, _) = build_slice(trace.events(), 0, &cfg, 0);
+        assert_eq!(a0, b0);
+        // A shuffled slice is genuinely out of order (else the test is
+        // vacuous).
+        let in_order: Vec<Event> = trace
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % 2 == 0)
+            .map(|(_, &e)| e)
+            .collect();
+        let without_dups: Vec<Event> = {
+            let mut v = a0.clone();
+            v.dedup();
+            v
+        };
+        assert_ne!(in_order, without_dups, "shuffle did nothing");
+        assert!(!is_valid_delivery_order(trace.num_processes(), &a0));
+    }
+}

@@ -1,0 +1,90 @@
+//! The `cts-daemon` binary: bind, serve, wait for a shutdown request
+//! (delivered over the wire), drain, exit.
+//!
+//! ```text
+//! cts-daemon [--host 127.0.0.1] [--port 4650] [--port-file PATH]
+//!            [--queue-capacity 64] [--epoch-every 4096]
+//! ```
+//!
+//! `--port 0` binds an ephemeral port; `--port-file` writes the resolved
+//! port as decimal text once listening (how scripts/check.sh finds the
+//! daemon it just launched). Status goes to stderr; stdout carries only the
+//! `listening on ...` line for interactive use.
+
+use cts_daemon::server::{Daemon, DaemonConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cts-daemon [--host HOST] [--port PORT] [--port-file PATH]\n\
+         \x20                 [--queue-capacity N] [--epoch-every N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: u16 = 4650;
+    let mut port_file: Option<String> = None;
+    let mut config = DaemonConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--host" => host = value(&mut i),
+            "--port" => port = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--port-file" => port_file = Some(value(&mut i)),
+            "--queue-capacity" => {
+                config.queue_capacity = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--epoch-every" => {
+                config.epoch_every = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--flush-timeout-secs" => {
+                config.flush_timeout =
+                    Duration::from_secs(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    config.addr = match format!("{host}:{port}").parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad --host/--port: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cts-daemon: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = daemon.local_addr();
+    println!("listening on {addr}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
+            eprintln!("cts-daemon: cannot write port file {path}: {e}");
+            daemon.shutdown();
+            std::process::exit(1);
+        }
+    }
+    eprintln!("[cts-daemon] serving; send the wire Shutdown message to stop");
+    daemon.wait_for_shutdown_request();
+    eprintln!("[cts-daemon] shutdown requested; draining");
+    daemon.shutdown();
+    eprintln!("[cts-daemon] bye");
+}

@@ -1,0 +1,69 @@
+//! Lock-free per-computation metrics: monotone counters updated by the
+//! ingest worker and connection threads, latency histograms
+//! ([`cts_util::hist::AtomicHistogram`]), and a consistent-enough snapshot
+//! for the `Stats` wire message.
+
+use crate::wire::StatsSnapshot;
+use cts_util::hist::AtomicHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters and histograms for one computation.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub events_ingested: AtomicU64,
+    pub duplicates_dropped: AtomicU64,
+    pub reorder_depth: AtomicU64,
+    pub reorder_peak: AtomicU64,
+    pub queries_served: AtomicU64,
+    pub snapshots_published: AtomicU64,
+    /// Per-event ingest-apply latency (reorder + engine + store), ns.
+    pub ingest_ns: AtomicHistogram,
+    /// Per-query service latency, ns.
+    pub query_ns: AtomicHistogram,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Materialize the counters for the wire. Individually atomic, not
+    /// mutually consistent — fine for monitoring.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let (ingest_p50_ns, ingest_p95_ns) = self.ingest_ns.p50_p95();
+        let (query_p50_ns, query_p95_ns) = self.query_ns.p50_p95();
+        StatsSnapshot {
+            events_ingested: self.events_ingested.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            reorder_depth: self.reorder_depth.load(Ordering::Relaxed),
+            reorder_peak: self.reorder_peak.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            ingest_p50_ns,
+            ingest_p95_ns,
+            query_p50_ns,
+            query_p95_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        m.events_ingested.store(10, Ordering::Relaxed);
+        m.duplicates_dropped.store(2, Ordering::Relaxed);
+        m.queries_served.store(5, Ordering::Relaxed);
+        m.ingest_ns.record(1_000);
+        m.query_ns.record(2_000);
+        let s = m.snapshot();
+        assert_eq!(s.events_ingested, 10);
+        assert_eq!(s.duplicates_dropped, 2);
+        assert_eq!(s.queries_served, 5);
+        assert!(s.ingest_p50_ns > 0);
+        assert!(s.query_p50_ns > 0);
+    }
+}

@@ -1,0 +1,433 @@
+//! The per-computation ingest pipeline and its snapshot/epoch discipline.
+//!
+//! Each computation the daemon monitors gets one [`Computation`]: a single
+//! ingest worker thread that owns the [`ReorderBuffer`], the online
+//! [`ClusterEngine`], and the store's single-writer
+//! [`cts_store::IngestHandle`]. Sessions enqueue event batches onto a
+//! *bounded* channel (backpressure: a full queue blocks the connection
+//! thread, which in turn stops reading its socket, which pushes back on the
+//! client through TCP flow control).
+//!
+//! Queries never touch the engine. The worker periodically *publishes* an
+//! immutable [`Snapshot`] — a delivery-order [`Trace`] of everything
+//! delivered so far plus the engine's [`ClusterTimestamps`] for exactly that
+//! prefix — and query threads read the current `Arc<Snapshot>` without
+//! blocking ingest (the engine clone behind
+//! [`ClusterEngine::snapshot`] happens on the worker; readers only swap an
+//! `Arc`). The `Flush` barrier lets a client wait until a snapshot covering
+//! a known event count is live, which is what makes answers deterministic
+//! enough to differentially test against the offline batch engine.
+
+use crate::metrics::Metrics;
+use crate::reorder::ReorderBuffer;
+use cts_core::cluster::ClusterTimestamps;
+use cts_core::strategy::MergeOnFirst;
+use cts_core::ClusterEngine;
+use cts_model::{Event, Trace};
+use cts_store::{EventStore, SharedStore};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Parameters of one monitored computation.
+#[derive(Clone, Debug)]
+pub struct ComputationConfig {
+    pub name: String,
+    pub num_processes: u32,
+    pub max_cluster_size: u32,
+    /// Bound of the ingest command queue, in batches.
+    pub queue_capacity: usize,
+    /// Publish a snapshot every this many delivered events (also on flush
+    /// and on worker exit).
+    pub epoch_every: u64,
+}
+
+/// An immutable published epoch: the delivered prefix as a valid
+/// delivery-order trace, with cluster timestamps for exactly that prefix.
+pub struct Snapshot {
+    pub epoch: u64,
+    /// Events covered (== `trace.num_events()`).
+    pub delivered: u64,
+    pub trace: Trace,
+    pub cts: ClusterTimestamps,
+}
+
+/// Commands a session enqueues to the ingest worker.
+enum IngestCmd {
+    Events(Vec<Event>),
+    Publish,
+}
+
+#[derive(Default)]
+struct Progress {
+    delivered: u64,
+    snapshot_delivered: u64,
+    epoch: u64,
+}
+
+/// Why a flush barrier failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlushError {
+    /// The target count was not delivered before the deadline (the stream is
+    /// incomplete or stalled in the reorder buffer). Carries the count
+    /// delivered so far.
+    Timeout { delivered: u64 },
+    /// The computation is shutting down.
+    Closed,
+}
+
+/// The ingest side refused a batch because the worker is gone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Closed;
+
+/// State shared between the ingest worker and query threads. The worker
+/// holds only this (not the [`Computation`]), so dropping every
+/// `Arc<Computation>` drops the master sender and the worker drains and
+/// exits on its own.
+struct CompShared {
+    snapshot: cts_store::sync::RwLock<Arc<Snapshot>>,
+    progress: Mutex<Progress>,
+    cond: Condvar,
+    metrics: Metrics,
+    store: SharedStore,
+}
+
+/// One monitored computation: ingest worker + published snapshot + store.
+pub struct Computation {
+    pub name: String,
+    pub num_processes: u32,
+    pub max_cluster_size: u32,
+    sender: Mutex<Option<SyncSender<IngestCmd>>>,
+    shared: Arc<CompShared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Computation {
+    /// Spawn the ingest worker for a new computation.
+    pub fn spawn(config: ComputationConfig) -> Arc<Computation> {
+        let (tx, rx) = sync_channel(config.queue_capacity.max(1));
+        let empty = Snapshot {
+            epoch: 0,
+            delivered: 0,
+            trace: Trace::from_delivery_order(
+                config.name.clone(),
+                config.num_processes,
+                Vec::new(),
+            )
+            .expect("empty order is valid"),
+            cts: ClusterEngine::new(
+                config.num_processes,
+                MergeOnFirst::new(config.max_cluster_size as usize),
+            )
+            .finish(),
+        };
+        let shared = Arc::new(CompShared {
+            snapshot: cts_store::sync::RwLock::new(Arc::new(empty)),
+            progress: Mutex::new(Progress::default()),
+            cond: Condvar::new(),
+            metrics: Metrics::new(),
+            store: SharedStore::new(EventStore::new(config.num_processes)),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let name = config.name.clone();
+        let num_processes = config.num_processes;
+        let max_cluster_size = config.max_cluster_size;
+        let handle = std::thread::Builder::new()
+            .name(format!("ingest-{name}"))
+            .spawn(move || worker_loop(&worker_shared, rx, config))
+            .expect("spawn ingest worker");
+        Arc::new(Computation {
+            name,
+            num_processes,
+            max_cluster_size,
+            sender: Mutex::new(Some(tx)),
+            shared,
+            worker: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Enqueue a batch for ingest. Blocks when the queue is full
+    /// (backpressure); fails only once the computation is shut down.
+    pub fn enqueue_events(&self, batch: Vec<Event>) -> Result<(), Closed> {
+        let tx = lock(&self.sender).clone().ok_or(Closed)?;
+        tx.send(IngestCmd::Events(batch)).map_err(|_| Closed)
+    }
+
+    /// The current published snapshot (cheap: an `Arc` clone under a read
+    /// lock held for nanoseconds).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.shared.snapshot.read())
+    }
+
+    /// This computation's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The shared event store (for window queries).
+    pub fn store(&self) -> &SharedStore {
+        &self.shared.store
+    }
+
+    /// Barrier: wait until `expected` events are delivered *and* a snapshot
+    /// covering them is published. Returns `(epoch, delivered)`.
+    pub fn flush(&self, expected: u64, timeout: Duration) -> Result<(u64, u64), FlushError> {
+        let deadline = Instant::now() + timeout;
+        let shared = &self.shared;
+        let mut g = lock(&shared.progress);
+        while g.delivered < expected {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(FlushError::Timeout {
+                    delivered: g.delivered,
+                });
+            }
+            let (g2, _) = shared
+                .cond
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = g2;
+        }
+        if g.snapshot_delivered < expected {
+            drop(g);
+            // A publish may race in between; sending a redundant Publish is
+            // harmless (the worker skips no-op publishes).
+            if let Some(tx) = lock(&self.sender).clone() {
+                tx.send(IngestCmd::Publish)
+                    .map_err(|_| FlushError::Closed)?;
+            }
+            g = lock(&shared.progress);
+            while g.snapshot_delivered < expected {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(FlushError::Timeout {
+                        delivered: g.delivered,
+                    });
+                }
+                let (g2, _) = shared
+                    .cond
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = g2;
+            }
+        }
+        Ok((g.epoch, g.delivered))
+    }
+
+    /// Stop accepting, drain the queue, publish a final snapshot, and join
+    /// the worker. Idempotent.
+    pub fn shutdown(&self) {
+        drop(lock(&self.sender).take());
+        if let Some(h) = lock(&self.worker).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Computation {
+    fn drop(&mut self) {
+        // Release the worker without joining (it drains and exits once the
+        // master sender is gone); an explicit shutdown() already joined.
+        drop(lock(&self.sender).take());
+    }
+}
+
+/// The ingest worker: reorder → engine → store, publishing epochs.
+fn worker_loop(shared: &CompShared, rx: Receiver<IngestCmd>, config: ComputationConfig) {
+    let n = config.num_processes;
+    let mut buf = ReorderBuffer::new(n);
+    let mut engine = ClusterEngine::new(n, MergeOnFirst::new(config.max_cluster_size as usize));
+    let mut ingest = shared
+        .store
+        .ingest_handle()
+        .expect("the worker is the store's only writer");
+    let mut log: Vec<Event> = Vec::new();
+    let mut last_published: Option<u64> = None;
+
+    let publish = |engine: &ClusterEngine<MergeOnFirst>,
+                   log: &Vec<Event>,
+                   last_published: &mut Option<u64>| {
+        let delivered = log.len() as u64;
+        if *last_published == Some(delivered) {
+            return; // nothing new since the last epoch
+        }
+        let trace = Trace::from_delivery_order(config.name.clone(), n, log.clone())
+            .expect("reorder buffer emits valid delivery orders");
+        let cts = engine.snapshot();
+        let mut g = lock(&shared.progress);
+        g.epoch += 1;
+        g.snapshot_delivered = delivered;
+        let epoch = g.epoch;
+        drop(g);
+        *shared.snapshot.write() = Arc::new(Snapshot {
+            epoch,
+            delivered,
+            trace,
+            cts,
+        });
+        shared
+            .metrics
+            .snapshots_published
+            .fetch_add(1, Ordering::Relaxed);
+        *last_published = Some(delivered);
+        shared.cond.notify_all();
+    };
+
+    for cmd in rx.iter() {
+        match cmd {
+            IngestCmd::Events(batch) => {
+                for ev in batch {
+                    let t0 = Instant::now();
+                    match buf.offer(ev) {
+                        Ok(delivered) => {
+                            for d in delivered {
+                                engine.accept(d);
+                                if let Err(e) = ingest.insert(d) {
+                                    // Causal delivery makes this unreachable;
+                                    // never kill the worker over a store
+                                    // refusal.
+                                    eprintln!(
+                                        "[cts-daemon] {}: store refused {}: {e}",
+                                        config.name, d.id
+                                    );
+                                }
+                                log.push(d);
+                            }
+                        }
+                        Err(reason) => {
+                            eprintln!(
+                                "[cts-daemon] {}: dropping event {}: {reason}",
+                                config.name, ev.id
+                            );
+                        }
+                    }
+                    shared
+                        .metrics
+                        .ingest_ns
+                        .record(t0.elapsed().as_nanos() as u64);
+                }
+                shared
+                    .metrics
+                    .events_ingested
+                    .store(buf.delivered_total(), Ordering::Relaxed);
+                shared
+                    .metrics
+                    .duplicates_dropped
+                    .store(buf.duplicates(), Ordering::Relaxed);
+                shared
+                    .metrics
+                    .reorder_depth
+                    .store(buf.depth() as u64, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .reorder_peak
+                    .store(buf.peak_depth() as u64, Ordering::Relaxed);
+                {
+                    let mut g = lock(&shared.progress);
+                    g.delivered = buf.delivered_total();
+                }
+                shared.cond.notify_all();
+                let since = buf.delivered_total() - last_published.unwrap_or(0);
+                if since >= config.epoch_every {
+                    publish(&engine, &log, &mut last_published);
+                }
+            }
+            IngestCmd::Publish => publish(&engine, &log, &mut last_published),
+        }
+    }
+    // All senders gone: final snapshot so late readers see everything.
+    publish(&engine, &log, &mut last_published);
+}
+
+/// Poison-tolerant mutex lock (a panicked ingest worker must not wedge
+/// every query thread behind a poisoned lock).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::linearize::relinearize;
+    use cts_store::queries::{greatest_concurrent, ClusterBackend};
+    use cts_workloads::spmd::Stencil1D;
+    use cts_workloads::Workload;
+
+    fn config(name: &str, n: u32) -> ComputationConfig {
+        ComputationConfig {
+            name: name.to_string(),
+            num_processes: n,
+            max_cluster_size: 4,
+            queue_capacity: 8,
+            epoch_every: 64,
+        }
+    }
+
+    #[test]
+    fn flush_then_queries_match_offline_engine() {
+        let t = Stencil1D { procs: 8, iters: 6 }.generate(7);
+        let comp = Computation::spawn(config("pipeline-test", t.num_processes()));
+        // Stream a shuffled interleaving in small batches.
+        let shuffled = relinearize(&t, 42);
+        for chunk in shuffled.events().chunks(37) {
+            comp.enqueue_events(chunk.to_vec()).unwrap();
+        }
+        let (epoch, delivered) = comp
+            .flush(t.num_events() as u64, Duration::from_secs(30))
+            .unwrap();
+        assert!(epoch >= 1);
+        assert_eq!(delivered, t.num_events() as u64);
+
+        let snap = comp.snapshot();
+        assert_eq!(snap.trace.num_events(), t.num_events());
+        let offline = ClusterEngine::run(&t, MergeOnFirst::new(4));
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    snap.cts.precedes(&snap.trace, e, f),
+                    offline.precedes(&t, e, f),
+                    "{e} -> {f}"
+                );
+            }
+            assert_eq!(
+                greatest_concurrent(&mut ClusterBackend(&snap.cts), &snap.trace, e),
+                greatest_concurrent(&mut ClusterBackend(&offline), &t, e),
+                "gc({e})"
+            );
+        }
+        // The store saw every event exactly once.
+        assert_eq!(comp.store().read().len(), t.num_events());
+        comp.shutdown();
+    }
+
+    #[test]
+    fn flush_times_out_on_incomplete_stream() {
+        let t = Stencil1D { procs: 4, iters: 2 }.generate(3);
+        let comp = Computation::spawn(config("timeout-test", t.num_processes()));
+        // Withhold the last event.
+        let events = &t.events()[..t.num_events() - 1];
+        comp.enqueue_events(events.to_vec()).unwrap();
+        let err = comp
+            .flush(t.num_events() as u64, Duration::from_millis(200))
+            .unwrap_err();
+        assert!(matches!(err, FlushError::Timeout { delivered } if delivered > 0));
+        comp.shutdown();
+    }
+
+    #[test]
+    fn shutdown_publishes_final_snapshot() {
+        let t = Stencil1D { procs: 4, iters: 3 }.generate(11);
+        let comp = Computation::spawn(config("final-snap", t.num_processes()));
+        comp.enqueue_events(t.events().to_vec()).unwrap();
+        comp.shutdown();
+        let snap = comp.snapshot();
+        assert_eq!(snap.delivered, t.num_events() as u64);
+        assert!(comp.enqueue_events(Vec::new()).is_err());
+        // Flush after shutdown: already satisfied, no waiting needed.
+        let (_, delivered) = comp
+            .flush(t.num_events() as u64, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(delivered, t.num_events() as u64);
+    }
+}

@@ -1,0 +1,352 @@
+//! Causal-delivery reorder buffer.
+//!
+//! Clients stream events over independent TCP connections, so the daemon
+//! observes an arbitrary interleaving — possibly with per-stream reordering
+//! (retransmits, multi-path splits) and duplicates. The timestamp engine,
+//! however, requires a *valid delivery order* (per-process sequence order,
+//! receives after their sends, sync halves adjacent —
+//! `cts_model::linearize::is_valid_delivery_order`). [`ReorderBuffer`] sits
+//! between the two: events go in however they arrive, and come out in a
+//! valid delivery order, exactly once each.
+//!
+//! The buffer is O(1) amortized per event: an event that cannot yet be
+//! delivered is parked under the single *blocker* it is waiting for (its
+//! process predecessor, its message source, or its sync partner), and a
+//! worklist cascade re-examines exactly the parked events whose blocker just
+//! arrived or got delivered.
+
+use cts_model::{Event, EventId, EventIndex, EventKind};
+use std::collections::HashMap;
+
+/// An event the buffer cannot accept at all (as opposed to "not yet").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// The event names a process outside the computation.
+    UnknownProcess,
+    /// A different event with the same id was already observed — the stream
+    /// is corrupt, not merely reordered.
+    ConflictingDuplicate,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::UnknownProcess => write!(f, "event names an unknown process"),
+            RejectReason::ConflictingDuplicate => {
+                write!(f, "conflicting event already observed under the same id")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Reorders an arbitrary arrival interleaving into a valid delivery order.
+#[derive(Clone, Debug)]
+pub struct ReorderBuffer {
+    num_processes: u32,
+    /// Events observed but not yet deliverable, by id.
+    pending: HashMap<EventId, Event>,
+    /// Per-process count of delivered events (index of the last delivered).
+    delivered: Vec<u32>,
+    /// blocker id → events parked until that blocker arrives/delivers.
+    waiting: HashMap<EventId, Vec<EventId>>,
+    duplicates: u64,
+    delivered_total: u64,
+    peak_depth: usize,
+}
+
+impl ReorderBuffer {
+    /// An empty buffer for a computation with `num_processes` processes.
+    pub fn new(num_processes: u32) -> ReorderBuffer {
+        ReorderBuffer {
+            num_processes,
+            pending: HashMap::new(),
+            delivered: vec![0; num_processes as usize],
+            waiting: HashMap::new(),
+            duplicates: 0,
+            delivered_total: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// Offer one observed event. Returns the events that became deliverable,
+    /// in a valid delivery order (possibly empty; possibly several when this
+    /// arrival unblocks a parked chain).
+    pub fn offer(&mut self, ev: Event) -> Result<Vec<Event>, RejectReason> {
+        let p = ev.process();
+        if p.0 >= self.num_processes {
+            return Err(RejectReason::UnknownProcess);
+        }
+        if ev.index().0 <= self.delivered[p.idx()] {
+            // Already delivered: a duplicate (retransmit). Drop silently
+            // unless it contradicts what we delivered — we no longer keep
+            // delivered events, so only pending conflicts are detectable.
+            self.duplicates += 1;
+            return Ok(Vec::new());
+        }
+        if let Some(existing) = self.pending.get(&ev.id) {
+            if *existing != ev {
+                return Err(RejectReason::ConflictingDuplicate);
+            }
+            self.duplicates += 1;
+            return Ok(Vec::new());
+        }
+        self.pending.insert(ev.id, ev);
+        self.peak_depth = self.peak_depth.max(self.pending.len());
+
+        // Worklist: this event, plus anything parked waiting for it.
+        let mut work = vec![ev.id];
+        if let Some(parked) = self.waiting.remove(&ev.id) {
+            work.extend(parked);
+        }
+        let mut out = Vec::new();
+        while let Some(id) = work.pop() {
+            let Some(&cand) = self.pending.get(&id) else {
+                continue; // already delivered by an earlier cascade step
+            };
+            match self.blocker_of(cand) {
+                Some(blocker) => self.park(id, blocker),
+                None => self.deliver(cand, &mut out, &mut work),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The single event `ev` is waiting for, or `None` if deliverable now.
+    fn blocker_of(&self, ev: Event) -> Option<EventId> {
+        let p = ev.process();
+        let next = self.delivered[p.idx()] + 1;
+        if ev.index().0 > next {
+            // A process predecessor is missing; park under the immediate
+            // predecessor — its own delivery cascades one step at a time.
+            return Some(EventId::new(p, EventIndex(ev.index().0 - 1)));
+        }
+        debug_assert_eq!(ev.index().0, next);
+        match ev.kind {
+            EventKind::Internal | EventKind::Send { .. } => None,
+            EventKind::Receive { from } => {
+                if from.process.0 >= self.num_processes {
+                    // Dangling source: undeliverable, parked forever. The
+                    // store would reject it anyway; sessions detect the
+                    // stall via Flush timeouts.
+                    return Some(from);
+                }
+                if self.delivered[from.process.idx()] >= from.index.0 {
+                    None
+                } else {
+                    Some(from)
+                }
+            }
+            EventKind::Sync { peer } => {
+                if peer.process.0 >= self.num_processes {
+                    return Some(peer);
+                }
+                match self.pending.get(&peer) {
+                    // Partner present and also next-in-line: both go.
+                    Some(partner)
+                        if partner.index().0 == self.delivered[peer.process.idx()] + 1 =>
+                    {
+                        None
+                    }
+                    // Partner present but early in its own process: its own
+                    // predecessor chain will wake it, and delivering *it*
+                    // delivers us.
+                    Some(partner) => Some(EventId::new(
+                        peer.process,
+                        EventIndex(partner.index().0 - 1),
+                    )),
+                    // Partner not seen yet: wake on its arrival.
+                    None => Some(peer),
+                }
+            }
+        }
+    }
+
+    fn park(&mut self, id: EventId, blocker: EventId) {
+        let list = self.waiting.entry(blocker).or_default();
+        if !list.contains(&id) {
+            list.push(id);
+        }
+    }
+
+    /// Deliver `ev` (and, for a sync, its partner adjacently), appending to
+    /// `out` and waking waiters onto `work`.
+    fn deliver(&mut self, ev: Event, out: &mut Vec<Event>, work: &mut Vec<EventId>) {
+        self.deliver_one(ev, out, work);
+        if let EventKind::Sync { peer } = ev.kind {
+            let partner = self
+                .pending
+                .get(&peer)
+                .copied()
+                .expect("sync delivery requires the pending partner");
+            self.deliver_one(partner, out, work);
+        }
+    }
+
+    fn deliver_one(&mut self, ev: Event, out: &mut Vec<Event>, work: &mut Vec<EventId>) {
+        self.pending.remove(&ev.id);
+        self.delivered[ev.process().idx()] = ev.index().0;
+        self.delivered_total += 1;
+        out.push(ev);
+        if let Some(parked) = self.waiting.remove(&ev.id) {
+            work.extend(parked);
+        }
+    }
+
+    /// Number of processes this buffer was created for.
+    pub fn num_processes(&self) -> u32 {
+        self.num_processes
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Duplicate arrivals dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Events currently parked (observed, not yet deliverable).
+    pub fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// High-water mark of [`depth`](Self::depth).
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_model::linearize::{is_valid_delivery_order, relinearize};
+    use cts_model::{ProcessId, TraceBuilder};
+    use cts_workloads::spmd::Stencil1D;
+    use cts_workloads::Workload;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn offer_all(buf: &mut ReorderBuffer, events: &[Event]) -> Vec<Event> {
+        let mut out = Vec::new();
+        for &ev in events {
+            out.extend(buf.offer(ev).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let t = Stencil1D { procs: 6, iters: 4 }.generate(3);
+        let mut buf = ReorderBuffer::new(t.num_processes());
+        let out = offer_all(&mut buf, t.events());
+        assert_eq!(out.len(), t.num_events());
+        assert!(is_valid_delivery_order(t.num_processes(), &out));
+        assert_eq!(buf.depth(), 0);
+        assert_eq!(buf.duplicates(), 0);
+    }
+
+    #[test]
+    fn fully_reversed_stream_is_repaired() {
+        let t = Stencil1D { procs: 5, iters: 3 }.generate(9);
+        let mut reversed: Vec<Event> = t.events().to_vec();
+        reversed.reverse();
+        let mut buf = ReorderBuffer::new(t.num_processes());
+        let out = offer_all(&mut buf, &reversed);
+        assert_eq!(out.len(), t.num_events());
+        assert!(is_valid_delivery_order(t.num_processes(), &out));
+        assert_eq!(buf.depth(), 0);
+        assert!(buf.peak_depth() > 1);
+    }
+
+    #[test]
+    fn shuffled_interleavings_deliver_valid_orders() {
+        let t = Stencil1D { procs: 8, iters: 5 }.generate(21);
+        for seed in 0..20 {
+            let shuffled = relinearize(&t, seed);
+            let mut buf = ReorderBuffer::new(t.num_processes());
+            let out = offer_all(&mut buf, shuffled.events());
+            assert_eq!(out.len(), t.num_events(), "seed {seed}");
+            assert!(
+                is_valid_delivery_order(t.num_processes(), &out),
+                "seed {seed}"
+            );
+            assert_eq!(buf.depth(), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_dropped() {
+        let t = Stencil1D { procs: 4, iters: 3 }.generate(5);
+        let mut buf = ReorderBuffer::new(t.num_processes());
+        let mut out = Vec::new();
+        for &ev in t.events() {
+            out.extend(buf.offer(ev).unwrap());
+            // Re-offer every event immediately: a delivered duplicate.
+            assert_eq!(buf.offer(ev).unwrap(), Vec::new());
+        }
+        assert_eq!(out.len(), t.num_events());
+        assert_eq!(buf.duplicates() as usize, t.num_events());
+        assert!(is_valid_delivery_order(t.num_processes(), &out));
+    }
+
+    #[test]
+    fn pending_duplicate_is_dropped_too() {
+        let mut b = TraceBuilder::new(2);
+        let s = b.send(p(0), p(1)).unwrap();
+        let r = b.receive(p(1), s).unwrap();
+        let t = b.finish_complete("dup").unwrap();
+        let recv = t.event(r);
+        let mut buf = ReorderBuffer::new(2);
+        // The receive arrives (twice) before its send: parked, deduped.
+        assert_eq!(buf.offer(recv).unwrap(), Vec::new());
+        assert_eq!(buf.offer(recv).unwrap(), Vec::new());
+        assert_eq!(buf.duplicates(), 1);
+        assert_eq!(buf.depth(), 1);
+        let out = buf.offer(t.event(s.event())).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(is_valid_delivery_order(2, &out));
+    }
+
+    #[test]
+    fn conflicting_duplicate_is_rejected() {
+        let mut buf = ReorderBuffer::new(3);
+        let id = EventId::new(p(0), EventIndex(2)); // parked: index 2 first
+        let a = Event::new(id, EventKind::Internal);
+        let b = Event::new(id, EventKind::Send { to: p(1) });
+        assert_eq!(buf.offer(a).unwrap(), Vec::new());
+        assert_eq!(buf.offer(b), Err(RejectReason::ConflictingDuplicate));
+    }
+
+    #[test]
+    fn unknown_process_is_rejected() {
+        let mut buf = ReorderBuffer::new(2);
+        let ev = Event::new(EventId::new(p(7), EventIndex(1)), EventKind::Internal);
+        assert_eq!(buf.offer(ev), Err(RejectReason::UnknownProcess));
+    }
+
+    #[test]
+    fn sync_halves_emerge_adjacent() {
+        let mut b = TraceBuilder::new(3);
+        b.internal(p(0)).unwrap();
+        let (h0, h1) = b.sync(p(0), p(1)).unwrap();
+        b.internal(p(1)).unwrap();
+        let t = b.finish_complete("sync").unwrap();
+        // Offer in the worst order: second halves first, preceded by nothing.
+        let mut buf = ReorderBuffer::new(3);
+        let mut arrivals: Vec<Event> = t.events().to_vec();
+        arrivals.reverse();
+        let out = offer_all(&mut buf, &arrivals);
+        assert_eq!(out.len(), t.num_events());
+        assert!(is_valid_delivery_order(3, &out));
+        // The two sync halves are adjacent in the output.
+        let i0 = out.iter().position(|e| e.id == h0).unwrap();
+        let i1 = out.iter().position(|e| e.id == h1).unwrap();
+        assert_eq!(i0.abs_diff(i1), 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! The TCP daemon: accept loop, per-connection sessions, graceful shutdown.
+//!
+//! Concurrency layout:
+//!
+//! - one *accept* thread owns the listener;
+//! - one *connection* thread per client runs the session state machine —
+//!   decoding frames, enqueueing event batches (blocking on the bounded
+//!   ingest queue for backpressure), and answering queries against the
+//!   computation's current published snapshot;
+//! - one *ingest worker* thread per computation (see
+//!   [`crate::pipeline::Computation`]).
+//!
+//! Shutdown is cooperative and lock-step: connection sockets carry a short
+//! read timeout, so every connection thread polls the shutdown flag between
+//! frames; [`Daemon::shutdown`] raises the flag, nudges the accept loop
+//! awake with a loopback connect, joins the connection threads, then shuts
+//! every computation down (drop the master sender → the worker drains its
+//! queue, publishes a final snapshot, and exits).
+
+use crate::pipeline::{Computation, ComputationConfig, FlushError};
+use crate::wire::{self, code, recv_frame, write_msg, Msg, Recv};
+use cts_model::ProcessId;
+use cts_store::queries::{greatest_concurrent, ClusterBackend};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon-wide tunables.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub addr: SocketAddr,
+    /// Ingest queue bound per computation, in batches.
+    pub queue_capacity: usize,
+    /// Snapshot publication cadence, in delivered events.
+    pub epoch_every: u64,
+    /// Socket read timeout: how often idle connections poll the shutdown
+    /// flag.
+    pub poll_interval: Duration,
+    /// How long a `Flush` barrier may wait before reporting a stall.
+    pub flush_timeout: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            queue_capacity: 64,
+            epoch_every: 4096,
+            poll_interval: Duration::from_millis(50),
+            flush_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+struct DaemonShared {
+    config: DaemonConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    shutdown_signal: Mutex<bool>,
+    shutdown_cond: Condvar,
+    computations: Mutex<HashMap<String, Arc<Computation>>>,
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_session: AtomicU64,
+}
+
+/// A running daemon. Dropping it without [`shutdown`](Daemon::shutdown)
+/// leaves the threads running until process exit; tests and the binary
+/// always shut down explicitly.
+pub struct Daemon {
+    shared: Arc<DaemonShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind and start serving.
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(DaemonShared {
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: Mutex::new(false),
+            shutdown_cond: Condvar::new(),
+            computations: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+            next_session: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("cts-daemon-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Daemon {
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Ask the daemon to stop (also triggered by the wire `Shutdown`
+    /// message). Returns immediately; pair with [`shutdown`](Self::shutdown)
+    /// to join.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Block until someone requests shutdown.
+    pub fn wait_for_shutdown_request(&self) {
+        let mut requested = lock(&self.shared.shutdown_signal);
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cond
+                .wait(requested)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain connections, finish every
+    /// computation's queue, join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.request_shutdown();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = lock(&self.shared.conns).drain(..).collect();
+        for h in conns {
+            let _ = h.join();
+        }
+        let comps: Vec<_> = lock(&self.shared.computations).drain().collect();
+        for (_, comp) in comps {
+            comp.shutdown();
+        }
+    }
+}
+
+impl DaemonShared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        *lock(&self.shutdown_signal) = true;
+        self.shutdown_cond.notify_all();
+        // Nudge the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("cts-daemon-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &conn_shared);
+            })
+            .expect("spawn connection thread");
+        lock(&shared.conns).push(handle);
+    }
+}
+
+/// The per-connection session state machine.
+fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    stream.set_nodelay(true)?;
+    let mut session: Option<Arc<Computation>> = None;
+
+    loop {
+        if shared.shutting_down() {
+            let _ = write_msg(
+                &mut stream,
+                &Msg::Error {
+                    code: code::SHUTTING_DOWN,
+                    message: "daemon is shutting down".into(),
+                },
+            );
+            return Ok(());
+        }
+        let payload = match recv_frame(&mut stream)? {
+            Recv::Idle => continue,
+            Recv::Eof => return Ok(()),
+            Recv::Frame(p) => p,
+        };
+        let msg = match Msg::decode(&payload) {
+            Ok(m) => m,
+            Err(e) => {
+                let code = match e {
+                    wire::WireError::BadVersion(_) => code::BAD_VERSION,
+                    _ => code::MALFORMED,
+                };
+                write_msg(
+                    &mut stream,
+                    &Msg::Error {
+                        code,
+                        message: e.to_string(),
+                    },
+                )?;
+                if code == code::BAD_VERSION {
+                    return Ok(()); // no common language; hang up
+                }
+                continue;
+            }
+        };
+        match msg {
+            Msg::Hello {
+                computation,
+                num_processes,
+                max_cluster_size,
+            } => {
+                let reply = hello(shared, computation, num_processes, max_cluster_size);
+                match reply {
+                    Ok((comp, existing)) => {
+                        session = Some(comp);
+                        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                        write_msg(
+                            &mut stream,
+                            &Msg::HelloAck {
+                                session: id,
+                                existing,
+                            },
+                        )?;
+                    }
+                    Err(message) => write_msg(
+                        &mut stream,
+                        &Msg::Error {
+                            code: code::BAD_HELLO,
+                            message,
+                        },
+                    )?,
+                }
+            }
+            Msg::Events(events) => {
+                let Some(comp) = session.as_ref() else {
+                    write_msg(&mut stream, &no_session())?;
+                    continue;
+                };
+                // Validate process ids here, where we can still answer; the
+                // ingest path is fire-and-forget.
+                if let Some(bad) = events.iter().find(|e| e.process().0 >= comp.num_processes) {
+                    write_msg(
+                        &mut stream,
+                        &Msg::Error {
+                            code: code::MALFORMED,
+                            message: format!(
+                                "event {} names process {} outside 0..{}",
+                                bad.id,
+                                bad.process().0,
+                                comp.num_processes
+                            ),
+                        },
+                    )?;
+                    continue;
+                }
+                if comp.enqueue_events(events).is_err() {
+                    write_msg(
+                        &mut stream,
+                        &Msg::Error {
+                            code: code::SHUTTING_DOWN,
+                            message: "computation is shut down".into(),
+                        },
+                    )?;
+                }
+            }
+            Msg::Flush { expected_total } => {
+                let Some(comp) = session.as_ref() else {
+                    write_msg(&mut stream, &no_session())?;
+                    continue;
+                };
+                let reply = match comp.flush(expected_total, shared.config.flush_timeout) {
+                    Ok((epoch, delivered)) => Msg::FlushAck { epoch, delivered },
+                    Err(FlushError::Timeout { delivered }) => Msg::Error {
+                        code: code::FLUSH_TIMEOUT,
+                        message: format!(
+                            "flush target {expected_total} not reached (delivered {delivered})"
+                        ),
+                    },
+                    Err(FlushError::Closed) => Msg::Error {
+                        code: code::SHUTTING_DOWN,
+                        message: "computation is shut down".into(),
+                    },
+                };
+                write_msg(&mut stream, &reply)?;
+            }
+            Msg::QueryPrecedes { .. }
+            | Msg::QueryGreatestConcurrent { .. }
+            | Msg::QueryWindow { .. } => {
+                let Some(comp) = session.as_ref() else {
+                    write_msg(&mut stream, &no_session())?;
+                    continue;
+                };
+                let t0 = std::time::Instant::now();
+                let reply = answer_query(comp, &msg);
+                comp.metrics()
+                    .query_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+                comp.metrics()
+                    .queries_served
+                    .fetch_add(1, Ordering::Relaxed);
+                write_msg(&mut stream, &reply)?;
+            }
+            Msg::Stats => {
+                let Some(comp) = session.as_ref() else {
+                    write_msg(&mut stream, &no_session())?;
+                    continue;
+                };
+                write_msg(&mut stream, &Msg::StatsResult(comp.metrics().snapshot()))?;
+            }
+            Msg::Shutdown => {
+                write_msg(&mut stream, &Msg::ShutdownAck)?;
+                shared.request_shutdown();
+                return Ok(());
+            }
+            Msg::Goodbye => return Ok(()),
+            // Server-to-client messages arriving here are a protocol abuse.
+            _ => {
+                write_msg(
+                    &mut stream,
+                    &Msg::Error {
+                        code: code::MALFORMED,
+                        message: "server-side message sent by client".into(),
+                    },
+                )?;
+            }
+        }
+    }
+}
+
+fn no_session() -> Msg {
+    Msg::Error {
+        code: code::NO_SESSION,
+        message: "no session: send Hello first".into(),
+    }
+}
+
+fn hello(
+    shared: &DaemonShared,
+    name: String,
+    num_processes: u32,
+    max_cluster_size: u32,
+) -> Result<(Arc<Computation>, bool), String> {
+    if num_processes == 0 {
+        return Err("num_processes must be positive".into());
+    }
+    if max_cluster_size == 0 {
+        return Err("max_cluster_size must be positive".into());
+    }
+    let mut comps = lock(&shared.computations);
+    if let Some(existing) = comps.get(&name) {
+        if existing.num_processes != num_processes || existing.max_cluster_size != max_cluster_size
+        {
+            return Err(format!(
+                "computation {name:?} exists with {} processes / max cluster {}, \
+                 hello asked for {num_processes} / {max_cluster_size}",
+                existing.num_processes, existing.max_cluster_size
+            ));
+        }
+        return Ok((Arc::clone(existing), true));
+    }
+    let comp = Computation::spawn(ComputationConfig {
+        name: name.clone(),
+        num_processes,
+        max_cluster_size,
+        queue_capacity: shared.config.queue_capacity,
+        epoch_every: shared.config.epoch_every,
+    });
+    comps.insert(name, Arc::clone(&comp));
+    Ok((comp, false))
+}
+
+/// Answer a query against the computation's current published snapshot.
+fn answer_query(comp: &Computation, msg: &Msg) -> Msg {
+    let snap = comp.snapshot();
+    match *msg {
+        Msg::QueryPrecedes { e, f } => {
+            for id in [e, f] {
+                if !snap.trace.contains(id) {
+                    return unknown_event(id, snap.epoch);
+                }
+            }
+            Msg::PrecedesResult {
+                epoch: snap.epoch,
+                precedes: snap.cts.precedes(&snap.trace, e, f),
+            }
+        }
+        Msg::QueryGreatestConcurrent { e } => {
+            if !snap.trace.contains(e) {
+                return unknown_event(e, snap.epoch);
+            }
+            Msg::GcResult {
+                epoch: snap.epoch,
+                slots: greatest_concurrent(&mut ClusterBackend(&snap.cts), &snap.trace, e),
+            }
+        }
+        Msg::QueryWindow { process, from, to } => {
+            if process >= comp.num_processes {
+                return Msg::Error {
+                    code: code::MALFORMED,
+                    message: format!("process {process} outside 0..{}", comp.num_processes),
+                };
+            }
+            let ids = comp
+                .store()
+                .read()
+                .process_window(ProcessId(process), from, to)
+                .iter()
+                .map(|r| r.event.id)
+                .collect();
+            Msg::WindowResult { ids }
+        }
+        _ => unreachable!("answer_query only receives queries"),
+    }
+}
+
+fn unknown_event(id: cts_model::EventId, epoch: u64) -> Msg {
+    Msg::Error {
+        code: code::UNKNOWN_EVENT,
+        message: format!("{id} is not covered by snapshot epoch {epoch}"),
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,739 @@
+//! The `cts-daemon` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `[u32 LE payload length][payload]`, and every payload is
+//! `[version byte][message-type byte][body]`. All integers are little-endian;
+//! strings are `u16 LE` length + UTF-8 bytes; an [`EventId`] is `process u32
+//! + index u32`. The layout is documented normatively in DESIGN.md
+//! Appendix A.
+//!
+//! Version negotiation is a single byte: a peer that receives a frame with an
+//! unknown version answers [`Msg::Error`] with [`code::BAD_VERSION`] and may
+//! close. There is exactly one version today, [`VERSION`] = 1.
+
+use cts_model::{Event, EventId, EventIndex, EventKind, ProcessId};
+use std::io::{self, Read, Write};
+
+/// Protocol version carried as the first payload byte of every frame.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame's payload, to bound a malicious length prefix.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Error codes carried by [`Msg::Error`].
+pub mod code {
+    /// A queried event is not (yet) in the published snapshot.
+    pub const UNKNOWN_EVENT: u16 = 1;
+    /// Hello for an existing computation with different parameters.
+    pub const BAD_HELLO: u16 = 2;
+    /// A session-scoped message arrived before `Hello`.
+    pub const NO_SESSION: u16 = 3;
+    /// A `Flush` barrier timed out before its target was delivered.
+    pub const FLUSH_TIMEOUT: u16 = 4;
+    /// The payload could not be decoded.
+    pub const MALFORMED: u16 = 5;
+    /// The daemon is shutting down and no longer ingesting.
+    pub const SHUTTING_DOWN: u16 = 6;
+    /// Unsupported protocol version byte.
+    pub const BAD_VERSION: u16 = 7;
+}
+
+/// Aggregate counters a [`Msg::StatsResult`] reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Events accepted into the engine (after reordering, excl. duplicates).
+    pub events_ingested: u64,
+    /// Duplicate deliveries dropped by the reorder buffer.
+    pub duplicates_dropped: u64,
+    /// Events currently parked in the reorder buffer.
+    pub reorder_depth: u64,
+    /// High-water mark of the reorder buffer.
+    pub reorder_peak: u64,
+    /// Queries answered (precedence + greatest-concurrent + window).
+    pub queries_served: u64,
+    /// Snapshots (epochs) published.
+    pub snapshots_published: u64,
+    /// Ingest-path apply latency percentiles, nanoseconds.
+    pub ingest_p50_ns: u64,
+    pub ingest_p95_ns: u64,
+    /// Query service latency percentiles, nanoseconds.
+    pub query_p50_ns: u64,
+    pub query_p95_ns: u64,
+}
+
+/// A protocol message (either direction).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Msg {
+    // ---- client → server ----
+    /// Bind this session to a computation, creating it if needed.
+    Hello {
+        computation: String,
+        num_processes: u32,
+        max_cluster_size: u32,
+    },
+    /// A batch of observed events, in any order, duplicates allowed.
+    Events(Vec<Event>),
+    /// Barrier: block until `expected_total` events are delivered and a
+    /// snapshot covering them is published.
+    Flush {
+        expected_total: u64,
+    },
+    /// Does `e` happen before `f`?
+    QueryPrecedes {
+        e: EventId,
+        f: EventId,
+    },
+    /// Greatest event of every other process concurrent with `e`.
+    QueryGreatestConcurrent {
+        e: EventId,
+    },
+    /// Scroll a window of the partial-order store: process `p`, indices
+    /// `[from, to)`.
+    QueryWindow {
+        process: u32,
+        from: u32,
+        to: u32,
+    },
+    /// Request the computation's metrics counters.
+    Stats,
+    /// Ask the daemon to shut down gracefully.
+    Shutdown,
+    /// Close this session.
+    Goodbye,
+
+    // ---- server → client ----
+    HelloAck {
+        session: u64,
+        existing: bool,
+    },
+    FlushAck {
+        epoch: u64,
+        delivered: u64,
+    },
+    PrecedesResult {
+        epoch: u64,
+        precedes: bool,
+    },
+    GcResult {
+        epoch: u64,
+        slots: Vec<Option<EventId>>,
+    },
+    WindowResult {
+        ids: Vec<EventId>,
+    },
+    StatsResult(StatsSnapshot),
+    ShutdownAck,
+    Error {
+        code: u16,
+        message: String,
+    },
+}
+
+/// Message-type bytes. Client-originated types are `0x01..`, server replies
+/// `0x81..`, the error reply `0x7F`.
+mod tag {
+    pub const HELLO: u8 = 0x01;
+    pub const EVENTS: u8 = 0x02;
+    pub const FLUSH: u8 = 0x03;
+    pub const QUERY_PRECEDES: u8 = 0x04;
+    pub const QUERY_GC: u8 = 0x05;
+    pub const QUERY_WINDOW: u8 = 0x06;
+    pub const STATS: u8 = 0x07;
+    pub const SHUTDOWN: u8 = 0x08;
+    pub const GOODBYE: u8 = 0x09;
+    pub const HELLO_ACK: u8 = 0x81;
+    pub const FLUSH_ACK: u8 = 0x83;
+    pub const PRECEDES_RESULT: u8 = 0x84;
+    pub const GC_RESULT: u8 = 0x85;
+    pub const WINDOW_RESULT: u8 = 0x86;
+    pub const STATS_RESULT: u8 = 0x87;
+    pub const SHUTDOWN_ACK: u8 = 0x88;
+    pub const ERROR: u8 = 0x7F;
+}
+
+/// Decoding failure: the payload does not parse under [`VERSION`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Unknown version byte (the value received).
+    BadVersion(u8),
+    /// Unknown message-type byte.
+    BadTag(u8),
+    /// Body too short / trailing garbage / invalid field.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown message type 0x{t:02x}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---- primitive encoders ----
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_event_id(out: &mut Vec<u8>, id: EventId) {
+    put_u32(out, id.process.0);
+    put_u32(out, id.index.0);
+}
+
+fn put_event(out: &mut Vec<u8>, ev: &Event) {
+    put_event_id(out, ev.id);
+    match ev.kind {
+        EventKind::Internal => out.push(0),
+        EventKind::Send { to } => {
+            out.push(1);
+            put_u32(out, to.0);
+        }
+        EventKind::Receive { from } => {
+            out.push(2);
+            put_event_id(out, from);
+        }
+        EventKind::Sync { peer } => {
+            out.push(3);
+            put_event_id(out, peer);
+        }
+    }
+}
+
+// ---- primitive decoders (cursor style) ----
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Malformed("truncated body"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn event_id(&mut self) -> Result<EventId, WireError> {
+        let p = self.u32()?;
+        let i = self.u32()?;
+        if i == 0 {
+            return Err(WireError::Malformed("event index 0 (indices are 1-based)"));
+        }
+        Ok(EventId::new(ProcessId(p), EventIndex(i)))
+    }
+
+    fn event(&mut self) -> Result<Event, WireError> {
+        let id = self.event_id()?;
+        let kind = match self.u8()? {
+            0 => EventKind::Internal,
+            1 => EventKind::Send {
+                to: ProcessId(self.u32()?),
+            },
+            2 => EventKind::Receive {
+                from: self.event_id()?,
+            },
+            3 => EventKind::Sync {
+                peer: self.event_id()?,
+            },
+            _ => return Err(WireError::Malformed("unknown event kind")),
+        };
+        Ok(Event::new(id, kind))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+impl Msg {
+    /// Serialize into a payload (version + tag + body), without the frame
+    /// length prefix.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.push(VERSION);
+        match self {
+            Msg::Hello {
+                computation,
+                num_processes,
+                max_cluster_size,
+            } => {
+                out.push(tag::HELLO);
+                put_str(&mut out, computation);
+                put_u32(&mut out, *num_processes);
+                put_u32(&mut out, *max_cluster_size);
+            }
+            Msg::Events(events) => {
+                out.push(tag::EVENTS);
+                put_u32(&mut out, events.len() as u32);
+                for ev in events {
+                    put_event(&mut out, ev);
+                }
+            }
+            Msg::Flush { expected_total } => {
+                out.push(tag::FLUSH);
+                put_u64(&mut out, *expected_total);
+            }
+            Msg::QueryPrecedes { e, f } => {
+                out.push(tag::QUERY_PRECEDES);
+                put_event_id(&mut out, *e);
+                put_event_id(&mut out, *f);
+            }
+            Msg::QueryGreatestConcurrent { e } => {
+                out.push(tag::QUERY_GC);
+                put_event_id(&mut out, *e);
+            }
+            Msg::QueryWindow { process, from, to } => {
+                out.push(tag::QUERY_WINDOW);
+                put_u32(&mut out, *process);
+                put_u32(&mut out, *from);
+                put_u32(&mut out, *to);
+            }
+            Msg::Stats => out.push(tag::STATS),
+            Msg::Shutdown => out.push(tag::SHUTDOWN),
+            Msg::Goodbye => out.push(tag::GOODBYE),
+            Msg::HelloAck { session, existing } => {
+                out.push(tag::HELLO_ACK);
+                put_u64(&mut out, *session);
+                out.push(u8::from(*existing));
+            }
+            Msg::FlushAck { epoch, delivered } => {
+                out.push(tag::FLUSH_ACK);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *delivered);
+            }
+            Msg::PrecedesResult { epoch, precedes } => {
+                out.push(tag::PRECEDES_RESULT);
+                put_u64(&mut out, *epoch);
+                out.push(u8::from(*precedes));
+            }
+            Msg::GcResult { epoch, slots } => {
+                out.push(tag::GC_RESULT);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, slots.len() as u32);
+                for slot in slots {
+                    match slot {
+                        None => out.push(0),
+                        Some(id) => {
+                            out.push(1);
+                            put_event_id(&mut out, *id);
+                        }
+                    }
+                }
+            }
+            Msg::WindowResult { ids } => {
+                out.push(tag::WINDOW_RESULT);
+                put_u32(&mut out, ids.len() as u32);
+                for id in ids {
+                    put_event_id(&mut out, *id);
+                }
+            }
+            Msg::StatsResult(s) => {
+                out.push(tag::STATS_RESULT);
+                for v in [
+                    s.events_ingested,
+                    s.duplicates_dropped,
+                    s.reorder_depth,
+                    s.reorder_peak,
+                    s.queries_served,
+                    s.snapshots_published,
+                    s.ingest_p50_ns,
+                    s.ingest_p95_ns,
+                    s.query_p50_ns,
+                    s.query_p95_ns,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+            Msg::ShutdownAck => out.push(tag::SHUTDOWN_ACK),
+            Msg::Error { code, message } => {
+                out.push(tag::ERROR);
+                put_u16(&mut out, *code);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a payload (version + tag + body).
+    pub fn decode(payload: &[u8]) -> Result<Msg, WireError> {
+        let mut c = Cur {
+            buf: payload,
+            pos: 0,
+        };
+        let version = c.u8()?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let t = c.u8()?;
+        let msg = match t {
+            tag::HELLO => Msg::Hello {
+                computation: c.string()?,
+                num_processes: c.u32()?,
+                max_cluster_size: c.u32()?,
+            },
+            tag::EVENTS => {
+                let n = c.u32()? as usize;
+                // Each event is ≥ 9 bytes; reject counts the body can't hold.
+                if n > payload.len() / 9 + 1 {
+                    return Err(WireError::Malformed("event count exceeds body"));
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(c.event()?);
+                }
+                Msg::Events(events)
+            }
+            tag::FLUSH => Msg::Flush {
+                expected_total: c.u64()?,
+            },
+            tag::QUERY_PRECEDES => Msg::QueryPrecedes {
+                e: c.event_id()?,
+                f: c.event_id()?,
+            },
+            tag::QUERY_GC => Msg::QueryGreatestConcurrent { e: c.event_id()? },
+            tag::QUERY_WINDOW => Msg::QueryWindow {
+                process: c.u32()?,
+                from: c.u32()?,
+                to: c.u32()?,
+            },
+            tag::STATS => Msg::Stats,
+            tag::SHUTDOWN => Msg::Shutdown,
+            tag::GOODBYE => Msg::Goodbye,
+            tag::HELLO_ACK => Msg::HelloAck {
+                session: c.u64()?,
+                existing: c.u8()? != 0,
+            },
+            tag::FLUSH_ACK => Msg::FlushAck {
+                epoch: c.u64()?,
+                delivered: c.u64()?,
+            },
+            tag::PRECEDES_RESULT => Msg::PrecedesResult {
+                epoch: c.u64()?,
+                precedes: c.u8()? != 0,
+            },
+            tag::GC_RESULT => {
+                let epoch = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() {
+                    return Err(WireError::Malformed("slot count exceeds body"));
+                }
+                let mut slots = Vec::with_capacity(n);
+                for _ in 0..n {
+                    slots.push(match c.u8()? {
+                        0 => None,
+                        1 => Some(c.event_id()?),
+                        _ => return Err(WireError::Malformed("bad option flag")),
+                    });
+                }
+                Msg::GcResult { epoch, slots }
+            }
+            tag::WINDOW_RESULT => {
+                let n = c.u32()? as usize;
+                if n > payload.len() / 8 + 1 {
+                    return Err(WireError::Malformed("id count exceeds body"));
+                }
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(c.event_id()?);
+                }
+                Msg::WindowResult { ids }
+            }
+            tag::STATS_RESULT => Msg::StatsResult(StatsSnapshot {
+                events_ingested: c.u64()?,
+                duplicates_dropped: c.u64()?,
+                reorder_depth: c.u64()?,
+                reorder_peak: c.u64()?,
+                queries_served: c.u64()?,
+                snapshots_published: c.u64()?,
+                ingest_p50_ns: c.u64()?,
+                ingest_p95_ns: c.u64()?,
+                query_p50_ns: c.u64()?,
+                query_p95_ns: c.u64()?,
+            }),
+            tag::SHUTDOWN_ACK => Msg::ShutdownAck,
+            tag::ERROR => Msg::Error {
+                code: c.u16()?,
+                message: c.string()?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Write one message as a frame.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> io::Result<()> {
+    let payload = msg.encode();
+    debug_assert!(payload.len() as u32 <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+/// Outcome of one [`recv_frame`] attempt on a possibly-timeouted socket.
+pub enum Recv {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// Read timeout fired before the first byte of a frame — poll again.
+    Idle,
+}
+
+/// Read one frame. Tolerates read timeouts: a timeout before the frame's
+/// first byte yields [`Recv::Idle`]; mid-frame timeouts keep reading (the
+/// sender has committed to the frame). A close at a frame boundary is
+/// [`Recv::Eof`]; a close mid-frame is an error.
+pub fn recv_frame<R: Read>(r: &mut R) -> io::Result<Recv> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(Recv::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 {
+                    return Ok(Recv::Idle);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Recv::Frame(payload))
+}
+
+/// Blocking read of exactly one message (client side; no timeout tolerance
+/// needed because replies follow requests promptly).
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Msg>> {
+    match recv_frame(r)? {
+        Recv::Eof => Ok(None),
+        Recv::Idle => unreachable!("read_msg requires a blocking stream"),
+        Recv::Frame(payload) => Msg::decode(&payload)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(p: u32, i: u32) -> EventId {
+        EventId::new(ProcessId(p), EventIndex(i))
+    }
+
+    fn all_messages() -> Vec<Msg> {
+        vec![
+            Msg::Hello {
+                computation: "pvm/stencil".into(),
+                num_processes: 64,
+                max_cluster_size: 13,
+            },
+            Msg::Events(vec![
+                Event::new(id(0, 1), EventKind::Internal),
+                Event::new(id(0, 2), EventKind::Send { to: ProcessId(1) }),
+                Event::new(id(1, 1), EventKind::Receive { from: id(0, 2) }),
+                Event::new(id(1, 2), EventKind::Sync { peer: id(2, 1) }),
+            ]),
+            Msg::Flush {
+                expected_total: 338_320,
+            },
+            Msg::QueryPrecedes {
+                e: id(3, 7),
+                f: id(5, 2),
+            },
+            Msg::QueryGreatestConcurrent { e: id(9, 1) },
+            Msg::QueryWindow {
+                process: 4,
+                from: 10,
+                to: 20,
+            },
+            Msg::Stats,
+            Msg::Shutdown,
+            Msg::Goodbye,
+            Msg::HelloAck {
+                session: 42,
+                existing: true,
+            },
+            Msg::FlushAck {
+                epoch: 3,
+                delivered: 1000,
+            },
+            Msg::PrecedesResult {
+                epoch: 3,
+                precedes: true,
+            },
+            Msg::GcResult {
+                epoch: 7,
+                slots: vec![None, Some(id(1, 5)), Some(id(2, 1)), None],
+            },
+            Msg::WindowResult {
+                ids: vec![id(0, 1), id(0, 2)],
+            },
+            Msg::StatsResult(StatsSnapshot {
+                events_ingested: 1,
+                duplicates_dropped: 2,
+                reorder_depth: 3,
+                reorder_peak: 4,
+                queries_served: 5,
+                snapshots_published: 6,
+                ingest_p50_ns: 7,
+                ingest_p95_ns: 8,
+                query_p50_ns: 9,
+                query_p95_ns: 10,
+            }),
+            Msg::ShutdownAck,
+            Msg::Error {
+                code: code::UNKNOWN_EVENT,
+                message: "P9#99 not in snapshot".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in all_messages() {
+            let enc = msg.encode();
+            assert_eq!(enc[0], VERSION);
+            let dec = Msg::decode(&enc).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(dec, msg);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_stream() {
+        let mut buf = Vec::new();
+        for msg in all_messages() {
+            write_msg(&mut buf, &msg).unwrap();
+        }
+        let mut r = &buf[..];
+        for expect in all_messages() {
+            assert_eq!(read_msg(&mut r).unwrap(), Some(expect));
+        }
+        assert_eq!(read_msg(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn bad_version_and_tag_are_rejected() {
+        let mut enc = Msg::Stats.encode();
+        enc[0] = 99;
+        assert_eq!(Msg::decode(&enc), Err(WireError::BadVersion(99)));
+        let mut enc = Msg::Stats.encode();
+        enc[1] = 0x60;
+        assert_eq!(Msg::decode(&enc), Err(WireError::BadTag(0x60)));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let enc = Msg::Flush { expected_total: 7 }.encode();
+        assert!(matches!(
+            Msg::decode(&enc[..enc.len() - 1]),
+            Err(WireError::Malformed(_))
+        ));
+        let mut padded = enc;
+        padded.push(0);
+        assert!(matches!(Msg::decode(&padded), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn zero_event_index_is_rejected() {
+        let mut enc = Msg::QueryGreatestConcurrent { e: id(1, 1) }.encode();
+        // Overwrite the index field (last 4 bytes) with 0.
+        let n = enc.len();
+        enc[n - 4..].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(Msg::decode(&enc), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(recv_frame(&mut r).is_err());
+    }
+}

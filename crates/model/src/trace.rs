@@ -2,6 +2,20 @@
 
 use crate::event::{Event, EventId, EventIndex, EventKind, ProcessId};
 
+/// The event sequence handed to [`Trace::from_delivery_order`] violates the
+/// delivery-order invariants (per-process order, sends before receives, sync
+/// halves adjacent, process ids in range).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InvalidDeliveryOrder;
+
+impl std::fmt::Display for InvalidDeliveryOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event sequence is not a valid delivery order")
+    }
+}
+
+impl std::error::Error for InvalidDeliveryOrder {}
+
 /// An immutable parallel-computation trace.
 ///
 /// The global event sequence is a **delivery order**: a linearization of the
@@ -40,6 +54,26 @@ impl Trace {
             events,
             delivery_pos,
         }
+    }
+
+    /// Construct a trace from an event sequence observed in delivery order —
+    /// the entry point for consumers that *assemble* an order at run time (a
+    /// monitoring daemon's causal-delivery pipeline, a deserializer) rather
+    /// than building one with [`crate::TraceBuilder`].
+    ///
+    /// Validates the full delivery-order invariant set
+    /// ([`crate::linearize::is_valid_delivery_order`]): per-process sequence
+    /// order, receives after their sends, sync halves adjacent, process ids
+    /// in range.
+    pub fn from_delivery_order(
+        name: impl Into<String>,
+        num_processes: u32,
+        events: Vec<Event>,
+    ) -> Result<Trace, InvalidDeliveryOrder> {
+        if !crate::linearize::is_valid_delivery_order(num_processes, &events) {
+            return Err(InvalidDeliveryOrder);
+        }
+        Ok(Trace::from_parts(name.into(), num_processes, events))
     }
 
     /// Human-readable trace name (e.g. `"pvm/stencil2d-16x16"`).
@@ -262,6 +296,21 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn relabel_rejects_non_permutation() {
         small().relabel_processes(&[0, 0]);
+    }
+
+    #[test]
+    fn from_delivery_order_validates() {
+        let t = small();
+        let ok = Trace::from_delivery_order("re", t.num_processes(), t.events().to_vec()).unwrap();
+        assert_eq!(ok.num_events(), t.num_events());
+        assert_eq!(ok.name(), "re");
+        // A receive ahead of its send is rejected.
+        let mut bad = t.events().to_vec();
+        bad.swap(0, 2);
+        assert!(matches!(
+            Trace::from_delivery_order("bad", t.num_processes(), bad),
+            Err(InvalidDeliveryOrder)
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::btree::{key_of, BPlusTree};
 use crate::sync::RwLock;
 use cts_model::{Event, EventId, EventKind, ProcessId, Trace};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One stored event: the event itself, its transitive-reduction in-edges
@@ -155,13 +156,92 @@ impl EventStore {
     }
 }
 
+/// The second [`SharedStore::ingest_handle`] claim while a handle is alive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WriterAlreadyClaimed;
+
+impl std::fmt::Display for WriterAlreadyClaimed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the store's single ingest handle is already claimed")
+    }
+}
+
+impl std::error::Error for WriterAlreadyClaimed {}
+
+struct StoreShared {
+    lock: RwLock<EventStore>,
+    writer_claimed: AtomicBool,
+}
+
 /// A thread-shareable store: many query threads, one ingest thread — the
 /// deployment shape of a live monitoring entity.
-pub type SharedEventStore = Arc<RwLock<EventStore>>;
+///
+/// The shape is *enforced*, not just documented: all mutation goes through an
+/// [`IngestHandle`], and [`ingest_handle`](SharedStore::ingest_handle) hands
+/// out at most one live handle at a time. Query threads clone the
+/// `SharedStore` freely and take read guards.
+#[derive(Clone)]
+pub struct SharedStore {
+    inner: Arc<StoreShared>,
+}
 
-/// Wrap a store for sharing.
-pub fn into_shared(store: EventStore) -> SharedEventStore {
-    Arc::new(RwLock::new(store))
+impl SharedStore {
+    /// Wrap a store for sharing.
+    pub fn new(store: EventStore) -> SharedStore {
+        SharedStore {
+            inner: Arc::new(StoreShared {
+                lock: RwLock::new(store),
+                writer_claimed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Shared read access (any number of concurrent readers).
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, EventStore> {
+        self.inner.lock.read()
+    }
+
+    /// Claim the single ingest handle. Fails while another handle is alive;
+    /// dropping the handle releases the claim.
+    pub fn ingest_handle(&self) -> Result<IngestHandle, WriterAlreadyClaimed> {
+        if self.inner.writer_claimed.swap(true, Ordering::AcqRel) {
+            return Err(WriterAlreadyClaimed);
+        }
+        Ok(IngestHandle {
+            shared: Arc::clone(&self.inner),
+        })
+    }
+}
+
+/// The exclusive write capability of a [`SharedStore`]: at most one exists
+/// per store at any time, making "many query threads, one ingest thread" a
+/// compile-and-run-time property rather than a comment.
+pub struct IngestHandle {
+    shared: Arc<StoreShared>,
+}
+
+impl IngestHandle {
+    /// Insert the next event in delivery order (see [`EventStore::insert`]).
+    /// Takes the write lock only for the duration of the insert.
+    pub fn insert(&mut self, event: Event) -> Result<(), StoreError> {
+        self.shared.lock.write().insert(event)
+    }
+
+    /// Number of events currently stored.
+    pub fn len(&self) -> usize {
+        self.shared.lock.read().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for IngestHandle {
+    fn drop(&mut self) {
+        self.shared.writer_claimed.store(false, Ordering::Release);
+    }
 }
 
 #[cfg(test)]
@@ -247,10 +327,10 @@ mod tests {
     #[test]
     fn shared_store_concurrent_readers() {
         let t = sample_trace();
-        let shared = into_shared(EventStore::from_trace(&t));
+        let shared = SharedStore::new(EventStore::from_trace(&t));
         let mut handles = Vec::new();
         for _ in 0..4 {
-            let s = Arc::clone(&shared);
+            let s = shared.clone();
             handles.push(std::thread::spawn(move || {
                 let g = s.read();
                 assert!(g.get(id(0, 1)).is_some());
@@ -260,5 +340,29 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), t.num_events());
         }
+    }
+
+    #[test]
+    fn second_ingest_handle_is_refused_until_first_drops() {
+        let t = sample_trace();
+        let shared = SharedStore::new(EventStore::new(t.num_processes()));
+        let mut w = shared.ingest_handle().unwrap();
+        // The two-writer misuse: a second claimant — even via a clone of the
+        // shared store, even from another thread — is turned away.
+        assert_eq!(shared.ingest_handle().err(), Some(WriterAlreadyClaimed));
+        let clone = shared.clone();
+        let from_thread = std::thread::spawn(move || clone.ingest_handle().err())
+            .join()
+            .unwrap();
+        assert_eq!(from_thread, Some(WriterAlreadyClaimed));
+        // The sole writer works; readers are unrestricted alongside it.
+        for &ev in t.events() {
+            w.insert(ev).unwrap();
+        }
+        assert_eq!(w.len(), t.num_events());
+        assert_eq!(shared.read().len(), t.num_events());
+        // Dropping the handle releases the claim.
+        drop(w);
+        assert!(shared.ingest_handle().is_ok());
     }
 }

@@ -107,6 +107,13 @@ impl Bencher {
         &self.entries
     }
 
+    /// Append an externally measured entry (e.g. a load generator's
+    /// service-latency percentiles) so it appears in the same
+    /// `cts-bench/1` report as closed-loop benches.
+    pub fn record_entry(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
     /// The full report as a JSON document:
     /// `{"schema": "cts-bench/1", "benches": [{...}, ...]}`.
     pub fn to_json(&self) -> String {

@@ -1,0 +1,164 @@
+//! A lock-free latency histogram for live services.
+//!
+//! The [`bench`](crate::bench) harness measures closed-loop micro-benchmarks;
+//! a *server* needs the dual: many threads recording latencies concurrently
+//! while another thread reads percentiles, with no locking on the record
+//! path. [`AtomicHistogram`] uses power-of-two buckets (one per leading-bit
+//! position of the nanosecond value), so recording is one `fetch_add` and the
+//! whole structure is a fixed 64×8 bytes. Percentiles are approximate —
+//! bucket boundaries are exact powers of two and the reported value is the
+//! geometric midpoint of the winning bucket — which is plenty for p50/p95
+//! service-latency reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible leading-bit position of a `u64`.
+const BUCKETS: usize = 64;
+
+/// A fixed-size, log₂-bucketed histogram safe for concurrent recording.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of a value: 0 for 0 and 1, else the leading-bit position.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (63 - value.max(1).leading_zeros()) as usize
+    }
+
+    /// Record one sample (e.g. nanoseconds). Lock-free; any thread.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate `p`-th percentile (`0.0 ..= 100.0`): the geometric midpoint
+    /// of the bucket containing the `p`-th ranked sample. Returns 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target sample, 1-based, clamped into [1, total].
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                // Geometric-ish midpoint, avoiding overflow.
+                return lo / 2 + hi / 2;
+            }
+        }
+        unreachable!("rank is within total");
+    }
+
+    /// Convenience: `(p50, p95)` in one call.
+    pub fn p50_p95(&self) -> (u64, u64) {
+        (self.percentile(50.0), self.percentile(95.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = AtomicHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(AtomicHistogram::bucket_of(0), 0);
+        assert_eq!(AtomicHistogram::bucket_of(1), 0);
+        assert_eq!(AtomicHistogram::bucket_of(2), 1);
+        assert_eq!(AtomicHistogram::bucket_of(3), 1);
+        assert_eq!(AtomicHistogram::bucket_of(4), 2);
+        assert_eq!(AtomicHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn percentiles_are_order_of_magnitude_correct() {
+        let h = AtomicHistogram::new();
+        // 90 fast samples (~1 µs), 10 slow ones (~1 ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let (p50, p95) = h.p50_p95();
+        assert!((512..4096).contains(&p50), "p50 = {p50}");
+        assert!((524_288..2_097_152).contains(&p95), "p95 = {p95}");
+        assert_eq!(h.count(), 100);
+        let mean = h.mean();
+        assert!((100_000.0..200_000.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(AtomicHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i * (t + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert!(h.percentile(50.0) > 0);
+    }
+}

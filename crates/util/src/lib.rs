@@ -14,7 +14,11 @@
 //!   median/p95, JSON report) replacing the Criterion benches.
 //! - [`check`]: a seeded property-test case runner (shrink-free failure
 //!   reporting) replacing proptest.
+//! - [`hist`]: a lock-free log₂-bucketed latency histogram for live
+//!   services (the `cts-daemon` metrics path), where the closed-loop
+//!   [`bench`] harness does not fit.
 
 pub mod bench;
 pub mod check;
+pub mod hist;
 pub mod prng;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate the paper's figures and claims over the standard suite and
+# archive both output streams:
+#
+#   results/full_report.txt  — the report itself (tables, ASCII plots; stdout)
+#   results/full_report.log  — progress/status lines (stderr)
+#
+# The status stream is *not* an error log — `cts-experiments` prints progress
+# to stderr precisely so stdout stays a clean, diffable report. Name the
+# capture accordingly (.log, not .err).
+#
+# usage: scripts/run_experiments.sh [--quick] [experiment...]
+#        (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=("$@")
+if [[ ${#args[@]} -eq 0 || ( ${#args[@]} -eq 1 && ${args[0]} == "--quick" ) ]]; then
+  args+=(all)
+fi
+
+cargo build --release --offline -p cts-analysis
+target/release/cts-experiments "${args[@]}" \
+  > results/full_report.txt \
+  2> >(tee results/full_report.log >&2)
+
+echo "run_experiments.sh: report in results/full_report.txt," \
+     "status in results/full_report.log"

@@ -44,6 +44,7 @@
 pub use cts_analysis as analysis;
 pub use cts_baselines as baselines;
 pub use cts_core as core;
+pub use cts_daemon as daemon;
 pub use cts_model as model;
 pub use cts_store as store;
 pub use cts_workloads as workloads;

@@ -3,7 +3,7 @@
 //! instant — queries observe a valid partial order no matter when they land.
 
 use cluster_timestamps::prelude::*;
-use cts_store::event_store::{into_shared, EventStore};
+use cts_store::event_store::{EventStore, SharedStore};
 use cts_workloads::web::WebServer;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -18,12 +18,13 @@ fn readers_see_consistent_prefixes_during_ingest() {
     }
     .generate(17);
     let trace = Arc::new(trace);
-    let shared = into_shared(EventStore::new(trace.num_processes()));
+    let shared = SharedStore::new(EventStore::new(trace.num_processes()));
+    let mut ingest = shared.ingest_handle().unwrap();
     let done = Arc::new(AtomicBool::new(false));
 
     let mut readers = Vec::new();
     for r in 0..3 {
-        let shared = Arc::clone(&shared);
+        let shared = shared.clone();
         let done = Arc::clone(&done);
         let trace = Arc::clone(&trace);
         readers.push(std::thread::spawn(move || {
@@ -58,7 +59,7 @@ fn readers_see_consistent_prefixes_during_ingest() {
     }
 
     for &ev in trace.events() {
-        shared.write().insert(ev).unwrap();
+        ingest.insert(ev).unwrap();
     }
     done.store(true, Ordering::Release);
     let total_checks: usize = readers.into_iter().map(|h| h.join().unwrap()).sum();

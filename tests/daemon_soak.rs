@@ -1,0 +1,142 @@
+//! Differential soak: the daemon's online answers must be identical to the
+//! offline batch engine's, for the entire standard suite, under concurrent
+//! shuffled ingest.
+//!
+//! This is the strongest end-to-end statement the repo makes about the
+//! online path: all 54 computations stream through TCP loopback over ≥8
+//! concurrent connections, each computation split into slices that are
+//! window-shuffled and salted with duplicate deliveries; after a `Flush`
+//! barrier, sampled precedence queries, greatest-concurrent probes, and
+//! window scrolls are answered by the daemon and compared 1:1 with a local
+//! `ClusterEngine` run over the original in-order trace. By delivery-order
+//! invariance the required mismatch count is exactly zero.
+
+use cts_daemon::loadgen::{self, LoadConfig};
+use cts_daemon::server::{Daemon, DaemonConfig};
+use cts_daemon::Client;
+use cts_workloads::suite::{mini_suite, standard_suite};
+
+#[test]
+fn full_suite_soak_matches_offline_engine() {
+    let daemon = Daemon::start(DaemonConfig::default()).expect("bind loopback");
+    let suite = standard_suite();
+    let cfg = LoadConfig {
+        addr: daemon.local_addr(),
+        connections: 8,
+        seed: 2026,
+        precedence_queries: 120,
+        gc_probes: 2,
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(&suite, &cfg).expect("load run");
+    assert_eq!(report.computations, 54);
+    assert_eq!(
+        report.total_events,
+        suite
+            .iter()
+            .map(|e| e.trace.num_events() as u64)
+            .sum::<u64>()
+    );
+    assert!(report.duplicates_sent > 0, "soak must exercise duplicates");
+    assert!(report.precedence_checked >= 54 * 100);
+    assert!(report.gc_checked >= 54);
+    assert_eq!(
+        report.mismatches, 0,
+        "daemon answers diverged from the offline engine"
+    );
+
+    // Metrics surface the abuse the soak inflicted.
+    let mut client = Client::connect(daemon.local_addr()).expect("connect");
+    let entry = &suite[0];
+    client
+        .hello(
+            &entry.name,
+            entry.trace.num_processes(),
+            cfg.max_cluster_size,
+        )
+        .expect("hello");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.events_ingested, entry.trace.num_events() as u64);
+    assert!(stats.duplicates_dropped > 0);
+    assert!(stats.snapshots_published >= 1);
+    assert!(stats.queries_served > 0);
+    assert!(stats.ingest_p50_ns > 0);
+    assert!(stats.query_p50_ns > 0);
+    client.goodbye().expect("goodbye");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_survives_hostile_sessions() {
+    // Protocol-level edge cases: queries without a session, bad hellos,
+    // unknown events, mismatched re-hello, and a flush that must time out.
+    let daemon = Daemon::start(DaemonConfig {
+        flush_timeout: std::time::Duration::from_millis(300),
+        ..DaemonConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = daemon.local_addr();
+    let suite = mini_suite();
+    let entry = &suite[0];
+    let n = entry.trace.num_processes();
+
+    // Query without Hello → NO_SESSION error surfaces as an io error.
+    let mut c = Client::connect(addr).expect("connect");
+    let e0 = entry.trace.all_event_ids().next().unwrap();
+    assert!(c.precedes(e0, e0).is_err());
+
+    // Bad hello parameters are refused.
+    assert!(c.hello("bad", 0, 4).is_err());
+
+    // Proper session; partial stream; flush for more than was sent times
+    // out with FLUSH_TIMEOUT rather than hanging.
+    c.hello(&entry.name, n, 4).expect("hello");
+    let half = entry.trace.num_events() / 2;
+    c.stream_events(&entry.trace.events()[..half], 64)
+        .expect("stream");
+    assert!(c.flush(entry.trace.num_events() as u64).is_err());
+
+    // Flush for what *was* sent succeeds (prefix of a valid order is valid).
+    let (_, delivered) = c.flush(half as u64).expect("flush half");
+    assert_eq!(delivered, half as u64);
+
+    // Unknown event id in a query → UNKNOWN_EVENT error, session survives.
+    let bogus = cts_model::EventId::new(cts_model::ProcessId(0), cts_model::EventIndex(60_000));
+    assert!(c.precedes(e0, bogus).is_err());
+    assert!(c.precedes(e0, e0).is_ok());
+
+    // Re-hello with different parameters is refused; with the same
+    // parameters it reports the computation as existing.
+    assert!(c.hello(&entry.name, n + 1, 4).is_err());
+    let (_, existing) = c.hello(&entry.name, n, 4).expect("re-hello");
+    assert!(existing);
+
+    // A second concurrent connection joins the same computation and sees
+    // the same store.
+    let mut c2 = Client::connect(addr).expect("connect 2");
+    let (_, existing2) = c2.hello(&entry.name, n, 4).expect("hello 2");
+    assert!(existing2);
+    let w = c2.window(0, 1, 4).expect("window");
+    assert!(!w.is_empty());
+    c2.goodbye().expect("goodbye 2");
+    c.goodbye().expect("goodbye");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn wire_shutdown_round_trips() {
+    let daemon = Daemon::start(DaemonConfig::default()).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let mut c = Client::connect(addr).expect("connect");
+    c.shutdown_daemon().expect("shutdown ack");
+    daemon.wait_for_shutdown_request();
+    daemon.shutdown();
+    // The daemon is really gone: a fresh connect cannot complete a session.
+    let refused = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut c) => c.hello("post-shutdown", 2, 2).is_err(),
+    };
+    assert!(refused, "daemon still serving after shutdown");
+}

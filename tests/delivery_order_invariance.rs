@@ -53,6 +53,88 @@ fn cluster_precedence_is_exact_under_any_order() {
     }
 }
 
+/// Drive an arrival sequence through the daemon's reorder buffer and return
+/// the delivered order as a trace.
+fn reorder_to_trace(name: &str, num_processes: u32, arrivals: &[Event]) -> Trace {
+    let mut buf = cts_daemon::ReorderBuffer::new(num_processes);
+    let mut delivered = Vec::new();
+    for &ev in arrivals {
+        delivered.extend(buf.offer(ev).expect("only well-formed events offered"));
+    }
+    assert_eq!(buf.depth(), 0, "events stuck in the reorder buffer");
+    Trace::from_delivery_order(name, num_processes, delivered)
+        .expect("reorder buffer must emit a valid delivery order")
+}
+
+#[test]
+fn duplicate_deliveries_leave_stamps_unchanged() {
+    // Network-level retransmits: every event arrives twice (second copy
+    // immediately, worst case for dedup). The delivered order must be valid
+    // and the Fidge/Mattern stamps identical to in-order delivery.
+    for entry in mini_suite().into_iter().take(4) {
+        let t = &entry.trace;
+        let shuffled = relinearize(t, 31);
+        let mut arrivals = Vec::with_capacity(t.num_events() * 2);
+        for &ev in shuffled.events() {
+            arrivals.push(ev);
+            arrivals.push(ev);
+        }
+        let r = reorder_to_trace("dup", t.num_processes(), &arrivals);
+        assert_eq!(r.num_events(), t.num_events(), "{}", entry.name);
+        let fm = FmStore::compute(t);
+        let fm2 = FmStore::compute(&r);
+        for id in t.all_event_ids() {
+            assert_eq!(
+                fm.stamp(t, id),
+                fm2.stamp(&r, id),
+                "{}: duplicate delivery changed the stamp of {id}",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn drop_then_retransmit_converges_to_exact_precedence() {
+    // Lossy transport: every third event of the arrival sequence is dropped
+    // on first transmission and retransmitted at the end (in reverse, with
+    // one extra duplicate round). The buffer must hold the dependents and
+    // release them exactly once; cluster precedence stays exact.
+    for entry in mini_suite().into_iter().take(4) {
+        let t = &entry.trace;
+        let shuffled = relinearize(t, 57);
+        let mut first_pass = Vec::new();
+        let mut dropped = Vec::new();
+        for (i, &ev) in shuffled.events().iter().enumerate() {
+            if i % 3 == 2 {
+                dropped.push(ev);
+            } else {
+                first_pass.push(ev);
+            }
+        }
+        dropped.reverse();
+        let mut arrivals = first_pass;
+        arrivals.extend(&dropped);
+        arrivals.extend(&dropped); // retransmit storm: everything again
+        let r = reorder_to_trace("retx", t.num_processes(), &arrivals);
+        assert_eq!(r.num_events(), t.num_events(), "{}", entry.name);
+
+        let oracle = Oracle::compute(t);
+        let cts = ClusterEngine::run(&r, MergeOnFirst::new(4));
+        let ids: Vec<EventId> = t.all_event_ids().step_by(3).collect();
+        for &e in &ids {
+            for &f in &ids {
+                assert_eq!(
+                    cts.precedes(&r, e, f),
+                    oracle.happened_before(t, e, f),
+                    "{}: {e} -> {f} after drop/retransmit",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn oracle_node_counts_stable_under_reordering() {
     for entry in mini_suite().into_iter().take(4) {
