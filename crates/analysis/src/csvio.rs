@@ -38,30 +38,6 @@ impl Csv {
         self.rows.is_empty()
     }
 
-    /// Serialize with minimal quoting (fields containing commas or quotes are
-    /// quoted and quotes doubled).
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        let write_row = |out: &mut String, cells: &[String]| {
-            for (i, c) in cells.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                if c.contains(',') || c.contains('"') || c.contains('\n') {
-                    let _ = write!(out, "\"{}\"", c.replace('"', "\"\""));
-                } else {
-                    out.push_str(c);
-                }
-            }
-            out.push('\n');
-        };
-        write_row(&mut out, &self.header);
-        for r in &self.rows {
-            write_row(&mut out, r);
-        }
-        out
-    }
-
     /// Write to a file, creating parent directories.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
@@ -69,6 +45,31 @@ impl Csv {
             std::fs::create_dir_all(dir)?;
         }
         std::fs::write(path, self.to_string())
+    }
+}
+
+/// Serialize with minimal quoting (fields containing commas or quotes are
+/// quoted and quotes doubled).
+impl std::fmt::Display for Csv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    write!(f, "\"{}\"", c.replace('"', "\"\""))?;
+                } else {
+                    f.write_str(c)?;
+                }
+            }
+            f.write_char('\n')
+        };
+        write_row(f, &self.header)?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        Ok(())
     }
 }
 

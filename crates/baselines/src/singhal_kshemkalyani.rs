@@ -49,7 +49,8 @@ impl DiffStore {
         for (pos, &ev) in trace.events().iter().enumerate() {
             let stamp = engine.accept(ev);
             let p = ev.process().idx();
-            let is_checkpoint = per_process[p].len() % checkpoint_every == 0 || last[p].is_none();
+            let is_checkpoint =
+                per_process[p].len().is_multiple_of(checkpoint_every) || last[p].is_none();
             per_process[p].push(pos as u32);
             if is_checkpoint {
                 records.push(Record::Checkpoint(stamp.as_slice().into()));

@@ -282,6 +282,64 @@ fn bench_daemon(r: &mut Runner) {
     });
 }
 
+fn bench_wal(r: &mut Runner) {
+    use cts_daemon::wal::{scan_segment, WalWriter};
+    use std::time::Duration;
+
+    let trace = clustered_trace(200, 8);
+    let g = "wal";
+    let batches: Vec<&[cts_model::Event]> = trace.events().chunks(512).collect();
+
+    // Codec + CRC cost alone: an in-memory sink keeps the device out of
+    // the loop.
+    r.run(g, "append_mem_512", || {
+        let mut w = WalWriter::from_sink(Vec::new(), 0, Duration::ZERO).unwrap();
+        for b in &batches {
+            w.append(b).unwrap();
+        }
+        w.bytes_written()
+    });
+
+    // Group commit against a real file: fsync every batch (window 0) vs
+    // amortized syncs under widening windows — the durability/throughput
+    // trade the daemon's `--sync-window-ms` flag exposes.
+    let dir = std::env::temp_dir().join("cts-bench-wal");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, window) in [
+        ("fsync_per_batch", Duration::ZERO),
+        ("window_1ms", Duration::from_millis(1)),
+        ("window_10ms", Duration::from_millis(10)),
+    ] {
+        let path = dir.join(format!("{name}.wal"));
+        r.run(g, name, || {
+            let _ = std::fs::remove_file(&path);
+            let file = std::fs::File::create(&path).unwrap();
+            let mut w = WalWriter::from_sink(file, 0, window).unwrap();
+            for b in &batches {
+                w.append(b).unwrap();
+                w.maybe_sync().unwrap();
+            }
+            w.sync().unwrap();
+            w.syncs()
+        });
+    }
+
+    // The recovery scan over a full synced segment (startup cost).
+    let path = dir.join("scan.wal");
+    {
+        let _ = std::fs::remove_file(&path);
+        let file = std::fs::File::create(&path).unwrap();
+        let mut w = WalWriter::from_sink(file, 0, Duration::ZERO).unwrap();
+        for b in &batches {
+            w.append(b).unwrap();
+        }
+        w.sync().unwrap();
+    }
+    r.run(g, "scan_segment", || {
+        scan_segment(&path).unwrap().num_events()
+    });
+}
+
 fn main() {
     let mut quick = false;
     let mut filter: Option<String> = None;
@@ -316,6 +374,7 @@ fn main() {
     bench_figure_sweeps(&mut r);
     bench_store_queries(&mut r);
     bench_daemon(&mut r);
+    bench_wal(&mut r);
     if r.bencher.entries().is_empty() {
         eprintln!("no benches matched the filter");
         std::process::exit(1);

@@ -269,7 +269,7 @@ impl MigratingEngine {
                 let aff = self.affinity[p.idx()].entry(their_slot).or_insert(0);
                 *aff += 1;
                 let should_migrate = *aff >= self.migrate_after
-                    && self.clusters.size_of_slot(their_slot) + 1 <= self.max_cluster_size
+                    && self.clusters.size_of_slot(their_slot) < self.max_cluster_size
                     && self.clusters.size_of_slot(my_slot) > 1;
                 self.num_cluster_receives += 1;
                 self.record_full(p, ev.index().0, fm_stamp);

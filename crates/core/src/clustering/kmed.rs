@@ -50,7 +50,7 @@ pub fn kmedoid(m: &CommMatrix, k: usize, max_iters: usize) -> Clustering {
         // Assignment step: each process to its nearest medoid (ties toward
         // the lowest medoid id, which is what produces the lopsided clusters
         // the paper observed on weakly-connected processes).
-        for p in 0..n {
+        for (p, slot) in assign.iter_mut().enumerate() {
             let mut best = f64::INFINITY;
             let mut best_m = 0u32;
             for (mi, &med) in medoids.iter().enumerate() {
@@ -60,11 +60,11 @@ pub fn kmedoid(m: &CommMatrix, k: usize, max_iters: usize) -> Clustering {
                     best_m = mi as u32;
                 }
             }
-            assign[p] = best_m;
+            *slot = best_m;
         }
         // Update step: medoid = member minimizing intra-cluster distance sum.
         let mut changed = false;
-        for mi in 0..medoids.len() {
+        for (mi, med) in medoids.iter_mut().enumerate() {
             let members: Vec<u32> = (0..n as u32)
                 .filter(|&p| assign[p as usize] == mi as u32)
                 .collect();
@@ -72,7 +72,7 @@ pub fn kmedoid(m: &CommMatrix, k: usize, max_iters: usize) -> Clustering {
                 continue;
             }
             let mut best_cost = f64::INFINITY;
-            let mut best_p = medoids[mi];
+            let mut best_p = *med;
             for &cand in &members {
                 let cost: f64 = members
                     .iter()
@@ -83,8 +83,8 @@ pub fn kmedoid(m: &CommMatrix, k: usize, max_iters: usize) -> Clustering {
                     best_p = cand;
                 }
             }
-            if best_p != medoids[mi] {
-                medoids[mi] = best_p;
+            if best_p != *med {
+                *med = best_p;
                 changed = true;
             }
         }

@@ -215,8 +215,8 @@ impl HierarchicalTimestamps {
                     let proj = stamp.project(nesting.cluster_members(level, c));
                     // This event can serve as a gateway out of any level
                     // below `level`.
-                    for k in 0..level {
-                        gateways[k][p.idx()].push(Gateway {
+                    for per_proc in gateways.iter_mut().take(level) {
+                        per_proc[p.idx()].push(Gateway {
                             index: ev.index().0,
                             pos,
                         });
@@ -230,8 +230,8 @@ impl HierarchicalTimestamps {
                     // Top-level cluster receive: full stamp, gateway for all
                     // levels.
                     receives_by_level[num_levels] += 1;
-                    for k in 0..num_levels {
-                        gateways[k][p.idx()].push(Gateway {
+                    for per_proc in gateways.iter_mut().take(num_levels) {
+                        per_proc[p.idx()].push(Gateway {
                             index: ev.index().0,
                             pos,
                         });
@@ -280,11 +280,11 @@ impl HierarchicalTimestamps {
         if e.process == f.process {
             return e.index < f.index;
         }
-        self.knows(trace, trace.delivery_pos(f), f.process, e)
+        self.knows(trace.delivery_pos(f), f.process, e)
     }
 
     /// Does the stamp at `pos` (owned by `owner`) dominate event `e`?
-    fn knows(&self, trace: &Trace, pos: usize, owner: ProcessId, e: EventId) -> bool {
+    fn knows(&self, pos: usize, owner: ProcessId, e: EventId) -> bool {
         match &self.stamps[pos] {
             HStamp::Full { clock } => clock.get(e.process) >= e.index.0,
             HStamp::Projected { level, clock } => {
@@ -307,7 +307,7 @@ impl HierarchicalTimestamps {
                         continue;
                     }
                     let gw = list[j - 1];
-                    if self.knows(trace, gw.pos as usize, q, e) {
+                    if self.knows(gw.pos as usize, q, e) {
                         return true;
                     }
                 }

@@ -6,6 +6,8 @@
 //! cts-loadgen [--addr HOST:PORT] [--connections 8] [--seed 1]
 //!             [--max-cluster-size 8] [--quick | --smoke]
 //!             [--json PATH] [--shutdown]
+//!             [--data-dir PATH] [--checkpoint-every N]
+//!             [--kill-after N [--restart]]
 //! ```
 //!
 //! Without `--addr`, an in-process daemon is started on an ephemeral
@@ -18,6 +20,13 @@
 //! computation with a handful of queries (the CI liveness check). The
 //! default replays the full 54-computation standard suite. Exit status is
 //! non-zero on any differential mismatch.
+//!
+//! `--data-dir` makes the in-process daemon durable (write-ahead log +
+//! checkpoints under PATH). `--kill-after N` switches to the crash-replay
+//! scenario: stream ~N events, crash-stop the daemon (no final sync or
+//! checkpoint), and — with `--restart` — start a fresh daemon on the same
+//! data directory, wait for recovery, re-stream the full suite, and run
+//! the standard differential checks, which must report zero mismatches.
 
 use cts_daemon::loadgen::{self, LoadConfig};
 use cts_daemon::server::{Daemon, DaemonConfig};
@@ -29,7 +38,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: cts-loadgen [--addr HOST:PORT] [--connections N] [--seed N]\n\
          \x20                  [--max-cluster-size N] [--quick | --smoke]\n\
-         \x20                  [--json PATH] [--shutdown]"
+         \x20                  [--json PATH] [--shutdown]\n\
+         \x20                  [--data-dir PATH] [--checkpoint-every N]\n\
+         \x20                  [--kill-after N [--restart]]"
     );
     std::process::exit(2);
 }
@@ -40,6 +51,10 @@ fn main() {
     let mut quick = false;
     let mut smoke = false;
     let mut send_shutdown = false;
+    let mut data_dir: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut kill_after: Option<u64> = None;
+    let mut restart = false;
     let mut cfg = LoadConfig::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +75,12 @@ fn main() {
             "--smoke" => smoke = true,
             "--json" => json = Some(value(&mut i)),
             "--shutdown" => send_shutdown = true,
+            "--data-dir" => data_dir = Some(value(&mut i)),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--kill-after" => kill_after = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--restart" => restart = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -91,9 +112,54 @@ fn main() {
         cfg.connections
     );
 
+    let mut daemon_cfg = DaemonConfig::default();
+    if let Some(dir) = &data_dir {
+        daemon_cfg.data_dir = Some(dir.into());
+    }
+    if let Some(n) = checkpoint_every {
+        daemon_cfg.checkpoint_every = n;
+    }
+
+    // Crash-replay scenario: partial stream → crash-stop → restart →
+    // recover → re-stream → differential check.
+    if let Some(n) = kill_after {
+        if addr.is_some() {
+            eprintln!("cts-loadgen: --kill-after runs an in-process daemon; drop --addr");
+            std::process::exit(2);
+        }
+        if data_dir.is_none() {
+            eprintln!("cts-loadgen: --kill-after requires --data-dir");
+            std::process::exit(2);
+        }
+        match loadgen::run_crash_replay(&suite, &cfg, daemon_cfg, n, restart) {
+            Ok(None) => {
+                eprintln!(
+                    "[cts-loadgen] crash-stopped without --restart; data dir left \
+                     for inspection"
+                );
+            }
+            Ok(Some(report)) => {
+                println!("{}", report.render());
+                if report.mismatches > 0 {
+                    eprintln!(
+                        "cts-loadgen: {} differential mismatches after crash recovery",
+                        report.mismatches
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("[cts-loadgen] crash replay clean: 0 mismatches after recovery");
+            }
+            Err(e) => {
+                eprintln!("cts-loadgen: crash replay failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     // Aim at an external daemon, or run one in-process.
     let own_daemon = if addr.is_none() {
-        let daemon = match Daemon::start(DaemonConfig::default()) {
+        let daemon = match Daemon::start(daemon_cfg) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("cts-loadgen: cannot start in-process daemon: {e}");

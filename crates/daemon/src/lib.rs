@@ -22,7 +22,12 @@
 //!   `Stats` wire message;
 //! - [`loadgen`]: replays the standard workload suite as concurrent client
 //!   streams and differentially checks every answer against the offline
-//!   batch engine.
+//!   batch engine;
+//! - [`wal`] + [`checkpoint`]: the durability subsystem — a CRC-protected,
+//!   group-committed write-ahead log of the post-reorder delivery order,
+//!   periodic checkpoints of the delivered prefix, and a recovery scan that
+//!   truncates torn tails and replays through the normal pipeline. Because
+//!   state is a pure function of delivery order, recovery is replay.
 //!
 //! Correctness rests on the delivery-order-invariance property established
 //! by the core crates: any valid delivery order yields exact precedence, so
@@ -30,12 +35,14 @@
 //! how the network interleaves the streams. `tests/daemon_soak.rs` asserts
 //! exactly that over the full 54-computation suite.
 
+pub mod checkpoint;
 pub mod client;
 pub mod loadgen;
 pub mod metrics;
 pub mod pipeline;
 pub mod reorder;
 pub mod server;
+pub mod wal;
 pub mod wire;
 
 pub use client::Client;

@@ -391,6 +391,90 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
     })
 }
 
+/// Crash-replay scenario: stream a deterministic prefix of the suite into
+/// a durable in-process daemon, **crash-stop** it (workers exit without the
+/// final WAL sync/checkpoint; queued batches are discarded), restart a
+/// fresh daemon on the same data directory, wait for recovery, then
+/// re-stream the *full* suite and run the standard differential checks.
+///
+/// Re-streaming is safe because the reorder buffer deduplicates: every
+/// event the recovered daemon already holds is dropped on arrival, exactly
+/// what a real client re-transmitting after a server crash relies on. The
+/// returned report's `mismatches` must be zero — recovery that loses,
+/// duplicates, or reorders state shows up as a differential failure.
+///
+/// `kill_after_events` is distributed proportionally across slices, so the
+/// bytes *sent* are deterministic; what survives the crash is not (that is
+/// the point), but any surviving prefix must recover consistently.
+pub fn run_crash_replay(
+    suite: &[SuiteEntry],
+    cfg: &LoadConfig,
+    daemon_cfg: crate::server::DaemonConfig,
+    kill_after_events: u64,
+    restart: bool,
+) -> io::Result<Option<LoadReport>> {
+    assert!(
+        daemon_cfg.data_dir.is_some(),
+        "crash replay requires a durable daemon (data_dir)"
+    );
+    let total_events: u64 = suite.iter().map(|e| e.trace.num_events() as u64).sum();
+
+    // ---- phase 1: partial stream, then crash-stop ----
+    let d1 = crate::server::Daemon::start(daemon_cfg.clone())?;
+    let addr1 = d1.local_addr();
+    let mut ingest_jobs: Vec<(usize, usize)> = Vec::new();
+    for c in 0..suite.len() {
+        for s in 0..cfg.slices_per_comp.max(1) {
+            ingest_jobs.push((c, s));
+        }
+    }
+    run_pool(cfg.connections, ingest_jobs, addr1, |client, (c, s)| {
+        let entry = &suite[c];
+        client.hello(
+            &entry.name,
+            entry.trace.num_processes(),
+            cfg.max_cluster_size,
+        )?;
+        let (events, _) = build_slice(entry.trace.events(), s, cfg, c);
+        // This slice's share of the global kill budget.
+        let quota = (events.len() as u64)
+            .saturating_mul(kill_after_events)
+            .checked_div(total_events)
+            .unwrap_or(0) as usize;
+        client.stream_events(&events[..quota.min(events.len())], cfg.batch)
+    })?;
+    eprintln!(
+        "[cts-loadgen] crash-stopping the daemon after ~{kill_after_events} of \
+         {total_events} events"
+    );
+    d1.kill();
+    if !restart {
+        return Ok(None);
+    }
+
+    // ---- phase 2: restart on the same data dir, recover, re-stream ----
+    let d2 = crate::server::Daemon::start(daemon_cfg)?;
+    let t0 = Instant::now();
+    while d2.is_recovering() {
+        if t0.elapsed() > std::time::Duration::from_secs(120) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "daemon recovery did not finish within 120 s",
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    eprintln!(
+        "[cts-loadgen] daemon recovered in {:.3} s; re-streaming the full suite",
+        t0.elapsed().as_secs_f64()
+    );
+    let mut cfg2 = cfg.clone();
+    cfg2.addr = d2.local_addr();
+    let report = run(suite, &cfg2)?;
+    d2.shutdown();
+    Ok(Some(report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

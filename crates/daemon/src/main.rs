@@ -4,12 +4,18 @@
 //! ```text
 //! cts-daemon [--host 127.0.0.1] [--port 4650] [--port-file PATH]
 //!            [--queue-capacity 64] [--epoch-every 4096]
+//!            [--data-dir PATH] [--sync-window-ms 5] [--checkpoint-every N]
 //! ```
 //!
 //! `--port 0` binds an ephemeral port; `--port-file` writes the resolved
 //! port as decimal text once listening (how scripts/check.sh finds the
 //! daemon it just launched). Status goes to stderr; stdout carries only the
 //! `listening on ...` line for interactive use.
+//!
+//! `--data-dir` turns on durability: delivered events are write-ahead
+//! logged and checkpointed under PATH, and a restarted daemon recovers its
+//! computations from there before serving (clients see `RECOVERING` in the
+//! meantime). Without it the daemon is fully in-memory.
 
 use cts_daemon::server::{Daemon, DaemonConfig};
 use std::time::Duration;
@@ -17,7 +23,9 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: cts-daemon [--host HOST] [--port PORT] [--port-file PATH]\n\
-         \x20                 [--queue-capacity N] [--epoch-every N]"
+         \x20                 [--queue-capacity N] [--epoch-every N]\n\
+         \x20                 [--data-dir PATH] [--sync-window-ms N]\n\
+         \x20                 [--checkpoint-every N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +56,14 @@ fn main() {
             "--flush-timeout-secs" => {
                 config.flush_timeout =
                     Duration::from_secs(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--data-dir" => config.data_dir = Some(value(&mut i).into()),
+            "--sync-window-ms" => {
+                config.sync_window =
+                    Duration::from_millis(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             other => {

@@ -18,17 +18,41 @@
 //! a known event count is live, which is what makes answers deterministic
 //! enough to differentially test against the offline batch engine.
 
+use crate::checkpoint::{self, CompMeta, RecoveryReport};
 use crate::metrics::Metrics;
 use crate::reorder::ReorderBuffer;
+use crate::wal::{self, WalWriter};
 use cts_core::cluster::ClusterTimestamps;
 use cts_core::strategy::MergeOnFirst;
 use cts_core::ClusterEngine;
 use cts_model::{Event, Trace};
 use cts_store::{EventStore, SharedStore};
-use std::sync::atomic::Ordering;
+use cts_util::failpoint::{DurableSink, FailpointFs};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Durability tunables for one computation (see [`crate::wal`] and
+/// [`crate::checkpoint`]).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// This computation's data directory (`meta`, checkpoints, WAL
+    /// segments live here).
+    pub dir: PathBuf,
+    /// Group-commit window: the WAL fsyncs at most once per window on the
+    /// ingest path (`Duration::ZERO` = fsync every batch). `Flush` barriers
+    /// and checkpoints always sync regardless of the window.
+    pub sync_window: Duration,
+    /// Write a checkpoint (and rotate the WAL) every this many delivered
+    /// events; `0` disables checkpointing (WAL-only durability).
+    pub checkpoint_every: u64,
+    /// Test failpoint: simulate a crash (torn write, then hard errors)
+    /// after this many WAL bytes. `None` in production.
+    pub wal_byte_budget: Option<u64>,
+}
 
 /// Parameters of one monitored computation.
 #[derive(Clone, Debug)]
@@ -41,6 +65,10 @@ pub struct ComputationConfig {
     /// Publish a snapshot every this many delivered events (also on flush
     /// and on worker exit).
     pub epoch_every: u64,
+    /// `Some` makes the computation durable: delivered events are
+    /// write-ahead logged and checkpointed, and
+    /// [`Computation::spawn_durable`] recovers state from disk.
+    pub durability: Option<DurabilityConfig>,
 }
 
 /// An immutable published epoch: the delivered prefix as a valid
@@ -91,6 +119,9 @@ struct CompShared {
     cond: Condvar,
     metrics: Metrics,
     store: SharedStore,
+    /// Raised by [`Computation::kill`]: the worker exits at the next
+    /// command without the graceful final sync/checkpoint/publish.
+    killed: AtomicBool,
 }
 
 /// One monitored computation: ingest worker + published snapshot + store.
@@ -104,8 +135,44 @@ pub struct Computation {
 }
 
 impl Computation {
-    /// Spawn the ingest worker for a new computation.
+    /// Spawn the ingest worker for a new computation. Any
+    /// [`ComputationConfig::durability`] is honored for *logging*, but
+    /// nothing is recovered — use [`spawn_durable`](Self::spawn_durable) to
+    /// restore state from disk first.
     pub fn spawn(config: ComputationConfig) -> Arc<Computation> {
+        Self::spawn_inner(config, Vec::new())
+    }
+
+    /// Recover a durable computation from its data directory (newest valid
+    /// checkpoint + contiguous WAL tail, torn tails truncated), replay the
+    /// recovered delivery order through the normal pipeline, and only then
+    /// return. Requires `config.durability`.
+    pub fn spawn_durable(
+        config: ComputationConfig,
+    ) -> io::Result<(Arc<Computation>, RecoveryReport)> {
+        let dur = config
+            .durability
+            .clone()
+            .expect("spawn_durable requires a DurabilityConfig");
+        let meta = CompMeta {
+            name: config.name.clone(),
+            num_processes: config.num_processes,
+            max_cluster_size: config.max_cluster_size,
+        };
+        checkpoint::ensure_meta(&dur.dir, &meta)?;
+        let (replay, report) = checkpoint::recover_dir(&dur.dir)?;
+        let replayed = replay.len() as u64;
+        let comp = Self::spawn_inner(config, replay);
+        // Block until the worker has applied the whole recovered prefix, so
+        // callers observe fully recovered state.
+        if replayed > 0 {
+            comp.flush(replayed, Duration::from_secs(600))
+                .map_err(|e| io::Error::other(format!("recovery replay stalled: {e:?}")))?;
+        }
+        Ok((comp, report))
+    }
+
+    fn spawn_inner(config: ComputationConfig, replay: Vec<Event>) -> Arc<Computation> {
         let (tx, rx) = sync_channel(config.queue_capacity.max(1));
         let empty = Snapshot {
             epoch: 0,
@@ -128,6 +195,7 @@ impl Computation {
             cond: Condvar::new(),
             metrics: Metrics::new(),
             store: SharedStore::new(EventStore::new(config.num_processes)),
+            killed: AtomicBool::new(false),
         });
         let worker_shared = Arc::clone(&shared);
         let name = config.name.clone();
@@ -135,7 +203,7 @@ impl Computation {
         let max_cluster_size = config.max_cluster_size;
         let handle = std::thread::Builder::new()
             .name(format!("ingest-{name}"))
-            .spawn(move || worker_loop(&worker_shared, rx, config))
+            .spawn(move || worker_loop(&worker_shared, rx, config, replay))
             .expect("spawn ingest worker");
         Arc::new(Computation {
             name,
@@ -223,6 +291,19 @@ impl Computation {
             let _ = h.join();
         }
     }
+
+    /// Crash-stop for recovery testing: the worker exits at the next
+    /// command boundary *without* the graceful final WAL sync, checkpoint,
+    /// or snapshot — queued batches are discarded. On-disk state is left
+    /// exactly as the group-commit discipline last wrote it, which is what
+    /// restart-and-recover tests must cope with. Idempotent.
+    pub fn kill(&self) {
+        self.shared.killed.store(true, Ordering::Release);
+        drop(lock(&self.sender).take());
+        if let Some(h) = lock(&self.worker).take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Drop for Computation {
@@ -233,8 +314,30 @@ impl Drop for Computation {
     }
 }
 
-/// The ingest worker: reorder → engine → store, publishing epochs.
-fn worker_loop(shared: &CompShared, rx: Receiver<IngestCmd>, config: ComputationConfig) {
+/// Open a fresh WAL segment at `start`. A leftover segment with the same
+/// start offset has already been fully consumed by the recovery scan (or is
+/// empty), so it is replaced.
+fn open_segment(
+    dur: &DurabilityConfig,
+    start: u64,
+    fault_budget: &mut Option<u64>,
+) -> io::Result<WalWriter<Box<dyn DurableSink + Send>>> {
+    let path = dur.dir.join(wal::segment_name(start));
+    let _ = std::fs::remove_file(&path);
+    let sink: Box<dyn DurableSink + Send> = match *fault_budget {
+        Some(budget) => Box::new(FailpointFs::create(&path, budget)?),
+        None => Box::new(std::fs::File::create(&path)?),
+    };
+    WalWriter::from_sink(sink, start, dur.sync_window)
+}
+
+/// The ingest worker: reorder → engine → WAL → store, publishing epochs.
+fn worker_loop(
+    shared: &CompShared,
+    rx: Receiver<IngestCmd>,
+    config: ComputationConfig,
+    replay: Vec<Event>,
+) {
     let n = config.num_processes;
     let mut buf = ReorderBuffer::new(n);
     let mut engine = ClusterEngine::new(n, MergeOnFirst::new(config.max_cluster_size as usize));
@@ -274,9 +377,69 @@ fn worker_loop(shared: &CompShared, rx: Receiver<IngestCmd>, config: Computation
         shared.cond.notify_all();
     };
 
+    // Replay the recovered prefix through the same path live events take —
+    // recovery *is* replay. Nothing here is WAL-appended: it is already on
+    // disk (that's where it came from).
+    if !replay.is_empty() {
+        for ev in replay {
+            match buf.offer(ev) {
+                Ok(delivered) => {
+                    for d in delivered {
+                        engine.accept(d);
+                        let _ = ingest.insert(d);
+                        log.push(d);
+                    }
+                }
+                Err(reason) => {
+                    eprintln!(
+                        "[cts-daemon] {}: recovered event {} refused: {reason}",
+                        config.name, ev.id
+                    );
+                }
+            }
+        }
+        shared
+            .metrics
+            .events_ingested
+            .store(buf.delivered_total(), Ordering::Relaxed);
+        {
+            let mut g = lock(&shared.progress);
+            g.delivered = buf.delivered_total();
+        }
+        publish(&engine, &log, &mut last_published);
+    }
+
+    // Durability state: an open segment continuing from the recovered
+    // frontier. A WAL that cannot be opened or written degrades the
+    // computation to in-memory (loudly) rather than stopping ingest.
+    let meta = config.durability.as_ref().map(|_| CompMeta {
+        name: config.name.clone(),
+        num_processes: n,
+        max_cluster_size: config.max_cluster_size,
+    });
+    let mut fault_budget = config.durability.as_ref().and_then(|d| d.wal_byte_budget);
+    let mut last_checkpoint = log.len() as u64;
+    let mut wal = config.durability.as_ref().and_then(|dur| {
+        match open_segment(dur, log.len() as u64, &mut fault_budget) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!(
+                    "[cts-daemon] {}: cannot open WAL segment, running in-memory: {e}",
+                    config.name
+                );
+                None
+            }
+        }
+    });
+    let mut fresh: Vec<Event> = Vec::new();
+
     for cmd in rx.iter() {
+        if shared.killed.load(Ordering::Acquire) {
+            return; // crash-stop: no final sync, checkpoint, or publish
+        }
         match cmd {
             IngestCmd::Events(batch) => {
+                fresh.clear();
                 for ev in batch {
                     let t0 = Instant::now();
                     match buf.offer(ev) {
@@ -293,6 +456,7 @@ fn worker_loop(shared: &CompShared, rx: Receiver<IngestCmd>, config: Computation
                                     );
                                 }
                                 log.push(d);
+                                fresh.push(d);
                             }
                         }
                         Err(reason) => {
@@ -306,6 +470,20 @@ fn worker_loop(shared: &CompShared, rx: Receiver<IngestCmd>, config: Computation
                         .metrics
                         .ingest_ns
                         .record(t0.elapsed().as_nanos() as u64);
+                }
+                // Write-ahead log the newly delivered suffix (group commit:
+                // fsync only once the window has elapsed).
+                if !fresh.is_empty() {
+                    if let Some(w) = wal.as_mut() {
+                        let r = w.append(&fresh).and_then(|()| w.maybe_sync().map(|_| ()));
+                        if let Err(e) = r {
+                            eprintln!(
+                                "[cts-daemon] {}: WAL write failed, durability degraded: {e}",
+                                config.name
+                            );
+                            wal = None;
+                        }
+                    }
                 }
                 shared
                     .metrics
@@ -332,12 +510,87 @@ fn worker_loop(shared: &CompShared, rx: Receiver<IngestCmd>, config: Computation
                 if since >= config.epoch_every {
                     publish(&engine, &log, &mut last_published);
                 }
+                // Checkpoint cadence: once the WAL is synced, persist the
+                // delivered prefix and rotate to a fresh segment (the old
+                // one, now fully covered, is retired by write_checkpoint).
+                if let (Some(dur), Some(m)) = (&config.durability, &meta) {
+                    let delivered = log.len() as u64;
+                    if wal.is_some()
+                        && dur.checkpoint_every > 0
+                        && delivered - last_checkpoint >= dur.checkpoint_every
+                    {
+                        match wal.as_mut().expect("checked above").sync() {
+                            Ok(()) => match checkpoint::write_checkpoint(&dur.dir, m, &log) {
+                                Ok(()) => {
+                                    last_checkpoint = delivered;
+                                    let old = wal.take().expect("checked above");
+                                    if let Some(b) = fault_budget.as_mut() {
+                                        *b = b.saturating_sub(old.bytes_written());
+                                    }
+                                    drop(old);
+                                    match open_segment(dur, delivered, &mut fault_budget) {
+                                        Ok(w) => wal = Some(w),
+                                        Err(e) => eprintln!(
+                                            "[cts-daemon] {}: WAL rotation failed, \
+                                             durability degraded: {e}",
+                                            config.name
+                                        ),
+                                    }
+                                }
+                                Err(e) => eprintln!(
+                                    "[cts-daemon] {}: checkpoint failed: {e}",
+                                    config.name
+                                ),
+                            },
+                            Err(e) => {
+                                eprintln!(
+                                    "[cts-daemon] {}: WAL sync failed, durability \
+                                     degraded: {e}",
+                                    config.name
+                                );
+                                wal = None;
+                            }
+                        }
+                    }
+                }
             }
-            IngestCmd::Publish => publish(&engine, &log, &mut last_published),
+            IngestCmd::Publish => {
+                // A flush barrier is also the durability barrier: everything
+                // delivered reaches stable storage before the barrier lifts.
+                if let Some(w) = wal.as_mut() {
+                    if let Err(e) = w.sync() {
+                        eprintln!(
+                            "[cts-daemon] {}: WAL sync failed, durability degraded: {e}",
+                            config.name
+                        );
+                        wal = None;
+                    }
+                }
+                publish(&engine, &log, &mut last_published)
+            }
         }
     }
-    // All senders gone: final snapshot so late readers see everything.
+    if shared.killed.load(Ordering::Acquire) {
+        return; // crash-stop requested while the queue was already empty
+    }
+    // All senders gone: final snapshot so late readers see everything, and
+    // a durable final state (synced WAL + checkpoint) so the next start
+    // recovers instantly.
     publish(&engine, &log, &mut last_published);
+    if let Some(w) = wal.as_mut() {
+        if let Err(e) = w.sync() {
+            eprintln!("[cts-daemon] {}: final WAL sync failed: {e}", config.name);
+            wal = None;
+        }
+    }
+    if let (Some(dur), Some(m)) = (&config.durability, &meta) {
+        let delivered = log.len() as u64;
+        if wal.is_some() && dur.checkpoint_every > 0 && delivered > last_checkpoint {
+            if let Err(e) = checkpoint::write_checkpoint(&dur.dir, m, &log) {
+                eprintln!("[cts-daemon] {}: final checkpoint failed: {e}", config.name);
+            }
+        }
+    }
 }
 
 /// Poison-tolerant mutex lock (a panicked ingest worker must not wedge
@@ -361,6 +614,7 @@ mod tests {
             max_cluster_size: 4,
             queue_capacity: 8,
             epoch_every: 64,
+            durability: None,
         }
     }
 

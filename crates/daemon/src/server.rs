@@ -17,13 +17,15 @@
 //! every computation down (drop the master sender → the worker drains its
 //! queue, publishes a final snapshot, and exits).
 
-use crate::pipeline::{Computation, ComputationConfig, FlushError};
+use crate::checkpoint;
+use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushError};
 use crate::wire::{self, code, recv_frame, write_msg, Msg, Recv};
 use cts_model::ProcessId;
 use cts_store::queries::{greatest_concurrent, ClusterBackend};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -42,6 +44,18 @@ pub struct DaemonConfig {
     pub poll_interval: Duration,
     /// How long a `Flush` barrier may wait before reporting a stall.
     pub flush_timeout: Duration,
+    /// Root data directory for durable computations (one subdirectory
+    /// each). `None` = fully in-memory, the pre-durability behavior. On
+    /// start, every subdirectory with a valid `meta` file is recovered in
+    /// the background; the daemon answers `RECOVERING` until that is done.
+    pub data_dir: Option<PathBuf>,
+    /// WAL group-commit window (see [`DurabilityConfig::sync_window`]).
+    pub sync_window: Duration,
+    /// Checkpoint cadence in delivered events, `0` = WAL only (see
+    /// [`DurabilityConfig::checkpoint_every`]).
+    pub checkpoint_every: u64,
+    /// Test failpoint (see [`DurabilityConfig::wal_byte_budget`]).
+    pub wal_byte_budget: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -52,6 +66,10 @@ impl Default for DaemonConfig {
             epoch_every: 4096,
             poll_interval: Duration::from_millis(50),
             flush_timeout: Duration::from_secs(60),
+            data_dir: None,
+            sync_window: Duration::from_millis(5),
+            checkpoint_every: 100_000,
+            wal_byte_budget: None,
         }
     }
 }
@@ -65,6 +83,9 @@ struct DaemonShared {
     computations: Mutex<HashMap<String, Arc<Computation>>>,
     conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
     next_session: AtomicU64,
+    /// True while startup recovery replays on-disk state; every request
+    /// except `Shutdown`/`Goodbye` is refused with `RECOVERING` until then.
+    recovering: AtomicBool,
 }
 
 /// A running daemon. Dropping it without [`shutdown`](Daemon::shutdown)
@@ -73,13 +94,30 @@ struct DaemonShared {
 pub struct Daemon {
     shared: Arc<DaemonShared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    recovery_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Bind and start serving.
+    /// Bind and start serving. With a [`DaemonConfig::data_dir`], on-disk
+    /// computations are recovered in the background; queries answer
+    /// `RECOVERING` until [`is_recovering`](Self::is_recovering) is false.
     pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
+
+        // Find computation directories to recover before serving.
+        let mut recover_dirs: Vec<PathBuf> = Vec::new();
+        if let Some(root) = &config.data_dir {
+            std::fs::create_dir_all(root)?;
+            for entry in std::fs::read_dir(root)? {
+                let path = entry?.path();
+                if path.is_dir() && path.join("meta").is_file() {
+                    recover_dirs.push(path);
+                }
+            }
+            recover_dirs.sort();
+        }
+
         let shared = Arc::new(DaemonShared {
             config,
             addr,
@@ -89,7 +127,19 @@ impl Daemon {
             computations: Mutex::new(HashMap::new()),
             conns: Mutex::new(Vec::new()),
             next_session: AtomicU64::new(1),
+            recovering: AtomicBool::new(!recover_dirs.is_empty()),
         });
+        let recovery_thread = if recover_dirs.is_empty() {
+            None
+        } else {
+            let rec_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("cts-daemon-recovery".into())
+                    .spawn(move || recover_all(&rec_shared, recover_dirs))
+                    .expect("spawn recovery thread"),
+            )
+        };
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("cts-daemon-accept".into())
@@ -98,7 +148,13 @@ impl Daemon {
         Ok(Daemon {
             shared,
             accept_thread: Some(accept_thread),
+            recovery_thread,
         })
+    }
+
+    /// Is startup recovery still replaying on-disk state?
+    pub fn is_recovering(&self) -> bool {
+        self.shared.recovering.load(Ordering::Acquire)
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -126,10 +182,14 @@ impl Daemon {
     }
 
     /// Graceful shutdown: stop accepting, drain connections, finish every
-    /// computation's queue, join all threads.
+    /// computation's queue, join all threads. Durable computations sync
+    /// their WAL and write a final checkpoint on the way out.
     pub fn shutdown(mut self) {
         self.shared.request_shutdown();
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.recovery_thread.take() {
             let _ = h.join();
         }
         let conns: Vec<_> = lock(&self.shared.conns).drain(..).collect();
@@ -139,6 +199,28 @@ impl Daemon {
         let comps: Vec<_> = lock(&self.shared.computations).drain().collect();
         for (_, comp) in comps {
             comp.shutdown();
+        }
+    }
+
+    /// Crash-stop for recovery testing: like [`shutdown`](Self::shutdown)
+    /// but every ingest worker exits *without* the final WAL sync,
+    /// checkpoint, or snapshot, and queued batches are discarded. On-disk
+    /// state is whatever the group-commit discipline last made durable.
+    pub fn kill(mut self) {
+        self.shared.request_shutdown();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.recovery_thread.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = lock(&self.shared.conns).drain(..).collect();
+        for h in conns {
+            let _ = h.join();
+        }
+        let comps: Vec<_> = lock(&self.shared.computations).drain().collect();
+        for (_, comp) in comps {
+            comp.kill();
         }
     }
 }
@@ -219,6 +301,20 @@ fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<
                 continue;
             }
         };
+        // Until recovery has replayed on-disk state, sessions would observe
+        // a daemon that silently forgot events — refuse instead (clients
+        // retry). Shutdown and Goodbye stay valid.
+        if shared.recovering.load(Ordering::Acquire) && !matches!(msg, Msg::Shutdown | Msg::Goodbye)
+        {
+            write_msg(
+                &mut stream,
+                &Msg::Error {
+                    code: code::RECOVERING,
+                    message: "daemon is recovering; retry shortly".into(),
+                },
+            )?;
+            continue;
+        }
         match msg {
             Msg::Hello {
                 computation,
@@ -350,6 +446,99 @@ fn no_session() -> Msg {
     }
 }
 
+/// Directory name for a computation: every byte outside `[a-zA-Z0-9_-]` is
+/// percent-encoded (injective, so distinct names never collide, and names
+/// like `pvm/stencil` or `..` cannot escape the data root). The `meta` file
+/// holds the authoritative name.
+fn comp_dir_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02x}")),
+        }
+    }
+    out
+}
+
+/// Build the spawn config for a computation, durable iff the daemon has a
+/// data directory.
+fn computation_config(
+    shared: &DaemonShared,
+    name: &str,
+    num_processes: u32,
+    max_cluster_size: u32,
+) -> ComputationConfig {
+    let durability = shared
+        .config
+        .data_dir
+        .as_ref()
+        .map(|root| DurabilityConfig {
+            dir: root.join(comp_dir_name(name)),
+            sync_window: shared.config.sync_window,
+            checkpoint_every: shared.config.checkpoint_every,
+            wal_byte_budget: shared.config.wal_byte_budget,
+        });
+    ComputationConfig {
+        name: name.to_string(),
+        num_processes,
+        max_cluster_size,
+        queue_capacity: shared.config.queue_capacity,
+        epoch_every: shared.config.epoch_every,
+        durability,
+    }
+}
+
+/// Startup recovery: bring every on-disk computation back, then open the
+/// gate. Runs on its own thread so the listener is up (and answering
+/// `RECOVERING`) while potentially large WALs replay.
+fn recover_all(shared: &Arc<DaemonShared>, dirs: Vec<PathBuf>) {
+    for dir in dirs {
+        if shared.shutting_down() {
+            break;
+        }
+        match recover_one(shared, &dir) {
+            Ok((name, report)) => eprintln!(
+                "[cts-daemon] recovered {name:?}: {} events \
+                 ({} from checkpoint, {} from WAL across {} segment(s)){}",
+                report.total_events(),
+                report.checkpoint_events,
+                report.wal_events,
+                report.segments_scanned,
+                match &report.torn_tail {
+                    Some(t) => format!("; truncated torn tail [{t}]"),
+                    None => String::new(),
+                },
+            ),
+            Err(e) => eprintln!("[cts-daemon] recovery of {} failed: {e}", dir.display()),
+        }
+    }
+    shared.recovering.store(false, Ordering::Release);
+}
+
+fn recover_one(
+    shared: &Arc<DaemonShared>,
+    dir: &std::path::Path,
+) -> io::Result<(String, crate::checkpoint::RecoveryReport)> {
+    let meta = checkpoint::load_meta(dir)?;
+    let mut config = computation_config(
+        shared,
+        &meta.name,
+        meta.num_processes,
+        meta.max_cluster_size,
+    );
+    // Trust the scanned directory over the derived name (a rename must not
+    // orphan state).
+    config
+        .durability
+        .as_mut()
+        .expect("recovery only runs with a data_dir")
+        .dir = dir.to_path_buf();
+    let (comp, report) = Computation::spawn_durable(config)?;
+    lock(&shared.computations).insert(meta.name.clone(), comp);
+    Ok((meta.name, report))
+}
+
 fn hello(
     shared: &DaemonShared,
     name: String,
@@ -374,13 +563,27 @@ fn hello(
         }
         return Ok((Arc::clone(existing), true));
     }
-    let comp = Computation::spawn(ComputationConfig {
-        name: name.clone(),
-        num_processes,
-        max_cluster_size,
-        queue_capacity: shared.config.queue_capacity,
-        epoch_every: shared.config.epoch_every,
-    });
+    let config = computation_config(shared, &name, num_processes, max_cluster_size);
+    let comp = if config.durability.is_some() {
+        // The directory may hold state from a run that predates this
+        // process (e.g. it was added while the daemon was down): recover
+        // it rather than shadowing it. A parameter mismatch against the
+        // on-disk meta is a BAD_HELLO, same as against a live computation.
+        match Computation::spawn_durable(config) {
+            Ok((comp, report)) => {
+                if report.total_events() > 0 {
+                    eprintln!(
+                        "[cts-daemon] {name:?}: restored {} events from disk on hello",
+                        report.total_events()
+                    );
+                }
+                comp
+            }
+            Err(e) => return Err(format!("cannot open durable computation {name:?}: {e}")),
+        }
+    } else {
+        Computation::spawn(config)
+    };
     comps.insert(name, Arc::clone(&comp));
     Ok((comp, false))
 }

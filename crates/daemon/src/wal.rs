@@ -1,0 +1,492 @@
+//! The per-computation write-ahead log: length-prefixed, CRC-protected
+//! records of *delivered* events, fsync-batched under a group-commit window.
+//!
+//! The WAL sits after causal-delivery reordering: each record holds a batch
+//! of events in valid delivery order, stamped with the global delivery
+//! offset of its first event. Replaying segments in order therefore feeds
+//! the normal ingest pipeline a prefix of a valid delivery order — the
+//! replay-clock recovery primitive: state is never serialized, it is
+//! recomputed from the recorded event stream.
+//!
+//! ## On-disk layout
+//!
+//! A segment file `wal-<start>.wal` (where `<start>` is the 16-hex-digit
+//! count of events durable before the segment) is:
+//!
+//! ```text
+//! [8]  magic "CTSWAL1\n"
+//! [8]  u64 LE start offset (must match the file name)
+//! [4]  u32 LE CRC-32 of the 16 header bytes
+//! record*
+//! ```
+//!
+//! and each record is:
+//!
+//! ```text
+//! [4]  u32 LE payload length
+//! [4]  u32 LE CRC-32 of the payload
+//! [n]  payload = [u64 LE first_offset][u32 count][event...]   (wire codec)
+//! ```
+//!
+//! A crash can tear at most the tail of the newest segment; a reader stops
+//! at the first record whose length or CRC does not check out and reports
+//! the byte offset of the valid prefix, which recovery physically truncates
+//! before appending again.
+//!
+//! ## Group commit
+//!
+//! `fsync` per record would gate ingest throughput on device flush latency.
+//! [`WalWriter`] instead marks itself dirty on append and syncs when
+//! [`WalWriter::maybe_sync`] observes the configured window elapsed — plus
+//! unconditionally on flush barriers, checkpoints, and graceful shutdown.
+//! The window bounds the crash-loss tail; clients re-transmitting after a
+//! restart close it (the reorder buffer deduplicates replayed deliveries).
+
+use crate::wire::{self, WireError};
+use cts_model::Event;
+use cts_util::crc32::crc32;
+use cts_util::failpoint::DurableSink;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Segment header magic.
+pub const MAGIC: &[u8; 8] = b"CTSWAL1\n";
+
+/// Header length: magic + start offset + header CRC.
+pub const HEADER_LEN: u64 = 8 + 8 + 4;
+
+/// Name of the segment whose first record continues from `start` durable
+/// events.
+pub fn segment_name(start: u64) -> String {
+    format!("wal-{start:016x}.wal")
+}
+
+/// Parse a segment file name back to its start offset.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".wal")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// An appender over one segment. Generic over the sink so tests can inject
+/// faults ([`cts_util::failpoint::FailpointFs`]) and benches can measure the
+/// codec against a memory sink.
+pub struct WalWriter<S: DurableSink = File> {
+    sink: S,
+    /// Global delivery offset of the last event appended (== the segment
+    /// start until the first append).
+    end_offset: u64,
+    window: Duration,
+    dirty: bool,
+    last_sync: Instant,
+    bytes_written: u64,
+    syncs: u64,
+}
+
+impl WalWriter<File> {
+    /// Create the segment `dir/wal-<start>.wal` (failing if it exists) and
+    /// write its header. The header is not yet synced; the first
+    /// [`sync`](Self::sync) covers it.
+    pub fn create(dir: &Path, start: u64, window: Duration) -> io::Result<WalWriter<File>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(dir.join(segment_name(start)))?;
+        WalWriter::from_sink(file, start, window)
+    }
+}
+
+impl<S: DurableSink> WalWriter<S> {
+    /// Wrap an empty sink, writing the segment header.
+    pub fn from_sink(mut sink: S, start: u64, window: Duration) -> io::Result<WalWriter<S>> {
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&start.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        sink.write_all(&header)?;
+        Ok(WalWriter {
+            sink,
+            end_offset: start,
+            window,
+            dirty: true,
+            last_sync: Instant::now(),
+            bytes_written: HEADER_LEN,
+            syncs: 0,
+        })
+    }
+
+    /// Append one record of delivered events (must be non-empty and
+    /// contiguous with the previous append). Does not sync.
+    pub fn append(&mut self, events: &[Event]) -> io::Result<()> {
+        debug_assert!(!events.is_empty(), "empty WAL records are pointless");
+        let mut payload = Vec::with_capacity(8 + 4 + events.len() * 13);
+        payload.extend_from_slice(&(self.end_offset + 1).to_le_bytes());
+        wire::encode_event_block(&mut payload, events);
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.sink.write_all(&rec)?;
+        self.end_offset += events.len() as u64;
+        self.bytes_written += rec.len() as u64;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Sync if dirty and the group-commit window has elapsed. Returns
+    /// whether a sync happened.
+    pub fn maybe_sync(&mut self) -> io::Result<bool> {
+        if !self.dirty || self.last_sync.elapsed() < self.window {
+            return Ok(false);
+        }
+        self.sync()?;
+        Ok(true)
+    }
+
+    /// Unconditional durability barrier (no-op when clean).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.sink.flush()?;
+            self.sink.sync_data()?;
+            self.dirty = false;
+            self.syncs += 1;
+        }
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Global delivery offset of the last appended event.
+    pub fn end_offset(&self) -> u64 {
+        self.end_offset
+    }
+
+    /// Total bytes written to this segment (header included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Durability barriers issued so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Clone, Debug)]
+pub struct WalRecord {
+    /// Global delivery offset of the first event in the record (1-based).
+    pub first_offset: u64,
+    pub events: Vec<Event>,
+}
+
+/// Why a segment scan stopped before end-of-file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TornTail {
+    /// The header itself is short or corrupt; the whole file is unusable.
+    BadHeader,
+    /// A record's length prefix or body was cut short by a crash.
+    ShortRecord,
+    /// A record's CRC does not match its payload (torn or bit-flipped).
+    BadCrc,
+    /// A record decoded under CRC but not under the wire codec, or its
+    /// offsets are not contiguous — corruption the CRC happened to pass or
+    /// a writer bug; treated as a torn tail all the same.
+    BadPayload,
+}
+
+impl std::fmt::Display for TornTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TornTail::BadHeader => write!(f, "corrupt segment header"),
+            TornTail::ShortRecord => write!(f, "record cut short"),
+            TornTail::BadCrc => write!(f, "record CRC mismatch"),
+            TornTail::BadPayload => write!(f, "record payload undecodable"),
+        }
+    }
+}
+
+/// Result of scanning one segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    pub path: PathBuf,
+    /// Start offset from the (validated) header.
+    pub start_offset: u64,
+    /// Records of the valid prefix, in order, contiguous from
+    /// `start_offset + 1`.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (truncation point when torn).
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did.
+    pub torn: Option<TornTail>,
+}
+
+impl SegmentScan {
+    /// Delivery offset one past the last valid event (== `start_offset`
+    /// when the segment holds no valid records).
+    pub fn end_offset(&self) -> u64 {
+        self.records
+            .last()
+            .map(|r| r.first_offset + r.events.len() as u64 - 1)
+            .unwrap_or(self.start_offset)
+    }
+
+    /// Total valid events.
+    pub fn num_events(&self) -> usize {
+        self.records.iter().map(|r| r.events.len()).sum()
+    }
+}
+
+/// Upper bound on one record's payload, mirroring the wire's frame cap: a
+/// corrupt length prefix must not trigger a huge allocation.
+const MAX_RECORD: u32 = wire::MAX_FRAME;
+
+/// Scan a segment, stopping at the first torn or corrupt record. Never
+/// fails on corruption — that is reported in [`SegmentScan::torn`] — only on
+/// real I/O errors.
+pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let mut scan = SegmentScan {
+        path: path.to_path_buf(),
+        start_offset: 0,
+        records: Vec::new(),
+        valid_len: 0,
+        torn: None,
+    };
+    if buf.len() < HEADER_LEN as usize
+        || &buf[..8] != MAGIC
+        || crc32(&buf[..16]) != u32::from_le_bytes(buf[16..20].try_into().unwrap())
+    {
+        scan.torn = Some(TornTail::BadHeader);
+        return Ok(scan);
+    }
+    scan.start_offset = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    scan.valid_len = HEADER_LEN;
+    let mut pos = HEADER_LEN as usize;
+    let mut expect_offset = scan.start_offset + 1;
+    while pos < buf.len() {
+        if pos + 8 > buf.len() {
+            scan.torn = Some(TornTail::ShortRecord);
+            return Ok(scan);
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD || pos + 8 + len as usize > buf.len() {
+            scan.torn = Some(TornTail::ShortRecord);
+            return Ok(scan);
+        }
+        let payload = &buf[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            scan.torn = Some(TornTail::BadCrc);
+            return Ok(scan);
+        }
+        let record = match decode_record(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                scan.torn = Some(TornTail::BadPayload);
+                return Ok(scan);
+            }
+        };
+        if record.first_offset != expect_offset || record.events.is_empty() {
+            scan.torn = Some(TornTail::BadPayload);
+            return Ok(scan);
+        }
+        expect_offset += record.events.len() as u64;
+        pos += 8 + len as usize;
+        scan.valid_len = pos as u64;
+        scan.records.push(record);
+    }
+    Ok(scan)
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, WireError> {
+    if payload.len() < 8 {
+        return Err(WireError::Malformed("record payload too short"));
+    }
+    let first_offset = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let events = wire::decode_event_block(&payload[8..])?;
+    Ok(WalRecord {
+        first_offset,
+        events,
+    })
+}
+
+/// Physically truncate a torn segment to its valid prefix and sync it.
+pub fn truncate_segment(path: &Path, valid_len: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid_len)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+/// All WAL segments in `dir`, sorted by start offset.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(start) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segments.push((start, entry.path()));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_util::failpoint::FailpointFs;
+    use cts_workloads::{spmd::Stencil1D, Workload};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cts-wal-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_events() -> Vec<Event> {
+        Stencil1D { procs: 6, iters: 4 }
+            .generate(11)
+            .events()
+            .to_vec()
+    }
+
+    #[test]
+    fn roundtrip_batches_through_a_segment() {
+        let dir = tmpdir("roundtrip");
+        let events = sample_events();
+        let mut w = WalWriter::create(&dir, 0, Duration::from_millis(0)).unwrap();
+        for chunk in events.chunks(17) {
+            w.append(chunk).unwrap();
+            w.maybe_sync().unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.end_offset(), events.len() as u64);
+        assert!(w.syncs() >= 1);
+
+        let scan = scan_segment(&dir.join(segment_name(0))).unwrap();
+        assert_eq!(scan.torn, None);
+        assert_eq!(scan.start_offset, 0);
+        assert_eq!(scan.num_events(), events.len());
+        assert_eq!(scan.end_offset(), events.len() as u64);
+        let replayed: Vec<Event> = scan
+            .records
+            .iter()
+            .flat_map(|r| r.events.iter().copied())
+            .collect();
+        assert_eq!(replayed, events);
+    }
+
+    #[test]
+    fn nonzero_start_offset_is_contiguous() {
+        let dir = tmpdir("offsets");
+        let events = sample_events();
+        let mut w = WalWriter::create(&dir, 100, Duration::from_millis(5)).unwrap();
+        w.append(&events[..10]).unwrap();
+        w.append(&events[10..25]).unwrap();
+        w.sync().unwrap();
+        let scan = scan_segment(&dir.join(segment_name(100))).unwrap();
+        assert_eq!(scan.torn, None);
+        assert_eq!(scan.records[0].first_offset, 101);
+        assert_eq!(scan.records[1].first_offset, 111);
+        assert_eq!(scan.end_offset(), 125);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncatable() {
+        let dir = tmpdir("torn");
+        let events = sample_events();
+        // First, learn the full length of two records.
+        let mut probe = WalWriter::from_sink(Vec::new(), 0, Duration::ZERO).unwrap();
+        probe.append(&events[..8]).unwrap();
+        let one_record = probe.bytes_written();
+        probe.append(&events[8..16]).unwrap();
+        let full = probe.bytes_written();
+
+        // Now write the same two records through a failpoint that crashes
+        // 5 bytes into the second record.
+        let path = dir.join(segment_name(0));
+        let fp = FailpointFs::create(&path, one_record + 5).unwrap();
+        let mut w = WalWriter::from_sink(fp, 0, Duration::ZERO).unwrap();
+        w.append(&events[..8]).unwrap();
+        assert!(w.append(&events[8..16]).is_err());
+        drop(w);
+        assert!(std::fs::metadata(&path).unwrap().len() < full);
+
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.torn, Some(TornTail::ShortRecord));
+        assert_eq!(scan.num_events(), 8);
+        assert_eq!(scan.valid_len, one_record);
+
+        truncate_segment(&path, scan.valid_len).unwrap();
+        let rescan = scan_segment(&path).unwrap();
+        assert_eq!(rescan.torn, None);
+        assert_eq!(rescan.num_events(), 8);
+    }
+
+    #[test]
+    fn bit_flip_fails_the_crc() {
+        let dir = tmpdir("bitflip");
+        let events = sample_events();
+        let path = dir.join(segment_name(0));
+        let mut w = WalWriter::create(&dir, 0, Duration::ZERO).unwrap();
+        w.append(&events[..8]).unwrap();
+        w.append(&events[8..16]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Flip one bit in the middle of the second record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        let second_start =
+            HEADER_LEN as usize + (scan.valid_len as usize - HEADER_LEN as usize) / 2;
+        bytes[second_start + 12] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = scan_segment(&path).unwrap();
+        assert!(matches!(
+            scan.torn,
+            Some(TornTail::BadCrc) | Some(TornTail::ShortRecord)
+        ));
+        assert!(scan.num_events() < 16);
+    }
+
+    #[test]
+    fn empty_and_headerless_files_are_handled() {
+        let dir = tmpdir("empty");
+        let path = dir.join(segment_name(0));
+        std::fs::write(&path, b"").unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.torn, Some(TornTail::BadHeader));
+        assert_eq!(scan.num_events(), 0);
+
+        std::fs::write(&path, b"garbage header bytes").unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.torn, Some(TornTail::BadHeader));
+
+        // A header-only segment (no records yet) is valid and empty.
+        let w = WalWriter::create(&dir, 7, Duration::ZERO).unwrap();
+        drop(w);
+        let scan = scan_segment(&dir.join(segment_name(7))).unwrap();
+        assert_eq!(scan.torn, None);
+        assert_eq!(scan.start_offset, 7);
+        assert_eq!(scan.num_events(), 0);
+    }
+
+    #[test]
+    fn segment_names_roundtrip_and_sort() {
+        assert_eq!(parse_segment_name(&segment_name(0)), Some(0));
+        assert_eq!(parse_segment_name(&segment_name(338_320)), Some(338_320));
+        assert_eq!(parse_segment_name("wal-zz.wal"), None);
+        assert_eq!(parse_segment_name("ckpt-0.ckpt"), None);
+        let dir = tmpdir("list");
+        for start in [512u64, 0, 64] {
+            WalWriter::create(&dir, start, Duration::ZERO).unwrap();
+        }
+        let segs = list_segments(&dir).unwrap();
+        let starts: Vec<u64> = segs.iter().map(|(s, _)| *s).collect();
+        assert_eq!(starts, vec![0, 64, 512]);
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! Every frame is `[u32 LE payload length][payload]`, and every payload is
 //! `[version byte][message-type byte][body]`. All integers are little-endian;
-//! strings are `u16 LE` length + UTF-8 bytes; an [`EventId`] is `process u32
-//! + index u32`. The layout is documented normatively in DESIGN.md
-//! Appendix A.
+//! strings are `u16 LE` length + UTF-8 bytes; an [`EventId`] is
+//! `process u32 + index u32`. The layout is documented normatively in
+//! DESIGN.md Appendix A. The event-block layout (`[u32 count][event...]`) is shared
+//! with the write-ahead log ([`crate::wal`]) via [`encode_event_block`] /
+//! [`decode_event_block`], so WAL records and `Events` frames cannot drift.
 //!
 //! Version negotiation is a single byte: a peer that receives a frame with an
 //! unknown version answers [`Msg::Error`] with [`code::BAD_VERSION`] and may
@@ -35,6 +37,9 @@ pub mod code {
     pub const SHUTTING_DOWN: u16 = 6;
     /// Unsupported protocol version byte.
     pub const BAD_VERSION: u16 = 7;
+    /// The daemon is replaying its write-ahead log after a restart; ingest
+    /// and queries are refused until recovery completes.
+    pub const RECOVERING: u16 = 8;
 }
 
 /// Aggregate counters a [`Msg::StatsResult`] reports.
@@ -198,6 +203,23 @@ fn put_event_id(out: &mut Vec<u8>, id: EventId) {
     put_u32(out, id.index.0);
 }
 
+/// Encode an event block — `[u32 count][event...]` — the layout shared by
+/// `Msg::Events` bodies and WAL record payloads.
+pub fn encode_event_block(out: &mut Vec<u8>, events: &[Event]) {
+    put_u32(out, events.len() as u32);
+    for ev in events {
+        put_event(out, ev);
+    }
+}
+
+/// Decode an event block occupying exactly `buf`.
+pub fn decode_event_block(buf: &[u8]) -> Result<Vec<Event>, WireError> {
+    let mut c = Cur { buf, pos: 0 };
+    let events = c.event_block(buf.len())?;
+    c.finish()?;
+    Ok(events)
+}
+
 fn put_event(out: &mut Vec<u8>, ev: &Event) {
     put_event_id(out, ev.id);
     match ev.kind {
@@ -283,6 +305,21 @@ impl<'a> Cur<'a> {
         Ok(Event::new(id, kind))
     }
 
+    /// `[u32 count][event...]`; `bound` caps the plausible count (each event
+    /// is ≥ 9 bytes, so a count the container can't hold is rejected before
+    /// allocation).
+    fn event_block(&mut self, bound: usize) -> Result<Vec<Event>, WireError> {
+        let n = self.u32()? as usize;
+        if n > bound / 9 + 1 {
+            return Err(WireError::Malformed("event count exceeds body"));
+        }
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(self.event()?);
+        }
+        Ok(events)
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -311,10 +348,7 @@ impl Msg {
             }
             Msg::Events(events) => {
                 out.push(tag::EVENTS);
-                put_u32(&mut out, events.len() as u32);
-                for ev in events {
-                    put_event(&mut out, ev);
-                }
+                encode_event_block(&mut out, events);
             }
             Msg::Flush { expected_total } => {
                 out.push(tag::FLUSH);
@@ -418,18 +452,7 @@ impl Msg {
                 num_processes: c.u32()?,
                 max_cluster_size: c.u32()?,
             },
-            tag::EVENTS => {
-                let n = c.u32()? as usize;
-                // Each event is ≥ 9 bytes; reject counts the body can't hold.
-                if n > payload.len() / 9 + 1 {
-                    return Err(WireError::Malformed("event count exceeds body"));
-                }
-                let mut events = Vec::with_capacity(n);
-                for _ in 0..n {
-                    events.push(c.event()?);
-                }
-                Msg::Events(events)
-            }
+            tag::EVENTS => Msg::Events(c.event_block(payload.len())?),
             tag::FLUSH => Msg::Flush {
                 expected_total: c.u64()?,
             },

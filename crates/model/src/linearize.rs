@@ -77,9 +77,7 @@ pub fn relinearize(trace: &Trace, seed: u64) -> Trace {
                 EventKind::Receive { from } if !delivered.contains(&from) => None,
                 EventKind::Sync { peer } => {
                     // Both halves must be next-in-line simultaneously.
-                    if delivered.contains(&peer) {
-                        Some(ev)
-                    } else if next[peer.process.idx()] == peer.index.0 {
+                    if delivered.contains(&peer) || next[peer.process.idx()] == peer.index.0 {
                         Some(ev)
                     } else {
                         None

@@ -189,14 +189,9 @@ impl<V: Copy> BPlusTree<V> {
         let mut out = Vec::new();
         // Descend to the leaf containing lo.
         let mut node = self.root;
-        loop {
-            match &self.nodes[node as usize] {
-                Node::Internal { keys, children } => {
-                    let i = keys.partition_point(|&k| k <= lo);
-                    node = children[i];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { keys, children } = &self.nodes[node as usize] {
+            let i = keys.partition_point(|&k| k <= lo);
+            node = children[i];
         }
         let mut leaf = Some(node);
         while let Some(l) = leaf {

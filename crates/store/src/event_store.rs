@@ -154,6 +154,28 @@ impl EventStore {
     pub fn records(&self) -> &[EventRecord] {
         &self.records
     }
+
+    /// The store's canonical serialization: the bare events in delivery
+    /// order. Because the store is a deterministic function of this
+    /// sequence, `from_delivery_log(num_processes, &delivery_log())` is an
+    /// exact clone — this is what daemon checkpoints persist.
+    pub fn delivery_log(&self) -> Vec<Event> {
+        self.records.iter().map(|r| r.event).collect()
+    }
+
+    /// Rebuild a store from a delivery log (see
+    /// [`delivery_log`](EventStore::delivery_log)). Fails if the sequence is
+    /// not a valid delivery order.
+    pub fn from_delivery_log(
+        num_processes: u32,
+        events: &[Event],
+    ) -> Result<EventStore, StoreError> {
+        let mut s = EventStore::new(num_processes);
+        for &ev in events {
+            s.insert(ev)?;
+        }
+        Ok(s)
+    }
 }
 
 /// The second [`SharedStore::ingest_handle`] claim while a handle is alive.
@@ -322,6 +344,26 @@ mod tests {
         let w2 = s.process_window(p(0), 2, 3);
         assert_eq!(w2.len(), 1);
         assert_eq!(w2[0].event.id, id(0, 2));
+    }
+
+    #[test]
+    fn delivery_log_roundtrips_exactly() {
+        let t = sample_trace();
+        let s = EventStore::from_trace(&t);
+        let log = s.delivery_log();
+        assert_eq!(log, t.events());
+        let rebuilt = EventStore::from_delivery_log(s.num_processes(), &log).unwrap();
+        assert_eq!(rebuilt.len(), s.len());
+        for r in s.records() {
+            let r2 = rebuilt.get(r.event.id).unwrap();
+            assert_eq!(r2.event, r.event);
+            assert_eq!(r2.preds, r.preds);
+            assert_eq!(r2.succs, r.succs);
+        }
+        // An invalid order (gap) is rejected, not silently absorbed.
+        let mut bad = log.clone();
+        bad.remove(0);
+        assert!(EventStore::from_delivery_log(s.num_processes(), &bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Fault injection for durability tests: a file writer that "crashes" after
+//! a budgeted number of bytes.
+//!
+//! Crash-recovery code paths (torn WAL tails, half-written checkpoints) are
+//! impossible to exercise deterministically by killing processes. Instead,
+//! tests write through a [`FailpointFs`]: it forwards writes to a real file
+//! until a byte budget is exhausted, then *partially applies* the write that
+//! crosses the budget and fails every operation afterwards — exactly the
+//! on-disk state a power cut mid-`write(2)` leaves behind. Recovery code is
+//! then pointed at the surviving file.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A sink the write-ahead log can write to: ordinary writes plus an
+/// explicit durability barrier. [`File`] is the production implementation;
+/// [`FailpointFs`] is the test double.
+pub trait DurableSink: Write {
+    /// Flush written data to stable storage (`fdatasync`-equivalent).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+impl DurableSink for File {
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+}
+
+/// In-memory sink for benchmarks that want to measure codec cost without
+/// touching a device (sync is a no-op).
+impl DurableSink for Vec<u8> {
+    fn sync_data(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Boxed sinks forward, so callers can pick the production [`File`] or the
+/// [`FailpointFs`] test double at runtime.
+impl<S: DurableSink + ?Sized> DurableSink for Box<S> {
+    fn sync_data(&mut self) -> io::Result<()> {
+        (**self).sync_data()
+    }
+}
+
+/// A file writer that simulates a crash after `budget` bytes: the write
+/// crossing the budget is truncated (a torn record on disk), and every
+/// subsequent write or sync fails with [`io::ErrorKind::Other`].
+pub struct FailpointFs {
+    file: File,
+    /// Bytes still allowed through; `None` once the failpoint has tripped.
+    remaining: Option<u64>,
+    tripped: bool,
+}
+
+impl FailpointFs {
+    /// Create (truncating) `path`, allowing `budget` bytes before the
+    /// simulated crash.
+    pub fn create(path: &Path, budget: u64) -> io::Result<FailpointFs> {
+        Ok(FailpointFs {
+            file: File::create(path)?,
+            remaining: Some(budget),
+            tripped: false,
+        })
+    }
+
+    /// Has the simulated crash happened yet?
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("failpoint: simulated crash")
+    }
+}
+
+impl Write for FailpointFs {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.tripped {
+            return Err(Self::crash_error());
+        }
+        let budget = self.remaining.unwrap_or(0);
+        if (buf.len() as u64) <= budget {
+            self.remaining = Some(budget - buf.len() as u64);
+            return self.file.write(buf);
+        }
+        // The write that crosses the budget: apply the surviving prefix
+        // (the torn tail), then trip.
+        self.tripped = true;
+        self.remaining = None;
+        let keep = budget as usize;
+        if keep > 0 {
+            self.file.write_all(&buf[..keep])?;
+            let _ = self.file.flush();
+        }
+        Err(Self::crash_error())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.tripped {
+            return Err(Self::crash_error());
+        }
+        self.file.flush()
+    }
+}
+
+impl DurableSink for FailpointFs {
+    fn sync_data(&mut self) -> io::Result<()> {
+        if self.tripped {
+            return Err(Self::crash_error());
+        }
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cts-failpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_within_budget_pass_through() {
+        let path = tmp("within.bin");
+        let mut fp = FailpointFs::create(&path, 16).unwrap();
+        fp.write_all(b"0123456789").unwrap();
+        fp.sync_data().unwrap();
+        assert!(!fp.tripped());
+        drop(fp);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn crossing_write_is_torn_and_everything_after_fails() {
+        let path = tmp("torn.bin");
+        let mut fp = FailpointFs::create(&path, 4).unwrap();
+        let err = fp.write_all(b"ABCDEFGH").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(fp.tripped());
+        assert!(fp.write_all(b"x").is_err());
+        assert!(fp.sync_data().is_err());
+        drop(fp);
+        // The torn prefix survived on disk.
+        assert_eq!(std::fs::read(&path).unwrap(), b"ABCD");
+    }
+
+    #[test]
+    fn zero_budget_tears_at_the_first_byte() {
+        let path = tmp("zero.bin");
+        let mut fp = FailpointFs::create(&path, 0).unwrap();
+        assert!(fp.write_all(b"A").is_err());
+        drop(fp);
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+    }
+}

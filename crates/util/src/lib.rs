@@ -17,8 +17,16 @@
 //! - [`hist`]: a lock-free log₂-bucketed latency histogram for live
 //!   services (the `cts-daemon` metrics path), where the closed-loop
 //!   [`bench`] harness does not fit.
+//! - [`crc32`]: CRC-32/ISO-HDLC for the daemon's write-ahead log and
+//!   checkpoint records (torn tails must be detected, not replayed).
+//! - [`failpoint`]: the [`failpoint::DurableSink`] abstraction over
+//!   `write + fdatasync`, and [`failpoint::FailpointFs`] — a writer that
+//!   simulates a crash after a byte budget, so recovery paths are tested
+//!   deterministically instead of by killing processes.
 
 pub mod bench;
 pub mod check;
+pub mod crc32;
+pub mod failpoint;
 pub mod hist;
 pub mod prng;

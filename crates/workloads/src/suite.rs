@@ -48,10 +48,9 @@ fn entry(env: Env, w: &dyn Workload, seed: u64) -> SuiteEntry {
 /// total; generation takes well under a second.
 pub fn standard_suite() -> Vec<SuiteEntry> {
     use Env::*;
-    let mut v = Vec::with_capacity(54);
 
     // ---- PVM / SPMD (18) ----
-    v.push(entry(
+    let mut v = vec![entry(
         Pvm,
         &BlockedStencil1D {
             procs: 64,
@@ -59,7 +58,7 @@ pub fn standard_suite() -> Vec<SuiteEntry> {
             block: 8,
         },
         1,
-    ));
+    )];
     v.push(entry(
         Pvm,
         &BlockedStencil1D {

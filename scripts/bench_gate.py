@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Bench regression gate for cts-bench/1 reports.
+
+Compares candidate reports (fresh `cts-bench --quick` runs) against the
+committed baseline and fails when any benchmark regresses beyond its
+group's tolerance.
+
+Usage:
+    bench_gate.py BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
+                  [--tolerance 0.35]
+
+Design notes:
+- gates on *min_ns*, not median: for deterministic CPU-bound benches the
+  best observed time is the least scheduler-polluted one. Measured on
+  this container, back-to-back --quick runs vary up to ~1.2x in min but
+  ~1.7x in median.
+- multiple candidate files are merged by per-bench minimum — CI runs the
+  suite twice, so a single noisy run cannot fail the gate.
+- tolerance is a *ratio slack*: best_candidate/baseline > 1 + tol fails.
+- micro-benches under FLOOR_NS are skipped — a 40ns bench regressing to
+  60ns is timer noise, not a regression.
+- groups that exercise the OS (fsync, TCP round-trips, thread handoff)
+  get wider tolerances via NOISY_GROUPS; everything else uses the default.
+- improvements never fail the gate, they are just reported.
+
+Only the Python standard library is used (the CI container is offline).
+"""
+
+import argparse
+import json
+import sys
+
+# Per-group tolerance overrides for benches dominated by syscalls or
+# scheduling rather than CPU work. Key = group name, value = ratio slack.
+NOISY_GROUPS = {
+    "wal": 0.80,  # fsync latency varies with device queue depth
+    "daemon_ingest": 0.60,  # TCP + thread handoff
+    "daemon_query": 0.60,  # round-trip latency
+    "reorder_buffer": 0.50,  # allocation-heavy, sensitive to heap state
+}
+
+# Benches faster than this are pure timer noise at --quick sample counts.
+FLOOR_NS = 100.0
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e}")
+    if report.get("schema") != "cts-bench/1":
+        sys.exit(f"bench_gate: {path}: unexpected schema {report.get('schema')!r}")
+    out = {}
+    for b in report.get("benches", []):
+        out[f"{b['group']}/{b['name']}"] = float(b["min_ns"])
+    if not out:
+        sys.exit(f"bench_gate: {path}: no benches in report")
+    return out
+
+
+def merge_min(reports):
+    merged = {}
+    for rep in reports:
+        for bench_id, ns in rep.items():
+            if bench_id not in merged or ns < merged[bench_id]:
+                merged[bench_id] = ns
+    return merged
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidates", nargs="+", metavar="candidate")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="default allowed slowdown ratio slack (default 0.35 = +35%%)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = merge_min([load(p) for p in args.candidates])
+
+    shared = sorted(set(base) & set(cand))
+    added = sorted(set(cand) - set(base))
+    removed = sorted(set(base) - set(cand))
+
+    regressions = []
+    improvements = []
+    print(f"{'benchmark':<52} {'base':>10} {'cand':>10} {'delta':>8}  verdict")
+    for bench_id in shared:
+        b, c = base[bench_id], cand[bench_id]
+        group = bench_id.split("/", 1)[0]
+        tol = NOISY_GROUPS.get(group, args.tolerance)
+        ratio = c / b if b > 0 else float("inf")
+        delta = f"{(ratio - 1) * 100:+.1f}%"
+        if b < FLOOR_NS and c < FLOOR_NS:
+            verdict = "skip (sub-floor)"
+        elif ratio > 1 + tol:
+            verdict = f"REGRESSION (>{tol:.0%})"
+            regressions.append((bench_id, ratio, tol))
+        elif ratio < 1 - tol:
+            verdict = "improved"
+            improvements.append((bench_id, ratio))
+        else:
+            verdict = "ok"
+        print(f"{bench_id:<52} {b:>10.0f} {c:>10.0f} {delta:>8}  {verdict}")
+
+    for bench_id in added:
+        print(f"{bench_id:<52} {'--':>10} {cand[bench_id]:>10.0f} {'new':>8}  "
+              "not in baseline (re-baseline to gate it)")
+    for bench_id in removed:
+        print(f"{bench_id:<52} {base[bench_id]:>10.0f} {'--':>10} {'gone':>8}  "
+              "missing from candidate")
+
+    print()
+    if improvements:
+        print(f"bench_gate: {len(improvements)} improved beyond tolerance "
+              "(consider re-baselining)")
+    if removed:
+        print(f"bench_gate: FAIL — {len(removed)} baseline bench(es) missing")
+        return 1
+    if regressions:
+        print(f"bench_gate: FAIL — {len(regressions)} regression(s):")
+        for bench_id, ratio, tol in regressions:
+            print(f"  {bench_id}: {ratio:.2f}x baseline (allowed {1 + tol:.2f}x)")
+        return 1
+    print(f"bench_gate: PASS — {len(shared)} benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

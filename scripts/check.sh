@@ -1,37 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: offline build, full test suite, formatting, and a
-# daemon loopback smoke test.
-# The workspace has zero external dependencies — if any step here needs the
-# network (beyond 127.0.0.1), that is itself a regression.
+# daemon loopback smoke test. Thin wrapper over the tier-1 stages of the
+# full CI pipeline (scripts/ci.sh) — run ci.sh with no arguments for the
+# complete gate including clippy, crash-recovery, and bench regression.
 set -euo pipefail
-cd "$(dirname "$0")/.."
-
-cargo build --release --offline --workspace
-cargo test -q --offline --workspace
-cargo fmt --check
-
-# Daemon loopback smoke: start cts-daemon on an ephemeral port, replay one
-# SPMD computation through it with differential checks, ask it to shut down
-# over the wire, and require a clean exit.
-port_file=$(mktemp)
-rm -f "$port_file"
-target/release/cts-daemon --port 0 --port-file "$port_file" &
-daemon_pid=$!
-trap 'kill "$daemon_pid" 2>/dev/null || true' EXIT
-for _ in $(seq 1 100); do
-  [[ -s "$port_file" ]] && break
-  sleep 0.1
-done
-[[ -s "$port_file" ]] || { echo "check.sh: daemon never wrote its port file" >&2; exit 1; }
-port=$(cat "$port_file")
-target/release/cts-loadgen --addr "127.0.0.1:$port" --smoke --shutdown
-wait "$daemon_pid"
-trap - EXIT
-rm -f "$port_file"
-echo "check.sh: daemon smoke ok (port $port)"
-
-# Record ingest/query throughput in the cts-bench/1 schema (mini suite,
-# in-process daemon, differential checks included).
-target/release/cts-loadgen --quick --json results/BENCH_ingest.json
-
-echo "check.sh: all green"
+exec "$(dirname "$0")/ci.sh" fmt build test smoke

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# The CI pipeline, runnable locally and in .github/workflows/ci.yml.
+#
+# Stages (in order):
+#   fmt       rustfmt in check mode
+#   clippy    cargo clippy --all-targets with warnings denied
+#   build     offline release build of the whole workspace
+#   test      full offline test suite
+#   smoke     daemon loopback smoke over TCP + ingest throughput record
+#   recovery  crash-stop the daemon mid-suite, restart, verify zero
+#             differential mismatches after WAL/checkpoint recovery
+#   bench     two cts-bench --quick runs gated against the committed
+#             baseline by scripts/bench_gate.py
+#
+# Usage: ci.sh [stage ...]     (no arguments = all stages)
+#
+# The workspace has zero external dependencies — if any step here needs
+# the network (beyond 127.0.0.1), that is itself a regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# All scratch state (port files, crash-recovery data dirs, bench reports)
+# lives in one private directory created by mktemp -d: nothing is ever
+# placed at a predictable path an attacker or a parallel CI job could
+# pre-create, and one rm -rf cleans up every failure path.
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/cts-ci.XXXXXX")
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+stage_fmt() {
+  echo "==> fmt"
+  cargo fmt --check
+}
+
+stage_clippy() {
+  echo "==> clippy (-D warnings)"
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+}
+
+stage_build() {
+  echo "==> build (release, offline)"
+  cargo build --release --offline --workspace
+}
+
+stage_test() {
+  echo "==> test (offline)"
+  cargo test -q --offline --workspace
+}
+
+stage_smoke() {
+  echo "==> smoke: daemon loopback"
+  local port_file="$workdir/daemon.port"
+  target/release/cts-daemon --port 0 --port-file "$port_file" &
+  local daemon_pid=$!
+  pids+=("$daemon_pid")
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$port_file" ]] || {
+    echo "ci.sh: daemon never wrote its port file" >&2
+    exit 1
+  }
+  local port
+  port=$(cat "$port_file")
+  target/release/cts-loadgen --addr "127.0.0.1:$port" --smoke --shutdown
+  wait "$daemon_pid"
+  echo "ci.sh: daemon smoke ok (port $port)"
+
+  # Record ingest/query throughput in the cts-bench/1 schema (mini suite,
+  # in-process daemon, differential checks included).
+  target/release/cts-loadgen --quick --json results/BENCH_ingest.json
+}
+
+stage_recovery() {
+  echo "==> recovery: crash-stop mid-suite, restart, verify"
+  # Kill the daemon after ~half the mini suite (~2000 events), restart it
+  # against the same data dir, and require zero differential mismatches
+  # after WAL + checkpoint recovery. --checkpoint-every 200 forces several
+  # checkpoint/rotation cycles before the crash.
+  target/release/cts-loadgen --quick --data-dir "$workdir/crash" \
+    --checkpoint-every 200 --kill-after 1000 --restart
+}
+
+stage_bench() {
+  echo "==> bench: quick suite x2 vs committed baseline"
+  target/release/cts-bench --quick >"$workdir/bench-1.json"
+  target/release/cts-bench --quick >"$workdir/bench-2.json"
+  python3 scripts/bench_gate.py results/BENCH_baseline.json \
+    "$workdir/bench-1.json" "$workdir/bench-2.json"
+}
+
+all_stages=(fmt clippy build test smoke recovery bench)
+stages=("${@:-${all_stages[@]}}")
+for stage in "${stages[@]}"; do
+  case "$stage" in
+  fmt | clippy | build | test | smoke | recovery | bench)
+    "stage_$stage"
+    ;;
+  *)
+    echo "ci.sh: unknown stage '$stage' (known: ${all_stages[*]})" >&2
+    exit 2
+    ;;
+  esac
+done
+echo "ci.sh: all green (${stages[*]})"

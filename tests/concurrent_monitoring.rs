@@ -5,7 +5,7 @@
 use cluster_timestamps::prelude::*;
 use cts_store::event_store::{EventStore, SharedStore};
 use cts_workloads::web::WebServer;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[test]
@@ -21,12 +21,13 @@ fn readers_see_consistent_prefixes_during_ingest() {
     let shared = SharedStore::new(EventStore::new(trace.num_processes()));
     let mut ingest = shared.ingest_handle().unwrap();
     let done = Arc::new(AtomicBool::new(false));
+    let ran = Arc::new(AtomicUsize::new(0));
 
     let mut readers = Vec::new();
     for r in 0..3 {
         let shared = shared.clone();
         let done = Arc::clone(&done);
-        let trace = Arc::clone(&trace);
+        let ran = Arc::clone(&ran);
         readers.push(std::thread::spawn(move || {
             let mut checks = 0usize;
             let mut last_len = 0usize;
@@ -49,6 +50,9 @@ fn readers_see_consistent_prefixes_during_ingest() {
                     assert_eq!(g.get(rec.event.id).unwrap().event, rec.event);
                 }
                 drop(g);
+                if checks == 0 {
+                    ran.fetch_add(1, Ordering::AcqRel);
+                }
                 checks += 1;
                 if r == 0 {
                     std::thread::yield_now();
@@ -60,6 +64,12 @@ fn readers_see_consistent_prefixes_during_ingest() {
 
     for &ev in trace.events() {
         ingest.insert(ev).unwrap();
+    }
+    // Don't raise `done` until every reader has raced ingest at least once;
+    // on a loaded machine the (small) ingest loop can otherwise finish
+    // before the reader threads are even scheduled.
+    while ran.load(Ordering::Acquire) < 3 {
+        std::thread::yield_now();
     }
     done.store(true, Ordering::Release);
     let total_checks: usize = readers.into_iter().map(|h| h.join().unwrap()).sum();

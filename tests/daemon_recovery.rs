@@ -1,0 +1,283 @@
+//! Crash-recovery integration tests: the durable daemon must come back
+//! from any crash point with a state that is a *valid delivered prefix*,
+//! and re-streaming the suite after recovery must leave answers
+//! byte-identical to the offline batch engine (delivery-order invariance
+//! extends across restarts).
+//!
+//! Crashes are injected deterministically, not with signals: either the
+//! in-process crash-stop (`kill()` — workers exit without the final WAL
+//! sync/checkpoint, queued batches discarded) or the `FailpointFs` byte
+//! budget (a torn write mid-record, then hard I/O errors — the on-disk
+//! state a power cut leaves). Corruption tests then bit-flip and truncate
+//! WAL tails directly and assert clean truncate-and-recover, never a panic.
+
+use cts_core::strategy::MergeOnFirst;
+use cts_core::ClusterEngine;
+use cts_daemon::checkpoint;
+use cts_daemon::loadgen::{self, LoadConfig};
+use cts_daemon::pipeline::{Computation, ComputationConfig, DurabilityConfig};
+use cts_daemon::server::DaemonConfig;
+use cts_daemon::wal;
+use cts_model::Trace;
+use cts_workloads::suite::mini_suite;
+use cts_workloads::{spmd::Stencil1D, Workload};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cts-recovery-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_config(name: &str, n: u32, dir: &Path, budget: Option<u64>) -> ComputationConfig {
+    ComputationConfig {
+        name: name.to_string(),
+        num_processes: n,
+        max_cluster_size: 4,
+        queue_capacity: 8,
+        epoch_every: 64,
+        durability: Some(DurabilityConfig {
+            dir: dir.to_path_buf(),
+            // Sync every batch: the crash point is then exactly a batch
+            // boundary (or mid-record under a failpoint), deterministically.
+            sync_window: Duration::ZERO,
+            checkpoint_every: 0,
+            wal_byte_budget: budget,
+        }),
+    }
+}
+
+/// Assert the computation's published snapshot answers precedence exactly
+/// like an offline batch run over `trace` (all pairs).
+fn assert_matches_offline(comp: &Computation, trace: &Trace) {
+    let snap = comp.snapshot();
+    assert_eq!(snap.trace.num_events(), trace.num_events());
+    let offline = ClusterEngine::run(trace, MergeOnFirst::new(4));
+    for e in trace.all_event_ids() {
+        for f in trace.all_event_ids() {
+            assert_eq!(
+                snap.cts.precedes(&snap.trace, e, f),
+                offline.precedes(trace, e, f),
+                "{e} -> {f} diverged after recovery"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_mid_suite_recovery_has_zero_mismatches() {
+    // The headline guarantee, over the whole mini suite through real TCP:
+    // partial stream → crash-stop → restart → recover → re-stream full
+    // suite → the standard differential check reports zero mismatches.
+    // checkpoint_every is tiny so checkpoints *and* WAL rotation happen
+    // mid-run, and recovery stitches checkpoint + WAL tail.
+    let dir = tmpdir("crash-mid-suite");
+    let suite = mini_suite();
+    let total: u64 = suite.iter().map(|e| e.trace.num_events() as u64).sum();
+    let cfg = LoadConfig {
+        connections: 4,
+        seed: 7,
+        precedence_queries: 40,
+        gc_probes: 2,
+        ..LoadConfig::default()
+    };
+    let daemon_cfg = DaemonConfig {
+        data_dir: Some(dir.clone()),
+        sync_window: Duration::ZERO,
+        checkpoint_every: 64,
+        ..DaemonConfig::default()
+    };
+    let report = loadgen::run_crash_replay(&suite, &cfg, daemon_cfg, total / 2, true)
+        .expect("crash replay")
+        .expect("restart requested");
+    assert_eq!(report.computations, suite.len());
+    assert_eq!(report.total_events, total);
+    assert_eq!(
+        report.mismatches, 0,
+        "recovered daemon diverged from the offline engine"
+    );
+}
+
+#[test]
+fn failpoint_torn_write_truncates_and_recovers() {
+    // A simulated power cut mid-`write(2)`: the WAL's byte budget tears a
+    // record. Recovery must cut the torn tail, replay the surviving valid
+    // prefix, and re-streaming must converge to exactness.
+    let dir = tmpdir("failpoint-torn");
+    let trace = Stencil1D { procs: 6, iters: 5 }.generate(23);
+    let n = trace.num_processes();
+
+    // Enough budget for the header and a few records, then the crash.
+    let (comp, report) =
+        Computation::spawn_durable(durable_config("torn", n, &dir, Some(900))).expect("spawn");
+    assert_eq!(report.total_events(), 0);
+    for chunk in trace.events().chunks(17) {
+        comp.enqueue_events(chunk.to_vec()).unwrap();
+    }
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    comp.kill();
+
+    // The segment on disk must actually be torn (the budget tripped).
+    let (_, seg) = wal::list_segments(&dir)
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap();
+    let scan = wal::scan_segment(&seg).unwrap();
+    assert!(scan.torn.is_some(), "failpoint did not tear the WAL");
+    let survived = scan.num_events();
+    assert!(survived > 0 && survived < trace.num_events());
+
+    // Restart without the failpoint: a strict prefix is recovered...
+    let (comp, report) =
+        Computation::spawn_durable(durable_config("torn", n, &dir, None)).expect("respawn");
+    assert!(report.torn_tail.is_some(), "tear not reported");
+    assert!(report.torn_bytes_truncated > 0);
+    assert_eq!(report.total_events(), survived as u64);
+
+    // ...and the client re-transmitting everything (dedup absorbs the
+    // overlap) restores exactness.
+    comp.enqueue_events(trace.events().to_vec()).unwrap();
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush after recovery");
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
+}
+
+#[test]
+fn bit_flipped_wal_record_is_cut_not_replayed() {
+    let dir = tmpdir("bit-flip");
+    let trace = Stencil1D { procs: 5, iters: 4 }.generate(41);
+    let n = trace.num_processes();
+
+    let (comp, _) =
+        Computation::spawn_durable(durable_config("flip", n, &dir, None)).expect("spawn");
+    for chunk in trace.events().chunks(13) {
+        comp.enqueue_events(chunk.to_vec()).unwrap();
+    }
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    comp.shutdown();
+
+    // Flip one bit late in the segment: every record from the damaged one
+    // on must be discarded (CRC), but the prefix before it must survive.
+    let (_, seg) = wal::list_segments(&dir)
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap();
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let pos = bytes.len() - bytes.len() / 4;
+    bytes[pos] ^= 0x10;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let (comp, report) =
+        Computation::spawn_durable(durable_config("flip", n, &dir, None)).expect("respawn");
+    assert!(report.torn_tail.is_some(), "corruption not detected");
+    assert!(report.total_events() < trace.num_events() as u64);
+    // The file was physically truncated to the valid prefix.
+    let scan = wal::scan_segment(&seg).unwrap();
+    assert!(scan.torn.is_none(), "truncate left a bad tail behind");
+
+    comp.enqueue_events(trace.events().to_vec()).unwrap();
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush after recovery");
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
+}
+
+#[test]
+fn truncated_wal_tail_recovers_the_prefix() {
+    let dir = tmpdir("short-tail");
+    let trace = Stencil1D { procs: 4, iters: 4 }.generate(9);
+    let n = trace.num_processes();
+
+    let (comp, _) =
+        Computation::spawn_durable(durable_config("short", n, &dir, None)).expect("spawn");
+    for chunk in trace.events().chunks(11) {
+        comp.enqueue_events(chunk.to_vec()).unwrap();
+    }
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    comp.shutdown();
+
+    // Chop mid-record (a crashed kernel never finished the tail write).
+    let (_, seg) = wal::list_segments(&dir)
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap();
+    let len = std::fs::metadata(&seg).unwrap().len();
+    std::fs::File::options()
+        .write(true)
+        .open(&seg)
+        .unwrap()
+        .set_len(len - 7)
+        .unwrap();
+
+    let (comp, report) =
+        Computation::spawn_durable(durable_config("short", n, &dir, None)).expect("respawn");
+    assert!(report.torn_tail.is_some());
+    assert!(report.total_events() > 0);
+    comp.enqueue_events(trace.events().to_vec()).unwrap();
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush after recovery");
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
+}
+
+#[test]
+fn empty_and_header_only_wals_recover_to_empty() {
+    let dir = tmpdir("empty-wal");
+    let trace = Stencil1D { procs: 3, iters: 2 }.generate(5);
+    let n = trace.num_processes();
+
+    // First start: directory is fresh — nothing to recover.
+    let (comp, report) =
+        Computation::spawn_durable(durable_config("empty", n, &dir, None)).expect("spawn");
+    assert_eq!(report.total_events(), 0);
+    comp.kill(); // crash before anything was delivered
+
+    // Second start: a header-only segment exists now; still nothing.
+    let (comp, report) =
+        Computation::spawn_durable(durable_config("empty", n, &dir, None)).expect("respawn");
+    assert_eq!(report.total_events(), 0);
+    assert!(report.torn_tail.is_none());
+    comp.enqueue_events(trace.events().to_vec()).unwrap();
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_then_restart_needs_no_restream() {
+    // Graceful shutdown writes a synced WAL and a final checkpoint; a
+    // restart must serve exact answers with no client help at all.
+    let dir = tmpdir("graceful");
+    let trace = Stencil1D { procs: 6, iters: 4 }.generate(31);
+    let n = trace.num_processes();
+    let mut cfg = durable_config("graceful", n, &dir, None);
+    cfg.durability.as_mut().unwrap().checkpoint_every = 50;
+
+    let (comp, _) = Computation::spawn_durable(cfg.clone()).expect("spawn");
+    comp.enqueue_events(trace.events().to_vec()).unwrap();
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    comp.shutdown();
+
+    // The final checkpoint covers everything — restart replays it alone.
+    let ckpt = checkpoint::load_latest_checkpoint(&dir)
+        .unwrap()
+        .expect("final checkpoint written");
+    assert_eq!(ckpt.delivered, trace.num_events() as u64);
+
+    let (comp, report) = Computation::spawn_durable(cfg).expect("respawn");
+    assert_eq!(report.total_events(), trace.num_events() as u64);
+    assert_eq!(report.checkpoint_events, trace.num_events() as u64);
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
+}
