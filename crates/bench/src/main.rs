@@ -227,6 +227,37 @@ fn bench_store_queries(r: &mut Runner) {
     }
 }
 
+/// A fixed, allocation-free ALU kernel: pure single-thread CPU speed, no
+/// memory traffic, no syscalls. `bench_gate.py` uses this entry to
+/// normalize a candidate report against a baseline recorded on a
+/// different-speed host instead of requiring manual re-baselining.
+fn bench_calibration(r: &mut Runner) {
+    r.run("calibration", "fixed_work", || {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for i in 0..200_000u64 {
+            h = (h ^ i).wrapping_mul(0x0000_0100_0000_01b3);
+            h ^= h >> 33;
+        }
+        h
+    });
+}
+
+/// Shard-ingest scaling: the two widest suite computations delivered
+/// through the in-process pipeline at 1/2/4 ingest shards. One iteration =
+/// the whole delivery (spawn, stream, flush barrier, shutdown), so the
+/// `_s1` / `_s4` ratio is the end-to-end ingest speedup the sharded
+/// runtime buys on this host.
+fn bench_shard_ingest(r: &mut Runner) {
+    for (label, t) in cts_daemon::loadgen::widest_computations() {
+        let arrivals = relinearize(&t, 7);
+        for shards in [1u32, 2, 4] {
+            r.run("shard_ingest", &format!("{label}_s{shards}"), || {
+                cts_daemon::loadgen::ingest_trace_wall_ns(label, &t, arrivals.events(), shards)
+            });
+        }
+    }
+}
+
 fn bench_daemon(r: &mut Runner) {
     let trace = clustered_trace(200, 8);
     let g = "daemon_ingest";
@@ -367,6 +398,7 @@ fn main() {
         },
         filter,
     };
+    bench_calibration(&mut r);
     bench_fm(&mut r);
     bench_cluster_engine(&mut r);
     bench_precedence(&mut r);
@@ -374,6 +406,7 @@ fn main() {
     bench_figure_sweeps(&mut r);
     bench_store_queries(&mut r);
     bench_daemon(&mut r);
+    bench_shard_ingest(&mut r);
     bench_wal(&mut r);
     if r.bencher.entries().is_empty() {
         eprintln!("no benches matched the filter");

@@ -227,6 +227,44 @@ pub struct ClusterTimestamps {
 }
 
 impl ClusterTimestamps {
+    /// Assemble a queryable timestamp structure from externally computed
+    /// parts — the publication primitive of a *sharded* monitoring entity,
+    /// where stamps are produced by per-process-group workers and only
+    /// merged into one delivery order at snapshot time.
+    ///
+    /// `stamps` must be in delivery order of the assembled trace; `crs[p]`
+    /// lists process `p`'s non-mergeable cluster receives as
+    /// `(event index within p, delivery position)` pairs in increasing
+    /// index order; `sets` must contain every version referenced by a
+    /// `Projected` stamp. Exactness of `precedes` over the result requires
+    /// the same invariants the online engine maintains: Fidge/Mattern
+    /// clocks exact per event, and cluster membership observed monotonically
+    /// along causal order (clusters only grow).
+    pub fn from_parts(
+        sets: ClusterSets,
+        stamps: Vec<ClusterStamp>,
+        crs: Vec<Vec<(u32, u32)>>,
+        num_merges: usize,
+    ) -> ClusterTimestamps {
+        let num_cluster_receives = crs.iter().map(Vec::len).sum();
+        let crs = crs
+            .into_iter()
+            .map(|list| {
+                debug_assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
+                list.into_iter()
+                    .map(|(index, pos)| CrRecord { index, pos })
+                    .collect()
+            })
+            .collect();
+        ClusterTimestamps {
+            sets,
+            stamps,
+            crs,
+            num_cluster_receives,
+            num_merges,
+        }
+    }
+
     /// The stamp of the event at a delivery position.
     pub fn stamp_at(&self, pos: usize) -> &ClusterStamp {
         &self.stamps[pos]

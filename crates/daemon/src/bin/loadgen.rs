@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cts-loadgen [--addr HOST:PORT] [--connections 8] [--seed 1]
-//!             [--max-cluster-size 8] [--quick | --smoke]
+//!             [--max-cluster-size 8] [--shards N] [--quick | --smoke]
 //!             [--json PATH] [--shutdown]
 //!             [--data-dir PATH] [--checkpoint-every N]
 //!             [--kill-after N [--restart]]
@@ -20,6 +20,11 @@
 //! computation with a handful of queries (the CI liveness check). The
 //! default replays the full 54-computation standard suite. Exit status is
 //! non-zero on any differential mismatch.
+//!
+//! `--shards N` runs each computation's ingest path on N shard workers
+//! (parallel causal delivery per process group); the differential checks
+//! are unchanged, so this doubles as the sharded full-suite soak. Only
+//! meaningful for the in-process daemon.
 //!
 //! `--data-dir` makes the in-process daemon durable (write-ahead log +
 //! checkpoints under PATH). `--kill-after N` switches to the crash-replay
@@ -37,7 +42,8 @@ use cts_workloads::suite::{mini_suite, standard_suite, SuiteEntry};
 fn usage() -> ! {
     eprintln!(
         "usage: cts-loadgen [--addr HOST:PORT] [--connections N] [--seed N]\n\
-         \x20                  [--max-cluster-size N] [--quick | --smoke]\n\
+         \x20                  [--max-cluster-size N] [--shards N]\n\
+         \x20                  [--quick | --smoke]\n\
          \x20                  [--json PATH] [--shutdown]\n\
          \x20                  [--data-dir PATH] [--checkpoint-every N]\n\
          \x20                  [--kill-after N [--restart]]"
@@ -55,6 +61,7 @@ fn main() {
     let mut checkpoint_every: Option<u64> = None;
     let mut kill_after: Option<u64> = None;
     let mut restart = false;
+    let mut shards: Option<u32> = None;
     let mut cfg = LoadConfig::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +87,7 @@ fn main() {
                 checkpoint_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--kill-after" => kill_after = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--shards" => shards = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--restart" => restart = true,
             "--help" | "-h" => usage(),
             other => {
@@ -118,6 +126,13 @@ fn main() {
     }
     if let Some(n) = checkpoint_every {
         daemon_cfg.checkpoint_every = n;
+    }
+    if let Some(n) = shards {
+        if addr.is_some() {
+            eprintln!("cts-loadgen: --shards configures the in-process daemon; drop --addr");
+            std::process::exit(2);
+        }
+        daemon_cfg.shards = n;
     }
 
     // Crash-replay scenario: partial stream → crash-stop → restart →
@@ -193,6 +208,16 @@ fn main() {
         let mut bencher = Bencher::quick();
         for entry in report.bench_entries() {
             bencher.record_entry(entry);
+        }
+        if addr.is_none() {
+            // Shard-ingest scaling on the widest computations (the
+            // in-process pipeline, so the TCP stack stays out of the
+            // measurement): the `_s4` / `_s1` ratio in this report is the
+            // ingest speedup the sharded runtime delivers on this host.
+            eprintln!("[cts-loadgen] recording shard_ingest sweep (1/2/4 shards)");
+            for entry in loadgen::shard_sweep_entries(&[1, 2, 4], 3) {
+                bencher.record_entry(entry);
+            }
         }
         if let Err(e) = std::fs::write(path, bencher.to_json()) {
             eprintln!("cts-loadgen: cannot write {path}: {e}");

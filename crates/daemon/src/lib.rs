@@ -27,7 +27,11 @@
 //!   group-committed write-ahead log of the post-reorder delivery order,
 //!   periodic checkpoints of the delivered prefix, and a recovery scan that
 //!   truncates torn tails and replays through the normal pipeline. Because
-//!   state is a pure function of delivery order, recovery is replay.
+//!   state is a pure function of delivery order, recovery is replay;
+//! - [`shard`]: the sharded ingest path — per-process-group delivery cores,
+//!   the cross-shard clock exchange, cluster-driven rebalancing, the
+//!   two-phase snapshot cut, and the deterministic schedule-exploration
+//!   harness that proves them equivalent to the single-worker pipeline.
 //!
 //! Correctness rests on the delivery-order-invariance property established
 //! by the core crates: any valid delivery order yields exact precedence, so
@@ -42,10 +46,13 @@ pub mod metrics;
 pub mod pipeline;
 pub mod reorder;
 pub mod server;
+pub mod shard;
+pub(crate) mod sharded;
 pub mod wal;
 pub mod wire;
 
 pub use client::Client;
 pub use loadgen::{LoadConfig, LoadReport};
-pub use reorder::ReorderBuffer;
+pub use reorder::{ReorderBuffer, ShardHooks, ShardReorderBuffer};
 pub use server::{Daemon, DaemonConfig};
+pub use shard::{ShardSchedule, SimShards};

@@ -167,6 +167,97 @@ impl LoadReport {
     }
 }
 
+/// The two widest multi-process computations in the workload corpus: the
+/// fixtures for the shard-ingest scaling sweep (`shard_ingest/*` bench
+/// ids). 128- and 288-process traces with strong group locality plus a
+/// cross-group traffic floor — the regime the sharded ingest path is for.
+pub fn widest_computations() -> Vec<(&'static str, cts_model::Trace)> {
+    use cts_workloads::spmd::BlockedStencil1D;
+    use cts_workloads::web::ShardedWebServer;
+    use cts_workloads::Workload;
+    vec![
+        (
+            "blocked_stencil1d_128",
+            BlockedStencil1D {
+                procs: 128,
+                iters: 6,
+                block: 8,
+            }
+            .generate(3),
+        ),
+        (
+            "sharded_web_288",
+            ShardedWebServer {
+                shards: 24,
+                clients_per_shard: 6,
+                workers_per_shard: 4,
+                requests: 1100,
+                affinity: 0.85,
+                redirect: 0.25,
+            }
+            .generate(24),
+        ),
+    ]
+}
+
+/// Deliver `arrivals` (a valid delivery order of `t`) through an
+/// in-process computation running `shards` ingest shards, from first
+/// enqueue to flush completion. Returns the wall nanoseconds.
+pub fn ingest_trace_wall_ns(
+    label: &str,
+    t: &cts_model::Trace,
+    arrivals: &[Event],
+    shards: u32,
+) -> u64 {
+    let comp = crate::pipeline::Computation::spawn(crate::pipeline::ComputationConfig {
+        name: format!("bench-{label}-s{shards}"),
+        num_processes: t.num_processes(),
+        max_cluster_size: 8,
+        queue_capacity: 64,
+        epoch_every: 4096,
+        shards,
+        durability: None,
+    });
+    let start = Instant::now();
+    for chunk in arrivals.chunks(512) {
+        comp.enqueue_events(chunk.to_vec())
+            .expect("bench ingest enqueue");
+    }
+    comp.flush(arrivals.len() as u64, std::time::Duration::from_secs(120))
+        .expect("bench ingest flush");
+    let ns = start.elapsed().as_nanos() as u64;
+    comp.shutdown();
+    ns
+}
+
+/// `shard_ingest/<label>_s<k>` entries: whole-delivery wall time of each
+/// widest computation at each shard count, best of `rounds` runs. The 4-
+/// vs-1-shard ratio of these entries is the ingest-scaling claim
+/// `scripts/bench_gate.py --require-speedup` gates on.
+pub fn shard_sweep_entries(shard_counts: &[u32], rounds: usize) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for (label, t) in widest_computations() {
+        let arrivals = cts_model::linearize::relinearize(&t, 7);
+        for &s in shard_counts {
+            let mut runs: Vec<u64> = (0..rounds.max(1))
+                .map(|_| ingest_trace_wall_ns(label, &t, arrivals.events(), s))
+                .collect();
+            runs.sort_unstable();
+            out.push(BenchEntry {
+                group: "shard_ingest".into(),
+                name: format!("{label}_s{s}"),
+                samples: runs.len(),
+                iters_per_sample: 1,
+                min_ns: runs[0] as f64,
+                median_ns: runs[runs.len() / 2] as f64,
+                p95_ns: *runs.last().unwrap() as f64,
+                mean_ns: runs.iter().sum::<u64>() as f64 / runs.len() as f64,
+            });
+        }
+    }
+    out
+}
+
 /// Build one slice of a computation's stream: round-robin split, window
 /// shuffle, duplicate injection. Deterministic in `(seed, comp, slice)`.
 pub fn build_slice(
@@ -339,7 +430,12 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
             rtt.record(ns);
             rtt_min.fetch_min(ns, Ordering::Relaxed);
             precedence_checked.fetch_add(1, Ordering::Relaxed);
-            if got != offline.precedes(trace, e, f) {
+            let want = offline.precedes(trace, e, f);
+            if got != want {
+                eprintln!(
+                    "[cts-loadgen] MISMATCH {}: precedes({e}, {f}) = {got}, offline says {want}",
+                    entry.name
+                );
                 mismatches.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -347,7 +443,13 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
             let e = ids[(k * 15_485_863 + 3) % ids.len()];
             let got = client.greatest_concurrent(e)?;
             gc_checked.fetch_add(1, Ordering::Relaxed);
-            if got != greatest_concurrent(&mut ClusterBackend(&offline), trace, e) {
+            let want = greatest_concurrent(&mut ClusterBackend(&offline), trace, e);
+            if got != want {
+                eprintln!(
+                    "[cts-loadgen] MISMATCH {}: greatest_concurrent({e}) = {got:?}, \
+                     offline says {want:?}",
+                    entry.name
+                );
                 mismatches.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -361,6 +463,13 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
             .collect();
         windows_checked.fetch_add(1, Ordering::Relaxed);
         if got != expect {
+            eprintln!(
+                "[cts-loadgen] MISMATCH {}: window(P0, 1, {upto}) returned {} ids, \
+                 expected {}",
+                entry.name,
+                got.len(),
+                expect.len()
+            );
             mismatches.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())

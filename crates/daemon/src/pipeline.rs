@@ -21,12 +21,13 @@
 use crate::checkpoint::{self, CompMeta, RecoveryReport};
 use crate::metrics::Metrics;
 use crate::reorder::ReorderBuffer;
+use crate::sharded::ShardedRuntime;
 use crate::wal::{self, WalWriter};
 use cts_core::cluster::ClusterTimestamps;
 use cts_core::strategy::MergeOnFirst;
 use cts_core::ClusterEngine;
-use cts_model::{Event, Trace};
-use cts_store::{EventStore, SharedStore};
+use cts_model::{Event, EventId, ProcessId, Trace};
+use cts_store::{EventStore, PartitionedStore, SharedStore};
 use cts_util::failpoint::{DurableSink, FailpointFs};
 use std::io;
 use std::path::PathBuf;
@@ -65,10 +66,22 @@ pub struct ComputationConfig {
     /// Publish a snapshot every this many delivered events (also on flush
     /// and on worker exit).
     pub epoch_every: u64,
+    /// Ingest shards. `1` (or a single-process computation) runs the
+    /// classic single-worker pipeline; `>= 2` runs the sharded runtime
+    /// ([`crate::sharded`]) with one delivery core per process group,
+    /// clamped to the number of processes.
+    pub shards: u32,
     /// `Some` makes the computation durable: delivered events are
     /// write-ahead logged and checkpointed, and
     /// [`Computation::spawn_durable`] recovers state from disk.
     pub durability: Option<DurabilityConfig>,
+}
+
+impl ComputationConfig {
+    /// Does this configuration select the sharded runtime?
+    pub fn is_sharded(&self) -> bool {
+        self.shards >= 2 && self.num_processes >= 2
+    }
 }
 
 /// An immutable published epoch: the delivered prefix as a valid
@@ -88,10 +101,10 @@ enum IngestCmd {
 }
 
 #[derive(Default)]
-struct Progress {
-    delivered: u64,
-    snapshot_delivered: u64,
-    epoch: u64,
+pub(crate) struct Progress {
+    pub(crate) delivered: u64,
+    pub(crate) snapshot_delivered: u64,
+    pub(crate) epoch: u64,
 }
 
 /// Why a flush barrier failed.
@@ -113,25 +126,37 @@ pub struct Closed;
 /// holds only this (not the [`Computation`]), so dropping every
 /// `Arc<Computation>` drops the master sender and the worker drains and
 /// exits on its own.
-struct CompShared {
-    snapshot: cts_store::sync::RwLock<Arc<Snapshot>>,
-    progress: Mutex<Progress>,
-    cond: Condvar,
-    metrics: Metrics,
-    store: SharedStore,
+pub(crate) struct CompShared {
+    pub(crate) snapshot: cts_store::sync::RwLock<Arc<Snapshot>>,
+    pub(crate) progress: Mutex<Progress>,
+    pub(crate) cond: Condvar,
+    pub(crate) metrics: Metrics,
+    pub(crate) store: SharedStore,
+    /// The sharded runtime's store (its shards write concurrently, so the
+    /// single-writer [`SharedStore`] does not fit); `None` in single mode.
+    pub(crate) parts: Option<Arc<PartitionedStore>>,
     /// Raised by [`Computation::kill`]: the worker exits at the next
     /// command without the graceful final sync/checkpoint/publish.
-    killed: AtomicBool,
+    pub(crate) killed: AtomicBool,
 }
 
-/// One monitored computation: ingest worker + published snapshot + store.
+/// How a computation's ingest runs: one worker thread, or the sharded
+/// runtime.
+enum EngineMode {
+    Single {
+        sender: Mutex<Option<SyncSender<IngestCmd>>>,
+        worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    },
+    Sharded(Arc<ShardedRuntime>),
+}
+
+/// One monitored computation: ingest worker(s) + published snapshot + store.
 pub struct Computation {
     pub name: String,
     pub num_processes: u32,
     pub max_cluster_size: u32,
-    sender: Mutex<Option<SyncSender<IngestCmd>>>,
+    mode: EngineMode,
     shared: Arc<CompShared>,
-    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Computation {
@@ -140,6 +165,16 @@ impl Computation {
     /// nothing is recovered — use [`spawn_durable`](Self::spawn_durable) to
     /// restore state from disk first.
     pub fn spawn(config: ComputationConfig) -> Arc<Computation> {
+        if config.is_sharded() {
+            let (comp, rt) = Self::spawn_sharded(&config);
+            if let Err(e) = rt.bootstrap(false) {
+                eprintln!(
+                    "[cts-daemon] {}: sharded bootstrap failed, running in-memory: {e}",
+                    comp.name
+                );
+            }
+            return comp;
+        }
         Self::spawn_inner(config, Vec::new())
     }
 
@@ -150,6 +185,15 @@ impl Computation {
     pub fn spawn_durable(
         config: ComputationConfig,
     ) -> io::Result<(Arc<Computation>, RecoveryReport)> {
+        if config.is_sharded() {
+            assert!(
+                config.durability.is_some(),
+                "spawn_durable requires a DurabilityConfig"
+            );
+            let (comp, rt) = Self::spawn_sharded(&config);
+            let report = rt.bootstrap(true)?;
+            return Ok((comp, report));
+        }
         let dur = config
             .durability
             .clone()
@@ -172,9 +216,8 @@ impl Computation {
         Ok((comp, report))
     }
 
-    fn spawn_inner(config: ComputationConfig, replay: Vec<Event>) -> Arc<Computation> {
-        let (tx, rx) = sync_channel(config.queue_capacity.max(1));
-        let empty = Snapshot {
+    fn empty_snapshot(config: &ComputationConfig) -> Snapshot {
+        Snapshot {
             epoch: 0,
             delivered: 0,
             trace: Trace::from_delivery_order(
@@ -188,15 +231,43 @@ impl Computation {
                 MergeOnFirst::new(config.max_cluster_size as usize),
             )
             .finish(),
-        };
-        let shared = Arc::new(CompShared {
-            snapshot: cts_store::sync::RwLock::new(Arc::new(empty)),
+        }
+    }
+
+    fn new_shared(
+        config: &ComputationConfig,
+        parts: Option<Arc<PartitionedStore>>,
+    ) -> Arc<CompShared> {
+        Arc::new(CompShared {
+            snapshot: cts_store::sync::RwLock::new(Arc::new(Self::empty_snapshot(config))),
             progress: Mutex::new(Progress::default()),
             cond: Condvar::new(),
             metrics: Metrics::new(),
             store: SharedStore::new(EventStore::new(config.num_processes)),
+            parts,
             killed: AtomicBool::new(false),
+        })
+    }
+
+    /// Spawn the sharded runtime's workers. The caller must still run
+    /// [`ShardedRuntime::bootstrap`] (recovery, WAL segments, first cut).
+    fn spawn_sharded(config: &ComputationConfig) -> (Arc<Computation>, Arc<ShardedRuntime>) {
+        let parts = Arc::new(PartitionedStore::new(config.num_processes));
+        let shared = Self::new_shared(config, Some(Arc::clone(&parts)));
+        let rt = ShardedRuntime::spawn(config, Arc::clone(&shared), parts);
+        let comp = Arc::new(Computation {
+            name: config.name.clone(),
+            num_processes: config.num_processes,
+            max_cluster_size: config.max_cluster_size,
+            mode: EngineMode::Sharded(Arc::clone(&rt)),
+            shared,
         });
+        (comp, rt)
+    }
+
+    fn spawn_inner(config: ComputationConfig, replay: Vec<Event>) -> Arc<Computation> {
+        let (tx, rx) = sync_channel(config.queue_capacity.max(1));
+        let shared = Self::new_shared(&config, None);
         let worker_shared = Arc::clone(&shared);
         let name = config.name.clone();
         let num_processes = config.num_processes;
@@ -209,17 +280,42 @@ impl Computation {
             name,
             num_processes,
             max_cluster_size,
-            sender: Mutex::new(Some(tx)),
+            mode: EngineMode::Single {
+                sender: Mutex::new(Some(tx)),
+                worker: Mutex::new(Some(handle)),
+            },
             shared,
-            worker: Mutex::new(Some(handle)),
         })
     }
 
     /// Enqueue a batch for ingest. Blocks when the queue is full
     /// (backpressure); fails only once the computation is shut down.
     pub fn enqueue_events(&self, batch: Vec<Event>) -> Result<(), Closed> {
-        let tx = lock(&self.sender).clone().ok_or(Closed)?;
-        tx.send(IngestCmd::Events(batch)).map_err(|_| Closed)
+        match &self.mode {
+            EngineMode::Single { sender, .. } => {
+                let tx = lock(sender).clone().ok_or(Closed)?;
+                tx.send(IngestCmd::Events(batch)).map_err(|_| Closed)
+            }
+            EngineMode::Sharded(rt) => rt.enqueue(batch).map_err(|()| Closed),
+        }
+    }
+
+    /// Non-blocking diagnostic (safe to call from a watchdog).
+    #[doc(hidden)]
+    #[allow(dead_code)] // diagnostic: referenced from tests only
+    pub(crate) fn debug_nofreeze(&self) -> String {
+        match &self.mode {
+            EngineMode::Single { .. } => "single mode".to_string(),
+            EngineMode::Sharded(rt) => rt.debug_nofreeze(),
+        }
+    }
+
+    /// How many ingest shards this computation runs (1 in single mode).
+    pub fn num_shards(&self) -> usize {
+        match &self.mode {
+            EngineMode::Single { .. } => 1,
+            EngineMode::Sharded(rt) => rt.num_shards(),
+        }
     }
 
     /// The current published snapshot (cheap: an `Arc` clone under a read
@@ -233,9 +329,40 @@ impl Computation {
         &self.shared.metrics
     }
 
-    /// The shared event store (for window queries).
+    /// The shared event store (for window queries). Single mode only — the
+    /// sharded runtime writes a [`PartitionedStore`] instead; use the
+    /// mode-agnostic [`process_window`](Self::process_window) and
+    /// [`stored_len`](Self::stored_len) for queries.
     pub fn store(&self) -> &SharedStore {
         &self.shared.store
+    }
+
+    /// Mode-agnostic window query: the ids stored for process `p` with
+    /// indices in `[from, to]`.
+    pub fn process_window(&self, p: ProcessId, from: u32, to: u32) -> Vec<EventId> {
+        match &self.shared.parts {
+            Some(parts) => parts
+                .process_window(p, from, to)
+                .iter()
+                .map(|r| r.event.id)
+                .collect(),
+            None => self
+                .shared
+                .store
+                .read()
+                .process_window(p, from, to)
+                .iter()
+                .map(|r| r.event.id)
+                .collect(),
+        }
+    }
+
+    /// Mode-agnostic store size (events stored exactly once).
+    pub fn stored_len(&self) -> u64 {
+        match &self.shared.parts {
+            Some(parts) => parts.len(),
+            None => self.shared.store.read().len() as u64,
+        }
     }
 
     /// Barrier: wait until `expected` events are delivered *and* a snapshot
@@ -259,11 +386,28 @@ impl Computation {
         }
         if g.snapshot_delivered < expected {
             drop(g);
-            // A publish may race in between; sending a redundant Publish is
-            // harmless (the worker skips no-op publishes).
-            if let Some(tx) = lock(&self.sender).clone() {
-                tx.send(IngestCmd::Publish)
-                    .map_err(|_| FlushError::Closed)?;
+            match &self.mode {
+                EngineMode::Single { sender, .. } => {
+                    // A publish may race in between; sending a redundant
+                    // Publish is harmless (the worker skips no-op publishes).
+                    if let Some(tx) = lock(sender).clone() {
+                        tx.send(IngestCmd::Publish)
+                            .map_err(|_| FlushError::Closed)?;
+                    }
+                }
+                EngineMode::Sharded(rt) => {
+                    // The barrier forces durable cuts itself (no worker to
+                    // nudge); a failure here is a deadline miss.
+                    rt.flush_cut(expected, deadline).map_err(|()| {
+                        if rt.closed() {
+                            FlushError::Closed
+                        } else {
+                            FlushError::Timeout {
+                                delivered: lock(&shared.progress).delivered,
+                            }
+                        }
+                    })?;
+                }
             }
             g = lock(&shared.progress);
             while g.snapshot_delivered < expected {
@@ -284,11 +428,16 @@ impl Computation {
     }
 
     /// Stop accepting, drain the queue, publish a final snapshot, and join
-    /// the worker. Idempotent.
+    /// the worker(s). Idempotent.
     pub fn shutdown(&self) {
-        drop(lock(&self.sender).take());
-        if let Some(h) = lock(&self.worker).take() {
-            let _ = h.join();
+        match &self.mode {
+            EngineMode::Single { sender, worker } => {
+                drop(lock(sender).take());
+                if let Some(h) = lock(worker).take() {
+                    let _ = h.join();
+                }
+            }
+            EngineMode::Sharded(rt) => rt.shutdown(),
         }
     }
 
@@ -299,18 +448,26 @@ impl Computation {
     /// restart-and-recover tests must cope with. Idempotent.
     pub fn kill(&self) {
         self.shared.killed.store(true, Ordering::Release);
-        drop(lock(&self.sender).take());
-        if let Some(h) = lock(&self.worker).take() {
-            let _ = h.join();
+        match &self.mode {
+            EngineMode::Single { sender, worker } => {
+                drop(lock(sender).take());
+                if let Some(h) = lock(worker).take() {
+                    let _ = h.join();
+                }
+            }
+            EngineMode::Sharded(rt) => rt.kill(),
         }
     }
 }
 
 impl Drop for Computation {
     fn drop(&mut self) {
-        // Release the worker without joining (it drains and exits once the
-        // master sender is gone); an explicit shutdown() already joined.
-        drop(lock(&self.sender).take());
+        // Release the worker(s) without joining (they drain and exit once
+        // told); an explicit shutdown() already joined.
+        match &self.mode {
+            EngineMode::Single { sender, .. } => drop(lock(sender).take()),
+            EngineMode::Sharded(rt) => rt.request_stop(),
+        }
     }
 }
 
@@ -595,7 +752,7 @@ fn worker_loop(
 
 /// Poison-tolerant mutex lock (a panicked ingest worker must not wedge
 /// every query thread behind a poisoned lock).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -614,6 +771,7 @@ mod tests {
             max_cluster_size: 4,
             queue_capacity: 8,
             epoch_every: 64,
+            shards: 1,
             durability: None,
         }
     }
@@ -652,6 +810,39 @@ mod tests {
         }
         // The store saw every event exactly once.
         assert_eq!(comp.store().read().len(), t.num_events());
+        comp.shutdown();
+    }
+
+    #[test]
+    fn sharded_flush_then_queries_match_offline_engine() {
+        let t = Stencil1D { procs: 8, iters: 6 }.generate(7);
+        let mut cfg = config("sharded-pipeline-test", t.num_processes());
+        cfg.shards = 4;
+        let comp = Computation::spawn(cfg);
+        assert_eq!(comp.num_shards(), 4);
+        let shuffled = relinearize(&t, 42);
+        for chunk in shuffled.events().chunks(37) {
+            comp.enqueue_events(chunk.to_vec()).unwrap();
+        }
+        let (epoch, delivered) = comp
+            .flush(t.num_events() as u64, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("flush failed: {e:?}\n{}", comp.debug_nofreeze()));
+        assert!(epoch >= 1);
+        assert_eq!(delivered, t.num_events() as u64);
+
+        let snap = comp.snapshot();
+        assert_eq!(snap.trace.num_events(), t.num_events());
+        let offline = ClusterEngine::run(&t, MergeOnFirst::new(4));
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    snap.cts.precedes(&snap.trace, e, f),
+                    offline.precedes(&t, e, f),
+                    "{e} -> {f}"
+                );
+            }
+        }
+        assert_eq!(comp.stored_len(), t.num_events() as u64);
         comp.shutdown();
     }
 

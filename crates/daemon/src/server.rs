@@ -56,6 +56,9 @@ pub struct DaemonConfig {
     pub checkpoint_every: u64,
     /// Test failpoint (see [`DurabilityConfig::wal_byte_budget`]).
     pub wal_byte_budget: Option<u64>,
+    /// Ingest shards per computation (see [`ComputationConfig::shards`]);
+    /// `1` = the classic single-worker pipeline.
+    pub shards: u32,
 }
 
 impl Default for DaemonConfig {
@@ -70,6 +73,7 @@ impl Default for DaemonConfig {
             sync_window: Duration::from_millis(5),
             checkpoint_every: 100_000,
             wal_byte_budget: None,
+            shards: 1,
         }
     }
 }
@@ -485,6 +489,7 @@ fn computation_config(
         max_cluster_size,
         queue_capacity: shared.config.queue_capacity,
         epoch_every: shared.config.epoch_every,
+        shards: shared.config.shards,
         durability,
     }
 }
@@ -619,13 +624,7 @@ fn answer_query(comp: &Computation, msg: &Msg) -> Msg {
                     message: format!("process {process} outside 0..{}", comp.num_processes),
                 };
             }
-            let ids = comp
-                .store()
-                .read()
-                .process_window(ProcessId(process), from, to)
-                .iter()
-                .map(|r| r.event.id)
-                .collect();
+            let ids = comp.process_window(ProcessId(process), from, to);
             Msg::WindowResult { ids }
         }
         _ => unreachable!("answer_query only receives queries"),

@@ -1,0 +1,1191 @@
+//! Sharded causal delivery: the per-process-group engine partition.
+//!
+//! The single-worker pipeline ([`crate::pipeline`]) delivers every event of a
+//! computation on one thread. This module partitions that work per *process
+//! group*: each [`ShardCore`] owns the reorder buffer, Fidge/Mattern
+//! frontier, cluster stamper, and store rows for a subset of the processes,
+//! seeded from a balanced block partition and rebalanced so that each cluster
+//! of the (growing) cluster hierarchy lives on one shard.
+//!
+//! Cross-shard edges — a receive whose send was delivered on another shard,
+//! or a sync whose peer lives on another shard — are sequenced through the
+//! [`Exchange`]: the sending side *publishes* the clock the far side needs
+//! (a send's stamp; a sync half's pre-sync frontier) and the consuming side
+//! either finds it ready or registers for a wake-up. Because every consumed
+//! slot was published at (or before) the delivery of the event it describes,
+//! any interleaving of shard steps yields a global delivery order that is a
+//! linearization of causal order; the [`CutAssembler`] materializes one such
+//! linearization incrementally for snapshot publication.
+//!
+//! ## Why racy stamping stays exact
+//!
+//! Shards stamp events against a shared, lock-coherent cluster membership
+//! ([`SharedSets`]) that another shard may have advanced concurrently. A
+//! stamp may therefore be projected over a *newer* (larger) cluster version
+//! than an offline engine replaying the assembled order would have used at
+//! that position. Precedence remains exact regardless:
+//!
+//! - clusters only grow, so any version referenced by a stamp is a superset
+//!   of the version the offline replay would project over, and extra
+//!   components carry the event's true Fidge/Mattern knowledge (possibly 0,
+//!   which `precedes` already treats as "no knowledge");
+//! - an event classified as a non-mergeable cluster receive under a *stale*
+//!   view re-checks under the lock before deciding, so merge decisions are
+//!   made against the freshest membership, serialized by the lock;
+//! - a non-mergeable cluster receive records its **full** Fidge/Mattern
+//!   clock, which is exact by delivery-order invariance, so the cluster-
+//!   receive relays `precedes` chains through never under-approximate.
+//!
+//! The schedule-exploration harness ([`SimShards`]) drives the very same
+//! cores deterministically, one step at a time, so `tests/shard_schedules.rs`
+//! can explore interleavings (including mid-stream rebalances) and assert
+//! precedence/store equivalence with the offline batch engine.
+
+use crate::reorder::{RejectReason, ShardHooks, ShardReorderBuffer};
+use cts_core::cluster::{ClusterSets, ClusterStamp, ClusterTimestamps};
+use cts_core::strategy::{MergeOnFirst, MergePolicy};
+use cts_core::VectorClock;
+use cts_model::{Event, EventId, EventKind, ProcessId, Trace};
+use cts_store::PartitionedStore;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Index of a shard within one computation's shard set.
+pub type ShardId = usize;
+
+/// A pending cross-shard wake-up: shard `.0` has work parked under event
+/// `.1`, whose clock just became available on the exchange.
+pub type Wake = (ShardId, EventId);
+
+/// Poison-tolerant lock (mirrors [`crate::pipeline`]'s discipline).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Exchange: cross-shard clock hand-off
+// ---------------------------------------------------------------------------
+
+enum Slot {
+    /// The clock is available (a send's stamp, or a sync half's pre-sync
+    /// frontier).
+    Ready(VectorClock),
+    /// Not published yet; these shards asked to be woken when it is.
+    Waiting(Vec<ShardId>),
+}
+
+/// The cross-shard clock exchange: a striped map from event id to the clock
+/// the *consuming* shard needs to apply the cross-shard edge.
+///
+/// Publication happens at (send) delivery time or (sync) readiness time on
+/// the owning shard; consumption removes the slot exactly once, on the
+/// delivery of the far-side event. A slot whose edge later turns local (the
+/// consumer's process migrated onto the publisher's shard mid-flight) is
+/// simply never consumed; ids are globally unique, so leaked slots are
+/// unreachable and bounded by the number of rebalances.
+pub struct Exchange {
+    stripes: Vec<Mutex<HashMap<EventId, Slot>>>,
+}
+
+impl Default for Exchange {
+    fn default() -> Exchange {
+        Exchange::new()
+    }
+}
+
+impl Exchange {
+    /// An empty exchange.
+    pub fn new() -> Exchange {
+        Exchange {
+            stripes: (0..16).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stripe(&self, id: EventId) -> &Mutex<HashMap<EventId, Slot>> {
+        let h = (id.process.0 as usize).wrapping_mul(31) ^ id.index.0 as usize;
+        &self.stripes[h % self.stripes.len()]
+    }
+
+    /// Publish the clock for `id`, waking any registered shards (appended to
+    /// `wakes`). Idempotent: re-publishing an already-ready slot is a no-op.
+    pub fn publish(&self, id: EventId, clock: VectorClock, wakes: &mut Vec<Wake>) {
+        let mut g = lock(self.stripe(id));
+        match g.insert(id, Slot::Ready(clock)) {
+            None => {}
+            Some(Slot::Waiting(shards)) => wakes.extend(shards.into_iter().map(|s| (s, id))),
+            Some(ready @ Slot::Ready(_)) => {
+                // Sync halves re-publish their frontier on re-examination.
+                g.insert(id, ready);
+            }
+        }
+    }
+
+    /// Is `id` ready? If not, atomically register `me` for a wake-up.
+    pub fn ready_or_register(&self, id: EventId, me: ShardId) -> bool {
+        let mut g = lock(self.stripe(id));
+        match g.entry(id).or_insert_with(|| Slot::Waiting(Vec::new())) {
+            Slot::Ready(_) => true,
+            Slot::Waiting(shards) => {
+                if !shards.contains(&me) {
+                    shards.push(me);
+                }
+                false
+            }
+        }
+    }
+
+    /// Consume the clock for `id`. Panics if the slot is not ready — callers
+    /// only consume after a successful readiness check on the same thread.
+    pub fn take(&self, id: EventId) -> VectorClock {
+        match lock(self.stripe(id)).remove(&id) {
+            Some(Slot::Ready(clock)) => clock,
+            _ => panic!("exchange slot {id} consumed before it was published"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SharedSets: lock-coherent cluster membership across shards
+// ---------------------------------------------------------------------------
+
+/// Cluster membership shared by every shard of one computation.
+///
+/// Readers keep a cached `Arc<ClusterSets>` and refresh it when the
+/// generation counter moves (one atomic load per event on the fast path).
+/// The cache can only *lag* the truth, and clusters only grow, so a cached
+/// "same cluster" verdict is always safe; a cached "different clusters"
+/// verdict is re-checked under the lock before any merge decision.
+pub struct SharedSets {
+    generation: AtomicU64,
+    inner: Mutex<Arc<ClusterSets>>,
+}
+
+impl SharedSets {
+    /// Singleton clusters for `n` processes, generation 0.
+    pub fn new(n: u32) -> SharedSets {
+        SharedSets {
+            generation: AtomicU64::new(0),
+            inner: Mutex::new(Arc::new(ClusterSets::singletons(n))),
+        }
+    }
+
+    /// Number of merges performed so far.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A coherent `(sets, generation)` pair.
+    pub fn snapshot(&self) -> (Arc<ClusterSets>, u64) {
+        let g = lock(&self.inner);
+        (Arc::clone(&g), self.generation.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardFm: the Fidge/Mattern engine restricted to owned processes
+// ---------------------------------------------------------------------------
+
+/// Per-shard Fidge/Mattern state: frontier rows for owned processes, plus
+/// the in-flight clocks of locally-delivered sends whose receiver is also
+/// local. Cross-shard message/sync clocks travel through the [`Exchange`].
+#[derive(Clone, Debug)]
+struct ShardFm {
+    n: u32,
+    owned: Vec<bool>,
+    frontier: Vec<VectorClock>,
+    /// send id → (receiver, stamp) for sends whose receiver is owned here.
+    in_flight: HashMap<EventId, (ProcessId, VectorClock)>,
+    /// second-half id → combined stamp, within one local sync delivery.
+    pending_sync: HashMap<EventId, VectorClock>,
+}
+
+impl ShardFm {
+    fn new(n: u32, owned: Vec<bool>) -> ShardFm {
+        ShardFm {
+            n,
+            owned,
+            frontier: vec![VectorClock::zero(n as usize); n as usize],
+            in_flight: HashMap::new(),
+            pending_sync: HashMap::new(),
+        }
+    }
+
+    fn advance_own(&self, p: ProcessId, index: u32) -> VectorClock {
+        let mut c = self.frontier[p.idx()].clone();
+        c.set(p, index);
+        c
+    }
+
+    /// Apply one delivered event, returning its Fidge/Mattern stamp.
+    fn accept(&mut self, ev: Event, exchange: &Exchange, wakes: &mut Vec<Wake>) -> VectorClock {
+        let p = ev.process();
+        let index = ev.index().0;
+        let stamp = match ev.kind {
+            EventKind::Internal => self.advance_own(p, index),
+            EventKind::Send { to } => {
+                let s = self.advance_own(p, index);
+                if to.0 < self.n && self.owned[to.idx()] {
+                    self.in_flight.insert(ev.id, (to, s.clone()));
+                } else {
+                    exchange.publish(ev.id, s.clone(), wakes);
+                }
+                s
+            }
+            EventKind::Receive { from } => {
+                // The send may have been delivered locally (in-flight) or on
+                // another shard (exchange) — including the mixed case where
+                // the receiver migrated here after the send was published.
+                let msg = match self.in_flight.remove(&from) {
+                    Some((_, clock)) => clock,
+                    None => exchange.take(from),
+                };
+                let mut s = self.advance_own(p, index);
+                s.max_assign(&msg);
+                s
+            }
+            EventKind::Sync { peer } => {
+                let q = peer.process;
+                if self.owned[q.idx()] {
+                    if let Some(combined) = self.pending_sync.remove(&ev.id) {
+                        combined // second half of a locally-delivered pair
+                    } else if self.frontier[q.idx()].get(q) >= peer.index.0 {
+                        // The peer half was already delivered as a
+                        // cross-shard sync before `q` migrated here. `q`'s
+                        // *current* frontier may have moved past the sync,
+                        // so it must not leak into this stamp; the peer's
+                        // pre-sync frontier is still parked on the exchange
+                        // (this half is its only consumer).
+                        let peer_frontier = exchange.take(peer);
+                        let mut combined = self.advance_own(p, index);
+                        combined.max_assign(&peer_frontier);
+                        combined.set(q, peer.index.0);
+                        combined
+                    } else {
+                        let mut combined = self.advance_own(p, index);
+                        combined.max_assign(&self.frontier[q.idx()]);
+                        combined.set(q, peer.index.0);
+                        self.pending_sync.insert(peer, combined.clone());
+                        self.frontier[q.idx()] = combined.clone();
+                        combined
+                    }
+                } else {
+                    // Both halves compute the identical combined stamp from
+                    // the exchanged pre-sync frontiers: componentwise max
+                    // with both own components bumped.
+                    let peer_frontier = exchange.take(peer);
+                    let mut combined = self.advance_own(p, index);
+                    combined.max_assign(&peer_frontier);
+                    combined.set(q, peer.index.0);
+                    combined
+                }
+            }
+        };
+        self.frontier[p.idx()] = stamp.clone();
+        stamp
+    }
+
+    /// Release `p` for migration: its frontier row, plus every in-flight
+    /// clock with either endpoint on `p` published to the exchange (the new
+    /// owner — or a still-local receive under relaxed ownership — consumes
+    /// them from there).
+    fn release_process(
+        &mut self,
+        p: ProcessId,
+        exchange: &Exchange,
+        wakes: &mut Vec<Wake>,
+    ) -> VectorClock {
+        debug_assert!(self.pending_sync.is_empty(), "migration inside a sync pair");
+        self.owned[p.idx()] = false;
+        let ids: Vec<EventId> = self
+            .in_flight
+            .iter()
+            .filter(|(id, (to, _))| id.process == p || *to == p)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut ids = ids;
+        ids.sort();
+        for id in ids {
+            let (_, clock) = self.in_flight.remove(&id).expect("collected above");
+            exchange.publish(id, clock, wakes);
+        }
+        std::mem::replace(
+            &mut self.frontier[p.idx()],
+            VectorClock::zero(self.n as usize),
+        )
+    }
+
+    fn adopt_process(&mut self, p: ProcessId, frontier: VectorClock) {
+        self.owned[p.idx()] = true;
+        self.frontier[p.idx()] = frontier;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardStamper: cluster-timestamp classification against SharedSets
+// ---------------------------------------------------------------------------
+
+/// Classifies delivered events into projected stamps vs. (non-mergeable)
+/// cluster receives, against the shared membership. Merge decisions are
+/// serialized by the [`SharedSets`] lock and re-checked there, so a stale
+/// cache can never produce a wrong merge — only a redundant lock round-trip.
+struct ShardStamper {
+    policy: MergeOnFirst,
+    cache: Arc<ClusterSets>,
+    cached_generation: u64,
+}
+
+impl ShardStamper {
+    fn new(max_cluster_size: usize, shared: &SharedSets) -> ShardStamper {
+        let (cache, cached_generation) = shared.snapshot();
+        ShardStamper {
+            policy: MergeOnFirst::new(max_cluster_size),
+            cache,
+            cached_generation,
+        }
+    }
+
+    fn refresh(&mut self, shared: &SharedSets) {
+        if self.cached_generation != shared.generation() {
+            let (cache, generation) = shared.snapshot();
+            self.cache = cache;
+            self.cached_generation = generation;
+        }
+    }
+
+    fn project(sets: &ClusterSets, p: ProcessId, clock: &VectorClock) -> ClusterStamp {
+        let version = sets.version_of_root(sets.find_readonly(p));
+        ClusterStamp::Projected {
+            version,
+            clock: clock.project(sets.members(version)),
+        }
+    }
+
+    /// Stamp one delivered event. Returns the stamp and whether this call
+    /// performed a cluster merge (the caller schedules a rebalance).
+    fn stamp(
+        &mut self,
+        ev: Event,
+        clock: &VectorClock,
+        shared: &SharedSets,
+    ) -> (ClusterStamp, bool) {
+        self.refresh(shared);
+        let p = ev.process();
+        let cross = ev.kind.receive_source().filter(|src| {
+            let v = self.cache.version_of_root(self.cache.find_readonly(p));
+            !self.cache.contains(v, src.process)
+        });
+        let Some(src) = cross else {
+            return (Self::project(&self.cache, p, clock), false);
+        };
+        // Cluster receive under the cached view: decide under the lock with
+        // the freshest membership (another shard may have merged since).
+        let mut guard = lock(&shared.inner);
+        let ra = guard.find_readonly(p);
+        let rb = guard.find_readonly(src.process);
+        if ra == rb {
+            // Merged concurrently — an ordinary intra-cluster receive.
+            self.cache = Arc::clone(&guard);
+            self.cached_generation = shared.generation.load(Ordering::Relaxed);
+            drop(guard);
+            return (Self::project(&self.cache, p, clock), false);
+        }
+        if self.policy.on_cluster_receive(ra, rb, &guard) {
+            let mut next = ClusterSets::clone(&guard);
+            let (new_root, version) = next.merge(ra, rb);
+            self.policy.after_merge(ra, rb, new_root);
+            *guard = Arc::new(next);
+            shared.generation.fetch_add(1, Ordering::Release);
+            self.cache = Arc::clone(&guard);
+            self.cached_generation = shared.generation.load(Ordering::Relaxed);
+            drop(guard);
+            let stamp = ClusterStamp::Projected {
+                version,
+                clock: clock.project(self.cache.members(version)),
+            };
+            (stamp, true)
+        } else {
+            drop(guard);
+            (
+                ClusterStamp::Full {
+                    clock: clock.clone(),
+                },
+                false,
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardCore: one shard's complete delivery state
+// ---------------------------------------------------------------------------
+
+/// One delivered event with its cluster stamp, as handed from a shard to the
+/// [`CutAssembler`].
+#[derive(Clone, Debug)]
+pub struct DeliveredRec {
+    pub ev: Event,
+    pub stamp: ClusterStamp,
+}
+
+/// The environment every shard of a computation shares.
+pub struct ShardEnv {
+    pub exchange: Exchange,
+    pub sets: SharedSets,
+}
+
+impl ShardEnv {
+    /// A fresh environment for `n` processes.
+    pub fn new(n: u32) -> ShardEnv {
+        ShardEnv {
+            exchange: Exchange::new(),
+            sets: SharedSets::new(n),
+        }
+    }
+}
+
+/// One shard's delivery state: reorder buffer, Fidge/Mattern frontier,
+/// cluster stamper, and a positional writer handle on the shared store.
+///
+/// The core is fully synchronous — the threaded runtime wraps it in a mutex
+/// and the schedule harness steps it directly, so both execute the exact
+/// same logic.
+pub struct ShardCore {
+    pub id: ShardId,
+    reorder: ShardReorderBuffer,
+    fm: ShardFm,
+    stamper: ShardStamper,
+    store: Arc<PartitionedStore>,
+    /// Delivered records not yet drained into the cut assembler.
+    outbox: Vec<DeliveredRec>,
+    /// This shard's full delivered order (per-shard WAL/checkpoint unit).
+    log: Vec<Event>,
+    /// Set when a delivery merged clusters; the runtime rebalances at the
+    /// next message boundary and clears it.
+    pub rebalance_needed: bool,
+}
+
+impl ShardCore {
+    /// A core owning the processes for which `owned` is true.
+    pub fn new(
+        id: ShardId,
+        n: u32,
+        owned: Vec<bool>,
+        max_cluster_size: usize,
+        store: Arc<PartitionedStore>,
+        env: &ShardEnv,
+    ) -> ShardCore {
+        ShardCore {
+            id,
+            reorder: ShardReorderBuffer::new(n, owned.clone()),
+            fm: ShardFm::new(n, owned),
+            stamper: ShardStamper::new(max_cluster_size, &env.sets),
+            store,
+            outbox: Vec::new(),
+            log: Vec::new(),
+            rebalance_needed: false,
+        }
+    }
+
+    /// Does this shard currently own process `p`?
+    pub fn owns(&self, p: ProcessId) -> bool {
+        self.reorder.owns(p)
+    }
+
+    /// Offer one event of an owned process; returns how many events this
+    /// delivered (cross-shard wake-ups are appended to `wakes`).
+    pub fn offer(
+        &mut self,
+        ev: Event,
+        env: &ShardEnv,
+        wakes: &mut Vec<Wake>,
+    ) -> Result<u64, RejectReason> {
+        let mut hooks = CoreHooks {
+            me: self.id,
+            fm: &mut self.fm,
+            stamper: &mut self.stamper,
+            store: &self.store,
+            outbox: &mut self.outbox,
+            log: &mut self.log,
+            env,
+            wakes,
+            rebalance_needed: &mut self.rebalance_needed,
+        };
+        self.reorder.offer(ev, &mut hooks)
+    }
+
+    /// A cross-shard dependency became available: re-examine waiters.
+    pub fn wake(&mut self, id: EventId, env: &ShardEnv, wakes: &mut Vec<Wake>) -> u64 {
+        let mut hooks = CoreHooks {
+            me: self.id,
+            fm: &mut self.fm,
+            stamper: &mut self.stamper,
+            store: &self.store,
+            outbox: &mut self.outbox,
+            log: &mut self.log,
+            env,
+            wakes,
+            rebalance_needed: &mut self.rebalance_needed,
+        };
+        self.reorder.wake(id, &mut hooks)
+    }
+
+    /// Drain the delivered records accumulated since the last drain.
+    pub fn drain_outbox(&mut self) -> Vec<DeliveredRec> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Diagnostic view of the shard's reorder state.
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        self.reorder.debug_state()
+    }
+
+    /// This shard's delivered order (for per-shard WAL/checkpointing).
+    pub fn log(&self) -> &[Event] {
+        &self.log
+    }
+
+    /// Total events delivered by this shard.
+    pub fn delivered_total(&self) -> u64 {
+        self.reorder.delivered_total()
+    }
+
+    /// Duplicate arrivals dropped by this shard.
+    pub fn duplicates(&self) -> u64 {
+        self.reorder.duplicates()
+    }
+
+    /// Events currently parked on this shard.
+    pub fn depth(&self) -> usize {
+        self.reorder.depth()
+    }
+
+    /// High-water mark of [`depth`](Self::depth).
+    pub fn peak_depth(&self) -> usize {
+        self.reorder.peak_depth()
+    }
+}
+
+/// The [`ShardHooks`] view over a core's non-reorder state, so readiness
+/// probes and deliveries run *during* the reorder cascade with the effects
+/// of everything delivered earlier in the same cascade.
+struct CoreHooks<'a> {
+    me: ShardId,
+    fm: &'a mut ShardFm,
+    stamper: &'a mut ShardStamper,
+    store: &'a PartitionedStore,
+    outbox: &'a mut Vec<DeliveredRec>,
+    log: &'a mut Vec<Event>,
+    env: &'a ShardEnv,
+    wakes: &'a mut Vec<Wake>,
+    rebalance_needed: &'a mut bool,
+}
+
+impl ShardHooks for CoreHooks<'_> {
+    fn send_ready(&mut self, send: EventId) -> bool {
+        // A send delivered locally before its receiver migrated away leaves
+        // its clock in `in_flight` until the receiver's shard is released —
+        // but by then release_process has published it, so the exchange is
+        // authoritative for any send we do not own.
+        self.env.exchange.ready_or_register(send, self.me)
+    }
+
+    fn sync_ready(&mut self, my_half: EventId, peer: EventId) -> bool {
+        let frontier = self.fm.frontier[my_half.process.idx()].clone();
+        self.env.exchange.publish(my_half, frontier, self.wakes);
+        self.env.exchange.ready_or_register(peer, self.me)
+    }
+
+    fn deliver(&mut self, ev: Event) {
+        // Store first: the exchange publication below is the release edge a
+        // remote receive synchronizes on, so its source row is visible by
+        // the time the far shard's store insert checks it.
+        if let Err(e) = self.store.insert(ev) {
+            // Causal delivery makes this unreachable; never wedge a shard
+            // over a store refusal.
+            eprintln!(
+                "[cts-daemon] shard {}: store refused {}: {e}",
+                self.me, ev.id
+            );
+        }
+        let clock = self.fm.accept(ev, &self.env.exchange, self.wakes);
+        let (stamp, merged) = self.stamper.stamp(ev, &clock, &self.env.sets);
+        if merged {
+            *self.rebalance_needed = true;
+        }
+        self.outbox.push(DeliveredRec { ev, stamp });
+        self.log.push(ev);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Migration & rebalancing
+// ---------------------------------------------------------------------------
+
+/// Move ownership of process `p` from shard `from` to shard `to`. Must run
+/// at a full-stop barrier (the caller holds every core exclusively, as the
+/// threaded runtime's freeze or the harness's synchronous step does).
+/// Returns how many events were delivered as a side effect (re-offered
+/// pending events and re-examined waiters may both cascade).
+pub fn migrate_process(
+    cores: &mut [&mut ShardCore],
+    from: ShardId,
+    to: ShardId,
+    p: ProcessId,
+    env: &ShardEnv,
+    wakes: &mut Vec<Wake>,
+) -> u64 {
+    assert_ne!(from, to);
+    let mut delivered = 0;
+    let (watermark, pending, frontier, moved_recs) = {
+        let src = &mut *cores[from];
+        let (watermark, pending) = src.reorder.release_process(p);
+        let frontier = src.fm.release_process(p, &env.exchange, wakes);
+        // `p`'s undrained delivered records follow it, so the assembler's
+        // per-process queue keeps seeing `p` in index order no matter which
+        // shard's outbox a cut drains first.
+        let mut kept = Vec::with_capacity(src.outbox.len());
+        let mut moved_recs = Vec::new();
+        for rec in src.outbox.drain(..) {
+            if rec.ev.process() == p {
+                moved_recs.push(rec);
+            } else {
+                kept.push(rec);
+            }
+        }
+        src.outbox = kept;
+        (watermark, pending, frontier, moved_recs)
+    };
+    {
+        let dst = &mut *cores[to];
+        dst.outbox.extend(moved_recs);
+        dst.reorder.adopt_process(p, watermark);
+        dst.fm.adopt_process(p, frontier);
+        for ev in pending {
+            match dst.offer(ev, env, wakes) {
+                Ok(d) => delivered += d,
+                Err(reason) => eprintln!(
+                    "[cts-daemon] shard {to}: migrated event {} refused: {reason}",
+                    ev.id
+                ),
+            }
+        }
+    }
+    // Local events parked under `p`'s events switch to cross-shard edges.
+    let src = &mut *cores[from];
+    let mut hooks = CoreHooks {
+        me: src.id,
+        fm: &mut src.fm,
+        stamper: &mut src.stamper,
+        store: &src.store,
+        outbox: &mut src.outbox,
+        log: &mut src.log,
+        env,
+        wakes,
+        rebalance_needed: &mut src.rebalance_needed,
+    };
+    delivered + src.reorder.reexamine_process(p, &mut hooks)
+}
+
+/// Re-align process ownership with the current cluster partition: each
+/// multi-process cluster is gathered onto the shard already owning the
+/// plurality of its members. Runs at a full-stop barrier. Returns
+/// `(events delivered as a side effect, processes migrated)`.
+pub fn rebalance(
+    cores: &mut [&mut ShardCore],
+    routing: &[AtomicU32],
+    env: &ShardEnv,
+    wakes: &mut Vec<Wake>,
+) -> (u64, u64) {
+    let (sets, _) = env.sets.snapshot();
+    let partition = sets.current_partition();
+    // Clear the flags up front: a merge performed *during* a migration's
+    // cascading deliveries re-raises them, and the caller loops until no
+    // shard asks again (merges are bounded by the process count, so the
+    // loop terminates).
+    for core in cores.iter_mut() {
+        core.rebalance_needed = false;
+    }
+    let mut delivered = 0;
+    let mut moves = 0;
+    for members in partition.clusters() {
+        if members.len() < 2 {
+            continue;
+        }
+        let mut counts = vec![0usize; cores.len()];
+        for &m in members {
+            counts[routing[m.idx()].load(Ordering::Relaxed) as usize] += 1;
+        }
+        let mut target = 0;
+        let mut best = 0;
+        for (shard, &c) in counts.iter().enumerate() {
+            if c > best {
+                best = c;
+                target = shard;
+            }
+        }
+        for &m in members {
+            let cur = routing[m.idx()].load(Ordering::Relaxed) as usize;
+            if cur != target {
+                delivered += migrate_process(cores, cur, target, m, env, wakes);
+                routing[m.idx()].store(target as u32, Ordering::Relaxed);
+                moves += 1;
+            }
+        }
+    }
+    (delivered, moves)
+}
+
+/// The initial balanced block partition of `n` processes over `shards`
+/// shards (clusters start as singletons, so any balanced assignment agrees
+/// with the cluster hierarchy).
+pub fn initial_routing(n: u32, shards: usize) -> Vec<AtomicU32> {
+    (0..n)
+        .map(|p| AtomicU32::new((p as usize * shards / n.max(1) as usize) as u32))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// CutAssembler: incremental union of per-shard delivered prefixes
+// ---------------------------------------------------------------------------
+
+/// Merges per-shard delivered sequences into one global delivery order, for
+/// snapshot publication (the "two-phase cut": shards publish their delivered
+/// prefixes, the assembler emits the union's maximal causally-closed valid
+/// prefix).
+///
+/// Consecutive cuts extend earlier ones — the merged log is persistent — so
+/// published snapshots are prefix-monotone exactly like the single-worker
+/// pipeline's. A cross-shard sync with only one half assembled (the other
+/// shard has not processed its wake yet) *dangles*: its process's
+/// contribution is truncated just before it and resumes at the next cut.
+/// Receives cannot dangle, because a send's record always reaches the
+/// assembler no later than its receive's (publication precedes consumption).
+pub struct CutAssembler {
+    n: u32,
+    queues: Vec<VecDeque<DeliveredRec>>,
+    /// Per-process count of events consumed into the merged log.
+    taken: Vec<u32>,
+    log: Vec<Event>,
+    stamps: Vec<ClusterStamp>,
+    /// Per-process `(event index, delivery position)` of cluster receives.
+    crs: Vec<Vec<(u32, u32)>>,
+}
+
+impl CutAssembler {
+    /// An empty assembler for `n` processes.
+    pub fn new(n: u32) -> CutAssembler {
+        CutAssembler {
+            n,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            taken: vec![0; n as usize],
+            log: Vec::new(),
+            stamps: Vec::new(),
+            crs: vec![Vec::new(); n as usize],
+        }
+    }
+
+    /// Feed one shard's drained outbox (its events arrive in per-process
+    /// index order because each shard delivers each owned process in order).
+    pub fn ingest(&mut self, recs: Vec<DeliveredRec>) {
+        for rec in recs {
+            self.queues[rec.ev.process().idx()].push_back(rec);
+        }
+    }
+
+    /// Extend the merged log as far as causal readiness allows.
+    pub fn advance(&mut self) {
+        loop {
+            let mut progress = false;
+            for p in 0..self.n as usize {
+                while self.try_consume(p) {
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    fn try_consume(&mut self, p: usize) -> bool {
+        let Some(front) = self.queues[p].front() else {
+            return false;
+        };
+        debug_assert_eq!(front.ev.index().0, self.taken[p] + 1);
+        match front.ev.kind {
+            EventKind::Internal | EventKind::Send { .. } => {
+                self.consume_one(p);
+                true
+            }
+            EventKind::Receive { from } => {
+                if self.taken[from.process.idx()] >= from.index.0 {
+                    self.consume_one(p);
+                    true
+                } else {
+                    false
+                }
+            }
+            EventKind::Sync { peer } => {
+                let q = peer.process.idx();
+                let peer_next = self.taken[q] + 1 == peer.index.0;
+                let peer_here = self.queues[q].front().is_some_and(|r| r.ev.id == peer);
+                if peer_next && peer_here {
+                    self.consume_one(p);
+                    self.consume_one(q);
+                    true
+                } else {
+                    false // dangles until the peer's shard catches up
+                }
+            }
+        }
+    }
+
+    fn consume_one(&mut self, p: usize) {
+        let rec = self.queues[p].pop_front().expect("checked by caller");
+        let pos = self.log.len() as u32;
+        if rec.stamp.is_cluster_receive() {
+            self.crs[p].push((rec.ev.index().0, pos));
+        }
+        self.taken[p] = rec.ev.index().0;
+        self.log.push(rec.ev);
+        self.stamps.push(rec.stamp);
+    }
+
+    /// Events in the merged log so far.
+    pub fn assembled(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The merged log itself (the unit a global checkpoint persists).
+    pub fn log(&self) -> &[Event] {
+        &self.log
+    }
+
+    /// Records ingested but not yet consumable (dangling sync tails).
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Materialize the assembled prefix as a published snapshot's parts.
+    /// `sets` must be a membership snapshot at least as new as every stamp
+    /// in the log (the cut takes it after draining the outboxes).
+    pub fn snapshot(
+        &self,
+        name: &str,
+        sets: ClusterSets,
+        num_merges: usize,
+    ) -> (Trace, ClusterTimestamps) {
+        let trace = Trace::from_delivery_order(name.to_string(), self.n, self.log.clone())
+            .expect("assembled cut is a valid delivery order");
+        let cts =
+            ClusterTimestamps::from_parts(sets, self.stamps.clone(), self.crs.clone(), num_merges);
+        (trace, cts)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimShards: the deterministic schedule-exploration harness
+// ---------------------------------------------------------------------------
+
+/// A recorded sequence of scheduler choices driving [`SimShards`]. Each
+/// `choose(k)` consumes the next recorded value modulo `k`; when the
+/// recording is exhausted the schedule continues round-robin, so any prefix
+/// of a failing schedule is itself a complete, deterministic schedule — the
+/// property the shrinker in `tests/shard_schedules.rs` relies on.
+#[derive(Clone, Debug)]
+pub struct ShardSchedule {
+    choices: Vec<u32>,
+    cursor: usize,
+}
+
+impl ShardSchedule {
+    /// A schedule replaying `choices`, then round-robin.
+    pub fn new(choices: Vec<u32>) -> ShardSchedule {
+        ShardSchedule { choices, cursor: 0 }
+    }
+
+    /// The deterministic default: pure round-robin.
+    pub fn round_robin() -> ShardSchedule {
+        ShardSchedule::new(Vec::new())
+    }
+
+    /// Pick one of `k` runnable shards.
+    pub fn choose(&mut self, k: usize) -> usize {
+        debug_assert!(k > 0);
+        let c = self
+            .choices
+            .get(self.cursor)
+            .copied()
+            .unwrap_or(self.cursor as u32);
+        self.cursor += 1;
+        c as usize % k
+    }
+
+    /// How many choices were consumed so far.
+    pub fn steps(&self) -> usize {
+        self.cursor
+    }
+}
+
+enum SimMsg {
+    Batch(Vec<Event>),
+    Wake(EventId),
+}
+
+/// The sharded engine, single-threaded: the same [`ShardCore`]s the daemon
+/// runs on worker threads, stepped one message at a time under an explicit
+/// [`ShardSchedule`]. Cross-shard wake-ups become inbox messages, and a
+/// merge rebalances synchronously at the step boundary — exactly the
+/// runtime's message-boundary barrier, minus the threads.
+pub struct SimShards {
+    name: String,
+    env: ShardEnv,
+    routing: Vec<AtomicU32>,
+    cores: Vec<ShardCore>,
+    inboxes: Vec<VecDeque<SimMsg>>,
+    assembler: CutAssembler,
+    store: Arc<PartitionedStore>,
+    rejected: u64,
+}
+
+impl SimShards {
+    /// A fresh simulated deployment.
+    pub fn new(name: &str, n: u32, shards: usize, max_cluster_size: usize) -> SimShards {
+        let shards = shards.clamp(1, n.max(1) as usize);
+        let env = ShardEnv::new(n);
+        let routing = initial_routing(n, shards);
+        let store = Arc::new(PartitionedStore::new(n));
+        let cores = (0..shards)
+            .map(|s| {
+                let owned: Vec<bool> = (0..n)
+                    .map(|p| routing[p as usize].load(Ordering::Relaxed) as usize == s)
+                    .collect();
+                ShardCore::new(s, n, owned, max_cluster_size, Arc::clone(&store), &env)
+            })
+            .collect();
+        SimShards {
+            name: name.to_string(),
+            env,
+            routing,
+            cores,
+            inboxes: (0..shards).map(|_| VecDeque::new()).collect(),
+            assembler: CutAssembler::new(n),
+            store,
+            rejected: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Route one arriving event to its owning shard's inbox.
+    pub fn inject(&mut self, ev: Event) {
+        self.inject_batch(&[ev]);
+    }
+
+    /// Route a client batch: events are split by the routing table and each
+    /// shard's slice arrives as ONE message, exactly like the runtime's
+    /// `enqueue`. The distinction matters: a shard services an entire batch
+    /// message before the rebalance barrier, so deliveries *within* a batch
+    /// can overtake a pending migration that single-event injection would
+    /// force to happen first.
+    pub fn inject_batch(&mut self, events: &[Event]) {
+        let mut per: Vec<Vec<Event>> = vec![Vec::new(); self.cores.len()];
+        for &ev in events {
+            let p = ev.process();
+            let shard = if p.0 < self.routing.len() as u32 {
+                self.routing[p.idx()].load(Ordering::Relaxed) as usize
+            } else {
+                0 // unknown process: let shard 0 reject it
+            };
+            per[shard].push(ev);
+        }
+        for (shard, evs) in per.into_iter().enumerate() {
+            if !evs.is_empty() {
+                self.inboxes[shard].push_back(SimMsg::Batch(evs));
+            }
+        }
+    }
+
+    /// Shards with at least one queued message.
+    pub fn runnable(&self) -> Vec<ShardId> {
+        (0..self.cores.len())
+            .filter(|&s| !self.inboxes[s].is_empty())
+            .collect()
+    }
+
+    /// Process exactly one queued message on `shard`; dispatch resulting
+    /// wake-ups and perform any required rebalance synchronously.
+    pub fn step(&mut self, shard: ShardId) {
+        let Some(msg) = self.inboxes[shard].pop_front() else {
+            return;
+        };
+        let mut wakes = Vec::new();
+        match msg {
+            SimMsg::Batch(evs) => {
+                for ev in evs {
+                    let p = ev.process();
+                    if !self.cores[shard].owns(p) {
+                        // Routing moved while the message was queued:
+                        // forward (each straggler as its own message).
+                        if p.0 < self.routing.len() as u32 {
+                            let target = self.routing[p.idx()].load(Ordering::Relaxed) as usize;
+                            self.inboxes[target].push_back(SimMsg::Batch(vec![ev]));
+                        } else {
+                            self.rejected += 1;
+                        }
+                        continue;
+                    }
+                    if self.cores[shard].offer(ev, &self.env, &mut wakes).is_err() {
+                        self.rejected += 1;
+                    }
+                }
+            }
+            SimMsg::Wake(id) => {
+                self.cores[shard].wake(id, &self.env, &mut wakes);
+            }
+        }
+        self.dispatch(wakes);
+        while self.cores.iter().any(|c| c.rebalance_needed) {
+            let mut wakes = Vec::new();
+            let mut cores: Vec<&mut ShardCore> = self.cores.iter_mut().collect();
+            rebalance(&mut cores, &self.routing, &self.env, &mut wakes);
+            self.dispatch(wakes);
+        }
+    }
+
+    fn dispatch(&mut self, wakes: Vec<Wake>) {
+        for (shard, id) in wakes {
+            self.inboxes[shard].push_back(SimMsg::Wake(id));
+        }
+    }
+
+    /// Step under `schedule` until every inbox is empty.
+    pub fn run_to_quiescence(&mut self, schedule: &mut ShardSchedule) {
+        loop {
+            let runnable = self.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            let pick = schedule.choose(runnable.len());
+            self.step(runnable[pick]);
+        }
+    }
+
+    /// Take a two-phase cut: drain every shard's delivered records, extend
+    /// the merged order, and materialize the snapshot parts.
+    pub fn cut(&mut self) -> (Trace, ClusterTimestamps) {
+        for core in &mut self.cores {
+            let recs = core.drain_outbox();
+            self.assembler.ingest(recs);
+        }
+        self.assembler.advance();
+        let (sets, generation) = self.env.sets.snapshot();
+        self.assembler
+            .snapshot(&self.name, ClusterSets::clone(&sets), generation as usize)
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &PartitionedStore {
+        &self.store
+    }
+
+    /// Total events delivered across all shards.
+    pub fn delivered_total(&self) -> u64 {
+        self.cores.iter().map(|c| c.delivered_total()).sum()
+    }
+
+    /// Duplicate arrivals dropped across all shards.
+    pub fn duplicates(&self) -> u64 {
+        self.cores.iter().map(|c| c.duplicates()).sum()
+    }
+
+    /// Events refused outright (unknown process / conflicting duplicate).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Current shard of process `p` (for tests that assert rebalancing).
+    pub fn shard_of(&self, p: ProcessId) -> ShardId {
+        self.routing[p.idx()].load(Ordering::Relaxed) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_core::ClusterEngine;
+    use cts_model::linearize::relinearize;
+    use cts_workloads::spmd::Stencil1D;
+    use cts_workloads::Workload;
+
+    #[test]
+    fn exchange_publish_take_round_trip() {
+        let ex = Exchange::new();
+        let id = EventId::new(ProcessId(3), cts_model::EventIndex(7));
+        let mut wakes = Vec::new();
+        assert!(!ex.ready_or_register(id, 1));
+        assert!(!ex.ready_or_register(id, 2));
+        assert!(!ex.ready_or_register(id, 1)); // deduped
+        ex.publish(id, VectorClock::zero(4), &mut wakes);
+        assert_eq!(wakes, vec![(1, id), (2, id)]);
+        assert!(ex.ready_or_register(id, 5));
+        assert_eq!(ex.take(id), VectorClock::zero(4));
+    }
+
+    #[test]
+    fn sim_round_robin_matches_offline_engine() {
+        let t = Stencil1D { procs: 8, iters: 5 }.generate(17);
+        for shards in [1, 2, 4] {
+            let mut sim = SimShards::new("sim", t.num_processes(), shards, 4);
+            for &ev in relinearize(&t, 5).events() {
+                sim.inject(ev);
+            }
+            sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+            assert_eq!(
+                sim.delivered_total(),
+                t.num_events() as u64,
+                "{shards} shards"
+            );
+            let (trace, cts) = sim.cut();
+            assert_eq!(trace.num_events(), t.num_events());
+            let offline = ClusterEngine::run(&t, MergeOnFirst::new(4));
+            for e in t.all_event_ids() {
+                for f in t.all_event_ids() {
+                    assert_eq!(
+                        cts.precedes(&trace, e, f),
+                        offline.precedes(&t, e, f),
+                        "{shards} shards: {e} -> {f}"
+                    );
+                }
+            }
+            assert_eq!(sim.store().len(), t.num_events() as u64);
+        }
+    }
+
+    #[test]
+    fn merge_triggers_rebalance_onto_one_shard() {
+        // Stencil neighbors exchange messages, so MergeOnFirst glues
+        // adjacent processes; after quiescence every cluster must be
+        // shard-local.
+        let t = Stencil1D { procs: 8, iters: 4 }.generate(3);
+        let mut sim = SimShards::new("rebalance", t.num_processes(), 4, 4);
+        for &ev in t.events() {
+            sim.inject(ev);
+        }
+        sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+        assert_eq!(sim.delivered_total(), t.num_events() as u64);
+        let (sets, generation) = sim.env.sets.snapshot();
+        assert!(generation > 0, "stencil must merge some clusters");
+        for members in sets.current_partition().clusters() {
+            let shard0 = sim.shard_of(members[0]);
+            for &m in members {
+                assert_eq!(sim.shard_of(m), shard0, "cluster split across shards");
+            }
+        }
+    }
+}

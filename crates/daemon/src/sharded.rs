@@ -1,0 +1,906 @@
+//! The threaded sharded ingest runtime.
+//!
+//! [`crate::shard`] defines the synchronous per-shard cores and proves them
+//! correct under the deterministic schedule harness; this module runs the
+//! *same* cores on real threads. One worker thread per shard owns a
+//! [`ShardCore`] behind a mutex and drains a bounded message channel;
+//! connection threads partition incoming batches by the process-routing
+//! table and block on the target shard's channel for backpressure.
+//!
+//! ## Messaging discipline
+//!
+//! Shard-to-shard signals (cross-shard wake-ups, forwards of batches that
+//! raced a rebalance) must never block a shard thread, or two full queues
+//! could deadlock the pair. They go through a per-shard unbounded *overflow*
+//! inbox plus a best-effort `Nudge` on the bounded channel: if the nudge
+//! fits, the idle target wakes immediately; if the channel is full the
+//! target is busy and will drain the overflow at its next loop iteration
+//! (overflow is always checked first).
+//!
+//! `pending_msgs` counts every queued-or-in-flight message (batches, wakes,
+//! nudges); a message's follow-on wake-ups are enqueued *before* its own
+//! count is released, so `pending_msgs == 0` means the runtime is quiescent.
+//!
+//! ## The freeze barrier
+//!
+//! Rebalances, snapshot cuts, flush barriers, and shutdown all run under a
+//! stop-the-world *freeze*: take the freeze mutex (serializing initiators),
+//! raise the pause flag (shard threads park between messages), then acquire
+//! every shard's state mutex. A shard holds its state mutex only while
+//! processing a single message, so the freeze completes after at most one
+//! in-flight message per shard. Initiators never hold a shard state mutex
+//! when they start a freeze, so the barrier cannot deadlock.
+//!
+//! ## Durability layout
+//!
+//! Each shard write-ahead logs *its own* delivered order into
+//! `dir/shard-NN/` segments (group-committed like the single-worker WAL).
+//! Checkpoints stay global: the assembled cut — a valid delivery order — is
+//! checkpointed at the top level, and shard segments are retired once the
+//! cut has caught up with every delivered event. Recovery unions the
+//! top-level state (legacy single-worker layout or a previous global
+//! checkpoint, recovered contiguously) with *every* readable record of
+//! every shard segment, in any order: events are self-identifying, so the
+//! reorder buffers dedup and re-sequence the union, and a torn tail on one
+//! shard (it lagged the others at the crash) merely parks the dependents
+//! that were never acknowledged — delivery-order invariance makes the
+//! replayed state exact.
+
+use crate::checkpoint::{self, CompMeta, RecoveryReport};
+use crate::pipeline::{lock, CompShared, ComputationConfig, DurabilityConfig, Snapshot};
+use crate::shard::{initial_routing, rebalance, CutAssembler, ShardCore, ShardEnv, ShardId, Wake};
+use crate::wal::{self, WalWriter};
+use cts_core::cluster::ClusterSets;
+use cts_model::{Event, EventId};
+use cts_store::PartitionedStore;
+use cts_util::failpoint::{DurableSink, FailpointFs};
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Messages a shard worker consumes.
+enum ShardMsg {
+    /// A batch of events routed (or forwarded) to this shard.
+    Batch(Vec<Event>),
+    /// A cross-shard dependency this shard registered for became available.
+    Wake(EventId),
+    /// Wake-up only: the real message is in the overflow inbox.
+    Nudge,
+    /// Exit the worker loop immediately.
+    Stop,
+}
+
+/// One shard's mutable state: the core plus its WAL cursor.
+struct ShardState {
+    core: ShardCore,
+    wal: Option<WalWriter<Box<dyn DurableSink + Send>>>,
+    /// Log entries already appended to the WAL (or abandoned with it).
+    wal_cursor: usize,
+    /// Start offset of the currently open segment (for retirement).
+    wal_start: u64,
+    fault_budget: Option<u64>,
+    dur: Option<DurabilityConfig>,
+    reported_dup: u64,
+    reported_depth: u64,
+}
+
+struct ShardHandle {
+    tx: SyncSender<ShardMsg>,
+    overflow: Mutex<VecDeque<ShardMsg>>,
+    state: Mutex<ShardState>,
+    join: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+struct Ctl {
+    /// Shard threads park between messages while this is raised.
+    pause: AtomicBool,
+    pause_lock: Mutex<bool>,
+    pause_cond: Condvar,
+    /// Serializes freeze initiators.
+    freeze: Mutex<()>,
+    /// Queued-or-in-flight messages across all shards.
+    pending_msgs: AtomicU64,
+    /// Total events delivered across all shards.
+    delivered: AtomicU64,
+    /// Assembled-cut size covered by the last published snapshot
+    /// (`u64::MAX` = nothing published yet).
+    last_published: AtomicU64,
+    /// Assembled-cut size covered by the last global checkpoint.
+    last_checkpoint: AtomicU64,
+    closed: AtomicBool,
+    assembler: Mutex<CutAssembler>,
+}
+
+/// The sharded counterpart of the single `worker_loop`: N shard workers,
+/// a routing table, the freeze barrier, and the two-phase snapshot cut.
+pub(crate) struct ShardedRuntime {
+    name: String,
+    epoch_every: u64,
+    checkpoint_every: u64,
+    root_dur: Option<DurabilityConfig>,
+    meta: Option<CompMeta>,
+    env: ShardEnv,
+    routing: Vec<AtomicU32>,
+    shards: Vec<ShardHandle>,
+    ctl: Ctl,
+    shared: Arc<CompShared>,
+}
+
+type Frozen<'a> = (MutexGuard<'a, ()>, Vec<MutexGuard<'a, ShardState>>);
+
+impl ShardedRuntime {
+    /// Build the runtime and spawn its shard workers. Recovery and WAL
+    /// opening happen in [`bootstrap`](Self::bootstrap).
+    pub(crate) fn spawn(
+        config: &ComputationConfig,
+        shared: Arc<CompShared>,
+        store: Arc<PartitionedStore>,
+    ) -> Arc<ShardedRuntime> {
+        let n = config.num_processes;
+        let shards = (config.shards.max(2) as usize).min(n.max(1) as usize);
+        let env = ShardEnv::new(n);
+        let routing = initial_routing(n, shards);
+        let meta = config.durability.as_ref().map(|_| CompMeta {
+            name: config.name.clone(),
+            num_processes: n,
+            max_cluster_size: config.max_cluster_size,
+        });
+        let mut receivers: Vec<Receiver<ShardMsg>> = Vec::with_capacity(shards);
+        let handles: Vec<ShardHandle> = (0..shards)
+            .map(|s| {
+                let owned: Vec<bool> = (0..n)
+                    .map(|p| routing[p as usize].load(Ordering::Relaxed) as usize == s)
+                    .collect();
+                let core = ShardCore::new(
+                    s,
+                    n,
+                    owned,
+                    config.max_cluster_size as usize,
+                    Arc::clone(&store),
+                    &env,
+                );
+                let dur = config.durability.as_ref().map(|d| DurabilityConfig {
+                    dir: d.dir.join(format!("shard-{s:02}")),
+                    ..d.clone()
+                });
+                let fault_budget = dur.as_ref().and_then(|d| d.wal_byte_budget);
+                let (tx, rx) = sync_channel(config.queue_capacity.max(1));
+                receivers.push(rx);
+                ShardHandle {
+                    tx,
+                    overflow: Mutex::new(VecDeque::new()),
+                    state: Mutex::new(ShardState {
+                        core,
+                        wal: None,
+                        wal_cursor: 0,
+                        wal_start: 0,
+                        fault_budget,
+                        dur,
+                        reported_dup: 0,
+                        reported_depth: 0,
+                    }),
+                    join: Mutex::new(None),
+                }
+            })
+            .collect();
+        let rt = Arc::new(ShardedRuntime {
+            name: config.name.clone(),
+            epoch_every: config.epoch_every.max(1),
+            checkpoint_every: config.durability.as_ref().map_or(0, |d| d.checkpoint_every),
+            root_dur: config.durability.clone(),
+            meta,
+            env,
+            routing,
+            shards: handles,
+            ctl: Ctl {
+                pause: AtomicBool::new(false),
+                pause_lock: Mutex::new(false),
+                pause_cond: Condvar::new(),
+                freeze: Mutex::new(()),
+                pending_msgs: AtomicU64::new(0),
+                delivered: AtomicU64::new(0),
+                last_published: AtomicU64::new(u64::MAX),
+                last_checkpoint: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+                assembler: Mutex::new(CutAssembler::new(n)),
+            },
+            shared,
+        });
+        for (s, rx) in receivers.into_iter().enumerate() {
+            let worker = Arc::clone(&rt);
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-{}-{s}", config.name))
+                .spawn(move || shard_loop(&worker, s, rx))
+                .expect("spawn shard worker");
+            *lock(&rt.shards[s].join) = Some(handle);
+        }
+        rt
+    }
+
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Recover on-disk state (when `recover` and durable), replay it through
+    /// the shards, then open per-shard WAL segments and re-establish a clean
+    /// layout (fresh global checkpoint, stale segments and directories
+    /// removed). Returns what recovery found.
+    pub(crate) fn bootstrap(&self, recover: bool) -> io::Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        let mut replay: Vec<Event> = Vec::new();
+        let mut stale_dirs: Vec<PathBuf> = Vec::new();
+        if let (Some(root), Some(meta)) = (&self.root_dur, &self.meta) {
+            checkpoint::ensure_meta(&root.dir, meta)?;
+            if recover {
+                // Top level: a global checkpoint from a previous sharded run,
+                // or the legacy single-worker layout — both are internally
+                // contiguous, so the offset-based scan applies.
+                let (events, rep) = checkpoint::recover_dir(&root.dir)?;
+                report.checkpoint_events += rep.checkpoint_events;
+                report.wal_events += rep.wal_events;
+                report.segments_scanned += rep.segments_scanned;
+                report.torn_bytes_truncated += rep.torn_bytes_truncated;
+                if report.torn_tail.is_none() {
+                    report.torn_tail = rep.torn_tail;
+                }
+                replay.extend(events);
+                // Shard directories: take every readable record of every
+                // segment, in any order — the reorder buffers dedup against
+                // the checkpointed prefix and re-sequence the rest.
+                for dir in shard_dirs(&root.dir)? {
+                    for (_, path) in wal::list_segments(&dir)? {
+                        let scan = wal::scan_segment(&path)?;
+                        report.segments_scanned += 1;
+                        if let Some(kind) = scan.torn {
+                            let file_len = std::fs::metadata(&path)?.len();
+                            report.torn_bytes_truncated += file_len - scan.valid_len;
+                            if report.torn_tail.is_none() {
+                                report.torn_tail = Some(format!("{}: {kind}", path.display()));
+                            }
+                            wal::truncate_segment(&path, scan.valid_len)?;
+                        }
+                        for rec in &scan.records {
+                            report.wal_events += rec.events.len() as u64;
+                            replay.extend(rec.events.iter().copied());
+                        }
+                    }
+                    let stale = dir
+                        .file_name()
+                        .and_then(|f| f.to_str())
+                        .and_then(parse_shard_dir)
+                        .is_none_or(|s| s >= self.shards.len());
+                    if stale {
+                        stale_dirs.push(dir);
+                    }
+                }
+            }
+        }
+        for chunk in replay.chunks(4096) {
+            if self.enqueue(chunk.to_vec()).is_err() {
+                break; // closed mid-recovery (shutdown raced); keep going
+            }
+        }
+        self.quiesce();
+        // Finalize under a freeze: cut, checkpoint the cut, open fresh WAL
+        // segments at each shard's post-replay frontier, and only then drop
+        // the old on-disk state (now fully covered or provably unacked).
+        let (f, mut guards) = self.freeze();
+        let assembled = self.publish_world(&mut guards, false);
+        if let (Some(root), Some(meta)) = (&self.root_dur, &self.meta) {
+            if assembled > 0 {
+                let asm = lock(&self.ctl.assembler);
+                if let Err(e) = checkpoint::write_checkpoint(&root.dir, meta, asm.log()) {
+                    eprintln!(
+                        "[cts-daemon] {}: recovery checkpoint failed: {e}",
+                        self.name
+                    );
+                }
+                self.ctl.last_checkpoint.store(assembled, Ordering::Release);
+            }
+            for st in guards.iter_mut() {
+                if let Some(dur) = st.dur.clone() {
+                    if let Err(e) = std::fs::create_dir_all(&dur.dir) {
+                        eprintln!(
+                            "[cts-daemon] {}: cannot create {}: {e}",
+                            self.name,
+                            dur.dir.display()
+                        );
+                        continue;
+                    }
+                    // The fresh checkpoint covers every delivered event
+                    // (quiesced cuts leave nothing dangling), so every old
+                    // segment here is either covered or holds only unacked
+                    // orphans — both safe to drop.
+                    for (_, path) in wal::list_segments(&dur.dir).unwrap_or_default() {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    let start = st.core.log().len() as u64;
+                    st.wal_cursor = st.core.log().len();
+                    st.wal_start = start;
+                    match open_shard_segment(&dur, start, &mut st.fault_budget) {
+                        Ok(w) => st.wal = Some(w),
+                        Err(e) => eprintln!(
+                            "[cts-daemon] {}: cannot open WAL for shard {}, \
+                             running in-memory: {e}",
+                            self.name, st.core.id
+                        ),
+                    }
+                }
+            }
+            // Legacy top-level segments are covered by the fresh checkpoint;
+            // stale shard directories were unioned above.
+            for (_, path) in wal::list_segments(&root.dir).unwrap_or_default() {
+                let _ = std::fs::remove_file(path);
+            }
+            for dir in stale_dirs {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+        self.unfreeze(f, guards);
+        Ok(report)
+    }
+
+    /// Partition a batch by the routing table and enqueue each piece on its
+    /// shard's bounded channel (blocking: backpressure).
+    pub(crate) fn enqueue(&self, batch: Vec<Event>) -> Result<(), ()> {
+        if self.ctl.closed.load(Ordering::Acquire) {
+            return Err(());
+        }
+        let mut per: Vec<Vec<Event>> = vec![Vec::new(); self.shards.len()];
+        for ev in batch {
+            let p = ev.process();
+            let s = if (p.idx()) < self.routing.len() {
+                self.routing[p.idx()].load(Ordering::Relaxed) as usize
+            } else {
+                0 // unknown process: let shard 0 reject it
+            };
+            per[s].push(ev);
+        }
+        for (s, events) in per.into_iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            self.ctl.pending_msgs.fetch_add(1, Ordering::AcqRel);
+            if self.shards[s].tx.send(ShardMsg::Batch(events)).is_err() {
+                self.ctl.pending_msgs.fetch_sub(1, Ordering::AcqRel);
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking send for shard threads: overflow inbox + best-effort
+    /// nudge. Never blocks, so shard→shard signalling cannot deadlock.
+    fn post(&self, s: ShardId, msg: ShardMsg) {
+        self.ctl.pending_msgs.fetch_add(1, Ordering::AcqRel);
+        lock(&self.shards[s].overflow).push_back(msg);
+        match self.shards[s].tx.try_send(ShardMsg::Nudge) {
+            Ok(()) => {
+                self.ctl.pending_msgs.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    fn dispatch(&self, wakes: Vec<Wake>) {
+        for (shard, id) in wakes {
+            self.post(shard, ShardMsg::Wake(id));
+        }
+    }
+
+    fn wait_unpaused(&self) {
+        if !self.ctl.pause.load(Ordering::Acquire) {
+            return;
+        }
+        let mut paused = lock(&self.ctl.pause_lock);
+        while *paused {
+            paused = self
+                .ctl
+                .pause_cond
+                .wait(paused)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stop the world: serialize initiators, park shard threads between
+    /// messages, and take every shard's state mutex.
+    fn freeze(&self) -> Frozen<'_> {
+        let f = lock(&self.ctl.freeze);
+        self.begin_pause();
+        let guards = self.shards.iter().map(|h| lock(&h.state)).collect();
+        (f, guards)
+    }
+
+    fn try_freeze(&self) -> Option<Frozen<'_>> {
+        let f = self.ctl.freeze.try_lock().ok()?;
+        self.begin_pause();
+        let guards = self.shards.iter().map(|h| lock(&h.state)).collect();
+        Some((f, guards))
+    }
+
+    fn begin_pause(&self) {
+        *lock(&self.ctl.pause_lock) = true;
+        self.ctl.pause.store(true, Ordering::Release);
+    }
+
+    fn unfreeze(&self, f: MutexGuard<'_, ()>, guards: Vec<MutexGuard<'_, ShardState>>) {
+        *lock(&self.ctl.pause_lock) = false;
+        self.ctl.pause.store(false, Ordering::Release);
+        self.ctl.pause_cond.notify_all();
+        drop(guards);
+        drop(f);
+    }
+
+    /// Append a shard's un-logged delivered suffix to its WAL (group
+    /// commit); a write failure degrades that shard to in-memory, loudly.
+    fn append_wal(&self, st: &mut ShardState, force_sync: bool) {
+        let ShardState {
+            core,
+            wal,
+            wal_cursor,
+            ..
+        } = st;
+        let log = core.log();
+        if let Some(w) = wal.as_mut() {
+            let mut r = Ok(());
+            if log.len() > *wal_cursor {
+                r = w.append(&log[*wal_cursor..]).and_then(|()| {
+                    if force_sync {
+                        w.sync()
+                    } else {
+                        w.maybe_sync().map(|_| ())
+                    }
+                });
+            } else if force_sync {
+                r = w.sync();
+            }
+            match r {
+                Ok(()) => *wal_cursor = log.len(),
+                Err(e) => {
+                    eprintln!(
+                        "[cts-daemon] {}: shard {} WAL write failed, durability degraded: {e}",
+                        self.name, core.id
+                    );
+                    *wal = None;
+                    *wal_cursor = log.len();
+                }
+            }
+        } else {
+            *wal_cursor = log.len();
+        }
+    }
+
+    /// The two-phase cut, under an already-held freeze: sync WALs (when
+    /// asked), drain every shard's delivered records, extend the merged
+    /// order, and publish the union as an epoch snapshot. Returns the
+    /// assembled-cut size.
+    fn publish_world(&self, guards: &mut [MutexGuard<'_, ShardState>], sync_wal: bool) -> u64 {
+        for st in guards.iter_mut() {
+            self.append_wal(st, sync_wal);
+        }
+        let mut asm = lock(&self.ctl.assembler);
+        for st in guards.iter_mut() {
+            asm.ingest(st.core.drain_outbox());
+        }
+        asm.advance();
+        let assembled = asm.assembled();
+        if self.ctl.last_published.load(Ordering::Acquire) == assembled {
+            return assembled; // nothing new since the last epoch
+        }
+        let (sets, generation) = self.env.sets.snapshot();
+        let (trace, cts) = asm.snapshot(&self.name, ClusterSets::clone(&sets), generation as usize);
+        drop(asm);
+        let mut g = lock(&self.shared.progress);
+        g.epoch += 1;
+        g.snapshot_delivered = assembled;
+        let epoch = g.epoch;
+        drop(g);
+        *self.shared.snapshot.write() = Arc::new(Snapshot {
+            epoch,
+            delivered: assembled,
+            trace,
+            cts,
+        });
+        self.shared
+            .metrics
+            .snapshots_published
+            .fetch_add(1, Ordering::Relaxed);
+        self.ctl.last_published.store(assembled, Ordering::Release);
+        self.shared.cond.notify_all();
+        assembled
+    }
+
+    /// Freeze, cut, publish; optionally also sync WALs first (flush
+    /// barriers make durability part of the barrier).
+    pub(crate) fn freeze_publish(&self, sync_wal: bool) {
+        let (f, mut guards) = self.freeze();
+        self.publish_world(&mut guards, sync_wal);
+        self.unfreeze(f, guards);
+    }
+
+    /// Cadence check after each processed message: publish when enough has
+    /// been delivered since the last cut, checkpoint when enough has been
+    /// delivered since the last checkpoint. Skips (rather than queues)
+    /// when another freeze is already in flight.
+    fn maybe_publish(&self) {
+        let delivered = self.ctl.delivered.load(Ordering::Acquire);
+        let lp = self.ctl.last_published.load(Ordering::Acquire);
+        let published = if lp == u64::MAX { 0 } else { lp };
+        let need_pub = delivered.saturating_sub(published) >= self.epoch_every;
+        let need_ckpt = self.checkpoint_every > 0
+            && delivered.saturating_sub(self.ctl.last_checkpoint.load(Ordering::Acquire))
+                >= self.checkpoint_every;
+        if !need_pub && !need_ckpt {
+            return;
+        }
+        let Some((f, mut guards)) = self.try_freeze() else {
+            return; // someone else is cutting; their cut covers us
+        };
+        let assembled = self.publish_world(&mut guards, need_ckpt);
+        if need_ckpt {
+            self.checkpoint_world(&mut guards, assembled);
+        }
+        self.unfreeze(f, guards);
+    }
+
+    /// Write the global checkpoint of the assembled cut and rotate/retire
+    /// per-shard segments. Runs under a freeze, after `publish_world`
+    /// already appended and synced every shard's WAL.
+    fn checkpoint_world(&self, guards: &mut [MutexGuard<'_, ShardState>], assembled: u64) {
+        let (Some(root), Some(meta)) = (&self.root_dur, &self.meta) else {
+            return;
+        };
+        if assembled <= self.ctl.last_checkpoint.load(Ordering::Acquire) {
+            return;
+        }
+        {
+            let asm = lock(&self.ctl.assembler);
+            if let Err(e) = checkpoint::write_checkpoint(&root.dir, meta, asm.log()) {
+                eprintln!("[cts-daemon] {}: checkpoint failed: {e}", self.name);
+                return;
+            }
+            self.ctl.last_checkpoint.store(assembled, Ordering::Release);
+            // Retire shard segments only when the cut covers every delivered
+            // event (no dangling sync tails, no undrained outboxes — the
+            // latter is guaranteed right after a cut).
+            if asm.queued() > 0 {
+                return;
+            }
+        }
+        for st in guards.iter_mut() {
+            if st.wal.is_none() {
+                continue;
+            }
+            let Some(dur) = st.dur.clone() else { continue };
+            let old = st.wal.take().expect("checked above");
+            if let Some(b) = st.fault_budget.as_mut() {
+                *b = b.saturating_sub(old.bytes_written());
+            }
+            drop(old);
+            let start = st.core.log().len() as u64;
+            let old_start = st.wal_start;
+            match open_shard_segment(&dur, start, &mut st.fault_budget) {
+                Ok(w) => {
+                    st.wal = Some(w);
+                    st.wal_start = start;
+                    st.wal_cursor = st.core.log().len();
+                    for (seg_start, path) in wal::list_segments(&dur.dir).unwrap_or_default() {
+                        if seg_start == start {
+                            continue; // the segment we just opened
+                        }
+                        if seg_start == old_start && start == old_start {
+                            continue;
+                        }
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+                Err(e) => eprintln!(
+                    "[cts-daemon] {}: shard {} WAL rotation failed, durability degraded: {e}",
+                    self.name, st.core.id
+                ),
+            }
+        }
+    }
+
+    /// A merge happened on some shard: stop the world and re-align process
+    /// ownership with the cluster partition, looping until no migration
+    /// re-raises the flag.
+    fn freeze_rebalance(&self) {
+        let (f, mut guards) = self.freeze();
+        let mut all_wakes = Vec::new();
+        let mut delivered = 0;
+        loop {
+            let mut cores: Vec<&mut ShardCore> = guards.iter_mut().map(|g| &mut g.core).collect();
+            if !cores.iter().any(|c| c.rebalance_needed) {
+                break;
+            }
+            let mut wakes = Vec::new();
+            let (d, _) = rebalance(&mut cores, &self.routing, &self.env, &mut wakes);
+            delivered += d;
+            all_wakes.extend(wakes);
+        }
+        for st in guards.iter_mut() {
+            self.append_wal(st, false); // migrations may have delivered
+        }
+        self.unfreeze(f, guards);
+        if delivered > 0 {
+            self.note_delivered(delivered);
+        }
+        self.dispatch(all_wakes);
+    }
+
+    fn note_delivered(&self, delta: u64) {
+        let total = self.ctl.delivered.fetch_add(delta, Ordering::AcqRel) + delta;
+        self.shared
+            .metrics
+            .events_ingested
+            .fetch_add(delta, Ordering::Relaxed);
+        let mut g = lock(&self.shared.progress);
+        if total > g.delivered {
+            g.delivered = total;
+        }
+        drop(g);
+        self.shared.cond.notify_all();
+    }
+
+    fn quiesce(&self) {
+        while self.ctl.pending_msgs.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Flush barrier, stage 2: force cuts until the published snapshot
+    /// covers `expected` or the deadline passes. (Stage 1 — waiting for
+    /// delivery — is the caller's, shared with the single-worker path.)
+    pub(crate) fn flush_cut(&self, expected: u64, deadline: Instant) -> Result<(), ()> {
+        loop {
+            self.freeze_publish(true);
+            {
+                let g = lock(&self.shared.progress);
+                if g.snapshot_delivered >= expected {
+                    return Ok(());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(());
+            }
+            // The missing piece is a wake queued on some shard; give its
+            // thread a moment before cutting again.
+            let g = lock(&self.shared.progress);
+            let (g2, _) = self
+                .shared
+                .cond
+                .wait_timeout(g, Duration::from_millis(2))
+                .unwrap_or_else(|e| e.into_inner());
+            if g2.snapshot_delivered >= expected {
+                return Ok(());
+            }
+        }
+    }
+
+    pub(crate) fn closed(&self) -> bool {
+        self.ctl.closed.load(Ordering::Acquire)
+    }
+
+    /// Lock-free-ish diagnostic (try_lock only; never blocks).
+    #[doc(hidden)]
+    #[allow(dead_code)] // diagnostic: referenced from tests only
+    pub(crate) fn debug_nofreeze(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "pause={} freeze_held={} pending_msgs={} delivered={} last_published={}\n",
+            self.ctl.pause.load(Ordering::Acquire),
+            self.ctl.freeze.try_lock().is_err(),
+            self.ctl.pending_msgs.load(Ordering::Acquire),
+            self.ctl.delivered.load(Ordering::Acquire),
+            self.ctl.last_published.load(Ordering::Acquire),
+        );
+        for (s, h) in self.shards.iter().enumerate() {
+            match h.state.try_lock() {
+                Ok(st) => {
+                    let _ = writeln!(
+                        out,
+                        "shard {s}: delivered={} rebalance={} {}",
+                        st.core.delivered_total(),
+                        st.core.rebalance_needed,
+                        st.core.debug_state()
+                    );
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "shard {s}: <state locked>");
+                }
+            }
+            if let Ok(o) = h.overflow.try_lock() {
+                let _ = writeln!(out, "shard {s}: overflow={}", o.len());
+            }
+        }
+        out
+    }
+
+    /// Graceful shutdown: refuse new batches, drain every queue, publish a
+    /// final durable cut (synced WALs + final checkpoint), stop and join
+    /// the workers. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.ctl.closed.store(true, Ordering::Release);
+        if !self.shared.killed.load(Ordering::Acquire) {
+            self.quiesce();
+            let (f, mut guards) = self.freeze();
+            let assembled = self.publish_world(&mut guards, true);
+            self.checkpoint_world(&mut guards, assembled);
+            self.unfreeze(f, guards);
+        }
+        self.stop_workers();
+    }
+
+    /// Crash-stop: discard queued work, no final sync/checkpoint/publish.
+    pub(crate) fn kill(&self) {
+        // The caller raised `shared.killed` first; workers drain without
+        // processing from here on.
+        self.ctl.closed.store(true, Ordering::Release);
+        self.stop_workers();
+    }
+
+    /// Ask every worker to exit (without draining) and join them.
+    fn stop_workers(&self) {
+        for s in 0..self.shards.len() {
+            lock(&self.shards[s].overflow).push_back(ShardMsg::Stop);
+            let _ = self.shards[s].tx.try_send(ShardMsg::Nudge);
+        }
+        for h in &self.shards {
+            if let Some(j) = lock(&h.join).take() {
+                let _ = j.join();
+            }
+        }
+    }
+
+    /// Signal workers to exit without joining (Drop path).
+    pub(crate) fn request_stop(&self) {
+        self.ctl.closed.store(true, Ordering::Release);
+        for s in 0..self.shards.len() {
+            lock(&self.shards[s].overflow).push_back(ShardMsg::Stop);
+            let _ = self.shards[s].tx.try_send(ShardMsg::Nudge);
+        }
+    }
+}
+
+/// One shard worker: drain overflow then the channel, process one message
+/// at a time under the shard's state mutex, honor pauses between messages.
+fn shard_loop(rt: &ShardedRuntime, s: ShardId, rx: Receiver<ShardMsg>) {
+    loop {
+        // Pop-then-drop: the overflow guard must die before the blocking
+        // `recv`, or a peer's `post` (which takes this mutex) deadlocks
+        // against a shard parked on an empty channel.
+        let queued = lock(&rt.shards[s].overflow).pop_front();
+        let msg = match queued {
+            Some(m) => m,
+            None => match rx.recv() {
+                Ok(m) => m,
+                Err(_) => return, // runtime gone
+            },
+        };
+        if matches!(msg, ShardMsg::Stop) {
+            return;
+        }
+        if rt.shared.killed.load(Ordering::Acquire) {
+            rt.ctl.pending_msgs.fetch_sub(1, Ordering::AcqRel);
+            continue; // crash-stop: drain without processing
+        }
+        rt.wait_unpaused();
+        let mut wakes = Vec::new();
+        let (delivered, want_rebalance) = {
+            let mut st = lock(&rt.shards[s].state);
+            let delivered = process_msg(rt, &mut st, msg, &mut wakes);
+            rt.append_wal(&mut st, false);
+            report_shard_metrics(rt, &mut st);
+            (delivered, st.core.rebalance_needed)
+        };
+        // Follow-on work is enqueued before this message's count releases,
+        // so pending_msgs can only hit zero at true quiescence.
+        rt.dispatch(wakes);
+        rt.ctl.pending_msgs.fetch_sub(1, Ordering::AcqRel);
+        if delivered > 0 {
+            rt.note_delivered(delivered);
+        }
+        if want_rebalance {
+            rt.freeze_rebalance();
+        }
+        rt.maybe_publish();
+    }
+}
+
+fn process_msg(
+    rt: &ShardedRuntime,
+    st: &mut ShardState,
+    msg: ShardMsg,
+    wakes: &mut Vec<Wake>,
+) -> u64 {
+    match msg {
+        ShardMsg::Batch(events) => {
+            let mut delivered = 0;
+            for ev in events {
+                let t0 = Instant::now();
+                let p = ev.process();
+                if p.idx() < rt.routing.len() && !st.core.owns(p) {
+                    // Routing moved while the batch was queued: forward.
+                    let target = rt.routing[p.idx()].load(Ordering::Relaxed) as usize;
+                    rt.post(target, ShardMsg::Batch(vec![ev]));
+                    continue;
+                }
+                match st.core.offer(ev, &rt.env, wakes) {
+                    Ok(d) => delivered += d,
+                    Err(reason) => eprintln!(
+                        "[cts-daemon] {}: dropping event {}: {reason}",
+                        rt.name, ev.id
+                    ),
+                }
+                rt.shared
+                    .metrics
+                    .ingest_ns
+                    .record(t0.elapsed().as_nanos() as u64);
+            }
+            delivered
+        }
+        ShardMsg::Wake(id) => st.core.wake(id, &rt.env, wakes),
+        ShardMsg::Nudge => 0,
+        ShardMsg::Stop => unreachable!("Stop is handled before processing"),
+    }
+}
+
+/// Fold this shard's counters into the computation-wide metrics using
+/// wrapping deltas (several shards update concurrently).
+fn report_shard_metrics(rt: &ShardedRuntime, st: &mut ShardState) {
+    let m = &rt.shared.metrics;
+    let dup = st.core.duplicates();
+    m.duplicates_dropped
+        .fetch_add(dup.wrapping_sub(st.reported_dup), Ordering::Relaxed);
+    st.reported_dup = dup;
+    let depth = st.core.depth() as u64;
+    m.reorder_depth
+        .fetch_add(depth.wrapping_sub(st.reported_depth), Ordering::Relaxed);
+    st.reported_depth = depth;
+    let global_depth = m.reorder_depth.load(Ordering::Relaxed);
+    m.reorder_peak.fetch_max(global_depth, Ordering::Relaxed);
+}
+
+/// Open a fresh WAL segment for one shard (same failpoint discipline as the
+/// single-worker path).
+fn open_shard_segment(
+    dur: &DurabilityConfig,
+    start: u64,
+    fault_budget: &mut Option<u64>,
+) -> io::Result<WalWriter<Box<dyn DurableSink + Send>>> {
+    let path = dur.dir.join(wal::segment_name(start));
+    let _ = std::fs::remove_file(&path);
+    let sink: Box<dyn DurableSink + Send> = match *fault_budget {
+        Some(budget) => Box::new(FailpointFs::create(&path, budget)?),
+        None => Box::new(std::fs::File::create(&path)?),
+    };
+    WalWriter::from_sink(sink, start, dur.sync_window)
+}
+
+fn parse_shard_dir(name: &str) -> Option<usize> {
+    name.strip_prefix("shard-")?.parse::<usize>().ok()
+}
+
+/// All `shard-NN` subdirectories of a computation directory, sorted.
+fn shard_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(root)? {
+        let path = entry?.path();
+        let is_shard = path.is_dir()
+            && path
+                .file_name()
+                .and_then(|f| f.to_str())
+                .and_then(parse_shard_dir)
+                .is_some();
+        if is_shard {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}

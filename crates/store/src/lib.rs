@@ -30,7 +30,7 @@ pub mod timestamp_cache;
 pub mod vm_sim;
 
 pub use btree::BPlusTree;
-pub use event_store::{EventStore, IngestHandle, SharedStore};
+pub use event_store::{EventStore, IngestHandle, PartitionedStore, SharedStore};
 pub use lru::LruCache;
 pub use timestamp_cache::TimestampCache;
 pub use vm_sim::PagedTimestampStore;

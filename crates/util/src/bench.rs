@@ -115,9 +115,15 @@ impl Bencher {
     }
 
     /// The full report as a JSON document:
-    /// `{"schema": "cts-bench/1", "benches": [{...}, ...]}`.
+    /// `{"schema": "cts-bench/1", "host": {"cpus": N}, "benches": [...]}`.
+    /// `host.cpus` (available parallelism where the report was recorded)
+    /// lets `bench_gate.py` scale parallel-speedup requirements to what
+    /// the recording host could physically deliver.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"cts-bench/1\",\n  \"benches\": [\n");
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut out = format!(
+            "{{\n  \"schema\": \"cts-bench/1\",\n  \"host\": {{\"cpus\": {cpus}}},\n  \"benches\": [\n"
+        );
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"group\": {}, \"name\": {}, \"samples\": {}, \

@@ -8,6 +8,7 @@ group's tolerance.
 Usage:
     bench_gate.py BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
                   [--tolerance 0.35]
+                  [--require-speedup SLOW_ID:FAST_ID:RATIO ...]
 
 Design notes:
 - gates on *min_ns*, not median: for deterministic CPU-bound benches the
@@ -22,12 +23,24 @@ Design notes:
 - groups that exercise the OS (fsync, TCP round-trips, thread handoff)
   get wider tolerances via NOISY_GROUPS; everything else uses the default.
 - improvements never fail the gate, they are just reported.
+- the `calibration/fixed_work` bench (a fixed single-thread ALU kernel)
+  normalizes across hosts: when both reports carry it, every candidate/
+  baseline ratio is divided by the calibration ratio, so a committed
+  baseline from a faster or slower machine gates without re-baselining.
+- `--require-speedup SLOW_ID:FAST_ID:RATIO` asserts a parallel-scaling
+  claim *within* the candidate reports (e.g. 4-shard ingest >= 1.8x the
+  1-shard time). The required ratio is scaled by the candidate host's
+  available parallelism (reports record `host.cpus`): a host with fewer
+  than SPEEDUP_REF_CPUS cores cannot physically deliver the speedup, so
+  the requirement degrades proportionally (x0.8 overhead slack) into a
+  sanity bound that still catches sharding collapsing throughput.
 
 Only the Python standard library is used (the CI container is offline).
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Per-group tolerance overrides for benches dominated by syscalls or
@@ -37,13 +50,25 @@ NOISY_GROUPS = {
     "daemon_ingest": 0.60,  # TCP + thread handoff
     "daemon_query": 0.60,  # round-trip latency
     "reorder_buffer": 0.50,  # allocation-heavy, sensitive to heap state
+    "shard_ingest": 0.60,  # spawns worker threads, cross-shard handoff
 }
 
 # Benches faster than this are pure timer noise at --quick sample counts.
 FLOOR_NS = 100.0
 
+# The host-speed reference bench; never gated itself.
+CALIBRATION_ID = "calibration/fixed_work"
+
+# --require-speedup claims assume this many cores (the 4-shard sweep).
+SPEEDUP_REF_CPUS = 4
+
+# Parallel-overhead slack applied when the host has fewer cores than the
+# claim assumes: threads still pay handoff costs they cannot amortize.
+SPEEDUP_UNDERPROVISIONED_SLACK = 0.8
+
 
 def load(path):
+    """Returns ({bench_id: min_ns}, cpus-or-None)."""
     try:
         with open(path, encoding="utf-8") as f:
             report = json.load(f)
@@ -56,7 +81,7 @@ def load(path):
         out[f"{b['group']}/{b['name']}"] = float(b["min_ns"])
     if not out:
         sys.exit(f"bench_gate: {path}: no benches in report")
-    return out
+    return out, report.get("host", {}).get("cpus")
 
 
 def merge_min(reports):
@@ -78,14 +103,32 @@ def main():
         default=0.35,
         help="default allowed slowdown ratio slack (default 0.35 = +35%%)",
     )
+    ap.add_argument(
+        "--require-speedup",
+        action="append",
+        default=[],
+        metavar="SLOW_ID:FAST_ID:RATIO",
+        help="require min_ns(SLOW_ID)/min_ns(FAST_ID) >= RATIO within the "
+        "merged candidates, scaled by the candidate host's parallelism",
+    )
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cand = merge_min([load(p) for p in args.candidates])
+    base, _base_cpus = load(args.baseline)
+    loaded = [load(p) for p in args.candidates]
+    cand = merge_min([benches for benches, _ in loaded])
+    cand_cpus = next((c for _, c in loaded if c), None) or os.cpu_count() or 1
 
     shared = sorted(set(base) & set(cand))
     added = sorted(set(cand) - set(base))
     removed = sorted(set(base) - set(cand))
+
+    # Host-speed normalization: if both reports carry the calibration
+    # kernel, divide every candidate/baseline ratio by its ratio.
+    scale = 1.0
+    if CALIBRATION_ID in base and CALIBRATION_ID in cand:
+        scale = cand[CALIBRATION_ID] / base[CALIBRATION_ID]
+        print(f"calibration: candidate host runs {CALIBRATION_ID} at "
+              f"{scale:.2f}x the baseline host's time; normalizing")
 
     regressions = []
     improvements = []
@@ -94,9 +137,11 @@ def main():
         b, c = base[bench_id], cand[bench_id]
         group = bench_id.split("/", 1)[0]
         tol = NOISY_GROUPS.get(group, args.tolerance)
-        ratio = c / b if b > 0 else float("inf")
+        ratio = (c / b) / scale if b > 0 else float("inf")
         delta = f"{(ratio - 1) * 100:+.1f}%"
-        if b < FLOOR_NS and c < FLOOR_NS:
+        if bench_id == CALIBRATION_ID:
+            verdict = "calibration ref"
+        elif b < FLOOR_NS and c < FLOOR_NS:
             verdict = "skip (sub-floor)"
         elif ratio > 1 + tol:
             verdict = f"REGRESSION (>{tol:.0%})"
@@ -115,6 +160,32 @@ def main():
         print(f"{bench_id:<52} {base[bench_id]:>10.0f} {'--':>10} {'gone':>8}  "
               "missing from candidate")
 
+    speedup_failures = []
+    for claim in args.require_speedup:
+        try:
+            slow_id, fast_id, want_s = claim.rsplit(":", 2)
+            want = float(want_s)
+        except ValueError:
+            sys.exit(f"bench_gate: bad --require-speedup {claim!r} "
+                     "(want SLOW_ID:FAST_ID:RATIO)")
+        missing = [i for i in (slow_id, fast_id) if i not in cand]
+        if missing:
+            sys.exit(f"bench_gate: --require-speedup: {', '.join(missing)} "
+                     "not in candidate reports")
+        required = want
+        if cand_cpus < SPEEDUP_REF_CPUS:
+            required = (want * cand_cpus / SPEEDUP_REF_CPUS
+                        * SPEEDUP_UNDERPROVISIONED_SLACK)
+            print(f"speedup: host has {cand_cpus} cpu(s) < "
+                  f"{SPEEDUP_REF_CPUS} the claim assumes; requirement "
+                  f"{want:.2f}x degraded to sanity bound {required:.2f}x")
+        got = cand[slow_id] / cand[fast_id] if cand[fast_id] > 0 else 0.0
+        ok = got >= required
+        print(f"speedup: {slow_id} / {fast_id} = {got:.2f}x "
+              f"(required {required:.2f}x) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            speedup_failures.append((claim, got, required))
+
     print()
     if improvements:
         print(f"bench_gate: {len(improvements)} improved beyond tolerance "
@@ -126,6 +197,11 @@ def main():
         print(f"bench_gate: FAIL — {len(regressions)} regression(s):")
         for bench_id, ratio, tol in regressions:
             print(f"  {bench_id}: {ratio:.2f}x baseline (allowed {1 + tol:.2f}x)")
+        return 1
+    if speedup_failures:
+        print(f"bench_gate: FAIL — {len(speedup_failures)} speedup claim(s):")
+        for claim, got, required in speedup_failures:
+            print(f"  {claim}: {got:.2f}x (required {required:.2f}x)")
         return 1
     print(f"bench_gate: PASS — {len(shared)} benches within tolerance")
     return 0

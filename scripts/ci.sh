@@ -7,6 +7,7 @@
 #   build     offline release build of the whole workspace
 #   test      full offline test suite
 #   smoke     daemon loopback smoke over TCP + ingest throughput record
+#             + sharded (--shards 4) full-suite differential soak
 #   recovery  crash-stop the daemon mid-suite, restart, verify zero
 #             differential mismatches after WAL/checkpoint recovery
 #   bench     two cts-bench --quick runs gated against the committed
@@ -76,6 +77,10 @@ stage_smoke() {
   # Record ingest/query throughput in the cts-bench/1 schema (mini suite,
   # in-process daemon, differential checks included).
   target/release/cts-loadgen --quick --json results/BENCH_ingest.json
+
+  # Sharded full-suite soak: all 54 computations through a 4-shard ingest
+  # path, every answer differentially checked (exit non-zero on mismatch).
+  target/release/cts-loadgen --shards 4
 }
 
 stage_recovery() {
@@ -86,14 +91,26 @@ stage_recovery() {
   # checkpoint/rotation cycles before the crash.
   target/release/cts-loadgen --quick --data-dir "$workdir/crash" \
     --checkpoint-every 200 --kill-after 1000 --restart
+
+  # Same cycle with a 4-shard ingest path: per-shard WAL segments plus the
+  # global checkpoint must recover to the same zero-mismatch state.
+  target/release/cts-loadgen --quick --shards 4 --data-dir "$workdir/crash4" \
+    --checkpoint-every 200 --kill-after 1000 --restart
 }
 
 stage_bench() {
   echo "==> bench: quick suite x2 vs committed baseline"
   target/release/cts-bench --quick >"$workdir/bench-1.json"
   target/release/cts-bench --quick >"$workdir/bench-2.json"
+  # The speedup claims gate the sharded ingest path: >= 1.8x at 4 shards
+  # vs 1 on the widest computations (scaled down by bench_gate.py when the
+  # host has fewer than 4 cores — see SPEEDUP_REF_CPUS).
   python3 scripts/bench_gate.py results/BENCH_baseline.json \
-    "$workdir/bench-1.json" "$workdir/bench-2.json"
+    "$workdir/bench-1.json" "$workdir/bench-2.json" \
+    --require-speedup \
+    shard_ingest/blocked_stencil1d_128_s1:shard_ingest/blocked_stencil1d_128_s4:1.8 \
+    --require-speedup \
+    shard_ingest/sharded_web_288_s1:shard_ingest/sharded_web_288_s4:1.8
 }
 
 all_stages=(fmt clippy build test smoke recovery bench)

@@ -38,6 +38,7 @@ fn durable_config(name: &str, n: u32, dir: &Path, budget: Option<u64>) -> Comput
         max_cluster_size: 4,
         queue_capacity: 8,
         epoch_every: 64,
+        shards: 1,
         durability: Some(DurabilityConfig {
             dir: dir.to_path_buf(),
             // Sync every batch: the crash point is then exactly a batch
@@ -98,6 +99,152 @@ fn crash_mid_suite_recovery_has_zero_mismatches() {
         report.mismatches, 0,
         "recovered daemon diverged from the offline engine"
     );
+}
+
+#[test]
+fn sharded_crash_mid_suite_recovery_has_zero_mismatches() {
+    // The same headline guarantee with four ingest shards per computation:
+    // partial stream → crash-stop → restart (recovering the union of the
+    // per-shard WALs) → re-stream → zero differential mismatches.
+    let dir = tmpdir("sharded-crash-mid-suite");
+    let suite = mini_suite();
+    let total: u64 = suite.iter().map(|e| e.trace.num_events() as u64).sum();
+    let cfg = LoadConfig {
+        connections: 4,
+        seed: 11,
+        precedence_queries: 40,
+        gc_probes: 2,
+        ..LoadConfig::default()
+    };
+    let daemon_cfg = DaemonConfig {
+        data_dir: Some(dir.clone()),
+        sync_window: Duration::ZERO,
+        checkpoint_every: 64,
+        shards: 4,
+        ..DaemonConfig::default()
+    };
+    let report = loadgen::run_crash_replay(&suite, &cfg, daemon_cfg, total / 2, true)
+        .expect("crash replay")
+        .expect("restart requested");
+    assert_eq!(report.computations, suite.len());
+    assert_eq!(report.total_events, total);
+    assert_eq!(
+        report.mismatches, 0,
+        "recovered sharded daemon diverged from the offline engine"
+    );
+}
+
+#[test]
+fn sharded_torn_shard_tail_with_one_shard_ahead() {
+    // Crash-stop a 4-shard durable computation, then tear ONE shard's WAL
+    // tail mid-record: that shard restarts behind its peers, so some
+    // surviving events on other shards depend on events that no longer
+    // exist anywhere on disk. Those orphans were never acknowledged (a
+    // flush syncs every shard before acking), so recovery parks them,
+    // replays the rest, and the client's re-stream restores exactness.
+    let dir = tmpdir("sharded-torn-tail");
+    let trace = Stencil1D { procs: 8, iters: 5 }.generate(19);
+    let n = trace.num_processes();
+    let mut cfg = durable_config("sharded-torn", n, &dir, None);
+    cfg.shards = 4;
+
+    let (comp, report) = Computation::spawn_durable(cfg.clone()).expect("spawn");
+    assert_eq!(comp.num_shards(), 4);
+    assert_eq!(report.total_events(), 0);
+    for chunk in trace.events().chunks(17) {
+        comp.enqueue_events(chunk.to_vec()).unwrap();
+    }
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    comp.kill();
+
+    // Every shard has its own segment directory; chop one mid-record.
+    let shard_dirs: Vec<PathBuf> = (0..4).map(|s| dir.join(format!("shard-{s:02}"))).collect();
+    let victim_segs = wal::list_segments(&shard_dirs[1]).unwrap();
+    let (_, victim) = victim_segs.first().expect("shard 1 wrote a segment");
+    let len = std::fs::metadata(victim).unwrap().len();
+    assert!(len > 40, "victim segment too small to tear meaningfully");
+    std::fs::File::options()
+        .write(true)
+        .open(victim)
+        .unwrap()
+        .set_len(len - 9)
+        .unwrap();
+
+    let (comp, report) = Computation::spawn_durable(cfg).expect("respawn");
+    assert!(report.torn_tail.is_some(), "tear not reported");
+    assert!(report.torn_bytes_truncated > 0);
+    assert!(
+        report.total_events() < trace.num_events() as u64,
+        "the torn shard must have lost events"
+    );
+    assert!(report.total_events() > 0, "intact shards must replay");
+
+    comp.enqueue_events(trace.events().to_vec()).unwrap();
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush after recovery");
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
+}
+
+#[test]
+fn sharded_graceful_shutdown_restarts_from_global_checkpoint() {
+    // Graceful sharded shutdown writes a final *global* checkpoint of the
+    // assembled cut; a restart must serve exact answers with no re-stream.
+    let dir = tmpdir("sharded-graceful");
+    let trace = Stencil1D { procs: 8, iters: 4 }.generate(37);
+    let n = trace.num_processes();
+    let mut cfg = durable_config("sharded-graceful", n, &dir, None);
+    cfg.shards = 4;
+    cfg.durability.as_mut().unwrap().checkpoint_every = 50;
+
+    let (comp, _) = Computation::spawn_durable(cfg.clone()).expect("spawn");
+    comp.enqueue_events(trace.events().to_vec()).unwrap();
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    comp.shutdown();
+
+    let ckpt = checkpoint::load_latest_checkpoint(&dir)
+        .unwrap()
+        .expect("final global checkpoint written");
+    assert_eq!(ckpt.delivered, trace.num_events() as u64);
+
+    let (comp, report) = Computation::spawn_durable(cfg).expect("respawn");
+    assert_eq!(report.total_events(), trace.num_events() as u64);
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
+}
+
+#[test]
+fn single_worker_layout_recovers_under_sharded_restart() {
+    // Upgrade path: a computation runs durably in single-worker mode
+    // (top-level WAL segments), crashes, and restarts with --shards 4. The
+    // sharded bootstrap must recover the legacy layout, re-shard it, and
+    // converge to exactness after a re-stream.
+    let dir = tmpdir("legacy-to-sharded");
+    let trace = Stencil1D { procs: 8, iters: 4 }.generate(43);
+    let n = trace.num_processes();
+
+    let (comp, _) =
+        Computation::spawn_durable(durable_config("upgrade", n, &dir, None)).expect("spawn");
+    assert_eq!(comp.num_shards(), 1);
+    for chunk in trace.events().chunks(13) {
+        comp.enqueue_events(chunk.to_vec()).unwrap();
+    }
+    comp.flush(trace.num_events() as u64, Duration::from_secs(30))
+        .expect("flush");
+    comp.kill();
+
+    let mut cfg = durable_config("upgrade", n, &dir, None);
+    cfg.shards = 4;
+    let (comp, report) = Computation::spawn_durable(cfg).expect("respawn sharded");
+    assert_eq!(comp.num_shards(), 4);
+    assert_eq!(report.total_events(), trace.num_events() as u64);
+    // Legacy top-level segments are retired once the global checkpoint
+    // covers them (re-sharding rewrites durability in the new layout).
+    assert!(wal::list_segments(&dir).unwrap().is_empty());
+    assert_matches_offline(&comp, &trace);
+    comp.shutdown();
 }
 
 #[test]

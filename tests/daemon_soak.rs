@@ -9,21 +9,29 @@
 //! barrier, sampled precedence queries, greatest-concurrent probes, and
 //! window scrolls are answered by the daemon and compared 1:1 with a local
 //! `ClusterEngine` run over the original in-order trace. By delivery-order
-//! invariance the required mismatch count is exactly zero.
+//! invariance the required mismatch count is exactly zero — in both the
+//! single-worker and the 4-shard ingest configurations.
 
 use cts_daemon::loadgen::{self, LoadConfig};
 use cts_daemon::server::{Daemon, DaemonConfig};
 use cts_daemon::Client;
 use cts_workloads::suite::{mini_suite, standard_suite};
 
-#[test]
-fn full_suite_soak_matches_offline_engine() {
-    let daemon = Daemon::start(DaemonConfig::default()).expect("bind loopback");
+/// The soak body, parameterized by the daemon's ingest shard count: the
+/// same 54 computations, the same shuffled concurrent streams, the same
+/// zero-mismatch bar — whether one worker delivers everything or four
+/// shard workers race over process groups.
+fn full_suite_soak(shards: u32, seed: u64) {
+    let daemon = Daemon::start(DaemonConfig {
+        shards,
+        ..DaemonConfig::default()
+    })
+    .expect("bind loopback");
     let suite = standard_suite();
     let cfg = LoadConfig {
         addr: daemon.local_addr(),
         connections: 8,
-        seed: 2026,
+        seed,
         precedence_queries: 120,
         gc_probes: 2,
         ..LoadConfig::default()
@@ -65,6 +73,18 @@ fn full_suite_soak_matches_offline_engine() {
     client.goodbye().expect("goodbye");
 
     daemon.shutdown();
+}
+
+#[test]
+fn full_suite_soak_matches_offline_engine() {
+    full_suite_soak(1, 2026);
+}
+
+#[test]
+fn full_suite_soak_sharded_matches_offline_engine() {
+    // Four shard workers per computation: cross-shard edges, mid-stream
+    // rebalances, and the two-phase cut all run under the same bar.
+    full_suite_soak(4, 4052);
 }
 
 #[test]

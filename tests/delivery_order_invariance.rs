@@ -6,7 +6,9 @@
 
 use cluster_timestamps::prelude::*;
 use cts_core::cluster::ClusterEngine;
+use cts_daemon::{ShardSchedule, SimShards};
 use cts_model::linearize::{is_valid_delivery_order, relinearize};
+use cts_workloads::spmd::Stencil1D;
 use cts_workloads::suite::mini_suite;
 
 #[test]
@@ -133,6 +135,101 @@ fn drop_then_retransmit_converges_to_exact_precedence() {
             }
         }
     }
+}
+
+/// Exact-precedence check of a sharded simulation against the causal oracle,
+/// plus the store-holds-every-event-once invariant.
+fn assert_shards_exact(t: &Trace, sim: &mut SimShards, ctx: &str) {
+    assert_eq!(sim.rejected(), 0, "{ctx}: events rejected");
+    assert_eq!(
+        sim.delivered_total(),
+        t.num_events() as u64,
+        "{ctx}: not everything delivered"
+    );
+    let (trace, cts) = sim.cut();
+    assert_eq!(trace.num_events(), t.num_events(), "{ctx}: short cut");
+    let oracle = Oracle::compute(t);
+    for e in t.all_event_ids() {
+        for f in t.all_event_ids() {
+            assert_eq!(
+                cts.precedes(&trace, e, f),
+                oracle.happened_before(t, e, f),
+                "{ctx}: {e} -> {f}"
+            );
+        }
+    }
+    assert_eq!(
+        sim.store().len(),
+        t.num_events() as u64,
+        "{ctx}: store length"
+    );
+}
+
+#[test]
+fn receive_before_send_across_shards() {
+    // Inject the delivery order *reversed*: every receive reaches its
+    // owning shard before the matching send reaches the sender's shard, so
+    // each cross-shard edge must park on the clock exchange and resolve
+    // only when the send's frontier is finally published by the peer shard.
+    let t = Stencil1D { procs: 6, iters: 3 }.generate(13);
+    for shards in [2, 3] {
+        let mut sim = SimShards::new("rx-first", t.num_processes(), shards, 4);
+        for &ev in t.events().iter().rev() {
+            sim.inject(ev);
+        }
+        sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+        assert_shards_exact(&t, &mut sim, &format!("{shards} shards reversed"));
+    }
+}
+
+#[test]
+fn duplicate_delivery_straddling_a_rebalance() {
+    // Phase 1 delivers the whole computation; stencil traffic merges
+    // neighboring clusters, migrating processes between shards. Phase 2
+    // re-injects every event: the duplicates now route to the *new* owner
+    // of each migrated process, which must recognize them by watermark even
+    // though a different shard performed the original delivery.
+    let t = Stencil1D { procs: 8, iters: 4 }.generate(3);
+    let mut sim = SimShards::new("dup-rebalance", t.num_processes(), 4, 4);
+    for &ev in t.events() {
+        sim.inject(ev);
+    }
+    sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+    assert_eq!(sim.delivered_total(), t.num_events() as u64);
+    let moved = (0..t.num_processes()).any(|p| sim.shard_of(ProcessId(p)) != (p as usize * 4 / 8));
+    assert!(moved, "no process migrated; duplicates would not straddle");
+    for &ev in relinearize(&t, 77).events() {
+        sim.inject(ev);
+    }
+    sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+    assert_eq!(
+        sim.duplicates(),
+        t.num_events() as u64,
+        "every re-injected event must be dropped as a duplicate"
+    );
+    assert_shards_exact(&t, &mut sim, "after duplicate storm");
+}
+
+#[test]
+fn cluster_merge_rebalances_midstream() {
+    // Feed the first half, let merges rebalance ownership, then feed the
+    // rest: late events are routed by the *new* table, and any that raced
+    // the migration are forwarded. Precedence must stay exact throughout.
+    let t = Stencil1D { procs: 8, iters: 5 }.generate(29);
+    let mut sim = SimShards::new("midstream", t.num_processes(), 4, 4);
+    let events = t.events();
+    let half = events.len() / 2;
+    for &ev in &events[..half] {
+        sim.inject(ev);
+    }
+    sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+    let moved = (0..t.num_processes()).any(|p| sim.shard_of(ProcessId(p)) != (p as usize * 4 / 8));
+    assert!(moved, "first half must already force a rebalance");
+    for &ev in &events[half..] {
+        sim.inject(ev);
+    }
+    sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+    assert_shards_exact(&t, &mut sim, "midstream rebalance");
 }
 
 #[test]
