@@ -1,0 +1,34 @@
+use cts_daemon::pipeline::{Computation, ComputationConfig};
+use cts_model::linearize::relinearize;
+use cts_workloads::spmd::Stencil1D;
+use cts_workloads::Workload;
+
+#[test]
+fn sharded_shutdown_is_idempotent() {
+    let t = Stencil1D { procs: 8, iters: 4 }.generate(7);
+    let mut cfg = ComputationConfig {
+        name: "double-shutdown".into(),
+        num_processes: t.num_processes(),
+        max_cluster_size: 4,
+        queue_capacity: 8,
+        epoch_every: 64,
+        shards: 4,
+        durability: None,
+    };
+    cfg.shards = 4;
+    let comp = Computation::spawn(cfg);
+    for chunk in relinearize(&t, 3).events().chunks(37) {
+        comp.enqueue_events(chunk.to_vec()).unwrap();
+    }
+    comp.flush(t.num_events() as u64, std::time::Duration::from_secs(30))
+        .unwrap();
+    comp.shutdown();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let c2 = comp.clone();
+    std::thread::spawn(move || {
+        c2.shutdown();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(10))
+        .expect("second shutdown() hung");
+}
