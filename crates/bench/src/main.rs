@@ -227,6 +227,115 @@ fn bench_store_queries(r: &mut Runner) {
     }
 }
 
+/// The fast query read path introduced with the shared precedence cache:
+///
+/// - `precedes_cold_*` vs `precedes_warm_*`: 256 sampled precedence
+///   verdicts on the widest suite computations, against a fresh
+///   [`SharedQueryCache`] per iteration (every verdict materializes a
+///   projected stamp from scratch) vs a cache pre-warmed with exactly
+///   those pairs (every verdict is a sharded-lock lookup). The warm/cold
+///   ratio is the gate `scripts/ci.sh` holds at ≥5×.
+/// - `gc_linear_*` vs `gc_binary_*`: the greatest-concurrent scan, linear
+///   oracle vs the binary-searched suffix boundary, same probe events.
+/// - `rtt_single_256` vs `rtt_batch_256`: the same 256 pairs as individual
+///   `QueryPrecedes` round trips vs one `QueryPrecedesBatch` frame against
+///   a loopback daemon (wire + scheduling cost, not verdict cost).
+fn bench_query_path(r: &mut Runner) {
+    use cts_store::queries::{greatest_concurrent_linear, ClusterBackend, PrecedenceBackend};
+    use cts_store::{CachedClusterBackend, SharedQueryCache};
+
+    let g = "query_path";
+    for (label, trace) in cts_daemon::loadgen::widest_computations() {
+        let cts = ClusterEngine::run(&trace, MergeOnFirst::new(8));
+        let pairs = query_pairs(&trace, 256);
+        r.run(g, &format!("precedes_cold_{label}"), || {
+            let cache = SharedQueryCache::new(1 << 16);
+            let mut b = CachedClusterBackend {
+                cts: &cts,
+                cache: &cache,
+            };
+            pairs
+                .iter()
+                .filter(|&&(e, f)| b.precedes(&trace, e, f))
+                .count()
+        });
+        let cache = SharedQueryCache::new(1 << 16);
+        {
+            let mut b = CachedClusterBackend {
+                cts: &cts,
+                cache: &cache,
+            };
+            for &(e, f) in &pairs {
+                let _ = b.precedes(&trace, e, f);
+            }
+        }
+        r.run(g, &format!("precedes_warm_{label}"), || {
+            let mut b = CachedClusterBackend {
+                cts: &cts,
+                cache: &cache,
+            };
+            pairs
+                .iter()
+                .filter(|&&(e, f)| b.precedes(&trace, e, f))
+                .count()
+        });
+
+        let probes: Vec<EventId> = (0..4)
+            .map(|k: usize| trace.at((k * 15_485_863 + 3) % trace.num_events()).id)
+            .collect();
+        r.run(g, &format!("gc_linear_{label}"), || {
+            probes
+                .iter()
+                .map(|&e| greatest_concurrent_linear(&mut ClusterBackend(&cts), &trace, e).len())
+                .sum::<usize>()
+        });
+        r.run(g, &format!("gc_binary_{label}"), || {
+            probes
+                .iter()
+                .map(|&e| greatest_concurrent(&mut ClusterBackend(&cts), &trace, e).len())
+                .sum::<usize>()
+        });
+    }
+
+    // Wire round trips against a live loopback daemon. Single queries pay
+    // one RTT per verdict; the batch pays one RTT total. (Skipped when a
+    // filter excludes both ids, so filtered runs don't boot a daemon.)
+    let single_id = format!("{g}/rtt_single_256");
+    let batch_id = format!("{g}/rtt_batch_256");
+    if let Some(pat) = &r.filter {
+        if !single_id.contains(pat.as_str()) && !batch_id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let trace = clustered_trace(200, 8);
+    let pairs = query_pairs(&trace, 256);
+    let daemon =
+        cts_daemon::Daemon::start(cts_daemon::DaemonConfig::default()).expect("loopback daemon");
+    let mut client = cts_daemon::Client::connect(daemon.local_addr()).expect("connect");
+    client
+        .hello("bench-query-path", trace.num_processes(), 8)
+        .expect("hello");
+    client.stream_events(trace.events(), 512).expect("stream");
+    client.flush(trace.num_events() as u64).expect("flush");
+    r.run(g, "rtt_single_256", || {
+        pairs
+            .iter()
+            .filter(|&&(e, f)| client.precedes(e, f).expect("precedes rtt"))
+            .count()
+    });
+    r.run(g, "rtt_batch_256", || {
+        client
+            .precedes_batch(&pairs)
+            .expect("batch rtt")
+            .iter()
+            .flatten()
+            .filter(|&&b| b)
+            .count()
+    });
+    let _ = client.goodbye();
+    daemon.shutdown();
+}
+
 /// A fixed, allocation-free ALU kernel: pure single-thread CPU speed, no
 /// memory traffic, no syscalls. `bench_gate.py` uses this entry to
 /// normalize a candidate report against a baseline recorded on a
@@ -405,6 +514,7 @@ fn main() {
     bench_static_clustering(&mut r);
     bench_figure_sweeps(&mut r);
     bench_store_queries(&mut r);
+    bench_query_path(&mut r);
     bench_daemon(&mut r);
     bench_shard_ingest(&mut r);
     bench_wal(&mut r);

@@ -2,6 +2,7 @@
 
 use super::membership::ClusterSets;
 use super::stamp::ClusterStamp;
+use crate::clock::VectorClock;
 use crate::clustering::Clustering;
 use crate::fm::FmEngine;
 use crate::strategy::{MergePolicy, StaticClusters};
@@ -359,6 +360,42 @@ impl ClusterTimestamps {
     pub fn concurrent(&self, trace: &Trace, e: EventId, f: EventId) -> bool {
         e != f && !self.precedes(trace, e, f) && !self.precedes(trace, f, e)
     }
+
+    /// Reconstruct the exact Fidge/Mattern clock of `f` from its cluster
+    /// stamp, in O(c·N) — one pass over the cluster members plus a
+    /// `max_assign` per retained cluster receive.
+    ///
+    /// Why this is exact: a projected clock *is* the projection of `f`'s
+    /// true Fidge/Mattern stamp onto the cluster members, so the direct
+    /// components are already maximal. Every bit of knowledge `f` has
+    /// about a process *outside* the cluster entered the cluster through
+    /// some cluster receive at a member `q` with index ≤ `f`'s knowledge
+    /// of `q`; cluster-receive stamps along a process line are monotone,
+    /// so the greatest one within `f`'s past dominates all the others.
+    /// Conversely every such stamp belongs to an event in `f`'s past, so
+    /// no component can exceed the true clock.
+    pub fn materialized_clock(&self, trace: &Trace, f: EventId) -> VectorClock {
+        match &self.stamps[trace.delivery_pos(f)] {
+            ClusterStamp::Full { clock } => clock.clone(),
+            ClusterStamp::Projected { version, clock } => {
+                let mut out = VectorClock::zero(self.crs.len());
+                let members = self.sets.members(*version);
+                for (pos, &q) in members.iter().enumerate() {
+                    let known = clock[pos];
+                    if known == 0 {
+                        continue;
+                    }
+                    if known > out.get(q) {
+                        out.set(q, known);
+                    }
+                    if let Some(ClusterStamp::Full { clock: cr }) = self.greatest_cr(q, known) {
+                        out.max_assign(cr);
+                    }
+                }
+                out
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -463,6 +500,50 @@ mod tests {
         // The 1→2 bridge is the only cluster receive (2→3 is intra-cluster).
         assert_eq!(cts.num_cluster_receives(), 1);
         assert_eq!(cts.num_merges(), 2);
+    }
+
+    /// A denser 8-process trace: ring sends plus stride-3 cross traffic,
+    /// so projected stamps must route knowledge through cluster receives.
+    fn ring_with_cross_traffic() -> Trace {
+        let mut b = TraceBuilder::new(8);
+        for round in 0..6u32 {
+            for i in 0..8u32 {
+                let s = b.send(p(i), p((i + 1) % 8)).unwrap();
+                b.receive(p((i + 1) % 8), s).unwrap();
+            }
+            if round % 2 == 0 {
+                for i in 0..8u32 {
+                    let s = b.send(p(i), p((i + 3) % 8)).unwrap();
+                    b.receive(p((i + 3) % 8), s).unwrap();
+                }
+            }
+        }
+        b.finish_complete("ring-cross").unwrap()
+    }
+
+    #[test]
+    fn materialized_clock_matches_fm() {
+        use crate::fm::FmStore;
+        for t in [two_pairs_bridge(), ring_with_cross_traffic()] {
+            let fm = FmStore::compute(&t);
+            let n = t.num_processes();
+            let mut engines: Vec<ClusterTimestamps> = Vec::new();
+            for max_cs in [1, 2, 4] {
+                engines.push(ClusterEngine::run(&t, MergeOnFirst::new(max_cs)));
+                engines.push(ClusterEngine::run(&t, MergeOnNth::new(n, max_cs, 0.6)));
+            }
+            engines.push(ClusterEngine::run(&t, NeverMerge));
+            for cts in &engines {
+                for f in t.all_event_ids() {
+                    let mat = cts.materialized_clock(&t, f);
+                    assert_eq!(
+                        mat.as_slice(),
+                        fm.stamp(&t, f),
+                        "materialized clock of {f} diverges from Fidge/Mattern"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

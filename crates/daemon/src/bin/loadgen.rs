@@ -5,7 +5,7 @@
 //! ```text
 //! cts-loadgen [--addr HOST:PORT] [--connections 8] [--seed 1]
 //!             [--max-cluster-size 8] [--shards N] [--quick | --smoke]
-//!             [--json PATH] [--shutdown]
+//!             [--window-page N] [--json PATH] [--shutdown]
 //!             [--data-dir PATH] [--checkpoint-every N]
 //!             [--kill-after N [--restart]]
 //! ```
@@ -26,6 +26,10 @@
 //! are unchanged, so this doubles as the sharded full-suite soak. Only
 //! meaningful for the in-process daemon.
 //!
+//! `--window-page N` sets the page size of the window-scroll checks (0 =
+//! the server's default cap); the small default forces the continuation
+//! cursor through several round trips per scroll.
+//!
 //! `--data-dir` makes the in-process daemon durable (write-ahead log +
 //! checkpoints under PATH). `--kill-after N` switches to the crash-replay
 //! scenario: stream ~N events, crash-stop the daemon (no final sync or
@@ -43,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: cts-loadgen [--addr HOST:PORT] [--connections N] [--seed N]\n\
          \x20                  [--max-cluster-size N] [--shards N]\n\
-         \x20                  [--quick | --smoke]\n\
+         \x20                  [--quick | --smoke] [--window-page N]\n\
          \x20                  [--json PATH] [--shutdown]\n\
          \x20                  [--data-dir PATH] [--checkpoint-every N]\n\
          \x20                  [--kill-after N [--restart]]"
@@ -80,6 +84,7 @@ fn main() {
             }
             "--quick" => quick = true,
             "--smoke" => smoke = true,
+            "--window-page" => cfg.window_page = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => json = Some(value(&mut i)),
             "--shutdown" => send_shutdown = true,
             "--data-dir" => data_dir = Some(value(&mut i)),

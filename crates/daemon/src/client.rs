@@ -100,10 +100,82 @@ impl Client {
         }
     }
 
-    /// Event ids of process `p` with indices in `[from, to)`.
+    /// Batched precedence: one verdict per pair in one round trip; `None`
+    /// marks a pair with an event unknown at the answering epoch.
+    pub fn precedes_batch(
+        &mut self,
+        pairs: &[(EventId, EventId)],
+    ) -> io::Result<Vec<Option<bool>>> {
+        match self.call(&Msg::QueryPrecedesBatch {
+            pairs: pairs.to_vec(),
+        })? {
+            Msg::PrecedesBatchResult { verdicts, .. } => Ok(verdicts),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Batched greatest-concurrent: one slot vector per event in one round
+    /// trip; `None` marks an event unknown at the answering epoch.
+    pub fn gc_batch(
+        &mut self,
+        events: &[EventId],
+    ) -> io::Result<Vec<Option<Vec<Option<EventId>>>>> {
+        match self.call(&Msg::QueryGcBatch {
+            events: events.to_vec(),
+        })? {
+            Msg::GcBatchResult { results, .. } => Ok(results),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Event ids of process `p` with indices in `[from, to)`. Iterates the
+    /// server's continuation cursor transparently, so callers see the whole
+    /// range however the server paginates it.
     pub fn window(&mut self, process: u32, from: u32, to: u32) -> io::Result<Vec<EventId>> {
-        match self.call(&Msg::QueryWindow { process, from, to })? {
-            Msg::WindowResult { ids } => Ok(ids),
+        self.window_paged(process, from, to, 0).map(|(ids, _)| ids)
+    }
+
+    /// As [`window`](Self::window) with an explicit per-reply page size
+    /// (`0` = server default). Returns the ids and the number of pages the
+    /// scan took.
+    pub fn window_paged(
+        &mut self,
+        process: u32,
+        from: u32,
+        to: u32,
+        page: u32,
+    ) -> io::Result<(Vec<EventId>, u32)> {
+        let mut all = Vec::new();
+        let mut cursor = from;
+        let mut pages = 0u32;
+        loop {
+            let (ids, next) = self.window_page(process, cursor, to, page)?;
+            all.extend(ids);
+            pages += 1;
+            if next == 0 {
+                return Ok((all, pages));
+            }
+            cursor = next;
+        }
+    }
+
+    /// One page of a window scan: the ids plus the raw continuation cursor
+    /// (`0` = range complete). For callers that interleave paging with
+    /// other work — [`window_paged`](Self::window_paged) drives the loop.
+    pub fn window_page(
+        &mut self,
+        process: u32,
+        from: u32,
+        to: u32,
+        limit: u32,
+    ) -> io::Result<(Vec<EventId>, u32)> {
+        match self.call(&Msg::QueryWindow {
+            process,
+            from,
+            to,
+            limit,
+        })? {
+            Msg::WindowResult { ids, next } => Ok((ids, next)),
             other => Err(Self::protocol_error(&other)),
         }
     }

@@ -44,6 +44,7 @@ pub mod client;
 pub mod loadgen;
 pub mod metrics;
 pub mod pipeline;
+pub mod query_pool;
 pub mod reorder;
 pub mod server;
 pub mod shard;

@@ -56,6 +56,9 @@ pub struct LoadConfig {
     pub precedence_queries: usize,
     /// Greatest-concurrent probes per computation.
     pub gc_probes: usize,
+    /// Page size for the window-scroll check (0 = server default). Small
+    /// values force the continuation cursor to actually continue.
+    pub window_page: u32,
 }
 
 impl Default for LoadConfig {
@@ -71,6 +74,7 @@ impl Default for LoadConfig {
             batch: 512,
             precedence_queries: 200,
             gc_probes: 3,
+            window_page: 5,
         }
     }
 }
@@ -86,6 +90,8 @@ pub struct LoadReport {
     pub precedence_checked: u64,
     pub gc_checked: u64,
     pub windows_checked: u64,
+    /// Items re-issued through the batched wire messages (warm path).
+    pub batch_checked: u64,
     /// Differential failures against the offline engine. Must be zero.
     pub mismatches: u64,
     pub rtt_min_ns: u64,
@@ -147,6 +153,7 @@ impl LoadReport {
              ingest wall       {:.3} s  ({:.0} events/s, {:.0} ns/event)\n\
              query wall        {:.3} s\n\
              checks            {} precedence, {} greatest-concurrent, {} windows\n\
+             batch re-issues   {} items (warm cache, one frame per computation)\n\
              query RTT         p50 {} ns, p95 {} ns (n = {})\n\
              mismatches        {}",
             self.computations,
@@ -159,6 +166,7 @@ impl LoadReport {
             self.precedence_checked,
             self.gc_checked,
             self.windows_checked,
+            self.batch_checked,
             self.rtt_p50_ns,
             self.rtt_p95_ns,
             self.rtt_samples,
@@ -217,6 +225,7 @@ pub fn ingest_trace_wall_ns(
         epoch_every: 4096,
         shards,
         durability: None,
+        query_cache_capacity: 0,
     });
     let start = Instant::now();
     for chunk in arrivals.chunks(512) {
@@ -402,10 +411,18 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
     let ingest_wall_ns = t0.elapsed().as_nanos() as u64;
 
     // ---- query phase: differential checks per computation ----
+    //
+    // Each computation runs the same pattern: *cold* single queries
+    // (RTT-timed, populating the daemon's shared cache), then a *warm*
+    // batched re-issue of the identical items in one frame. Three answers
+    // must agree per item — single, batch, and the offline engine — so a
+    // cache that ever returned a stale or cross-wired verdict shows up as
+    // a mismatch.
     let mismatches = AtomicU64::new(0);
     let precedence_checked = AtomicU64::new(0);
     let gc_checked = AtomicU64::new(0);
     let windows_checked = AtomicU64::new(0);
+    let batch_checked = AtomicU64::new(0);
     let rtt = AtomicHistogram::new();
     let rtt_min = AtomicU64::new(u64::MAX);
 
@@ -420,7 +437,13 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
         if ids.is_empty() {
             return Ok(());
         }
+        let mismatch = |text: String| {
+            eprintln!("[cts-loadgen] MISMATCH {}: {text}", entry.name);
+            mismatches.fetch_add(1, Ordering::Relaxed);
+        };
         // Prime strides decorrelate the sampled pairs from trace layout.
+        let mut pairs = Vec::with_capacity(cfg.precedence_queries);
+        let mut singles = Vec::with_capacity(cfg.precedence_queries);
         for k in 0..cfg.precedence_queries {
             let e = ids[(k * 7919) % ids.len()];
             let f = ids[(k * 104_729 + 13) % ids.len()];
@@ -432,45 +455,84 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
             precedence_checked.fetch_add(1, Ordering::Relaxed);
             let want = offline.precedes(trace, e, f);
             if got != want {
-                eprintln!(
-                    "[cts-loadgen] MISMATCH {}: precedes({e}, {f}) = {got}, offline says {want}",
-                    entry.name
-                );
-                mismatches.fetch_add(1, Ordering::Relaxed);
+                mismatch(format!("precedes({e}, {f}) = {got}, offline says {want}"));
+            }
+            pairs.push((e, f));
+            singles.push(want);
+        }
+        // Warm batch re-issue: the flush barrier guarantees every sampled
+        // event is delivered, so `None` (unknown event) is itself a bug.
+        if !pairs.is_empty() {
+            let verdicts = client.precedes_batch(&pairs)?;
+            batch_checked.fetch_add(verdicts.len() as u64, Ordering::Relaxed);
+            if verdicts.len() != pairs.len() {
+                mismatch(format!(
+                    "precedes_batch returned {} verdicts for {} pairs",
+                    verdicts.len(),
+                    pairs.len()
+                ));
+            }
+            for (k, v) in verdicts.iter().enumerate() {
+                let (e, f) = pairs[k];
+                if *v != Some(singles[k]) {
+                    mismatch(format!(
+                        "warm precedes_batch({e}, {f}) = {v:?}, offline says {}",
+                        singles[k]
+                    ));
+                }
             }
         }
+        let mut gc_events = Vec::with_capacity(cfg.gc_probes);
+        let mut gc_singles = Vec::with_capacity(cfg.gc_probes);
         for k in 0..cfg.gc_probes {
             let e = ids[(k * 15_485_863 + 3) % ids.len()];
             let got = client.greatest_concurrent(e)?;
             gc_checked.fetch_add(1, Ordering::Relaxed);
             let want = greatest_concurrent(&mut ClusterBackend(&offline), trace, e);
             if got != want {
-                eprintln!(
-                    "[cts-loadgen] MISMATCH {}: greatest_concurrent({e}) = {got:?}, \
-                     offline says {want:?}",
-                    entry.name
-                );
-                mismatches.fetch_add(1, Ordering::Relaxed);
+                mismatch(format!(
+                    "greatest_concurrent({e}) = {got:?}, offline says {want:?}"
+                ));
+            }
+            gc_events.push(e);
+            gc_singles.push(want);
+        }
+        if !gc_events.is_empty() {
+            let results = client.gc_batch(&gc_events)?;
+            batch_checked.fetch_add(results.len() as u64, Ordering::Relaxed);
+            for (k, r) in results.iter().enumerate() {
+                if r.as_ref() != Some(&gc_singles[k]) {
+                    mismatch(format!(
+                        "warm gc_batch({}) = {r:?}, offline says {:?}",
+                        gc_events[k], gc_singles[k]
+                    ));
+                }
             }
         }
-        // One window scroll against the store: process 0's first events.
+        // One window scroll against the store: process 0's first events,
+        // paged with a deliberately small page so the continuation cursor
+        // is exercised, with the ids compared against the trace.
         let p0 = cts_model::ProcessId(0);
         let upto = (trace.process_len(p0) as u32).min(16) + 1;
-        let got = client.window(0, 1, upto)?;
+        let (got, pages) = client.window_paged(0, 1, upto, cfg.window_page)?;
         let expect: Vec<EventId> = trace
             .process_events(p0)
             .filter(|id| id.index.0 < upto)
             .collect();
         windows_checked.fetch_add(1, Ordering::Relaxed);
         if got != expect {
-            eprintln!(
-                "[cts-loadgen] MISMATCH {}: window(P0, 1, {upto}) returned {} ids, \
-                 expected {}",
-                entry.name,
+            mismatch(format!(
+                "window(P0, 1, {upto}) returned {} ids, expected {}",
                 got.len(),
                 expect.len()
-            );
-            mismatches.fetch_add(1, Ordering::Relaxed);
+            ));
+        }
+        if cfg.window_page > 0 && expect.len() as u32 > cfg.window_page && pages < 2 {
+            mismatch(format!(
+                "window(P0, 1, {upto}) with page {} returned {} ids in one page",
+                cfg.window_page,
+                expect.len()
+            ));
         }
         Ok(())
     })?;
@@ -487,6 +549,7 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
         precedence_checked: precedence_checked.into_inner(),
         gc_checked: gc_checked.into_inner(),
         windows_checked: windows_checked.into_inner(),
+        batch_checked: batch_checked.into_inner(),
         mismatches: mismatches.into_inner(),
         rtt_min_ns: if rtt_samples == 0 {
             0

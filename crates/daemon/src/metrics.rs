@@ -4,6 +4,7 @@
 //! for the `Stats` wire message.
 
 use crate::wire::StatsSnapshot;
+use cts_store::CacheStats;
 use cts_util::hist::AtomicHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -16,10 +17,16 @@ pub struct Metrics {
     pub reorder_peak: AtomicU64,
     pub queries_served: AtomicU64,
     pub snapshots_published: AtomicU64,
+    /// Batched query messages served.
+    pub batch_queries: AtomicU64,
     /// Per-event ingest-apply latency (reorder + engine + store), ns.
     pub ingest_ns: AtomicHistogram,
-    /// Per-query service latency, ns.
+    /// Per-query service latency, ns (all query types).
     pub query_ns: AtomicHistogram,
+    /// Per-query-type service latency, ns.
+    pub precedes_ns: AtomicHistogram,
+    pub gc_ns: AtomicHistogram,
+    pub window_ns: AtomicHistogram,
 }
 
 impl Metrics {
@@ -27,11 +34,15 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Materialize the counters for the wire. Individually atomic, not
-    /// mutually consistent — fine for monitoring.
-    pub fn snapshot(&self) -> StatsSnapshot {
+    /// Materialize the counters for the wire, folding in the computation's
+    /// query-cache counters. Individually atomic, not mutually consistent —
+    /// fine for monitoring.
+    pub fn snapshot(&self, cache: CacheStats) -> StatsSnapshot {
         let (ingest_p50_ns, ingest_p95_ns) = self.ingest_ns.p50_p95();
         let (query_p50_ns, query_p95_ns) = self.query_ns.p50_p95();
+        let (precedes_p50_ns, precedes_p95_ns) = self.precedes_ns.p50_p95();
+        let (gc_p50_ns, gc_p95_ns) = self.gc_ns.p50_p95();
+        let (window_p50_ns, window_p95_ns) = self.window_ns.p50_p95();
         StatsSnapshot {
             events_ingested: self.events_ingested.load(Ordering::Relaxed),
             duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
@@ -43,6 +54,16 @@ impl Metrics {
             ingest_p95_ns,
             query_p50_ns,
             query_p95_ns,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            precedes_p50_ns,
+            precedes_p95_ns,
+            gc_p50_ns,
+            gc_p95_ns,
+            window_p50_ns,
+            window_p95_ns,
         }
     }
 }
@@ -59,11 +80,21 @@ mod tests {
         m.queries_served.store(5, Ordering::Relaxed);
         m.ingest_ns.record(1_000);
         m.query_ns.record(2_000);
-        let s = m.snapshot();
+        m.precedes_ns.record(500);
+        let cache = CacheStats {
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+        };
+        let s = m.snapshot(cache);
         assert_eq!(s.events_ingested, 10);
         assert_eq!(s.duplicates_dropped, 2);
         assert_eq!(s.queries_served, 5);
         assert!(s.ingest_p50_ns > 0);
         assert!(s.query_p50_ns > 0);
+        assert!(s.precedes_p50_ns > 0);
+        assert_eq!(s.cache_hits, 7);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.cache_evictions, 1);
     }
 }

@@ -27,7 +27,7 @@ use cts_core::cluster::ClusterTimestamps;
 use cts_core::strategy::MergeOnFirst;
 use cts_core::ClusterEngine;
 use cts_model::{Event, EventId, ProcessId, Trace};
-use cts_store::{EventStore, PartitionedStore, SharedStore};
+use cts_store::{EventStore, PartitionedStore, SharedQueryCache, SharedStore};
 use cts_util::failpoint::{DurableSink, FailpointFs};
 use std::io;
 use std::path::PathBuf;
@@ -75,7 +75,15 @@ pub struct ComputationConfig {
     /// write-ahead logged and checkpointed, and
     /// [`Computation::spawn_durable`] recovers state from disk.
     pub durability: Option<DurabilityConfig>,
+    /// Entry bound per layer of the shared query cache (see
+    /// [`cts_store::SharedQueryCache`]); `0` selects the default.
+    pub query_cache_capacity: usize,
 }
+
+/// Default [`ComputationConfig::query_cache_capacity`]: bounds each memo
+/// layer at ~64k entries (a stamp entry for an N-process computation is
+/// ~4·N bytes, so the worst-case footprint stays in the tens of MB).
+pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 1 << 16;
 
 impl ComputationConfig {
     /// Does this configuration select the sharded runtime?
@@ -138,6 +146,9 @@ pub(crate) struct CompShared {
     /// Raised by [`Computation::kill`]: the worker exits at the next
     /// command without the graceful final sync/checkpoint/publish.
     pub(crate) killed: AtomicBool,
+    /// Query memo shared by every connection of this computation, carried
+    /// across epochs (prefix-monotone snapshots keep old entries valid).
+    pub(crate) query_cache: Arc<SharedQueryCache>,
 }
 
 /// How a computation's ingest runs: one worker thread, or the sharded
@@ -246,6 +257,10 @@ impl Computation {
             store: SharedStore::new(EventStore::new(config.num_processes)),
             parts,
             killed: AtomicBool::new(false),
+            query_cache: Arc::new(SharedQueryCache::new(match config.query_cache_capacity {
+                0 => DEFAULT_QUERY_CACHE_CAPACITY,
+                n => n,
+            })),
         })
     }
 
@@ -327,6 +342,11 @@ impl Computation {
     /// This computation's metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The query cache shared by this computation's connections.
+    pub fn query_cache(&self) -> &Arc<SharedQueryCache> {
+        &self.shared.query_cache
     }
 
     /// The shared event store (for window queries). Single mode only — the
@@ -773,6 +793,7 @@ mod tests {
             epoch_every: 64,
             shards: 1,
             durability: None,
+            query_cache_capacity: 0,
         }
     }
 

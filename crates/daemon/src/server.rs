@@ -18,10 +18,12 @@
 //! queue, publishes a final snapshot, and exits).
 
 use crate::checkpoint;
-use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushError};
+use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushError, Snapshot};
+use crate::query_pool::QueryPool;
 use crate::wire::{self, code, recv_frame, write_msg, Msg, Recv};
-use cts_model::ProcessId;
-use cts_store::queries::{greatest_concurrent, ClusterBackend};
+use cts_model::{EventId, ProcessId};
+use cts_store::queries::{greatest_concurrent, PrecedenceBackend};
+use cts_store::{CachedClusterBackend, SharedQueryCache};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +61,12 @@ pub struct DaemonConfig {
     /// Ingest shards per computation (see [`ComputationConfig::shards`]);
     /// `1` = the classic single-worker pipeline.
     pub shards: u32,
+    /// Entry bound per layer of each computation's shared query cache;
+    /// `0` selects [`crate::pipeline::DEFAULT_QUERY_CACHE_CAPACITY`].
+    pub query_cache_capacity: usize,
+    /// Worker threads for batched queries; `0` picks a host-sized default
+    /// ([`QueryPool::default_size`]), `1` evaluates batches inline.
+    pub query_workers: usize,
 }
 
 impl Default for DaemonConfig {
@@ -74,6 +82,8 @@ impl Default for DaemonConfig {
             checkpoint_every: 100_000,
             wal_byte_budget: None,
             shards: 1,
+            query_cache_capacity: 0,
+            query_workers: 0,
         }
     }
 }
@@ -90,6 +100,8 @@ struct DaemonShared {
     /// True while startup recovery replays on-disk state; every request
     /// except `Shutdown`/`Goodbye` is refused with `RECOVERING` until then.
     recovering: AtomicBool,
+    /// Shared worker pool for batched query evaluation.
+    query_pool: QueryPool,
 }
 
 /// A running daemon. Dropping it without [`shutdown`](Daemon::shutdown)
@@ -122,6 +134,10 @@ impl Daemon {
             recover_dirs.sort();
         }
 
+        let query_pool = QueryPool::new(match config.query_workers {
+            0 => QueryPool::default_size(),
+            n => n,
+        });
         let shared = Arc::new(DaemonShared {
             config,
             addr,
@@ -132,6 +148,7 @@ impl Daemon {
             conns: Mutex::new(Vec::new()),
             next_session: AtomicU64::new(1),
             recovering: AtomicBool::new(!recover_dirs.is_empty()),
+            query_pool,
         });
         let recovery_thread = if recover_dirs.is_empty() {
             None
@@ -204,6 +221,7 @@ impl Daemon {
         for (_, comp) in comps {
             comp.shutdown();
         }
+        self.shared.query_pool.shutdown();
     }
 
     /// Crash-stop for recovery testing: like [`shutdown`](Self::shutdown)
@@ -226,6 +244,7 @@ impl Daemon {
         for (_, comp) in comps {
             comp.kill();
         }
+        self.shared.query_pool.shutdown();
     }
 }
 
@@ -401,19 +420,33 @@ fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<
             }
             Msg::QueryPrecedes { .. }
             | Msg::QueryGreatestConcurrent { .. }
-            | Msg::QueryWindow { .. } => {
+            | Msg::QueryWindow { .. }
+            | Msg::QueryPrecedesBatch { .. }
+            | Msg::QueryGcBatch { .. } => {
                 let Some(comp) = session.as_ref() else {
                     write_msg(&mut stream, &no_session())?;
                     continue;
                 };
                 let t0 = std::time::Instant::now();
-                let reply = answer_query(comp, &msg);
-                comp.metrics()
-                    .query_ns
-                    .record(t0.elapsed().as_nanos() as u64);
-                comp.metrics()
-                    .queries_served
-                    .fetch_add(1, Ordering::Relaxed);
+                let (reply, served) = answer_query(comp, &shared.query_pool, &msg);
+                let ns = t0.elapsed().as_nanos() as u64;
+                let m = comp.metrics();
+                m.query_ns.record(ns);
+                match &msg {
+                    Msg::QueryPrecedes { .. } => m.precedes_ns.record(ns),
+                    Msg::QueryGreatestConcurrent { .. } => m.gc_ns.record(ns),
+                    Msg::QueryWindow { .. } => m.window_ns.record(ns),
+                    Msg::QueryPrecedesBatch { .. } => {
+                        m.precedes_ns.record(ns);
+                        m.batch_queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Msg::QueryGcBatch { .. } => {
+                        m.gc_ns.record(ns);
+                        m.batch_queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                m.queries_served.fetch_add(served, Ordering::Relaxed);
                 write_msg(&mut stream, &reply)?;
             }
             Msg::Stats => {
@@ -421,7 +454,8 @@ fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<
                     write_msg(&mut stream, &no_session())?;
                     continue;
                 };
-                write_msg(&mut stream, &Msg::StatsResult(comp.metrics().snapshot()))?;
+                let stats = comp.metrics().snapshot(comp.query_cache().stats());
+                write_msg(&mut stream, &Msg::StatsResult(stats))?;
             }
             Msg::Shutdown => {
                 write_msg(&mut stream, &Msg::ShutdownAck)?;
@@ -491,6 +525,7 @@ fn computation_config(
         epoch_every: shared.config.epoch_every,
         shards: shared.config.shards,
         durability,
+        query_cache_capacity: shared.config.query_cache_capacity,
     }
 }
 
@@ -593,39 +628,117 @@ fn hello(
     Ok((comp, false))
 }
 
+/// Server-side ceiling on ids per `WindowResult`, whatever the client's
+/// `limit` asks for (bounds reply frames and per-request work).
+pub const WINDOW_PAGE_CAP: u32 = 2048;
+
+/// The precedence verdict for a known pair, via the shared cache.
+fn cached_precedes(snap: &Snapshot, cache: &SharedQueryCache, e: EventId, f: EventId) -> bool {
+    let mut backend = CachedClusterBackend {
+        cts: &snap.cts,
+        cache,
+    };
+    backend.precedes(&snap.trace, e, f)
+}
+
+/// The greatest-concurrent vector for a known event, via the shared cache.
+/// Result vectors grow with the trace, so the memo is keyed by the
+/// snapshot's delivered-prefix length.
+fn cached_gc(snap: &Snapshot, cache: &SharedQueryCache, e: EventId) -> Vec<Option<EventId>> {
+    if let Some(v) = cache.gc(e, snap.delivered) {
+        return (*v).clone();
+    }
+    let mut backend = CachedClusterBackend {
+        cts: &snap.cts,
+        cache,
+    };
+    let v = greatest_concurrent(&mut backend, &snap.trace, e);
+    cache.insert_gc(e, snap.delivered, Arc::new(v.clone()));
+    v
+}
+
 /// Answer a query against the computation's current published snapshot.
-fn answer_query(comp: &Computation, msg: &Msg) -> Msg {
+/// Returns the reply and how many individual queries it answered (batch
+/// messages count per item).
+fn answer_query(comp: &Computation, pool: &QueryPool, msg: &Msg) -> (Msg, u64) {
     let snap = comp.snapshot();
-    match *msg {
-        Msg::QueryPrecedes { e, f } => {
+    let cache = comp.query_cache();
+    match msg {
+        &Msg::QueryPrecedes { e, f } => {
             for id in [e, f] {
                 if !snap.trace.contains(id) {
-                    return unknown_event(id, snap.epoch);
+                    return (unknown_event(id, snap.epoch), 1);
                 }
             }
-            Msg::PrecedesResult {
+            let reply = Msg::PrecedesResult {
                 epoch: snap.epoch,
-                precedes: snap.cts.precedes(&snap.trace, e, f),
-            }
+                precedes: cached_precedes(&snap, cache, e, f),
+            };
+            (reply, 1)
         }
-        Msg::QueryGreatestConcurrent { e } => {
+        &Msg::QueryGreatestConcurrent { e } => {
             if !snap.trace.contains(e) {
-                return unknown_event(e, snap.epoch);
+                return (unknown_event(e, snap.epoch), 1);
             }
-            Msg::GcResult {
+            let reply = Msg::GcResult {
                 epoch: snap.epoch,
-                slots: greatest_concurrent(&mut ClusterBackend(&snap.cts), &snap.trace, e),
-            }
+                slots: cached_gc(&snap, cache, e),
+            };
+            (reply, 1)
         }
-        Msg::QueryWindow { process, from, to } => {
+        &Msg::QueryWindow {
+            process,
+            from,
+            to,
+            limit,
+        } => {
             if process >= comp.num_processes {
-                return Msg::Error {
+                let err = Msg::Error {
                     code: code::MALFORMED,
                     message: format!("process {process} outside 0..{}", comp.num_processes),
                 };
+                return (err, 1);
             }
-            let ids = comp.process_window(ProcessId(process), from, to);
-            Msg::WindowResult { ids }
+            let from = from.max(1);
+            let cap = match limit {
+                0 => WINDOW_PAGE_CAP,
+                n => n.min(WINDOW_PAGE_CAP),
+            };
+            let page_to = to.min(from.saturating_add(cap));
+            let ids = comp.process_window(ProcessId(process), from, page_to);
+            // The stored row is a contiguous prefix (causal delivery), so a
+            // page that came back short has exhausted what is stored — no
+            // cursor, same completion semantics as an unpaginated scan.
+            let next = if page_to < to && ids.len() as u32 == page_to - from {
+                page_to
+            } else {
+                0
+            };
+            (Msg::WindowResult { ids, next }, 1)
+        }
+        Msg::QueryPrecedesBatch { pairs } => {
+            let served = pairs.len() as u64;
+            let epoch = snap.epoch;
+            let job_cache = Arc::clone(cache);
+            let verdicts = pool.map(pairs.clone(), move |(e, f)| {
+                if !snap.trace.contains(e) || !snap.trace.contains(f) {
+                    return None;
+                }
+                Some(cached_precedes(&snap, &job_cache, e, f))
+            });
+            (Msg::PrecedesBatchResult { epoch, verdicts }, served)
+        }
+        Msg::QueryGcBatch { events } => {
+            let served = events.len() as u64;
+            let epoch = snap.epoch;
+            let job_cache = Arc::clone(cache);
+            let results = pool.map(events.clone(), move |e| {
+                if !snap.trace.contains(e) {
+                    return None;
+                }
+                Some(cached_gc(&snap, &job_cache, e))
+            });
+            (Msg::GcBatchResult { epoch, results }, served)
         }
         _ => unreachable!("answer_query only receives queries"),
     }

@@ -745,10 +745,17 @@ impl ShardedRuntime {
     }
 
     /// Ask every worker to exit (without draining) and join them.
+    ///
+    /// The channel-side wake must be `Stop`, not `Nudge`: stop messages are
+    /// not counted in `pending_msgs`, and a worker returns on `Stop` before
+    /// the per-message decrement. An uncounted `Nudge` here would be
+    /// processed as a normal message by a worker parked in `recv`,
+    /// underflowing `pending_msgs` and wedging every later `quiesce()`
+    /// (the double-shutdown hang `tests/daemon_soak.rs` pins).
     fn stop_workers(&self) {
         for s in 0..self.shards.len() {
             lock(&self.shards[s].overflow).push_back(ShardMsg::Stop);
-            let _ = self.shards[s].tx.try_send(ShardMsg::Nudge);
+            let _ = self.shards[s].tx.try_send(ShardMsg::Stop);
         }
         for h in &self.shards {
             if let Some(j) = lock(&h.join).take() {
@@ -757,12 +764,14 @@ impl ShardedRuntime {
         }
     }
 
-    /// Signal workers to exit without joining (Drop path).
+    /// Signal workers to exit without joining (Drop path). As in
+    /// [`stop_workers`](Self::stop_workers), the wake is an uncounted
+    /// `Stop`, never a `Nudge`.
     pub(crate) fn request_stop(&self) {
         self.ctl.closed.store(true, Ordering::Release);
         for s in 0..self.shards.len() {
             lock(&self.shards[s].overflow).push_back(ShardMsg::Stop);
-            let _ = self.shards[s].tx.try_send(ShardMsg::Nudge);
+            let _ = self.shards[s].tx.try_send(ShardMsg::Stop);
         }
     }
 }

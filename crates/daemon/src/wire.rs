@@ -60,9 +60,23 @@ pub struct StatsSnapshot {
     /// Ingest-path apply latency percentiles, nanoseconds.
     pub ingest_p50_ns: u64,
     pub ingest_p95_ns: u64,
-    /// Query service latency percentiles, nanoseconds.
+    /// Query service latency percentiles, nanoseconds (all query types).
     pub query_p50_ns: u64,
     pub query_p95_ns: u64,
+    /// Shared query-cache counters (aggregated over the stamp, verdict and
+    /// greatest-concurrent memo layers).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    /// Batched query messages served (`QueryPrecedesBatch` + `QueryGcBatch`).
+    pub batch_queries: u64,
+    /// Per-query-type latency percentiles, nanoseconds.
+    pub precedes_p50_ns: u64,
+    pub precedes_p95_ns: u64,
+    pub gc_p50_ns: u64,
+    pub gc_p95_ns: u64,
+    pub window_p50_ns: u64,
+    pub window_p95_ns: u64,
 }
 
 /// A protocol message (either direction).
@@ -92,11 +106,21 @@ pub enum Msg {
         e: EventId,
     },
     /// Scroll a window of the partial-order store: process `p`, indices
-    /// `[from, to)`.
+    /// `[from, to)`. `limit` caps the ids per reply (`0` = server default);
+    /// the server answers with at most that many and a continuation cursor.
     QueryWindow {
         process: u32,
         from: u32,
         to: u32,
+        limit: u32,
+    },
+    /// Batched precedence queries, answered pair-for-pair in one reply.
+    QueryPrecedesBatch {
+        pairs: Vec<(EventId, EventId)>,
+    },
+    /// Batched greatest-concurrent queries, answered slot-for-slot.
+    QueryGcBatch {
+        events: Vec<EventId>,
     },
     /// Request the computation's metrics counters.
     Stats,
@@ -124,6 +148,22 @@ pub enum Msg {
     },
     WindowResult {
         ids: Vec<EventId>,
+        /// Resume-from index for the rest of the window, or `0` when the
+        /// reply completes the requested range (indices are 1-based, so 0
+        /// is never a valid cursor).
+        next: u32,
+    },
+    /// Reply to [`Msg::QueryPrecedesBatch`]: one verdict per pair, `None`
+    /// when either event is unknown at the answering epoch.
+    PrecedesBatchResult {
+        epoch: u64,
+        verdicts: Vec<Option<bool>>,
+    },
+    /// Reply to [`Msg::QueryGcBatch`]: one slot vector per event, `None`
+    /// when the event is unknown at the answering epoch.
+    GcBatchResult {
+        epoch: u64,
+        results: Vec<Option<Vec<Option<EventId>>>>,
     },
     StatsResult(StatsSnapshot),
     ShutdownAck,
@@ -145,6 +185,8 @@ mod tag {
     pub const STATS: u8 = 0x07;
     pub const SHUTDOWN: u8 = 0x08;
     pub const GOODBYE: u8 = 0x09;
+    pub const QUERY_PRECEDES_BATCH: u8 = 0x0A;
+    pub const QUERY_GC_BATCH: u8 = 0x0B;
     pub const HELLO_ACK: u8 = 0x81;
     pub const FLUSH_ACK: u8 = 0x83;
     pub const PRECEDES_RESULT: u8 = 0x84;
@@ -152,6 +194,8 @@ mod tag {
     pub const WINDOW_RESULT: u8 = 0x86;
     pub const STATS_RESULT: u8 = 0x87;
     pub const SHUTDOWN_ACK: u8 = 0x88;
+    pub const PRECEDES_BATCH_RESULT: u8 = 0x89;
+    pub const GC_BATCH_RESULT: u8 = 0x8A;
     pub const ERROR: u8 = 0x7F;
 }
 
@@ -363,11 +407,32 @@ impl Msg {
                 out.push(tag::QUERY_GC);
                 put_event_id(&mut out, *e);
             }
-            Msg::QueryWindow { process, from, to } => {
+            Msg::QueryWindow {
+                process,
+                from,
+                to,
+                limit,
+            } => {
                 out.push(tag::QUERY_WINDOW);
                 put_u32(&mut out, *process);
                 put_u32(&mut out, *from);
                 put_u32(&mut out, *to);
+                put_u32(&mut out, *limit);
+            }
+            Msg::QueryPrecedesBatch { pairs } => {
+                out.push(tag::QUERY_PRECEDES_BATCH);
+                put_u32(&mut out, pairs.len() as u32);
+                for (e, f) in pairs {
+                    put_event_id(&mut out, *e);
+                    put_event_id(&mut out, *f);
+                }
+            }
+            Msg::QueryGcBatch { events } => {
+                out.push(tag::QUERY_GC_BATCH);
+                put_u32(&mut out, events.len() as u32);
+                for e in events {
+                    put_event_id(&mut out, *e);
+                }
             }
             Msg::Stats => out.push(tag::STATS),
             Msg::Shutdown => out.push(tag::SHUTDOWN),
@@ -401,11 +466,47 @@ impl Msg {
                     }
                 }
             }
-            Msg::WindowResult { ids } => {
+            Msg::WindowResult { ids, next } => {
                 out.push(tag::WINDOW_RESULT);
                 put_u32(&mut out, ids.len() as u32);
                 for id in ids {
                     put_event_id(&mut out, *id);
+                }
+                put_u32(&mut out, *next);
+            }
+            Msg::PrecedesBatchResult { epoch, verdicts } => {
+                out.push(tag::PRECEDES_BATCH_RESULT);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, verdicts.len() as u32);
+                for v in verdicts {
+                    out.push(match v {
+                        None => 0,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    });
+                }
+            }
+            Msg::GcBatchResult { epoch, results } => {
+                out.push(tag::GC_BATCH_RESULT);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, results.len() as u32);
+                for result in results {
+                    match result {
+                        None => out.push(0),
+                        Some(slots) => {
+                            out.push(1);
+                            put_u32(&mut out, slots.len() as u32);
+                            for slot in slots {
+                                match slot {
+                                    None => out.push(0),
+                                    Some(id) => {
+                                        out.push(1);
+                                        put_event_id(&mut out, *id);
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
             Msg::StatsResult(s) => {
@@ -421,6 +522,16 @@ impl Msg {
                     s.ingest_p95_ns,
                     s.query_p50_ns,
                     s.query_p95_ns,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_evictions,
+                    s.batch_queries,
+                    s.precedes_p50_ns,
+                    s.precedes_p95_ns,
+                    s.gc_p50_ns,
+                    s.gc_p95_ns,
+                    s.window_p50_ns,
+                    s.window_p95_ns,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -465,7 +576,30 @@ impl Msg {
                 process: c.u32()?,
                 from: c.u32()?,
                 to: c.u32()?,
+                limit: c.u32()?,
             },
+            tag::QUERY_PRECEDES_BATCH => {
+                let n = c.u32()? as usize;
+                if n > payload.len() / 16 + 1 {
+                    return Err(WireError::Malformed("pair count exceeds body"));
+                }
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((c.event_id()?, c.event_id()?));
+                }
+                Msg::QueryPrecedesBatch { pairs }
+            }
+            tag::QUERY_GC_BATCH => {
+                let n = c.u32()? as usize;
+                if n > payload.len() / 8 + 1 {
+                    return Err(WireError::Malformed("event count exceeds body"));
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(c.event_id()?);
+                }
+                Msg::QueryGcBatch { events }
+            }
             tag::STATS => Msg::Stats,
             tag::SHUTDOWN => Msg::Shutdown,
             tag::GOODBYE => Msg::Goodbye,
@@ -506,7 +640,57 @@ impl Msg {
                 for _ in 0..n {
                     ids.push(c.event_id()?);
                 }
-                Msg::WindowResult { ids }
+                Msg::WindowResult {
+                    ids,
+                    next: c.u32()?,
+                }
+            }
+            tag::PRECEDES_BATCH_RESULT => {
+                let epoch = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() {
+                    return Err(WireError::Malformed("verdict count exceeds body"));
+                }
+                let mut verdicts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    verdicts.push(match c.u8()? {
+                        0 => None,
+                        1 => Some(false),
+                        2 => Some(true),
+                        _ => return Err(WireError::Malformed("bad verdict byte")),
+                    });
+                }
+                Msg::PrecedesBatchResult { epoch, verdicts }
+            }
+            tag::GC_BATCH_RESULT => {
+                let epoch = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() {
+                    return Err(WireError::Malformed("result count exceeds body"));
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(match c.u8()? {
+                        0 => None,
+                        1 => {
+                            let m = c.u32()? as usize;
+                            if m > payload.len() {
+                                return Err(WireError::Malformed("slot count exceeds body"));
+                            }
+                            let mut slots = Vec::with_capacity(m);
+                            for _ in 0..m {
+                                slots.push(match c.u8()? {
+                                    0 => None,
+                                    1 => Some(c.event_id()?),
+                                    _ => return Err(WireError::Malformed("bad option flag")),
+                                });
+                            }
+                            Some(slots)
+                        }
+                        _ => return Err(WireError::Malformed("bad option flag")),
+                    });
+                }
+                Msg::GcBatchResult { epoch, results }
             }
             tag::STATS_RESULT => Msg::StatsResult(StatsSnapshot {
                 events_ingested: c.u64()?,
@@ -519,6 +703,16 @@ impl Msg {
                 ingest_p95_ns: c.u64()?,
                 query_p50_ns: c.u64()?,
                 query_p95_ns: c.u64()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+                cache_evictions: c.u64()?,
+                batch_queries: c.u64()?,
+                precedes_p50_ns: c.u64()?,
+                precedes_p95_ns: c.u64()?,
+                gc_p50_ns: c.u64()?,
+                gc_p95_ns: c.u64()?,
+                window_p50_ns: c.u64()?,
+                window_p95_ns: c.u64()?,
             }),
             tag::SHUTDOWN_ACK => Msg::ShutdownAck,
             tag::ERROR => Msg::Error {
@@ -655,6 +849,13 @@ mod tests {
                 process: 4,
                 from: 10,
                 to: 20,
+                limit: 5,
+            },
+            Msg::QueryPrecedesBatch {
+                pairs: vec![(id(3, 7), id(5, 2)), (id(0, 1), id(0, 2))],
+            },
+            Msg::QueryGcBatch {
+                events: vec![id(9, 1), id(2, 4)],
             },
             Msg::Stats,
             Msg::Shutdown,
@@ -677,6 +878,15 @@ mod tests {
             },
             Msg::WindowResult {
                 ids: vec![id(0, 1), id(0, 2)],
+                next: 3,
+            },
+            Msg::PrecedesBatchResult {
+                epoch: 9,
+                verdicts: vec![Some(true), None, Some(false)],
+            },
+            Msg::GcBatchResult {
+                epoch: 9,
+                results: vec![None, Some(vec![None, Some(id(1, 5))]), Some(vec![])],
             },
             Msg::StatsResult(StatsSnapshot {
                 events_ingested: 1,
@@ -689,6 +899,16 @@ mod tests {
                 ingest_p95_ns: 8,
                 query_p50_ns: 9,
                 query_p95_ns: 10,
+                cache_hits: 11,
+                cache_misses: 12,
+                cache_evictions: 13,
+                batch_queries: 14,
+                precedes_p50_ns: 15,
+                precedes_p95_ns: 16,
+                gc_p50_ns: 17,
+                gc_p95_ns: 18,
+                window_p50_ns: 19,
+                window_p95_ns: 20,
             }),
             Msg::ShutdownAck,
             Msg::Error {

@@ -25,6 +25,7 @@ pub mod btree;
 pub mod event_store;
 pub mod lru;
 pub mod queries;
+pub mod shared_cache;
 pub mod sync;
 pub mod timestamp_cache;
 pub mod vm_sim;
@@ -32,5 +33,6 @@ pub mod vm_sim;
 pub use btree::BPlusTree;
 pub use event_store::{EventStore, IngestHandle, PartitionedStore, SharedStore};
 pub use lru::LruCache;
+pub use shared_cache::{CacheStats, CachedClusterBackend, SharedQueryCache};
 pub use timestamp_cache::TimestampCache;
 pub use vm_sim::PagedTimestampStore;

@@ -8,6 +8,7 @@
 
 use cts_core::cluster::ClusterTimestamps;
 use cts_core::fm::FmStore;
+use cts_core::VectorClock;
 use cts_model::{EventId, EventIndex, ProcessId, Trace};
 
 /// Anything that can answer `e → f`.
@@ -19,6 +20,15 @@ pub trait PrecedenceBackend {
     fn concurrent(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool {
         e != f && !self.precedes(trace, e, f) && !self.precedes(trace, f, e)
     }
+
+    /// The full Fidge/Mattern clock of `e`, if this backend can produce
+    /// one cheaply. Component `q` is the length of `q`'s prefix of events
+    /// preceding `e`, which hands [`greatest_concurrent`] the predecessor
+    /// boundary for free — only the follower boundary must be searched.
+    fn predecessor_clock(&mut self, trace: &Trace, e: EventId) -> Option<VectorClock> {
+        let _ = (trace, e);
+        None
+    }
 }
 
 /// Backend over precomputed Fidge/Mattern stamps.
@@ -28,6 +38,10 @@ impl PrecedenceBackend for FmBackend<'_> {
     fn precedes(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool {
         self.0.precedes(trace, e, f)
     }
+
+    fn predecessor_clock(&mut self, trace: &Trace, e: EventId) -> Option<VectorClock> {
+        Some(VectorClock::from_vec(self.0.stamp(trace, e).to_vec()))
+    }
 }
 
 /// Backend over cluster timestamps.
@@ -36,6 +50,10 @@ pub struct ClusterBackend<'a>(pub &'a ClusterTimestamps);
 impl PrecedenceBackend for ClusterBackend<'_> {
     fn precedes(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool {
         self.0.precedes(trace, e, f)
+    }
+
+    fn predecessor_clock(&mut self, trace: &Trace, e: EventId) -> Option<VectorClock> {
+        Some(self.0.materialized_clock(trace, e))
     }
 }
 
@@ -55,12 +73,63 @@ impl PrecedenceBackend for crate::vm_sim::PagedTimestampStore<'_> {
 /// "greatest-concurrent elements" computation of Ward's thesis, used in §1.1
 /// to illustrate virtual-memory thrashing.
 ///
-/// Implementation mirrors what a tool does with only precedence tests
-/// available: scan each process's events backwards from the end, skipping
-/// events that causally follow `e`, until one concurrent with `e` is found
-/// (events of one process preceding `e` are a prefix, so the first
-/// non-follower that isn't a predecessor is the greatest concurrent one).
+/// Along each process line `q`, the events preceding `e` form a prefix
+/// `[1, a]` (where `a` is component `q` of `e`'s Fidge/Mattern clock) and
+/// the events following `e` form a suffix `[b, len]`; everything strictly
+/// between is concurrent with `e`. When the backend supplies `e`'s clock
+/// via [`PrecedenceBackend::predecessor_clock`], `a` is known up front and
+/// `b` is found by binary search over the monotone `e → E(q, ·)` predicate:
+/// at most ⌈log₂ k⌉ + 1 precedence tests per process instead of O(k). The
+/// greatest concurrent element is `E(q, b − 1)` unless the prefix and
+/// suffix are adjacent. Backends without a clock fall back to the linear
+/// scan, [`greatest_concurrent_linear`].
 pub fn greatest_concurrent<B: PrecedenceBackend>(
+    backend: &mut B,
+    trace: &Trace,
+    e: EventId,
+) -> Vec<Option<EventId>> {
+    let clock = match backend.predecessor_clock(trace, e) {
+        Some(c) => c,
+        None => return greatest_concurrent_linear(backend, trace, e),
+    };
+    let mut out = Vec::with_capacity(trace.num_processes() as usize);
+    for q in 0..trace.num_processes() {
+        let q = ProcessId(q);
+        if q == e.process {
+            out.push(None);
+            continue;
+        }
+        let len = trace.process_len(q) as u32;
+        let a = clock.get(q);
+        // First follower of `e` on `q`, in (a, len]; `len + 1` if none.
+        let mut lo = a + 1;
+        let mut hi = len + 1;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if backend.precedes(trace, e, EventId::new(q, EventIndex(mid))) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let b = lo;
+        out.push(if b > a + 1 {
+            Some(EventId::new(q, EventIndex(b - 1)))
+        } else {
+            None
+        });
+    }
+    out
+}
+
+/// The linear-scan greatest-concurrent computation: walk each process's
+/// events backwards from the end, skipping events that causally follow
+/// `e`, until one concurrent with `e` is found (events of one process
+/// preceding `e` are a prefix, so the first non-follower that isn't a
+/// predecessor is the greatest concurrent one). O(k) precedence tests per
+/// process — kept as the oracle the binary-search path is validated
+/// against, and as the fallback for backends without a predecessor clock.
+pub fn greatest_concurrent_linear<B: PrecedenceBackend>(
     backend: &mut B,
     trace: &Trace,
     e: EventId,
@@ -208,6 +277,85 @@ mod tests {
                 for i in 1..=(t.process_len(q) as u32) {
                     assert!(!o.concurrent(&t, e, id(q.0, i)));
                 }
+            }
+        }
+    }
+
+    /// 6 processes, ~30 events each: ring sends, stride-2 cross traffic,
+    /// and internal padding so prefix/suffix boundaries land everywhere.
+    fn wide_sample() -> Trace {
+        let mut b = TraceBuilder::new(6);
+        for round in 0..8u32 {
+            for i in 0..6u32 {
+                b.internal(p(i)).unwrap();
+                let s = b.send(p(i), p((i + 1) % 6)).unwrap();
+                b.receive(p((i + 1) % 6), s).unwrap();
+            }
+            if round % 2 == 1 {
+                for i in 0..3u32 {
+                    let s = b.send(p(i), p(i + 3)).unwrap();
+                    b.receive(p(i + 3), s).unwrap();
+                }
+            }
+        }
+        b.finish_complete("wide").unwrap()
+    }
+
+    /// Wraps a backend and counts precedence probes by candidate process.
+    struct CountingBackend<B> {
+        inner: B,
+        probes: std::collections::HashMap<ProcessId, usize>,
+    }
+
+    impl<B: PrecedenceBackend> PrecedenceBackend for CountingBackend<B> {
+        fn precedes(&mut self, trace: &Trace, e: EventId, f: EventId) -> bool {
+            *self.probes.entry(f.process).or_insert(0) += 1;
+            self.inner.precedes(trace, e, f)
+        }
+
+        fn predecessor_clock(&mut self, trace: &Trace, e: EventId) -> Option<VectorClock> {
+            self.inner.predecessor_clock(trace, e)
+        }
+    }
+
+    #[test]
+    fn binary_search_matches_linear_oracle() {
+        for t in [sample(), wide_sample()] {
+            let fm = FmStore::compute(&t);
+            let cts = ClusterEngine::run(&t, MergeOnFirst::new(3));
+            for e in t.all_event_ids() {
+                let oracle = greatest_concurrent_linear(&mut FmBackend(&fm), &t, e);
+                assert_eq!(
+                    greatest_concurrent(&mut FmBackend(&fm), &t, e),
+                    oracle,
+                    "fm binary search diverged at {e}"
+                );
+                assert_eq!(
+                    greatest_concurrent(&mut ClusterBackend(&cts), &t, e),
+                    oracle,
+                    "cluster binary search diverged at {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_probe_bound() {
+        let t = wide_sample();
+        let fm = FmStore::compute(&t);
+        for e in t.all_event_ids() {
+            let mut counting = CountingBackend {
+                inner: FmBackend(&fm),
+                probes: Default::default(),
+            };
+            greatest_concurrent(&mut counting, &t, e);
+            for (q, &n) in &counting.probes {
+                let k = t.process_len(*q) as f64;
+                let bound = k.log2().ceil() as usize + 1;
+                assert!(
+                    n <= bound,
+                    "{n} probes on {q:?} (len {k}) for {e}, bound {bound}"
+                );
             }
         }
     }

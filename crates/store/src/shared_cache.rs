@@ -1,0 +1,287 @@
+//! Epoch-carried query cache shared across the connections of a computation.
+//!
+//! The daemon's snapshots are prefix-monotone: epoch `k + 1` extends epoch
+//! `k` by appending delivered events, never rewriting them. A precedence
+//! verdict or a materialized Fidge/Mattern clock therefore concerns only
+//! events that exist in *every* later epoch, and stays valid forever — the
+//! same observation Replay Clocks make for append-only causal orders. The
+//! cache is carried across epoch publishes with **no invalidation**; the
+//! only entries that could ever be wrong are ones about events a snapshot
+//! does not contain, and those are never inserted (the daemon answers
+//! `UNKNOWN_EVENT` before consulting the cache).
+//!
+//! Three memo layers, each a size-bounded LRU:
+//!
+//! * **stamps** — `EventId → Arc<VectorClock>`: the materialized full clock
+//!   of an event (see `ClusterTimestamps::materialized_clock`). One stamp
+//!   answers *every* `? → f` question about its event in O(1).
+//! * **verdicts** — `(e, f) → bool`: individual precedence answers, for the
+//!   pair-repeat pattern tools exhibit while scrolling.
+//! * **gc** — `(e, delivered) → Arc<[Option<EventId>]>`: greatest-concurrent
+//!   result vectors. Unlike precedence these *do* grow as the trace grows,
+//!   so the key carries the snapshot's delivered-prefix length; entries for
+//!   superseded prefixes are not consulted again and age out via LRU.
+//!
+//! Locking is sharded: keys hash to one of [`NUM_SHARDS`] independent
+//! mutexes, so concurrent connections rarely contend. Hit/miss/eviction
+//! counts aggregate the per-shard LRU counters on demand.
+
+use crate::lru::LruCache;
+use cts_core::VectorClock;
+use cts_model::EventId;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Shard count (power of two). 16 shards keep contention negligible for a
+/// handful of connection threads without bloating small caches.
+const NUM_SHARDS: usize = 16;
+
+/// Aggregated cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+struct CacheShard {
+    stamps: LruCache<EventId, Arc<VectorClock>>,
+    verdicts: LruCache<(EventId, EventId), bool>,
+    gc: LruCache<(EventId, u64), Arc<Vec<Option<EventId>>>>,
+}
+
+/// Concurrent, sharded-lock, size-bounded memo of query results. See the
+/// module docs for the carry-forward argument.
+pub struct SharedQueryCache {
+    shards: Vec<Mutex<CacheShard>>,
+}
+
+impl SharedQueryCache {
+    /// Cache bounded at roughly `capacity` entries per memo layer,
+    /// distributed across the shards.
+    pub fn new(capacity: usize) -> SharedQueryCache {
+        let per_shard = (capacity / NUM_SHARDS).max(4);
+        let shards = (0..NUM_SHARDS)
+            .map(|_| {
+                Mutex::new(CacheShard {
+                    stamps: LruCache::new(per_shard),
+                    verdicts: LruCache::new(per_shard),
+                    gc: LruCache::new(per_shard.min(1024)),
+                })
+            })
+            .collect();
+        SharedQueryCache { shards }
+    }
+
+    fn shard<K: Hash>(&self, key: &K) -> std::sync::MutexGuard<'_, CacheShard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let i = (h.finish() as usize) & (NUM_SHARDS - 1);
+        self.shards[i].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Cached materialized clock of `f`, if present.
+    pub fn stamp(&self, f: EventId) -> Option<Arc<VectorClock>> {
+        self.shard(&f).stamps.get(&f).cloned()
+    }
+
+    /// Memoize the materialized clock of `f`.
+    pub fn insert_stamp(&self, f: EventId, clock: Arc<VectorClock>) {
+        self.shard(&f).stamps.insert(f, clock);
+    }
+
+    /// Cached `e → f` verdict, if present.
+    pub fn verdict(&self, e: EventId, f: EventId) -> Option<bool> {
+        self.shard(&(e, f)).verdicts.get(&(e, f)).copied()
+    }
+
+    /// Memoize an `e → f` verdict.
+    pub fn insert_verdict(&self, e: EventId, f: EventId, v: bool) {
+        self.shard(&(e, f)).verdicts.insert((e, f), v);
+    }
+
+    /// Cached greatest-concurrent vector for `e` at a delivered-prefix
+    /// length, if present.
+    pub fn gc(&self, e: EventId, delivered: u64) -> Option<Arc<Vec<Option<EventId>>>> {
+        self.shard(&(e, delivered)).gc.get(&(e, delivered)).cloned()
+    }
+
+    /// Memoize a greatest-concurrent vector.
+    pub fn insert_gc(&self, e: EventId, delivered: u64, gc: Arc<Vec<Option<EventId>>>) {
+        self.shard(&(e, delivered)).gc.insert((e, delivered), gc);
+    }
+
+    /// Aggregate hit/miss/eviction counts across all shards and layers.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for (h, m, e) in [s.stamps.stats(), s.verdicts.stats(), s.gc.stats()] {
+                total.hits += h;
+                total.misses += m;
+                total.evictions += e;
+            }
+        }
+        total
+    }
+}
+
+/// A [`PrecedenceBackend`](crate::queries::PrecedenceBackend) over cluster
+/// timestamps that reads and feeds a [`SharedQueryCache`].
+///
+/// On a stamp miss it *materializes* the target event's full Fidge/Mattern
+/// clock (O(c·N)) and memoizes it, so every later precedence test against
+/// that event — from any connection — is a single component comparison.
+pub struct CachedClusterBackend<'a> {
+    pub cts: &'a cts_core::cluster::ClusterTimestamps,
+    pub cache: &'a SharedQueryCache,
+}
+
+impl CachedClusterBackend<'_> {
+    fn stamp_of(&self, trace: &cts_model::Trace, f: EventId) -> Arc<VectorClock> {
+        if let Some(clock) = self.cache.stamp(f) {
+            return clock;
+        }
+        let clock = Arc::new(self.cts.materialized_clock(trace, f));
+        self.cache.insert_stamp(f, Arc::clone(&clock));
+        clock
+    }
+}
+
+impl crate::queries::PrecedenceBackend for CachedClusterBackend<'_> {
+    fn precedes(&mut self, trace: &cts_model::Trace, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        if e.process == f.process {
+            return e.index < f.index;
+        }
+        if let Some(v) = self.cache.verdict(e, f) {
+            return v;
+        }
+        let v = self.stamp_of(trace, f).get(e.process) >= e.index.0;
+        self.cache.insert_verdict(e, f, v);
+        v
+    }
+
+    fn predecessor_clock(&mut self, trace: &cts_model::Trace, e: EventId) -> Option<VectorClock> {
+        Some((*self.stamp_of(trace, e)).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{greatest_concurrent, greatest_concurrent_linear, FmBackend};
+    use crate::queries::{ClusterBackend, PrecedenceBackend};
+    use cts_core::fm::FmStore;
+    use cts_core::{ClusterEngine, MergeOnFirst};
+    use cts_model::{EventIndex, ProcessId, Trace, TraceBuilder};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(4);
+        for _ in 0..5 {
+            for i in 0..4u32 {
+                b.internal(p(i)).unwrap();
+                let s = b.send(p(i), p((i + 1) % 4)).unwrap();
+                b.receive(p((i + 1) % 4), s).unwrap();
+            }
+        }
+        b.finish_complete("shared-cache-sample").unwrap()
+    }
+
+    #[test]
+    fn cached_backend_matches_uncached() {
+        let t = sample();
+        let fm = FmStore::compute(&t);
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        let cache = SharedQueryCache::new(1 << 12);
+        // Two passes: the second must be answered from the cache yet agree.
+        for _ in 0..2 {
+            let mut cached = CachedClusterBackend {
+                cts: &cts,
+                cache: &cache,
+            };
+            for e in t.all_event_ids() {
+                for f in t.all_event_ids() {
+                    assert_eq!(
+                        cached.precedes(&t, e, f),
+                        fm.precedes(&t, e, f),
+                        "{e} -> {f}"
+                    );
+                }
+                assert_eq!(
+                    greatest_concurrent(&mut cached, &t, e),
+                    greatest_concurrent_linear(&mut FmBackend(&fm), &t, e),
+                    "gc diverged at {e}"
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "second pass produced no cache hits");
+    }
+
+    #[test]
+    fn eviction_keeps_answers_correct() {
+        let t = sample();
+        let fm = FmStore::compute(&t);
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        // Tiny cache: NUM_SHARDS * 4 entries per layer forces churn.
+        let cache = SharedQueryCache::new(1);
+        let mut cached = CachedClusterBackend {
+            cts: &cts,
+            cache: &cache,
+        };
+        for _ in 0..2 {
+            for e in t.all_event_ids() {
+                for f in t.all_event_ids() {
+                    assert_eq!(cached.precedes(&t, e, f), fm.precedes(&t, e, f));
+                }
+            }
+        }
+        assert!(cache.stats().evictions > 0, "tiny cache never evicted");
+    }
+
+    #[test]
+    fn gc_memo_is_prefix_keyed() {
+        let t = sample();
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        let cache = SharedQueryCache::new(1 << 10);
+        let e = cts_model::EventId::new(p(1), EventIndex(3));
+        let gc = Arc::new(greatest_concurrent(&mut ClusterBackend(&cts), &t, e));
+        cache.insert_gc(e, 100, Arc::clone(&gc));
+        assert_eq!(cache.gc(e, 100).as_deref(), Some(&*gc));
+        // A different (longer) delivered prefix must not see the old vector.
+        assert!(cache.gc(e, 200).is_none());
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let t = sample();
+        let cts = ClusterEngine::run(&t, MergeOnFirst::new(2));
+        let fm = FmStore::compute(&t);
+        let cache = Arc::new(SharedQueryCache::new(1 << 12));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = &cache;
+                let t = &t;
+                let cts = &cts;
+                let fm = &fm;
+                s.spawn(move || {
+                    let mut cached = CachedClusterBackend { cts, cache };
+                    for e in t.all_event_ids() {
+                        for f in t.all_event_ids() {
+                            assert_eq!(cached.precedes(t, e, f), fm.precedes(t, e, f));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.hits > 0);
+    }
+}

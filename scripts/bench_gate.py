@@ -7,8 +7,9 @@ group's tolerance.
 
 Usage:
     bench_gate.py BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
-                  [--tolerance 0.35]
+                  [--tolerance 0.35] [--subset]
                   [--require-speedup SLOW_ID:FAST_ID:RATIO ...]
+                  [--require-ratio SLOW_ID:FAST_ID:RATIO ...]
 
 Design notes:
 - gates on *min_ns*, not median: for deterministic CPU-bound benches the
@@ -34,6 +35,19 @@ Design notes:
   than SPEEDUP_REF_CPUS cores cannot physically deliver the speedup, so
   the requirement degrades proportionally (x0.8 overhead slack) into a
   sanity bound that still catches sharding collapsing throughput.
+- `--require-ratio SLOW_ID:FAST_ID:RATIO` is the same claim *without*
+  the parallelism scaling — for single-thread algorithmic or caching
+  claims (warm-cache vs cold-path, binary vs linear search) that must
+  hold on any host, including a 1-cpu CI container.
+- `--subset` tolerates baseline benches missing from the candidate —
+  for gating a *filtered* run (`cts-bench query_path`) against the full
+  committed baseline. Regressions in the benches that are present still
+  fail.
+- `--claims-only` skips the per-bench baseline comparison entirely and
+  evaluates only the --require-* claims. Use for filtered runs that lack
+  the calibration kernel (no host normalization): within-run ratios are
+  still meaningful there, absolute comparisons are not. The full-run
+  bench stage remains the regression gate for those benches.
 
 Only the Python standard library is used (the CI container is offline).
 """
@@ -51,6 +65,7 @@ NOISY_GROUPS = {
     "daemon_query": 0.60,  # round-trip latency
     "reorder_buffer": 0.50,  # allocation-heavy, sensitive to heap state
     "shard_ingest": 0.60,  # spawns worker threads, cross-shard handoff
+    "query_path": 0.60,  # loopback RTTs + lock handoff under 1-cpu CI
 }
 
 # Benches faster than this are pure timer noise at --quick sample counts.
@@ -111,6 +126,26 @@ def main():
         help="require min_ns(SLOW_ID)/min_ns(FAST_ID) >= RATIO within the "
         "merged candidates, scaled by the candidate host's parallelism",
     )
+    ap.add_argument(
+        "--require-ratio",
+        action="append",
+        default=[],
+        metavar="SLOW_ID:FAST_ID:RATIO",
+        help="as --require-speedup but host-independent: no parallelism "
+        "scaling (single-thread algorithmic/caching claims)",
+    )
+    ap.add_argument(
+        "--subset",
+        action="store_true",
+        help="candidate is a filtered run; baseline benches it lacks are "
+        "reported but do not fail the gate",
+    )
+    ap.add_argument(
+        "--claims-only",
+        action="store_true",
+        help="skip the per-bench baseline comparison; evaluate only the "
+        "--require-speedup / --require-ratio claims",
+    )
     args = ap.parse_args()
 
     base, _base_cpus = load(args.baseline)
@@ -121,6 +156,9 @@ def main():
     shared = sorted(set(base) & set(cand))
     added = sorted(set(cand) - set(base))
     removed = sorted(set(base) - set(cand))
+    if args.claims_only:
+        print("claims-only: skipping the per-bench baseline comparison")
+        shared, added, removed = [], [], []
 
     # Host-speed normalization: if both reports carry the calibration
     # kernel, divide every candidate/baseline ratio by its ratio.
@@ -160,18 +198,22 @@ def main():
         print(f"{bench_id:<52} {base[bench_id]:>10.0f} {'--':>10} {'gone':>8}  "
               "missing from candidate")
 
-    speedup_failures = []
-    for claim in args.require_speedup:
+    def parse_claim(flag, claim):
         try:
             slow_id, fast_id, want_s = claim.rsplit(":", 2)
             want = float(want_s)
         except ValueError:
-            sys.exit(f"bench_gate: bad --require-speedup {claim!r} "
+            sys.exit(f"bench_gate: bad {flag} {claim!r} "
                      "(want SLOW_ID:FAST_ID:RATIO)")
         missing = [i for i in (slow_id, fast_id) if i not in cand]
         if missing:
-            sys.exit(f"bench_gate: --require-speedup: {', '.join(missing)} "
+            sys.exit(f"bench_gate: {flag}: {', '.join(missing)} "
                      "not in candidate reports")
+        return slow_id, fast_id, want
+
+    speedup_failures = []
+    for claim in args.require_speedup:
+        slow_id, fast_id, want = parse_claim("--require-speedup", claim)
         required = want
         if cand_cpus < SPEEDUP_REF_CPUS:
             required = (want * cand_cpus / SPEEDUP_REF_CPUS
@@ -185,12 +227,23 @@ def main():
               f"(required {required:.2f}x) {'ok' if ok else 'FAIL'}")
         if not ok:
             speedup_failures.append((claim, got, required))
+    for claim in args.require_ratio:
+        slow_id, fast_id, want = parse_claim("--require-ratio", claim)
+        got = cand[slow_id] / cand[fast_id] if cand[fast_id] > 0 else 0.0
+        ok = got >= want
+        print(f"ratio:   {slow_id} / {fast_id} = {got:.2f}x "
+              f"(required {want:.2f}x) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            speedup_failures.append((claim, got, want))
 
     print()
     if improvements:
         print(f"bench_gate: {len(improvements)} improved beyond tolerance "
               "(consider re-baselining)")
-    if removed:
+    if removed and args.subset:
+        print(f"bench_gate: {len(removed)} baseline bench(es) not in this "
+              "filtered run (--subset: not gated)")
+    elif removed:
         print(f"bench_gate: FAIL — {len(removed)} baseline bench(es) missing")
         return 1
     if regressions:

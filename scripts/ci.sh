@@ -10,6 +10,9 @@
 #             + sharded (--shards 4) full-suite differential soak
 #   recovery  crash-stop the daemon mid-suite, restart, verify zero
 #             differential mismatches after WAL/checkpoint recovery
+#   query     focused query_path bench run holding the read-path claims:
+#             warm-cache precedence >= 5x the cold path, batched wire
+#             round trips >= 5x single RTTs (host-independent ratios)
 #   bench     two cts-bench --quick runs gated against the committed
 #             baseline by scripts/bench_gate.py
 #
@@ -98,6 +101,26 @@ stage_recovery() {
     --checkpoint-every 200 --kill-after 1000 --restart
 }
 
+stage_query() {
+  echo "==> query: read-path ratio gates (query_path group)"
+  # One filtered run is enough: the claims are *within-run* ratios, so
+  # host speed cancels out. --claims-only because a filtered run lacks the
+  # calibration kernel (absolute comparisons happen in the bench stage);
+  # --require-ratio (not --require-speedup) because a cache hit needs no
+  # second core to be fast.
+  target/release/cts-bench --quick query_path >"$workdir/bench-query.json"
+  python3 scripts/bench_gate.py results/BENCH_baseline.json \
+    "$workdir/bench-query.json" --claims-only \
+    --require-ratio \
+    query_path/precedes_cold_sharded_web_288:query_path/precedes_warm_sharded_web_288:5.0 \
+    --require-ratio \
+    query_path/precedes_cold_blocked_stencil1d_128:query_path/precedes_warm_blocked_stencil1d_128:5.0 \
+    --require-ratio \
+    query_path/rtt_single_256:query_path/rtt_batch_256:5.0 \
+    --require-ratio \
+    query_path/gc_linear_blocked_stencil1d_128:query_path/gc_binary_blocked_stencil1d_128:1.0
+}
+
 stage_bench() {
   echo "==> bench: quick suite x2 vs committed baseline"
   target/release/cts-bench --quick >"$workdir/bench-1.json"
@@ -113,11 +136,11 @@ stage_bench() {
     shard_ingest/sharded_web_288_s1:shard_ingest/sharded_web_288_s4:1.8
 }
 
-all_stages=(fmt clippy build test smoke recovery bench)
+all_stages=(fmt clippy build test smoke recovery query bench)
 stages=("${@:-${all_stages[@]}}")
 for stage in "${stages[@]}"; do
   case "$stage" in
-  fmt | clippy | build | test | smoke | recovery | bench)
+  fmt | clippy | build | test | smoke | recovery | query | bench)
     "stage_$stage"
     ;;
   *)

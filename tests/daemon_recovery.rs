@@ -47,6 +47,7 @@ fn durable_config(name: &str, n: u32, dir: &Path, budget: Option<u64>) -> Comput
             checkpoint_every: 0,
             wal_byte_budget: budget,
         }),
+        query_cache_capacity: 0,
     }
 }
 

@@ -13,9 +13,13 @@
 //! single-worker and the 4-shard ingest configurations.
 
 use cts_daemon::loadgen::{self, LoadConfig};
+use cts_daemon::pipeline::{Computation, ComputationConfig};
 use cts_daemon::server::{Daemon, DaemonConfig};
 use cts_daemon::Client;
+use cts_model::linearize::relinearize;
+use cts_workloads::spmd::Stencil1D;
 use cts_workloads::suite::{mini_suite, standard_suite};
+use cts_workloads::Workload;
 
 /// The soak body, parameterized by the daemon's ingest shard count: the
 /// same 54 computations, the same shuffled concurrent streams, the same
@@ -70,6 +74,13 @@ fn full_suite_soak(shards: u32, seed: u64) {
     assert!(stats.queries_served > 0);
     assert!(stats.ingest_p50_ns > 0);
     assert!(stats.query_p50_ns > 0);
+    // The warm-batch re-issue in the load run must hit the shared cache.
+    assert!(
+        stats.cache_hits > 0,
+        "query cache saw no hits during the soak"
+    );
+    assert!(stats.batch_queries > 0);
+    assert!(stats.precedes_p50_ns > 0);
     client.goodbye().expect("goodbye");
 
     daemon.shutdown();
@@ -143,6 +154,39 @@ fn daemon_survives_hostile_sessions() {
     c.goodbye().expect("goodbye");
 
     daemon.shutdown();
+}
+
+/// Regression: a sharded computation's `shutdown()` must be idempotent —
+/// a second call (from any thread) returns instead of hanging on the
+/// already-joined shard workers. Originally caught as a hang when the
+/// soak's daemon shutdown raced a per-computation shutdown.
+#[test]
+fn sharded_shutdown_is_idempotent() {
+    let t = Stencil1D { procs: 8, iters: 4 }.generate(7);
+    let comp = Computation::spawn(ComputationConfig {
+        name: "double-shutdown".into(),
+        num_processes: t.num_processes(),
+        max_cluster_size: 4,
+        queue_capacity: 8,
+        epoch_every: 64,
+        shards: 4,
+        durability: None,
+        query_cache_capacity: 0,
+    });
+    for chunk in relinearize(&t, 3).events().chunks(37) {
+        comp.enqueue_events(chunk.to_vec()).unwrap();
+    }
+    comp.flush(t.num_events() as u64, std::time::Duration::from_secs(30))
+        .unwrap();
+    comp.shutdown();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let c2 = comp.clone();
+    std::thread::spawn(move || {
+        c2.shutdown();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(10))
+        .expect("second shutdown() hung");
 }
 
 #[test]
