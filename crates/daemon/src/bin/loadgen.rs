@@ -5,6 +5,7 @@
 //! ```text
 //! cts-loadgen [--addr HOST:PORT] [--connections 8] [--seed 1]
 //!             [--max-cluster-size 8] [--shards N] [--quick | --smoke]
+//!             [--net-threads] [--pollers N] [--c10k N] [--c10k-bench]
 //!             [--window-page N] [--json PATH] [--shutdown]
 //!             [--data-dir PATH] [--checkpoint-every N]
 //!             [--kill-after N [--restart]]
@@ -30,6 +31,16 @@
 //! the server's default cap); the small default forces the continuation
 //! cursor through several round trips per scroll.
 //!
+//! `--net-threads` runs the in-process daemon on the thread-per-connection
+//! backend (the differential oracle for the default epoll front end);
+//! `--pollers N` sizes the epoll poller pool. `--c10k N` opens N idle
+//! connections *first* and holds them through the whole differential run —
+//! the capacity soak: every answer must stay correct while the daemon
+//! carries them. `--c10k-bench` skips the suite and instead measures the
+//! idle CPU and per-connection memory of both backends, emitting the
+//! `daemon_ingest/c10k_*` entries `scripts/bench_gate.py --require-ratio`
+//! gates on.
+//!
 //! `--data-dir` makes the in-process daemon durable (write-ahead log +
 //! checkpoints under PATH). `--kill-after N` switches to the crash-replay
 //! scenario: stream ~N events, crash-stop the daemon (no final sync or
@@ -42,11 +53,14 @@ use cts_daemon::server::{Daemon, DaemonConfig};
 use cts_daemon::Client;
 use cts_util::bench::Bencher;
 use cts_workloads::suite::{mini_suite, standard_suite, SuiteEntry};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: cts-loadgen [--addr HOST:PORT] [--connections N] [--seed N]\n\
          \x20                  [--max-cluster-size N] [--shards N]\n\
+         \x20                  [--net-threads] [--pollers N]\n\
+         \x20                  [--c10k N] [--c10k-bench]\n\
          \x20                  [--quick | --smoke] [--window-page N]\n\
          \x20                  [--json PATH] [--shutdown]\n\
          \x20                  [--data-dir PATH] [--checkpoint-every N]\n\
@@ -56,7 +70,7 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let mut addr: Option<String> = None;
+    let mut addr: Option<std::net::SocketAddr> = None;
     let mut json: Option<String> = None;
     let mut quick = false;
     let mut smoke = false;
@@ -66,6 +80,10 @@ fn main() {
     let mut kill_after: Option<u64> = None;
     let mut restart = false;
     let mut shards: Option<u32> = None;
+    let mut net_threads = false;
+    let mut pollers: Option<usize> = None;
+    let mut c10k: usize = 0;
+    let mut c10k_bench = false;
     let mut cfg = LoadConfig::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,7 +94,19 @@ fn main() {
     };
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" => addr = Some(value(&mut i)),
+            // Parse eagerly: a malformed address is an argument error
+            // (exit 2 + usage), not something to discover after the
+            // in-process-vs-external decision has already been made.
+            "--addr" => {
+                let raw = value(&mut i);
+                addr = match raw.parse() {
+                    Ok(a) => Some(a),
+                    Err(e) => {
+                        eprintln!("cts-loadgen: bad --addr {raw:?}: {e}");
+                        usage();
+                    }
+                }
+            }
             "--connections" => cfg.connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--max-cluster-size" => {
@@ -93,6 +123,10 @@ fn main() {
             }
             "--kill-after" => kill_after = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--shards" => shards = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--net-threads" => net_threads = true,
+            "--pollers" => pollers = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--c10k" => c10k = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--c10k-bench" => c10k_bench = true,
             "--restart" => restart = true,
             "--help" | "-h" => usage(),
             other => {
@@ -132,12 +166,47 @@ fn main() {
     if let Some(n) = checkpoint_every {
         daemon_cfg.checkpoint_every = n;
     }
+    if net_threads {
+        daemon_cfg.net = cts_daemon::server::NetBackend::Threads;
+    }
+    if let Some(n) = pollers {
+        daemon_cfg.pollers = n;
+    }
     if let Some(n) = shards {
         if addr.is_some() {
             eprintln!("cts-loadgen: --shards configures the in-process daemon; drop --addr");
             std::process::exit(2);
         }
         daemon_cfg.shards = n;
+    }
+    if (net_threads || pollers.is_some()) && addr.is_some() {
+        eprintln!(
+            "cts-loadgen: --net-threads/--pollers configure the in-process daemon; drop --addr"
+        );
+        std::process::exit(2);
+    }
+
+    // Backend idle-cost comparison: measure, optionally record, exit.
+    if c10k_bench {
+        let entries = match loadgen::c10k_bench_entries(5000, 500, Duration::from_secs(2)) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cts-loadgen: c10k bench failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(path) = &json {
+            let mut bencher = Bencher::quick();
+            for entry in entries {
+                bencher.record_entry(entry);
+            }
+            if let Err(e) = std::fs::write(path, bencher.to_json()) {
+                eprintln!("cts-loadgen: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[cts-loadgen] wrote {path}");
+        }
+        return;
     }
 
     // Crash-replay scenario: partial stream → crash-stop → restart →
@@ -178,26 +247,48 @@ fn main() {
     }
 
     // Aim at an external daemon, or run one in-process.
-    let own_daemon = if addr.is_none() {
-        let daemon = match Daemon::start(daemon_cfg) {
-            Ok(d) => d,
+    let own_daemon = match addr {
+        None => {
+            let daemon = match Daemon::start(daemon_cfg) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cts-loadgen: cannot start in-process daemon: {e}");
+                    std::process::exit(1);
+                }
+            };
+            cfg.addr = daemon.local_addr();
+            eprintln!("[cts-loadgen] in-process daemon on {}", cfg.addr);
+            Some(daemon)
+        }
+        Some(a) => {
+            cfg.addr = a;
+            None
+        }
+    };
+
+    // C10K soak: hold a fleet of idle connections for the whole run, so
+    // the differential suite below is answered *while* the daemon carries
+    // them. Capacity plus correctness, not capacity instead of it.
+    let held = if c10k > 0 {
+        // Each held connection costs this process one fd (plus one in the
+        // daemon, when it is in-process) — take the hard rlimit up front.
+        #[cfg(target_os = "linux")]
+        if let Ok(n) = cts_daemon::netpoll::raise_nofile_to_hard() {
+            eprintln!("[cts-loadgen] fd limit raised to {n}");
+        }
+        eprintln!("[cts-loadgen] opening {c10k} idle connections to hold through the run");
+        match loadgen::hold_idle_conns(cfg.addr, c10k) {
+            Ok(h) => {
+                eprintln!("[cts-loadgen] holding {} idle connections", h.len());
+                h
+            }
             Err(e) => {
-                eprintln!("cts-loadgen: cannot start in-process daemon: {e}");
+                eprintln!("cts-loadgen: c10k connection hold failed: {e}");
                 std::process::exit(1);
             }
-        };
-        cfg.addr = daemon.local_addr();
-        eprintln!("[cts-loadgen] in-process daemon on {}", cfg.addr);
-        Some(daemon)
+        }
     } else {
-        cfg.addr = match addr.as_deref().unwrap().parse() {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("cts-loadgen: bad --addr: {e}");
-                std::process::exit(2);
-            }
-        };
-        None
+        Vec::new()
     };
 
     let report = match loadgen::run(&suite, &cfg) {
@@ -229,6 +320,14 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[cts-loadgen] wrote {path}");
+    }
+
+    if !held.is_empty() {
+        eprintln!(
+            "[cts-loadgen] suite ran clean while {} idle connections were held",
+            held.len()
+        );
+        drop(held);
     }
 
     if send_shutdown {

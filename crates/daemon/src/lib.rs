@@ -41,8 +41,12 @@
 
 pub mod checkpoint;
 pub mod client;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
 pub mod loadgen;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod netpoll;
 pub mod pipeline;
 pub mod query_pool;
 pub mod reorder;

@@ -647,6 +647,151 @@ pub fn run_crash_replay(
     Ok(Some(report))
 }
 
+// ---- C10K: idle-connection capacity and cost ----
+
+/// Open `n` connections, complete a `Hello` on each, and return them to be
+/// *held idle*. Deliberately raw `TcpStream`s — a [`Client`] wraps its
+/// stream in a `BufWriter` whose 8 KiB buffer would dominate the client
+/// side of a per-connection memory measurement (and at 10 000 connections,
+/// 80 MB of loadgen buffers says nothing about the daemon).
+pub fn hold_idle_conns(addr: SocketAddr, n: usize) -> io::Result<Vec<std::net::TcpStream>> {
+    use crate::wire::{read_msg, write_msg, Msg};
+    let mut conns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut s = std::net::TcpStream::connect(addr)?;
+        write_msg(
+            &mut s,
+            &Msg::Hello {
+                computation: "c10k-idle".into(),
+                num_processes: 1,
+                max_cluster_size: 8,
+            },
+        )?;
+        match read_msg(&mut s)? {
+            Some(Msg::HelloAck { .. }) => {}
+            Some(Msg::Error { code, message }) => {
+                return Err(io::Error::other(format!(
+                    "daemon refused idle connection {} of {n}: error {code}: {message}",
+                    conns.len() + 1
+                )));
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected hello reply on idle connection: {other:?}"
+                )));
+            }
+        }
+        conns.push(s);
+    }
+    Ok(conns)
+}
+
+/// Process CPU time (user + system, all threads) in milliseconds, from
+/// `/proc/self/stat`. Returns 0 where /proc is unavailable.
+pub fn proc_cpu_ms() -> u64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0;
+    };
+    // Fields 14/15 (utime/stime) count in clock ticks; the comm field may
+    // contain spaces but is parenthesized, so split after the last ')'.
+    let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
+        return 0;
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let ticks: u64 = [11usize, 12] // utime, stime (0-indexed after comm)
+        .iter()
+        .filter_map(|&i| fields.get(i).and_then(|f| f.parse::<u64>().ok()))
+        .sum();
+    // CLK_TCK is 100 on every Linux ABI this runs on.
+    ticks * 10
+}
+
+/// Resident set size in bytes, from `/proc/self/statm`. Returns 0 where
+/// /proc is unavailable.
+pub fn proc_rss_bytes() -> u64 {
+    let Ok(statm) = std::fs::read_to_string("/proc/self/statm") else {
+        return 0;
+    };
+    statm
+        .split_whitespace()
+        .nth(1)
+        .and_then(|f| f.parse::<u64>().ok())
+        .map(|pages| pages * 4096)
+        .unwrap_or(0)
+}
+
+/// Idle-cost comparison of the two network backends, as `cts-bench/1`
+/// entries:
+///
+/// - `daemon_ingest/c10k_idle_cpu_{epoll,threads}`: process CPU
+///   milliseconds (reported in the ns field) burned over a fixed window
+///   while `conns` connections sit idle. The thread backend's
+///   read-timeout polling wakes every connection thread 20×/s; the epoll
+///   backend's pollers sleep in `epoll_wait`.
+/// - `daemon_ingest/c10k_rss_per_conn_{epoll,threads}`: resident bytes
+///   per held connection (thread stacks vs. one `Conn` struct) — the
+///   equal-RSS capacity ratio between the backends.
+///
+/// Both measurements are floored (1 ms / 1 byte) so ratio gates never
+/// divide by an unmeasurably-good zero. The daemon runs in-process; the
+/// client side is raw fds (see [`hold_idle_conns`]), identical for both
+/// backends, so it cancels out of the ratio.
+pub fn c10k_bench_entries(
+    epoll_conns: usize,
+    thread_conns: usize,
+    window: std::time::Duration,
+) -> io::Result<Vec<BenchEntry>> {
+    use crate::server::{Daemon, DaemonConfig, NetBackend};
+    // Both ends of every held connection live in this process.
+    #[cfg(target_os = "linux")]
+    let _ = crate::netpoll::raise_nofile_to_hard();
+    let mut out = Vec::new();
+    for (label, net, conns) in [
+        ("epoll", NetBackend::Epoll, epoll_conns),
+        ("threads", NetBackend::Threads, thread_conns),
+    ] {
+        let daemon_cfg = DaemonConfig {
+            net,
+            max_conn_threads: conns + 64,
+            ..DaemonConfig::default()
+        };
+        let daemon = Daemon::start(daemon_cfg)?;
+        let rss0 = proc_rss_bytes();
+        let held = hold_idle_conns(daemon.local_addr(), conns)?;
+        // Let accept bursts, thread spawns, and allocator churn settle
+        // before sampling.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let rss1 = proc_rss_bytes();
+        let cpu0 = proc_cpu_ms();
+        std::thread::sleep(window);
+        let cpu_ms = (proc_cpu_ms() - cpu0).max(1);
+        let rss_per_conn = (rss1.saturating_sub(rss0) / conns.max(1) as u64).max(1);
+        eprintln!(
+            "[cts-loadgen] c10k {label}: {conns} idle conns, {cpu_ms} ms CPU / \
+             {:.1} s window, {rss_per_conn} B resident per conn",
+            window.as_secs_f64()
+        );
+        drop(held);
+        daemon.shutdown();
+        let scalar = |name: String, v: f64| BenchEntry {
+            group: "daemon_ingest".into(),
+            name,
+            samples: 1,
+            iters_per_sample: conns as u64,
+            min_ns: v,
+            median_ns: v,
+            p95_ns: v,
+            mean_ns: v,
+        };
+        out.push(scalar(format!("c10k_idle_cpu_{label}"), cpu_ms as f64));
+        out.push(scalar(
+            format!("c10k_rss_per_conn_{label}"),
+            rss_per_conn as f64,
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,9 @@ pub struct Metrics {
     pub snapshots_published: AtomicU64,
     /// Batched query messages served.
     pub batch_queries: AtomicU64,
+    /// WAL durability barriers issued (group-commit windows closed). Not on
+    /// the wire — a process-local observable for the group-commit tests.
+    pub wal_syncs: AtomicU64,
     /// Per-event ingest-apply latency (reorder + engine + store), ns.
     pub ingest_ns: AtomicHistogram,
     /// Per-query service latency, ns (all query types).

@@ -32,7 +32,7 @@ use cts_util::failpoint::{DurableSink, FailpointFs};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -106,6 +106,20 @@ pub struct Snapshot {
 enum IngestCmd {
     Events(Vec<Event>),
     Publish,
+    /// Group-commit tick: sync the WAL if dirty. Sent by the daemon's
+    /// timer (timerfd on the epoll backend, a timer thread on the thread
+    /// backend) instead of the worker checking the window on every append.
+    SyncWal,
+}
+
+/// Why a non-blocking enqueue did not accept a batch.
+pub enum TryEnqueue {
+    /// The ingest queue is full; the (unaccepted remainder of the) batch is
+    /// handed back so the caller can retry after backing off. Event order
+    /// within the returned vector is preserved.
+    Backpressure(Vec<Event>),
+    /// The computation is shut down; the batch can never be accepted.
+    Closed,
 }
 
 #[derive(Default)]
@@ -312,6 +326,46 @@ impl Computation {
                 tx.send(IngestCmd::Events(batch)).map_err(|_| Closed)
             }
             EngineMode::Sharded(rt) => rt.enqueue(batch).map_err(|()| Closed),
+        }
+    }
+
+    /// Non-blocking enqueue for the readiness-driven front end: a poller
+    /// thread must never park on a full ingest queue (that would stall
+    /// every other connection it owns). On backpressure the batch comes
+    /// back and the caller re-offers it after its readiness loop turns.
+    pub fn try_enqueue_events(&self, batch: Vec<Event>) -> Result<(), TryEnqueue> {
+        match &self.mode {
+            EngineMode::Single { sender, .. } => {
+                let tx = lock(sender).clone().ok_or(TryEnqueue::Closed)?;
+                match tx.try_send(IngestCmd::Events(batch)) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(IngestCmd::Events(batch))) => {
+                        Err(TryEnqueue::Backpressure(batch))
+                    }
+                    Err(TrySendError::Full(_)) => unreachable!("we only sent Events"),
+                    Err(TrySendError::Disconnected(_)) => Err(TryEnqueue::Closed),
+                }
+            }
+            EngineMode::Sharded(rt) => match rt.try_enqueue(batch) {
+                Ok(()) => Ok(()),
+                Err(Some(leftover)) => Err(TryEnqueue::Backpressure(leftover)),
+                Err(None) => Err(TryEnqueue::Closed),
+            },
+        }
+    }
+
+    /// Group-commit tick: ask the worker(s) to sync a dirty WAL. Lossy by
+    /// design — if the queue is full the worker is busy ingesting and the
+    /// next tick (or flush barrier) covers durability; a full queue must
+    /// never block the timer thread driving every computation's windows.
+    pub fn nudge_wal_sync(&self) {
+        match &self.mode {
+            EngineMode::Single { sender, .. } => {
+                if let Some(tx) = lock(sender).clone() {
+                    let _ = tx.try_send(IngestCmd::SyncWal);
+                }
+            }
+            EngineMode::Sharded(rt) => rt.nudge_wal(),
         }
     }
 
@@ -596,6 +650,9 @@ fn worker_loop(
     });
     let mut fault_budget = config.durability.as_ref().and_then(|d| d.wal_byte_budget);
     let mut last_checkpoint = log.len() as u64;
+    // Barriers of the current writer already folded into the shared
+    // `wal_syncs` metric (per-writer counters restart at segment rotation).
+    let mut wal_syncs_reported: u64 = 0;
     let mut wal = config.durability.as_ref().and_then(|dur| {
         match open_segment(dur, log.len() as u64, &mut fault_budget) {
             Ok(w) => Some(w),
@@ -648,17 +705,40 @@ fn worker_loop(
                         .ingest_ns
                         .record(t0.elapsed().as_nanos() as u64);
                 }
-                // Write-ahead log the newly delivered suffix (group commit:
-                // fsync only once the window has elapsed).
+                // Write-ahead log the newly delivered suffix. Group commit
+                // is timer-driven: the daemon's sync timer (timerfd on the
+                // epoll backend) sends SyncWal each window, so the append
+                // path syncs inline only under a zero window (= fsync every
+                // batch, the crash-test configuration).
                 if !fresh.is_empty() {
                     if let Some(w) = wal.as_mut() {
-                        let r = w.append(&fresh).and_then(|()| w.maybe_sync().map(|_| ()));
-                        if let Err(e) = r {
-                            eprintln!(
-                                "[cts-daemon] {}: WAL write failed, durability degraded: {e}",
-                                config.name
-                            );
-                            wal = None;
+                        let r = w.append(&fresh).and_then(|()| {
+                            if config
+                                .durability
+                                .as_ref()
+                                .is_some_and(|d| d.sync_window.is_zero())
+                            {
+                                w.sync()
+                            } else {
+                                Ok(())
+                            }
+                        });
+                        match r {
+                            Ok(()) => {
+                                let s = w.syncs();
+                                shared.metrics.wal_syncs.fetch_add(
+                                    s.saturating_sub(wal_syncs_reported),
+                                    Ordering::Relaxed,
+                                );
+                                wal_syncs_reported = s;
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "[cts-daemon] {}: WAL write failed, durability degraded: {e}",
+                                    config.name
+                                );
+                                wal = None;
+                            }
                         }
                     }
                 }
@@ -704,6 +784,13 @@ fn worker_loop(
                                     if let Some(b) = fault_budget.as_mut() {
                                         *b = b.saturating_sub(old.bytes_written());
                                     }
+                                    // Fold the retiring writer's barriers in
+                                    // and restart the per-writer baseline.
+                                    shared.metrics.wal_syncs.fetch_add(
+                                        old.syncs().saturating_sub(wal_syncs_reported),
+                                        Ordering::Relaxed,
+                                    );
+                                    wal_syncs_reported = 0;
                                     drop(old);
                                     match open_segment(dur, delivered, &mut fault_budget) {
                                         Ok(w) => wal = Some(w),
@@ -735,15 +822,48 @@ fn worker_loop(
                 // A flush barrier is also the durability barrier: everything
                 // delivered reaches stable storage before the barrier lifts.
                 if let Some(w) = wal.as_mut() {
-                    if let Err(e) = w.sync() {
-                        eprintln!(
-                            "[cts-daemon] {}: WAL sync failed, durability degraded: {e}",
-                            config.name
-                        );
-                        wal = None;
+                    match w.sync() {
+                        Ok(()) => {
+                            let s = w.syncs();
+                            shared
+                                .metrics
+                                .wal_syncs
+                                .fetch_add(s.saturating_sub(wal_syncs_reported), Ordering::Relaxed);
+                            wal_syncs_reported = s;
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "[cts-daemon] {}: WAL sync failed, durability degraded: {e}",
+                                config.name
+                            );
+                            wal = None;
+                        }
                     }
                 }
                 publish(&engine, &log, &mut last_published)
+            }
+            IngestCmd::SyncWal => {
+                // Timer tick: close the group-commit window. sync() is a
+                // no-op when nothing was appended since the last barrier.
+                if let Some(w) = wal.as_mut() {
+                    match w.sync() {
+                        Ok(()) => {
+                            let s = w.syncs();
+                            shared
+                                .metrics
+                                .wal_syncs
+                                .fetch_add(s.saturating_sub(wal_syncs_reported), Ordering::Relaxed);
+                            wal_syncs_reported = s;
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "[cts-daemon] {}: WAL sync failed, durability degraded: {e}",
+                                config.name
+                            );
+                            wal = None;
+                        }
+                    }
+                }
             }
         }
     }

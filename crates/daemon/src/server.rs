@@ -1,21 +1,28 @@
-//! The TCP daemon: accept loop, per-connection sessions, graceful shutdown.
+//! The TCP daemon: network front end, per-connection sessions, graceful
+//! shutdown.
 //!
-//! Concurrency layout:
+//! Two network backends share the same session semantics:
 //!
-//! - one *accept* thread owns the listener;
-//! - one *connection* thread per client runs the session state machine —
-//!   decoding frames, enqueueing event batches (blocking on the bounded
-//!   ingest queue for backpressure), and answering queries against the
-//!   computation's current published snapshot;
-//! - one *ingest worker* thread per computation (see
-//!   [`crate::pipeline::Computation`]).
+//! - [`NetBackend::Epoll`] (Linux, the default): a small pool of poller
+//!   threads (see [`crate::event_loop`]) owns *all* sockets via
+//!   edge-triggered readiness — non-blocking accept, partial-frame
+//!   reassembly, write backpressure by re-arming `EPOLLOUT`, and a timerfd
+//!   in the same epoll set driving WAL group-commit windows. Connection
+//!   count is bounded by fds, not threads.
+//! - [`NetBackend::Threads`]: one *accept* thread owns the listener and
+//!   spawns one *connection* thread per client. Sockets carry a short read
+//!   timeout so idle connections poll the shutdown flag. This is the
+//!   portable fallback and the differential oracle the epoll backend is
+//!   tested against.
 //!
-//! Shutdown is cooperative and lock-step: connection sockets carry a short
-//! read timeout, so every connection thread polls the shutdown flag between
-//! frames; [`Daemon::shutdown`] raises the flag, nudges the accept loop
-//! awake with a loopback connect, joins the connection threads, then shuts
-//! every computation down (drop the master sender → the worker drains its
-//! queue, publishes a final snapshot, and exits).
+//! Either way, one *ingest worker* thread (or shard pool) per computation
+//! does the actual clustering work (see [`crate::pipeline::Computation`]).
+//!
+//! Shutdown is cooperative: [`Daemon::shutdown`] raises the flag, wakes the
+//! pollers (eventfd) or the accept loop (loopback connect), joins the
+//! network threads, then shuts every computation down (drop the master
+//! sender → the worker drains its queue, publishes a final snapshot, and
+//! exits).
 
 use crate::checkpoint;
 use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushError, Snapshot};
@@ -32,11 +39,41 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+/// Which network front end serves connections.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetBackend {
+    /// Readiness-driven poller pool over epoll (Linux only; selecting it
+    /// elsewhere falls back to [`NetBackend::Threads`] loudly).
+    Epoll,
+    /// Thread-per-connection with a polling read timeout.
+    Threads,
+}
+
+impl Default for NetBackend {
+    fn default() -> NetBackend {
+        if cfg!(target_os = "linux") {
+            NetBackend::Epoll
+        } else {
+            NetBackend::Threads
+        }
+    }
+}
+
 /// Daemon-wide tunables.
 #[derive(Clone, Debug)]
 pub struct DaemonConfig {
     /// Address to bind; use port 0 for an ephemeral port.
     pub addr: SocketAddr,
+    /// Network front end (default: epoll on Linux, threads elsewhere).
+    pub net: NetBackend,
+    /// Poller threads for the epoll backend; `0` = one per core, capped
+    /// at 4 (pollers do little CPU work per event — more just shards the
+    /// fd space).
+    pub pollers: usize,
+    /// Connection-thread ceiling for the thread backend: connections past
+    /// it are refused with `code::OVERLOADED` instead of spawning a thread
+    /// that may abort the process.
+    pub max_conn_threads: usize,
     /// Ingest queue bound per computation, in batches.
     pub queue_capacity: usize,
     /// Snapshot publication cadence, in delivered events.
@@ -73,6 +110,9 @@ impl Default for DaemonConfig {
     fn default() -> DaemonConfig {
         DaemonConfig {
             addr: "127.0.0.1:0".parse().expect("static addr"),
+            net: NetBackend::default(),
+            pollers: 0,
+            max_conn_threads: 4096,
             queue_capacity: 64,
             epoch_every: 4096,
             poll_interval: Duration::from_millis(50),
@@ -88,20 +128,35 @@ impl Default for DaemonConfig {
     }
 }
 
-struct DaemonShared {
-    config: DaemonConfig,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
+pub(crate) struct DaemonShared {
+    pub(crate) config: DaemonConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: AtomicBool,
     shutdown_signal: Mutex<bool>,
     shutdown_cond: Condvar,
-    computations: Mutex<HashMap<String, Arc<Computation>>>,
+    pub(crate) computations: Mutex<HashMap<String, Arc<Computation>>>,
+    /// Thread backend only: join handles of live connection threads.
+    /// Finished handles are reaped on every accept, so the registry is
+    /// bounded by *concurrent* connections, not total served.
     conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    next_session: AtomicU64,
+    pub(crate) next_session: AtomicU64,
     /// True while startup recovery replays on-disk state; every request
     /// except `Shutdown`/`Goodbye` is refused with `RECOVERING` until then.
-    recovering: AtomicBool,
+    pub(crate) recovering: AtomicBool,
     /// Shared worker pool for batched query evaluation.
-    query_pool: QueryPool,
+    pub(crate) query_pool: QueryPool,
+    /// Connections currently being served (either backend).
+    pub(crate) live_conns: AtomicU64,
+    /// Connections accepted / refused-with-OVERLOADED since start.
+    pub(crate) conns_accepted: AtomicU64,
+    pub(crate) conns_refused: AtomicU64,
+    /// Test hook: force the connection-spawn path to fail as if the OS
+    /// were out of threads, exercising the OVERLOADED degradation.
+    fail_spawns: AtomicBool,
+    /// Epoll backend: one wake eventfd per poller, so shutdown (and flush
+    /// completions) can interrupt `epoll_wait`.
+    #[cfg(target_os = "linux")]
+    pub(crate) net_wakes: Mutex<Vec<Arc<crate::netpoll::EventFd>>>,
 }
 
 /// A running daemon. Dropping it without [`shutdown`](Daemon::shutdown)
@@ -111,6 +166,11 @@ pub struct Daemon {
     shared: Arc<DaemonShared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     recovery_thread: Option<std::thread::JoinHandle<()>>,
+    /// Epoll backend: the poller pool.
+    poller_threads: Vec<std::thread::JoinHandle<()>>,
+    /// Thread backend with durability: the group-commit clock (the epoll
+    /// backend drives the same windows from a timerfd instead).
+    wal_clock: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -149,6 +209,12 @@ impl Daemon {
             next_session: AtomicU64::new(1),
             recovering: AtomicBool::new(!recover_dirs.is_empty()),
             query_pool,
+            live_conns: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_refused: AtomicU64::new(0),
+            fail_spawns: AtomicBool::new(false),
+            #[cfg(target_os = "linux")]
+            net_wakes: Mutex::new(Vec::new()),
         });
         let recovery_thread = if recover_dirs.is_empty() {
             None
@@ -161,15 +227,60 @@ impl Daemon {
                     .expect("spawn recovery thread"),
             )
         };
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("cts-daemon-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn accept thread");
+
+        // Bring up the requested network front end; an epoll backend that
+        // cannot initialize degrades (loudly) to the thread backend rather
+        // than refusing to serve.
+        let mut poller_threads = Vec::new();
+        let mut accept_thread = None;
+        let mut wal_clock = None;
+        let mut use_threads = shared.config.net == NetBackend::Threads;
+        #[cfg(target_os = "linux")]
+        if !use_threads {
+            match crate::event_loop::start(listener.try_clone()?, Arc::clone(&shared)) {
+                Ok(handles) => poller_threads = handles,
+                Err(e) => {
+                    eprintln!(
+                        "[cts-daemon] epoll front end failed to start, \
+                         falling back to thread-per-connection: {e}"
+                    );
+                    use_threads = true;
+                }
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        if !use_threads {
+            eprintln!("[cts-daemon] epoll front end is Linux-only; using threads");
+            use_threads = true;
+        }
+        if use_threads {
+            let accept_shared = Arc::clone(&shared);
+            accept_thread = Some(
+                std::thread::Builder::new()
+                    .name("cts-daemon-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared))
+                    .expect("spawn accept thread"),
+            );
+            // Group-commit clock: ticks every sync window and nudges each
+            // computation's WAL (the epoll backend registers a timerfd for
+            // this instead). Zero-window configs sync inline on append and
+            // need no clock.
+            if shared.config.data_dir.is_some() && !shared.config.sync_window.is_zero() {
+                let clock_shared = Arc::clone(&shared);
+                wal_clock = Some(
+                    std::thread::Builder::new()
+                        .name("cts-daemon-walclock".into())
+                        .spawn(move || wal_clock_loop(&clock_shared))
+                        .expect("spawn wal clock thread"),
+                );
+            }
+        }
         Ok(Daemon {
             shared,
-            accept_thread: Some(accept_thread),
+            accept_thread,
             recovery_thread,
+            poller_threads,
+            wal_clock,
         })
     }
 
@@ -207,16 +318,7 @@ impl Daemon {
     /// their WAL and write a final checkpoint on the way out.
     pub fn shutdown(mut self) {
         self.shared.request_shutdown();
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.recovery_thread.take() {
-            let _ = h.join();
-        }
-        let conns: Vec<_> = lock(&self.shared.conns).drain(..).collect();
-        for h in conns {
-            let _ = h.join();
-        }
+        self.join_net_threads();
         let comps: Vec<_> = lock(&self.shared.computations).drain().collect();
         for (_, comp) in comps {
             comp.shutdown();
@@ -230,35 +332,132 @@ impl Daemon {
     /// state is whatever the group-commit discipline last made durable.
     pub fn kill(mut self) {
         self.shared.request_shutdown();
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.recovery_thread.take() {
-            let _ = h.join();
-        }
-        let conns: Vec<_> = lock(&self.shared.conns).drain(..).collect();
-        for h in conns {
-            let _ = h.join();
-        }
+        self.join_net_threads();
         let comps: Vec<_> = lock(&self.shared.computations).drain().collect();
         for (_, comp) in comps {
             comp.kill();
         }
         self.shared.query_pool.shutdown();
     }
+
+    fn join_net_threads(&mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.recovery_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.wal_clock.take() {
+            let _ = h.join();
+        }
+        for h in self.poller_threads.drain(..) {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = lock(&self.shared.conns).drain(..).collect();
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+
+    /// Connections currently being served (either backend).
+    pub fn live_connections(&self) -> u64 {
+        self.shared.live_conns.load(Ordering::Acquire)
+    }
+
+    /// Connections accepted since start.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.conns_accepted.load(Ordering::Acquire)
+    }
+
+    /// Connections refused with `OVERLOADED` since start.
+    pub fn connections_refused(&self) -> u64 {
+        self.shared.conns_refused.load(Ordering::Acquire)
+    }
+
+    /// Thread backend: current size of the connection-handle registry.
+    /// Bounded by concurrent connections (finished handles are reaped on
+    /// accept) — the regression surface for the old unbounded push.
+    pub fn conn_registry_len(&self) -> usize {
+        lock(&self.shared.conns).len()
+    }
+
+    /// Test hook: make connection-thread spawning fail as if the OS were
+    /// out of threads, so tests can exercise the OVERLOADED path without
+    /// actually exhausting the host.
+    #[doc(hidden)]
+    pub fn inject_spawn_failure(&self, fail: bool) {
+        self.shared.fail_spawns.store(fail, Ordering::Release);
+    }
+
+    /// WAL durability barriers issued for `computation` so far, or `None`
+    /// if the daemon has no such computation. A process-local observable
+    /// for the group-commit tests (not on the wire).
+    #[doc(hidden)]
+    pub fn wal_syncs(&self, computation: &str) -> Option<u64> {
+        lock(&self.shared.computations)
+            .get(computation)
+            .map(|c| c.metrics().wal_syncs.load(Ordering::Acquire))
+    }
 }
 
 impl DaemonShared {
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
         *lock(&self.shutdown_signal) = true;
         self.shutdown_cond.notify_all();
-        // Nudge the accept loop out of its blocking accept().
+        // Wake the epoll pollers out of epoll_wait.
+        #[cfg(target_os = "linux")]
+        for wake in lock(&self.net_wakes).iter() {
+            wake.wake();
+        }
+        // Nudge a thread-backend accept loop out of its blocking accept().
         let _ = TcpStream::connect(self.addr);
     }
 
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn spawns_failing(&self) -> bool {
+        self.fail_spawns.load(Ordering::Acquire)
+    }
+}
+
+/// Refuse a connection with `OVERLOADED` (best effort — the peer may
+/// already be gone) without taking it into the session machinery.
+pub(crate) fn refuse_overloaded(mut stream: TcpStream, shared: &DaemonShared, why: &str) {
+    shared.conns_refused.fetch_add(1, Ordering::Relaxed);
+    let _ = write_msg(
+        &mut stream,
+        &Msg::Error {
+            code: code::OVERLOADED,
+            message: format!("daemon out of connection capacity: {why}"),
+        },
+    );
+}
+
+/// Group-commit clock for the thread backend: every sync window, nudge
+/// each computation's worker(s) to fsync a dirty WAL. Replaces the old
+/// per-append window check in the ingest worker.
+fn wal_clock_loop(shared: &DaemonShared) {
+    let window = shared.config.sync_window;
+    loop {
+        let g = lock(&shared.shutdown_signal);
+        if *g {
+            return;
+        }
+        let (g, _) = shared
+            .shutdown_cond
+            .wait_timeout(g, window)
+            .unwrap_or_else(|e| e.into_inner());
+        if *g {
+            return;
+        }
+        drop(g);
+        let comps: Vec<_> = lock(&shared.computations).values().cloned().collect();
+        for comp in comps {
+            comp.nudge_wal_sync();
+        }
     }
 }
 
@@ -271,19 +470,58 @@ fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
             Ok(s) => s,
             Err(_) => continue,
         };
+        // Reap finished connection threads first: the registry must be
+        // bounded by *concurrent* connections, not total ever served.
+        let mut conns = lock(&shared.conns);
+        conns.retain(|h| !h.is_finished());
+        if conns.len() >= shared.config.max_conn_threads {
+            drop(conns);
+            refuse_overloaded(stream, &shared, "connection-thread limit reached");
+            continue;
+        }
+        drop(conns);
+        if shared.spawns_failing() {
+            refuse_overloaded(stream, &shared, "cannot spawn connection thread");
+            continue;
+        }
+        // Hand the stream to the thread through a slot: if spawn fails
+        // (thread/fd exhaustion) the closure is consumed by Builder::spawn,
+        // but the slot lets us take the stream back and refuse it with
+        // OVERLOADED instead of panicking the accept loop.
+        let slot = Arc::new(Mutex::new(Some(stream)));
+        let thread_slot = Arc::clone(&slot);
         let conn_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("cts-daemon-conn".into())
             .spawn(move || {
-                let _ = serve_connection(stream, &conn_shared);
-            })
-            .expect("spawn connection thread");
-        lock(&shared.conns).push(handle);
+                if let Some(stream) = lock(&thread_slot).take() {
+                    let _ = serve_connection(stream, &conn_shared);
+                }
+            });
+        match spawned {
+            Ok(handle) => {
+                shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                lock(&shared.conns).push(handle);
+            }
+            Err(e) => {
+                eprintln!("[cts-daemon] connection thread spawn failed: {e}");
+                if let Some(stream) = lock(&slot).take() {
+                    refuse_overloaded(stream, &shared, "cannot spawn connection thread");
+                }
+            }
+        }
     }
 }
 
-/// The per-connection session state machine.
-fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<()> {
+/// The per-connection session state machine (thread backend).
+fn serve_connection(stream: TcpStream, shared: &DaemonShared) -> io::Result<()> {
+    shared.live_conns.fetch_add(1, Ordering::AcqRel);
+    let r = serve_connection_inner(stream, shared);
+    shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+    r
+}
+
+fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<()> {
     stream.set_read_timeout(Some(shared.config.poll_interval))?;
     stream.set_nodelay(true)?;
     let mut session: Option<Arc<Computation>> = None;
@@ -427,26 +665,7 @@ fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<
                     write_msg(&mut stream, &no_session())?;
                     continue;
                 };
-                let t0 = std::time::Instant::now();
-                let (reply, served) = answer_query(comp, &shared.query_pool, &msg);
-                let ns = t0.elapsed().as_nanos() as u64;
-                let m = comp.metrics();
-                m.query_ns.record(ns);
-                match &msg {
-                    Msg::QueryPrecedes { .. } => m.precedes_ns.record(ns),
-                    Msg::QueryGreatestConcurrent { .. } => m.gc_ns.record(ns),
-                    Msg::QueryWindow { .. } => m.window_ns.record(ns),
-                    Msg::QueryPrecedesBatch { .. } => {
-                        m.precedes_ns.record(ns);
-                        m.batch_queries.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Msg::QueryGcBatch { .. } => {
-                        m.gc_ns.record(ns);
-                        m.batch_queries.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {}
-                }
-                m.queries_served.fetch_add(served, Ordering::Relaxed);
+                let reply = serve_query(comp, &shared.query_pool, &msg);
                 write_msg(&mut stream, &reply)?;
             }
             Msg::Stats => {
@@ -477,11 +696,38 @@ fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) -> io::Result<
     }
 }
 
-fn no_session() -> Msg {
+pub(crate) fn no_session() -> Msg {
     Msg::Error {
         code: code::NO_SESSION,
         message: "no session: send Hello first".into(),
     }
+}
+
+/// Answer a query with latency/served metrics recorded — the one query
+/// entry point both network backends share, so the stats a client reads
+/// are identical whichever front end served it.
+pub(crate) fn serve_query(comp: &Computation, pool: &QueryPool, msg: &Msg) -> Msg {
+    let t0 = std::time::Instant::now();
+    let (reply, served) = answer_query(comp, pool, msg);
+    let ns = t0.elapsed().as_nanos() as u64;
+    let m = comp.metrics();
+    m.query_ns.record(ns);
+    match msg {
+        Msg::QueryPrecedes { .. } => m.precedes_ns.record(ns),
+        Msg::QueryGreatestConcurrent { .. } => m.gc_ns.record(ns),
+        Msg::QueryWindow { .. } => m.window_ns.record(ns),
+        Msg::QueryPrecedesBatch { .. } => {
+            m.precedes_ns.record(ns);
+            m.batch_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        Msg::QueryGcBatch { .. } => {
+            m.gc_ns.record(ns);
+            m.batch_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    m.queries_served.fetch_add(served, Ordering::Relaxed);
+    reply
 }
 
 /// Directory name for a computation: every byte outside `[a-zA-Z0-9_-]` is
@@ -579,7 +825,7 @@ fn recover_one(
     Ok((meta.name, report))
 }
 
-fn hello(
+pub(crate) fn hello(
     shared: &DaemonShared,
     name: String,
     num_processes: u32,
@@ -751,6 +997,6 @@ fn unknown_event(id: cts_model::EventId, epoch: u64) -> Msg {
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }

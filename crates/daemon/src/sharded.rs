@@ -86,6 +86,9 @@ struct ShardState {
     dur: Option<DurabilityConfig>,
     reported_dup: u64,
     reported_depth: u64,
+    /// Durability barriers already folded into the shared `wal_syncs`
+    /// metric (per-shard WALs sync independently; the metric is the sum).
+    reported_syncs: u64,
 }
 
 struct ShardHandle {
@@ -182,6 +185,7 @@ impl ShardedRuntime {
                         dur,
                         reported_dup: 0,
                         reported_depth: 0,
+                        reported_syncs: 0,
                     }),
                     join: Mutex::new(None),
                 }
@@ -373,6 +377,67 @@ impl ShardedRuntime {
         Ok(())
     }
 
+    /// Non-blocking enqueue for the readiness-driven front end: each
+    /// shard's slice is `try_send`-offered; slices refused by a full shard
+    /// come back concatenated for the caller to retry. Safe to split a
+    /// batch this way because any arrival interleaving is a valid delivery
+    /// order (the reorder buffers repair it) and duplicates are dropped.
+    /// `Err(None)` means the runtime is closed.
+    pub(crate) fn try_enqueue(&self, batch: Vec<Event>) -> Result<(), Option<Vec<Event>>> {
+        if self.ctl.closed.load(Ordering::Acquire) {
+            return Err(None);
+        }
+        let mut per: Vec<Vec<Event>> = vec![Vec::new(); self.shards.len()];
+        for ev in batch {
+            let p = ev.process();
+            let s = if (p.idx()) < self.routing.len() {
+                self.routing[p.idx()].load(Ordering::Relaxed) as usize
+            } else {
+                0 // unknown process: let shard 0 reject it
+            };
+            per[s].push(ev);
+        }
+        let mut leftover: Vec<Event> = Vec::new();
+        for (s, events) in per.into_iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            self.ctl.pending_msgs.fetch_add(1, Ordering::AcqRel);
+            match self.shards[s].tx.try_send(ShardMsg::Batch(events)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(ShardMsg::Batch(events))) => {
+                    self.ctl.pending_msgs.fetch_sub(1, Ordering::AcqRel);
+                    leftover.extend(events);
+                }
+                Err(TrySendError::Full(_)) => unreachable!("we only sent Batch"),
+                Err(TrySendError::Disconnected(_)) => {
+                    self.ctl.pending_msgs.fetch_sub(1, Ordering::AcqRel);
+                    return Err(None);
+                }
+            }
+        }
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(Some(leftover))
+        }
+    }
+
+    /// Group-commit tick: wake every shard so `append_wal` can close a
+    /// dirty window. Best-effort — a full shard queue is actively ingesting
+    /// and will hit the same window check on its next message.
+    pub(crate) fn nudge_wal(&self) {
+        if self.ctl.closed.load(Ordering::Acquire) {
+            return;
+        }
+        for h in &self.shards {
+            self.ctl.pending_msgs.fetch_add(1, Ordering::AcqRel);
+            if h.tx.try_send(ShardMsg::Nudge).is_err() {
+                self.ctl.pending_msgs.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
     /// Non-blocking send for shard threads: overflow inbox + best-effort
     /// nudge. Never blocks, so shard→shard signalling cannot deadlock.
     fn post(&self, s: ShardId, msg: ShardMsg) {
@@ -442,6 +507,7 @@ impl ShardedRuntime {
             core,
             wal,
             wal_cursor,
+            reported_syncs,
             ..
         } = st;
         let log = core.log();
@@ -459,7 +525,15 @@ impl ShardedRuntime {
                 r = w.sync();
             }
             match r {
-                Ok(()) => *wal_cursor = log.len(),
+                Ok(()) => {
+                    *wal_cursor = log.len();
+                    let syncs = w.syncs();
+                    self.shared
+                        .metrics
+                        .wal_syncs
+                        .fetch_add(syncs.saturating_sub(*reported_syncs), Ordering::Relaxed);
+                    *reported_syncs = syncs;
+                }
                 Err(e) => {
                     eprintln!(
                         "[cts-daemon] {}: shard {} WAL write failed, durability degraded: {e}",
@@ -580,6 +654,14 @@ impl ShardedRuntime {
             if let Some(b) = st.fault_budget.as_mut() {
                 *b = b.saturating_sub(old.bytes_written());
             }
+            // Fold the retiring writer's tail into the sync metric and
+            // restart the per-writer baseline (a fresh segment counts
+            // from zero).
+            self.shared.metrics.wal_syncs.fetch_add(
+                old.syncs().saturating_sub(st.reported_syncs),
+                Ordering::Relaxed,
+            );
+            st.reported_syncs = 0;
             drop(old);
             let start = st.core.log().len() as u64;
             let old_start = st.wal_start;

@@ -14,7 +14,7 @@
 //! count of events durable before the segment) is:
 //!
 //! ```text
-//! [8]  magic "CTSWAL1\n"
+//! [8]  magic "CTSWAL2\n"   (readers also accept v1 "CTSWAL1\n" segments)
 //! [8]  u64 LE start offset (must match the file name)
 //! [4]  u32 LE CRC-32 of the 16 header bytes
 //! record*
@@ -25,13 +25,24 @@
 //! ```text
 //! [4]  u32 LE payload length
 //! [4]  u32 LE CRC-32 of the payload
-//! [n]  payload = [u64 LE first_offset][u32 count][event...]   (wire codec)
+//! [n]  payload = [u64 LE first_offset][event block]
 //! ```
+//!
+//! The v1 event block is the wire codec's fixed-width form (u32 count, 9+
+//! bytes per event). The v2 block is delta-encoded against the record
+//! itself: varint count, then per event a flags byte (2-bit kind plus an
+//! explicit-index bit), a varint process id, and — only when the event does
+//! *not* continue its process's previous index within the record — an
+//! explicit varint index. Valid delivery orders have consecutive per-process
+//! indices, so almost every event after a process's first is implicit
+//! `prev + 1`, and the common Internal event costs 2 bytes instead of 9.
+//! Send/Receive/Sync partner fields are varint-encoded after the index.
 //!
 //! A crash can tear at most the tail of the newest segment; a reader stops
 //! at the first record whose length or CRC does not check out and reports
 //! the byte offset of the valid prefix, which recovery physically truncates
-//! before appending again.
+//! before appending again. Recovery appends to a *new* segment, so mixed
+//! directories (v1 segments from before an upgrade, v2 after) replay fine.
 //!
 //! ## Group commit
 //!
@@ -51,8 +62,13 @@ use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Segment header magic.
-pub const MAGIC: &[u8; 8] = b"CTSWAL1\n";
+/// Segment header magic written by pre-delta-encoding builds; still
+/// accepted by [`scan_segment`].
+pub const MAGIC_V1: &[u8; 8] = b"CTSWAL1\n";
+
+/// Segment header magic for the delta-encoded record format all new
+/// segments are written in.
+pub const MAGIC: &[u8; 8] = b"CTSWAL2\n";
 
 /// Header length: magic + start offset + header CRC.
 pub const HEADER_LEN: u64 = 8 + 8 + 4;
@@ -121,9 +137,9 @@ impl<S: DurableSink> WalWriter<S> {
     /// contiguous with the previous append). Does not sync.
     pub fn append(&mut self, events: &[Event]) -> io::Result<()> {
         debug_assert!(!events.is_empty(), "empty WAL records are pointless");
-        let mut payload = Vec::with_capacity(8 + 4 + events.len() * 13);
+        let mut payload = Vec::with_capacity(8 + 2 + events.len() * 3);
         payload.extend_from_slice(&(self.end_offset + 1).to_le_bytes());
-        wire::encode_event_block(&mut payload, events);
+        encode_delta_block(&mut payload, events);
         let mut rec = Vec::with_capacity(8 + payload.len());
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -171,6 +187,159 @@ impl<S: DurableSink> WalWriter<S> {
     pub fn syncs(&self) -> u64 {
         self.syncs
     }
+}
+
+// ---- v2 delta event-block codec ----
+
+/// Flags-byte bit: the event carries an explicit index varint (its process
+/// has no previous event in this record, or the index is discontinuous —
+/// which a valid delivery order never produces, but the codec stays total).
+const FLAG_EXPLICIT_INDEX: u8 = 0x04;
+/// Flags-byte mask for the 2-bit event kind (same codes as the wire codec:
+/// 0 Internal, 1 Send, 2 Receive, 3 Sync).
+const FLAG_KIND_MASK: u8 = 0x03;
+
+fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or(WireError::Malformed("varint cut short"))?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return Err(WireError::Malformed("varint overflows u64"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::Malformed("varint too long"));
+        }
+    }
+}
+
+fn get_varint_u32(buf: &[u8], pos: &mut usize) -> Result<u32, WireError> {
+    u32::try_from(get_uvarint(buf, pos)?).map_err(|_| WireError::Malformed("varint exceeds u32"))
+}
+
+/// Delta-encode a batch of delivered events (the v2 record body).
+fn encode_delta_block(buf: &mut Vec<u8>, events: &[Event]) {
+    use cts_model::EventKind;
+    put_uvarint(buf, events.len() as u64);
+    // Last index seen per process *within this record*; each record is
+    // self-contained so a scan never needs cross-record state.
+    let mut last: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for ev in events {
+        let pid = ev.id.process.0;
+        let index = ev.id.index.0;
+        let (kind_code, _) = match ev.kind {
+            EventKind::Internal => (0u8, ()),
+            EventKind::Send { .. } => (1, ()),
+            EventKind::Receive { .. } => (2, ()),
+            EventKind::Sync { .. } => (3, ()),
+        };
+        let implicit = last.get(&pid) == Some(&(index.wrapping_sub(1))) && index != 0;
+        let mut flags = kind_code;
+        if !implicit {
+            flags |= FLAG_EXPLICIT_INDEX;
+        }
+        buf.push(flags);
+        put_uvarint(buf, u64::from(pid));
+        if !implicit {
+            put_uvarint(buf, u64::from(index));
+        }
+        last.insert(pid, index);
+        match ev.kind {
+            EventKind::Internal => {}
+            EventKind::Send { to } => put_uvarint(buf, u64::from(to.0)),
+            EventKind::Receive { from } => {
+                put_uvarint(buf, u64::from(from.process.0));
+                put_uvarint(buf, u64::from(from.index.0));
+            }
+            EventKind::Sync { peer } => {
+                put_uvarint(buf, u64::from(peer.process.0));
+                put_uvarint(buf, u64::from(peer.index.0));
+            }
+        }
+    }
+}
+
+/// Decode a v2 delta event block. Total: every malformed input is an error,
+/// never a panic or a huge allocation.
+fn decode_delta_block(buf: &[u8]) -> Result<Vec<Event>, WireError> {
+    use cts_model::{EventId, EventIndex, EventKind, ProcessId};
+    let mut pos = 0usize;
+    let count = get_uvarint(buf, &mut pos)?;
+    // Each event costs >= 2 bytes (flags + pid), so `count` is bounded by
+    // the remaining payload — a corrupt count cannot force an allocation.
+    if count > (buf.len() - pos) as u64 / 2 {
+        return Err(WireError::Malformed("event count exceeds payload"));
+    }
+    let mut events = Vec::with_capacity(count as usize);
+    let mut last: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let event_id = |p: u32, i: u32| -> Result<EventId, WireError> {
+        if i == 0 {
+            return Err(WireError::Malformed("event index 0 is invalid"));
+        }
+        Ok(EventId::new(ProcessId(p), EventIndex(i)))
+    };
+    for _ in 0..count {
+        let flags = *buf
+            .get(pos)
+            .ok_or(WireError::Malformed("event cut short"))?;
+        pos += 1;
+        if flags & !(FLAG_KIND_MASK | FLAG_EXPLICIT_INDEX) != 0 {
+            return Err(WireError::Malformed("unknown event flag bits"));
+        }
+        let pid = get_varint_u32(buf, &mut pos)?;
+        let index = if flags & FLAG_EXPLICIT_INDEX != 0 {
+            get_varint_u32(buf, &mut pos)?
+        } else {
+            let prev = *last
+                .get(&pid)
+                .ok_or(WireError::Malformed("implicit index without predecessor"))?;
+            prev.checked_add(1)
+                .ok_or(WireError::Malformed("event index overflow"))?
+        };
+        let id = event_id(pid, index)?;
+        last.insert(pid, index);
+        let kind = match flags & FLAG_KIND_MASK {
+            0 => EventKind::Internal,
+            1 => EventKind::Send {
+                to: ProcessId(get_varint_u32(buf, &mut pos)?),
+            },
+            2 => {
+                let p = get_varint_u32(buf, &mut pos)?;
+                let i = get_varint_u32(buf, &mut pos)?;
+                EventKind::Receive {
+                    from: event_id(p, i)?,
+                }
+            }
+            _ => {
+                let p = get_varint_u32(buf, &mut pos)?;
+                let i = get_varint_u32(buf, &mut pos)?;
+                EventKind::Sync {
+                    peer: event_id(p, i)?,
+                }
+            }
+        };
+        events.push(Event::new(id, kind));
+    }
+    if pos != buf.len() {
+        return Err(WireError::Malformed("trailing bytes after event block"));
+    }
+    Ok(events)
 }
 
 /// One decoded WAL record.
@@ -256,12 +425,13 @@ pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
         torn: None,
     };
     if buf.len() < HEADER_LEN as usize
-        || &buf[..8] != MAGIC
+        || (&buf[..8] != MAGIC && &buf[..8] != MAGIC_V1)
         || crc32(&buf[..16]) != u32::from_le_bytes(buf[16..20].try_into().unwrap())
     {
         scan.torn = Some(TornTail::BadHeader);
         return Ok(scan);
     }
+    let delta_encoded = &buf[..8] == MAGIC;
     scan.start_offset = u64::from_le_bytes(buf[8..16].try_into().unwrap());
     scan.valid_len = HEADER_LEN;
     let mut pos = HEADER_LEN as usize;
@@ -282,7 +452,7 @@ pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
             scan.torn = Some(TornTail::BadCrc);
             return Ok(scan);
         }
-        let record = match decode_record(payload) {
+        let record = match decode_record(payload, delta_encoded) {
             Ok(r) => r,
             Err(_) => {
                 scan.torn = Some(TornTail::BadPayload);
@@ -301,12 +471,16 @@ pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
     Ok(scan)
 }
 
-fn decode_record(payload: &[u8]) -> Result<WalRecord, WireError> {
+fn decode_record(payload: &[u8], delta_encoded: bool) -> Result<WalRecord, WireError> {
     if payload.len() < 8 {
         return Err(WireError::Malformed("record payload too short"));
     }
     let first_offset = u64::from_le_bytes(payload[..8].try_into().unwrap());
-    let events = wire::decode_event_block(&payload[8..])?;
+    let events = if delta_encoded {
+        decode_delta_block(&payload[8..])?
+    } else {
+        wire::decode_event_block(&payload[8..])?
+    };
     Ok(WalRecord {
         first_offset,
         events,
@@ -473,6 +647,82 @@ mod tests {
         assert_eq!(scan.torn, None);
         assert_eq!(scan.start_offset, 7);
         assert_eq!(scan.num_events(), 0);
+    }
+
+    #[test]
+    fn delta_block_roundtrips_all_kinds() {
+        use cts_model::{EventId, EventIndex, EventKind, ProcessId};
+        let id = |p: u32, i: u32| EventId::new(ProcessId(p), EventIndex(i));
+        // Interleaved processes, every kind, a deliberate index gap on P2
+        // (never produced by a valid delivery order, but the codec is total).
+        let events = vec![
+            Event::new(id(0, 1), EventKind::Internal),
+            Event::new(id(1, 1), EventKind::Send { to: ProcessId(0) }),
+            Event::new(id(0, 2), EventKind::Receive { from: id(1, 1) }),
+            Event::new(id(2, 1), EventKind::Sync { peer: id(3, 1) }),
+            Event::new(id(0, 3), EventKind::Internal),
+            Event::new(id(2, 5), EventKind::Internal), // gap: explicit index
+            Event::new(id(2, 6), EventKind::Internal), // continues the gap
+        ];
+        let mut buf = Vec::new();
+        encode_delta_block(&mut buf, &events);
+        assert_eq!(decode_delta_block(&buf).unwrap(), events);
+        // Truncations and flag corruption must error, never panic.
+        for cut in 0..buf.len() {
+            assert!(decode_delta_block(&buf[..cut]).is_err());
+        }
+        let mut bad = buf.clone();
+        bad[1] |= 0xF8; // undefined flag bits on the first event
+        assert!(decode_delta_block(&bad).is_err());
+    }
+
+    #[test]
+    fn delta_encoding_shrinks_records() {
+        let events = sample_events();
+        let mut v2 = Vec::new();
+        encode_delta_block(&mut v2, &events);
+        let mut v1 = Vec::new();
+        wire::encode_event_block(&mut v1, &events);
+        assert!(
+            v2.len() * 2 <= v1.len(),
+            "delta block {} bytes vs fixed-width {} — expected >= 2x smaller",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v1_segments_still_scan() {
+        // Hand-write a v1 segment (old magic, fixed-width wire codec) and
+        // require the scanner to replay it identically: recovery must read
+        // logs written before the delta-encoding upgrade.
+        let dir = tmpdir("v1-compat");
+        let events = sample_events();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let hcrc = crc32(&bytes);
+        bytes.extend_from_slice(&hcrc.to_le_bytes());
+        let mut offset = 1u64;
+        for chunk in events.chunks(10) {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&offset.to_le_bytes());
+            wire::encode_event_block(&mut payload, chunk);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            offset += chunk.len() as u64;
+        }
+        let path = dir.join(segment_name(0));
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.torn, None);
+        let replayed: Vec<Event> = scan
+            .records
+            .iter()
+            .flat_map(|r| r.events.iter().copied())
+            .collect();
+        assert_eq!(replayed, events);
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub mod code {
     /// The daemon is replaying its write-ahead log after a restart; ingest
     /// and queries are refused until recovery completes.
     pub const RECOVERING: u16 = 8;
+    /// The daemon is out of connection capacity (thread/fd exhaustion);
+    /// the connection is refused but the daemon keeps serving others.
+    pub const OVERLOADED: u16 = 9;
 }
 
 /// Aggregate counters a [`Msg::StatsResult`] reports.
@@ -816,6 +819,80 @@ pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Msg>> {
     }
 }
 
+/// Incremental frame reassembly for non-blocking sockets.
+///
+/// The blocking path ([`recv_frame`]) can loop until a frame completes; an
+/// edge-triggered readiness loop cannot — it gets whatever bytes the kernel
+/// has and must come back later for the rest. `FrameBuffer` accumulates
+/// those arbitrary chunks and yields complete payloads as they form,
+/// enforcing [`MAX_FRAME`] as soon as a header is visible so a malicious
+/// length prefix is rejected before any payload is buffered.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted between readiness events rather
+    /// than per frame so a burst of small frames costs one memmove.
+    pos: usize,
+}
+
+/// Keep at most this much slack allocated in an idle [`FrameBuffer`].
+const FRAME_BUF_IDLE_CAP: usize = 64 * 1024;
+
+impl FrameBuffer {
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pop the next complete frame payload, if one has fully arrived.
+    /// `Ok(None)` means "need more bytes"; an oversized length prefix is a
+    /// protocol error that must end the connection.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds limit {MAX_FRAME}"),
+            ));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = avail[4..total].to_vec();
+        self.pos += total;
+        Ok(Some(payload))
+    }
+
+    /// Drop the consumed prefix and release oversized capacity once the
+    /// buffer is empty — a connection that once carried a 1 MiB frame must
+    /// not pin that allocation forever.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        if self.buf.is_empty() && self.buf.capacity() > FRAME_BUF_IDLE_CAP {
+            self.buf.shrink_to(FRAME_BUF_IDLE_CAP);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -978,5 +1055,69 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         let mut r = &buf[..];
         assert!(recv_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_byte_by_byte() {
+        let msg = Msg::Hello {
+            computation: "frame-buffer".into(),
+            num_processes: 5,
+            max_cluster_size: 3,
+        };
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &msg).unwrap();
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        // Worst-case fragmentation: one byte per readiness event.
+        for b in &wire {
+            fb.extend(std::slice::from_ref(b));
+            while let Some(payload) = fb.next_frame().unwrap() {
+                out.push(Msg::decode(&payload).unwrap());
+            }
+        }
+        assert_eq!(out, vec![msg]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_yields_multiple_frames_from_one_chunk() {
+        let msgs = all_messages();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_msg(&mut wire, m).unwrap();
+        }
+        // One chunk carrying every frame plus a dangling partial header.
+        wire.extend_from_slice(&[3, 0]);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        let mut out = Vec::new();
+        while let Some(payload) = fb.next_frame().unwrap() {
+            out.push(Msg::decode(&payload).unwrap());
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(fb.pending(), 2);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_length_before_payload() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn frame_buffer_releases_large_allocations_when_idle() {
+        let mut fb = FrameBuffer::new();
+        let big = vec![0xABu8; (MAX_FRAME as usize) / 2];
+        let mut wire = (big.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&big);
+        fb.extend(&wire);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), big);
+        assert!(fb.next_frame().unwrap().is_none());
+        assert!(
+            fb.buf.capacity() <= FRAME_BUF_IDLE_CAP,
+            "idle buffer still holds {} bytes",
+            fb.buf.capacity()
+        );
     }
 }

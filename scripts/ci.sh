@@ -13,6 +13,10 @@
 #   query     focused query_path bench run holding the read-path claims:
 #             warm-cache precedence >= 5x the cold path, batched wire
 #             round trips >= 5x single RTTs (host-independent ratios)
+#   net       C10K soak against an external daemon process: 10,000 idle
+#             connections held while the differential smoke suite runs
+#             clean; thread-backend differential; idle-cost ratio gates
+#             (epoll <= 1/10 the thread backend's idle CPU and RSS/conn)
 #   bench     two cts-bench --quick runs gated against the committed
 #             baseline by scripts/bench_gate.py
 #
@@ -121,6 +125,50 @@ stage_query() {
     query_path/gc_linear_blocked_stencil1d_128:query_path/gc_binary_blocked_stencil1d_128:1.0
 }
 
+stage_net() {
+  echo "==> net: C10K soak + backend idle-cost ratio gates"
+  # A real daemon process (epoll front end by default), a real loadgen
+  # process: 10,000 idle connections held open — two processes, so the
+  # per-process fd budget covers one end each — while the differential
+  # full 54-computation suite runs through the same listener with zero
+  # mismatches.
+  local port_file="$workdir/net-daemon.port"
+  target/release/cts-daemon --port 0 --port-file "$port_file" &
+  local daemon_pid=$!
+  pids+=("$daemon_pid")
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$port_file" ]] || {
+    echo "ci.sh: daemon never wrote its port file" >&2
+    exit 1
+  }
+  local port
+  port=$(cat "$port_file")
+  target/release/cts-loadgen --addr "127.0.0.1:$port" --c10k 10000 \
+    --shutdown
+  wait "$daemon_pid"
+  echo "ci.sh: c10k soak ok (port $port)"
+
+  # The thread-per-connection backend stays differentially correct (it is
+  # the oracle the epoll front end is checked against).
+  target/release/cts-loadgen --quick --net-threads
+
+  # Idle-cost claims, host-independent within-run ratios: the epoll
+  # backend must burn <= 1/10 the CPU of the thread backend's polling
+  # wakeups while idle, and hold a connection in <= 1/10 the resident
+  # memory of a parked connection thread. --claims-only: these entries
+  # have no committed baseline (absolute idle cost is host-dependent).
+  target/release/cts-loadgen --c10k-bench --json "$workdir/bench-net.json"
+  python3 scripts/bench_gate.py results/BENCH_baseline.json \
+    "$workdir/bench-net.json" --claims-only \
+    --require-ratio \
+    daemon_ingest/c10k_idle_cpu_threads:daemon_ingest/c10k_idle_cpu_epoll:10.0 \
+    --require-ratio \
+    daemon_ingest/c10k_rss_per_conn_threads:daemon_ingest/c10k_rss_per_conn_epoll:10.0
+}
+
 stage_bench() {
   echo "==> bench: quick suite x2 vs committed baseline"
   target/release/cts-bench --quick >"$workdir/bench-1.json"
@@ -136,11 +184,11 @@ stage_bench() {
     shard_ingest/sharded_web_288_s1:shard_ingest/sharded_web_288_s4:1.8
 }
 
-all_stages=(fmt clippy build test smoke recovery query bench)
+all_stages=(fmt clippy build test smoke recovery query net bench)
 stages=("${@:-${all_stages[@]}}")
 for stage in "${stages[@]}"; do
   case "$stage" in
-  fmt | clippy | build | test | smoke | recovery | query | bench)
+  fmt | clippy | build | test | smoke | recovery | query | net | bench)
     "stage_$stage"
     ;;
   *)
