@@ -9,6 +9,7 @@
 //!             [--window-page N] [--json PATH] [--shutdown]
 //!             [--data-dir PATH] [--checkpoint-every N]
 //!             [--kill-after N [--restart]]
+//!             [--followers N | --follower-addr HOST:PORT ...]
 //! ```
 //!
 //! Without `--addr`, an in-process daemon is started on an ephemeral
@@ -41,6 +42,15 @@
 //! `daemon_ingest/c10k_*` entries `scripts/bench_gate.py --require-ratio`
 //! gates on.
 //!
+//! `--followers N` spawns N in-process *follower* daemons replicating the
+//! leader over the `Subscribe` WAL stream (requires a durable leader:
+//! `--data-dir` in-process, or an external `--addr` leader started with
+//! one); `--follower-addr HOST:PORT` (repeatable) aims at already-running
+//! followers instead. Either way the differential query suite is fanned
+//! across the fleet after a convergence barrier, and the
+//! `repl/warm_batch_{leader,fleet}` benchmark pair records the read
+//! scale-out ratio `scripts/bench_gate.py --require-ratio` gates on.
+//!
 //! `--data-dir` makes the in-process daemon durable (write-ahead log +
 //! checkpoints under PATH). `--kill-after N` switches to the crash-replay
 //! scenario: stream ~N events, crash-stop the daemon (no final sync or
@@ -64,7 +74,8 @@ fn usage() -> ! {
          \x20                  [--quick | --smoke] [--window-page N]\n\
          \x20                  [--json PATH] [--shutdown]\n\
          \x20                  [--data-dir PATH] [--checkpoint-every N]\n\
-         \x20                  [--kill-after N [--restart]]"
+         \x20                  [--kill-after N [--restart]]\n\
+         \x20                  [--followers N | --follower-addr HOST:PORT ...]"
     );
     std::process::exit(2);
 }
@@ -84,6 +95,7 @@ fn main() {
     let mut pollers: Option<usize> = None;
     let mut c10k: usize = 0;
     let mut c10k_bench = false;
+    let mut followers: usize = 0;
     let mut cfg = LoadConfig::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -127,6 +139,17 @@ fn main() {
             "--pollers" => pollers = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--c10k" => c10k = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--c10k-bench" => c10k_bench = true,
+            "--followers" => followers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--follower-addr" => {
+                let raw = value(&mut i);
+                match raw.parse() {
+                    Ok(a) => cfg.follower_addrs.push(a),
+                    Err(e) => {
+                        eprintln!("cts-loadgen: bad --follower-addr {raw:?}: {e}");
+                        usage();
+                    }
+                }
+            }
             "--restart" => restart = true,
             "--help" | "-h" => usage(),
             other => {
@@ -183,6 +206,21 @@ fn main() {
         eprintln!(
             "cts-loadgen: --net-threads/--pollers configure the in-process daemon; drop --addr"
         );
+        std::process::exit(2);
+    }
+    if followers > 0 && !cfg.follower_addrs.is_empty() {
+        eprintln!("cts-loadgen: pick one of --followers (in-process) or --follower-addr");
+        std::process::exit(2);
+    }
+    if followers > 0 && addr.is_none() && data_dir.is_none() {
+        eprintln!(
+            "cts-loadgen: --followers needs a durable leader; add --data-dir (the \
+             WAL is the replication stream)"
+        );
+        std::process::exit(2);
+    }
+    if (followers > 0 || !cfg.follower_addrs.is_empty()) && (kill_after.is_some() || c10k_bench) {
+        eprintln!("cts-loadgen: follower fleets do not combine with --kill-after/--c10k-bench");
         std::process::exit(2);
     }
 
@@ -266,6 +304,30 @@ fn main() {
         }
     };
 
+    // In-process follower fleet: each follower replicates the leader into
+    // its own data directory under a scratch root.
+    let mut own_followers: Vec<Daemon> = Vec::new();
+    let follower_root =
+        std::env::temp_dir().join(format!("cts-loadgen-followers-{}", std::process::id()));
+    if followers > 0 {
+        match loadgen::spawn_followers(cfg.addr, followers, &follower_root) {
+            Ok(ds) => {
+                cfg.follower_addrs = ds.iter().map(|d| d.local_addr()).collect();
+                eprintln!(
+                    "[cts-loadgen] {} in-process followers replicating {}: {:?}",
+                    ds.len(),
+                    cfg.addr,
+                    cfg.follower_addrs
+                );
+                own_followers = ds;
+            }
+            Err(e) => {
+                eprintln!("cts-loadgen: cannot start followers: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // C10K soak: hold a fleet of idle connections for the whole run, so
     // the differential suite below is answered *while* the daemon carries
     // them. Capacity plus correctness, not capacity instead of it.
@@ -300,9 +362,35 @@ fn main() {
     };
     println!("{}", report.render());
 
+    // Read scale-out measurement: the same warm batched-query workload
+    // against the leader alone, then fanned across the followers.
+    let mut fleet_entries = Vec::new();
+    if !cfg.follower_addrs.is_empty() {
+        match loadgen::fleet_bench_entries(&suite, &cfg, 4, 3) {
+            Ok(entries) => {
+                for e in &entries {
+                    eprintln!(
+                        "[cts-loadgen] repl/{}: min {:.1} ms over {} items",
+                        e.name,
+                        e.min_ns / 1e6,
+                        e.iters_per_sample
+                    );
+                }
+                fleet_entries = entries;
+            }
+            Err(e) => {
+                eprintln!("cts-loadgen: fleet bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = &json {
         let mut bencher = Bencher::quick();
         for entry in report.bench_entries() {
+            bencher.record_entry(entry);
+        }
+        for entry in fleet_entries {
             bencher.record_entry(entry);
         }
         if addr.is_none() {
@@ -330,6 +418,12 @@ fn main() {
         drop(held);
     }
 
+    for d in own_followers {
+        d.shutdown();
+    }
+    if followers > 0 {
+        let _ = std::fs::remove_dir_all(&follower_root);
+    }
     if send_shutdown {
         let r = Client::connect(cfg.addr).and_then(|mut c| c.shutdown_daemon());
         match r {

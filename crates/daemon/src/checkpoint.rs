@@ -236,10 +236,39 @@ fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 
 /// Load the newest checkpoint that passes validation, if any.
 pub fn load_latest_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    load_latest_checkpoint_named(dir, None)
+}
+
+/// As [`load_latest_checkpoint`], but when `expected_name` is given, a
+/// checkpoint embedding a *different* computation name is a hard error, not
+/// a fallback: unlike bit-rot, a cross-computation checkpoint means the
+/// directory was mixed up (a copied data dir, a bad `--follow` target, a
+/// subscription answered from the wrong computation), and silently skipping
+/// it would replay someone else's event stream or a half-empty one.
+pub fn load_latest_checkpoint_named(
+    dir: &Path,
+    expected_name: Option<&str>,
+) -> io::Result<Option<Checkpoint>> {
     for (delivered, path) in list_checkpoints(dir)?.into_iter().rev() {
         match load_checkpoint(&path) {
-            Ok(ckpt) if ckpt.delivered == delivered => return Ok(Some(ckpt)),
-            Ok(_) | Err(_) => continue, // bit-rot or name mismatch: fall back
+            Ok(ckpt) if ckpt.delivered == delivered => {
+                if let Some(want) = expected_name {
+                    if ckpt.meta.name != want {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "checkpoint {} belongs to computation {:?}, not {:?} — \
+                                 refusing a cross-computation directory",
+                                path.display(),
+                                ckpt.meta.name,
+                                want
+                            ),
+                        ));
+                    }
+                }
+                return Ok(Some(ckpt));
+            }
+            Ok(_) | Err(_) => continue, // bit-rot or size mismatch: fall back
         }
     }
     Ok(None)
@@ -293,7 +322,14 @@ pub fn recover_dir(dir: &Path) -> io::Result<(Vec<Event>, RecoveryReport)> {
     let mut events: Vec<Event> = Vec::new();
     let mut next_offset = 1u64; // delivery offset the replay expects next
 
-    if let Some(ckpt) = load_latest_checkpoint(dir)? {
+    // When the directory carries a `meta` file, any checkpoint replayed
+    // from it must embed the same computation name — a mismatch is a
+    // mixed-up directory, refused rather than replayed.
+    let expected_name = match load_meta(dir) {
+        Ok(m) => Some(m.name),
+        Err(_) => None, // no (or unreadable) meta: legacy dir, best effort
+    };
+    if let Some(ckpt) = load_latest_checkpoint_named(dir, expected_name.as_deref())? {
         report.checkpoint_events = ckpt.delivered;
         next_offset = ckpt.delivered + 1;
         events = ckpt.events;
@@ -464,6 +500,35 @@ mod tests {
         let (replay, report) = recover_dir(&dir).unwrap();
         assert!(replay.is_empty());
         assert_eq!(report.total_events(), 0);
+    }
+
+    #[test]
+    fn cross_computation_checkpoint_is_refused() {
+        // A checkpoint copied in from another computation's directory must
+        // fail recovery loudly, not replay the wrong event stream.
+        let dir = tmpdir("mixup");
+        let events = sample_events();
+        ensure_meta(&dir, &meta()).unwrap();
+        let other = CompMeta {
+            name: "web/other".into(),
+            ..meta()
+        };
+        write_checkpoint(&dir, &other, &events[..20]).unwrap();
+        let err = recover_dir(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("web/other"),
+            "error should name the interloper: {err}"
+        );
+        assert!(load_latest_checkpoint_named(&dir, Some("pvm/stencil")).is_err());
+        // The same checkpoint under its *own* name loads fine.
+        assert!(load_latest_checkpoint_named(&dir, Some("web/other"))
+            .unwrap()
+            .is_some());
+        // And a matching checkpoint recovers green.
+        let _ = std::fs::remove_file(dir.join(checkpoint_name(20)));
+        write_checkpoint(&dir, &meta(), &events[..20]).unwrap();
+        let (replay, _) = recover_dir(&dir).unwrap();
+        assert_eq!(replay, events[..20]);
     }
 
     #[test]

@@ -188,6 +188,28 @@ impl Client {
         }
     }
 
+    /// Negotiate the message-set protocol and WAL-format levels (PR 7).
+    /// Returns `(protocol, wal)` — the minimum of ours and the server's.
+    pub fn proto_hello(&mut self) -> io::Result<(u16, u16)> {
+        let msg = Msg::ProtoHello {
+            protocol_max: wire::PROTOCOL,
+            wal_max: wire::WAL_FORMAT,
+        };
+        match self.call(&msg)? {
+            Msg::ProtoHelloAck { protocol, wal } => Ok((protocol, wal)),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// List the computations the daemon is serving, with their delivered
+    /// watermarks. Requires a prior [`Client::proto_hello`] at level >= 2.
+    pub fn list_computations(&mut self) -> io::Result<Vec<wire::CompInfo>> {
+        match self.call(&Msg::ListComputations)? {
+            Msg::ComputationList { comps } => Ok(comps),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
     /// Ask the daemon to shut down gracefully; waits for the ack.
     pub fn shutdown_daemon(&mut self) -> io::Result<()> {
         match self.call(&Msg::Shutdown)? {

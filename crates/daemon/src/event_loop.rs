@@ -51,7 +51,11 @@ use crate::netpoll::{
     EPOLLOUT, EPOLLRDHUP,
 };
 use crate::pipeline::{Computation, FlushError, TryEnqueue};
-use crate::server::{hello, lock, no_session, refuse_overloaded, serve_query, DaemonShared};
+use crate::replication;
+use crate::server::{
+    hello, list_computations, lock, needs_protocol_2, no_session, read_only, refuse_overloaded,
+    serve_query, DaemonShared,
+};
 use crate::wire::{self, code, write_msg, FrameBuffer, Msg};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -114,6 +118,13 @@ struct Conn {
     closing: bool,
     /// `EPOLLOUT` currently armed.
     want_write: bool,
+    /// Message-set level negotiated via ProtoHello (level-2 verbs are
+    /// refused below it).
+    protocol: u16,
+    /// A granted Subscribe: the poller hands the socket to a dedicated
+    /// streamer thread (replication pushes for the connection's lifetime —
+    /// the antithesis of a readiness loop's non-blocking contract).
+    subscribe: Option<replication::Grant>,
 }
 
 impl Conn {
@@ -130,6 +141,8 @@ impl Conn {
             eof: false,
             closing: false,
             want_write: false,
+            protocol: 1,
+            subscribe: None,
         }
     }
 
@@ -332,10 +345,12 @@ impl Worker {
         if ready & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
             conn.read_ready = true;
         }
-        if self.pump(id, &mut conn) {
-            self.conns.insert(id, conn);
-        } else {
-            self.close_conn(conn);
+        match self.pump(id, &mut conn) {
+            Pump::Keep => {
+                self.conns.insert(id, conn);
+            }
+            Pump::Close => self.close_conn(conn),
+            Pump::Handoff => self.handoff_subscription(conn),
         }
     }
 
@@ -346,61 +361,115 @@ impl Worker {
     }
 
     /// Drive one connection as far as it can go without blocking. Returns
-    /// whether to keep it.
-    fn pump(&mut self, id: u64, conn: &mut Conn) -> bool {
+    /// whether to keep it, close it, or hand it to a replication streamer.
+    fn pump(&mut self, id: u64, conn: &mut Conn) -> Pump {
         loop {
             // 1. Drain queued replies first — freeing reply buffer is what
             //    un-gates everything else.
             match self.flush_writes(id, conn) {
                 Ok(()) => {}
-                Err(_) => return false,
+                Err(_) => return Pump::Close,
             }
             if conn.closing {
                 // Keep only to finish draining; EPOLLOUT re-enters here.
-                return conn.unsent() > 0;
+                return if conn.unsent() > 0 {
+                    Pump::Keep
+                } else {
+                    Pump::Close
+                };
             }
             // 2. A parked batch must go first (order within the stream).
             if let Some(batch) = conn.pending.take() {
                 match self.offer_ingest(conn, batch) {
                     Offer::Accepted => continue,
-                    Offer::Parked => return true,
+                    Offer::Parked => return Pump::Keep,
                     Offer::Closed => continue, // error already queued
                 }
             }
             // 3. A flush in flight owns the next reply slot.
             if conn.blocked_on_flush {
-                return true;
+                return Pump::Keep;
             }
             // 4. Write backpressure: stop producing replies (and reading)
             //    until the peer drains what it already asked for.
             if conn.unsent() >= WBUF_CAP {
-                return true;
+                return Pump::Keep;
             }
             // 5. Next frame, or more bytes.
             match conn.rbuf.next_frame() {
                 Ok(Some(payload)) => {
                     if !self.handle_frame(id, conn, &payload) {
-                        return false;
+                        return Pump::Close;
+                    }
+                    if conn.subscribe.is_some() {
+                        // Granted Subscribe: the connection leaves the
+                        // readiness loop (the streamer writes the queued
+                        // SubscribeAck and everything after it).
+                        return Pump::Handoff;
                     }
                 }
                 Ok(None) => {
                     if conn.read_ready {
                         if self.fill_rbuf(conn).is_err() {
-                            return false;
+                            return Pump::Close;
                         }
                     } else if conn.eof {
                         // All complete frames processed; a dangling partial
                         // frame is a mid-frame hangup either way.
-                        return conn.unsent() > 0 && {
+                        return if conn.unsent() > 0 {
                             conn.closing = true;
-                            true
+                            Pump::Keep
+                        } else {
+                            Pump::Close
                         };
                     } else {
-                        return true; // wait for the next readiness edge
+                        return Pump::Keep; // wait for the next readiness edge
                     }
                 }
-                Err(_) => return false, // oversized frame: hang up
+                Err(_) => return Pump::Close, // oversized frame: hang up
             }
+        }
+    }
+
+    /// Move a granted subscription off the poller: deregister the socket,
+    /// restore blocking mode, and run the stream on a dedicated thread (it
+    /// pushes for the connection's lifetime, which a poller thread must
+    /// never do).
+    fn handoff_subscription(&mut self, conn: Conn) {
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        let shared = Arc::clone(&self.shared);
+        let Conn {
+            stream,
+            wbuf,
+            wpos,
+            subscribe,
+            ..
+        } = conn;
+        let Some(grant) = subscribe else {
+            shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+            return;
+        };
+        let spawned = std::thread::Builder::new()
+            .name("cts-repl-stream".into())
+            .spawn(move || {
+                let mut stream = stream;
+                let r = (|| -> io::Result<()> {
+                    stream.set_nonblocking(false)?;
+                    // Queued replies (ending in the SubscribeAck) go first.
+                    stream.write_all(&wbuf[wpos..])?;
+                    replication::serve_subscription(stream, &shared, &grant)
+                })();
+                if let Err(e) = r {
+                    eprintln!(
+                        "[cts-daemon] replication stream for {:?} ended: {e}",
+                        grant.comp.name
+                    );
+                }
+                shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: the follower sees the hangup and retries.
+            self.shared.live_conns.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -505,10 +574,12 @@ impl Worker {
             let Some(mut conn) = self.conns.remove(&id) else {
                 continue;
             };
-            if self.pump(id, &mut conn) {
-                self.conns.insert(id, conn);
-            } else {
-                self.close_conn(conn);
+            match self.pump(id, &mut conn) {
+                Pump::Keep => {
+                    self.conns.insert(id, conn);
+                }
+                Pump::Close => self.close_conn(conn),
+                Pump::Handoff => self.handoff_subscription(conn),
             }
         }
     }
@@ -522,10 +593,12 @@ impl Worker {
             };
             conn.blocked_on_flush = false;
             conn.queue_msg(&reply);
-            if self.pump(id, &mut conn) {
-                self.conns.insert(id, conn);
-            } else {
-                self.close_conn(conn);
+            match self.pump(id, &mut conn) {
+                Pump::Keep => {
+                    self.conns.insert(id, conn);
+                }
+                Pump::Close => self.close_conn(conn),
+                Pump::Handoff => self.handoff_subscription(conn),
             }
         }
     }
@@ -546,6 +619,9 @@ impl Worker {
             Err(e) => {
                 let code = match e {
                     wire::WireError::BadVersion(_) => code::BAD_VERSION,
+                    // Unknown verb from a newer message set: typed refusal,
+                    // connection stays up.
+                    wire::WireError::BadTag(_) => code::UNSUPPORTED,
                     _ => code::MALFORMED,
                 };
                 conn.queue_msg(&Msg::Error {
@@ -584,6 +660,10 @@ impl Worker {
                 }),
             },
             Msg::Events(events) => {
+                if self.shared.config.follow.is_some() {
+                    conn.queue_msg(&read_only());
+                    return true;
+                }
                 let Some(comp) = conn.session.as_ref() else {
                     conn.queue_msg(&no_session());
                     return true;
@@ -603,6 +683,10 @@ impl Worker {
                 let _ = self.offer_ingest(conn, events);
             }
             Msg::Flush { expected_total } => {
+                if self.shared.config.follow.is_some() {
+                    conn.queue_msg(&read_only());
+                    return true;
+                }
                 let Some(comp) = conn.session.as_ref() else {
                     conn.queue_msg(&no_session());
                     return true;
@@ -662,6 +746,43 @@ impl Worker {
                 let stats = comp.metrics().snapshot(comp.query_cache().stats());
                 conn.queue_msg(&Msg::StatsResult(stats));
             }
+            Msg::ProtoHello {
+                protocol_max,
+                wal_max,
+            } => {
+                conn.protocol = protocol_max.min(wire::PROTOCOL);
+                conn.queue_msg(&Msg::ProtoHelloAck {
+                    protocol: conn.protocol,
+                    wal: wal_max.min(wire::WAL_FORMAT),
+                });
+            }
+            Msg::ListComputations => {
+                let reply = if conn.protocol < 2 {
+                    needs_protocol_2("ListComputations")
+                } else {
+                    Msg::ComputationList {
+                        comps: list_computations(&self.shared),
+                    }
+                };
+                conn.queue_msg(&reply);
+            }
+            Msg::Subscribe {
+                computation,
+                from_offset,
+                prev_lease,
+            } => match replication::check_subscribe(
+                &self.shared,
+                conn.protocol,
+                &computation,
+                from_offset,
+                prev_lease,
+            ) {
+                Ok(grant) => {
+                    conn.queue_msg(&grant.ack(&self.shared));
+                    conn.subscribe = Some(grant); // pump hands the socket off
+                }
+                Err(refusal) => conn.queue_msg(&refusal),
+            },
             Msg::Shutdown => {
                 conn.queue_msg(&Msg::ShutdownAck);
                 conn.closing = true;
@@ -706,4 +827,12 @@ enum Offer {
     Accepted,
     Parked,
     Closed,
+}
+
+/// Outcome of [`Worker::pump`].
+enum Pump {
+    Keep,
+    Close,
+    /// A granted Subscribe: hand the socket to a streamer thread.
+    Handoff,
 }

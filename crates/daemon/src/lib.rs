@@ -31,7 +31,11 @@
 //! - [`shard`]: the sharded ingest path — per-process-group delivery cores,
 //!   the cross-shard clock exchange, cluster-driven rebalancing, the
 //!   two-phase snapshot cut, and the deterministic schedule-exploration
-//!   harness that proves them equivalent to the single-worker pipeline.
+//!   harness that proves them equivalent to the single-worker pipeline;
+//! - [`replication`]: read scale-out — the WAL record stream doubles as a
+//!   replication log, so `--follow <leader>` daemons replay it through the
+//!   normal pipeline and answer queries bit-identically to the leader at
+//!   commit-point epochs, fenced by leader leases.
 //!
 //! Correctness rests on the delivery-order-invariance property established
 //! by the core crates: any valid delivery order yields exact precedence, so
@@ -50,6 +54,7 @@ pub mod netpoll;
 pub mod pipeline;
 pub mod query_pool;
 pub mod reorder;
+pub mod replication;
 pub mod server;
 pub mod shard;
 pub(crate) mod sharded;

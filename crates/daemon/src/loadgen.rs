@@ -59,6 +59,10 @@ pub struct LoadConfig {
     /// Page size for the window-scroll check (0 = server default). Small
     /// values force the continuation cursor to actually continue.
     pub window_page: u32,
+    /// Read-only follower daemons replicating `addr` (PR 7). When
+    /// non-empty, the query phase also fans the differential checks
+    /// across the fleet after waiting for every follower to converge.
+    pub follower_addrs: Vec<SocketAddr>,
 }
 
 impl Default for LoadConfig {
@@ -75,6 +79,7 @@ impl Default for LoadConfig {
             precedence_queries: 200,
             gc_probes: 3,
             window_page: 5,
+            follower_addrs: Vec::new(),
         }
     }
 }
@@ -418,149 +423,433 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
     // must agree per item — single, batch, and the offline engine — so a
     // cache that ever returned a stale or cross-wired verdict shows up as
     // a mismatch.
-    let mismatches = AtomicU64::new(0);
-    let precedence_checked = AtomicU64::new(0);
-    let gc_checked = AtomicU64::new(0);
-    let windows_checked = AtomicU64::new(0);
-    let batch_checked = AtomicU64::new(0);
-    let rtt = AtomicHistogram::new();
-    let rtt_min = AtomicU64::new(u64::MAX);
-
+    let counters = QueryCounters::new();
     let t1 = Instant::now();
     let query_jobs: Vec<usize> = (0..suite.len()).collect();
     run_pool(cfg.connections, query_jobs, cfg.addr, |client, c| {
-        let entry = &suite[c];
-        let trace = &entry.trace;
-        client.hello(&entry.name, trace.num_processes(), cfg.max_cluster_size)?;
-        let offline = ClusterEngine::run(trace, MergeOnFirst::new(cfg.max_cluster_size as usize));
-        let ids: Vec<EventId> = trace.all_event_ids().collect();
-        if ids.is_empty() {
-            return Ok(());
-        }
-        let mismatch = |text: String| {
-            eprintln!("[cts-loadgen] MISMATCH {}: {text}", entry.name);
-            mismatches.fetch_add(1, Ordering::Relaxed);
-        };
-        // Prime strides decorrelate the sampled pairs from trace layout.
-        let mut pairs = Vec::with_capacity(cfg.precedence_queries);
-        let mut singles = Vec::with_capacity(cfg.precedence_queries);
-        for k in 0..cfg.precedence_queries {
-            let e = ids[(k * 7919) % ids.len()];
-            let f = ids[(k * 104_729 + 13) % ids.len()];
-            let q0 = Instant::now();
-            let got = client.precedes(e, f)?;
-            let ns = q0.elapsed().as_nanos() as u64;
-            rtt.record(ns);
-            rtt_min.fetch_min(ns, Ordering::Relaxed);
-            precedence_checked.fetch_add(1, Ordering::Relaxed);
-            let want = offline.precedes(trace, e, f);
-            if got != want {
-                mismatch(format!("precedes({e}, {f}) = {got}, offline says {want}"));
-            }
-            pairs.push((e, f));
-            singles.push(want);
-        }
-        // Warm batch re-issue: the flush barrier guarantees every sampled
-        // event is delivered, so `None` (unknown event) is itself a bug.
-        if !pairs.is_empty() {
-            let verdicts = client.precedes_batch(&pairs)?;
-            batch_checked.fetch_add(verdicts.len() as u64, Ordering::Relaxed);
-            if verdicts.len() != pairs.len() {
-                mismatch(format!(
-                    "precedes_batch returned {} verdicts for {} pairs",
-                    verdicts.len(),
-                    pairs.len()
-                ));
-            }
-            for (k, v) in verdicts.iter().enumerate() {
-                let (e, f) = pairs[k];
-                if *v != Some(singles[k]) {
-                    mismatch(format!(
-                        "warm precedes_batch({e}, {f}) = {v:?}, offline says {}",
-                        singles[k]
-                    ));
-                }
-            }
-        }
-        let mut gc_events = Vec::with_capacity(cfg.gc_probes);
-        let mut gc_singles = Vec::with_capacity(cfg.gc_probes);
-        for k in 0..cfg.gc_probes {
-            let e = ids[(k * 15_485_863 + 3) % ids.len()];
-            let got = client.greatest_concurrent(e)?;
-            gc_checked.fetch_add(1, Ordering::Relaxed);
-            let want = greatest_concurrent(&mut ClusterBackend(&offline), trace, e);
-            if got != want {
-                mismatch(format!(
-                    "greatest_concurrent({e}) = {got:?}, offline says {want:?}"
-                ));
-            }
-            gc_events.push(e);
-            gc_singles.push(want);
-        }
-        if !gc_events.is_empty() {
-            let results = client.gc_batch(&gc_events)?;
-            batch_checked.fetch_add(results.len() as u64, Ordering::Relaxed);
-            for (k, r) in results.iter().enumerate() {
-                if r.as_ref() != Some(&gc_singles[k]) {
-                    mismatch(format!(
-                        "warm gc_batch({}) = {r:?}, offline says {:?}",
-                        gc_events[k], gc_singles[k]
-                    ));
-                }
-            }
-        }
-        // One window scroll against the store: process 0's first events,
-        // paged with a deliberately small page so the continuation cursor
-        // is exercised, with the ids compared against the trace.
-        let p0 = cts_model::ProcessId(0);
-        let upto = (trace.process_len(p0) as u32).min(16) + 1;
-        let (got, pages) = client.window_paged(0, 1, upto, cfg.window_page)?;
-        let expect: Vec<EventId> = trace
-            .process_events(p0)
-            .filter(|id| id.index.0 < upto)
-            .collect();
-        windows_checked.fetch_add(1, Ordering::Relaxed);
-        if got != expect {
-            mismatch(format!(
-                "window(P0, 1, {upto}) returned {} ids, expected {}",
-                got.len(),
-                expect.len()
-            ));
-        }
-        if cfg.window_page > 0 && expect.len() as u32 > cfg.window_page && pages < 2 {
-            mismatch(format!(
-                "window(P0, 1, {upto}) with page {} returned {} ids in one page",
-                cfg.window_page,
-                expect.len()
-            ));
-        }
-        Ok(())
+        check_computation(client, &suite[c], c, cfg, &counters, "leader")
     })?;
+
+    // ---- fleet phase: the same checks fanned across the followers ----
+    //
+    // Each computation is assigned round-robin to one follower, so the
+    // whole suite is re-verified by the fleet without querying every
+    // computation on every replica. A follower answer is compared against
+    // the same offline oracle the leader phase used, which by transitivity
+    // is a leader-vs-follower differential too.
+    if !cfg.follower_addrs.is_empty() {
+        wait_followers_converged(
+            &cfg.follower_addrs,
+            suite,
+            cfg,
+            std::time::Duration::from_secs(120),
+        )?;
+        for (fi, &addr) in cfg.follower_addrs.iter().enumerate() {
+            let jobs: Vec<usize> = (0..suite.len())
+                .filter(|c| c % cfg.follower_addrs.len() == fi)
+                .collect();
+            let label = format!("follower {fi}");
+            run_pool(cfg.connections, jobs, addr, |client, c| {
+                check_computation(client, &suite[c], c, cfg, &counters, &label)
+            })?;
+        }
+    }
     let query_wall_ns = t1.elapsed().as_nanos() as u64;
 
-    let rtt_samples = rtt.count();
-    let (rtt_p50_ns, rtt_p95_ns) = rtt.p50_p95();
+    let rtt_samples = counters.rtt.count();
+    let (rtt_p50_ns, rtt_p95_ns) = counters.rtt.p50_p95();
     Ok(LoadReport {
         computations: suite.len(),
         total_events,
         duplicates_sent: duplicates_sent.into_inner(),
         ingest_wall_ns,
         query_wall_ns,
-        precedence_checked: precedence_checked.into_inner(),
-        gc_checked: gc_checked.into_inner(),
-        windows_checked: windows_checked.into_inner(),
-        batch_checked: batch_checked.into_inner(),
-        mismatches: mismatches.into_inner(),
+        precedence_checked: counters.precedence_checked.into_inner(),
+        gc_checked: counters.gc_checked.into_inner(),
+        windows_checked: counters.windows_checked.into_inner(),
+        batch_checked: counters.batch_checked.into_inner(),
+        mismatches: counters.mismatches.into_inner(),
         rtt_min_ns: if rtt_samples == 0 {
             0
         } else {
-            rtt_min.into_inner()
+            counters.rtt_min.into_inner()
         },
         rtt_p50_ns,
         rtt_p95_ns,
-        rtt_mean_ns: rtt.mean() as u64,
+        rtt_mean_ns: counters.rtt.mean() as u64,
         rtt_samples,
     })
+}
+
+/// Shared tallies of the differential query phases (leader and fleet).
+struct QueryCounters {
+    mismatches: AtomicU64,
+    precedence_checked: AtomicU64,
+    gc_checked: AtomicU64,
+    windows_checked: AtomicU64,
+    batch_checked: AtomicU64,
+    rtt: AtomicHistogram,
+    rtt_min: AtomicU64,
+}
+
+impl QueryCounters {
+    fn new() -> QueryCounters {
+        QueryCounters {
+            mismatches: AtomicU64::new(0),
+            precedence_checked: AtomicU64::new(0),
+            gc_checked: AtomicU64::new(0),
+            windows_checked: AtomicU64::new(0),
+            batch_checked: AtomicU64::new(0),
+            rtt: AtomicHistogram::new(),
+            rtt_min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// One computation's full differential check against the offline engine:
+/// cold single queries, warm batched re-issues, and a paged window
+/// scroll. `who` names the daemon under test in mismatch reports.
+fn check_computation(
+    client: &mut Client,
+    entry: &SuiteEntry,
+    comp_index: usize,
+    cfg: &LoadConfig,
+    k: &QueryCounters,
+    who: &str,
+) -> io::Result<()> {
+    let _ = comp_index;
+    let trace = &entry.trace;
+    client.hello(&entry.name, trace.num_processes(), cfg.max_cluster_size)?;
+    let offline = ClusterEngine::run(trace, MergeOnFirst::new(cfg.max_cluster_size as usize));
+    let ids: Vec<EventId> = trace.all_event_ids().collect();
+    if ids.is_empty() {
+        return Ok(());
+    }
+    let mismatch = |text: String| {
+        eprintln!("[cts-loadgen] MISMATCH {} on {who}: {text}", entry.name);
+        k.mismatches.fetch_add(1, Ordering::Relaxed);
+    };
+    // Prime strides decorrelate the sampled pairs from trace layout.
+    let mut pairs = Vec::with_capacity(cfg.precedence_queries);
+    let mut singles = Vec::with_capacity(cfg.precedence_queries);
+    for j in 0..cfg.precedence_queries {
+        let e = ids[(j * 7919) % ids.len()];
+        let f = ids[(j * 104_729 + 13) % ids.len()];
+        let q0 = Instant::now();
+        let got = client.precedes(e, f)?;
+        let ns = q0.elapsed().as_nanos() as u64;
+        k.rtt.record(ns);
+        k.rtt_min.fetch_min(ns, Ordering::Relaxed);
+        k.precedence_checked.fetch_add(1, Ordering::Relaxed);
+        let want = offline.precedes(trace, e, f);
+        if got != want {
+            mismatch(format!("precedes({e}, {f}) = {got}, offline says {want}"));
+        }
+        pairs.push((e, f));
+        singles.push(want);
+    }
+    // Warm batch re-issue: the flush barrier (or, on a follower, the
+    // convergence barrier) guarantees every sampled event is delivered,
+    // so `None` (unknown event) is itself a bug.
+    if !pairs.is_empty() {
+        let verdicts = client.precedes_batch(&pairs)?;
+        k.batch_checked
+            .fetch_add(verdicts.len() as u64, Ordering::Relaxed);
+        if verdicts.len() != pairs.len() {
+            mismatch(format!(
+                "precedes_batch returned {} verdicts for {} pairs",
+                verdicts.len(),
+                pairs.len()
+            ));
+        }
+        for (j, v) in verdicts.iter().enumerate() {
+            let (e, f) = pairs[j];
+            if *v != Some(singles[j]) {
+                mismatch(format!(
+                    "warm precedes_batch({e}, {f}) = {v:?}, offline says {}",
+                    singles[j]
+                ));
+            }
+        }
+    }
+    let mut gc_events = Vec::with_capacity(cfg.gc_probes);
+    let mut gc_singles = Vec::with_capacity(cfg.gc_probes);
+    for j in 0..cfg.gc_probes {
+        let e = ids[(j * 15_485_863 + 3) % ids.len()];
+        let got = client.greatest_concurrent(e)?;
+        k.gc_checked.fetch_add(1, Ordering::Relaxed);
+        let want = greatest_concurrent(&mut ClusterBackend(&offline), trace, e);
+        if got != want {
+            mismatch(format!(
+                "greatest_concurrent({e}) = {got:?}, offline says {want:?}"
+            ));
+        }
+        gc_events.push(e);
+        gc_singles.push(want);
+    }
+    if !gc_events.is_empty() {
+        let results = client.gc_batch(&gc_events)?;
+        k.batch_checked
+            .fetch_add(results.len() as u64, Ordering::Relaxed);
+        for (j, r) in results.iter().enumerate() {
+            if r.as_ref() != Some(&gc_singles[j]) {
+                mismatch(format!(
+                    "warm gc_batch({}) = {r:?}, offline says {:?}",
+                    gc_events[j], gc_singles[j]
+                ));
+            }
+        }
+    }
+    // One window scroll against the store: process 0's first events,
+    // paged with a deliberately small page so the continuation cursor
+    // is exercised, with the ids compared against the trace.
+    let p0 = cts_model::ProcessId(0);
+    let upto = (trace.process_len(p0) as u32).min(16) + 1;
+    let (got, pages) = client.window_paged(0, 1, upto, cfg.window_page)?;
+    let expect: Vec<EventId> = trace
+        .process_events(p0)
+        .filter(|id| id.index.0 < upto)
+        .collect();
+    k.windows_checked.fetch_add(1, Ordering::Relaxed);
+    if got != expect {
+        mismatch(format!(
+            "window(P0, 1, {upto}) returned {} ids, expected {}",
+            got.len(),
+            expect.len()
+        ));
+    }
+    if cfg.window_page > 0 && expect.len() as u32 > cfg.window_page && pages < 2 {
+        mismatch(format!(
+            "window(P0, 1, {upto}) with page {} returned {} ids in one page",
+            cfg.window_page,
+            expect.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Block until every follower's *published* snapshot of every suite
+/// computation covers the full trace.
+///
+/// The probe is the last event of each process: delivery respects
+/// per-process order, so a snapshot that answers for every process's
+/// final event necessarily contains the whole computation. Followers
+/// publish the commit point on every idle stream heartbeat, so once the
+/// leader has flushed (the ingest barrier already ran), each replica
+/// converges within a heartbeat of draining its stream.
+pub fn wait_followers_converged(
+    addrs: &[SocketAddr],
+    suite: &[SuiteEntry],
+    cfg: &LoadConfig,
+    timeout: std::time::Duration,
+) -> io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    for (fi, &addr) in addrs.iter().enumerate() {
+        for entry in suite {
+            let trace = &entry.trace;
+            let probe: Vec<(EventId, EventId)> = (0..trace.num_processes())
+                .filter_map(|p| trace.process_events(cts_model::ProcessId(p)).last())
+                .map(|id| (id, id))
+                .collect();
+            if probe.is_empty() {
+                continue;
+            }
+            let mut client = Client::connect(addr)?;
+            client.hello(&entry.name, trace.num_processes(), cfg.max_cluster_size)?;
+            loop {
+                let verdicts = client.precedes_batch(&probe)?;
+                if verdicts.len() == probe.len() && verdicts.iter().all(|v| v.is_some()) {
+                    break;
+                }
+                if Instant::now() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "follower {fi} ({addr}) did not converge on {:?} within {:?}",
+                            entry.name, timeout
+                        ),
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            let _ = client.goodbye();
+        }
+        eprintln!(
+            "[cts-loadgen] follower {fi} ({addr}) converged on {} computations",
+            suite.len()
+        );
+    }
+    Ok(())
+}
+
+/// One computation's warm workload: name, process count, and the
+/// prime-stride pair sample the query phase already primed caches with.
+type WarmJob = (String, u32, Vec<(EventId, EventId)>);
+
+/// `repl/warm_batch_{leader,fleet}` entries: wall time of a fixed warm
+/// batched-query workload (every suite computation's precedence-pair
+/// batch, several passes, drained from a shared queue) driven by one
+/// client thread per follower — first with every thread aimed at the
+/// leader, then with thread *i* aimed at follower *i*.
+///
+/// Identical work, identical client parallelism; only the serving
+/// capacity changes. The `leader/fleet >= R` min_ns ratio is therefore a
+/// host-independent read scale-out claim — `scripts/bench_gate.py
+/// --require-ratio repl/warm_batch_leader:repl/warm_batch_fleet:1.8`
+/// gates on it in the `repl` CI stage (where each daemon is capped at
+/// one query worker, so two replicas really are twice the capacity).
+pub fn fleet_bench_entries(
+    suite: &[SuiteEntry],
+    cfg: &LoadConfig,
+    passes: usize,
+    rounds: usize,
+) -> io::Result<Vec<BenchEntry>> {
+    assert!(
+        !cfg.follower_addrs.is_empty(),
+        "fleet bench requires follower_addrs"
+    );
+    // Pre-sample each computation's warm pairs (the query phase already
+    // primed the caches with exactly these).
+    let work: Vec<WarmJob> = suite
+        .iter()
+        .map(|entry| {
+            let ids: Vec<EventId> = entry.trace.all_event_ids().collect();
+            let pairs = (0..cfg.precedence_queries)
+                .filter(|_| !ids.is_empty())
+                .map(|j| {
+                    (
+                        ids[(j * 7919) % ids.len()],
+                        ids[(j * 104_729 + 13) % ids.len()],
+                    )
+                })
+                .collect();
+            (entry.name.clone(), entry.trace.num_processes(), pairs)
+        })
+        .collect();
+    let jobs: Vec<usize> = (0..work.len())
+        .flat_map(|c| std::iter::repeat_n(c, passes.max(1)))
+        .collect();
+    let items_per_round: u64 = jobs.iter().map(|&c| work[c].2.len() as u64).sum();
+    wait_followers_converged(
+        &cfg.follower_addrs,
+        suite,
+        cfg,
+        std::time::Duration::from_secs(120),
+    )?;
+
+    let leader_targets: Vec<SocketAddr> = vec![cfg.addr; cfg.follower_addrs.len()];
+    let mut out = Vec::new();
+    for (name, targets) in [
+        ("warm_batch_leader", &leader_targets),
+        ("warm_batch_fleet", &cfg.follower_addrs),
+    ] {
+        let mut runs: Vec<u64> = Vec::with_capacity(rounds.max(1));
+        for _ in 0..rounds.max(1) {
+            runs.push(timed_batch_round(
+                targets,
+                &jobs,
+                &work,
+                cfg.max_cluster_size,
+            )?);
+        }
+        runs.sort_unstable();
+        out.push(BenchEntry {
+            group: "repl".into(),
+            name: name.into(),
+            samples: runs.len(),
+            iters_per_sample: items_per_round,
+            min_ns: runs[0] as f64,
+            median_ns: runs[runs.len() / 2] as f64,
+            p95_ns: *runs.last().unwrap() as f64,
+            mean_ns: runs.iter().sum::<u64>() as f64 / runs.len() as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// One timed pass of the fleet bench workload: `targets.len()` client
+/// threads (thread *i* pinned to `targets[i]`) drain a shared queue of
+/// per-computation warm `precedes_batch` jobs. Returns wall nanoseconds
+/// from first job to last.
+fn timed_batch_round(
+    targets: &[SocketAddr],
+    jobs: &[usize],
+    work: &[WarmJob],
+    max_cluster_size: u32,
+) -> io::Result<u64> {
+    let queue = Mutex::new(VecDeque::from(jobs.to_vec()));
+    let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let queue = &queue;
+        let first_error = &first_error;
+        for &addr in targets {
+            s.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        set_error(first_error, e);
+                        return;
+                    }
+                };
+                let mut current: Option<usize> = None;
+                loop {
+                    if lock(first_error).is_some() {
+                        return;
+                    }
+                    let Some(c) = lock(queue).pop_front() else {
+                        break;
+                    };
+                    let (name, num_processes, pairs) = &work[c];
+                    let r = (|| -> io::Result<()> {
+                        if current != Some(c) {
+                            client.hello(name, *num_processes, max_cluster_size)?;
+                            current = Some(c);
+                        }
+                        let verdicts = client.precedes_batch(pairs)?;
+                        if verdicts.len() != pairs.len() || verdicts.iter().any(|v| v.is_none()) {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("{name}: incomplete warm batch answer"),
+                            ));
+                        }
+                        Ok(())
+                    })();
+                    if let Err(e) = r {
+                        set_error(first_error, e);
+                        return;
+                    }
+                }
+                let _ = client.goodbye();
+            });
+        }
+    });
+    let wall = t0.elapsed().as_nanos() as u64;
+    let result = lock(&first_error).take();
+    match result {
+        None => Ok(wall),
+        Some(e) => Err(e),
+    }
+}
+
+/// Start `n` in-process follower daemons replicating `leader`, each with
+/// its own data directory under `root` (so a restarted follower catches
+/// up from its own WAL tail). Used by `cts-loadgen --followers N`.
+pub fn spawn_followers(
+    leader: SocketAddr,
+    n: usize,
+    root: &std::path::Path,
+) -> io::Result<Vec<crate::server::Daemon>> {
+    (0..n)
+        .map(|i| {
+            let cfg = crate::server::DaemonConfig {
+                data_dir: Some(root.join(format!("follower-{i}"))),
+                follow: Some(leader),
+                ..crate::server::DaemonConfig::default()
+            };
+            crate::server::Daemon::start(cfg)
+        })
+        .collect()
 }
 
 /// Crash-replay scenario: stream a deterministic prefix of the suite into

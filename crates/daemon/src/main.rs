@@ -33,7 +33,8 @@ fn usage() -> ! {
          \x20                 [--net-threads] [--pollers N] [--max-conns N]\n\
          \x20                 [--queue-capacity N] [--epoch-every N]\n\
          \x20                 [--data-dir PATH] [--sync-window-ms N]\n\
-         \x20                 [--checkpoint-every N]"
+         \x20                 [--checkpoint-every N] [--query-workers N]\n\
+         \x20                 [--follow HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -78,6 +79,10 @@ fn main() {
             "--checkpoint-every" => {
                 config.checkpoint_every = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--query-workers" => {
+                config.query_workers = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--follow" => config.follow = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

@@ -22,6 +22,12 @@ pub struct Metrics {
     /// WAL durability barriers issued (group-commit windows closed). Not on
     /// the wire — a process-local observable for the group-commit tests.
     pub wal_syncs: AtomicU64,
+    /// Replication, follower side: the leader's commit watermark as of the
+    /// last `StreamBatch`, events applied from the stream, and how many
+    /// times the subscription was re-established.
+    pub repl_commit: AtomicU64,
+    pub repl_applied: AtomicU64,
+    pub repl_resubscribes: AtomicU64,
     /// Per-event ingest-apply latency (reorder + engine + store), ns.
     pub ingest_ns: AtomicHistogram,
     /// Per-query service latency, ns (all query types).
@@ -67,6 +73,9 @@ impl Metrics {
             gc_p95_ns,
             window_p50_ns,
             window_p95_ns,
+            repl_commit: self.repl_commit.load(Ordering::Relaxed),
+            repl_applied: self.repl_applied.load(Ordering::Relaxed),
+            repl_resubscribes: self.repl_resubscribes.load(Ordering::Relaxed),
         }
     }
 }
@@ -84,6 +93,9 @@ mod tests {
         m.ingest_ns.record(1_000);
         m.query_ns.record(2_000);
         m.precedes_ns.record(500);
+        m.repl_commit.store(40, Ordering::Relaxed);
+        m.repl_applied.store(38, Ordering::Relaxed);
+        m.repl_resubscribes.store(1, Ordering::Relaxed);
         let cache = CacheStats {
             hits: 7,
             misses: 3,
@@ -99,5 +111,8 @@ mod tests {
         assert_eq!(s.cache_hits, 7);
         assert_eq!(s.cache_misses, 3);
         assert_eq!(s.cache_evictions, 1);
+        assert_eq!(s.repl_commit, 40);
+        assert_eq!(s.repl_applied, 38);
+        assert_eq!(s.repl_resubscribes, 1);
     }
 }

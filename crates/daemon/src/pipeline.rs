@@ -144,6 +144,35 @@ pub enum FlushError {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Closed;
 
+/// One committed (durably synced) run of delivered events, broadcast to
+/// replication subscribers. `commit` is the durable watermark as of the
+/// sync that produced the batch — everything at offset <= `commit` survives
+/// a crash of this daemon.
+pub(crate) struct ReplBatch {
+    /// 1-based delivery offset of `events[0]`.
+    pub(crate) first_offset: u64,
+    pub(crate) commit: u64,
+    pub(crate) events: Vec<Event>,
+}
+
+/// Per-subscriber channel bound, in batches. A subscriber that falls this
+/// far behind the live stream (a stalled follower connection) is dropped by
+/// the ingest worker; its streamer notices the closed channel, ends the
+/// connection, and the follower resubscribes from its durable position.
+pub(crate) const REPL_SUBSCRIBER_QUEUE: usize = 1024;
+
+/// The replication fan-out point of one computation: live subscriber
+/// channels fed by the ingest worker at every successful WAL sync, plus the
+/// durable watermark catch-up reads are capped at.
+#[derive(Default)]
+pub(crate) struct ReplHub {
+    pub(crate) subscribers: Mutex<Vec<SyncSender<Arc<ReplBatch>>>>,
+    /// Events covered by the last successful WAL sync. Monotone; store
+    /// ordering is Release so a subscriber that reads the watermark sees
+    /// the on-disk bytes it promises.
+    pub(crate) durable: std::sync::atomic::AtomicU64,
+}
+
 /// State shared between the ingest worker and query threads. The worker
 /// holds only this (not the [`Computation`]), so dropping every
 /// `Arc<Computation>` drops the master sender and the worker drains and
@@ -163,6 +192,8 @@ pub(crate) struct CompShared {
     /// Query memo shared by every connection of this computation, carried
     /// across epochs (prefix-monotone snapshots keep old entries valid).
     pub(crate) query_cache: Arc<SharedQueryCache>,
+    /// Replication fan-out: subscriber channels + durable watermark.
+    pub(crate) repl: ReplHub,
 }
 
 /// How a computation's ingest runs: one worker thread, or the sharded
@@ -180,6 +211,9 @@ pub struct Computation {
     pub name: String,
     pub num_processes: u32,
     pub max_cluster_size: u32,
+    /// This computation's data directory when durable (where replication
+    /// catch-up reads checkpoints and WAL segments from).
+    dur_dir: Option<PathBuf>,
     mode: EngineMode,
     shared: Arc<CompShared>,
 }
@@ -275,6 +309,7 @@ impl Computation {
                 0 => DEFAULT_QUERY_CACHE_CAPACITY,
                 n => n,
             })),
+            repl: ReplHub::default(),
         })
     }
 
@@ -288,6 +323,7 @@ impl Computation {
             name: config.name.clone(),
             num_processes: config.num_processes,
             max_cluster_size: config.max_cluster_size,
+            dur_dir: config.durability.as_ref().map(|d| d.dir.clone()),
             mode: EngineMode::Sharded(Arc::clone(&rt)),
             shared,
         });
@@ -297,10 +333,19 @@ impl Computation {
     fn spawn_inner(config: ComputationConfig, replay: Vec<Event>) -> Arc<Computation> {
         let (tx, rx) = sync_channel(config.queue_capacity.max(1));
         let shared = Self::new_shared(&config, None);
+        // The recovered prefix is on disk already (that is where it came
+        // from): publish its length as the durable watermark *before* the
+        // worker runs, so a subscription racing recovery cannot observe 0
+        // and skip the catch-up read.
+        shared
+            .repl
+            .durable
+            .store(replay.len() as u64, Ordering::Release);
         let worker_shared = Arc::clone(&shared);
         let name = config.name.clone();
         let num_processes = config.num_processes;
         let max_cluster_size = config.max_cluster_size;
+        let dur_dir = config.durability.as_ref().map(|d| d.dir.clone());
         let handle = std::thread::Builder::new()
             .name(format!("ingest-{name}"))
             .spawn(move || worker_loop(&worker_shared, rx, config, replay))
@@ -309,6 +354,7 @@ impl Computation {
             name,
             num_processes,
             max_cluster_size,
+            dur_dir,
             mode: EngineMode::Single {
                 sender: Mutex::new(Some(tx)),
                 worker: Mutex::new(Some(handle)),
@@ -401,6 +447,24 @@ impl Computation {
     /// The query cache shared by this computation's connections.
     pub fn query_cache(&self) -> &Arc<SharedQueryCache> {
         &self.shared.query_cache
+    }
+
+    /// Events covered by the last successful WAL sync (the replication
+    /// commit watermark). 0 for non-durable computations.
+    pub fn durable_offset(&self) -> u64 {
+        self.shared.repl.durable.load(Ordering::Acquire)
+    }
+
+    /// Register a live replication subscriber: every batch the ingest
+    /// worker syncs from now on is offered to `tx`. A subscriber whose
+    /// channel fills up or disconnects is silently dropped.
+    pub(crate) fn add_repl_subscriber(&self, tx: SyncSender<Arc<ReplBatch>>) {
+        lock(&self.shared.repl.subscribers).push(tx);
+    }
+
+    /// The data directory this computation persists to, if durable.
+    pub fn durability_dir(&self) -> Option<&std::path::Path> {
+        self.dur_dir.as_deref()
     }
 
     /// The shared event store (for window queries). Single mode only — the
@@ -667,6 +731,28 @@ fn worker_loop(
     });
     let mut fresh: Vec<Event> = Vec::new();
 
+    // Events appended to the WAL but not yet covered by a durability
+    // barrier. The moment a sync succeeds they are *committed*: the
+    // watermark advances and the run is broadcast to replication
+    // subscribers (only synced events are ever streamed, so a follower
+    // never applies state a leader crash could lose).
+    let mut pending_first: u64 = 0;
+    let mut pending: Vec<Event> = Vec::new();
+    let broadcast = |pending_first: &mut u64, pending: &mut Vec<Event>, durable: u64| {
+        shared.repl.durable.store(durable, Ordering::Release);
+        if pending.is_empty() {
+            return;
+        }
+        let batch = Arc::new(ReplBatch {
+            first_offset: *pending_first,
+            commit: durable,
+            events: std::mem::take(pending),
+        });
+        // A full or closed channel drops the subscriber: its streamer sees
+        // the disconnect and the follower resubscribes from disk.
+        lock(&shared.repl.subscribers).retain(|tx| tx.try_send(Arc::clone(&batch)).is_ok());
+    };
+
     for cmd in rx.iter() {
         if shared.killed.load(Ordering::Acquire) {
             return; // crash-stop: no final sync, checkpoint, or publish
@@ -725,6 +811,18 @@ fn worker_loop(
                         });
                         match r {
                             Ok(()) => {
+                                if pending.is_empty() {
+                                    pending_first = log.len() as u64 - fresh.len() as u64 + 1;
+                                }
+                                pending.extend_from_slice(&fresh);
+                                if config
+                                    .durability
+                                    .as_ref()
+                                    .is_some_and(|d| d.sync_window.is_zero())
+                                {
+                                    // The inline sync above committed them.
+                                    broadcast(&mut pending_first, &mut pending, log.len() as u64);
+                                }
                                 let s = w.syncs();
                                 shared.metrics.wal_syncs.fetch_add(
                                     s.saturating_sub(wal_syncs_reported),
@@ -777,35 +875,38 @@ fn worker_loop(
                         && delivered - last_checkpoint >= dur.checkpoint_every
                     {
                         match wal.as_mut().expect("checked above").sync() {
-                            Ok(()) => match checkpoint::write_checkpoint(&dur.dir, m, &log) {
-                                Ok(()) => {
-                                    last_checkpoint = delivered;
-                                    let old = wal.take().expect("checked above");
-                                    if let Some(b) = fault_budget.as_mut() {
-                                        *b = b.saturating_sub(old.bytes_written());
-                                    }
-                                    // Fold the retiring writer's barriers in
-                                    // and restart the per-writer baseline.
-                                    shared.metrics.wal_syncs.fetch_add(
-                                        old.syncs().saturating_sub(wal_syncs_reported),
-                                        Ordering::Relaxed,
-                                    );
-                                    wal_syncs_reported = 0;
-                                    drop(old);
-                                    match open_segment(dur, delivered, &mut fault_budget) {
-                                        Ok(w) => wal = Some(w),
-                                        Err(e) => eprintln!(
-                                            "[cts-daemon] {}: WAL rotation failed, \
+                            Ok(()) => {
+                                broadcast(&mut pending_first, &mut pending, delivered);
+                                match checkpoint::write_checkpoint(&dur.dir, m, &log) {
+                                    Ok(()) => {
+                                        last_checkpoint = delivered;
+                                        let old = wal.take().expect("checked above");
+                                        if let Some(b) = fault_budget.as_mut() {
+                                            *b = b.saturating_sub(old.bytes_written());
+                                        }
+                                        // Fold the retiring writer's barriers in
+                                        // and restart the per-writer baseline.
+                                        shared.metrics.wal_syncs.fetch_add(
+                                            old.syncs().saturating_sub(wal_syncs_reported),
+                                            Ordering::Relaxed,
+                                        );
+                                        wal_syncs_reported = 0;
+                                        drop(old);
+                                        match open_segment(dur, delivered, &mut fault_budget) {
+                                            Ok(w) => wal = Some(w),
+                                            Err(e) => eprintln!(
+                                                "[cts-daemon] {}: WAL rotation failed, \
                                              durability degraded: {e}",
-                                            config.name
-                                        ),
+                                                config.name
+                                            ),
+                                        }
                                     }
+                                    Err(e) => eprintln!(
+                                        "[cts-daemon] {}: checkpoint failed: {e}",
+                                        config.name
+                                    ),
                                 }
-                                Err(e) => eprintln!(
-                                    "[cts-daemon] {}: checkpoint failed: {e}",
-                                    config.name
-                                ),
-                            },
+                            }
                             Err(e) => {
                                 eprintln!(
                                     "[cts-daemon] {}: WAL sync failed, durability \
@@ -824,6 +925,7 @@ fn worker_loop(
                 if let Some(w) = wal.as_mut() {
                     match w.sync() {
                         Ok(()) => {
+                            broadcast(&mut pending_first, &mut pending, log.len() as u64);
                             let s = w.syncs();
                             shared
                                 .metrics
@@ -848,6 +950,7 @@ fn worker_loop(
                 if let Some(w) = wal.as_mut() {
                     match w.sync() {
                         Ok(()) => {
+                            broadcast(&mut pending_first, &mut pending, log.len() as u64);
                             let s = w.syncs();
                             shared
                                 .metrics
@@ -875,9 +978,12 @@ fn worker_loop(
     // recovers instantly.
     publish(&engine, &log, &mut last_published);
     if let Some(w) = wal.as_mut() {
-        if let Err(e) = w.sync() {
-            eprintln!("[cts-daemon] {}: final WAL sync failed: {e}", config.name);
-            wal = None;
+        match w.sync() {
+            Ok(()) => broadcast(&mut pending_first, &mut pending, log.len() as u64),
+            Err(e) => {
+                eprintln!("[cts-daemon] {}: final WAL sync failed: {e}", config.name);
+                wal = None;
+            }
         }
     }
     if let (Some(dur), Some(m)) = (&config.durability, &meta) {

@@ -27,7 +27,8 @@
 use crate::checkpoint;
 use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushError, Snapshot};
 use crate::query_pool::QueryPool;
-use crate::wire::{self, code, recv_frame, write_msg, Msg, Recv};
+use crate::replication;
+use crate::wire::{self, code, recv_frame, write_msg, CompInfo, Msg, Recv};
 use cts_model::{EventId, ProcessId};
 use cts_store::queries::{greatest_concurrent, PrecedenceBackend};
 use cts_store::{CachedClusterBackend, SharedQueryCache};
@@ -104,6 +105,10 @@ pub struct DaemonConfig {
     /// Worker threads for batched queries; `0` picks a host-sized default
     /// ([`QueryPool::default_size`]), `1` evaluates batches inline.
     pub query_workers: usize,
+    /// Follower mode: replicate this leader's computations and serve reads
+    /// from them. Writes (`Events`, `Flush`) over the wire are refused with
+    /// [`code::READ_ONLY`]; see [`crate::replication`].
+    pub follow: Option<SocketAddr>,
 }
 
 impl Default for DaemonConfig {
@@ -124,6 +129,7 @@ impl Default for DaemonConfig {
             shards: 1,
             query_cache_capacity: 0,
             query_workers: 0,
+            follow: None,
         }
     }
 }
@@ -153,6 +159,13 @@ pub(crate) struct DaemonShared {
     /// Test hook: force the connection-spawn path to fail as if the OS
     /// were out of threads, exercising the OVERLOADED degradation.
     fail_spawns: AtomicBool,
+    /// This leader's incarnation number (persisted in `data_dir/
+    /// leader.epoch`, incremented every start); the high half of every
+    /// granted replication lease. `1` for in-memory daemons (which refuse
+    /// `Subscribe` anyway).
+    pub(crate) leader_epoch: u64,
+    /// Low-half counter for minting replication leases.
+    pub(crate) lease_counter: AtomicU64,
     /// Epoll backend: one wake eventfd per poller, so shutdown (and flush
     /// completions) can interrupt `epoll_wait`.
     #[cfg(target_os = "linux")]
@@ -171,6 +184,9 @@ pub struct Daemon {
     /// Thread backend with durability: the group-commit clock (the epoll
     /// backend drives the same windows from a timerfd instead).
     wal_clock: Option<std::thread::JoinHandle<()>>,
+    /// `--follow` mode: the replication runtime (discovery + per-computation
+    /// stream workers).
+    follower_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -198,6 +214,13 @@ impl Daemon {
             0 => QueryPool::default_size(),
             n => n,
         });
+        // Mint this start's leader incarnation before serving: leases
+        // granted by a previous incarnation must be recognizably stale from
+        // the very first Subscribe.
+        let leader_epoch = match &config.data_dir {
+            Some(root) => replication::next_leader_epoch(root),
+            None => 1,
+        };
         let shared = Arc::new(DaemonShared {
             config,
             addr,
@@ -213,6 +236,8 @@ impl Daemon {
             conns_accepted: AtomicU64::new(0),
             conns_refused: AtomicU64::new(0),
             fail_spawns: AtomicBool::new(false),
+            leader_epoch,
+            lease_counter: AtomicU64::new(0),
             #[cfg(target_os = "linux")]
             net_wakes: Mutex::new(Vec::new()),
         });
@@ -275,12 +300,22 @@ impl Daemon {
                 );
             }
         }
+        // Follower mode: replicate the leader's computations in the
+        // background (the runtime waits out our own recovery first).
+        let follower_thread = shared.config.follow.map(|leader| {
+            let f_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cts-daemon-follow".into())
+                .spawn(move || replication::follower_runtime(f_shared, leader))
+                .expect("spawn follower runtime")
+        });
         Ok(Daemon {
             shared,
             accept_thread,
             recovery_thread,
             poller_threads,
             wal_clock,
+            follower_thread,
         })
     }
 
@@ -348,6 +383,9 @@ impl Daemon {
             let _ = h.join();
         }
         if let Some(h) = self.wal_clock.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.follower_thread.take() {
             let _ = h.join();
         }
         for h in self.poller_threads.drain(..) {
@@ -525,6 +563,9 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
     stream.set_read_timeout(Some(shared.config.poll_interval))?;
     stream.set_nodelay(true)?;
     let mut session: Option<Arc<Computation>> = None;
+    // Message-set level this connection negotiated via ProtoHello; level-2
+    // verbs (ListComputations, Subscribe) are refused below it.
+    let mut negotiated: u16 = 1;
 
     loop {
         if shared.shutting_down() {
@@ -547,6 +588,10 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
             Err(e) => {
                 let code = match e {
                     wire::WireError::BadVersion(_) => code::BAD_VERSION,
+                    // An unknown verb from a newer message set is not a
+                    // framing error: answer typed UNSUPPORTED and keep the
+                    // connection so the peer can downgrade gracefully.
+                    wire::WireError::BadTag(_) => code::UNSUPPORTED,
                     _ => code::MALFORMED,
                 };
                 write_msg(
@@ -605,6 +650,10 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
                 }
             }
             Msg::Events(events) => {
+                if shared.config.follow.is_some() {
+                    write_msg(&mut stream, &read_only())?;
+                    continue;
+                }
                 let Some(comp) = session.as_ref() else {
                     write_msg(&mut stream, &no_session())?;
                     continue;
@@ -637,6 +686,10 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
                 }
             }
             Msg::Flush { expected_total } => {
+                if shared.config.follow.is_some() {
+                    write_msg(&mut stream, &read_only())?;
+                    continue;
+                }
                 let Some(comp) = session.as_ref() else {
                     write_msg(&mut stream, &no_session())?;
                     continue;
@@ -676,6 +729,47 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
                 let stats = comp.metrics().snapshot(comp.query_cache().stats());
                 write_msg(&mut stream, &Msg::StatsResult(stats))?;
             }
+            Msg::ProtoHello {
+                protocol_max,
+                wal_max,
+            } => {
+                negotiated = protocol_max.min(wire::PROTOCOL);
+                write_msg(
+                    &mut stream,
+                    &Msg::ProtoHelloAck {
+                        protocol: negotiated,
+                        wal: wal_max.min(wire::WAL_FORMAT),
+                    },
+                )?;
+            }
+            Msg::ListComputations => {
+                let reply = if negotiated < 2 {
+                    needs_protocol_2("ListComputations")
+                } else {
+                    Msg::ComputationList {
+                        comps: list_computations(shared),
+                    }
+                };
+                write_msg(&mut stream, &reply)?;
+            }
+            Msg::Subscribe {
+                computation,
+                from_offset,
+                prev_lease,
+            } => match replication::check_subscribe(
+                shared,
+                negotiated,
+                &computation,
+                from_offset,
+                prev_lease,
+            ) {
+                Ok(grant) => {
+                    write_msg(&mut stream, &grant.ack(shared))?;
+                    // The connection turns into a push stream from here on.
+                    return replication::serve_subscription(stream, shared, &grant);
+                }
+                Err(refusal) => write_msg(&mut stream, &refusal)?,
+            },
             Msg::Shutdown => {
                 write_msg(&mut stream, &Msg::ShutdownAck)?;
                 shared.request_shutdown();
@@ -701,6 +795,38 @@ pub(crate) fn no_session() -> Msg {
         code: code::NO_SESSION,
         message: "no session: send Hello first".into(),
     }
+}
+
+/// The follower-mode refusal for write verbs.
+pub(crate) fn read_only() -> Msg {
+    Msg::Error {
+        code: code::READ_ONLY,
+        message: "this daemon is a read-only follower; write to the leader".into(),
+    }
+}
+
+/// Refusal for level-2 verbs on a connection still at level 1.
+pub(crate) fn needs_protocol_2(verb: &str) -> Msg {
+    Msg::Error {
+        code: code::UNSUPPORTED,
+        message: format!("{verb} requires ProtoHello negotiation to protocol level >= 2"),
+    }
+}
+
+/// The identity rows for [`Msg::ListComputations`], sorted by name so
+/// discovery sees a deterministic listing.
+pub(crate) fn list_computations(shared: &DaemonShared) -> Vec<CompInfo> {
+    let mut comps: Vec<CompInfo> = lock(&shared.computations)
+        .iter()
+        .map(|(name, c)| CompInfo {
+            name: name.clone(),
+            num_processes: c.num_processes,
+            max_cluster_size: c.max_cluster_size,
+            delivered: c.stored_len(),
+        })
+        .collect();
+    comps.sort_by(|a, b| a.name.cmp(&b.name));
+    comps
 }
 
 /// Answer a query with latency/served metrics recorded — the one query

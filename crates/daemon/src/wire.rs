@@ -8,15 +8,32 @@
 //! with the write-ahead log ([`crate::wal`]) via [`encode_event_block`] /
 //! [`decode_event_block`], so WAL records and `Events` frames cannot drift.
 //!
-//! Version negotiation is a single byte: a peer that receives a frame with an
-//! unknown version answers [`Msg::Error`] with [`code::BAD_VERSION`] and may
-//! close. There is exactly one version today, [`VERSION`] = 1.
+//! Version negotiation is two-layered. The *frame* version is a single byte:
+//! a peer that receives a frame with an unknown version answers [`Msg::Error`]
+//! with [`code::BAD_VERSION`] and may close. There is exactly one frame
+//! version today, [`VERSION`] = 1. Above it sits the *message set* level,
+//! negotiated by [`Msg::ProtoHello`]: the client states the highest message
+//! set and WAL record format it speaks, the server answers the minimum of
+//! each side's maximum, and messages introduced after level 1 (currently
+//! [`Msg::Subscribe`] and its replies) are refused with [`code::UNSUPPORTED`]
+//! on connections that never negotiated a level that carries them. An
+//! entirely unknown message-type byte likewise answers `UNSUPPORTED` without
+//! dropping the connection, so old daemons degrade politely under new peers.
 
 use cts_model::{Event, EventId, EventIndex, EventKind, ProcessId};
 use std::io::{self, Read, Write};
 
 /// Protocol version carried as the first payload byte of every frame.
 pub const VERSION: u8 = 1;
+
+/// Highest message-set level this build speaks, as negotiated by
+/// [`Msg::ProtoHello`]. Level 1 is the implicit pre-handshake set; level 2
+/// adds `ListComputations` / `Subscribe` / `StreamBatch` (replication).
+pub const PROTOCOL: u16 = 2;
+
+/// Highest WAL record format this build can stream and replay (the `CTSWAL2`
+/// delta encoding; v1 fixed-width segments are still readable).
+pub const WAL_FORMAT: u16 = 2;
 
 /// Upper bound on a frame's payload, to bound a malicious length prefix.
 pub const MAX_FRAME: u32 = 1 << 20;
@@ -43,6 +60,15 @@ pub mod code {
     /// The daemon is out of connection capacity (thread/fd exhaustion);
     /// the connection is refused but the daemon keeps serving others.
     pub const OVERLOADED: u16 = 9;
+    /// This daemon is a replication follower: writes (`Events`, `Flush`)
+    /// are refused — send them to the leader.
+    pub const READ_ONLY: u16 = 10;
+    /// The message is not in the negotiated message set (or the type byte
+    /// is unknown entirely). The connection stays open.
+    pub const UNSUPPORTED: u16 = 11;
+    /// A `Subscribe` presented a lease minted by a previous leader
+    /// incarnation; the follower must resubscribe from scratch.
+    pub const LEASE_EXPIRED: u16 = 12;
 }
 
 /// Aggregate counters a [`Msg::StatsResult`] reports.
@@ -80,6 +106,23 @@ pub struct StatsSnapshot {
     pub gc_p95_ns: u64,
     pub window_p50_ns: u64,
     pub window_p95_ns: u64,
+    /// Replication (follower side): leader-acked commit watermark of this
+    /// computation's subscription, events applied from the stream, and
+    /// stream resubscriptions (lag = `repl_commit - repl_applied`).
+    pub repl_commit: u64,
+    pub repl_applied: u64,
+    pub repl_resubscribes: u64,
+}
+
+/// One computation's identity row in a [`Msg::ComputationList`] reply.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompInfo {
+    pub name: String,
+    pub num_processes: u32,
+    pub max_cluster_size: u32,
+    /// Events delivered so far (follower discovery polls this to decide
+    /// when it has caught up).
+    pub delivered: u64,
 }
 
 /// A protocol message (either direction).
@@ -131,6 +174,25 @@ pub enum Msg {
     Shutdown,
     /// Close this session.
     Goodbye,
+    /// Negotiate the message-set and WAL-format levels: the client states
+    /// the highest of each it speaks; the server answers the minimum of the
+    /// two sides' maxima. Messages above level 1 require this handshake.
+    ProtoHello {
+        protocol_max: u16,
+        wal_max: u16,
+    },
+    /// Enumerate the daemon's computations (level 2; follower discovery).
+    ListComputations,
+    /// Subscribe to a computation's committed WAL record stream starting at
+    /// delivery offset `from_offset` (exclusive: the first streamed event is
+    /// `from_offset + 1`). `prev_lease` is 0 on a first subscription, else
+    /// the lease from the previous [`Msg::SubscribeAck`] — a lease minted by
+    /// an older leader incarnation is refused with [`code::LEASE_EXPIRED`].
+    Subscribe {
+        computation: String,
+        from_offset: u64,
+        prev_lease: u64,
+    },
 
     // ---- server → client ----
     HelloAck {
@@ -170,6 +232,37 @@ pub enum Msg {
     },
     StatsResult(StatsSnapshot),
     ShutdownAck,
+    /// Reply to [`Msg::ProtoHello`]: the negotiated levels this connection
+    /// will use (min of each side's maximum).
+    ProtoHelloAck {
+        protocol: u16,
+        wal: u16,
+    },
+    /// Reply to [`Msg::ListComputations`].
+    ComputationList {
+        comps: Vec<CompInfo>,
+    },
+    /// Reply to [`Msg::Subscribe`]: the granted lease (high 32 bits are the
+    /// leader's incarnation number), the computation's parameters, and the
+    /// offset the stream actually starts from (== the requested
+    /// `from_offset`, capped at the leader's durable watermark).
+    SubscribeAck {
+        lease: u64,
+        leader_epoch: u64,
+        num_processes: u32,
+        max_cluster_size: u32,
+        start_offset: u64,
+    },
+    /// One pushed batch of committed (durably synced) WAL records. `commit`
+    /// is the leader's durable watermark as of the push — every event at
+    /// offset <= `commit` survives a leader crash, so the follower may
+    /// publish a snapshot through it.
+    StreamBatch {
+        lease: u64,
+        first_offset: u64,
+        commit: u64,
+        events: Vec<Event>,
+    },
     Error {
         code: u16,
         message: String,
@@ -190,6 +283,9 @@ mod tag {
     pub const GOODBYE: u8 = 0x09;
     pub const QUERY_PRECEDES_BATCH: u8 = 0x0A;
     pub const QUERY_GC_BATCH: u8 = 0x0B;
+    pub const PROTO_HELLO: u8 = 0x0C;
+    pub const LIST_COMPS: u8 = 0x0D;
+    pub const SUBSCRIBE: u8 = 0x0E;
     pub const HELLO_ACK: u8 = 0x81;
     pub const FLUSH_ACK: u8 = 0x83;
     pub const PRECEDES_RESULT: u8 = 0x84;
@@ -199,6 +295,10 @@ mod tag {
     pub const SHUTDOWN_ACK: u8 = 0x88;
     pub const PRECEDES_BATCH_RESULT: u8 = 0x89;
     pub const GC_BATCH_RESULT: u8 = 0x8A;
+    pub const PROTO_HELLO_ACK: u8 = 0x8B;
+    pub const COMP_LIST: u8 = 0x8C;
+    pub const SUBSCRIBE_ACK: u8 = 0x8D;
+    pub const STREAM_BATCH: u8 = 0x8E;
     pub const ERROR: u8 = 0x7F;
 }
 
@@ -440,6 +540,25 @@ impl Msg {
             Msg::Stats => out.push(tag::STATS),
             Msg::Shutdown => out.push(tag::SHUTDOWN),
             Msg::Goodbye => out.push(tag::GOODBYE),
+            Msg::ProtoHello {
+                protocol_max,
+                wal_max,
+            } => {
+                out.push(tag::PROTO_HELLO);
+                put_u16(&mut out, *protocol_max);
+                put_u16(&mut out, *wal_max);
+            }
+            Msg::ListComputations => out.push(tag::LIST_COMPS),
+            Msg::Subscribe {
+                computation,
+                from_offset,
+                prev_lease,
+            } => {
+                out.push(tag::SUBSCRIBE);
+                put_str(&mut out, computation);
+                put_u64(&mut out, *from_offset);
+                put_u64(&mut out, *prev_lease);
+            }
             Msg::HelloAck { session, existing } => {
                 out.push(tag::HELLO_ACK);
                 put_u64(&mut out, *session);
@@ -535,11 +654,55 @@ impl Msg {
                     s.gc_p95_ns,
                     s.window_p50_ns,
                     s.window_p95_ns,
+                    s.repl_commit,
+                    s.repl_applied,
+                    s.repl_resubscribes,
                 ] {
                     put_u64(&mut out, v);
                 }
             }
             Msg::ShutdownAck => out.push(tag::SHUTDOWN_ACK),
+            Msg::ProtoHelloAck { protocol, wal } => {
+                out.push(tag::PROTO_HELLO_ACK);
+                put_u16(&mut out, *protocol);
+                put_u16(&mut out, *wal);
+            }
+            Msg::ComputationList { comps } => {
+                out.push(tag::COMP_LIST);
+                put_u32(&mut out, comps.len() as u32);
+                for c in comps {
+                    put_str(&mut out, &c.name);
+                    put_u32(&mut out, c.num_processes);
+                    put_u32(&mut out, c.max_cluster_size);
+                    put_u64(&mut out, c.delivered);
+                }
+            }
+            Msg::SubscribeAck {
+                lease,
+                leader_epoch,
+                num_processes,
+                max_cluster_size,
+                start_offset,
+            } => {
+                out.push(tag::SUBSCRIBE_ACK);
+                put_u64(&mut out, *lease);
+                put_u64(&mut out, *leader_epoch);
+                put_u32(&mut out, *num_processes);
+                put_u32(&mut out, *max_cluster_size);
+                put_u64(&mut out, *start_offset);
+            }
+            Msg::StreamBatch {
+                lease,
+                first_offset,
+                commit,
+                events,
+            } => {
+                out.push(tag::STREAM_BATCH);
+                put_u64(&mut out, *lease);
+                put_u64(&mut out, *first_offset);
+                put_u64(&mut out, *commit);
+                encode_event_block(&mut out, events);
+            }
             Msg::Error { code, message } => {
                 out.push(tag::ERROR);
                 put_u16(&mut out, *code);
@@ -606,6 +769,16 @@ impl Msg {
             tag::STATS => Msg::Stats,
             tag::SHUTDOWN => Msg::Shutdown,
             tag::GOODBYE => Msg::Goodbye,
+            tag::PROTO_HELLO => Msg::ProtoHello {
+                protocol_max: c.u16()?,
+                wal_max: c.u16()?,
+            },
+            tag::LIST_COMPS => Msg::ListComputations,
+            tag::SUBSCRIBE => Msg::Subscribe {
+                computation: c.string()?,
+                from_offset: c.u64()?,
+                prev_lease: c.u64()?,
+            },
             tag::HELLO_ACK => Msg::HelloAck {
                 session: c.u64()?,
                 existing: c.u8()? != 0,
@@ -716,8 +889,46 @@ impl Msg {
                 gc_p95_ns: c.u64()?,
                 window_p50_ns: c.u64()?,
                 window_p95_ns: c.u64()?,
+                repl_commit: c.u64()?,
+                repl_applied: c.u64()?,
+                repl_resubscribes: c.u64()?,
             }),
             tag::SHUTDOWN_ACK => Msg::ShutdownAck,
+            tag::PROTO_HELLO_ACK => Msg::ProtoHelloAck {
+                protocol: c.u16()?,
+                wal: c.u16()?,
+            },
+            tag::COMP_LIST => {
+                let n = c.u32()? as usize;
+                // Each row costs >= 18 bytes (2-byte name length + 16 of
+                // integers), bounding a corrupt count before allocation.
+                if n > payload.len() / 18 + 1 {
+                    return Err(WireError::Malformed("computation count exceeds body"));
+                }
+                let mut comps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    comps.push(CompInfo {
+                        name: c.string()?,
+                        num_processes: c.u32()?,
+                        max_cluster_size: c.u32()?,
+                        delivered: c.u64()?,
+                    });
+                }
+                Msg::ComputationList { comps }
+            }
+            tag::SUBSCRIBE_ACK => Msg::SubscribeAck {
+                lease: c.u64()?,
+                leader_epoch: c.u64()?,
+                num_processes: c.u32()?,
+                max_cluster_size: c.u32()?,
+                start_offset: c.u64()?,
+            },
+            tag::STREAM_BATCH => Msg::StreamBatch {
+                lease: c.u64()?,
+                first_offset: c.u64()?,
+                commit: c.u64()?,
+                events: c.event_block(payload.len())?,
+            },
             tag::ERROR => Msg::Error {
                 code: c.u16()?,
                 message: c.string()?,
@@ -937,6 +1148,16 @@ mod tests {
             Msg::Stats,
             Msg::Shutdown,
             Msg::Goodbye,
+            Msg::ProtoHello {
+                protocol_max: PROTOCOL,
+                wal_max: WAL_FORMAT,
+            },
+            Msg::ListComputations,
+            Msg::Subscribe {
+                computation: "pvm/stencil".into(),
+                from_offset: 4096,
+                prev_lease: (3 << 32) | 7,
+            },
             Msg::HelloAck {
                 session: 42,
                 existing: true,
@@ -986,8 +1207,47 @@ mod tests {
                 gc_p95_ns: 18,
                 window_p50_ns: 19,
                 window_p95_ns: 20,
+                repl_commit: 21,
+                repl_applied: 22,
+                repl_resubscribes: 23,
             }),
             Msg::ShutdownAck,
+            Msg::ProtoHelloAck {
+                protocol: PROTOCOL,
+                wal: WAL_FORMAT,
+            },
+            Msg::ComputationList {
+                comps: vec![
+                    CompInfo {
+                        name: "pvm/stencil".into(),
+                        num_processes: 64,
+                        max_cluster_size: 13,
+                        delivered: 338_320,
+                    },
+                    CompInfo {
+                        name: "web/shard".into(),
+                        num_processes: 288,
+                        max_cluster_size: 8,
+                        delivered: 0,
+                    },
+                ],
+            },
+            Msg::SubscribeAck {
+                lease: (5 << 32) | 1,
+                leader_epoch: 5,
+                num_processes: 64,
+                max_cluster_size: 13,
+                start_offset: 4096,
+            },
+            Msg::StreamBatch {
+                lease: (5 << 32) | 1,
+                first_offset: 4097,
+                commit: 4100,
+                events: vec![
+                    Event::new(id(0, 1), EventKind::Internal),
+                    Event::new(id(0, 2), EventKind::Send { to: ProcessId(1) }),
+                ],
+            },
             Msg::Error {
                 code: code::UNKNOWN_EVENT,
                 message: "P9#99 not in snapshot".into(),

@@ -17,6 +17,11 @@
 #             connections held while the differential smoke suite runs
 #             clean; thread-backend differential; idle-cost ratio gates
 #             (epoll <= 1/10 the thread backend's idle CPU and RSS/conn)
+#   repl      replication fleet: one durable leader + two --follow daemon
+#             processes, the full 54-computation suite soaked with the
+#             differential checks fanned across the fleet (0 mismatches),
+#             and the read scale-out claim gated: 2 followers >= 1.8x the
+#             leader's warm batched-query throughput (scaled by host cpus)
 #   bench     two cts-bench --quick runs gated against the committed
 #             baseline by scripts/bench_gate.py
 #
@@ -40,6 +45,21 @@ cleanup() {
   rm -rf "$workdir"
 }
 trap cleanup EXIT
+
+# Wait (up to 10 s) for a daemon started with --port-file to come up, then
+# print the port it bound.
+wait_port_file() {
+  local port_file="$1"
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$port_file" ]] || {
+    echo "ci.sh: daemon never wrote its port file $port_file" >&2
+    exit 1
+  }
+  cat "$port_file"
+}
 
 stage_fmt() {
   echo "==> fmt"
@@ -169,6 +189,50 @@ stage_net() {
     daemon_ingest/c10k_rss_per_conn_threads:daemon_ingest/c10k_rss_per_conn_epoll:10.0
 }
 
+stage_repl() {
+  echo "==> repl: leader + 2-follower fleet, full-suite soak + scale-out gate"
+  # One durable leader (the WAL doubles as the replication stream) and two
+  # follower daemon processes replicating it over Subscribe. On hosts with
+  # >= 3 cpus each daemon is pinned to its own core, so the leader-vs-fleet
+  # comparison measures serving capacity rather than scheduler luck; on
+  # smaller hosts bench_gate.py scales the required ratio down by host.cpus
+  # (the same policy as the shard_ingest speedup claims).
+  local pin_leader=() pin_f1=() pin_f2=()
+  if [[ "$(nproc)" -ge 3 ]]; then
+    pin_leader=(taskset -c 0)
+    pin_f1=(taskset -c 1)
+    pin_f2=(taskset -c 2)
+  fi
+  local lport f1port f2port
+  "${pin_leader[@]}" target/release/cts-daemon --port 0     --port-file "$workdir/repl-leader.port"     --data-dir "$workdir/repl-leader" &
+  pids+=("$!")
+  lport=$(wait_port_file "$workdir/repl-leader.port")
+
+  "${pin_f1[@]}" target/release/cts-daemon --port 0     --port-file "$workdir/repl-f1.port"     --data-dir "$workdir/repl-f1" --follow "127.0.0.1:$lport" &
+  local f1_pid=$!
+  pids+=("$f1_pid")
+  "${pin_f2[@]}" target/release/cts-daemon --port 0     --port-file "$workdir/repl-f2.port"     --data-dir "$workdir/repl-f2" --follow "127.0.0.1:$lport" &
+  local f2_pid=$!
+  pids+=("$f2_pid")
+  f1port=$(wait_port_file "$workdir/repl-f1.port")
+  f2port=$(wait_port_file "$workdir/repl-f2.port")
+
+  # Full 54-computation suite into the leader; after the followers
+  # converge (published snapshots covering every computation), the
+  # differential checks are fanned across the fleet — zero mismatches
+  # required — and the warm batched-query workload is timed against the
+  # leader alone vs. the two followers (repl/warm_batch_* entries).
+  target/release/cts-loadgen --addr "127.0.0.1:$lport"     --follower-addr "127.0.0.1:$f1port" --follower-addr "127.0.0.1:$f2port"     --json "$workdir/bench-repl.json" --shutdown
+  kill "$f1_pid" "$f2_pid" 2>/dev/null || true
+  wait "$f1_pid" "$f2_pid" 2>/dev/null || true
+  echo "ci.sh: replication fleet soak ok (leader $lport, followers $f1port/$f2port)"
+
+  # The read scale-out claim. --claims-only: repl/* entries have no
+  # committed baseline (absolute throughput is host-dependent); the
+  # within-run leader/fleet ratio is the claim.
+  python3 scripts/bench_gate.py results/BENCH_baseline.json     "$workdir/bench-repl.json" --claims-only     --require-speedup     repl/warm_batch_leader:repl/warm_batch_fleet:1.8
+}
+
 stage_bench() {
   echo "==> bench: quick suite x2 vs committed baseline"
   target/release/cts-bench --quick >"$workdir/bench-1.json"
@@ -184,11 +248,11 @@ stage_bench() {
     shard_ingest/sharded_web_288_s1:shard_ingest/sharded_web_288_s4:1.8
 }
 
-all_stages=(fmt clippy build test smoke recovery query net bench)
+all_stages=(fmt clippy build test smoke recovery query net repl bench)
 stages=("${@:-${all_stages[@]}}")
 for stage in "${stages[@]}"; do
   case "$stage" in
-  fmt | clippy | build | test | smoke | recovery | query | net | bench)
+  fmt | clippy | build | test | smoke | recovery | query | net | repl | bench)
     "stage_$stage"
     ;;
   *)
