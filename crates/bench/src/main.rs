@@ -336,6 +336,85 @@ fn bench_query_path(r: &mut Runner) {
     daemon.shutdown();
 }
 
+/// Time travel (PR 8): warm as-of queries vs identical head queries, and
+/// interval-replay throughput, against a loopback daemon retaining a
+/// window of epochs.
+///
+/// - `precedes_head_256` vs `precedes_asof_256`: the same 256 sampled
+///   pairs answered at the head and at a retained historical epoch, one
+///   RTT per verdict, both warm. The shared verdict cache is epoch-safe
+///   (a happens-before verdict between two delivered events never
+///   changes), so a warm as-of lookup costs about a head lookup —
+///   `scripts/ci.sh replay` gates `head/asof >= 0.5` (as-of within 2× of
+///   head) on this pair via `bench_gate.py --require-ratio`.
+/// - `replay_interval`: pulling the oldest retained epoch's full prefix
+///   back over chunked `ReplayInterval` frames.
+fn bench_timetravel(r: &mut Runner) {
+    let g = "timetravel";
+    // Skipped entirely when a filter excludes the whole group, so
+    // filtered runs don't boot a daemon.
+    if let Some(pat) = &r.filter {
+        let ids = ["precedes_head_256", "precedes_asof_256", "replay_interval"];
+        if !ids
+            .iter()
+            .any(|n| format!("{g}/{n}").contains(pat.as_str()))
+        {
+            return;
+        }
+    }
+    let trace = clustered_trace(200, 8);
+    let daemon = cts_daemon::Daemon::start(cts_daemon::DaemonConfig {
+        epoch_every: 256,
+        ..cts_daemon::DaemonConfig::default()
+    })
+    .expect("loopback daemon");
+    let mut client = cts_daemon::Client::connect(daemon.local_addr()).expect("connect");
+    let (protocol, _) = client.proto_hello().expect("proto hello");
+    assert!(protocol >= 3, "daemon negotiated protocol {protocol}");
+    client
+        .hello("bench-timetravel", trace.num_processes(), 8)
+        .expect("hello");
+    client.stream_events(trace.events(), 256).expect("stream");
+    client.flush(trace.num_events() as u64).expect("flush");
+    let epochs = client.list_epochs().expect("list epochs");
+    let &(asof_epoch, _) = epochs.first().expect("a retained epoch");
+    // Sample the pairs from the as-of prefix, so both sides answer for
+    // exactly the same event ids.
+    let replayed = client.replay_interval(0, asof_epoch).expect("replay");
+    let prefix =
+        cts_model::Trace::from_delivery_order("bench-asof", trace.num_processes(), replayed)
+            .expect("replayed prefix is a valid delivery order");
+    let pairs = query_pairs(&prefix, 256);
+    for &(e, f) in &pairs {
+        let _ = client.precedes(e, f).expect("warm head");
+        let _ = client.asof_precedes(asof_epoch, e, f).expect("warm as-of");
+    }
+    r.run(g, "precedes_head_256", || {
+        pairs
+            .iter()
+            .filter(|&&(e, f)| client.precedes(e, f).expect("head precedes"))
+            .count()
+    });
+    r.run(g, "precedes_asof_256", || {
+        pairs
+            .iter()
+            .filter(|&&(e, f)| {
+                client
+                    .asof_precedes(asof_epoch, e, f)
+                    .expect("as-of precedes")
+            })
+            .count()
+    });
+    r.run(g, "replay_interval", || {
+        client
+            .replay_interval(0, asof_epoch)
+            .expect("replay interval")
+            .len()
+    });
+    let _ = client.goodbye();
+    daemon.shutdown();
+}
+
 /// A fixed, allocation-free ALU kernel: pure single-thread CPU speed, no
 /// memory traffic, no syscalls. `bench_gate.py` uses this entry to
 /// normalize a candidate report against a baseline recorded on a
@@ -515,6 +594,7 @@ fn main() {
     bench_figure_sweeps(&mut r);
     bench_store_queries(&mut r);
     bench_query_path(&mut r);
+    bench_timetravel(&mut r);
     bench_daemon(&mut r);
     bench_shard_ingest(&mut r);
     bench_wal(&mut r);

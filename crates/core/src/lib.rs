@@ -54,4 +54,4 @@ pub use clock::VectorClock;
 pub use cluster::{ClusterEngine, ClusterStamp, ClusterTimestamps, Encoding, SpaceReport};
 pub use clustering::Clustering;
 pub use fm::{FmEngine, FmStore};
-pub use strategy::{MergeOnFirst, MergeOnNth, MergePolicy, NeverMerge};
+pub use strategy::{MergeOnFirst, MergeOnNth, MergePolicy, NeverMerge, StrategySpec};

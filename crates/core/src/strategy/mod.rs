@@ -18,6 +18,8 @@ pub use merge_first::MergeOnFirst;
 pub use merge_nth::MergeOnNth;
 
 use crate::cluster::membership::ClusterSets;
+use crate::cluster::{ClusterEngine, ClusterTimestamps};
+use cts_model::Trace;
 
 /// Decides whether two clusters merge when a cluster receive occurs between
 /// them.
@@ -68,6 +70,110 @@ impl MergePolicy for StaticClusters {
     }
 }
 
+/// A dynamic strategy selected by text, e.g. on a command line: the grammar
+/// is `<name>:<maxCS>` with `merge1st`, `mergeNth` (optional `@τ` threshold
+/// suffix on the size, default τ=5), and `never` (whose `:<maxCS>` only
+/// sizes the encoding — clusters stay singletons). This is what
+/// `cts-loadgen --replay-as` parses to re-cluster a replayed interval under
+/// a strategy other than the one that served it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum StrategySpec {
+    MergeOnFirst { max_cs: usize },
+    MergeOnNth { max_cs: usize, threshold: f64 },
+    NeverMerge { max_cs: usize },
+}
+
+impl StrategySpec {
+    /// Short label for reports, mirroring the analysis crate's naming.
+    pub fn label(&self) -> String {
+        match self {
+            StrategySpec::MergeOnFirst { max_cs } => format!("merge-1st:{max_cs}"),
+            StrategySpec::MergeOnNth { max_cs, threshold } => {
+                format!("merge-nth-t{threshold}:{max_cs}")
+            }
+            StrategySpec::NeverMerge { max_cs } => format!("never-merge:{max_cs}"),
+        }
+    }
+
+    /// The maximum cluster size the spec names (used to size the encoding).
+    pub fn max_cluster_size(&self) -> usize {
+        match *self {
+            StrategySpec::MergeOnFirst { max_cs }
+            | StrategySpec::MergeOnNth { max_cs, .. }
+            | StrategySpec::NeverMerge { max_cs } => max_cs,
+        }
+    }
+
+    /// Timestamp a complete trace under this strategy.
+    pub fn run(&self, trace: &Trace) -> ClusterTimestamps {
+        match *self {
+            StrategySpec::MergeOnFirst { max_cs } => {
+                ClusterEngine::run(trace, MergeOnFirst::new(max_cs))
+            }
+            StrategySpec::MergeOnNth { max_cs, threshold } => ClusterEngine::run(
+                trace,
+                MergeOnNth::new(trace.num_processes(), max_cs, threshold),
+            ),
+            StrategySpec::NeverMerge { .. } => ClusterEngine::run(trace, NeverMerge),
+        }
+    }
+}
+
+impl std::str::FromStr for StrategySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StrategySpec, String> {
+        let (name, size) = match s.split_once(':') {
+            Some((name, size)) => (name, Some(size)),
+            None => (s, None),
+        };
+        let parse_size = |text: &str| -> Result<usize, String> {
+            match text.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!(
+                    "bad max cluster size {text:?} in strategy spec {s:?}"
+                )),
+            }
+        };
+        match name {
+            "merge1st" | "merge-1st" => {
+                let size = size.ok_or_else(|| format!("{s:?}: merge1st needs :<maxCS>"))?;
+                Ok(StrategySpec::MergeOnFirst {
+                    max_cs: parse_size(size)?,
+                })
+            }
+            "mergeNth" | "merge-nth" => {
+                let size = size.ok_or_else(|| format!("{s:?}: mergeNth needs :<maxCS>[@tau]"))?;
+                let (size, threshold) = match size.split_once('@') {
+                    Some((size, tau)) => {
+                        let tau: f64 = tau
+                            .parse()
+                            .map_err(|_| format!("bad threshold {tau:?} in strategy spec {s:?}"))?;
+                        if tau.is_nan() || tau < 0.0 {
+                            return Err(format!("threshold must be non-negative in {s:?}"));
+                        }
+                        (size, tau)
+                    }
+                    None => (size, 5.0),
+                };
+                Ok(StrategySpec::MergeOnNth {
+                    max_cs: parse_size(size)?,
+                    threshold,
+                })
+            }
+            "never" | "never-merge" => Ok(StrategySpec::NeverMerge {
+                max_cs: match size {
+                    Some(size) => parse_size(size)?,
+                    None => 1,
+                },
+            }),
+            other => Err(format!(
+                "unknown strategy {other:?} (expected merge1st, mergeNth, or never)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +185,59 @@ mod tests {
         assert!(!p.on_cluster_receive(0, 1, &sets));
         let mut s = StaticClusters;
         assert!(!s.on_cluster_receive(2, 3, &sets));
+    }
+
+    #[test]
+    fn strategy_spec_grammar() {
+        assert_eq!(
+            "merge1st:4".parse::<StrategySpec>(),
+            Ok(StrategySpec::MergeOnFirst { max_cs: 4 })
+        );
+        assert_eq!(
+            "mergeNth:8@10".parse::<StrategySpec>(),
+            Ok(StrategySpec::MergeOnNth {
+                max_cs: 8,
+                threshold: 10.0
+            })
+        );
+        assert_eq!(
+            "mergeNth:8".parse::<StrategySpec>(),
+            Ok(StrategySpec::MergeOnNth {
+                max_cs: 8,
+                threshold: 5.0
+            })
+        );
+        assert_eq!(
+            "never".parse::<StrategySpec>(),
+            Ok(StrategySpec::NeverMerge { max_cs: 1 })
+        );
+        assert_eq!(
+            "never:2".parse::<StrategySpec>(),
+            Ok(StrategySpec::NeverMerge { max_cs: 2 })
+        );
+        assert!("merge1st".parse::<StrategySpec>().is_err());
+        assert!("merge1st:0".parse::<StrategySpec>().is_err());
+        assert!("mergeNth:4@-1".parse::<StrategySpec>().is_err());
+        assert!("kmedoid:4".parse::<StrategySpec>().is_err());
+    }
+
+    #[test]
+    fn strategy_spec_runs_every_variant() {
+        use cts_model::{Event, EventId, EventIndex, EventKind, ProcessId};
+        let id = |p: u32, i: u32| EventId::new(ProcessId(p), EventIndex(i));
+        let trace = Trace::from_delivery_order(
+            "spec",
+            2,
+            vec![
+                Event::new(id(0, 1), EventKind::Send { to: ProcessId(1) }),
+                Event::new(id(1, 1), EventKind::Receive { from: id(0, 1) }),
+            ],
+        )
+        .expect("valid delivery order");
+        for spec in ["merge1st:2", "mergeNth:2@0", "never"] {
+            let spec: StrategySpec = spec.parse().expect("valid spec");
+            let cts = spec.run(&trace);
+            assert_eq!(cts.stamps().len(), 2, "{}", spec.label());
+        }
     }
 }

@@ -10,6 +10,8 @@
 //!             [--data-dir PATH] [--checkpoint-every N]
 //!             [--kill-after N [--restart]]
 //!             [--followers N | --follower-addr HOST:PORT ...]
+//!             [--epoch-every N] [--asof-epochs N]
+//!             [--replay-as STRATEGY:MAXCS] [--wait-ready SECS]
 //! ```
 //!
 //! Without `--addr`, an in-process daemon is started on an ephemeral
@@ -51,6 +53,23 @@
 //! `repl/warm_batch_{leader,fleet}` benchmark pair records the read
 //! scale-out ratio `scripts/bench_gate.py --require-ratio` gates on.
 //!
+//! `--asof-epochs N` adds the time-travel phase (PR 8): after the head
+//! differential checks, up to N *historical* retained epochs per
+//! computation are pulled back over `ReplayInterval`, re-timestamped
+//! offline, and the `QueryAsOf*` answers at each epoch checked against
+//! that prefix engine. `--replay-as STRATEGY:MAXCS` (grammar of
+//! [`cts_core::StrategySpec`]: `merge1st:N`, `mergeNth:N[@tau]`,
+//! `never[:N]`) replays the newest retained epoch of every computation
+//! and re-clusters it offline under a different strategy, reporting the
+//! paper's stamp-size/ratio deltas against the serving strategy.
+//! `--epoch-every N` sets the in-process daemon's publish cadence — small
+//! values retain many epochs, which is what makes those two phases (and
+//! the retention-cycling soak) bite.
+//!
+//! `--wait-ready SECS` (external `--addr` daemons) polls a session-free
+//! `ProtoHello` until the daemon stops answering `RECOVERING`, so a
+//! crash/restart CI stage can gate the load run on recovery completing.
+//!
 //! `--data-dir` makes the in-process daemon durable (write-ahead log +
 //! checkpoints under PATH). `--kill-after N` switches to the crash-replay
 //! scenario: stream ~N events, crash-stop the daemon (no final sync or
@@ -75,7 +94,10 @@ fn usage() -> ! {
          \x20                  [--json PATH] [--shutdown]\n\
          \x20                  [--data-dir PATH] [--checkpoint-every N]\n\
          \x20                  [--kill-after N [--restart]]\n\
-         \x20                  [--followers N | --follower-addr HOST:PORT ...]"
+         \x20                  [--followers N | --follower-addr HOST:PORT ...]\n\
+         \x20                  [--epoch-every N] [--asof-epochs N]\n\
+         \x20                  [--replay-as STRATEGY:MAXCS] [--batch N]\n\
+         \x20                  [--wait-ready SECS]"
     );
     std::process::exit(2);
 }
@@ -96,6 +118,9 @@ fn main() {
     let mut c10k: usize = 0;
     let mut c10k_bench = false;
     let mut followers: usize = 0;
+    let mut epoch_every: Option<u64> = None;
+    let mut replay_as: Option<cts_core::StrategySpec> = None;
+    let mut wait_ready: Option<u64> = None;
     let mut cfg = LoadConfig::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -120,6 +145,7 @@ fn main() {
                 }
             }
             "--connections" => cfg.connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => cfg.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--max-cluster-size" => {
                 cfg.max_cluster_size = value(&mut i).parse().unwrap_or_else(|_| usage())
@@ -151,6 +177,21 @@ fn main() {
                 }
             }
             "--restart" => restart = true,
+            "--epoch-every" => {
+                epoch_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--asof-epochs" => cfg.asof_epochs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--wait-ready" => wait_ready = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--replay-as" => {
+                let raw = value(&mut i);
+                replay_as = match raw.parse() {
+                    Ok(spec) => Some(spec),
+                    Err(e) => {
+                        eprintln!("cts-loadgen: bad --replay-as: {e}");
+                        usage();
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -191,6 +232,13 @@ fn main() {
     }
     if net_threads {
         daemon_cfg.net = cts_daemon::server::NetBackend::Threads;
+    }
+    if let Some(n) = epoch_every {
+        if addr.is_some() {
+            eprintln!("cts-loadgen: --epoch-every configures the in-process daemon; drop --addr");
+            std::process::exit(2);
+        }
+        daemon_cfg.epoch_every = n;
     }
     if let Some(n) = pollers {
         daemon_cfg.pollers = n;
@@ -304,6 +352,32 @@ fn main() {
         }
     };
 
+    // A freshly restarted durable daemon refuses every request with
+    // RECOVERING while it replays on-disk state in the background;
+    // --wait-ready polls a session-free ProtoHello (creates nothing on
+    // the daemon) until it answers, so crash/restart CI stages can gate
+    // on recovery without retry-looping the whole load run.
+    if let Some(secs) = wait_ready {
+        let deadline = std::time::Instant::now() + Duration::from_secs(secs);
+        loop {
+            let ready = Client::connect(cfg.addr)
+                .and_then(|mut c| c.proto_hello())
+                .is_ok();
+            if ready {
+                eprintln!("[cts-loadgen] daemon at {} is ready", cfg.addr);
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                eprintln!(
+                    "cts-loadgen: daemon at {} still not ready after {secs}s",
+                    cfg.addr
+                );
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
     // In-process follower fleet: each follower replicates the leader into
     // its own data directory under a scratch root.
     let mut own_followers: Vec<Daemon> = Vec::new();
@@ -361,6 +435,26 @@ fn main() {
         }
     };
     println!("{}", report.render());
+
+    // Time-travel what-if: replay the newest retained epoch of every
+    // computation and re-cluster it offline under a different strategy.
+    if let Some(spec) = replay_as {
+        match loadgen::run_replay_as(&suite, &cfg, spec) {
+            Ok(reports) => {
+                for r in &reports {
+                    println!("[replay-as] {}", r.render());
+                }
+                if reports.is_empty() {
+                    eprintln!("cts-loadgen: --replay-as found no retained epochs to replay");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("cts-loadgen: --replay-as failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Read scale-out measurement: the same warm batched-query workload
     // against the leader alone, then fanned across the followers.

@@ -15,6 +15,7 @@
 //! meta                    computation parameters   (written once, CRC'd)
 //! ckpt-<delivered>.ckpt   delivered prefix         (atomic tmp+rename)
 //! wal-<start>.wal         delivered events > start (see crate::wal)
+//! epochs                  retained-epoch marks     (atomic tmp+rename)
 //! ```
 //!
 //! Checkpoint file:
@@ -51,6 +52,7 @@ use std::path::{Path, PathBuf};
 
 const CKPT_MAGIC: &[u8; 8] = b"CTSCKPT1";
 const META_MAGIC: &[u8; 8] = b"CTSMETA1";
+const EPOCHS_MAGIC: &[u8; 8] = b"CTSEPOC1";
 
 /// Durable computation parameters (the `meta` file).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -185,6 +187,20 @@ pub fn load_meta(dir: &Path) -> io::Result<CompMeta> {
 /// delivery order) atomically, then delete older checkpoints beyond the
 /// most recent fallback and every WAL segment the new checkpoint covers.
 pub fn write_checkpoint(dir: &Path, meta: &CompMeta, events: &[Event]) -> io::Result<()> {
+    write_checkpoint_with_floor(dir, meta, events, u64::MAX)
+}
+
+/// As [`write_checkpoint`], but WAL segments holding events beyond
+/// `retain_floor` are kept even when the checkpoint covers them: a retained
+/// epoch (see [`cts_store::EpochRetainer`]) still references that part of
+/// the delivered prefix, and the retention window promises the WAL bytes
+/// behind every retained epoch outlive the epoch itself.
+pub fn write_checkpoint_with_floor(
+    dir: &Path,
+    meta: &CompMeta,
+    events: &[Event],
+    retain_floor: u64,
+) -> io::Result<()> {
     let delivered = events.len() as u64;
     let mut body = encode_meta(meta);
     body.extend_from_slice(&delivered.to_le_bytes());
@@ -213,12 +229,49 @@ pub fn write_checkpoint(dir: &Path, meta: &CompMeta, events: &[Event]) -> io::Re
             continue;
         }
         if let Ok(scan) = wal::scan_segment(&path) {
-            if scan.end_offset() <= delivered && scan.torn.is_none() {
+            if scan.end_offset() <= delivered.min(retain_floor) && scan.torn.is_none() {
                 let _ = std::fs::remove_file(path);
             }
         }
     }
     Ok(())
+}
+
+/// Persist the retained-epoch marks: `(epoch, delivered)` pairs, oldest
+/// first. Rewritten (atomically) on every publish of a durable single-mode
+/// computation, so a restart can republish the same epochs at the same
+/// delivered offsets during recovery replay — retained history survives a
+/// crash. Best-effort: a lost marks file costs retained epochs, not events.
+pub fn write_epoch_marks(dir: &Path, marks: &[(u64, u64)]) -> io::Result<()> {
+    let mut body = Vec::with_capacity(4 + marks.len() * 16);
+    body.extend_from_slice(&(marks.len() as u32).to_le_bytes());
+    for &(epoch, delivered) in marks {
+        body.extend_from_slice(&epoch.to_le_bytes());
+        body.extend_from_slice(&delivered.to_le_bytes());
+    }
+    write_atomic(dir, "epochs", EPOCHS_MAGIC, &body)
+}
+
+/// Load the retained-epoch marks, oldest first. A missing file is an empty
+/// list (fresh directory, or one written before retention existed).
+pub fn load_epoch_marks(dir: &Path) -> io::Result<Vec<(u64, u64)>> {
+    let path = dir.join("epochs");
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let body = read_checked(&path, EPOCHS_MAGIC)?;
+    let mut c = MetaCursor(&body);
+    let count = u32::from_le_bytes(c.take(4)?.try_into().unwrap()) as usize;
+    let mut marks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let epoch = u64::from_le_bytes(c.take(8)?.try_into().unwrap());
+        let delivered = u64::from_le_bytes(c.take(8)?.try_into().unwrap());
+        marks.push((epoch, delivered));
+    }
+    if !c.0.is_empty() {
+        return Err(corrupt("trailing bytes in epochs"));
+    }
+    Ok(marks)
 }
 
 /// All checkpoints in `dir` by delivered count (unvalidated), sorted.
@@ -529,6 +582,35 @@ mod tests {
         write_checkpoint(&dir, &meta(), &events[..20]).unwrap();
         let (replay, _) = recover_dir(&dir).unwrap();
         assert_eq!(replay, events[..20]);
+    }
+
+    #[test]
+    fn epoch_marks_roundtrip_and_missing_is_empty() {
+        let dir = tmpdir("marks");
+        assert_eq!(load_epoch_marks(&dir).unwrap(), Vec::new());
+        let marks = vec![(3, 120), (4, 180), (7, 400)];
+        write_epoch_marks(&dir, &marks).unwrap();
+        assert_eq!(load_epoch_marks(&dir).unwrap(), marks);
+        // Rewrite shrinks (GC retired the oldest).
+        write_epoch_marks(&dir, &marks[1..]).unwrap();
+        assert_eq!(load_epoch_marks(&dir).unwrap(), marks[1..]);
+    }
+
+    #[test]
+    fn retain_floor_keeps_covered_segments() {
+        let dir = tmpdir("floor");
+        let events = sample_events();
+        let mut w = WalWriter::create(&dir, 0, Duration::ZERO).unwrap();
+        w.append(&events[..20]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // The checkpoint covers the segment, but a retained epoch at
+        // delivered=10 still references events inside it: keep it.
+        write_checkpoint_with_floor(&dir, &meta(), &events[..20], 10).unwrap();
+        assert_eq!(wal::list_segments(&dir).unwrap().len(), 1);
+        // Once the floor passes the segment's end, it is retired.
+        write_checkpoint_with_floor(&dir, &meta(), &events[..20], 20).unwrap();
+        assert!(wal::list_segments(&dir).unwrap().is_empty());
     }
 
     #[test]

@@ -180,6 +180,108 @@ impl Client {
         }
     }
 
+    /// Does `e` happen before `f`, as of retained epoch `epoch`? Requires a
+    /// prior [`Client::proto_hello`] at level >= 3; a retired epoch fails
+    /// with a `code::EPOCH_RETIRED` daemon error.
+    pub fn asof_precedes(&mut self, epoch: u64, e: EventId, f: EventId) -> io::Result<bool> {
+        match self.call(&Msg::QueryAsOfPrecedes { epoch, e, f })? {
+            Msg::PrecedesResult { precedes, .. } => Ok(precedes),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Greatest-concurrent vector as of retained epoch `epoch` (level 3).
+    pub fn asof_greatest_concurrent(
+        &mut self,
+        epoch: u64,
+        e: EventId,
+    ) -> io::Result<Vec<Option<EventId>>> {
+        match self.call(&Msg::QueryAsOfGc { epoch, e })? {
+            Msg::GcResult { slots, .. } => Ok(slots),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// Window scan as of retained epoch `epoch` (level 3), driving the
+    /// continuation cursor transparently like [`Client::window`].
+    pub fn asof_window(
+        &mut self,
+        epoch: u64,
+        process: u32,
+        from: u32,
+        to: u32,
+    ) -> io::Result<Vec<EventId>> {
+        let mut all = Vec::new();
+        let mut cursor = from;
+        loop {
+            match self.call(&Msg::QueryAsOfWindow {
+                epoch,
+                process,
+                from: cursor,
+                to,
+                limit: 0,
+            })? {
+                Msg::WindowResult { ids, next } => {
+                    all.extend(ids);
+                    if next == 0 {
+                        return Ok(all);
+                    }
+                    cursor = next;
+                }
+                other => return Err(Self::protocol_error(&other)),
+            }
+        }
+    }
+
+    /// The `(epoch, delivered)` rows still retained for time travel, oldest
+    /// first (level 3).
+    pub fn list_epochs(&mut self) -> io::Result<Vec<(u64, u64)>> {
+        match self.call(&Msg::ListEpochs)? {
+            Msg::EpochList { epochs } => Ok(epochs),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// One chunk of an interval replay: events from 1-based delivery offset
+    /// `cursor` (0 = start of the interval) and the next cursor (0 = done).
+    pub fn replay_page(
+        &mut self,
+        from_epoch: u64,
+        to_epoch: u64,
+        cursor: u64,
+        limit: u32,
+    ) -> io::Result<(u64, Vec<Event>, u64)> {
+        match self.call(&Msg::ReplayInterval {
+            from_epoch,
+            to_epoch,
+            cursor,
+            limit,
+        })? {
+            Msg::ReplayChunk {
+                first_offset,
+                events,
+                next,
+            } => Ok((first_offset, events, next)),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// The full delivered prefix between two retained epochs, in delivery
+    /// order, driving chunk resumption transparently (level 3).
+    /// `from_epoch == 0` replays from the beginning of history.
+    pub fn replay_interval(&mut self, from_epoch: u64, to_epoch: u64) -> io::Result<Vec<Event>> {
+        let mut all = Vec::new();
+        let mut cursor = 0u64;
+        loop {
+            let (_, events, next) = self.replay_page(from_epoch, to_epoch, cursor, 0)?;
+            all.extend(events);
+            if next == 0 {
+                return Ok(all);
+            }
+            cursor = next;
+        }
+    }
+
     /// The computation's metrics counters.
     pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
         match self.call(&Msg::Stats)? {

@@ -53,8 +53,8 @@ use crate::netpoll::{
 use crate::pipeline::{Computation, FlushError, TryEnqueue};
 use crate::replication;
 use crate::server::{
-    hello, list_computations, lock, needs_protocol_2, no_session, read_only, refuse_overloaded,
-    serve_query, DaemonShared,
+    hello, list_computations, lock, needs_protocol_2, needs_protocol_3, no_session, read_only,
+    refuse_overloaded, serve_query, time_travel_verb, DaemonShared,
 };
 use crate::wire::{self, code, write_msg, FrameBuffer, Msg};
 use std::collections::HashMap;
@@ -738,12 +738,31 @@ impl Worker {
                 let reply = serve_query(comp, &self.shared.query_pool, &msg);
                 conn.queue_msg(&reply);
             }
+            Msg::QueryAsOfPrecedes { .. }
+            | Msg::QueryAsOfGc { .. }
+            | Msg::QueryAsOfWindow { .. }
+            | Msg::ListEpochs
+            | Msg::ReplayInterval { .. } => {
+                let reply = if conn.protocol < 3 {
+                    needs_protocol_3(time_travel_verb(&msg))
+                } else if let Some(comp) = conn.session.as_ref() {
+                    serve_query(comp, &self.shared.query_pool, &msg)
+                } else {
+                    no_session()
+                };
+                conn.queue_msg(&reply);
+            }
             Msg::Stats => {
                 let Some(comp) = conn.session.as_ref() else {
                     conn.queue_msg(&no_session());
                     return true;
                 };
-                let stats = comp.metrics().snapshot(comp.query_cache().stats());
+                let retainer = comp.retainer();
+                let stats = comp.metrics().snapshot(
+                    comp.query_cache().stats(),
+                    retainer.retained(),
+                    retainer.retired(),
+                );
                 conn.queue_msg(&Msg::StatsResult(stats));
             }
             Msg::ProtoHello {

@@ -63,6 +63,11 @@ pub struct LoadConfig {
     /// non-empty, the query phase also fans the differential checks
     /// across the fleet after waiting for every follower to converge.
     pub follower_addrs: Vec<SocketAddr>,
+    /// Historical epochs per computation to time-travel-check (PR 8):
+    /// each sampled retained epoch is replayed back over
+    /// `ReplayInterval`, re-timestamped offline, and the `QueryAsOf*`
+    /// answers compared against that prefix engine. 0 disables.
+    pub asof_epochs: usize,
 }
 
 impl Default for LoadConfig {
@@ -80,6 +85,7 @@ impl Default for LoadConfig {
             gc_probes: 3,
             window_page: 5,
             follower_addrs: Vec::new(),
+            asof_epochs: 0,
         }
     }
 }
@@ -97,6 +103,9 @@ pub struct LoadReport {
     pub windows_checked: u64,
     /// Items re-issued through the batched wire messages (warm path).
     pub batch_checked: u64,
+    /// Time-travel checks: `QueryAsOf*` answers at retained historical
+    /// epochs compared against an offline engine over the replayed prefix.
+    pub asof_checked: u64,
     /// Differential failures against the offline engine. Must be zero.
     pub mismatches: u64,
     pub rtt_min_ns: u64,
@@ -159,6 +168,7 @@ impl LoadReport {
              query wall        {:.3} s\n\
              checks            {} precedence, {} greatest-concurrent, {} windows\n\
              batch re-issues   {} items (warm cache, one frame per computation)\n\
+             as-of checks      {} (time-travel, historical epochs)\n\
              query RTT         p50 {} ns, p95 {} ns (n = {})\n\
              mismatches        {}",
             self.computations,
@@ -172,6 +182,7 @@ impl LoadReport {
             self.gc_checked,
             self.windows_checked,
             self.batch_checked,
+            self.asof_checked,
             self.rtt_p50_ns,
             self.rtt_p95_ns,
             self.rtt_samples,
@@ -231,6 +242,8 @@ pub fn ingest_trace_wall_ns(
         shards,
         durability: None,
         query_cache_capacity: 0,
+        retain_epochs: 0,
+        retain_bytes: 0,
     });
     let start = Instant::now();
     for chunk in arrivals.chunks(512) {
@@ -430,6 +443,15 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
         check_computation(client, &suite[c], c, cfg, &counters, "leader")
     })?;
 
+    // ---- time-travel phase: the same differential idea, one retained
+    // epoch back in history at a time (PR 8) ----
+    if cfg.asof_epochs > 0 {
+        let asof_jobs: Vec<usize> = (0..suite.len()).collect();
+        run_pool(cfg.connections, asof_jobs, cfg.addr, |client, c| {
+            check_asof(client, &suite[c], cfg, &counters)
+        })?;
+    }
+
     // ---- fleet phase: the same checks fanned across the followers ----
     //
     // Each computation is assigned round-robin to one follower, so the
@@ -468,6 +490,7 @@ pub fn run(suite: &[SuiteEntry], cfg: &LoadConfig) -> io::Result<LoadReport> {
         gc_checked: counters.gc_checked.into_inner(),
         windows_checked: counters.windows_checked.into_inner(),
         batch_checked: counters.batch_checked.into_inner(),
+        asof_checked: counters.asof_checked.into_inner(),
         mismatches: counters.mismatches.into_inner(),
         rtt_min_ns: if rtt_samples == 0 {
             0
@@ -488,6 +511,7 @@ struct QueryCounters {
     gc_checked: AtomicU64,
     windows_checked: AtomicU64,
     batch_checked: AtomicU64,
+    asof_checked: AtomicU64,
     rtt: AtomicHistogram,
     rtt_min: AtomicU64,
 }
@@ -500,6 +524,7 @@ impl QueryCounters {
             gc_checked: AtomicU64::new(0),
             windows_checked: AtomicU64::new(0),
             batch_checked: AtomicU64::new(0),
+            asof_checked: AtomicU64::new(0),
             rtt: AtomicHistogram::new(),
             rtt_min: AtomicU64::new(u64::MAX),
         }
@@ -626,6 +651,222 @@ fn check_computation(
         ));
     }
     Ok(())
+}
+
+/// One computation's time-travel differential: sample up to
+/// `cfg.asof_epochs` *historical* retained epochs (everything but the
+/// newest), pull each one's delivered prefix back over `ReplayInterval`,
+/// re-timestamp the prefix with the offline engine, and require the
+/// daemon's `QueryAsOf*` answers at that epoch to match it — the same
+/// delivery-order-invariance oracle as the head-epoch phase, applied to
+/// every point in retained history.
+fn check_asof(
+    client: &mut Client,
+    entry: &SuiteEntry,
+    cfg: &LoadConfig,
+    k: &QueryCounters,
+) -> io::Result<()> {
+    let trace = &entry.trace;
+    client.proto_hello()?;
+    client.hello(&entry.name, trace.num_processes(), cfg.max_cluster_size)?;
+    let epochs = client.list_epochs()?;
+    if epochs.len() < 2 {
+        // Only the head epoch is retained — nothing historical to check.
+        return Ok(());
+    }
+    let mismatch = |text: String| {
+        eprintln!("[cts-loadgen] MISMATCH {} (as-of): {text}", entry.name);
+        k.mismatches.fetch_add(1, Ordering::Relaxed);
+    };
+    // Spread the sample across retained history, oldest epoch included.
+    let historical = &epochs[..epochs.len() - 1];
+    let step = (historical.len() / cfg.asof_epochs.max(1)).max(1);
+    for &(epoch, delivered) in historical.iter().step_by(step).take(cfg.asof_epochs) {
+        let events = client.replay_interval(0, epoch)?;
+        if events.len() as u64 != delivered {
+            mismatch(format!(
+                "replay_interval(0, {epoch}) returned {} events, epoch delivered {delivered}",
+                events.len()
+            ));
+            continue;
+        }
+        let prefix = match cts_model::Trace::from_delivery_order(
+            format!("{}@{epoch}", entry.name),
+            trace.num_processes(),
+            events,
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                mismatch(format!(
+                    "replayed prefix of epoch {epoch} is not a valid delivery order: {e}"
+                ));
+                continue;
+            }
+        };
+        let offline = ClusterEngine::run(&prefix, MergeOnFirst::new(cfg.max_cluster_size as usize));
+        let ids: Vec<EventId> = prefix.all_event_ids().collect();
+        if ids.is_empty() {
+            continue;
+        }
+        // Same prime strides as the head phase, re-indexed to the prefix.
+        for j in 0..cfg.precedence_queries.min(64) {
+            let e = ids[(j * 7919) % ids.len()];
+            let f = ids[(j * 104_729 + 13) % ids.len()];
+            let got = client.asof_precedes(epoch, e, f)?;
+            k.asof_checked.fetch_add(1, Ordering::Relaxed);
+            let want = offline.precedes(&prefix, e, f);
+            if got != want {
+                mismatch(format!(
+                    "asof_precedes({epoch}, {e}, {f}) = {got}, offline prefix says {want}"
+                ));
+            }
+        }
+        for j in 0..cfg.gc_probes {
+            let e = ids[(j * 15_485_863 + 3) % ids.len()];
+            let got = client.asof_greatest_concurrent(epoch, e)?;
+            k.asof_checked.fetch_add(1, Ordering::Relaxed);
+            let want = greatest_concurrent(&mut ClusterBackend(&offline), &prefix, e);
+            if got != want {
+                mismatch(format!(
+                    "asof_gc({epoch}, {e}) = {got:?}, offline prefix says {want:?}"
+                ));
+            }
+        }
+        let p0 = cts_model::ProcessId(0);
+        let upto = (prefix.process_len(p0) as u32).min(16) + 1;
+        let got = client.asof_window(epoch, 0, 1, upto)?;
+        let expect: Vec<EventId> = prefix
+            .process_events(p0)
+            .filter(|id| id.index.0 < upto)
+            .collect();
+        k.asof_checked.fetch_add(1, Ordering::Relaxed);
+        if got != expect {
+            mismatch(format!(
+                "asof_window({epoch}, P0, 1, {upto}) returned {} ids, expected {}",
+                got.len(),
+                expect.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of `--replay-as` for one computation: the newest retained
+/// epoch's delivered prefix, re-timestamped offline under a different
+/// clustering strategy, with the paper's space metric for both sides.
+#[derive(Debug)]
+pub struct ReplayAsReport {
+    pub computation: String,
+    /// The retained epoch whose prefix was replayed.
+    pub epoch: u64,
+    /// Events in the replayed prefix.
+    pub events: u64,
+    pub serving_label: String,
+    pub serving_elements: u64,
+    pub serving_ratio: f64,
+    pub replay_label: String,
+    pub replay_elements: u64,
+    pub replay_ratio: f64,
+}
+
+impl ReplayAsReport {
+    /// One-line summary of the strategy comparison.
+    pub fn render(&self) -> String {
+        let delta = if self.serving_ratio > 0.0 {
+            (self.replay_ratio / self.serving_ratio - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        format!(
+            "{}: epoch {} ({} events): {} ratio {:.4} ({} elements) -> {} ratio {:.4} \
+             ({} elements), {delta:+.1}% ratio",
+            self.computation,
+            self.epoch,
+            self.events,
+            self.serving_label,
+            self.serving_ratio,
+            self.serving_elements,
+            self.replay_label,
+            self.replay_ratio,
+            self.replay_elements,
+        )
+    }
+}
+
+/// `cts-loadgen --replay-as`: for each computation, pull the newest
+/// retained epoch's delivered prefix back over `ReplayInterval` and
+/// re-cluster it offline under `spec`, reporting the paper's
+/// stamp-size/ratio deltas against the strategy the daemon served with
+/// (merge-on-1st at `cfg.max_cluster_size`). This is the "what if we had
+/// clustered differently" loop the time-travel read path exists for —
+/// no re-ingest, no second daemon, just the wire replay and the offline
+/// engine.
+pub fn run_replay_as(
+    suite: &[SuiteEntry],
+    cfg: &LoadConfig,
+    spec: cts_core::StrategySpec,
+) -> io::Result<Vec<ReplayAsReport>> {
+    use cts_core::{Encoding, SpaceReport};
+    let mut out = Vec::new();
+    for entry in suite {
+        let trace = &entry.trace;
+        let mut client = Client::connect(cfg.addr)?;
+        client.proto_hello()?;
+        client.hello(&entry.name, trace.num_processes(), cfg.max_cluster_size)?;
+        let epochs = client.list_epochs()?;
+        let Some(&(epoch, delivered)) = epochs.last() else {
+            continue;
+        };
+        let events = client.replay_interval(0, epoch)?;
+        if events.len() as u64 != delivered {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: replay of epoch {epoch} returned {} events, epoch delivered {delivered}",
+                    entry.name,
+                    events.len()
+                ),
+            ));
+        }
+        let prefix = cts_model::Trace::from_delivery_order(
+            format!("{}@{epoch}", entry.name),
+            trace.num_processes(),
+            events,
+        )
+        .map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: replayed prefix of epoch {epoch} is not a valid delivery order: {e}",
+                    entry.name
+                ),
+            )
+        })?;
+        let _ = client.goodbye();
+        let n = prefix.num_processes();
+        let serving = ClusterEngine::run(&prefix, MergeOnFirst::new(cfg.max_cluster_size as usize));
+        let serving_report = SpaceReport::measure(
+            &serving,
+            Encoding::paper_default(n, cfg.max_cluster_size as usize),
+        );
+        let replayed = spec.run(&prefix);
+        let replay_report = SpaceReport::measure(
+            &replayed,
+            Encoding::paper_default(n, spec.max_cluster_size()),
+        );
+        out.push(ReplayAsReport {
+            computation: entry.name.clone(),
+            epoch,
+            events: delivered,
+            serving_label: format!("merge-1st:{}", cfg.max_cluster_size),
+            serving_elements: serving_report.cluster_elements,
+            serving_ratio: serving_report.ratio,
+            replay_label: spec.label(),
+            replay_elements: replay_report.cluster_elements,
+            replay_ratio: replay_report.ratio,
+        });
+    }
+    Ok(out)
 }
 
 /// Block until every follower's *published* snapshot of every suite

@@ -6,6 +6,7 @@
 //!            [--net-threads] [--pollers N] [--max-conns N]
 //!            [--queue-capacity 64] [--epoch-every 4096]
 //!            [--data-dir PATH] [--sync-window-ms 5] [--checkpoint-every N]
+//!            [--retain-epochs 8] [--retain-bytes B]
 //! ```
 //!
 //! The network front end defaults to the epoll poller pool on Linux;
@@ -34,7 +35,8 @@ fn usage() -> ! {
          \x20                 [--queue-capacity N] [--epoch-every N]\n\
          \x20                 [--data-dir PATH] [--sync-window-ms N]\n\
          \x20                 [--checkpoint-every N] [--query-workers N]\n\
-         \x20                 [--follow HOST:PORT]"
+         \x20                 [--follow HOST:PORT]\n\
+         \x20                 [--retain-epochs N] [--retain-bytes B]"
     );
     std::process::exit(2);
 }
@@ -83,6 +85,12 @@ fn main() {
                 config.query_workers = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--follow" => config.follow = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--retain-epochs" => {
+                config.retain_epochs = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--retain-bytes" => {
+                config.retain_bytes = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

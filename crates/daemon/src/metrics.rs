@@ -28,6 +28,8 @@ pub struct Metrics {
     pub repl_commit: AtomicU64,
     pub repl_applied: AtomicU64,
     pub repl_resubscribes: AtomicU64,
+    /// As-of queries answered from a retained (non-head) epoch.
+    pub asof_hits: AtomicU64,
     /// Per-event ingest-apply latency (reorder + engine + store), ns.
     pub ingest_ns: AtomicHistogram,
     /// Per-query service latency, ns (all query types).
@@ -44,9 +46,14 @@ impl Metrics {
     }
 
     /// Materialize the counters for the wire, folding in the computation's
-    /// query-cache counters. Individually atomic, not mutually consistent —
-    /// fine for monitoring.
-    pub fn snapshot(&self, cache: CacheStats) -> StatsSnapshot {
+    /// query-cache counters and the epoch retainer's gauge/counter pair.
+    /// Individually atomic, not mutually consistent — fine for monitoring.
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        epochs_retained: u64,
+        epochs_retired: u64,
+    ) -> StatsSnapshot {
         let (ingest_p50_ns, ingest_p95_ns) = self.ingest_ns.p50_p95();
         let (query_p50_ns, query_p95_ns) = self.query_ns.p50_p95();
         let (precedes_p50_ns, precedes_p95_ns) = self.precedes_ns.p50_p95();
@@ -76,6 +83,9 @@ impl Metrics {
             repl_commit: self.repl_commit.load(Ordering::Relaxed),
             repl_applied: self.repl_applied.load(Ordering::Relaxed),
             repl_resubscribes: self.repl_resubscribes.load(Ordering::Relaxed),
+            epochs_retained,
+            epochs_retired,
+            asof_hits: self.asof_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,7 +111,8 @@ mod tests {
             misses: 3,
             evictions: 1,
         };
-        let s = m.snapshot(cache);
+        m.asof_hits.store(4, Ordering::Relaxed);
+        let s = m.snapshot(cache, 6, 2);
         assert_eq!(s.events_ingested, 10);
         assert_eq!(s.duplicates_dropped, 2);
         assert_eq!(s.queries_served, 5);
@@ -114,5 +125,8 @@ mod tests {
         assert_eq!(s.repl_commit, 40);
         assert_eq!(s.repl_applied, 38);
         assert_eq!(s.repl_resubscribes, 1);
+        assert_eq!(s.epochs_retained, 6);
+        assert_eq!(s.epochs_retired, 2);
+        assert_eq!(s.asof_hits, 4);
     }
 }

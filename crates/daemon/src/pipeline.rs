@@ -27,7 +27,7 @@ use cts_core::cluster::ClusterTimestamps;
 use cts_core::strategy::MergeOnFirst;
 use cts_core::ClusterEngine;
 use cts_model::{Event, EventId, ProcessId, Trace};
-use cts_store::{EventStore, PartitionedStore, SharedQueryCache, SharedStore};
+use cts_store::{EpochRetainer, EventStore, PartitionedStore, SharedQueryCache, SharedStore};
 use cts_util::failpoint::{DurableSink, FailpointFs};
 use std::io;
 use std::path::PathBuf;
@@ -78,12 +78,21 @@ pub struct ComputationConfig {
     /// Entry bound per layer of the shared query cache (see
     /// [`cts_store::SharedQueryCache`]); `0` selects the default.
     pub query_cache_capacity: usize,
+    /// Retained-epoch ring capacity for time-travel queries (see
+    /// [`cts_store::EpochRetainer`]); `0` selects [`DEFAULT_RETAIN_EPOCHS`].
+    pub retain_epochs: usize,
+    /// Byte budget for retained epochs; `0` means no byte cap.
+    pub retain_bytes: u64,
 }
 
 /// Default [`ComputationConfig::query_cache_capacity`]: bounds each memo
 /// layer at ~64k entries (a stamp entry for an N-process computation is
 /// ~4·N bytes, so the worst-case footprint stays in the tens of MB).
 pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Default [`ComputationConfig::retain_epochs`]: how many published epochs
+/// stay answerable via `QueryAsOf`/`ReplayInterval` before GC retires them.
+pub const DEFAULT_RETAIN_EPOCHS: usize = 8;
 
 impl ComputationConfig {
     /// Does this configuration select the sharded runtime?
@@ -100,6 +109,16 @@ pub struct Snapshot {
     pub delivered: u64,
     pub trace: Trace,
     pub cts: ClusterTimestamps,
+}
+
+impl Snapshot {
+    /// Estimated resident bytes of this snapshot — the trace's event array
+    /// plus per-event stamp state. Retention accounting only (the byte cap
+    /// of [`cts_store::EpochRetainer`]); not an exact heap measurement.
+    pub fn footprint(&self) -> u64 {
+        let per_event = std::mem::size_of::<Event>() as u64 + 16;
+        1024 + self.delivered * per_event
+    }
 }
 
 /// Commands a session enqueues to the ingest worker.
@@ -192,6 +211,10 @@ pub(crate) struct CompShared {
     /// Query memo shared by every connection of this computation, carried
     /// across epochs (prefix-monotone snapshots keep old entries valid).
     pub(crate) query_cache: Arc<SharedQueryCache>,
+    /// Retained-epoch ring: published snapshots stay answerable for
+    /// time-travel queries until GC retires them (see
+    /// [`cts_store::EpochRetainer`]).
+    pub(crate) retainer: Arc<EpochRetainer<Snapshot>>,
     /// Replication fan-out: subscriber channels + durable watermark.
     pub(crate) repl: ReplHub,
 }
@@ -309,6 +332,13 @@ impl Computation {
                 0 => DEFAULT_QUERY_CACHE_CAPACITY,
                 n => n,
             })),
+            retainer: Arc::new(EpochRetainer::new(
+                match config.retain_epochs {
+                    0 => DEFAULT_RETAIN_EPOCHS,
+                    n => n,
+                },
+                config.retain_bytes,
+            )),
             repl: ReplHub::default(),
         })
     }
@@ -447,6 +477,11 @@ impl Computation {
     /// The query cache shared by this computation's connections.
     pub fn query_cache(&self) -> &Arc<SharedQueryCache> {
         &self.shared.query_cache
+    }
+
+    /// The retained-epoch ring backing `QueryAsOf`/`ReplayInterval`.
+    pub fn retainer(&self) -> &Arc<EpochRetainer<Snapshot>> {
+        &self.shared.retainer
     }
 
     /// Events covered by the last successful WAL sync (the replication
@@ -643,39 +678,75 @@ fn worker_loop(
     let mut log: Vec<Event> = Vec::new();
     let mut last_published: Option<u64> = None;
 
+    // `forced_epoch` republishes a recovered retention mark under its
+    // original epoch number (recovery replay); `None` is a live publish.
     let publish = |engine: &ClusterEngine<MergeOnFirst>,
                    log: &Vec<Event>,
-                   last_published: &mut Option<u64>| {
+                   last_published: &mut Option<u64>,
+                   forced_epoch: Option<u64>| {
         let delivered = log.len() as u64;
         if *last_published == Some(delivered) {
-            return; // nothing new since the last epoch
+            // Nothing new since the last epoch — but still wake waiters: a
+            // recovery flush parks on this condvar *after* the last mark
+            // republish already set `last_published` to the full prefix, and
+            // this no-op publish is the only call left to wake it.
+            shared.cond.notify_all();
+            return;
         }
         let trace = Trace::from_delivery_order(config.name.clone(), n, log.clone())
             .expect("reorder buffer emits valid delivery orders");
         let cts = engine.snapshot();
         let mut g = lock(&shared.progress);
-        g.epoch += 1;
+        g.epoch = forced_epoch.map_or(g.epoch + 1, |e| e.max(g.epoch + 1));
         g.snapshot_delivered = delivered;
         let epoch = g.epoch;
         drop(g);
-        *shared.snapshot.write() = Arc::new(Snapshot {
+        let snap = Arc::new(Snapshot {
             epoch,
             delivered,
             trace,
             cts,
         });
         shared
+            .retainer
+            .insert(epoch, delivered, snap.footprint(), Arc::clone(&snap));
+        *shared.snapshot.write() = snap;
+        shared
             .metrics
             .snapshots_published
             .fetch_add(1, Ordering::Relaxed);
         *last_published = Some(delivered);
+        // Persist the retention marks so retained history survives a
+        // restart (best-effort: losing them costs epochs, never events).
+        if let Some(dur) = &config.durability {
+            let marks: Vec<(u64, u64)> = shared
+                .retainer
+                .list()
+                .iter()
+                .map(|i| (i.epoch, i.delivered))
+                .collect();
+            if let Err(e) = checkpoint::write_epoch_marks(&dur.dir, &marks) {
+                eprintln!(
+                    "[cts-daemon] {}: epoch marks write failed: {e}",
+                    config.name
+                );
+            }
+        }
         shared.cond.notify_all();
     };
 
     // Replay the recovered prefix through the same path live events take —
     // recovery *is* replay. Nothing here is WAL-appended: it is already on
-    // disk (that's where it came from).
+    // disk (that's where it came from). Retention marks republish the
+    // retained epochs at their original delivered offsets along the way, so
+    // time-travel history survives the restart.
     if !replay.is_empty() {
+        let marks: Vec<(u64, u64)> = config
+            .durability
+            .as_ref()
+            .map(|d| checkpoint::load_epoch_marks(&d.dir).unwrap_or_default())
+            .unwrap_or_default();
+        let mut next_mark = 0;
         for ev in replay {
             match buf.offer(ev) {
                 Ok(delivered) => {
@@ -683,6 +754,10 @@ fn worker_loop(
                         engine.accept(d);
                         let _ = ingest.insert(d);
                         log.push(d);
+                        while next_mark < marks.len() && marks[next_mark].1 == log.len() as u64 {
+                            publish(&engine, &log, &mut last_published, Some(marks[next_mark].0));
+                            next_mark += 1;
+                        }
                     }
                 }
                 Err(reason) => {
@@ -701,7 +776,7 @@ fn worker_loop(
             let mut g = lock(&shared.progress);
             g.delivered = buf.delivered_total();
         }
-        publish(&engine, &log, &mut last_published);
+        publish(&engine, &log, &mut last_published, None);
     }
 
     // Durability state: an open segment continuing from the recovered
@@ -863,7 +938,7 @@ fn worker_loop(
                 shared.cond.notify_all();
                 let since = buf.delivered_total() - last_published.unwrap_or(0);
                 if since >= config.epoch_every {
-                    publish(&engine, &log, &mut last_published);
+                    publish(&engine, &log, &mut last_published, None);
                 }
                 // Checkpoint cadence: once the WAL is synced, persist the
                 // delivered prefix and rotate to a fresh segment (the old
@@ -877,7 +952,13 @@ fn worker_loop(
                         match wal.as_mut().expect("checked above").sync() {
                             Ok(()) => {
                                 broadcast(&mut pending_first, &mut pending, delivered);
-                                match checkpoint::write_checkpoint(&dur.dir, m, &log) {
+                                // WAL segments behind the oldest retained
+                                // epoch stay on disk even though the
+                                // checkpoint covers them.
+                                let floor = shared.retainer.oldest_delivered().unwrap_or(delivered);
+                                match checkpoint::write_checkpoint_with_floor(
+                                    &dur.dir, m, &log, floor,
+                                ) {
                                     Ok(()) => {
                                         last_checkpoint = delivered;
                                         let old = wal.take().expect("checked above");
@@ -942,7 +1023,7 @@ fn worker_loop(
                         }
                     }
                 }
-                publish(&engine, &log, &mut last_published)
+                publish(&engine, &log, &mut last_published, None)
             }
             IngestCmd::SyncWal => {
                 // Timer tick: close the group-commit window. sync() is a
@@ -976,7 +1057,7 @@ fn worker_loop(
     // All senders gone: final snapshot so late readers see everything, and
     // a durable final state (synced WAL + checkpoint) so the next start
     // recovers instantly.
-    publish(&engine, &log, &mut last_published);
+    publish(&engine, &log, &mut last_published, None);
     if let Some(w) = wal.as_mut() {
         match w.sync() {
             Ok(()) => broadcast(&mut pending_first, &mut pending, log.len() as u64),
@@ -989,7 +1070,8 @@ fn worker_loop(
     if let (Some(dur), Some(m)) = (&config.durability, &meta) {
         let delivered = log.len() as u64;
         if wal.is_some() && dur.checkpoint_every > 0 && delivered > last_checkpoint {
-            if let Err(e) = checkpoint::write_checkpoint(&dur.dir, m, &log) {
+            let floor = shared.retainer.oldest_delivered().unwrap_or(delivered);
+            if let Err(e) = checkpoint::write_checkpoint_with_floor(&dur.dir, m, &log, floor) {
                 eprintln!("[cts-daemon] {}: final checkpoint failed: {e}", config.name);
             }
         }
@@ -1020,6 +1102,8 @@ mod tests {
             shards: 1,
             durability: None,
             query_cache_capacity: 0,
+            retain_epochs: 0,
+            retain_bytes: 0,
         }
     }
 

@@ -29,9 +29,9 @@ use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushErr
 use crate::query_pool::QueryPool;
 use crate::replication;
 use crate::wire::{self, code, recv_frame, write_msg, CompInfo, Msg, Recv};
-use cts_model::{EventId, ProcessId};
+use cts_model::{EventId, EventIndex, ProcessId};
 use cts_store::queries::{greatest_concurrent, PrecedenceBackend};
-use cts_store::{CachedClusterBackend, SharedQueryCache};
+use cts_store::{CachedClusterBackend, EpochRetainer, SharedQueryCache};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -109,6 +109,12 @@ pub struct DaemonConfig {
     /// from them. Writes (`Events`, `Flush`) over the wire are refused with
     /// [`code::READ_ONLY`]; see [`crate::replication`].
     pub follow: Option<SocketAddr>,
+    /// Published epochs kept answerable for time-travel reads; `0` selects
+    /// [`crate::pipeline::DEFAULT_RETAIN_EPOCHS`].
+    pub retain_epochs: usize,
+    /// Byte budget across retained epochs, `0` = unlimited (the epoch count
+    /// cap still applies).
+    pub retain_bytes: u64,
 }
 
 impl Default for DaemonConfig {
@@ -130,6 +136,8 @@ impl Default for DaemonConfig {
             query_cache_capacity: 0,
             query_workers: 0,
             follow: None,
+            retain_epochs: 0,
+            retain_bytes: 0,
         }
     }
 }
@@ -721,12 +729,31 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
                 let reply = serve_query(comp, &shared.query_pool, &msg);
                 write_msg(&mut stream, &reply)?;
             }
+            Msg::QueryAsOfPrecedes { .. }
+            | Msg::QueryAsOfGc { .. }
+            | Msg::QueryAsOfWindow { .. }
+            | Msg::ListEpochs
+            | Msg::ReplayInterval { .. } => {
+                let reply = if negotiated < 3 {
+                    needs_protocol_3(time_travel_verb(&msg))
+                } else if let Some(comp) = session.as_ref() {
+                    serve_query(comp, &shared.query_pool, &msg)
+                } else {
+                    no_session()
+                };
+                write_msg(&mut stream, &reply)?;
+            }
             Msg::Stats => {
                 let Some(comp) = session.as_ref() else {
                     write_msg(&mut stream, &no_session())?;
                     continue;
                 };
-                let stats = comp.metrics().snapshot(comp.query_cache().stats());
+                let retainer = comp.retainer();
+                let stats = comp.metrics().snapshot(
+                    comp.query_cache().stats(),
+                    retainer.retained(),
+                    retainer.retired(),
+                );
                 write_msg(&mut stream, &Msg::StatsResult(stats))?;
             }
             Msg::ProtoHello {
@@ -813,6 +840,26 @@ pub(crate) fn needs_protocol_2(verb: &str) -> Msg {
     }
 }
 
+/// Refusal for level-3 (time-travel) verbs on a connection below level 3.
+pub(crate) fn needs_protocol_3(verb: &str) -> Msg {
+    Msg::Error {
+        code: code::UNSUPPORTED,
+        message: format!("{verb} requires ProtoHello negotiation to protocol level >= 3"),
+    }
+}
+
+/// Display name of a level-3 verb for the `UNSUPPORTED` refusal.
+pub(crate) fn time_travel_verb(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::QueryAsOfPrecedes { .. } => "QueryAsOfPrecedes",
+        Msg::QueryAsOfGc { .. } => "QueryAsOfGc",
+        Msg::QueryAsOfWindow { .. } => "QueryAsOfWindow",
+        Msg::ListEpochs => "ListEpochs",
+        Msg::ReplayInterval { .. } => "ReplayInterval",
+        _ => "time-travel verb",
+    }
+}
+
 /// The identity rows for [`Msg::ListComputations`], sorted by name so
 /// discovery sees a deterministic listing.
 pub(crate) fn list_computations(shared: &DaemonShared) -> Vec<CompInfo> {
@@ -839,9 +886,9 @@ pub(crate) fn serve_query(comp: &Computation, pool: &QueryPool, msg: &Msg) -> Ms
     let m = comp.metrics();
     m.query_ns.record(ns);
     match msg {
-        Msg::QueryPrecedes { .. } => m.precedes_ns.record(ns),
-        Msg::QueryGreatestConcurrent { .. } => m.gc_ns.record(ns),
-        Msg::QueryWindow { .. } => m.window_ns.record(ns),
+        Msg::QueryPrecedes { .. } | Msg::QueryAsOfPrecedes { .. } => m.precedes_ns.record(ns),
+        Msg::QueryGreatestConcurrent { .. } | Msg::QueryAsOfGc { .. } => m.gc_ns.record(ns),
+        Msg::QueryWindow { .. } | Msg::QueryAsOfWindow { .. } => m.window_ns.record(ns),
         Msg::QueryPrecedesBatch { .. } => {
             m.precedes_ns.record(ns);
             m.batch_queries.fetch_add(1, Ordering::Relaxed);
@@ -898,6 +945,8 @@ fn computation_config(
         shards: shared.config.shards,
         durability,
         query_cache_capacity: shared.config.query_cache_capacity,
+        retain_epochs: shared.config.retain_epochs,
+        retain_bytes: shared.config.retain_bytes,
     }
 }
 
@@ -1003,6 +1052,10 @@ pub(crate) fn hello(
 /// Server-side ceiling on ids per `WindowResult`, whatever the client's
 /// `limit` asks for (bounds reply frames and per-request work).
 pub const WINDOW_PAGE_CAP: u32 = 2048;
+
+/// Server-side ceiling on events per `ReplayChunk` (an encoded event is at
+/// most 17 bytes, so a full chunk stays well inside [`wire::MAX_FRAME`]).
+pub const REPLAY_CHUNK_CAP: u32 = 4096;
 
 /// The precedence verdict for a known pair, via the shared cache.
 fn cached_precedes(snap: &Snapshot, cache: &SharedQueryCache, e: EventId, f: EventId) -> bool {
@@ -1112,6 +1165,142 @@ fn answer_query(comp: &Computation, pool: &QueryPool, msg: &Msg) -> (Msg, u64) {
             });
             (Msg::GcBatchResult { epoch, results }, served)
         }
+        &Msg::QueryAsOfPrecedes { epoch, e, f } => {
+            let Some(asnap) = comp.retainer().get(epoch) else {
+                return (epoch_retired(epoch, comp.retainer()), 1);
+            };
+            for id in [e, f] {
+                if !asnap.trace.contains(id) {
+                    return (unknown_event(id, epoch), 1);
+                }
+            }
+            // The verdict/stamp cache layers are epoch-safe: happens-before
+            // between two delivered events never changes as later events
+            // arrive (causal delivery pins every predecessor first).
+            let reply = Msg::PrecedesResult {
+                epoch,
+                precedes: cached_precedes(&asnap, cache, e, f),
+            };
+            comp.metrics().asof_hits.fetch_add(1, Ordering::Relaxed);
+            (reply, 1)
+        }
+        &Msg::QueryAsOfGc { epoch, e } => {
+            let Some(asnap) = comp.retainer().get(epoch) else {
+                return (epoch_retired(epoch, comp.retainer()), 1);
+            };
+            if !asnap.trace.contains(e) {
+                return (unknown_event(e, epoch), 1);
+            }
+            // The greatest-concurrent memo is keyed by the snapshot's
+            // delivered length, so retained and head epochs never collide.
+            let reply = Msg::GcResult {
+                epoch,
+                slots: cached_gc(&asnap, cache, e),
+            };
+            comp.metrics().asof_hits.fetch_add(1, Ordering::Relaxed);
+            (reply, 1)
+        }
+        &Msg::QueryAsOfWindow {
+            epoch,
+            process,
+            from,
+            to,
+            limit,
+        } => {
+            let Some(asnap) = comp.retainer().get(epoch) else {
+                return (epoch_retired(epoch, comp.retainer()), 1);
+            };
+            if process >= comp.num_processes {
+                let err = Msg::Error {
+                    code: code::MALFORMED,
+                    message: format!("process {process} outside 0..{}", comp.num_processes),
+                };
+                return (err, 1);
+            }
+            let from = from.max(1);
+            let cap = match limit {
+                0 => WINDOW_PAGE_CAP,
+                n => n.min(WINDOW_PAGE_CAP),
+            };
+            let page_to = to.min(from.saturating_add(cap));
+            // The snapshot's trace holds exactly the delivered prefix as of
+            // `epoch`; each process row is a contiguous 1-based prefix.
+            let row_end = asnap.trace.process_len(ProcessId(process)) as u32 + 1;
+            let ids: Vec<EventId> = (from..page_to.min(row_end))
+                .map(|i| EventId::new(ProcessId(process), EventIndex(i)))
+                .collect();
+            let next = if page_to < to && ids.len() as u32 == page_to - from {
+                page_to
+            } else {
+                0
+            };
+            comp.metrics().asof_hits.fetch_add(1, Ordering::Relaxed);
+            (Msg::WindowResult { ids, next }, 1)
+        }
+        Msg::ListEpochs => {
+            let epochs = comp
+                .retainer()
+                .list()
+                .into_iter()
+                .map(|i| (i.epoch, i.delivered))
+                .collect();
+            (Msg::EpochList { epochs }, 1)
+        }
+        &Msg::ReplayInterval {
+            from_epoch,
+            to_epoch,
+            cursor,
+            limit,
+        } => {
+            let retainer = comp.retainer();
+            // Pin the destination epoch so retention GC cannot retire it
+            // between chunks of a single request (chunk resumption across
+            // requests re-resolves and may legitimately get EPOCH_RETIRED).
+            let Some(to_snap) = retainer.get(to_epoch) else {
+                return (epoch_retired(to_epoch, retainer), 1);
+            };
+            let d_from = if from_epoch == 0 {
+                0
+            } else {
+                match retainer.list().iter().find(|i| i.epoch == from_epoch) {
+                    Some(i) => i.delivered,
+                    None => return (epoch_retired(from_epoch, retainer), 1),
+                }
+            };
+            let d_to = to_snap.delivered;
+            if d_from > d_to {
+                let err = Msg::Error {
+                    code: code::MALFORMED,
+                    message: format!("from_epoch {from_epoch} is newer than to_epoch {to_epoch}"),
+                };
+                return (err, 1);
+            }
+            // `cursor` is the 1-based delivery offset to resume from (0 on
+            // the first request); the snapshot's trace is the delivered
+            // prefix in delivery order, so offsets index it directly.
+            let start0 = if cursor == 0 {
+                d_from
+            } else {
+                (cursor - 1).max(d_from)
+            };
+            let cap = match limit {
+                0 => REPLAY_CHUNK_CAP,
+                n => n.min(REPLAY_CHUNK_CAP),
+            } as u64;
+            let end0 = d_to.min(start0.saturating_add(cap));
+            let events = if start0 >= end0 {
+                Vec::new()
+            } else {
+                to_snap.trace.events()[start0 as usize..end0 as usize].to_vec()
+            };
+            let next = if end0 < d_to { end0 + 1 } else { 0 };
+            let reply = Msg::ReplayChunk {
+                first_offset: start0 + 1,
+                events,
+                next,
+            };
+            (reply, 1)
+        }
         _ => unreachable!("answer_query only receives queries"),
     }
 }
@@ -1120,6 +1309,19 @@ fn unknown_event(id: cts_model::EventId, epoch: u64) -> Msg {
     Msg::Error {
         code: code::UNKNOWN_EVENT,
         message: format!("{id} is not covered by snapshot epoch {epoch}"),
+    }
+}
+
+/// The time-travel refusal: the named epoch is outside the retained ring.
+fn epoch_retired(epoch: u64, retainer: &EpochRetainer<Snapshot>) -> Msg {
+    let list = retainer.list();
+    let range = match (list.first(), list.last()) {
+        (Some(a), Some(b)) => format!("{}..={}", a.epoch, b.epoch),
+        _ => "none".into(),
+    };
+    Msg::Error {
+        code: code::EPOCH_RETIRED,
+        message: format!("epoch {epoch} is not retained (retained epochs: {range})"),
     }
 }
 

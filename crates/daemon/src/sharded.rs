@@ -573,12 +573,18 @@ impl ShardedRuntime {
         g.snapshot_delivered = assembled;
         let epoch = g.epoch;
         drop(g);
-        *self.shared.snapshot.write() = Arc::new(Snapshot {
+        let snap = Arc::new(Snapshot {
             epoch,
             delivered: assembled,
             trace,
             cts,
         });
+        // Sharded retention is live-only: epoch numbers restart with the
+        // process, so there are no durable marks to republish on recovery.
+        self.shared
+            .retainer
+            .insert(epoch, assembled, snap.footprint(), Arc::clone(&snap));
+        *self.shared.snapshot.write() = snap;
         self.shared
             .metrics
             .snapshots_published

@@ -28,8 +28,10 @@ pub const VERSION: u8 = 1;
 
 /// Highest message-set level this build speaks, as negotiated by
 /// [`Msg::ProtoHello`]. Level 1 is the implicit pre-handshake set; level 2
-/// adds `ListComputations` / `Subscribe` / `StreamBatch` (replication).
-pub const PROTOCOL: u16 = 2;
+/// adds `ListComputations` / `Subscribe` / `StreamBatch` (replication);
+/// level 3 adds the time-travel verbs (`QueryAsOf*`, `ListEpochs`,
+/// `ReplayInterval`).
+pub const PROTOCOL: u16 = 3;
 
 /// Highest WAL record format this build can stream and replay (the `CTSWAL2`
 /// delta encoding; v1 fixed-width segments are still readable).
@@ -69,6 +71,10 @@ pub mod code {
     /// A `Subscribe` presented a lease minted by a previous leader
     /// incarnation; the follower must resubscribe from scratch.
     pub const LEASE_EXPIRED: u16 = 12;
+    /// A time-travel request named an epoch the retention GC has already
+    /// retired (or that was never published); see `Msg::ListEpochs` for
+    /// what is still answerable.
+    pub const EPOCH_RETIRED: u16 = 13;
 }
 
 /// Aggregate counters a [`Msg::StatsResult`] reports.
@@ -112,6 +118,12 @@ pub struct StatsSnapshot {
     pub repl_commit: u64,
     pub repl_applied: u64,
     pub repl_resubscribes: u64,
+    /// Time travel: epochs currently retained (gauge), epochs the retention
+    /// GC has retired since start, and as-of queries answered from a
+    /// retained (non-head) epoch.
+    pub epochs_retained: u64,
+    pub epochs_retired: u64,
+    pub asof_hits: u64,
 }
 
 /// One computation's identity row in a [`Msg::ComputationList`] reply.
@@ -193,6 +205,42 @@ pub enum Msg {
         from_offset: u64,
         prev_lease: u64,
     },
+    /// Time travel (level 3): [`Msg::QueryPrecedes`] answered against the
+    /// retained snapshot published at `epoch` instead of the head. A retired
+    /// (or never-published) epoch is refused with [`code::EPOCH_RETIRED`].
+    QueryAsOfPrecedes {
+        epoch: u64,
+        e: EventId,
+        f: EventId,
+    },
+    /// Time travel (level 3): greatest-concurrent as of `epoch`.
+    QueryAsOfGc {
+        epoch: u64,
+        e: EventId,
+    },
+    /// Time travel (level 3): window scroll as of `epoch`, with the same
+    /// pagination contract as [`Msg::QueryWindow`].
+    QueryAsOfWindow {
+        epoch: u64,
+        process: u32,
+        from: u32,
+        to: u32,
+        limit: u32,
+    },
+    /// Time travel (level 3): enumerate the epochs still retained (and thus
+    /// answerable by the `QueryAsOf*` verbs and `ReplayInterval`).
+    ListEpochs,
+    /// Time travel (level 3): stream the delivered-event interval between
+    /// two retained epochs, in delivery order. `from_epoch == 0` means "from
+    /// the beginning of history". `cursor` is 0 on the first request, else
+    /// the `next` from the previous [`Msg::ReplayChunk`]. `limit` caps the
+    /// events per chunk (`0` = server default).
+    ReplayInterval {
+        from_epoch: u64,
+        to_epoch: u64,
+        cursor: u64,
+        limit: u32,
+    },
 
     // ---- server → client ----
     HelloAck {
@@ -263,6 +311,19 @@ pub enum Msg {
         commit: u64,
         events: Vec<Event>,
     },
+    /// Reply to [`Msg::ListEpochs`]: `(epoch, delivered)` rows, oldest first.
+    EpochList {
+        epochs: Vec<(u64, u64)>,
+    },
+    /// One chunk of a [`Msg::ReplayInterval`] stream: events starting at
+    /// 1-based delivery offset `first_offset`, and the cursor to resume from
+    /// (`0` when the interval is fully delivered — delivery offsets are
+    /// 1-based, so 0 is never a valid cursor).
+    ReplayChunk {
+        first_offset: u64,
+        events: Vec<Event>,
+        next: u64,
+    },
     Error {
         code: u16,
         message: String,
@@ -286,6 +347,11 @@ mod tag {
     pub const PROTO_HELLO: u8 = 0x0C;
     pub const LIST_COMPS: u8 = 0x0D;
     pub const SUBSCRIBE: u8 = 0x0E;
+    pub const QUERY_ASOF_PRECEDES: u8 = 0x0F;
+    pub const QUERY_ASOF_GC: u8 = 0x10;
+    pub const QUERY_ASOF_WINDOW: u8 = 0x11;
+    pub const LIST_EPOCHS: u8 = 0x12;
+    pub const REPLAY_INTERVAL: u8 = 0x13;
     pub const HELLO_ACK: u8 = 0x81;
     pub const FLUSH_ACK: u8 = 0x83;
     pub const PRECEDES_RESULT: u8 = 0x84;
@@ -299,6 +365,8 @@ mod tag {
     pub const COMP_LIST: u8 = 0x8C;
     pub const SUBSCRIBE_ACK: u8 = 0x8D;
     pub const STREAM_BATCH: u8 = 0x8E;
+    pub const EPOCH_LIST: u8 = 0x8F;
+    pub const REPLAY_CHUNK: u8 = 0x90;
     pub const ERROR: u8 = 0x7F;
 }
 
@@ -559,6 +627,44 @@ impl Msg {
                 put_u64(&mut out, *from_offset);
                 put_u64(&mut out, *prev_lease);
             }
+            Msg::QueryAsOfPrecedes { epoch, e, f } => {
+                out.push(tag::QUERY_ASOF_PRECEDES);
+                put_u64(&mut out, *epoch);
+                put_event_id(&mut out, *e);
+                put_event_id(&mut out, *f);
+            }
+            Msg::QueryAsOfGc { epoch, e } => {
+                out.push(tag::QUERY_ASOF_GC);
+                put_u64(&mut out, *epoch);
+                put_event_id(&mut out, *e);
+            }
+            Msg::QueryAsOfWindow {
+                epoch,
+                process,
+                from,
+                to,
+                limit,
+            } => {
+                out.push(tag::QUERY_ASOF_WINDOW);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, *process);
+                put_u32(&mut out, *from);
+                put_u32(&mut out, *to);
+                put_u32(&mut out, *limit);
+            }
+            Msg::ListEpochs => out.push(tag::LIST_EPOCHS),
+            Msg::ReplayInterval {
+                from_epoch,
+                to_epoch,
+                cursor,
+                limit,
+            } => {
+                out.push(tag::REPLAY_INTERVAL);
+                put_u64(&mut out, *from_epoch);
+                put_u64(&mut out, *to_epoch);
+                put_u64(&mut out, *cursor);
+                put_u32(&mut out, *limit);
+            }
             Msg::HelloAck { session, existing } => {
                 out.push(tag::HELLO_ACK);
                 put_u64(&mut out, *session);
@@ -657,6 +763,9 @@ impl Msg {
                     s.repl_commit,
                     s.repl_applied,
                     s.repl_resubscribes,
+                    s.epochs_retained,
+                    s.epochs_retired,
+                    s.asof_hits,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -701,6 +810,24 @@ impl Msg {
                 put_u64(&mut out, *lease);
                 put_u64(&mut out, *first_offset);
                 put_u64(&mut out, *commit);
+                encode_event_block(&mut out, events);
+            }
+            Msg::EpochList { epochs } => {
+                out.push(tag::EPOCH_LIST);
+                put_u32(&mut out, epochs.len() as u32);
+                for (epoch, delivered) in epochs {
+                    put_u64(&mut out, *epoch);
+                    put_u64(&mut out, *delivered);
+                }
+            }
+            Msg::ReplayChunk {
+                first_offset,
+                events,
+                next,
+            } => {
+                out.push(tag::REPLAY_CHUNK);
+                put_u64(&mut out, *first_offset);
+                put_u64(&mut out, *next);
                 encode_event_block(&mut out, events);
             }
             Msg::Error { code, message } => {
@@ -778,6 +905,29 @@ impl Msg {
                 computation: c.string()?,
                 from_offset: c.u64()?,
                 prev_lease: c.u64()?,
+            },
+            tag::QUERY_ASOF_PRECEDES => Msg::QueryAsOfPrecedes {
+                epoch: c.u64()?,
+                e: c.event_id()?,
+                f: c.event_id()?,
+            },
+            tag::QUERY_ASOF_GC => Msg::QueryAsOfGc {
+                epoch: c.u64()?,
+                e: c.event_id()?,
+            },
+            tag::QUERY_ASOF_WINDOW => Msg::QueryAsOfWindow {
+                epoch: c.u64()?,
+                process: c.u32()?,
+                from: c.u32()?,
+                to: c.u32()?,
+                limit: c.u32()?,
+            },
+            tag::LIST_EPOCHS => Msg::ListEpochs,
+            tag::REPLAY_INTERVAL => Msg::ReplayInterval {
+                from_epoch: c.u64()?,
+                to_epoch: c.u64()?,
+                cursor: c.u64()?,
+                limit: c.u32()?,
             },
             tag::HELLO_ACK => Msg::HelloAck {
                 session: c.u64()?,
@@ -892,6 +1042,9 @@ impl Msg {
                 repl_commit: c.u64()?,
                 repl_applied: c.u64()?,
                 repl_resubscribes: c.u64()?,
+                epochs_retained: c.u64()?,
+                epochs_retired: c.u64()?,
+                asof_hits: c.u64()?,
             }),
             tag::SHUTDOWN_ACK => Msg::ShutdownAck,
             tag::PROTO_HELLO_ACK => Msg::ProtoHelloAck {
@@ -927,6 +1080,22 @@ impl Msg {
                 lease: c.u64()?,
                 first_offset: c.u64()?,
                 commit: c.u64()?,
+                events: c.event_block(payload.len())?,
+            },
+            tag::EPOCH_LIST => {
+                let n = c.u32()? as usize;
+                if n > payload.len() / 16 + 1 {
+                    return Err(WireError::Malformed("epoch count exceeds body"));
+                }
+                let mut epochs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    epochs.push((c.u64()?, c.u64()?));
+                }
+                Msg::EpochList { epochs }
+            }
+            tag::REPLAY_CHUNK => Msg::ReplayChunk {
+                first_offset: c.u64()?,
+                next: c.u64()?,
                 events: c.event_block(payload.len())?,
             },
             tag::ERROR => Msg::Error {
@@ -1158,6 +1327,29 @@ mod tests {
                 from_offset: 4096,
                 prev_lease: (3 << 32) | 7,
             },
+            Msg::QueryAsOfPrecedes {
+                epoch: 11,
+                e: id(3, 7),
+                f: id(5, 2),
+            },
+            Msg::QueryAsOfGc {
+                epoch: 11,
+                e: id(9, 1),
+            },
+            Msg::QueryAsOfWindow {
+                epoch: 11,
+                process: 4,
+                from: 10,
+                to: 20,
+                limit: 5,
+            },
+            Msg::ListEpochs,
+            Msg::ReplayInterval {
+                from_epoch: 9,
+                to_epoch: 11,
+                cursor: 512,
+                limit: 256,
+            },
             Msg::HelloAck {
                 session: 42,
                 existing: true,
@@ -1210,6 +1402,9 @@ mod tests {
                 repl_commit: 21,
                 repl_applied: 22,
                 repl_resubscribes: 23,
+                epochs_retained: 24,
+                epochs_retired: 25,
+                asof_hits: 26,
             }),
             Msg::ShutdownAck,
             Msg::ProtoHelloAck {
@@ -1247,6 +1442,17 @@ mod tests {
                     Event::new(id(0, 1), EventKind::Internal),
                     Event::new(id(0, 2), EventKind::Send { to: ProcessId(1) }),
                 ],
+            },
+            Msg::EpochList {
+                epochs: vec![(9, 4000), (10, 4050), (11, 4100)],
+            },
+            Msg::ReplayChunk {
+                first_offset: 513,
+                events: vec![
+                    Event::new(id(0, 1), EventKind::Internal),
+                    Event::new(id(1, 1), EventKind::Receive { from: id(0, 2) }),
+                ],
+                next: 515,
             },
             Msg::Error {
                 code: code::UNKNOWN_EVENT,

@@ -1,0 +1,303 @@
+//! A capacity/byte-bounded ring of retained epoch snapshots.
+//!
+//! PR 2's pipeline publishes immutable, prefix-monotone snapshots and PR 5's
+//! query path answers against the *newest* one. Time-travel queries (RepCl-style
+//! replay, as-of precedence) need older epochs to stay reachable for a while.
+//! The retainer keeps published snapshot handles in a ring bounded by an epoch
+//! count and an optional byte budget; GC retires the oldest *unpinned* entries
+//! first and never evicts the newest epoch, so the head of history is always
+//! answerable. Pins are RAII guards: an in-flight query or a replication
+//! catch-up pins the epoch it reads so GC under pressure cannot free it
+//! mid-answer, and dropping the pin re-runs GC so deferred evictions happen
+//! promptly.
+//!
+//! The retainer is generic over the snapshot type so the store layer does not
+//! depend on the daemon's `Snapshot` struct.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sync::RwLock;
+
+/// Metadata describing one retained epoch, as reported by [`EpochRetainer::list`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochInfo {
+    pub epoch: u64,
+    /// Number of delivered events covered by this epoch's snapshot.
+    pub delivered: u64,
+    /// Estimated resident bytes attributed to this entry.
+    pub bytes: u64,
+    pub pinned: bool,
+}
+
+struct Entry<T> {
+    epoch: u64,
+    delivered: u64,
+    bytes: u64,
+    pins: u32,
+    value: Arc<T>,
+}
+
+struct Ring<T> {
+    entries: VecDeque<Entry<T>>,
+    total_bytes: u64,
+}
+
+/// Bounded ring of published epochs with pin/unpin and GC.
+pub struct EpochRetainer<T> {
+    ring: RwLock<Ring<T>>,
+    retain_epochs: usize,
+    retain_bytes: u64,
+    retired: AtomicU64,
+}
+
+impl<T> EpochRetainer<T> {
+    /// `retain_epochs` bounds how many epochs stay resident (minimum 1: the
+    /// newest epoch is never evicted). `retain_bytes == 0` means no byte cap.
+    pub fn new(retain_epochs: usize, retain_bytes: u64) -> EpochRetainer<T> {
+        EpochRetainer {
+            ring: RwLock::new(Ring {
+                entries: VecDeque::new(),
+                total_bytes: 0,
+            }),
+            retain_epochs: retain_epochs.max(1),
+            retain_bytes,
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a newly published epoch, then GC anything the caps push out.
+    /// Epochs must be inserted in increasing order (publishes are serialized
+    /// by the worker loop); a stale or duplicate epoch is ignored.
+    pub fn insert(&self, epoch: u64, delivered: u64, bytes: u64, value: Arc<T>) {
+        let mut ring = self.ring.write();
+        if let Some(back) = ring.entries.back() {
+            if back.epoch >= epoch {
+                return;
+            }
+        }
+        ring.total_bytes += bytes;
+        ring.entries.push_back(Entry {
+            epoch,
+            delivered,
+            bytes,
+            pins: 0,
+            value,
+        });
+        self.gc_locked(&mut ring);
+    }
+
+    /// Evict oldest-first while over either cap, skipping pinned entries and
+    /// never evicting the newest epoch. Deferred evictions (entries skipped
+    /// because they were pinned) are retried on the next insert or unpin.
+    fn gc_locked(&self, ring: &mut Ring<T>) {
+        let mut idx = 0;
+        while ring.entries.len() > 1 && idx < ring.entries.len() - 1 && self.over_caps(ring) {
+            if ring.entries[idx].pins > 0 {
+                idx += 1;
+                continue;
+            }
+            let gone = ring.entries.remove(idx).expect("index checked");
+            ring.total_bytes -= gone.bytes;
+            self.retired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn over_caps(&self, ring: &Ring<T>) -> bool {
+        ring.entries.len() > self.retain_epochs
+            || (self.retain_bytes > 0 && ring.total_bytes > self.retain_bytes)
+    }
+
+    /// Snapshot handle for `epoch`, if still retained. The caller holds the
+    /// `Arc` for the duration of a single answer; use [`EpochRetainer::pin`]
+    /// to keep the epoch itself retained across multiple requests.
+    pub fn get(&self, epoch: u64) -> Option<Arc<T>> {
+        let ring = self.ring.read();
+        ring.entries
+            .iter()
+            .find(|e| e.epoch == epoch)
+            .map(|e| Arc::clone(&e.value))
+    }
+
+    /// Pin `epoch` against GC. Returns `None` if it is already retired.
+    pub fn pin(self: &Arc<Self>, epoch: u64) -> Option<PinnedEpoch<T>> {
+        let mut ring = self.ring.write();
+        let entry = ring.entries.iter_mut().find(|e| e.epoch == epoch)?;
+        entry.pins += 1;
+        let value = Arc::clone(&entry.value);
+        Some(PinnedEpoch {
+            retainer: Arc::clone(self),
+            epoch,
+            value,
+        })
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let mut ring = self.ring.write();
+        if let Some(entry) = ring.entries.iter_mut().find(|e| e.epoch == epoch) {
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+        // A deferred eviction may now be possible.
+        self.gc_locked(&mut ring);
+    }
+
+    /// All retained epochs, oldest first.
+    pub fn list(&self) -> Vec<EpochInfo> {
+        let ring = self.ring.read();
+        ring.entries
+            .iter()
+            .map(|e| EpochInfo {
+                epoch: e.epoch,
+                delivered: e.delivered,
+                bytes: e.bytes,
+                pinned: e.pins > 0,
+            })
+            .collect()
+    }
+
+    /// Delivered offset of the oldest retained epoch — the WAL retirement
+    /// floor: segments at or beyond this offset are still covered by a
+    /// retained epoch and must not be reclaimed.
+    pub fn oldest_delivered(&self) -> Option<u64> {
+        let ring = self.ring.read();
+        ring.entries.front().map(|e| e.delivered)
+    }
+
+    /// Number of epochs currently resident (gauge).
+    pub fn retained(&self) -> u64 {
+        self.ring.read().entries.len() as u64
+    }
+
+    /// Cumulative count of epochs GC has retired (counter).
+    pub fn retired(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Estimated resident bytes across all retained entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.ring.read().total_bytes
+    }
+}
+
+/// RAII pin: the epoch stays retained until the guard drops.
+pub struct PinnedEpoch<T> {
+    retainer: Arc<EpochRetainer<T>>,
+    epoch: u64,
+    value: Arc<T>,
+}
+
+impl<T> PinnedEpoch<T> {
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn value(&self) -> &Arc<T> {
+        &self.value
+    }
+}
+
+impl<T> Drop for PinnedEpoch<T> {
+    fn drop(&mut self) {
+        self.retainer.unpin(self.epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retainer(cap: usize, bytes: u64) -> Arc<EpochRetainer<u64>> {
+        Arc::new(EpochRetainer::new(cap, bytes))
+    }
+
+    fn fill(r: &EpochRetainer<u64>, epochs: std::ops::RangeInclusive<u64>) {
+        for e in epochs {
+            r.insert(e, e * 10, 100, Arc::new(e));
+        }
+    }
+
+    #[test]
+    fn capacity_cap_evicts_oldest_first() {
+        let r = retainer(3, 0);
+        fill(&r, 1..=5);
+        assert_eq!(r.retained(), 3);
+        assert_eq!(r.retired(), 2);
+        assert!(r.get(1).is_none());
+        assert!(r.get(2).is_none());
+        for e in 3..=5 {
+            assert_eq!(*r.get(e).expect("retained"), e);
+        }
+        assert_eq!(r.oldest_delivered(), Some(30));
+    }
+
+    #[test]
+    fn byte_cap_evicts_independently_of_count() {
+        let r = retainer(100, 250);
+        fill(&r, 1..=4); // 400 bytes > 250 cap
+        assert_eq!(r.retained(), 2);
+        assert_eq!(r.resident_bytes(), 200);
+        assert_eq!(r.retired(), 2);
+    }
+
+    #[test]
+    fn newest_epoch_never_evicted() {
+        let r = retainer(1, 50);
+        r.insert(1, 10, 1_000_000, Arc::new(1));
+        // Over both caps, but it's the only (and newest) entry.
+        assert_eq!(r.retained(), 1);
+        r.insert(2, 20, 1_000_000, Arc::new(2));
+        assert_eq!(r.retained(), 1);
+        assert_eq!(*r.get(2).expect("newest retained"), 2);
+    }
+
+    #[test]
+    fn pinned_epoch_survives_pressure_until_unpin() {
+        let r = retainer(1, 0);
+        fill(&r, 1..=1);
+        let pin = r.pin(1).expect("epoch 1 retained");
+        fill(&r, 2..=6);
+        // Epoch 1 is pinned: GC skips it even though it is far over cap.
+        assert_eq!(*r.get(1).expect("pinned survives"), 1);
+        assert_eq!(*pin.value().as_ref(), 1);
+        assert_eq!(r.retained(), 2, "pin forces ring over its cap");
+        drop(pin);
+        // Deferred eviction runs on unpin.
+        assert!(r.get(1).is_none(), "unpinned epoch collected");
+        assert_eq!(r.retained(), 1);
+    }
+
+    #[test]
+    fn pin_retired_epoch_fails() {
+        let r = retainer(2, 0);
+        fill(&r, 1..=5);
+        assert!(r.pin(1).is_none());
+        assert!(r.pin(5).is_some());
+    }
+
+    #[test]
+    fn stale_insert_ignored() {
+        let r = retainer(4, 0);
+        fill(&r, 1..=3);
+        r.insert(2, 999, 1, Arc::new(0));
+        assert_eq!(*r.get(2).expect("original entry"), 2);
+        assert_eq!(r.retained(), 3);
+    }
+
+    #[test]
+    fn list_reports_oldest_first_with_pins() {
+        let r = retainer(4, 0);
+        fill(&r, 5..=7);
+        let _pin = r.pin(6).expect("retained");
+        let infos = r.list();
+        assert_eq!(
+            infos.iter().map(|i| i.epoch).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert_eq!(
+            infos.iter().map(|i| i.pinned).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
+        assert_eq!(infos[0].delivered, 50);
+    }
+}

@@ -18,10 +18,13 @@
 //!   discarded" for one greatest-concurrent query at 1000 processes;
 //! - [`queries`]: precedence, greatest-concurrent-elements, and partial-order
 //!   scrolling over any timestamp backend;
+//! - [`epoch_retainer`]: a capacity/byte-bounded ring of retained epoch
+//!   snapshots with pin/unpin, backing the daemon's time-travel read path;
 //! - [`sync`]: the poison-tolerant `RwLock` wrapper the shared store hands
 //!   its query threads.
 
 pub mod btree;
+pub mod epoch_retainer;
 pub mod event_store;
 pub mod lru;
 pub mod queries;
@@ -31,6 +34,7 @@ pub mod timestamp_cache;
 pub mod vm_sim;
 
 pub use btree::BPlusTree;
+pub use epoch_retainer::{EpochInfo, EpochRetainer, PinnedEpoch};
 pub use event_store::{EventStore, IngestHandle, PartitionedStore, SharedStore};
 pub use lru::LruCache;
 pub use shared_cache::{CacheStats, CachedClusterBackend, SharedQueryCache};

@@ -22,10 +22,21 @@
 #             differential checks fanned across the fleet (0 mismatches),
 #             and the read scale-out claim gated: 2 followers >= 1.8x the
 #             leader's warm batched-query throughput (scaled by host cpus)
+#   replay    time-travel read path: a durable daemon retaining 8 epochs,
+#             three historical epochs per computation checked
+#             differentially against the offline engine (0 mismatches),
+#             the newest epoch re-clustered offline under a different
+#             strategy (--replay-as), a SIGKILL crash + restart proving
+#             retained history survives recovery, and the warm as-of
+#             claim gated: as-of queries <= 2x the head-epoch path
 #   bench     two cts-bench --quick runs gated against the committed
 #             baseline by scripts/bench_gate.py
 #
 # Usage: ci.sh [stage ...]     (no arguments = all stages)
+#        ci.sh --list          (print the stage names, one per line)
+#
+# A per-stage wall-clock summary is printed on exit — including on
+# failure, so a hung CI run's log shows where the time went.
 #
 # The workspace has zero external dependencies — if any step here needs
 # the network (beyond 127.0.0.1), that is itself a regression.
@@ -35,14 +46,46 @@ cd "$(dirname "$0")/.."
 # All scratch state (port files, crash-recovery data dirs, bench reports)
 # lives in one private directory created by mktemp -d: nothing is ever
 # placed at a predictable path an attacker or a parallel CI job could
-# pre-create, and one rm -rf cleans up every failure path.
-workdir=$(mktemp -d "${TMPDIR:-/tmp}/cts-ci.XXXXXX")
+# pre-create, and one rm -rf cleans up every failure path. Setting
+# CTS_CI_WORKDIR overrides that with a caller-owned directory that is
+# *kept* on exit — the GitHub workflow uses it to upload the scratch
+# logs and bench reports as an artifact when a stage fails.
+if [[ -n "${CTS_CI_WORKDIR:-}" ]]; then
+  workdir="$CTS_CI_WORKDIR"
+  mkdir -p "$workdir"
+  keep_workdir=1
+else
+  workdir=$(mktemp -d "${TMPDIR:-/tmp}/cts-ci.XXXXXX")
+  keep_workdir=0
+fi
 pids=()
+
+# Per-stage wall-clock bookkeeping for the summary table printed on exit.
+stage_names=()
+stage_secs=()
+current_stage=""
+current_start=0
+print_summary() {
+  [[ ${#stage_names[@]} -gt 0 || -n "$current_stage" ]] || return 0
+  echo
+  echo "ci.sh: stage timings"
+  printf '  %-10s %9s\n' stage seconds
+  local i
+  for i in "${!stage_names[@]}"; do
+    printf '  %-10s %9s\n' "${stage_names[$i]}" "${stage_secs[$i]}"
+  done
+  if [[ -n "$current_stage" ]]; then
+    printf '  %-10s %9s  (did not finish)\n' "$current_stage" \
+      "$((SECONDS - current_start))"
+  fi
+}
+
 cleanup() {
   for pid in "${pids[@]:-}"; do
     [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
   done
-  rm -rf "$workdir"
+  [[ "$keep_workdir" == 1 ]] || rm -rf "$workdir"
+  print_summary
 }
 trap cleanup EXIT
 
@@ -233,6 +276,53 @@ stage_repl() {
   python3 scripts/bench_gate.py results/BENCH_baseline.json     "$workdir/bench-repl.json" --claims-only     --require-speedup     repl/warm_batch_leader:repl/warm_batch_fleet:1.8
 }
 
+stage_replay() {
+  echo "==> replay: time-travel reads at retained epochs, across a crash"
+  # A durable daemon publishing every 64 deliveries and retaining 8
+  # epochs. The loadgen streams the mini suite in 32-event wire batches
+  # (small frames, so the publish cadence actually fires mid-stream and
+  # leaves a ladder of historical epochs), then time-travel-checks three
+  # historical epochs per computation differentially against the offline
+  # engine — precedence, greatest-concurrent, and window answers at each
+  # retained epoch, zero mismatches required — and finally replays the
+  # newest epoch offline under a *different* clustering strategy
+  # (merge-nth, max cluster size 8) to report the stamp-size delta.
+  local port_file="$workdir/replay-daemon.port" port
+  target/release/cts-daemon --port 0 --port-file "$port_file" \
+    --data-dir "$workdir/replay" --epoch-every 64 --retain-epochs 8 &
+  local daemon_pid=$!
+  pids+=("$daemon_pid")
+  port=$(wait_port_file "$port_file")
+  target/release/cts-loadgen --addr "127.0.0.1:$port" --quick --batch 32 \
+    --asof-epochs 3 --replay-as mergeNth:8@2
+
+  # Crash-stop (SIGKILL — no graceful checkpoint) and restart on the same
+  # data dir: recovery republishes the checkpointed epoch marks, so the
+  # retained history must still answer the same as-of checks afterwards.
+  kill -9 "$daemon_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+  rm -f "$port_file"
+  target/release/cts-daemon --port 0 --port-file "$port_file" \
+    --data-dir "$workdir/replay" --epoch-every 64 --retain-epochs 8 &
+  daemon_pid=$!
+  pids+=("$daemon_pid")
+  port=$(wait_port_file "$port_file")
+  target/release/cts-loadgen --addr "127.0.0.1:$port" --wait-ready 60 \
+    --quick --batch 32 --asof-epochs 3 --shutdown
+  wait "$daemon_pid" 2>/dev/null || true
+  echo "ci.sh: replay soak ok (history survived the crash, port $port)"
+
+  # The warm as-of claim: answering at a retained historical epoch costs
+  # <= 2x the same queries at the head (head/asof >= 0.5 within-run).
+  # --claims-only: the filtered run lacks the calibration kernel; the
+  # absolute numbers are gated by the bench stage.
+  target/release/cts-bench --quick timetravel >"$workdir/bench-replay.json"
+  python3 scripts/bench_gate.py results/BENCH_baseline.json \
+    "$workdir/bench-replay.json" --claims-only \
+    --require-ratio \
+    timetravel/precedes_head_256:timetravel/precedes_asof_256:0.5
+}
+
 stage_bench() {
   echo "==> bench: quick suite x2 vs committed baseline"
   target/release/cts-bench --quick >"$workdir/bench-1.json"
@@ -248,12 +338,21 @@ stage_bench() {
     shard_ingest/sharded_web_288_s1:shard_ingest/sharded_web_288_s4:1.8
 }
 
-all_stages=(fmt clippy build test smoke recovery query net repl bench)
+all_stages=(fmt clippy build test smoke recovery query net repl replay bench)
+if [[ "${1:-}" == "--list" ]]; then
+  printf '%s\n' "${all_stages[@]}"
+  exit 0
+fi
 stages=("${@:-${all_stages[@]}}")
 for stage in "${stages[@]}"; do
   case "$stage" in
-  fmt | clippy | build | test | smoke | recovery | query | net | repl | bench)
+  fmt | clippy | build | test | smoke | recovery | query | net | repl | replay | bench)
+    current_stage="$stage"
+    current_start=$SECONDS
     "stage_$stage"
+    stage_names+=("$stage")
+    stage_secs+=("$((SECONDS - current_start))")
+    current_stage=""
     ;;
   *)
     echo "ci.sh: unknown stage '$stage' (known: ${all_stages[*]})" >&2

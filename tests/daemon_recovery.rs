@@ -48,6 +48,8 @@ fn durable_config(name: &str, n: u32, dir: &Path, budget: Option<u64>) -> Comput
             wal_byte_budget: budget,
         }),
         query_cache_capacity: 0,
+        retain_epochs: 0,
+        retain_bytes: 0,
     }
 }
 

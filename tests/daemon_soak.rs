@@ -172,6 +172,8 @@ fn sharded_shutdown_is_idempotent() {
         shards: 4,
         durability: None,
         query_cache_capacity: 0,
+        retain_epochs: 0,
+        retain_bytes: 0,
     });
     for chunk in relinearize(&t, 3).events().chunks(37) {
         comp.enqueue_events(chunk.to_vec()).unwrap();
@@ -187,6 +189,56 @@ fn sharded_shutdown_is_idempotent() {
     });
     rx.recv_timeout(std::time::Duration::from_secs(10))
         .expect("second shutdown() hung");
+}
+
+/// Retention must *cycle* under sustained publishing: with a small epoch
+/// cadence the default cap (8 retained epochs) is exceeded many times
+/// over, so the retainer has to retire old epochs while still answering
+/// time-travel queries over the window it kept — and the stats gauges
+/// must show both sides of that churn.
+#[test]
+fn soak_retention_cycles_under_default_cap() {
+    let daemon = Daemon::start(DaemonConfig {
+        epoch_every: 32,
+        ..DaemonConfig::default()
+    })
+    .expect("bind loopback");
+    let t = Stencil1D {
+        procs: 8,
+        iters: 40,
+    }
+    .generate(9);
+    let mut c = Client::connect(daemon.local_addr()).expect("connect");
+    c.hello("retention-soak", t.num_processes(), 4)
+        .expect("hello");
+    c.stream_events(t.events(), 128).expect("stream");
+    c.flush(t.num_events() as u64).expect("flush");
+    let stats = c.stats().expect("stats");
+    assert!(
+        stats.snapshots_published > 8,
+        "cadence too coarse to cycle retention ({} publishes)",
+        stats.snapshots_published
+    );
+    assert!(stats.epochs_retained >= 1);
+    assert!(
+        stats.epochs_retained <= 8,
+        "retained {} epochs, default cap is 8",
+        stats.epochs_retained
+    );
+    assert!(
+        stats.epochs_retired > 0,
+        "no epochs retired despite {} publishes",
+        stats.snapshots_published
+    );
+    // The window that survived is still fully time-travel-queryable.
+    c.proto_hello().expect("proto hello");
+    let epochs = c.list_epochs().expect("list epochs");
+    assert_eq!(epochs.len() as u64, stats.epochs_retained);
+    let first = t.events()[0].id;
+    let (oldest, _) = epochs[0];
+    assert!(!c.asof_precedes(oldest, first, first).expect("as-of query"));
+    c.goodbye().expect("goodbye");
+    daemon.shutdown();
 }
 
 #[test]
