@@ -48,6 +48,31 @@ impl Runner {
         let e = self.bencher.bench(group, name, f);
         eprintln!("{:<48} median {:>12} ns", e.id(), e.median_ns);
     }
+
+    /// Record a quality metric (a count, not a duration) as a bench entry so
+    /// `bench_gate.py --require-ratio` can gate on it. Same idiom as the c10k
+    /// idle-cost entries in the load generator: the value is stored in the
+    /// ns fields verbatim.
+    fn scalar(&mut self, group: &str, name: &str, v: f64) {
+        let id = format!("{group}/{name}");
+        if let Some(pat) = &self.filter {
+            if !id.contains(pat.as_str()) {
+                return;
+            }
+        }
+        let e = cts_util::bench::BenchEntry {
+            group: group.to_string(),
+            name: name.to_string(),
+            samples: 1,
+            iters_per_sample: 1,
+            min_ns: v,
+            median_ns: v,
+            p95_ns: v,
+            mean_ns: v,
+        };
+        eprintln!("{:<48} value  {:>12}", e.id(), v);
+        self.bencher.record_entry(e);
+    }
 }
 
 fn bench_fm(r: &mut Runner) {
@@ -559,6 +584,66 @@ fn bench_wal(r: &mut Runner) {
     });
 }
 
+/// Online adaptive re-clustering on the planted-drift fixtures.
+///
+/// Two kinds of entries:
+///
+/// - timed `engine_*` entries: throughput of the adaptive engine vs the
+///   plain single-pass engine on the same trace (the adaptive bookkeeping
+///   should cost an EWMA update, not a second pass);
+/// - scalar `cr_*` entries: *cluster-receive counts*, the paper's quality
+///   metric. The gated claim is that the adaptive engine beats the worst
+///   static strategy on each drift trace by >= 1.2x — i.e. drift detection
+///   pays for itself exactly where static clustering goes stale.
+fn bench_adaptive(r: &mut Runner) {
+    use cts_core::cluster::{AdaptiveEngine, AdaptiveParams};
+    use cts_workloads::drift::{PhaseShiftStencil, RebalancedWebTiers};
+    use cts_workloads::Workload;
+
+    let g = "adaptive";
+    let stencil = PhaseShiftStencil {
+        procs: 32,
+        phases: 4,
+        iters_per_phase: 6,
+        block: 8,
+    }
+    .generate(1);
+    let tiers = RebalancedWebTiers {
+        clients: 12,
+        frontends: 6,
+        backends: 6,
+        requests: 600,
+        phases: 3,
+    }
+    .generate(1);
+    let params = AdaptiveParams::new(12);
+
+    r.run(g, "engine_run_stencil", || {
+        AdaptiveEngine::run(&stencil, params).num_cluster_receives()
+    });
+    r.run(g, "engine_run_merge1st_stencil", || {
+        ClusterEngine::run(&stencil, MergeOnFirst::new(12)).num_cluster_receives()
+    });
+
+    for t in [&stencil, &tiers] {
+        let tag = if std::ptr::eq(t, &stencil) {
+            "stencil"
+        } else {
+            "tiers"
+        };
+        let n = t.num_processes();
+        let adaptive = AdaptiveEngine::run(t, params).num_cluster_receives();
+        let statics = [
+            ClusterEngine::run(t, MergeOnFirst::new(12)).num_cluster_receives(),
+            ClusterEngine::run(t, MergeOnNth::new(n, 12, 10.0)).num_cluster_receives(),
+            static_pipeline(t, 12).1.num_cluster_receives(),
+        ];
+        let worst = *statics.iter().max().unwrap();
+        r.scalar(g, &format!("cr_adaptive_{tag}"), adaptive as f64);
+        r.scalar(g, &format!("cr_static_worst_{tag}"), worst as f64);
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut filter: Option<String> = None;
@@ -598,6 +683,7 @@ fn main() {
     bench_daemon(&mut r);
     bench_shard_ingest(&mut r);
     bench_wal(&mut r);
+    bench_adaptive(&mut r);
     if r.bencher.entries().is_empty() {
         eprintln!("no benches matched the filter");
         std::process::exit(1);

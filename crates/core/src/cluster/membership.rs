@@ -1,15 +1,19 @@
-//! Cluster membership: a union-find over processes with immutable version
+//! Cluster membership: a slot map over processes with immutable version
 //! snapshots.
 //!
 //! The self-organizing cluster timestamp needs two things from its cluster
-//! bookkeeping: (a) fast *current* membership queries and merges while events
-//! stream in, and (b) a permanent record of the cluster **as it was** when
-//! each event was stamped, because an event's projected timestamp is indexed
-//! by the member list of its cluster at stamping time. We get (a) from a
-//! size-united, path-compressed union-find and (b) from append-only version
-//! snapshots: every merge allocates a new [`ClusterVersionId`] with a sorted
-//! member list, and old versions are never mutated. A computation over `N`
-//! processes creates at most `2N − 1` versions.
+//! bookkeeping: (a) fast *current* membership queries, merges, and (since the
+//! adaptive strategy) single-process migrations while events stream in, and
+//! (b) a permanent record of the cluster **as it was** when each event was
+//! stamped, because an event's projected timestamp is indexed by the member
+//! list of its cluster at stamping time. We get (a) from a direct
+//! process→slot map (`find` is O(1); slots are stable identities that outlive
+//! any particular member, so a cluster survives its original anchor process
+//! migrating away) and (b) from append-only version snapshots: every merge
+//! allocates one new [`ClusterVersionId`] with a sorted member list, every
+//! migration allocates two (shrunk source, grown destination), and old
+//! versions are never mutated. A merge-only computation over `N` processes
+//! creates at most `2N − 1` versions; each migration adds two more.
 
 use crate::clustering::Clustering;
 use cts_model::ProcessId;
@@ -18,13 +22,17 @@ use cts_model::ProcessId;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ClusterVersionId(pub u32);
 
-/// Union-find over processes plus immutable version snapshots.
+/// Process→slot map plus immutable version snapshots. A *slot* (what the
+/// merge-only API historically called a *root*) is a stable cluster identity:
+/// merges retire the smaller side's slot, migrations move one process between
+/// two live slots.
 #[derive(Clone, Debug)]
 pub struct ClusterSets {
-    parent: Vec<u32>,
-    /// For roots: the current version id of the root's cluster. Garbage for
-    /// non-roots.
-    version_at_root: Vec<u32>,
+    /// Current slot of each process.
+    slot_of: Vec<u32>,
+    /// For live slots: the current version id of the slot's cluster. Garbage
+    /// for retired (empty) slots.
+    version_at_slot: Vec<u32>,
     /// Sorted member lists, append-only.
     versions: Vec<Box<[ProcessId]>>,
 }
@@ -34,8 +42,8 @@ impl ClusterSets {
     /// dynamic strategies).
     pub fn singletons(n: u32) -> ClusterSets {
         ClusterSets {
-            parent: (0..n).collect(),
-            version_at_root: (0..n).collect(),
+            slot_of: (0..n).collect(),
+            version_at_slot: (0..n).collect(),
             versions: (0..n)
                 .map(|p| vec![ProcessId(p)].into_boxed_slice())
                 .collect(),
@@ -49,17 +57,17 @@ impl ClusterSets {
             .validate(n)
             .expect("clustering must be a partition of 0..n");
         let mut sets = ClusterSets {
-            parent: vec![0; n as usize],
-            version_at_root: vec![0; n as usize],
+            slot_of: vec![0; n as usize],
+            version_at_slot: vec![0; n as usize],
             versions: Vec::with_capacity(clustering.num_clusters()),
         };
         for members in clustering.clusters() {
-            let root = members[0].0;
+            let slot = members[0].0;
             let vid = sets.versions.len() as u32;
             for &m in members {
-                sets.parent[m.idx()] = root;
+                sets.slot_of[m.idx()] = slot;
             }
-            sets.version_at_root[root as usize] = vid;
+            sets.version_at_slot[slot as usize] = vid;
             let mut sorted = members.to_vec();
             sorted.sort_unstable();
             sets.versions.push(sorted.into_boxed_slice());
@@ -69,39 +77,30 @@ impl ClusterSets {
 
     /// Number of processes.
     pub fn num_processes(&self) -> usize {
-        self.parent.len()
+        self.slot_of.len()
     }
 
-    /// Union-find root of `p`'s cluster, with path compression.
+    /// Slot (cluster identity) of `p`. Kept `&mut` for signature
+    /// compatibility with the union-find era; the lookup is O(1) and does
+    /// not mutate.
     pub fn find(&mut self, p: ProcessId) -> u32 {
-        let mut x = p.0;
-        while self.parent[x as usize] != x {
-            // Path halving: point to grandparent as we walk.
-            let gp = self.parent[self.parent[x as usize] as usize];
-            self.parent[x as usize] = gp;
-            x = gp;
-        }
-        x
+        self.slot_of[p.idx()]
     }
 
-    /// Root without mutation (no compression) — for read-only contexts.
+    /// Slot of `p` without requiring `&mut` — for read-only contexts.
     pub fn find_readonly(&self, p: ProcessId) -> u32 {
-        let mut x = p.0;
-        while self.parent[x as usize] != x {
-            x = self.parent[x as usize];
-        }
-        x
+        self.slot_of[p.idx()]
     }
 
     /// Current version of the cluster containing `p`.
     pub fn current_version(&mut self, p: ProcessId) -> ClusterVersionId {
         let r = self.find(p);
-        ClusterVersionId(self.version_at_root[r as usize])
+        ClusterVersionId(self.version_at_slot[r as usize])
     }
 
-    /// Current version of the cluster rooted at `root`.
+    /// Current version of the cluster occupying `root`.
     pub fn version_of_root(&self, root: u32) -> ClusterVersionId {
-        ClusterVersionId(self.version_at_root[root as usize])
+        ClusterVersionId(self.version_at_slot[root as usize])
     }
 
     /// Are `p` and `q` currently in the same cluster?
@@ -109,9 +108,9 @@ impl ClusterSets {
         self.find(p) == self.find(q)
     }
 
-    /// Size of the cluster rooted at `root`.
+    /// Size of the cluster occupying `root`.
     pub fn size_of_root(&self, root: u32) -> usize {
-        self.versions[self.version_at_root[root as usize] as usize].len()
+        self.versions[self.version_at_slot[root as usize] as usize].len()
     }
 
     /// Member list of a version snapshot (sorted by process id).
@@ -139,19 +138,19 @@ impl ClusterSets {
         self.position(v, q).is_some()
     }
 
-    /// Merge the clusters rooted at `ra` and `rb`; returns `(new_root,
-    /// new_version)`. The two roots must be distinct, current roots.
+    /// Merge the clusters at slots `ra` and `rb`; returns `(surviving_slot,
+    /// new_version)`. The two slots must be distinct, live slots.
     pub fn merge(&mut self, ra: u32, rb: u32) -> (u32, ClusterVersionId) {
         assert_ne!(ra, rb, "merging a cluster with itself");
-        debug_assert_eq!(self.parent[ra as usize], ra);
-        debug_assert_eq!(self.parent[rb as usize], rb);
+        debug_assert!(self.slot_is_live(ra), "merge from retired slot {ra}");
+        debug_assert!(self.slot_is_live(rb), "merge from retired slot {rb}");
         let (big, small) = if self.size_of_root(ra) >= self.size_of_root(rb) {
             (ra, rb)
         } else {
             (rb, ra)
         };
-        let va = self.version_at_root[big as usize] as usize;
-        let vb = self.version_at_root[small as usize] as usize;
+        let va = self.version_at_slot[big as usize] as usize;
+        let vb = self.version_at_slot[small as usize] as usize;
         // Sorted merge of the two member lists.
         let (a, b) = (&self.versions[va], &self.versions[vb]);
         let mut merged = Vec::with_capacity(a.len() + b.len());
@@ -167,34 +166,80 @@ impl ClusterSets {
         }
         merged.extend_from_slice(&a[i..]);
         merged.extend_from_slice(&b[j..]);
+        for &m in self.versions[vb].iter() {
+            self.slot_of[m.idx()] = big;
+        }
         let vid = ClusterVersionId(self.versions.len() as u32);
         self.versions.push(merged.into_boxed_slice());
-        self.parent[small as usize] = big;
-        self.version_at_root[big as usize] = vid.0;
+        self.version_at_slot[big as usize] = vid.0;
         (big, vid)
+    }
+
+    /// Move one process `q` from its current cluster into the cluster at
+    /// slot `to`. Allocates two fresh versions — the shrunk source and the
+    /// grown destination — and returns `(source_version, dest_version)`.
+    /// The destination must be a live slot distinct from `q`'s own; if `q`
+    /// was the last member of its source cluster, the source version is
+    /// empty and its slot retires.
+    pub fn migrate(&mut self, q: ProcessId, to: u32) -> (ClusterVersionId, ClusterVersionId) {
+        let from = self.slot_of[q.idx()];
+        assert_ne!(from, to, "migrating a process into its own cluster");
+        debug_assert!(self.slot_is_live(to), "migrating into retired slot {to}");
+        let vf = self.version_at_slot[from as usize] as usize;
+        let shrunk: Vec<ProcessId> = self.versions[vf]
+            .iter()
+            .copied()
+            .filter(|&m| m != q)
+            .collect();
+        let src_vid = ClusterVersionId(self.versions.len() as u32);
+        self.versions.push(shrunk.into_boxed_slice());
+        self.version_at_slot[from as usize] = src_vid.0;
+
+        let vt = self.version_at_slot[to as usize] as usize;
+        let dest = &self.versions[vt];
+        let at = dest.partition_point(|&m| m < q);
+        let mut grown = Vec::with_capacity(dest.len() + 1);
+        grown.extend_from_slice(&dest[..at]);
+        grown.push(q);
+        grown.extend_from_slice(&dest[at..]);
+        let dst_vid = ClusterVersionId(self.versions.len() as u32);
+        self.versions.push(grown.into_boxed_slice());
+        self.version_at_slot[to as usize] = dst_vid.0;
+        self.slot_of[q.idx()] = to;
+        (src_vid, dst_vid)
+    }
+
+    fn slot_is_live(&self, slot: u32) -> bool {
+        self.slot_of.contains(&slot)
     }
 
     /// Number of distinct current clusters.
     pub fn num_clusters(&self) -> usize {
-        (0..self.parent.len())
-            .filter(|&i| self.parent[i] == i as u32)
-            .count()
+        let mut seen = vec![false; self.version_at_slot.len()];
+        let mut count = 0;
+        for &s in &self.slot_of {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                count += 1;
+            }
+        }
+        count
     }
 
     /// Snapshot of the current partition as a [`Clustering`].
     pub fn current_partition(&self) -> Clustering {
-        let n = self.parent.len();
+        let n = self.slot_of.len();
         let mut groups: Vec<Vec<ProcessId>> = Vec::new();
-        let mut slot: Vec<Option<usize>> = vec![None; n];
+        let mut slot: Vec<Option<usize>> = vec![None; self.version_at_slot.len()];
         for p in 0..n {
-            let r = self.find_readonly(ProcessId(p as u32)) as usize;
+            let r = self.slot_of[p] as usize;
             let g = *slot[r].get_or_insert_with(|| {
                 groups.push(Vec::new());
                 groups.len() - 1
             });
             groups[g].push(ProcessId(p as u32));
         }
-        Clustering::new(groups).expect("union-find yields a partition")
+        Clustering::new(groups).expect("slot map yields a partition")
     }
 }
 
@@ -281,5 +326,63 @@ mod tests {
         let mut s = ClusterSets::singletons(2);
         let r = s.find(p(0));
         s.merge(r, r);
+    }
+
+    #[test]
+    fn migrate_moves_one_process_between_live_slots() {
+        let mut s = ClusterSets::singletons(5);
+        let (ra, rb) = (s.find(p(0)), s.find(p(1)));
+        let (ab, _) = s.merge(ra, rb);
+        let (rc, rd) = (s.find(p(3)), s.find(p(4)));
+        let (cd, _) = s.merge(rc, rd);
+        let before_src = s.version_of_root(ab);
+        let (src_v, dst_v) = s.migrate(p(1), cd);
+        assert_eq!(s.members(src_v), &[p(0)]);
+        assert_eq!(s.members(dst_v), &[p(1), p(3), p(4)]);
+        // Old snapshots unchanged.
+        assert_eq!(s.members(before_src), &[p(0), p(1)]);
+        assert!(s.same_cluster(p(1), p(3)));
+        assert!(!s.same_cluster(p(0), p(1)));
+        assert_eq!(s.num_clusters(), 3);
+        assert_eq!(s.position(dst_v, p(1)), Some(0));
+    }
+
+    #[test]
+    fn migrate_last_member_retires_source_slot() {
+        let mut s = ClusterSets::singletons(3);
+        let (ra, rb) = (s.find(p(0)), s.find(p(1)));
+        let (ab, _) = s.merge(ra, rb);
+        let (src_v, dst_v) = s.migrate(p(2), ab);
+        assert!(s.members(src_v).is_empty());
+        assert_eq!(s.members(dst_v), &[p(0), p(1), p(2)]);
+        assert_eq!(s.num_clusters(), 1);
+        let part = s.current_partition();
+        assert_eq!(part.num_clusters(), 1);
+    }
+
+    #[test]
+    fn cluster_survives_anchor_departure() {
+        // The slot keeps working even when the process whose id named it
+        // migrates away (the union-find representation could not do this).
+        let mut s = ClusterSets::singletons(4);
+        let (ra, rb) = (s.find(p(0)), s.find(p(1)));
+        let (r01, _) = s.merge(ra, rb);
+        assert_eq!(r01, 0);
+        let lone = s.find(p(3));
+        s.migrate(p(0), lone);
+        // Slot 0 now holds only P1; merging into it still works.
+        assert_eq!(s.find(p(1)), 0);
+        let rc = s.find(p(2));
+        let (_, v) = s.merge(0, rc);
+        assert_eq!(s.members(v), &[p(1), p(2)]);
+        assert!(s.same_cluster(p(0), p(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "migrating a process into its own cluster")]
+    fn self_migrate_panics() {
+        let mut s = ClusterSets::singletons(2);
+        let r = s.find(p(0));
+        s.migrate(p(0), r);
     }
 }

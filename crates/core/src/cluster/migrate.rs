@@ -172,6 +172,14 @@ pub struct MigratingEngine {
     affinity: Vec<HashMap<u32, u32>>,
     /// Processes whose next event must carry a full stamp (migration marker).
     pending_marker: Vec<bool>,
+    /// Own event index at each process's last membership change: receives
+    /// from a source event at or before this index are forced to full
+    /// stamps (the stale-source rule), because a message sent before the
+    /// migration but delivered after it can carry knowledge of the departed
+    /// process that an intra-cluster projection would silently drop.
+    lmc: Vec<u32>,
+    /// Last delivered own index per process.
+    last_index: Vec<u32>,
     stamps: Vec<ClusterStamp>,
     crs: Vec<Vec<CrRecord>>,
     num_cluster_receives: usize,
@@ -201,6 +209,8 @@ impl MigratingEngine {
             pair_counts: HashMap::new(),
             affinity: vec![HashMap::new(); n as usize],
             pending_marker: vec![false; n as usize],
+            lmc: vec![0; n as usize],
+            last_index: vec![0; n as usize],
             stamps: Vec::new(),
             crs: vec![Vec::new(); n as usize],
             num_cluster_receives: 0,
@@ -221,6 +231,7 @@ impl MigratingEngine {
     pub fn accept(&mut self, ev: Event) {
         let fm_stamp = self.fm.accept(ev);
         let p = ev.process();
+        self.last_index[p.idx()] = ev.index().0;
 
         // Migration marker: the first post-migration event is always a
         // recorded full stamp, regardless of kind (soundness anchor).
@@ -234,6 +245,14 @@ impl MigratingEngine {
         let cr_from = match ev.kind.receive_source() {
             Some(src) if self.clusters.slot(src.process) != my_slot => {
                 Some(self.clusters.slot(src.process))
+            }
+            Some(src) if src.index.0 <= self.lmc[src.process.idx()] => {
+                // Stale-source rule: intra-cluster receive from a send
+                // performed before the source's last membership change —
+                // projecting would hide departed-process knowledge.
+                self.num_cluster_receives += 1;
+                self.record_full(p, ev.index().0, fm_stamp);
+                return;
             }
             _ => None,
         };
@@ -291,8 +310,10 @@ impl MigratingEngine {
                     self.clusters.migrate(p, their_slot);
                     self.num_migrations += 1;
                     self.affinity[p.idx()].clear();
+                    self.lmc[p.idx()] = ev.index().0;
                     for m in remaining {
                         self.pending_marker[m.idx()] = true;
+                        self.lmc[m.idx()] = self.last_index[m.idx()];
                     }
                 }
             }
@@ -524,6 +545,36 @@ mod tests {
             let mts = MigratingEngine::run(&t, 2, 0.0, migrate_after);
             check_exact(&t, &mts);
         }
+    }
+
+    #[test]
+    fn delayed_intra_cluster_delivery_stays_exact() {
+        // Regression: a message sent inside the old cluster before a
+        // migration but delivered after it must not lose knowledge of the
+        // departed process (the stale-source rule).
+        let mut b = TraceBuilder::new(5);
+        let s = b.send(p(0), p(1)).unwrap();
+        b.receive(p(1), s).unwrap();
+        let s = b.send(p(1), p(2)).unwrap();
+        b.receive(p(2), s).unwrap();
+        let s = b.send(p(2), p(1)).unwrap();
+        b.receive(p(1), s).unwrap();
+        let delayed = b.send(p(1), p(0)).unwrap();
+        for _ in 0..6 {
+            let s = b.send(p(3), p(2)).unwrap();
+            b.receive(p(2), s).unwrap();
+            let s = b.send(p(2), p(4)).unwrap();
+            b.receive(p(4), s).unwrap();
+        }
+        // Consume P0's marker first so only the stale-source rule protects
+        // the delayed delivery.
+        b.internal(p(0)).unwrap();
+        b.receive(p(0), delayed).unwrap();
+        b.internal(p(0)).unwrap();
+        let t = b.finish_complete("stale-source-migrating").unwrap();
+        let mts = MigratingEngine::run(&t, 3, 0.0, 3);
+        assert!(mts.num_migrations() >= 1, "trace must trigger a migration");
+        check_exact(&t, &mts);
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! as the cluster's gateway to the outside world. Precedence queries on
 //! projected stamps route through the recorded cluster receives.
 
+pub mod adaptive;
 pub mod engine;
 pub mod membership;
 pub mod migrate;
 pub mod space;
 pub mod stamp;
 
+pub use adaptive::{AdaptiveEngine, AdaptiveParams, DriftDecider};
 pub use engine::{ClusterEngine, ClusterTimestamps};
 pub use membership::{ClusterSets, ClusterVersionId};
 pub use migrate::{MigratingEngine, MigratingTimestamps};

@@ -17,6 +17,7 @@ mod merge_nth;
 pub use merge_first::MergeOnFirst;
 pub use merge_nth::MergeOnNth;
 
+use crate::cluster::adaptive::{AdaptiveEngine, AdaptiveParams};
 use crate::cluster::membership::ClusterSets;
 use crate::cluster::{ClusterEngine, ClusterTimestamps};
 use cts_model::Trace;
@@ -72,15 +73,18 @@ impl MergePolicy for StaticClusters {
 
 /// A dynamic strategy selected by text, e.g. on a command line: the grammar
 /// is `<name>:<maxCS>` with `merge1st`, `mergeNth` (optional `@τ` threshold
-/// suffix on the size, default τ=5), and `never` (whose `:<maxCS>` only
-/// sizes the encoding — clusters stay singletons). This is what
-/// `cts-loadgen --replay-as` parses to re-cluster a replayed interval under
-/// a strategy other than the one that served it.
+/// suffix on the size, default τ=5), `never` (whose `:<maxCS>` only
+/// sizes the encoding — clusters stay singletons), and `adaptive`
+/// (optional `@τ` merge threshold and `/m` migrate-after suffixes, e.g.
+/// `adaptive:8@0.5/3` — merge-on-Nth plus drift-triggered migration). This
+/// is what `cts-loadgen --replay-as` parses to re-cluster a replayed
+/// interval under a strategy other than the one that served it.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum StrategySpec {
     MergeOnFirst { max_cs: usize },
     MergeOnNth { max_cs: usize, threshold: f64 },
     NeverMerge { max_cs: usize },
+    Adaptive { params: AdaptiveParams },
 }
 
 impl StrategySpec {
@@ -92,6 +96,10 @@ impl StrategySpec {
                 format!("merge-nth-t{threshold}:{max_cs}")
             }
             StrategySpec::NeverMerge { max_cs } => format!("never-merge:{max_cs}"),
+            StrategySpec::Adaptive { params } => format!(
+                "adaptive-t{}-m{}:{}",
+                params.merge_threshold, params.migrate_after, params.max_cluster_size
+            ),
         }
     }
 
@@ -101,6 +109,7 @@ impl StrategySpec {
             StrategySpec::MergeOnFirst { max_cs }
             | StrategySpec::MergeOnNth { max_cs, .. }
             | StrategySpec::NeverMerge { max_cs } => max_cs,
+            StrategySpec::Adaptive { params } => params.max_cluster_size,
         }
     }
 
@@ -115,6 +124,7 @@ impl StrategySpec {
                 MergeOnNth::new(trace.num_processes(), max_cs, threshold),
             ),
             StrategySpec::NeverMerge { .. } => ClusterEngine::run(trace, NeverMerge),
+            StrategySpec::Adaptive { params } => AdaptiveEngine::run(trace, params),
         }
     }
 }
@@ -167,8 +177,37 @@ impl std::str::FromStr for StrategySpec {
                     None => 1,
                 },
             }),
+            "adaptive" => {
+                let size =
+                    size.ok_or_else(|| format!("{s:?}: adaptive needs :<maxCS>[@tau][/m]"))?;
+                let (size, migrate_after) = match size.split_once('/') {
+                    Some((size, m)) => {
+                        let m: u32 = m.parse().ok().filter(|&m| m >= 1).ok_or_else(|| {
+                            format!("bad migrate-after {m:?} in strategy spec {s:?}")
+                        })?;
+                        (size, m)
+                    }
+                    None => (size, AdaptiveParams::new(1).migrate_after),
+                };
+                let (size, threshold) = match size.split_once('@') {
+                    Some((size, tau)) => {
+                        let tau: f64 = tau
+                            .parse()
+                            .map_err(|_| format!("bad threshold {tau:?} in strategy spec {s:?}"))?;
+                        if tau.is_nan() || tau < 0.0 {
+                            return Err(format!("threshold must be non-negative in {s:?}"));
+                        }
+                        (size, tau)
+                    }
+                    None => (size, AdaptiveParams::new(1).merge_threshold),
+                };
+                let mut params = AdaptiveParams::new(parse_size(size)?);
+                params.merge_threshold = threshold;
+                params.migrate_after = migrate_after;
+                Ok(StrategySpec::Adaptive { params })
+            }
             other => Err(format!(
-                "unknown strategy {other:?} (expected merge1st, mergeNth, or never)"
+                "unknown strategy {other:?} (expected merge1st, mergeNth, never, or adaptive)"
             )),
         }
     }
@@ -219,6 +258,24 @@ mod tests {
         assert!("merge1st:0".parse::<StrategySpec>().is_err());
         assert!("mergeNth:4@-1".parse::<StrategySpec>().is_err());
         assert!("kmedoid:4".parse::<StrategySpec>().is_err());
+        let defaults = AdaptiveParams::new(8);
+        assert_eq!(
+            "adaptive:8".parse::<StrategySpec>(),
+            Ok(StrategySpec::Adaptive { params: defaults })
+        );
+        assert_eq!(
+            "adaptive:8@0.25/5".parse::<StrategySpec>(),
+            Ok(StrategySpec::Adaptive {
+                params: AdaptiveParams {
+                    merge_threshold: 0.25,
+                    migrate_after: 5,
+                    ..defaults
+                }
+            })
+        );
+        assert!("adaptive".parse::<StrategySpec>().is_err());
+        assert!("adaptive:8/0".parse::<StrategySpec>().is_err());
+        assert!("adaptive:8@-1".parse::<StrategySpec>().is_err());
     }
 
     #[test]
@@ -234,7 +291,7 @@ mod tests {
             ],
         )
         .expect("valid delivery order");
-        for spec in ["merge1st:2", "mergeNth:2@0", "never"] {
+        for spec in ["merge1st:2", "mergeNth:2@0", "never", "adaptive:2"] {
             let spec: StrategySpec = spec.parse().expect("valid spec");
             let cts = spec.run(&trace);
             assert_eq!(cts.stamps().len(), 2, "{}", spec.label());

@@ -76,6 +76,18 @@
 //! checkpoint), and — with `--restart` — start a fresh daemon on the same
 //! data directory, wait for recovery, re-stream the full suite, and run
 //! the standard differential checks, which must report zero mismatches.
+//!
+//! `--drift` switches to the adaptive re-clustering soak (PR 9): the
+//! planted-drift fixtures are streamed through an *adaptive* in-process
+//! daemon (or an external `--addr` daemon started with `--adaptive`),
+//! segmented at their planted phase boundaries so the reported
+//! cluster-receive-ratio curves line up with the plants, then the full
+//! differential suite (including `--asof-epochs` time travel) re-verifies
+//! every answer. Exit status is non-zero on any mismatch *or* if a fixture
+//! finished without a single drift migration — a dead detector fails the
+//! soak even when the answers are right. Unless `--max-cluster-size` is
+//! given, the soak uses 12 (the phase-stencil fixture's blocks are 8 wide,
+//! and a migration needs room in the destination cluster).
 
 use cts_daemon::loadgen::{self, LoadConfig};
 use cts_daemon::server::{Daemon, DaemonConfig};
@@ -97,7 +109,7 @@ fn usage() -> ! {
          \x20                  [--followers N | --follower-addr HOST:PORT ...]\n\
          \x20                  [--epoch-every N] [--asof-epochs N]\n\
          \x20                  [--replay-as STRATEGY:MAXCS] [--batch N]\n\
-         \x20                  [--wait-ready SECS]"
+         \x20                  [--wait-ready SECS] [--drift]"
     );
     std::process::exit(2);
 }
@@ -121,6 +133,8 @@ fn main() {
     let mut epoch_every: Option<u64> = None;
     let mut replay_as: Option<cts_core::StrategySpec> = None;
     let mut wait_ready: Option<u64> = None;
+    let mut drift_soak = false;
+    let mut mcs_set = false;
     let mut cfg = LoadConfig::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -148,6 +162,7 @@ fn main() {
             "--batch" => cfg.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--max-cluster-size" => {
+                mcs_set = true;
                 cfg.max_cluster_size = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--quick" => quick = true,
@@ -182,6 +197,7 @@ fn main() {
             }
             "--asof-epochs" => cfg.asof_epochs = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--wait-ready" => wait_ready = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--drift" => drift_soak = true,
             "--replay-as" => {
                 let raw = value(&mut i);
                 replay_as = match raw.parse() {
@@ -216,12 +232,14 @@ fn main() {
     } else if quick {
         cfg.precedence_queries = 50;
     }
-    eprintln!(
-        "[cts-loadgen] {} computations, {} events, {} connections",
-        suite.len(),
-        suite.iter().map(|e| e.trace.num_events()).sum::<usize>(),
-        cfg.connections
-    );
+    if !drift_soak {
+        eprintln!(
+            "[cts-loadgen] {} computations, {} events, {} connections",
+            suite.len(),
+            suite.iter().map(|e| e.trace.num_events()).sum::<usize>(),
+            cfg.connections
+        );
+    }
 
     let mut daemon_cfg = DaemonConfig::default();
     if let Some(dir) = &data_dir {
@@ -329,6 +347,75 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        return;
+    }
+
+    // Adaptive re-clustering soak: planted-drift fixtures through an
+    // adaptive daemon, curves sampled at the plants, differential oracle
+    // plus detector-liveness gate.
+    if drift_soak {
+        if kill_after.is_some() || followers > 0 || !cfg.follower_addrs.is_empty() {
+            eprintln!("cts-loadgen: --drift does not combine with --kill-after/--followers");
+            std::process::exit(2);
+        }
+        if !mcs_set {
+            // The phase-stencil fixture's blocks are 8 wide; a migration
+            // needs headroom in the destination cluster, so the default
+            // max cluster size of 8 would pin every process in place.
+            cfg.max_cluster_size = 12;
+        }
+        let own = match addr {
+            None => {
+                daemon_cfg.adaptive = Some(cts_core::cluster::AdaptiveParams::new(
+                    cfg.max_cluster_size as usize,
+                ));
+                let daemon = match Daemon::start(daemon_cfg) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("cts-loadgen: cannot start in-process daemon: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                cfg.addr = daemon.local_addr();
+                eprintln!("[cts-loadgen] in-process adaptive daemon on {}", cfg.addr);
+                Some(daemon)
+            }
+            Some(a) => {
+                // An external daemon must itself be started with
+                // `--adaptive`; a merge-only daemon passes the oracle but
+                // fails the detector-liveness gate below.
+                cfg.addr = a;
+                None
+            }
+        };
+        let report = match cts_daemon::drift::run_drift_soak(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cts-loadgen: drift soak failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", report.render());
+        if send_shutdown {
+            let r = Client::connect(cfg.addr).and_then(|mut c| c.shutdown_daemon());
+            if let Err(e) = r {
+                eprintln!("cts-loadgen: shutdown request failed: {e}");
+            }
+        }
+        if let Some(daemon) = own {
+            daemon.shutdown();
+        }
+        if !report.passed() {
+            eprintln!(
+                "cts-loadgen: drift soak FAILED ({} mismatches, undetected {:?})",
+                report.load.mismatches, report.undetected
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[cts-loadgen] drift soak clean: 0 mismatches, {} migrations",
+            report.migrations
+        );
         return;
     }
 

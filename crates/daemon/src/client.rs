@@ -13,6 +13,19 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
 }
 
+/// Typed form of [`Msg::ClusterMapResult`]: the head snapshot's partition
+/// (one cluster representative per process) and drift counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterMap {
+    pub epoch: u64,
+    pub delivered: u64,
+    pub cluster_receives: u64,
+    pub merges: u64,
+    pub migrations: u64,
+    pub forced_full: u64,
+    pub partition: Vec<u32>,
+}
+
 impl Client {
     /// Connect to a daemon.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
@@ -279,6 +292,33 @@ impl Client {
                 return Ok(all);
             }
             cursor = next;
+        }
+    }
+
+    /// The head snapshot's cluster map (level 4): `partition[p]` is the
+    /// representative of process `p`'s cluster, plus the clustering and
+    /// drift counters. Two processes are co-clustered iff their
+    /// representatives are equal.
+    pub fn cluster_map(&mut self) -> io::Result<ClusterMap> {
+        match self.call(&Msg::QueryClusterMap)? {
+            Msg::ClusterMapResult {
+                epoch,
+                delivered,
+                cluster_receives,
+                merges,
+                migrations,
+                forced_full,
+                partition,
+            } => Ok(ClusterMap {
+                epoch,
+                delivered,
+                cluster_receives,
+                merges,
+                migrations,
+                forced_full,
+                partition,
+            }),
+            other => Err(Self::protocol_error(&other)),
         }
     }
 

@@ -1,0 +1,201 @@
+//! The drift soak (`cts-loadgen --drift`): stream the planted-drift
+//! fixtures through an *adaptive* daemon, sample the cluster map at every
+//! planted phase boundary, and differentially verify everything the
+//! ordinary soak verifies.
+//!
+//! The soak's claims, in order of importance:
+//!
+//! 1. **Exactness under migration.** Precedence, greatest-concurrent,
+//!    window, and time-travel answers match the offline batch engine —
+//!    which is clustering-*independent* — so however the adaptive engine
+//!    merged and migrated, the partial order it reports is the true one.
+//!    Zero mismatches is the CI gate (`ci.sh adapt`).
+//! 2. **The detector actually fires.** Each drift fixture plants phase
+//!    changes at known event offsets ([`cts_workloads::drift`]); the soak
+//!    requires at least one migration per fixture, so a silently dead
+//!    drift detector cannot pass.
+//! 3. **Ratio-vs-time curves.** At each planted boundary (plus the final
+//!    flush) the soak records delivered events, cumulative cluster
+//!    receives, and migrations — the per-phase cluster-receive ratio curve
+//!    the adaptive-vs-static comparison is about.
+
+use crate::client::Client;
+use crate::loadgen::{self, LoadConfig, LoadReport};
+use cts_workloads::drift::{PhaseShiftStencil, RebalancedWebTiers};
+use cts_workloads::suite::{Env, SuiteEntry};
+use cts_workloads::Workload;
+use std::io;
+
+/// The planted-drift fixtures, with their drift points. These are the
+/// parameterizations pinned by the workloads crate's
+/// `golden_drift_families` test — edits there fail goldens before they can
+/// invalidate the soak's phase alignment.
+pub fn drift_suite() -> Vec<(SuiteEntry, Vec<u64>)> {
+    let stencil = PhaseShiftStencil {
+        procs: 32,
+        phases: 4,
+        iters_per_phase: 6,
+        block: 8,
+    };
+    let tiers = RebalancedWebTiers {
+        clients: 12,
+        frontends: 6,
+        backends: 6,
+        requests: 600,
+        phases: 3,
+    };
+    vec![
+        (
+            SuiteEntry {
+                name: stencil.name(),
+                env: Env::Pvm,
+                trace: stencil.generate(1),
+            },
+            stencil.drift_points(),
+        ),
+        (
+            SuiteEntry {
+                name: tiers.name(),
+                env: Env::Java,
+                trace: tiers.generate(1),
+            },
+            tiers.drift_points(),
+        ),
+    ]
+}
+
+/// One point of a ratio-vs-time curve, sampled at a planted phase boundary
+/// (or the final flush).
+#[derive(Clone, Copy, Debug)]
+pub struct RatioSample {
+    /// Events delivered when the sample was taken.
+    pub delivered: u64,
+    /// Cumulative cluster receives (full-width stamps) at that point.
+    pub cluster_receives: u64,
+    /// Cumulative drift migrations at that point.
+    pub migrations: u64,
+    /// Cumulative merges at that point.
+    pub merges: u64,
+}
+
+impl RatioSample {
+    /// Cluster receives per delivered event so far.
+    pub fn ratio(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.cluster_receives as f64 / self.delivered as f64
+    }
+}
+
+/// Outcome of [`run_drift_soak`].
+pub struct DriftReport {
+    /// The ordinary soak report over the drift suite (differential checks,
+    /// RTTs, mismatch count).
+    pub load: LoadReport,
+    /// Per-fixture ratio-vs-time curve, one sample per planted phase
+    /// boundary plus one at the final flush.
+    pub curves: Vec<(String, Vec<RatioSample>)>,
+    /// Total migrations across the suite (the detector-liveness gate).
+    pub migrations: u64,
+    /// Fixtures that finished without a single migration. Non-empty means
+    /// the drift detector failed to react to a planted drift.
+    pub undetected: Vec<String>,
+}
+
+impl DriftReport {
+    /// The soak passes iff the differential oracle held *and* every
+    /// planted drift provoked at least one migration.
+    pub fn passed(&self) -> bool {
+        self.load.mismatches == 0 && self.undetected.is_empty()
+    }
+
+    /// Human-readable block: the load summary plus the curves.
+    pub fn render(&self) -> String {
+        let mut out = self.load.render();
+        out.push_str(&format!("\nmigrations        {}", self.migrations));
+        for (name, curve) in &self.curves {
+            out.push_str(&format!("\nratio curve       {name}"));
+            for s in curve {
+                out.push_str(&format!(
+                    "\n  @{:<8} cr {:<7} ratio {:.4}  merges {:<4} migrations {}",
+                    s.delivered,
+                    s.cluster_receives,
+                    s.ratio(),
+                    s.merges,
+                    s.migrations,
+                ));
+            }
+        }
+        if !self.undetected.is_empty() {
+            out.push_str(&format!(
+                "\nUNDETECTED drift  {:?} (no migration fired)",
+                self.undetected
+            ));
+        }
+        out
+    }
+}
+
+/// Run the drift soak against an adaptive daemon at `cfg.addr`.
+///
+/// Phase 1 streams each fixture *in delivery order, segmented at its
+/// planted drift points*, flushing and sampling the cluster map at every
+/// boundary — that alignment is what makes the curves interpretable.
+/// Phase 2 re-runs the ordinary [`loadgen::run`] soak over the same suite:
+/// its shuffled, duplicated re-ingest is fully absorbed by the reorder
+/// buffer (everything is already delivered), and its query, batch, as-of,
+/// and window phases do the differential checking.
+///
+/// The daemon must be started with adaptive stamping (`--adaptive` /
+/// [`crate::server::DaemonConfig::adaptive`]); a merge-only daemon still
+/// passes the oracle but fails the detector-liveness gate.
+pub fn run_drift_soak(cfg: &LoadConfig) -> io::Result<DriftReport> {
+    let suite = drift_suite();
+    let mut curves = Vec::new();
+    let mut migrations = 0u64;
+    let mut undetected = Vec::new();
+
+    for (entry, points) in &suite {
+        let mut client = Client::connect(cfg.addr)?;
+        client.proto_hello()?;
+        client.hello(
+            &entry.name,
+            entry.trace.num_processes(),
+            cfg.max_cluster_size,
+        )?;
+        let events = entry.trace.events();
+        let mut curve = Vec::new();
+        let mut cuts: Vec<usize> = points.iter().map(|&pt| pt as usize).collect();
+        cuts.push(events.len());
+        let mut from = 0usize;
+        for cut in cuts {
+            client.stream_events(&events[from..cut], cfg.batch)?;
+            client.flush(cut as u64)?;
+            let map = client.cluster_map()?;
+            curve.push(RatioSample {
+                delivered: map.delivered,
+                cluster_receives: map.cluster_receives,
+                migrations: map.migrations,
+                merges: map.merges,
+            });
+            from = cut;
+        }
+        let last = curve.last().expect("at least the final flush sample");
+        migrations += last.migrations;
+        if last.migrations == 0 {
+            undetected.push(entry.name.clone());
+        }
+        curves.push((entry.name.clone(), curve));
+        client.goodbye()?;
+    }
+
+    let entries: Vec<SuiteEntry> = suite.into_iter().map(|(e, _)| e).collect();
+    let load = loadgen::run(&entries, cfg)?;
+    Ok(DriftReport {
+        load,
+        curves,
+        migrations,
+        undetected,
+    })
+}

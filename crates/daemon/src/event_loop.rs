@@ -53,8 +53,9 @@ use crate::netpoll::{
 use crate::pipeline::{Computation, FlushError, TryEnqueue};
 use crate::replication;
 use crate::server::{
-    hello, list_computations, lock, needs_protocol_2, needs_protocol_3, no_session, read_only,
-    refuse_overloaded, serve_query, time_travel_verb, DaemonShared,
+    cluster_map, hello, list_computations, lock, needs_protocol_2, needs_protocol_3,
+    needs_protocol_4, no_session, read_only, refuse_overloaded, serve_query, time_travel_verb,
+    DaemonShared,
 };
 use crate::wire::{self, code, write_msg, FrameBuffer, Msg};
 use std::collections::HashMap;
@@ -747,6 +748,16 @@ impl Worker {
                     needs_protocol_3(time_travel_verb(&msg))
                 } else if let Some(comp) = conn.session.as_ref() {
                     serve_query(comp, &self.shared.query_pool, &msg)
+                } else {
+                    no_session()
+                };
+                conn.queue_msg(&reply);
+            }
+            Msg::QueryClusterMap => {
+                let reply = if conn.protocol < 4 {
+                    needs_protocol_4("QueryClusterMap")
+                } else if let Some(comp) = conn.session.as_ref() {
+                    cluster_map(comp)
                 } else {
                     no_session()
                 };

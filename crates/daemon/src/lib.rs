@@ -35,7 +35,11 @@
 //! - [`replication`]: read scale-out — the WAL record stream doubles as a
 //!   replication log, so `--follow <leader>` daemons replay it through the
 //!   normal pipeline and answer queries bit-identically to the leader at
-//!   commit-point epochs, fenced by leader leases.
+//!   commit-point epochs, fenced by leader leases;
+//! - [`drift`]: the adaptive re-clustering soak — streams the
+//!   planted-drift fixtures through an `--adaptive` daemon, samples
+//!   cluster-receive-ratio curves at the planted phase boundaries, and
+//!   gates on the differential oracle plus drift-detector liveness.
 //!
 //! Correctness rests on the delivery-order-invariance property established
 //! by the core crates: any valid delivery order yields exact precedence, so
@@ -45,6 +49,7 @@
 
 pub mod checkpoint;
 pub mod client;
+pub mod drift;
 #[cfg(target_os = "linux")]
 pub mod event_loop;
 pub mod loadgen;

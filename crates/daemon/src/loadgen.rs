@@ -237,6 +237,9 @@ pub fn ingest_trace_wall_ns(
         name: format!("bench-{label}-s{shards}"),
         num_processes: t.num_processes(),
         max_cluster_size: 8,
+        strategy: crate::shard::StampStrategy::Merge1st {
+            max_cluster_size: 8,
+        },
         queue_capacity: 64,
         epoch_every: 4096,
         shards,

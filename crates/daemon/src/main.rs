@@ -24,7 +24,14 @@
 //! logged and checkpointed under PATH, and a restarted daemon recovers its
 //! computations from there before serving (clients see `RECOVERING` in the
 //! meantime). Without it the daemon is fully in-memory.
+//!
+//! `--adaptive SPEC` switches every computation to online adaptive
+//! re-clustering. SPEC uses the strategy-grammar suffix
+//! `<maxCS>[@tau][/m]` (e.g. `8@0.5/3`); the `maxCS` part is overridden by
+//! each computation's `Hello`, the `@tau` merge threshold and `/m`
+//! migrate-after knobs apply daemon-wide.
 
+use cts_core::strategy::StrategySpec;
 use cts_daemon::server::{Daemon, DaemonConfig};
 use std::time::Duration;
 
@@ -36,7 +43,8 @@ fn usage() -> ! {
          \x20                 [--data-dir PATH] [--sync-window-ms N]\n\
          \x20                 [--checkpoint-every N] [--query-workers N]\n\
          \x20                 [--follow HOST:PORT]\n\
-         \x20                 [--retain-epochs N] [--retain-bytes B]"
+         \x20                 [--retain-epochs N] [--retain-bytes B]\n\
+         \x20                 [--adaptive maxCS[@tau][/m]]"
     );
     std::process::exit(2);
 }
@@ -90,6 +98,16 @@ fn main() {
             }
             "--retain-bytes" => {
                 config.retain_bytes = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--adaptive" => {
+                let spec = value(&mut i);
+                match format!("adaptive:{spec}").parse::<StrategySpec>() {
+                    Ok(StrategySpec::Adaptive { params }) => config.adaptive = Some(params),
+                    _ => {
+                        eprintln!("bad --adaptive spec {spec:?} (want maxCS[@tau][/m])");
+                        usage();
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other => {

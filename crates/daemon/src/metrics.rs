@@ -30,6 +30,11 @@ pub struct Metrics {
     pub repl_resubscribes: AtomicU64,
     /// As-of queries answered from a retained (non-head) epoch.
     pub asof_hits: AtomicU64,
+    /// Adaptive strategy: drift migrations performed by the engine.
+    pub drift_migrations: AtomicU64,
+    /// Adaptive strategy: full stamps forced by the migration soundness
+    /// rules (pending markers + stale-source watermarks).
+    pub drift_forced_full: AtomicU64,
     /// Per-event ingest-apply latency (reorder + engine + store), ns.
     pub ingest_ns: AtomicHistogram,
     /// Per-query service latency, ns (all query types).
@@ -86,6 +91,8 @@ impl Metrics {
             epochs_retained,
             epochs_retired,
             asof_hits: self.asof_hits.load(Ordering::Relaxed),
+            drift_migrations: self.drift_migrations.load(Ordering::Relaxed),
+            drift_forced_full: self.drift_forced_full.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +119,8 @@ mod tests {
             evictions: 1,
         };
         m.asof_hits.store(4, Ordering::Relaxed);
+        m.drift_migrations.store(3, Ordering::Relaxed);
+        m.drift_forced_full.store(9, Ordering::Relaxed);
         let s = m.snapshot(cache, 6, 2);
         assert_eq!(s.events_ingested, 10);
         assert_eq!(s.duplicates_dropped, 2);
@@ -128,5 +137,7 @@ mod tests {
         assert_eq!(s.epochs_retained, 6);
         assert_eq!(s.epochs_retired, 2);
         assert_eq!(s.asof_hits, 4);
+        assert_eq!(s.drift_migrations, 3);
+        assert_eq!(s.drift_forced_full, 9);
     }
 }

@@ -21,9 +21,10 @@
 use crate::checkpoint::{self, CompMeta, RecoveryReport};
 use crate::metrics::Metrics;
 use crate::reorder::ReorderBuffer;
+use crate::shard::StampStrategy;
 use crate::sharded::ShardedRuntime;
 use crate::wal::{self, WalWriter};
-use cts_core::cluster::ClusterTimestamps;
+use cts_core::cluster::{AdaptiveEngine, ClusterTimestamps};
 use cts_core::strategy::MergeOnFirst;
 use cts_core::ClusterEngine;
 use cts_model::{Event, EventId, ProcessId, Trace};
@@ -61,6 +62,10 @@ pub struct ComputationConfig {
     pub name: String,
     pub num_processes: u32,
     pub max_cluster_size: u32,
+    /// The clustering strategy the engine runs. Must agree with
+    /// `max_cluster_size` (the strategy's own size bound is authoritative
+    /// for stamping; the field above sizes encodings and metadata).
+    pub strategy: StampStrategy,
     /// Bound of the ingest command queue, in batches.
     pub queue_capacity: usize,
     /// Publish a snapshot every this many delivered events (also on flush
@@ -308,11 +313,15 @@ impl Computation {
                 Vec::new(),
             )
             .expect("empty order is valid"),
-            cts: ClusterEngine::new(
-                config.num_processes,
-                MergeOnFirst::new(config.max_cluster_size as usize),
-            )
-            .finish(),
+            cts: match config.strategy {
+                StampStrategy::Merge1st { max_cluster_size } => {
+                    ClusterEngine::new(config.num_processes, MergeOnFirst::new(max_cluster_size))
+                        .finish()
+                }
+                StampStrategy::Adaptive(params) => {
+                    AdaptiveEngine::new(config.num_processes, params).finish()
+                }
+            },
         }
     }
 
@@ -661,6 +670,57 @@ fn open_segment(
     WalWriter::from_sink(sink, start, dur.sync_window)
 }
 
+/// The single worker's engine under either strategy. The adaptive variant
+/// *is* the offline [`AdaptiveEngine`], run in delivery order — which is
+/// what makes a single-worker daemon's stamps bit-identical to an offline
+/// re-run of its delivered prefix (the oracle `tests/adaptive_recluster.rs`
+/// enforces).
+enum WorkerEngine {
+    Merge1st(Box<ClusterEngine<MergeOnFirst>>),
+    Adaptive(Box<AdaptiveEngine>),
+}
+
+impl WorkerEngine {
+    fn new(n: u32, strategy: StampStrategy) -> WorkerEngine {
+        match strategy {
+            StampStrategy::Merge1st { max_cluster_size } => WorkerEngine::Merge1st(Box::new(
+                ClusterEngine::new(n, MergeOnFirst::new(max_cluster_size)),
+            )),
+            StampStrategy::Adaptive(params) => {
+                WorkerEngine::Adaptive(Box::new(AdaptiveEngine::new(n, params)))
+            }
+        }
+    }
+
+    fn accept(&mut self, ev: Event) {
+        match self {
+            WorkerEngine::Merge1st(e) => e.accept(ev),
+            WorkerEngine::Adaptive(e) => e.accept(ev),
+        }
+    }
+
+    fn snapshot(&self) -> ClusterTimestamps {
+        match self {
+            WorkerEngine::Merge1st(e) => e.snapshot(),
+            WorkerEngine::Adaptive(e) => e.snapshot(),
+        }
+    }
+
+    fn num_migrations(&self) -> u64 {
+        match self {
+            WorkerEngine::Merge1st(_) => 0,
+            WorkerEngine::Adaptive(e) => e.num_migrations() as u64,
+        }
+    }
+
+    fn num_forced_full(&self) -> u64 {
+        match self {
+            WorkerEngine::Merge1st(_) => 0,
+            WorkerEngine::Adaptive(e) => e.num_forced_full() as u64,
+        }
+    }
+}
+
 /// The ingest worker: reorder → engine → WAL → store, publishing epochs.
 fn worker_loop(
     shared: &CompShared,
@@ -670,7 +730,7 @@ fn worker_loop(
 ) {
     let n = config.num_processes;
     let mut buf = ReorderBuffer::new(n);
-    let mut engine = ClusterEngine::new(n, MergeOnFirst::new(config.max_cluster_size as usize));
+    let mut engine = WorkerEngine::new(n, config.strategy);
     let mut ingest = shared
         .store
         .ingest_handle()
@@ -680,7 +740,7 @@ fn worker_loop(
 
     // `forced_epoch` republishes a recovered retention mark under its
     // original epoch number (recovery replay); `None` is a live publish.
-    let publish = |engine: &ClusterEngine<MergeOnFirst>,
+    let publish = |engine: &WorkerEngine,
                    log: &Vec<Event>,
                    last_published: &mut Option<u64>,
                    forced_epoch: Option<u64>| {
@@ -772,6 +832,14 @@ fn worker_loop(
             .metrics
             .events_ingested
             .store(buf.delivered_total(), Ordering::Relaxed);
+        shared
+            .metrics
+            .drift_migrations
+            .store(engine.num_migrations(), Ordering::Relaxed);
+        shared
+            .metrics
+            .drift_forced_full
+            .store(engine.num_forced_full(), Ordering::Relaxed);
         {
             let mut g = lock(&shared.progress);
             g.delivered = buf.delivered_total();
@@ -931,6 +999,14 @@ fn worker_loop(
                     .metrics
                     .reorder_peak
                     .store(buf.peak_depth() as u64, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .drift_migrations
+                    .store(engine.num_migrations(), Ordering::Relaxed);
+                shared
+                    .metrics
+                    .drift_forced_full
+                    .store(engine.num_forced_full(), Ordering::Relaxed);
                 {
                     let mut g = lock(&shared.progress);
                     g.delivered = buf.delivered_total();
@@ -1097,6 +1173,9 @@ mod tests {
             name: name.to_string(),
             num_processes: n,
             max_cluster_size: 4,
+            strategy: StampStrategy::Merge1st {
+                max_cluster_size: 4,
+            },
             queue_capacity: 8,
             epoch_every: 64,
             shards: 1,

@@ -28,7 +28,9 @@ use crate::checkpoint;
 use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushError, Snapshot};
 use crate::query_pool::QueryPool;
 use crate::replication;
+use crate::shard::StampStrategy;
 use crate::wire::{self, code, recv_frame, write_msg, CompInfo, Msg, Recv};
+use cts_core::cluster::AdaptiveParams;
 use cts_model::{EventId, EventIndex, ProcessId};
 use cts_store::queries::{greatest_concurrent, PrecedenceBackend};
 use cts_store::{CachedClusterBackend, EpochRetainer, SharedQueryCache};
@@ -115,6 +117,11 @@ pub struct DaemonConfig {
     /// Byte budget across retained epochs, `0` = unlimited (the epoch count
     /// cap still applies).
     pub retain_bytes: u64,
+    /// Online adaptive re-clustering: when set, computations stamp under
+    /// [`StampStrategy::Adaptive`] with these parameters (the per-computation
+    /// `Hello` max cluster size overrides the one in the params). `None` =
+    /// the classic merge-on-first policy.
+    pub adaptive: Option<AdaptiveParams>,
 }
 
 impl Default for DaemonConfig {
@@ -138,6 +145,7 @@ impl Default for DaemonConfig {
             follow: None,
             retain_epochs: 0,
             retain_bytes: 0,
+            adaptive: None,
         }
     }
 }
@@ -743,6 +751,16 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
                 };
                 write_msg(&mut stream, &reply)?;
             }
+            Msg::QueryClusterMap => {
+                let reply = if negotiated < 4 {
+                    needs_protocol_4("QueryClusterMap")
+                } else if let Some(comp) = session.as_ref() {
+                    cluster_map(comp)
+                } else {
+                    no_session()
+                };
+                write_msg(&mut stream, &reply)?;
+            }
             Msg::Stats => {
                 let Some(comp) = session.as_ref() else {
                     write_msg(&mut stream, &no_session())?;
@@ -848,6 +866,40 @@ pub(crate) fn needs_protocol_3(verb: &str) -> Msg {
     }
 }
 
+/// Refusal for level-4 (adaptive observability) verbs below level 4.
+pub(crate) fn needs_protocol_4(verb: &str) -> Msg {
+    Msg::Error {
+        code: code::UNSUPPORTED,
+        message: format!("{verb} requires ProtoHello negotiation to protocol level >= 4"),
+    }
+}
+
+/// Answer [`Msg::QueryClusterMap`] from the computation's head snapshot:
+/// the partition is reported as one representative (smallest member id) per
+/// process, so equality of entries == co-clustering regardless of the order
+/// clusters happen to be enumerated in.
+pub(crate) fn cluster_map(comp: &Computation) -> Msg {
+    let snap = comp.snapshot();
+    let partition = snap.cts.final_partition();
+    let mut reps = vec![0u32; comp.num_processes as usize];
+    for cluster in partition.clusters() {
+        let rep = cluster.iter().map(|p| p.0).min().unwrap_or(0);
+        for &m in cluster {
+            reps[m.idx()] = rep;
+        }
+    }
+    let m = comp.metrics();
+    Msg::ClusterMapResult {
+        epoch: snap.epoch,
+        delivered: snap.delivered,
+        cluster_receives: snap.cts.num_cluster_receives() as u64,
+        merges: snap.cts.num_merges() as u64,
+        migrations: m.drift_migrations.load(Ordering::Relaxed),
+        forced_full: m.drift_forced_full.load(Ordering::Relaxed),
+        partition: reps,
+    }
+}
+
 /// Display name of a level-3 verb for the `UNSUPPORTED` refusal.
 pub(crate) fn time_travel_verb(msg: &Msg) -> &'static str {
     match msg {
@@ -936,10 +988,20 @@ fn computation_config(
             checkpoint_every: shared.config.checkpoint_every,
             wal_byte_budget: shared.config.wal_byte_budget,
         });
+    let strategy = match shared.config.adaptive {
+        Some(mut params) => {
+            params.max_cluster_size = max_cluster_size as usize;
+            StampStrategy::Adaptive(params)
+        }
+        None => StampStrategy::Merge1st {
+            max_cluster_size: max_cluster_size as usize,
+        },
+    };
     ComputationConfig {
         name: name.to_string(),
         num_processes,
         max_cluster_size,
+        strategy,
         queue_capacity: shared.config.queue_capacity,
         epoch_every: shared.config.epoch_every,
         shards: shared.config.shards,

@@ -19,22 +19,40 @@
 //!
 //! ## Why racy stamping stays exact
 //!
-//! Shards stamp events against a shared, lock-coherent cluster membership
-//! ([`SharedSets`]) that another shard may have advanced concurrently. A
-//! stamp may therefore be projected over a *newer* (larger) cluster version
-//! than an offline engine replaying the assembled order would have used at
-//! that position. Precedence remains exact regardless:
+//! Shards stamp events against a shared, lock-coherent membership world
+//! ([`SharedSets`]) that another shard may have advanced concurrently, so a
+//! stamp may be projected over a *different* cluster version than an offline
+//! engine replaying the assembled order would have used at that position.
+//! Precedence remains exact regardless:
 //!
-//! - clusters only grow, so any version referenced by a stamp is a superset
-//!   of the version the offline replay would project over, and extra
-//!   components carry the event's true Fidge/Mattern knowledge (possibly 0,
-//!   which `precedes` already treats as "no knowledge");
+//! - a projected stamp carries the event's true Fidge/Mattern knowledge for
+//!   every member of whatever version it projected over (possibly 0, which
+//!   `precedes` already treats as "no knowledge"), so observing a *grown*
+//!   (merged) version late can never hide anything;
+//! - shrink — an adaptive drift migration — is guarded by the three rules
+//!   of [`cts_core::cluster::AdaptiveEngine`]: the migrating process's
+//!   triggering blocked receive is a recorded full stamp, remaining members
+//!   of the shrunk cluster carry a pending marker forcing their next stamp
+//!   full, and the stale-source watermark forces receives of pre-change
+//!   sends full. The rule state lives *inside* the shared
+//!   [`MembershipWorld`] snapshot, so a stamper either sees the
+//!   post-migration world, rules and all, or the pre-migration world —
+//!   whose version still contains the departed process directly, which is
+//!   equally sound;
 //! - an event classified as a non-mergeable cluster receive under a *stale*
-//!   view re-checks under the lock before deciding, so merge decisions are
-//!   made against the freshest membership, serialized by the lock;
-//! - a non-mergeable cluster receive records its **full** Fidge/Mattern
-//!   clock, which is exact by delivery-order invariance, so the cluster-
-//!   receive relays `precedes` chains through never under-approximate.
+//!   view re-runs the whole rule ladder under the lock before deciding, so
+//!   merge and migration decisions are serialized against the freshest
+//!   membership;
+//! - a non-mergeable or forced-full cluster receive records its **full**
+//!   Fidge/Mattern clock, which is exact by delivery-order invariance, so
+//!   the relays `precedes` chains through never under-approximate.
+//!
+//! Migrations deliberately take **no freeze barrier**: the atomic world
+//! swap under the [`SharedSets`] lock *is* the migration. Only
+//! shard-ownership rebalancing (a performance heuristic) still runs at the
+//! runtime's freeze, and cross-shard re-derivation of a migrated process's
+//! stamps is parked and handed off through the [`Exchange`] exactly like a
+//! migrated sync half.
 //!
 //! The schedule-exploration harness ([`SimShards`]) drives the very same
 //! cores deterministically, one step at a time, so `tests/shard_schedules.rs`
@@ -42,7 +60,9 @@
 //! precedence/store equivalence with the offline batch engine.
 
 use crate::reorder::{RejectReason, ShardHooks, ShardReorderBuffer};
-use cts_core::cluster::{ClusterSets, ClusterStamp, ClusterTimestamps};
+use cts_core::cluster::{
+    AdaptiveParams, ClusterSets, ClusterStamp, ClusterTimestamps, DriftDecider,
+};
 use cts_core::strategy::{MergeOnFirst, MergePolicy};
 use cts_core::VectorClock;
 use cts_model::{Event, EventId, EventKind, ProcessId, Trace};
@@ -149,16 +169,86 @@ impl Exchange {
 // SharedSets: lock-coherent cluster membership across shards
 // ---------------------------------------------------------------------------
 
-/// Cluster membership shared by every shard of one computation.
+/// How a computation's stampers classify events and evolve the clustering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StampStrategy {
+    /// Merge on the first cluster receive between two clusters (the
+    /// daemon's original behaviour; clusters only ever grow).
+    Merge1st { max_cluster_size: usize },
+    /// Merge-on-Nth plus drift-triggered process migration, mirroring
+    /// [`cts_core::cluster::AdaptiveEngine`].
+    Adaptive(AdaptiveParams),
+}
+
+impl StampStrategy {
+    /// The encoding-relevant maximum cluster size of the strategy.
+    pub fn max_cluster_size(&self) -> usize {
+        match *self {
+            StampStrategy::Merge1st { max_cluster_size } => max_cluster_size,
+            StampStrategy::Adaptive(p) => p.max_cluster_size,
+        }
+    }
+
+    /// Is this the adaptive (migrating) strategy?
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, StampStrategy::Adaptive(_))
+    }
+}
+
+/// Cluster membership plus the migration rule state that must be observed
+/// atomically with it. One immutable `Arc<MembershipWorld>` is the unit of
+/// sharing: every mutation clones the world, applies the change, and swaps
+/// the `Arc` under the [`SharedSets`] lock. Bundling the rule state with
+/// the sets is what lets migrations skip the freeze barrier — a stamper
+/// sees a membership version together with exactly the rules that make
+/// stamping over it sound.
+#[derive(Clone)]
+pub struct MembershipWorld {
+    pub sets: ClusterSets,
+    /// Rule 2: processes whose next delivered event must record a full
+    /// stamp (their cluster shrank under them).
+    pub pending_marker: Vec<bool>,
+    /// Rule 3: own-index watermark of each process's last shrinking
+    /// membership change; receives of sends at or below it are forced
+    /// full. While a process's marker is still pending its watermark is
+    /// treated as infinite (every message from it is suspect).
+    pub lmc: Vec<u32>,
+    /// Cluster merges performed. (The generation counter additionally
+    /// counts migrations and marker clears, so it is a freshness counter,
+    /// not a merge count.)
+    pub num_merges: u64,
+    /// Drift migrations performed.
+    pub num_migrations: u64,
+}
+
+impl MembershipWorld {
+    fn new(n: u32) -> MembershipWorld {
+        MembershipWorld {
+            sets: ClusterSets::singletons(n),
+            pending_marker: vec![false; n as usize],
+            lmc: vec![0; n as usize],
+            num_merges: 0,
+            num_migrations: 0,
+        }
+    }
+
+    /// Is a receive of send/sync `(q, j)` suspect under rule 3?
+    pub fn stale_source(&self, q: ProcessId, j: u32) -> bool {
+        self.pending_marker[q.idx()] || j <= self.lmc[q.idx()]
+    }
+}
+
+/// The membership world shared by every shard of one computation.
 ///
-/// Readers keep a cached `Arc<ClusterSets>` and refresh it when the
+/// Readers keep a cached `Arc<MembershipWorld>` and refresh it when the
 /// generation counter moves (one atomic load per event on the fast path).
-/// The cache can only *lag* the truth, and clusters only grow, so a cached
-/// "same cluster" verdict is always safe; a cached "different clusters"
-/// verdict is re-checked under the lock before any merge decision.
+/// The cache can only *lag* the truth; a lagging cache stamps over an older
+/// version, which the module-level argument shows is always sound. A cached
+/// "different clusters" verdict is re-checked under the lock before any
+/// merge or migration decision.
 pub struct SharedSets {
     generation: AtomicU64,
-    inner: Mutex<Arc<ClusterSets>>,
+    inner: Mutex<Arc<MembershipWorld>>,
 }
 
 impl SharedSets {
@@ -166,17 +256,18 @@ impl SharedSets {
     pub fn new(n: u32) -> SharedSets {
         SharedSets {
             generation: AtomicU64::new(0),
-            inner: Mutex::new(Arc::new(ClusterSets::singletons(n))),
+            inner: Mutex::new(Arc::new(MembershipWorld::new(n))),
         }
     }
 
-    /// Number of merges performed so far.
+    /// Number of membership-world changes so far (merges + migrations +
+    /// marker clears).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// A coherent `(sets, generation)` pair.
-    pub fn snapshot(&self) -> (Arc<ClusterSets>, u64) {
+    /// A coherent `(world, generation)` pair.
+    pub fn snapshot(&self) -> (Arc<MembershipWorld>, u64) {
         let g = lock(&self.inner);
         (Arc::clone(&g), self.generation.load(Ordering::Relaxed))
     }
@@ -325,21 +416,25 @@ impl ShardFm {
 // ShardStamper: cluster-timestamp classification against SharedSets
 // ---------------------------------------------------------------------------
 
-/// Classifies delivered events into projected stamps vs. (non-mergeable)
-/// cluster receives, against the shared membership. Merge decisions are
-/// serialized by the [`SharedSets`] lock and re-checked there, so a stale
-/// cache can never produce a wrong merge — only a redundant lock round-trip.
+/// Classifies delivered events into projected stamps vs. (non-mergeable or
+/// forced) full stamps, against the shared membership world. Merge and
+/// migration decisions are serialized by the [`SharedSets`] lock and the
+/// whole rule ladder re-runs there, so a stale cache can never produce a
+/// wrong decision — only a redundant lock round-trip or an extra (sound)
+/// full stamp.
 struct ShardStamper {
+    strategy: StampStrategy,
     policy: MergeOnFirst,
-    cache: Arc<ClusterSets>,
+    cache: Arc<MembershipWorld>,
     cached_generation: u64,
 }
 
 impl ShardStamper {
-    fn new(max_cluster_size: usize, shared: &SharedSets) -> ShardStamper {
-        let (cache, cached_generation) = shared.snapshot();
+    fn new(env: &ShardEnv) -> ShardStamper {
+        let (cache, cached_generation) = env.sets.snapshot();
         ShardStamper {
-            policy: MergeOnFirst::new(max_cluster_size),
+            strategy: env.strategy,
+            policy: MergeOnFirst::new(env.strategy.max_cluster_size()),
             cache,
             cached_generation,
         }
@@ -361,57 +456,174 @@ impl ShardStamper {
         }
     }
 
-    /// Stamp one delivered event. Returns the stamp and whether this call
-    /// performed a cluster merge (the caller schedules a rebalance).
-    fn stamp(
+    /// Swap in `next` as the new world and refresh the local cache. The
+    /// caller holds the lock.
+    fn install(
         &mut self,
-        ev: Event,
-        clock: &VectorClock,
         shared: &SharedSets,
-    ) -> (ClusterStamp, bool) {
-        self.refresh(shared);
+        guard: &mut MutexGuard<'_, Arc<MembershipWorld>>,
+        next: MembershipWorld,
+    ) {
+        **guard = Arc::new(next);
+        shared.generation.fetch_add(1, Ordering::Release);
+        self.cache = Arc::clone(guard);
+        self.cached_generation = shared.generation.load(Ordering::Relaxed);
+    }
+
+    /// Fire `p`'s pending marker at own-index `index`: clear it and
+    /// finalize the rule-3 watermark — any send below this index may have
+    /// been stamped over the pre-change version. (The caller records the
+    /// full stamp.)
+    fn fire_marker(
+        &mut self,
+        shared: &SharedSets,
+        guard: &mut MutexGuard<'_, Arc<MembershipWorld>>,
+        p: ProcessId,
+        index: u32,
+    ) {
+        let mut next = MembershipWorld::clone(guard);
+        next.pending_marker[p.idx()] = false;
+        next.lmc[p.idx()] = next.lmc[p.idx()].max(index.saturating_sub(1));
+        self.install(shared, guard, next);
+    }
+
+    /// Stamp one delivered event. Returns the stamp and whether this call
+    /// changed cluster membership (the caller schedules a rebalance).
+    fn stamp(&mut self, ev: Event, clock: &VectorClock, env: &ShardEnv) -> (ClusterStamp, bool) {
+        self.refresh(&env.sets);
         let p = ev.process();
+        let full = || ClusterStamp::Full {
+            clock: clock.clone(),
+        };
+        let adaptive = self.strategy.is_adaptive();
+        // Rule 2: a pending marker forces a recorded full stamp, whatever
+        // the event kind. A marker set concurrently (cache lagging) is
+        // missed here and the stamp projects over the pre-change version —
+        // sound, see the module doc; the marker then fires on `p`'s next
+        // event.
+        if adaptive && self.cache.pending_marker[p.idx()] {
+            let mut guard = lock(&env.sets.inner);
+            self.fire_marker(&env.sets, &mut guard, p, ev.index().0);
+            env.forced_full.fetch_add(1, Ordering::Relaxed);
+            return (full(), false);
+        }
         let cross = ev.kind.receive_source().filter(|src| {
-            let v = self.cache.version_of_root(self.cache.find_readonly(p));
-            !self.cache.contains(v, src.process)
+            let v = self
+                .cache
+                .sets
+                .version_of_root(self.cache.sets.find_readonly(p));
+            !self.cache.sets.contains(v, src.process)
         });
         let Some(src) = cross else {
-            return (Self::project(&self.cache, p, clock), false);
+            // Rule 3: an intra-cluster receive of a pre-membership-change
+            // send could project away departed-process knowledge without
+            // recording anything; force it full instead.
+            if adaptive {
+                if let Some(src) = ev.kind.receive_source() {
+                    if self.cache.stale_source(src.process, src.index.0) {
+                        env.forced_full.fetch_add(1, Ordering::Relaxed);
+                        return (full(), false);
+                    }
+                }
+            }
+            return (Self::project(&self.cache.sets, p, clock), false);
         };
-        // Cluster receive under the cached view: decide under the lock with
-        // the freshest membership (another shard may have merged since).
-        let mut guard = lock(&shared.inner);
-        let ra = guard.find_readonly(p);
-        let rb = guard.find_readonly(src.process);
-        if ra == rb {
-            // Merged concurrently — an ordinary intra-cluster receive.
-            self.cache = Arc::clone(&guard);
-            self.cached_generation = shared.generation.load(Ordering::Relaxed);
-            drop(guard);
-            return (Self::project(&self.cache, p, clock), false);
+        // Cluster receive under the cached view: re-run the rule ladder
+        // under the lock with the freshest membership (another shard may
+        // have merged or migrated since).
+        let mut guard = lock(&env.sets.inner);
+        if adaptive && guard.pending_marker[p.idx()] {
+            self.fire_marker(&env.sets, &mut guard, p, ev.index().0);
+            env.forced_full.fetch_add(1, Ordering::Relaxed);
+            return (full(), false);
         }
-        if self.policy.on_cluster_receive(ra, rb, &guard) {
-            let mut next = ClusterSets::clone(&guard);
-            let (new_root, version) = next.merge(ra, rb);
-            self.policy.after_merge(ra, rb, new_root);
-            *guard = Arc::new(next);
-            shared.generation.fetch_add(1, Ordering::Release);
+        let ra = guard.sets.find_readonly(p);
+        let rb = guard.sets.find_readonly(src.process);
+        if ra == rb {
+            // Merged concurrently — an ordinary intra-cluster receive,
+            // unless rule 3 flags the send as pre-change.
+            let stale = adaptive && guard.stale_source(src.process, src.index.0);
             self.cache = Arc::clone(&guard);
-            self.cached_generation = shared.generation.load(Ordering::Relaxed);
+            self.cached_generation = env.sets.generation.load(Ordering::Relaxed);
             drop(guard);
-            let stamp = ClusterStamp::Projected {
-                version,
-                clock: clock.project(self.cache.members(version)),
-            };
-            (stamp, true)
-        } else {
-            drop(guard);
-            (
-                ClusterStamp::Full {
-                    clock: clock.clone(),
-                },
-                false,
-            )
+            if stale {
+                env.forced_full.fetch_add(1, Ordering::Relaxed);
+                return (full(), false);
+            }
+            return (Self::project(&self.cache.sets, p, clock), false);
+        }
+        match self.strategy {
+            StampStrategy::Merge1st { .. } => {
+                if self.policy.on_cluster_receive(ra, rb, &guard.sets) {
+                    let mut next = MembershipWorld::clone(&guard);
+                    let (new_root, version) = next.sets.merge(ra, rb);
+                    next.num_merges += 1;
+                    self.policy.after_merge(ra, rb, new_root);
+                    self.install(&env.sets, &mut guard, next);
+                    drop(guard);
+                    let stamp = ClusterStamp::Projected {
+                        version,
+                        clock: clock.project(self.cache.sets.members(version)),
+                    };
+                    (stamp, true)
+                } else {
+                    drop(guard);
+                    (full(), false)
+                }
+            }
+            StampStrategy::Adaptive(params) => {
+                let my_size = guard.sets.size_of_root(ra);
+                let their_size = guard.sets.size_of_root(rb);
+                let mut drift = lock(&env.drift);
+                if drift.should_merge(ra, rb, my_size + their_size, &params) {
+                    let mut next = MembershipWorld::clone(&guard);
+                    let (kept, version) = next.sets.merge(ra, rb);
+                    drift.note_merge(if kept == ra { rb } else { ra });
+                    drop(drift);
+                    next.num_merges += 1;
+                    self.install(&env.sets, &mut guard, next);
+                    drop(guard);
+                    let stamp = ClusterStamp::Projected {
+                        version,
+                        clock: clock.project(self.cache.sets.members(version)),
+                    };
+                    return (stamp, true);
+                }
+                let index = ev.index().0;
+                let migrate = drift.on_blocked(p, index, rb, my_size, their_size, &params);
+                if !migrate {
+                    drop(drift);
+                    drop(guard);
+                    return (full(), false);
+                }
+                // Migrate `p` into the sender's cluster. The blocked CR
+                // being stamped right now is `p`'s anchor (rule 1), and the
+                // world swap under this lock is the entire migration — no
+                // freeze, no barrier.
+                drift.note_migration(p, index);
+                drop(drift);
+                let mut next = MembershipWorld::clone(&guard);
+                let old_v = next.sets.version_of_root(ra);
+                let remaining: Vec<ProcessId> = next
+                    .sets
+                    .members(old_v)
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != p)
+                    .collect();
+                next.sets.migrate(p, rb);
+                next.num_migrations += 1;
+                next.lmc[p.idx()] = index;
+                for m in remaining {
+                    // Rules 2+3 for the shrunk side: the marker keeps every
+                    // message from `m` suspect until it fires, at which
+                    // point the watermark is finalized (`fire_marker`).
+                    next.pending_marker[m.idx()] = true;
+                }
+                self.install(&env.sets, &mut guard, next);
+                drop(guard);
+                (full(), true)
+            }
         }
     }
 }
@@ -432,14 +644,27 @@ pub struct DeliveredRec {
 pub struct ShardEnv {
     pub exchange: Exchange,
     pub sets: SharedSets,
+    /// Drift-detection state shared by every shard's stamper (adaptive
+    /// strategy only). Separate from the membership world on purpose: it
+    /// influences *future* merge/migration decisions but never how an
+    /// already-taken snapshot stamps, so it needs no atomicity with `sets`.
+    pub drift: Mutex<DriftDecider>,
+    /// Full stamps forced by the migration soundness rules (marker fires +
+    /// stale-source hits) across all shards.
+    pub forced_full: AtomicU64,
+    /// The stamping strategy every shard of this computation runs.
+    pub strategy: StampStrategy,
 }
 
 impl ShardEnv {
     /// A fresh environment for `n` processes.
-    pub fn new(n: u32) -> ShardEnv {
+    pub fn new(n: u32, strategy: StampStrategy) -> ShardEnv {
         ShardEnv {
             exchange: Exchange::new(),
             sets: SharedSets::new(n),
+            drift: Mutex::new(DriftDecider::new(n)),
+            forced_full: AtomicU64::new(0),
+            strategy,
         }
     }
 }
@@ -466,12 +691,12 @@ pub struct ShardCore {
 }
 
 impl ShardCore {
-    /// A core owning the processes for which `owned` is true.
+    /// A core owning the processes for which `owned` is true, stamping
+    /// under the environment's strategy.
     pub fn new(
         id: ShardId,
         n: u32,
         owned: Vec<bool>,
-        max_cluster_size: usize,
         store: Arc<PartitionedStore>,
         env: &ShardEnv,
     ) -> ShardCore {
@@ -479,7 +704,7 @@ impl ShardCore {
             id,
             reorder: ShardReorderBuffer::new(n, owned.clone()),
             fm: ShardFm::new(n, owned),
-            stamper: ShardStamper::new(max_cluster_size, &env.sets),
+            stamper: ShardStamper::new(env),
             store,
             outbox: Vec::new(),
             log: Vec::new(),
@@ -610,7 +835,7 @@ impl ShardHooks for CoreHooks<'_> {
             );
         }
         let clock = self.fm.accept(ev, &self.env.exchange, self.wakes);
-        let (stamp, merged) = self.stamper.stamp(ev, &clock, &self.env.sets);
+        let (stamp, merged) = self.stamper.stamp(ev, &clock, self.env);
         if merged {
             *self.rebalance_needed = true;
         }
@@ -698,8 +923,8 @@ pub fn rebalance(
     env: &ShardEnv,
     wakes: &mut Vec<Wake>,
 ) -> (u64, u64) {
-    let (sets, _) = env.sets.snapshot();
-    let partition = sets.current_partition();
+    let (world, _) = env.sets.snapshot();
+    let partition = world.sets.current_partition();
     // Clear the flags up front: a merge performed *during* a migration's
     // cascading deliveries re-raises them, and the caller loops until no
     // shard asks again (merges are bounded by the process count, so the
@@ -951,10 +1176,21 @@ pub struct SimShards {
 }
 
 impl SimShards {
-    /// A fresh simulated deployment.
+    /// A fresh simulated deployment under the default merge-on-first
+    /// strategy.
     pub fn new(name: &str, n: u32, shards: usize, max_cluster_size: usize) -> SimShards {
+        SimShards::with_strategy(
+            name,
+            n,
+            shards,
+            StampStrategy::Merge1st { max_cluster_size },
+        )
+    }
+
+    /// A fresh simulated deployment under an explicit strategy.
+    pub fn with_strategy(name: &str, n: u32, shards: usize, strategy: StampStrategy) -> SimShards {
         let shards = shards.clamp(1, n.max(1) as usize);
-        let env = ShardEnv::new(n);
+        let env = ShardEnv::new(n, strategy);
         let routing = initial_routing(n, shards);
         let store = Arc::new(PartitionedStore::new(n));
         let cores = (0..shards)
@@ -962,7 +1198,7 @@ impl SimShards {
                 let owned: Vec<bool> = (0..n)
                     .map(|p| routing[p as usize].load(Ordering::Relaxed) as usize == s)
                     .collect();
-                ShardCore::new(s, n, owned, max_cluster_size, Arc::clone(&store), &env)
+                ShardCore::new(s, n, owned, Arc::clone(&store), &env)
             })
             .collect();
         SimShards {
@@ -1084,9 +1320,14 @@ impl SimShards {
             self.assembler.ingest(recs);
         }
         self.assembler.advance();
-        let (sets, generation) = self.env.sets.snapshot();
+        let (world, _) = self.env.sets.snapshot();
         self.assembler
-            .snapshot(&self.name, ClusterSets::clone(&sets), generation as usize)
+            .snapshot(&self.name, world.sets.clone(), world.num_merges as usize)
+    }
+
+    /// The current membership world (for tests asserting on migrations).
+    pub fn world(&self) -> Arc<MembershipWorld> {
+        self.env.sets.snapshot().0
     }
 
     /// The shared store.
@@ -1179,9 +1420,9 @@ mod tests {
         }
         sim.run_to_quiescence(&mut ShardSchedule::round_robin());
         assert_eq!(sim.delivered_total(), t.num_events() as u64);
-        let (sets, generation) = sim.env.sets.snapshot();
+        let (world, generation) = sim.env.sets.snapshot();
         assert!(generation > 0, "stencil must merge some clusters");
-        for members in sets.current_partition().clusters() {
+        for members in world.sets.current_partition().clusters() {
             let shard0 = sim.shard_of(members[0]);
             for &m in members {
                 assert_eq!(sim.shard_of(m), shard0, "cluster split across shards");

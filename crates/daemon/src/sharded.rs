@@ -50,7 +50,6 @@ use crate::checkpoint::{self, CompMeta, RecoveryReport};
 use crate::pipeline::{lock, CompShared, ComputationConfig, DurabilityConfig, Snapshot};
 use crate::shard::{initial_routing, rebalance, CutAssembler, ShardCore, ShardEnv, ShardId, Wake};
 use crate::wal::{self, WalWriter};
-use cts_core::cluster::ClusterSets;
 use cts_model::{Event, EventId};
 use cts_store::PartitionedStore;
 use cts_util::failpoint::{DurableSink, FailpointFs};
@@ -145,7 +144,7 @@ impl ShardedRuntime {
     ) -> Arc<ShardedRuntime> {
         let n = config.num_processes;
         let shards = (config.shards.max(2) as usize).min(n.max(1) as usize);
-        let env = ShardEnv::new(n);
+        let env = ShardEnv::new(n, config.strategy);
         let routing = initial_routing(n, shards);
         let meta = config.durability.as_ref().map(|_| CompMeta {
             name: config.name.clone(),
@@ -158,14 +157,7 @@ impl ShardedRuntime {
                 let owned: Vec<bool> = (0..n)
                     .map(|p| routing[p as usize].load(Ordering::Relaxed) as usize == s)
                     .collect();
-                let core = ShardCore::new(
-                    s,
-                    n,
-                    owned,
-                    config.max_cluster_size as usize,
-                    Arc::clone(&store),
-                    &env,
-                );
+                let core = ShardCore::new(s, n, owned, Arc::clone(&store), &env);
                 let dur = config.durability.as_ref().map(|d| DurabilityConfig {
                     dir: d.dir.join(format!("shard-{s:02}")),
                     ..d.clone()
@@ -565,8 +557,8 @@ impl ShardedRuntime {
         if self.ctl.last_published.load(Ordering::Acquire) == assembled {
             return assembled; // nothing new since the last epoch
         }
-        let (sets, generation) = self.env.sets.snapshot();
-        let (trace, cts) = asm.snapshot(&self.name, ClusterSets::clone(&sets), generation as usize);
+        let (world, _) = self.env.sets.snapshot();
+        let (trace, cts) = asm.snapshot(&self.name, world.sets.clone(), world.num_merges as usize);
         drop(asm);
         let mut g = lock(&self.shared.progress);
         g.epoch += 1;
@@ -961,6 +953,18 @@ fn report_shard_metrics(rt: &ShardedRuntime, st: &mut ShardState) {
     st.reported_depth = depth;
     let global_depth = m.reorder_depth.load(Ordering::Relaxed);
     m.reorder_peak.fetch_max(global_depth, Ordering::Relaxed);
+    // Drift counters live in the shared membership world, not per shard;
+    // the world-wide totals are authoritative (fetch_max keeps concurrent
+    // reporters monotone).
+    if rt.env.strategy.is_adaptive() {
+        let (world, _) = rt.env.sets.snapshot();
+        m.drift_migrations
+            .fetch_max(world.num_migrations, Ordering::Relaxed);
+        m.drift_forced_full.fetch_max(
+            rt.env.forced_full.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
 }
 
 /// Open a fresh WAL segment for one shard (same failpoint discipline as the

@@ -30,8 +30,9 @@ pub const VERSION: u8 = 1;
 /// [`Msg::ProtoHello`]. Level 1 is the implicit pre-handshake set; level 2
 /// adds `ListComputations` / `Subscribe` / `StreamBatch` (replication);
 /// level 3 adds the time-travel verbs (`QueryAsOf*`, `ListEpochs`,
-/// `ReplayInterval`).
-pub const PROTOCOL: u16 = 3;
+/// `ReplayInterval`); level 4 adds `QueryClusterMap` (adaptive
+/// re-clustering observability).
+pub const PROTOCOL: u16 = 4;
 
 /// Highest WAL record format this build can stream and replay (the `CTSWAL2`
 /// delta encoding; v1 fixed-width segments are still readable).
@@ -124,6 +125,10 @@ pub struct StatsSnapshot {
     pub epochs_retained: u64,
     pub epochs_retired: u64,
     pub asof_hits: u64,
+    /// Adaptive re-clustering: drift migrations performed, and full stamps
+    /// forced by the migration soundness rules (markers + stale sources).
+    pub drift_migrations: u64,
+    pub drift_forced_full: u64,
 }
 
 /// One computation's identity row in a [`Msg::ComputationList`] reply.
@@ -241,6 +246,11 @@ pub enum Msg {
         cursor: u64,
         limit: u32,
     },
+    /// Adaptive re-clustering (level 4): ask for the cluster map of the
+    /// computation's head snapshot — the current partition plus the drift
+    /// counters, so clients can watch migrations move processes between
+    /// clusters without parsing stats deltas.
+    QueryClusterMap,
 
     // ---- server → client ----
     HelloAck {
@@ -324,6 +334,20 @@ pub enum Msg {
         events: Vec<Event>,
         next: u64,
     },
+    /// Reply to [`Msg::QueryClusterMap`]: the head snapshot's epoch and
+    /// delivered count, its clustering outcome counters, the daemon-lifetime
+    /// drift counters, and the partition itself — `partition[p]` is the
+    /// cluster representative (canonical member id) of process `p`, so two
+    /// processes are clustered together iff their entries are equal.
+    ClusterMapResult {
+        epoch: u64,
+        delivered: u64,
+        cluster_receives: u64,
+        merges: u64,
+        migrations: u64,
+        forced_full: u64,
+        partition: Vec<u32>,
+    },
     Error {
         code: u16,
         message: String,
@@ -352,6 +376,7 @@ mod tag {
     pub const QUERY_ASOF_WINDOW: u8 = 0x11;
     pub const LIST_EPOCHS: u8 = 0x12;
     pub const REPLAY_INTERVAL: u8 = 0x13;
+    pub const QUERY_CLUSTER_MAP: u8 = 0x14;
     pub const HELLO_ACK: u8 = 0x81;
     pub const FLUSH_ACK: u8 = 0x83;
     pub const PRECEDES_RESULT: u8 = 0x84;
@@ -367,6 +392,7 @@ mod tag {
     pub const STREAM_BATCH: u8 = 0x8E;
     pub const EPOCH_LIST: u8 = 0x8F;
     pub const REPLAY_CHUNK: u8 = 0x90;
+    pub const CLUSTER_MAP_RESULT: u8 = 0x91;
     pub const ERROR: u8 = 0x7F;
 }
 
@@ -665,6 +691,7 @@ impl Msg {
                 put_u64(&mut out, *cursor);
                 put_u32(&mut out, *limit);
             }
+            Msg::QueryClusterMap => out.push(tag::QUERY_CLUSTER_MAP),
             Msg::HelloAck { session, existing } => {
                 out.push(tag::HELLO_ACK);
                 put_u64(&mut out, *session);
@@ -766,6 +793,8 @@ impl Msg {
                     s.epochs_retained,
                     s.epochs_retired,
                     s.asof_hits,
+                    s.drift_migrations,
+                    s.drift_forced_full,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -829,6 +858,27 @@ impl Msg {
                 put_u64(&mut out, *first_offset);
                 put_u64(&mut out, *next);
                 encode_event_block(&mut out, events);
+            }
+            Msg::ClusterMapResult {
+                epoch,
+                delivered,
+                cluster_receives,
+                merges,
+                migrations,
+                forced_full,
+                partition,
+            } => {
+                out.push(tag::CLUSTER_MAP_RESULT);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *delivered);
+                put_u64(&mut out, *cluster_receives);
+                put_u64(&mut out, *merges);
+                put_u64(&mut out, *migrations);
+                put_u64(&mut out, *forced_full);
+                put_u32(&mut out, partition.len() as u32);
+                for rep in partition {
+                    put_u32(&mut out, *rep);
+                }
             }
             Msg::Error { code, message } => {
                 out.push(tag::ERROR);
@@ -929,6 +979,7 @@ impl Msg {
                 cursor: c.u64()?,
                 limit: c.u32()?,
             },
+            tag::QUERY_CLUSTER_MAP => Msg::QueryClusterMap,
             tag::HELLO_ACK => Msg::HelloAck {
                 session: c.u64()?,
                 existing: c.u8()? != 0,
@@ -1045,6 +1096,8 @@ impl Msg {
                 epochs_retained: c.u64()?,
                 epochs_retired: c.u64()?,
                 asof_hits: c.u64()?,
+                drift_migrations: c.u64()?,
+                drift_forced_full: c.u64()?,
             }),
             tag::SHUTDOWN_ACK => Msg::ShutdownAck,
             tag::PROTO_HELLO_ACK => Msg::ProtoHelloAck {
@@ -1098,6 +1151,31 @@ impl Msg {
                 next: c.u64()?,
                 events: c.event_block(payload.len())?,
             },
+            tag::CLUSTER_MAP_RESULT => {
+                let epoch = c.u64()?;
+                let delivered = c.u64()?;
+                let cluster_receives = c.u64()?;
+                let merges = c.u64()?;
+                let migrations = c.u64()?;
+                let forced_full = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() / 4 + 1 {
+                    return Err(WireError::Malformed("partition size exceeds body"));
+                }
+                let mut partition = Vec::with_capacity(n);
+                for _ in 0..n {
+                    partition.push(c.u32()?);
+                }
+                Msg::ClusterMapResult {
+                    epoch,
+                    delivered,
+                    cluster_receives,
+                    merges,
+                    migrations,
+                    forced_full,
+                    partition,
+                }
+            }
             tag::ERROR => Msg::Error {
                 code: c.u16()?,
                 message: c.string()?,
@@ -1350,6 +1428,7 @@ mod tests {
                 cursor: 512,
                 limit: 256,
             },
+            Msg::QueryClusterMap,
             Msg::HelloAck {
                 session: 42,
                 existing: true,
@@ -1405,6 +1484,8 @@ mod tests {
                 epochs_retained: 24,
                 epochs_retired: 25,
                 asof_hits: 26,
+                drift_migrations: 27,
+                drift_forced_full: 28,
             }),
             Msg::ShutdownAck,
             Msg::ProtoHelloAck {
@@ -1453,6 +1534,15 @@ mod tests {
                     Event::new(id(1, 1), EventKind::Receive { from: id(0, 2) }),
                 ],
                 next: 515,
+            },
+            Msg::ClusterMapResult {
+                epoch: 12,
+                delivered: 4200,
+                cluster_receives: 900,
+                merges: 14,
+                migrations: 3,
+                forced_full: 21,
+                partition: vec![0, 0, 2, 2, 0],
             },
             Msg::Error {
                 code: code::UNKNOWN_EVENT,

@@ -15,7 +15,11 @@
 //! - [`dce`]: synchronous-RPC three-tier business applications (heavy use of
 //!   synchronous events) and an all-synchronous variant;
 //! - [`synthetic`]: adversarial patterns — uniform random (no locality),
-//!   planted clusters, hotspots, and hierarchies.
+//!   planted clusters, hotspots, and hierarchies;
+//! - [`drift`]: planted-drift families whose communication locality changes
+//!   at known event positions (phase-changing SPMD re-blocking,
+//!   re-balancing web tiers) — the fixtures for the online adaptive
+//!   re-clustering work. Not part of the standard suite.
 //!
 //! [`suite::standard_suite`] packages 54 named computations with fixed seeds
 //! as the stand-in for the paper's corpus.
@@ -26,6 +30,7 @@
 //! tests), so the corpus is bit-reproducible across machines and refactors.
 
 pub mod dce;
+pub mod drift;
 pub mod spmd;
 pub mod suite;
 pub mod synthetic;

@@ -12,6 +12,7 @@
 
 use cts_model::{Event, EventKind};
 use cts_workloads::dce::PoddedThreeTier;
+use cts_workloads::drift::{PhaseShiftStencil, RebalancedWebTiers};
 use cts_workloads::spmd::BlockedStencil1D;
 use cts_workloads::synthetic::PlantedClusters;
 use cts_workloads::web::ShardedWebServer;
@@ -128,5 +129,48 @@ fn golden_first_events_per_family() {
         assert_eq!(total, *e_total, "{family}: event count changed");
         let head_ref: Vec<&str> = head.iter().map(String::as_str).collect();
         assert_eq!(head_ref, *e_head, "{family}: first events changed");
+    }
+}
+
+/// The planted-drift fixtures used by the adaptive re-clustering tests and
+/// the `--drift` soak (PR 9). One trace per family, pinning the event
+/// count, the planted drift-epoch positions, and the first events — a
+/// generator edit that moves a plant breaks the drift tests' premises, so
+/// it must fail here first.
+#[test]
+fn golden_drift_families() {
+    let stencil = PhaseShiftStencil {
+        procs: 32,
+        phases: 4,
+        iters_per_phase: 6,
+        block: 8,
+    };
+    let tiers = RebalancedWebTiers {
+        clients: 12,
+        frontends: 6,
+        backends: 6,
+        requests: 600,
+        phases: 3,
+    };
+    #[rustfmt::skip]
+    let expected: &[(&str, usize, &[u64], &[&str])] = &[
+        ("drift/phase-stencil-32p4x6b8", 2304, &[576, 1152, 1728], &["P0#1:s>1", "P1#1:s>2", "P2#1:s>3", "P3#1:s>4", "P4#1:s>5", "P5#1:s>6", "P6#1:s>7", "P7#1:s>0", "P8#1:s>9", "P9#1:s>10"]),
+        ("drift/rebalanced-tiers-c12f6b6r600p3", 4800, &[1600, 3200], &["P0#1:s>12", "P12#1:r<0#1", "P12#2:s>18", "P18#1:r<12#2", "P18#2:s>12", "P12#3:r<18#2", "P12#4:s>0", "P0#2:r<12#4", "P1#1:s>13", "P13#1:r<1#1"]),
+    ];
+    let reps: Vec<(Box<dyn Workload>, Vec<u64>)> = vec![
+        (Box::new(stencil), stencil.drift_points()),
+        (Box::new(tiers), tiers.drift_points()),
+    ];
+    for ((w, points), (e_name, e_total, e_points, e_head)) in reps.into_iter().zip(expected) {
+        let (name, total, head) = first_events(w.as_ref(), 1, e_head.len());
+        assert_eq!(name, *e_name, "drift trace name changed");
+        assert_eq!(total, *e_total, "{name}: event count changed");
+        assert_eq!(points, *e_points, "{name}: planted drift positions moved");
+        let head_ref: Vec<&str> = head.iter().map(String::as_str).collect();
+        assert_eq!(head_ref, *e_head, "{name}: first events changed");
+        assert!(
+            (*e_points).iter().all(|&pt| pt < total as u64),
+            "{name}: a drift plant lies past the end of the trace"
+        );
     }
 }

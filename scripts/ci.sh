@@ -323,6 +323,49 @@ stage_replay() {
     timetravel/precedes_head_256:timetravel/precedes_asof_256:0.5
 }
 
+stage_adapt() {
+  echo "==> adapt: online adaptive re-clustering, drift soak + schedule exploration"
+  # Schedule-exploration tests for the migration path: seeded random and
+  # exhaustive-tiny schedules through the sharded runtime, migration
+  # mid-sync-pair / across epoch publish / across a crash, and the
+  # follower replaying the leader's migration stream. On failure the
+  # shrinker writes the minimal failing schedule into the workdir so the
+  # CI artifact upload preserves it.
+  CTS_ARTIFACT_DIR="$workdir" cargo test -q --release --test adaptive_recluster
+
+  # In-process drift soak: the planted-drift fixtures streamed through an
+  # adaptive daemon, segmented at the planted phase boundaries so the
+  # cluster-receive-ratio curves line up with the plants. Gates: zero
+  # differential mismatches AND >= 1 migration per fixture (detector
+  # liveness), plus time-travel checks at 3 retained epochs.
+  target/release/cts-loadgen --drift --epoch-every 256 --asof-epochs 3 \
+    >"$workdir/drift-curves.txt"
+  tail -n 4 "$workdir/drift-curves.txt"
+
+  # The same soak against a real daemon process started with --adaptive
+  # (exercises the wire-level QueryClusterMap path end to end).
+  local port_file="$workdir/adapt-daemon.port" port
+  target/release/cts-daemon --port 0 --port-file "$port_file" \
+    --adaptive 12 --epoch-every 256 --retain-epochs 8 &
+  pids+=("$!")
+  port=$(wait_port_file "$port_file")
+  target/release/cts-loadgen --drift --addr "127.0.0.1:$port" \
+    --asof-epochs 3 --shutdown >"$workdir/drift-curves-net.txt"
+
+  # The quality claim: on each drift trace the adaptive engine's
+  # cluster-receive count beats the *worst* static strategy by >= 1.2x
+  # (scalar count entries — see bench_adaptive — so the ratio is
+  # host-independent; --claims-only because the filtered run lacks the
+  # calibration kernel).
+  target/release/cts-bench --quick adaptive >"$workdir/bench-adapt.json"
+  python3 scripts/bench_gate.py results/BENCH_baseline.json \
+    "$workdir/bench-adapt.json" --claims-only \
+    --require-ratio \
+    adaptive/cr_static_worst_stencil:adaptive/cr_adaptive_stencil:1.2 \
+    --require-ratio \
+    adaptive/cr_static_worst_tiers:adaptive/cr_adaptive_tiers:1.2
+}
+
 stage_bench() {
   echo "==> bench: quick suite x2 vs committed baseline"
   target/release/cts-bench --quick >"$workdir/bench-1.json"
@@ -338,7 +381,7 @@ stage_bench() {
     shard_ingest/sharded_web_288_s1:shard_ingest/sharded_web_288_s4:1.8
 }
 
-all_stages=(fmt clippy build test smoke recovery query net repl replay bench)
+all_stages=(fmt clippy build test smoke recovery query net repl replay adapt bench)
 if [[ "${1:-}" == "--list" ]]; then
   printf '%s\n' "${all_stages[@]}"
   exit 0
@@ -346,7 +389,7 @@ fi
 stages=("${@:-${all_stages[@]}}")
 for stage in "${stages[@]}"; do
   case "$stage" in
-  fmt | clippy | build | test | smoke | recovery | query | net | repl | replay | bench)
+  fmt | clippy | build | test | smoke | recovery | query | net | repl | replay | adapt | bench)
     current_stage="$stage"
     current_start=$SECONDS
     "stage_$stage"

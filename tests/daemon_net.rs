@@ -330,8 +330,43 @@ fn epoll_write_backpressure_preserves_reply_order() {
     });
 
     // Let the flood race ahead so replies pile into the daemon-side write
-    // buffer before the first read drains anything.
-    std::thread::sleep(Duration::from_millis(300));
+    // buffer before the first read drains anything. Observed through the
+    // stats counter on a *second* connection rather than a fixed sleep:
+    // `batch_queries` advances as the daemon serves flood frames and
+    // plateaus when either all frames are served or the full write buffer
+    // parks the connection on EPOLLOUT — both mean the pile-up happened.
+    {
+        let mut probe = Client::connect(daemon.local_addr()).expect("stats probe");
+        probe
+            .hello("floodgate", t.num_processes(), 4)
+            .expect("probe hello");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut last = 0u64;
+        let mut stable = 0;
+        loop {
+            let served = probe.stats().expect("stats").batch_queries;
+            if served >= FRAMES as u64 {
+                break;
+            }
+            if served >= 1 && served == last {
+                stable += 1;
+                // Three unchanged polls with frames served: the write
+                // buffer is full and the connection is parked.
+                if stable >= 3 {
+                    break;
+                }
+            } else {
+                stable = 0;
+            }
+            last = served;
+            assert!(
+                Instant::now() < deadline,
+                "flood never reached the daemon (batch_queries {served})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let _ = probe.goodbye();
+    }
     for (i, &sz) in sizes.iter().enumerate() {
         match read_msg(&mut s).expect("read").expect("frame") {
             Msg::GcBatchResult { results, .. } => {
@@ -367,16 +402,27 @@ fn group_commit_without_flush(net: NetBackend, dir: &str) {
     .expect("bind");
     let t = Stencil1D { procs: 4, iters: 4 }.generate(31);
 
-    // Hello may briefly race startup recovery of the (empty) data dir.
+    // Startup recovery of the (empty) data dir refuses requests with
+    // RECOVERING; poll readiness with a session-free ProtoHello (creates
+    // nothing on the daemon) instead of retrying Hello on a fixed sleep.
     let deadline = Instant::now() + Duration::from_secs(10);
-    let mut client = loop {
-        let mut c = Client::connect(daemon.local_addr()).expect("connect");
-        match c.hello("unflushed", t.num_processes(), 4) {
-            Ok(_) => break c,
-            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
-            Err(e) => panic!("hello never succeeded: {e}"),
+    loop {
+        let ready = Client::connect(daemon.local_addr())
+            .and_then(|mut c| c.proto_hello())
+            .is_ok();
+        if ready {
+            break;
         }
-    };
+        assert!(
+            Instant::now() < deadline,
+            "daemon never finished startup recovery"
+        );
+        std::thread::yield_now();
+    }
+    let mut client = Client::connect(daemon.local_addr()).expect("connect");
+    client
+        .hello("unflushed", t.num_processes(), 4)
+        .expect("hello after readiness");
     client.stream_events(t.events(), 64).expect("stream");
     // No flush. The only sync driver left is the group-commit clock.
 

@@ -17,6 +17,7 @@ use cts_daemon::checkpoint;
 use cts_daemon::loadgen::{self, LoadConfig};
 use cts_daemon::pipeline::{Computation, ComputationConfig, DurabilityConfig};
 use cts_daemon::server::DaemonConfig;
+use cts_daemon::shard::StampStrategy;
 use cts_daemon::wal;
 use cts_model::Trace;
 use cts_workloads::suite::mini_suite;
@@ -36,6 +37,9 @@ fn durable_config(name: &str, n: u32, dir: &Path, budget: Option<u64>) -> Comput
         name: name.to_string(),
         num_processes: n,
         max_cluster_size: 4,
+        strategy: StampStrategy::Merge1st {
+            max_cluster_size: 4,
+        },
         queue_capacity: 8,
         epoch_every: 64,
         shards: 1,

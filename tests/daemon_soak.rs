@@ -15,6 +15,7 @@
 use cts_daemon::loadgen::{self, LoadConfig};
 use cts_daemon::pipeline::{Computation, ComputationConfig};
 use cts_daemon::server::{Daemon, DaemonConfig};
+use cts_daemon::shard::StampStrategy;
 use cts_daemon::Client;
 use cts_model::linearize::relinearize;
 use cts_workloads::spmd::Stencil1D;
@@ -167,6 +168,9 @@ fn sharded_shutdown_is_idempotent() {
         name: "double-shutdown".into(),
         num_processes: t.num_processes(),
         max_cluster_size: 4,
+        strategy: StampStrategy::Merge1st {
+            max_cluster_size: 4,
+        },
         queue_capacity: 8,
         epoch_every: 64,
         shards: 4,

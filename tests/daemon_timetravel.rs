@@ -276,6 +276,9 @@ fn pinned_epoch_survives_retention_pressure_until_unpinned() {
         name: "pin-pressure".into(),
         num_processes: t.num_processes(),
         max_cluster_size: MCS,
+        strategy: cts_daemon::shard::StampStrategy::Merge1st {
+            max_cluster_size: MCS as usize,
+        },
         queue_capacity: 8,
         epoch_every: 16,
         shards: 1,
