@@ -471,6 +471,38 @@ fn bench_shard_ingest(r: &mut Runner) {
     }
 }
 
+/// Placement under planted imbalance: one hot process group delivered
+/// through static shard layouts (which leave the hot block pinned to one
+/// worker) vs `--shards auto` + `--pin-cores` (which splits the hot shard
+/// live and pins workers to distinct cores). One iteration = the whole
+/// delivery; `ci.sh place` gates `hot6g4w_s1 / hot6g4w_auto_pin` at 1.3x
+/// on >=4-core hosts.
+fn bench_placement(r: &mut Runner) {
+    let t = cts_daemon::place::hot_group_trace(6, 4, 24, 32);
+    let arrivals = relinearize(&t, 11);
+    let g = "placement";
+    for shards in [1u32, 2, 4] {
+        r.run(g, &format!("hot6g4w_s{shards}"), || {
+            cts_daemon::loadgen::ingest_trace_wall_ns(
+                "place-hot6g4w",
+                &t,
+                arrivals.events(),
+                shards,
+            )
+        });
+    }
+    r.run(g, "hot6g4w_auto_pin", || {
+        cts_daemon::loadgen::ingest_trace_wall_ns_placed(
+            "place-hot6g4w",
+            &t,
+            arrivals.events(),
+            2,
+            true,
+            true,
+        )
+    });
+}
+
 fn bench_daemon(r: &mut Runner) {
     let trace = clustered_trace(200, 8);
     let g = "daemon_ingest";
@@ -682,6 +714,7 @@ fn main() {
     bench_timetravel(&mut r);
     bench_daemon(&mut r);
     bench_shard_ingest(&mut r);
+    bench_placement(&mut r);
     bench_wal(&mut r);
     bench_adaptive(&mut r);
     if r.bencher.entries().is_empty() {

@@ -28,7 +28,18 @@
 //! `--shards N` runs each computation's ingest path on N shard workers
 //! (parallel causal delivery per process group); the differential checks
 //! are unchanged, so this doubles as the sharded full-suite soak. Only
-//! meaningful for the in-process daemon.
+//! meaningful for the in-process daemon. `--shards auto` enables live
+//! shard autoscaling instead of a fixed count (`--balance` steals clusters
+//! at a fixed count, `--pin-cores` pins workers to topology-chosen CPUs),
+//! and `--shards 0` or a non-numeric count is an argument error (exit 2).
+//!
+//! `--place` switches to the shard-autoscaling soak (PR 10): planted
+//! hot-group fixtures are streamed through an in-process `--shards auto`
+//! daemon (or an external `--addr` daemon started with one), the
+//! `QueryPlacement` verb is sampled mid-stream, and the full differential
+//! suite re-verifies every answer over the same computations. Exit status
+//! is non-zero on any mismatch *or* if no autoscale action fired — a dead
+//! autoscaler fails the soak even when the answers are right.
 //!
 //! `--window-page N` sets the page size of the window-scroll checks (0 =
 //! the server's default cap); the small default forces the continuation
@@ -99,7 +110,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: cts-loadgen [--addr HOST:PORT] [--connections N] [--seed N]\n\
-         \x20                  [--max-cluster-size N] [--shards N]\n\
+         \x20                  [--max-cluster-size N]\n\
          \x20                  [--net-threads] [--pollers N]\n\
          \x20                  [--c10k N] [--c10k-bench]\n\
          \x20                  [--quick | --smoke] [--window-page N]\n\
@@ -109,7 +120,8 @@ fn usage() -> ! {
          \x20                  [--followers N | --follower-addr HOST:PORT ...]\n\
          \x20                  [--epoch-every N] [--asof-epochs N]\n\
          \x20                  [--replay-as STRATEGY:MAXCS] [--batch N]\n\
-         \x20                  [--wait-ready SECS] [--drift]"
+         \x20                  [--wait-ready SECS] [--drift] [--place]\n\
+         \x20                  [--shards N|auto] [--balance] [--pin-cores]"
     );
     std::process::exit(2);
 }
@@ -134,6 +146,10 @@ fn main() {
     let mut replay_as: Option<cts_core::StrategySpec> = None;
     let mut wait_ready: Option<u64> = None;
     let mut drift_soak = false;
+    let mut place_soak = false;
+    let mut auto_scale = false;
+    let mut balance = false;
+    let mut pin_cores = false;
     let mut mcs_set = false;
     let mut cfg = LoadConfig::default();
 
@@ -175,7 +191,28 @@ fn main() {
                 checkpoint_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--kill-after" => kill_after = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
-            "--shards" => shards = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            // `--shards 0` and non-numeric counts are argument errors (exit
+            // 2 + usage), not panics; `auto` turns on live autoscaling.
+            "--shards" => {
+                let raw = value(&mut i);
+                if raw == "auto" {
+                    shards = Some(2);
+                    auto_scale = true;
+                } else {
+                    match raw.parse::<u32>() {
+                        Ok(n) if n >= 1 => shards = Some(n),
+                        _ => {
+                            eprintln!(
+                                "cts-loadgen: bad --shards {raw:?} (want a count >= 1 or 'auto')"
+                            );
+                            usage();
+                        }
+                    }
+                }
+            }
+            "--pin-cores" => pin_cores = true,
+            "--balance" => balance = true,
+            "--place" => place_soak = true,
             "--net-threads" => net_threads = true,
             "--pollers" => pollers = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--c10k" => c10k = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -232,7 +269,7 @@ fn main() {
     } else if quick {
         cfg.precedence_queries = 50;
     }
-    if !drift_soak {
+    if !drift_soak && !place_soak {
         eprintln!(
             "[cts-loadgen] {} computations, {} events, {} connections",
             suite.len(),
@@ -268,6 +305,9 @@ fn main() {
         }
         daemon_cfg.shards = n;
     }
+    daemon_cfg.auto_scale = auto_scale;
+    daemon_cfg.balance = balance;
+    daemon_cfg.pin_cores = pin_cores;
     if (net_threads || pollers.is_some()) && addr.is_some() {
         eprintln!(
             "cts-loadgen: --net-threads/--pollers configure the in-process daemon; drop --addr"
@@ -415,6 +455,72 @@ fn main() {
         eprintln!(
             "[cts-loadgen] drift soak clean: 0 mismatches, {} migrations",
             report.migrations
+        );
+        return;
+    }
+
+    // Shard-autoscaling soak: planted hot-group fixtures through a
+    // `--shards auto` daemon, placement sampled mid-stream, differential
+    // oracle plus autoscaler-liveness gate.
+    if place_soak {
+        if kill_after.is_some() || followers > 0 || !cfg.follower_addrs.is_empty() {
+            eprintln!("cts-loadgen: --place does not combine with --kill-after/--followers");
+            std::process::exit(2);
+        }
+        let own = match addr {
+            None => {
+                daemon_cfg.shards = daemon_cfg.shards.max(2);
+                daemon_cfg.auto_scale = true;
+                let daemon = match Daemon::start(daemon_cfg) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("cts-loadgen: cannot start in-process daemon: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                cfg.addr = daemon.local_addr();
+                eprintln!(
+                    "[cts-loadgen] in-process autoscaling daemon on {}",
+                    cfg.addr
+                );
+                Some(daemon)
+            }
+            Some(a) => {
+                // An external daemon must itself be started with
+                // `--shards auto`; a fixed-count daemon passes the oracle
+                // but fails the liveness gate below.
+                cfg.addr = a;
+                None
+            }
+        };
+        let report = match cts_daemon::place::run_place_soak(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cts-loadgen: place soak failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", report.render());
+        if send_shutdown {
+            let r = Client::connect(cfg.addr).and_then(|mut c| c.shutdown_daemon());
+            if let Err(e) = r {
+                eprintln!("cts-loadgen: shutdown request failed: {e}");
+            }
+        }
+        if let Some(daemon) = own {
+            daemon.shutdown();
+        }
+        if !report.passed() {
+            eprintln!(
+                "cts-loadgen: place soak FAILED ({} mismatches, {} autoscale actions)",
+                report.load.mismatches,
+                report.rescales()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[cts-loadgen] place soak clean: 0 mismatches, {} autoscale actions",
+            report.rescales()
         );
         return;
     }

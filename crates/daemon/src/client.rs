@@ -26,6 +26,21 @@ pub struct ClusterMap {
     pub partition: Vec<u32>,
 }
 
+/// Typed form of [`Msg::PlacementResult`]: the computation's live shard
+/// placement — active shard count, per-shard occupancy shares (Q16), the
+/// rescale/steal counters, and the process → shard routing table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    pub epoch: u64,
+    pub delivered: u64,
+    pub shards: u64,
+    pub pinned: bool,
+    pub rescales: u64,
+    pub steals: u64,
+    pub occupancy_q16: Vec<u64>,
+    pub routing: Vec<u32>,
+}
+
 impl Client {
     /// Connect to a daemon.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
@@ -317,6 +332,33 @@ impl Client {
                 migrations,
                 forced_full,
                 partition,
+            }),
+            other => Err(Self::protocol_error(&other)),
+        }
+    }
+
+    /// The computation's live shard placement (level 5): active shard
+    /// count, occupancy shares, rescale/steal counters, and routing.
+    pub fn placement(&mut self) -> io::Result<Placement> {
+        match self.call(&Msg::QueryPlacement)? {
+            Msg::PlacementResult {
+                epoch,
+                delivered,
+                shards,
+                pinned,
+                rescales,
+                steals,
+                occupancy_q16,
+                routing,
+            } => Ok(Placement {
+                epoch,
+                delivered,
+                shards,
+                pinned,
+                rescales,
+                steals,
+                occupancy_q16,
+                routing,
             }),
             other => Err(Self::protocol_error(&other)),
         }

@@ -54,8 +54,8 @@ use crate::pipeline::{Computation, FlushError, TryEnqueue};
 use crate::replication;
 use crate::server::{
     cluster_map, hello, list_computations, lock, needs_protocol_2, needs_protocol_3,
-    needs_protocol_4, no_session, read_only, refuse_overloaded, serve_query, time_travel_verb,
-    DaemonShared,
+    needs_protocol_4, needs_protocol_5, no_session, placement_result, read_only, refuse_overloaded,
+    serve_query, time_travel_verb, DaemonShared,
 };
 use crate::wire::{self, code, write_msg, FrameBuffer, Msg};
 use std::collections::HashMap;
@@ -188,13 +188,29 @@ pub(crate) fn start(
         0 => auto_pollers(),
         n => n,
     };
+    // With --pin-cores, pollers take CPUs from the back of the topology's
+    // candidate list — shard workers take theirs from the front, so the two
+    // pools stay disjoint whenever the host has enough cores.
+    let plan = if shared.config.pin_cores {
+        crate::topology::CpuTopology::discover()
+            .ok()
+            .map(|t| t.plan(0, n))
+    } else {
+        None
+    };
     let mut handles = Vec::with_capacity(n);
     for i in 0..n {
         let mut worker = Worker::new(i, listener.try_clone()?, Arc::clone(&shared))?;
+        let cpu = plan.as_ref().map(|pl| pl.poller_cpus[i]);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("cts-daemon-poll-{i}"))
-                .spawn(move || worker.run())?,
+                .spawn(move || {
+                    if let Some(cpu) = cpu {
+                        let _ = crate::netpoll::pin_current_thread(cpu);
+                    }
+                    worker.run()
+                })?,
         );
     }
     Ok(handles)
@@ -758,6 +774,16 @@ impl Worker {
                     needs_protocol_4("QueryClusterMap")
                 } else if let Some(comp) = conn.session.as_ref() {
                     cluster_map(comp)
+                } else {
+                    no_session()
+                };
+                conn.queue_msg(&reply);
+            }
+            Msg::QueryPlacement => {
+                let reply = if conn.protocol < 5 {
+                    needs_protocol_5("QueryPlacement")
+                } else if let Some(comp) = conn.session.as_ref() {
+                    placement_result(comp)
                 } else {
                     no_session()
                 };

@@ -39,7 +39,15 @@
 //! - [`drift`]: the adaptive re-clustering soak — streams the
 //!   planted-drift fixtures through an `--adaptive` daemon, samples
 //!   cluster-receive-ratio curves at the planted phase boundaries, and
-//!   gates on the differential oracle plus drift-detector liveness.
+//!   gates on the differential oracle plus drift-detector liveness;
+//! - [`place`]: the shard-autoscaling soak — planted hot-group fixtures
+//!   through a `--shards auto` daemon, placement sampled over the wire
+//!   mid-stream, gated on autoscaler liveness plus the differential
+//!   oracle;
+//! - [`topology`]: CPU/cache/NUMA discovery from sysfs and the placement
+//!   plan that pins shard workers, pollers, and the WAL clock to distinct
+//!   cores (`--pin-cores`), feeding the live shard autoscaler
+//!   (`--shards auto`).
 //!
 //! Correctness rests on the delivery-order-invariance property established
 //! by the core crates: any valid delivery order yields exact precedence, so
@@ -57,12 +65,14 @@ pub mod metrics;
 #[cfg(target_os = "linux")]
 pub mod netpoll;
 pub mod pipeline;
+pub mod place;
 pub mod query_pool;
 pub mod reorder;
 pub mod replication;
 pub mod server;
 pub mod shard;
 pub(crate) mod sharded;
+pub mod topology;
 pub mod wal;
 pub mod wire;
 

@@ -233,6 +233,20 @@ pub fn ingest_trace_wall_ns(
     arrivals: &[Event],
     shards: u32,
 ) -> u64 {
+    ingest_trace_wall_ns_placed(label, t, arrivals, shards, false, false)
+}
+
+/// [`ingest_trace_wall_ns`] with the placement knobs exposed: `auto`
+/// enables live shard autoscaling, `pin` pins workers to topology-chosen
+/// cores.
+pub fn ingest_trace_wall_ns_placed(
+    label: &str,
+    t: &cts_model::Trace,
+    arrivals: &[Event],
+    shards: u32,
+    auto: bool,
+    pin: bool,
+) -> u64 {
     let comp = crate::pipeline::Computation::spawn(crate::pipeline::ComputationConfig {
         name: format!("bench-{label}-s{shards}"),
         num_processes: t.num_processes(),
@@ -243,6 +257,10 @@ pub fn ingest_trace_wall_ns(
         queue_capacity: 64,
         epoch_every: 4096,
         shards,
+        auto_scale: auto,
+        balance: false,
+        pin_cores: pin,
+        placement: None,
         durability: None,
         query_cache_capacity: 0,
         retain_epochs: 0,

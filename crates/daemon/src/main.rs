@@ -30,6 +30,16 @@
 //! `<maxCS>[@tau][/m]` (e.g. `8@0.5/3`); the `maxCS` part is overridden by
 //! each computation's `Hello`, the `@tau` merge threshold and `/m`
 //! migrate-after knobs apply daemon-wide.
+//!
+//! `--shards N` runs every computation on N ingest shards (`1` = the
+//! classic single-worker pipeline); `--shards auto` enables live shard
+//! autoscaling — start at 2 and let the placement engine split hot shards
+//! and retire cold ones from per-shard occupancy EWMAs, with no
+//! stop-the-world freeze. `--balance` steals clusters between shards at a
+//! fixed count (implied by `auto`), and `--pin-cores` pins shard workers,
+//! network pollers, and the WAL group-commit clock to topology-chosen CPUs
+//! (distinct cores, shards grouped by LLC/NUMA node; Linux sysfs only —
+//! silently unpinned elsewhere).
 
 use cts_core::strategy::StrategySpec;
 use cts_daemon::server::{Daemon, DaemonConfig};
@@ -44,7 +54,8 @@ fn usage() -> ! {
          \x20                 [--checkpoint-every N] [--query-workers N]\n\
          \x20                 [--follow HOST:PORT]\n\
          \x20                 [--retain-epochs N] [--retain-bytes B]\n\
-         \x20                 [--adaptive maxCS[@tau][/m]]"
+         \x20                 [--adaptive maxCS[@tau][/m]]\n\
+         \x20                 [--shards N|auto] [--balance] [--pin-cores]"
     );
     std::process::exit(2);
 }
@@ -109,6 +120,23 @@ fn main() {
                     }
                 }
             }
+            "--shards" => {
+                let spec = value(&mut i);
+                if spec == "auto" {
+                    config.shards = 2;
+                    config.auto_scale = true;
+                } else {
+                    match spec.parse::<u32>() {
+                        Ok(n) if n >= 1 => config.shards = n,
+                        _ => {
+                            eprintln!("bad --shards {spec:?} (want a count >= 1 or 'auto')");
+                            usage();
+                        }
+                    }
+                }
+            }
+            "--balance" => config.balance = true,
+            "--pin-cores" => config.pin_cores = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

@@ -35,6 +35,14 @@ pub struct Metrics {
     /// Adaptive strategy: full stamps forced by the migration soundness
     /// rules (pending markers + stale-source watermarks).
     pub drift_forced_full: AtomicU64,
+    /// Placement: hottest shard's occupancy share, Q16 gauge.
+    pub place_occupancy_q16: AtomicU64,
+    /// Placement: active shard count gauge (slots carrying routed traffic).
+    pub place_shards: AtomicU64,
+    /// Placement: completed splits + retires.
+    pub place_rescales: AtomicU64,
+    /// Placement: clusters stolen between shards at a fixed count.
+    pub place_steals: AtomicU64,
     /// Per-event ingest-apply latency (reorder + engine + store), ns.
     pub ingest_ns: AtomicHistogram,
     /// Per-query service latency, ns (all query types).
@@ -93,6 +101,10 @@ impl Metrics {
             asof_hits: self.asof_hits.load(Ordering::Relaxed),
             drift_migrations: self.drift_migrations.load(Ordering::Relaxed),
             drift_forced_full: self.drift_forced_full.load(Ordering::Relaxed),
+            place_occupancy_q16: self.place_occupancy_q16.load(Ordering::Relaxed),
+            place_shards: self.place_shards.load(Ordering::Relaxed),
+            place_rescales: self.place_rescales.load(Ordering::Relaxed),
+            place_steals: self.place_steals.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +133,10 @@ mod tests {
         m.asof_hits.store(4, Ordering::Relaxed);
         m.drift_migrations.store(3, Ordering::Relaxed);
         m.drift_forced_full.store(9, Ordering::Relaxed);
+        m.place_occupancy_q16.store(1 << 15, Ordering::Relaxed);
+        m.place_shards.store(3, Ordering::Relaxed);
+        m.place_rescales.store(2, Ordering::Relaxed);
+        m.place_steals.store(7, Ordering::Relaxed);
         let s = m.snapshot(cache, 6, 2);
         assert_eq!(s.events_ingested, 10);
         assert_eq!(s.duplicates_dropped, 2);
@@ -139,5 +155,9 @@ mod tests {
         assert_eq!(s.asof_hits, 4);
         assert_eq!(s.drift_migrations, 3);
         assert_eq!(s.drift_forced_full, 9);
+        assert_eq!(s.place_occupancy_q16, 1 << 15);
+        assert_eq!(s.place_shards, 3);
+        assert_eq!(s.place_rescales, 2);
+        assert_eq!(s.place_steals, 7);
     }
 }

@@ -70,6 +70,8 @@ extern "C" {
     fn listen(fd: c_int, backlog: c_int) -> c_int;
     fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
     fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const u64) -> c_int;
+    fn sched_getaffinity(pid: c_int, cpusetsize: usize, mask: *mut u64) -> c_int;
 }
 
 // ---- readiness and control constants (uapi values, stable ABI) ----
@@ -278,6 +280,42 @@ impl Drop for TimerFd {
     }
 }
 
+// ---- CPU affinity (the `--pin-cores` placement path) ----
+
+/// 1024-bit CPU mask, the glibc `cpu_set_t` size. Machines above 1024 CPUs
+/// exist but are out of scope; `pin_current_thread` rejects them cleanly.
+const CPU_SET_WORDS: usize = 16;
+
+/// Pin the calling thread to a single CPU. `pid` 0 means "this thread" for
+/// both affinity syscalls, so no gettid is needed.
+pub fn pin_current_thread(cpu: usize) -> io::Result<()> {
+    if cpu >= CPU_SET_WORDS * 64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cpu {cpu} beyond the {}-bit mask", CPU_SET_WORDS * 64),
+        ));
+    }
+    let mut mask = [0u64; CPU_SET_WORDS];
+    mask[cpu / 64] |= 1u64 << (cpu % 64);
+    cvt(unsafe { sched_setaffinity(0, CPU_SET_WORDS * 8, mask.as_ptr()) }).map(|_| ())
+}
+
+/// The calling thread's allowed CPUs, ascending.
+pub fn current_affinity() -> io::Result<Vec<usize>> {
+    let mut mask = [0u64; CPU_SET_WORDS];
+    cvt(unsafe { sched_getaffinity(0, CPU_SET_WORDS * 8, mask.as_mut_ptr()) })?;
+    let mut cpus = Vec::new();
+    for (w, bits) in mask.iter().enumerate() {
+        let mut bits = *bits;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            cpus.push(w * 64 + b);
+            bits &= bits - 1;
+        }
+    }
+    Ok(cpus)
+}
+
 // ---- helpers for the C10K paths ----
 
 /// Raise the listener's backlog beyond std's default 128 — a connect burst
@@ -381,5 +419,26 @@ mod tests {
     fn nofile_limit_is_sane() {
         let n = raise_nofile_to_hard().unwrap();
         assert!(n >= 256, "nofile limit {n} too small to run anything");
+    }
+
+    #[test]
+    fn pin_round_trips_through_getaffinity() {
+        let before = current_affinity().unwrap();
+        assert!(!before.is_empty());
+        let target = before[0];
+        pin_current_thread(target).unwrap();
+        assert_eq!(current_affinity().unwrap(), vec![target]);
+        // Restore the original mask so later tests on this thread are free.
+        let mut mask = [0u64; CPU_SET_WORDS];
+        for c in &before {
+            mask[c / 64] |= 1u64 << (c % 64);
+        }
+        cvt(unsafe { sched_setaffinity(0, CPU_SET_WORDS * 8, mask.as_ptr()) }).unwrap();
+        assert_eq!(current_affinity().unwrap(), before);
+    }
+
+    #[test]
+    fn pin_rejects_out_of_range_cpu() {
+        assert!(pin_current_thread(CPU_SET_WORDS * 64).is_err());
     }
 }

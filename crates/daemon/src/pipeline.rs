@@ -21,8 +21,8 @@
 use crate::checkpoint::{self, CompMeta, RecoveryReport};
 use crate::metrics::Metrics;
 use crate::reorder::ReorderBuffer;
-use crate::shard::StampStrategy;
-use crate::sharded::ShardedRuntime;
+use crate::shard::{PlacementParams, StampStrategy};
+use crate::sharded::{PlacementInfo, ShardedRuntime};
 use crate::wal::{self, WalWriter};
 use cts_core::cluster::{AdaptiveEngine, ClusterTimestamps};
 use cts_core::strategy::MergeOnFirst;
@@ -76,6 +76,20 @@ pub struct ComputationConfig {
     /// ([`crate::sharded`]) with one delivery core per process group,
     /// clamped to the number of processes.
     pub shards: u32,
+    /// Autoscale the shard count at runtime (`--shards auto`): the sharded
+    /// runtime pre-allocates worker slots up to the host's parallelism and
+    /// live-splits hot shards / retires cold ones between messages, guided
+    /// by the [`crate::shard::PlacementEngine`]. Starts at `shards` active.
+    pub auto_scale: bool,
+    /// Occupancy-driven cluster stealing at a fixed shard count
+    /// (`--balance`). Implied by `auto_scale` once it hits a bound.
+    pub balance: bool,
+    /// Pin shard workers to topology-chosen CPUs (`--pin-cores`): one
+    /// worker per physical core, shards packed into one LLC/NUMA domain.
+    pub pin_cores: bool,
+    /// Placement tuning; `None` selects [`PlacementParams::default`]
+    /// (tests pass aggressive thresholds for determinism).
+    pub placement: Option<PlacementParams>,
     /// `Some` makes the computation durable: delivered events are
     /// write-ahead logged and checkpointed, and
     /// [`Computation::spawn_durable`] recovers state from disk.
@@ -464,11 +478,30 @@ impl Computation {
         }
     }
 
-    /// How many ingest shards this computation runs (1 in single mode).
+    /// How many ingest shards this computation runs right now (1 in single
+    /// mode; the *active* count under autoscaling).
     pub fn num_shards(&self) -> usize {
         match &self.mode {
             EngineMode::Single { .. } => 1,
-            EngineMode::Sharded(rt) => rt.num_shards(),
+            EngineMode::Sharded(rt) => rt.active_shards(),
+        }
+    }
+
+    /// The placement state behind the `QueryPlacement` wire verb: active
+    /// shard count, pinning, rescale/steal totals, per-shard occupancy
+    /// shares, and the process→shard routing table. Single mode reports the
+    /// trivial one-shard placement.
+    pub(crate) fn placement(&self) -> PlacementInfo {
+        match &self.mode {
+            EngineMode::Single { .. } => PlacementInfo {
+                shards: 1,
+                pinned: false,
+                rescales: 0,
+                steals: 0,
+                occupancy_q16: vec![1 << 16],
+                routing: vec![0; self.num_processes as usize],
+            },
+            EngineMode::Sharded(rt) => rt.placement_info(),
         }
     }
 
@@ -1179,6 +1212,10 @@ mod tests {
             queue_capacity: 8,
             epoch_every: 64,
             shards: 1,
+            auto_scale: false,
+            balance: false,
+            pin_cores: false,
+            placement: None,
             durability: None,
             query_cache_capacity: 0,
             retain_epochs: 0,

@@ -1,0 +1,172 @@
+//! The shard-autoscaling soak: stream planted-imbalance fixtures (one hot
+//! process group) through a daemon running `--shards auto`, sample the
+//! [`Msg::QueryPlacement`](crate::wire::Msg::QueryPlacement) wire verb while
+//! ingest is still in flight, then re-run the full differential suite over
+//! the same computations. The gate is twofold: the placement engine must
+//! have applied at least one autoscale action (a dead autoscaler fails the
+//! soak even when the answers are right), and every differentially checked
+//! answer must match the offline engine bit for bit — splits and retires
+//! are not allowed to perturb a single stamp.
+
+use crate::client::Placement;
+use crate::loadgen::{self, LoadConfig, LoadReport};
+use crate::Client;
+use cts_model::{ProcessId, Trace, TraceBuilder};
+use cts_workloads::suite::{Env, SuiteEntry};
+use std::io;
+
+/// Planted imbalance: `groups` rings of `width` processes each; every cycle,
+/// group 0 runs `hot_factor` intra-group rounds while the other groups run
+/// one. Under the daemon's contiguous initial routing the low-numbered
+/// block — group 0 included — lands on shard 0 and makes it hot, which is
+/// exactly the signal the placement engine's occupancy EWMAs key off.
+pub fn hot_group_trace(groups: u32, width: u32, cycles: u32, hot_factor: u32) -> Trace {
+    assert!(groups >= 2 && width >= 2 && hot_factor >= 1);
+    let mut b = TraceBuilder::new(groups * width);
+    let ring = |b: &mut TraceBuilder, g: u32| {
+        let base = g * width;
+        for k in 0..width {
+            let from = ProcessId(base + k);
+            let to = ProcessId(base + (k + 1) % width);
+            let tok = b.send(from, to).expect("ring send");
+            b.receive(to, tok).expect("ring receive");
+        }
+    };
+    for _ in 0..cycles {
+        for r in 0..hot_factor {
+            ring(&mut b, 0);
+            if r == 0 {
+                for g in 1..groups {
+                    ring(&mut b, g);
+                }
+            }
+        }
+    }
+    b.finish_complete(format!("place/hot-{groups}g{width}w-x{hot_factor}"))
+        .expect("complete trace")
+}
+
+/// The soak's fixtures: two hot-group plants with different shapes.
+pub fn place_suite() -> Vec<SuiteEntry> {
+    [hot_group_trace(6, 4, 8, 32), hot_group_trace(8, 3, 6, 24)]
+        .into_iter()
+        .map(|trace| SuiteEntry {
+            name: trace.name().to_string(),
+            env: Env::Synthetic,
+            trace,
+        })
+        .collect()
+}
+
+/// Outcome of [`run_place_soak`].
+#[derive(Debug)]
+pub struct PlaceReport {
+    /// The differential re-verification over the same computations.
+    pub load: LoadReport,
+    /// Final placement sample per fixture.
+    pub placements: Vec<(String, Placement)>,
+}
+
+impl PlaceReport {
+    /// Autoscale actions (splits + retires) across all fixtures.
+    pub fn rescales(&self) -> u64 {
+        self.placements.iter().map(|(_, p)| p.rescales).sum()
+    }
+
+    /// Zero mismatches *and* a live autoscaler.
+    pub fn passed(&self) -> bool {
+        self.load.mismatches == 0 && self.rescales() >= 1
+    }
+
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, p) in &self.placements {
+            let occ: Vec<String> = p
+                .occupancy_q16
+                .iter()
+                .map(|&q| format!("{:.2}", q as f64 / 65536.0))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{name}: shards={} rescales={} steals={} pinned={} occupancy=[{}]",
+                p.shards,
+                p.rescales,
+                p.steals,
+                p.pinned,
+                occ.join(" "),
+            );
+        }
+        out.push_str(&self.load.render());
+        out
+    }
+}
+
+/// Events per wire frame during the plant phase. Deliberately small: the
+/// placement engine paces itself in shard *messages* (cooldowns, EWMA
+/// decay), so the plant must arrive as enough messages to warm the EWMAs
+/// and clear the decision cooldown before the fixture runs out.
+const PLANT_BATCH: usize = 16;
+
+/// Stream the planted fixtures through the daemon at `cfg.addr` (which must
+/// be running `--shards auto`), sampling the placement at three cuts per
+/// fixture, then run the standard differential suite over the same
+/// computations. See [`PlaceReport::passed`] for the gate.
+pub fn run_place_soak(cfg: &LoadConfig) -> io::Result<PlaceReport> {
+    let entries = place_suite();
+    eprintln!(
+        "[cts-loadgen] place soak: {} planted fixtures, {} events, {}-event frames",
+        entries.len(),
+        entries.iter().map(|e| e.trace.num_events()).sum::<usize>(),
+        PLANT_BATCH
+    );
+    let mut placements = Vec::new();
+    for entry in &entries {
+        let mut client = Client::connect(cfg.addr)?;
+        client.proto_hello()?;
+        client.hello(
+            &entry.name,
+            entry.trace.num_processes(),
+            cfg.max_cluster_size,
+        )?;
+        let events = entry.trace.events();
+        // Three cuts: the placement verb answers mid-stream, not just at
+        // the end, and the flushes prove cuts interleave with rescales.
+        let cuts = [events.len() / 3, 2 * events.len() / 3, events.len()];
+        let mut from = 0usize;
+        let mut last: Option<Placement> = None;
+        for cut in cuts {
+            client.stream_events(&events[from..cut], PLANT_BATCH)?;
+            client.flush(cut as u64)?;
+            last = Some(client.placement()?);
+            from = cut;
+        }
+        placements.push((entry.name.clone(), last.expect("three cuts sampled")));
+        client.goodbye()?;
+    }
+    // Differential re-verify: re-streams the same computations (shuffled,
+    // with duplicates) and checks every query against the offline engine.
+    let load = loadgen::run(&entries, cfg)?;
+    Ok(PlaceReport { load, placements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_group_trace_is_complete_and_skewed() {
+        let t = hot_group_trace(6, 4, 2, 8);
+        assert_eq!(t.num_processes(), 24);
+        // Group 0 carries hot_factor rings per cycle vs 1 for each other
+        // group — the skew the occupancy EWMAs key off is per group (per
+        // shard), so compare against a single cold group, not all five.
+        let hot_events = t.events().iter().filter(|e| e.process().0 < 4).count();
+        let cold_events = t.events().len() - hot_events;
+        let cold_per_group = cold_events / 5;
+        assert!(
+            hot_events > 4 * cold_per_group,
+            "plant not hot: {hot_events} vs {cold_per_group} per cold group"
+        );
+    }
+}

@@ -28,7 +28,7 @@ use crate::checkpoint;
 use crate::pipeline::{Computation, ComputationConfig, DurabilityConfig, FlushError, Snapshot};
 use crate::query_pool::QueryPool;
 use crate::replication;
-use crate::shard::StampStrategy;
+use crate::shard::{PlacementParams, StampStrategy};
 use crate::wire::{self, code, recv_frame, write_msg, CompInfo, Msg, Recv};
 use cts_core::cluster::AdaptiveParams;
 use cts_model::{EventId, EventIndex, ProcessId};
@@ -101,6 +101,21 @@ pub struct DaemonConfig {
     /// Ingest shards per computation (see [`ComputationConfig::shards`]);
     /// `1` = the classic single-worker pipeline.
     pub shards: u32,
+    /// `--shards auto`: live shard autoscaling — start at `shards` (at
+    /// least 2) and let the placement engine split hot shards and retire
+    /// cold ones between batches (see [`ComputationConfig::auto_scale`]).
+    pub auto_scale: bool,
+    /// `--balance`: cluster stealing at a fixed shard count.
+    pub balance: bool,
+    /// `--pin-cores`: pin shard workers, pollers, and the WAL clock to
+    /// topology-chosen CPUs (Linux; silently unpinned elsewhere or when
+    /// sysfs discovery fails).
+    pub pin_cores: bool,
+    /// Placement-engine tuning (EWMA shift, cooldown, hot/cold thresholds,
+    /// shard-count bounds). `None` = [`PlacementParams::default`]. A finite
+    /// `max_shards` also raises the pre-allocated slot count past the
+    /// host's parallelism, which is how soaks force splits on small hosts.
+    pub placement: Option<PlacementParams>,
     /// Entry bound per layer of each computation's shared query cache;
     /// `0` selects [`crate::pipeline::DEFAULT_QUERY_CACHE_CAPACITY`].
     pub query_cache_capacity: usize,
@@ -140,6 +155,10 @@ impl Default for DaemonConfig {
             checkpoint_every: 100_000,
             wal_byte_budget: None,
             shards: 1,
+            auto_scale: false,
+            balance: false,
+            pin_cores: false,
+            placement: None,
             query_cache_capacity: 0,
             query_workers: 0,
             follow: None,
@@ -308,10 +327,24 @@ impl Daemon {
             // need no clock.
             if shared.config.data_dir.is_some() && !shared.config.sync_window.is_zero() {
                 let clock_shared = Arc::clone(&shared);
+                #[cfg(target_os = "linux")]
+                let clock_cpu = if shared.config.pin_cores {
+                    crate::topology::CpuTopology::discover()
+                        .ok()
+                        .and_then(|t| t.plan(0, 0).wal_clock_cpu)
+                } else {
+                    None
+                };
                 wal_clock = Some(
                     std::thread::Builder::new()
                         .name("cts-daemon-walclock".into())
-                        .spawn(move || wal_clock_loop(&clock_shared))
+                        .spawn(move || {
+                            #[cfg(target_os = "linux")]
+                            if let Some(cpu) = clock_cpu {
+                                let _ = crate::netpoll::pin_current_thread(cpu);
+                            }
+                            wal_clock_loop(&clock_shared)
+                        })
                         .expect("spawn wal clock thread"),
                 );
             }
@@ -761,6 +794,16 @@ fn serve_connection_inner(mut stream: TcpStream, shared: &DaemonShared) -> io::R
                 };
                 write_msg(&mut stream, &reply)?;
             }
+            Msg::QueryPlacement => {
+                let reply = if negotiated < 5 {
+                    needs_protocol_5("QueryPlacement")
+                } else if let Some(comp) = session.as_ref() {
+                    placement_result(comp)
+                } else {
+                    no_session()
+                };
+                write_msg(&mut stream, &reply)?;
+            }
             Msg::Stats => {
                 let Some(comp) = session.as_ref() else {
                     write_msg(&mut stream, &no_session())?;
@@ -871,6 +914,31 @@ pub(crate) fn needs_protocol_4(verb: &str) -> Msg {
     Msg::Error {
         code: code::UNSUPPORTED,
         message: format!("{verb} requires ProtoHello negotiation to protocol level >= 4"),
+    }
+}
+
+/// Refusal for level-5 (placement observability) verbs below level 5.
+pub(crate) fn needs_protocol_5(verb: &str) -> Msg {
+    Msg::Error {
+        code: code::UNSUPPORTED,
+        message: format!("{verb} requires ProtoHello negotiation to protocol level >= 5"),
+    }
+}
+
+/// Answer [`Msg::QueryPlacement`] from the computation's placement state
+/// (plus the head snapshot's epoch/delivered pair for correlation).
+pub(crate) fn placement_result(comp: &Computation) -> Msg {
+    let snap = comp.snapshot();
+    let info = comp.placement();
+    Msg::PlacementResult {
+        epoch: snap.epoch,
+        delivered: snap.delivered,
+        shards: info.shards,
+        pinned: info.pinned,
+        rescales: info.rescales,
+        steals: info.steals,
+        occupancy_q16: info.occupancy_q16,
+        routing: info.routing,
     }
 }
 
@@ -1005,6 +1073,10 @@ fn computation_config(
         queue_capacity: shared.config.queue_capacity,
         epoch_every: shared.config.epoch_every,
         shards: shared.config.shards,
+        auto_scale: shared.config.auto_scale,
+        balance: shared.config.balance,
+        pin_cores: shared.config.pin_cores,
+        placement: shared.config.placement,
         durability,
         query_cache_capacity: shared.config.query_cache_capacity,
         retain_epochs: shared.config.retain_epochs,

@@ -790,6 +790,14 @@ impl ShardCore {
     pub fn peak_depth(&self) -> usize {
         self.reorder.peak_depth()
     }
+
+    /// Is this core between sync pairs? `pending_sync` holds the combined
+    /// stamp between the two halves of a locally-delivered sync, and
+    /// releasing a process inside that window would strand it — placement
+    /// migrations check this and defer to the next boundary.
+    pub fn sync_quiescent(&self) -> bool {
+        self.fm.pending_sync.is_empty()
+    }
 }
 
 /// The [`ShardHooks`] view over a core's non-reorder state, so readiness
@@ -848,57 +856,49 @@ impl ShardHooks for CoreHooks<'_> {
 // Migration & rebalancing
 // ---------------------------------------------------------------------------
 
-/// Move ownership of process `p` from shard `from` to shard `to`. Must run
-/// at a full-stop barrier (the caller holds every core exclusively, as the
-/// threaded runtime's freeze or the harness's synchronous step does).
-/// Returns how many events were delivered as a side effect (re-offered
-/// pending events and re-examined waiters may both cascade).
-pub fn migrate_process(
-    cores: &mut [&mut ShardCore],
-    from: ShardId,
-    to: ShardId,
+/// Move ownership of process `p` from core `src` to core `dst`. The caller
+/// holds both cores exclusively; no other core is involved, so this runs
+/// either at a full-stop barrier (rebalance) or under a two-shard lock
+/// while every other shard keeps ingesting (placement rescale). Returns how
+/// many events were delivered as a side effect (re-offered pending events
+/// and re-examined waiters may both cascade).
+pub fn migrate_between(
+    src: &mut ShardCore,
+    dst: &mut ShardCore,
     p: ProcessId,
     env: &ShardEnv,
     wakes: &mut Vec<Wake>,
 ) -> u64 {
-    assert_ne!(from, to);
+    assert_ne!(src.id, dst.id);
     let mut delivered = 0;
-    let (watermark, pending, frontier, moved_recs) = {
-        let src = &mut *cores[from];
-        let (watermark, pending) = src.reorder.release_process(p);
-        let frontier = src.fm.release_process(p, &env.exchange, wakes);
-        // `p`'s undrained delivered records follow it, so the assembler's
-        // per-process queue keeps seeing `p` in index order no matter which
-        // shard's outbox a cut drains first.
-        let mut kept = Vec::with_capacity(src.outbox.len());
-        let mut moved_recs = Vec::new();
-        for rec in src.outbox.drain(..) {
-            if rec.ev.process() == p {
-                moved_recs.push(rec);
-            } else {
-                kept.push(rec);
-            }
+    let (watermark, pending) = src.reorder.release_process(p);
+    let frontier = src.fm.release_process(p, &env.exchange, wakes);
+    // `p`'s undrained delivered records follow it, so the assembler's
+    // per-process queue keeps seeing `p` in index order no matter which
+    // shard's outbox a cut drains first.
+    let mut kept = Vec::with_capacity(src.outbox.len());
+    let mut moved_recs = Vec::new();
+    for rec in src.outbox.drain(..) {
+        if rec.ev.process() == p {
+            moved_recs.push(rec);
+        } else {
+            kept.push(rec);
         }
-        src.outbox = kept;
-        (watermark, pending, frontier, moved_recs)
-    };
-    {
-        let dst = &mut *cores[to];
-        dst.outbox.extend(moved_recs);
-        dst.reorder.adopt_process(p, watermark);
-        dst.fm.adopt_process(p, frontier);
-        for ev in pending {
-            match dst.offer(ev, env, wakes) {
-                Ok(d) => delivered += d,
-                Err(reason) => eprintln!(
-                    "[cts-daemon] shard {to}: migrated event {} refused: {reason}",
-                    ev.id
-                ),
-            }
+    }
+    src.outbox = kept;
+    dst.outbox.extend(moved_recs);
+    dst.reorder.adopt_process(p, watermark);
+    dst.fm.adopt_process(p, frontier);
+    for ev in pending {
+        match dst.offer(ev, env, wakes) {
+            Ok(d) => delivered += d,
+            Err(reason) => eprintln!(
+                "[cts-daemon] shard {}: migrated event {} refused: {reason}",
+                dst.id, ev.id
+            ),
         }
     }
     // Local events parked under `p`'s events switch to cross-shard edges.
-    let src = &mut *cores[from];
     let mut hooks = CoreHooks {
         me: src.id,
         fm: &mut src.fm,
@@ -911,6 +911,26 @@ pub fn migrate_process(
         rebalance_needed: &mut src.rebalance_needed,
     };
     delivered + src.reorder.reexamine_process(p, &mut hooks)
+}
+
+/// [`migrate_between`] addressed through a full core slice (the full-stop
+/// barrier callers' natural shape).
+pub fn migrate_process(
+    cores: &mut [&mut ShardCore],
+    from: ShardId,
+    to: ShardId,
+    p: ProcessId,
+    env: &ShardEnv,
+    wakes: &mut Vec<Wake>,
+) -> u64 {
+    assert_ne!(from, to);
+    let (lo, hi) = cores.split_at_mut(from.max(to));
+    let (src, dst) = if from < to {
+        (&mut *lo[from], &mut *hi[0])
+    } else {
+        (&mut *hi[0], &mut *lo[to])
+    };
+    migrate_between(src, dst, p, env, wakes)
 }
 
 /// Re-align process ownership with the current cluster partition: each
@@ -969,6 +989,250 @@ pub fn initial_routing(n: u32, shards: usize) -> Vec<AtomicU32> {
     (0..n)
         .map(|p| AtomicU32::new((p as usize * shards / n.max(1) as usize) as u32))
         .collect()
+}
+
+/// The clusters wholly owned by `shard` under `routing` (singletons
+/// included). Placement moves whole clusters so it never undoes the
+/// cluster-locality invariant [`rebalance`] maintains; a cluster momentarily
+/// straddling shards (mid-merge) is skipped and picked up next time.
+pub fn clusters_on(
+    world: &MembershipWorld,
+    routing: &[AtomicU32],
+    shard: ShardId,
+) -> Vec<Vec<ProcessId>> {
+    let partition = world.sets.current_partition();
+    let mut groups = Vec::new();
+    for members in partition.clusters() {
+        let on_shard = |m: &ProcessId| routing[m.idx()].load(Ordering::Relaxed) as usize == shard;
+        if !members.is_empty() && members.iter().all(on_shard) {
+            groups.push(members.to_vec());
+        }
+    }
+    groups
+}
+
+// ---------------------------------------------------------------------------
+// PlacementEngine: occupancy-driven shard scaling and stealing
+// ---------------------------------------------------------------------------
+
+/// Q16 fixed-point one (the same scale as [`cts_core::cluster`]'s drift
+/// EWMAs).
+const Q16_ONE: u64 = 1 << 16;
+
+/// Tuning for the placement engine. All ratios are Q16 fixed-point
+/// multiples of the *even* share `1/active`, so the thresholds track the
+/// current shard count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementParams {
+    /// Never retire below this many shards.
+    pub min_shards: usize,
+    /// Never split above this many shards (the runtime clamps it to its
+    /// pre-allocated slot count).
+    pub max_shards: usize,
+    /// EWMA decay shift: each message multiplies every shard's load by
+    /// `1 - 2^-shift`. Larger = slower, smoother signal.
+    pub ewma_shift: u32,
+    /// Minimum messages between placement actions (and before the first).
+    pub cooldown: u64,
+    /// Split/steal when the hottest shard's share exceeds
+    /// `even * hot_factor_q16 / 2^16`.
+    pub hot_factor_q16: u64,
+    /// Retire when the coldest shard's share falls below
+    /// `even * cold_factor_q16 / 2^16` (and some other shard is not hot —
+    /// retiring into a hot fleet only makes things worse).
+    pub cold_factor_q16: u64,
+}
+
+impl Default for PlacementParams {
+    fn default() -> PlacementParams {
+        PlacementParams {
+            min_shards: 2,
+            max_shards: usize::MAX,
+            ewma_shift: 6,
+            cooldown: 64,
+            hot_factor_q16: Q16_ONE * 3 / 2, // 1.5x the even share
+            cold_factor_q16: Q16_ONE / 4,    // 0.25x the even share
+        }
+    }
+}
+
+/// What the placement engine wants done, between two message boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementAction {
+    /// Activate a new shard and move about half of this hot shard's
+    /// clusters onto it.
+    Split(ShardId),
+    /// Deactivate this cold shard, moving its clusters to the remaining
+    /// shards.
+    Retire(ShardId),
+    /// Move one cluster from the hot shard to the cold one at a fixed
+    /// shard count (`--balance`, or `--shards auto` already at a bound).
+    Steal { from: ShardId, to: ShardId },
+}
+
+/// Per-shard occupancy tracking and the split/retire/steal policy.
+///
+/// Each processed message adds its work (events delivered plus resulting
+/// queue depth) to the owning shard's Q16 EWMA while every other shard
+/// decays, so a shard's *share* of the total is its share of recent work —
+/// the same fixed-point machinery as `cluster/adaptive.rs`, integer-only
+/// and deterministic. The runtime consults [`decide`](Self::decide) at
+/// message boundaries; actions are applied with [`migrate_between`] under
+/// the two shards' locks only, never a global freeze.
+pub struct PlacementEngine {
+    params: PlacementParams,
+    /// Per-slot work EWMA, Q16.
+    load: Vec<u64>,
+    msgs: u64,
+    last_action_at: u64,
+    /// Clusters moved by steals (and splits/retires) so far.
+    pub steals: u64,
+    /// Splits + retires so far.
+    pub rescales: u64,
+}
+
+impl PlacementEngine {
+    /// An engine tracking `slots` shard slots.
+    pub fn new(slots: usize, params: PlacementParams) -> PlacementEngine {
+        PlacementEngine {
+            params,
+            load: vec![0; slots],
+            msgs: 0,
+            last_action_at: 0,
+            steals: 0,
+            rescales: 0,
+        }
+    }
+
+    /// The engine's tuning.
+    pub fn params(&self) -> &PlacementParams {
+        &self.params
+    }
+
+    /// Record one processed message on `shard` carrying `work` units.
+    pub fn note_message(&mut self, shard: ShardId, work: u64) {
+        self.msgs += 1;
+        let shift = self.params.ewma_shift;
+        let add = work.min(1 << 20) * Q16_ONE;
+        for (i, l) in self.load.iter_mut().enumerate() {
+            let inject = if i == shard { add >> shift } else { 0 };
+            *l = *l - (*l >> shift) + inject;
+        }
+    }
+
+    /// `(hottest share in Q16, hottest shard)` over the first `active`
+    /// slots. Zero total load reports an even share.
+    pub fn occupancy_q16(&self, active: usize) -> (u64, ShardId) {
+        let active = active.clamp(1, self.load.len());
+        let total: u64 = self.load[..active].iter().sum();
+        if total == 0 {
+            return (Q16_ONE / active as u64, 0);
+        }
+        let (hot, &max) = self.load[..active]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, l)| l)
+            .expect("active >= 1");
+        (max * Q16_ONE / total, hot)
+    }
+
+    /// Pick the next placement action, if any, for `active` shards.
+    /// `auto` enables split/retire; `balance` enables stealing. The
+    /// cooldown restarts on every returned action (the caller applies it).
+    pub fn decide(&mut self, active: usize, auto: bool, balance: bool) -> Option<PlacementAction> {
+        if active == 0 || (!auto && !balance) {
+            return None;
+        }
+        if self.msgs - self.last_action_at < self.params.cooldown {
+            return None;
+        }
+        let active = active.min(self.load.len());
+        let total: u64 = self.load[..active].iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let share = |l: u64| l * Q16_ONE / total;
+        let (hot, cold) = {
+            let mut hot = 0;
+            let mut cold = 0;
+            for (i, &l) in self.load[..active].iter().enumerate() {
+                if l > self.load[hot] {
+                    hot = i;
+                }
+                if l < self.load[cold] {
+                    cold = i;
+                }
+            }
+            (hot, cold)
+        };
+        let even = Q16_ONE / active as u64;
+        let hot_thresh = (even * self.params.hot_factor_q16) >> 16;
+        let cold_thresh = (even * self.params.cold_factor_q16) >> 16;
+        let is_hot = active > 1 && share(self.load[hot]) > hot_thresh;
+        let action = if auto && is_hot && active < self.params.max_shards {
+            Some(PlacementAction::Split(hot))
+        } else if auto
+            && !is_hot
+            && active > self.params.min_shards
+            && share(self.load[cold]) < cold_thresh
+        {
+            Some(PlacementAction::Retire(cold))
+        } else if balance && is_hot && hot != cold {
+            Some(PlacementAction::Steal {
+                from: hot,
+                to: cold,
+            })
+        } else {
+            None
+        };
+        if action.is_some() {
+            self.last_action_at = self.msgs;
+        }
+        action
+    }
+
+    /// Account a completed split: the new shard starts with half the
+    /// source's load (the half of its clusters that moved there).
+    pub fn note_split(&mut self, from: ShardId, to: ShardId) {
+        self.rescales += 1;
+        let half = self.load[from] / 2;
+        self.load[from] -= half;
+        self.load[to] = half;
+    }
+
+    /// Account a completed retire: the slot's load pours onto the absorbing
+    /// shards through the next messages' EWMA updates.
+    pub fn note_retire(&mut self, s: ShardId) {
+        self.rescales += 1;
+        self.load[s] = 0;
+    }
+
+    /// Account `moved` clusters stolen between shards at a fixed count.
+    pub fn note_steal(&mut self, moved: u64) {
+        self.steals += moved;
+    }
+
+    /// Per-slot occupancy shares in Q16 over the first `active` slots
+    /// (even shares when no load has been recorded yet).
+    pub fn shares_q16(&self, active: usize) -> Vec<u64> {
+        let active = active.clamp(1, self.load.len());
+        let total: u64 = self.load[..active].iter().sum();
+        if total == 0 {
+            return vec![Q16_ONE / active as u64; active];
+        }
+        self.load[..active]
+            .iter()
+            .map(|&l| l * Q16_ONE / total)
+            .collect()
+    }
+
+    /// The least-loaded slot among the first `limit`.
+    pub fn coldest(&self, limit: usize) -> ShardId {
+        let limit = limit.clamp(1, self.load.len());
+        (0..limit)
+            .min_by_key(|&i| self.load[i])
+            .expect("limit >= 1")
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1170,9 +1434,25 @@ pub struct SimShards {
     routing: Vec<AtomicU32>,
     cores: Vec<ShardCore>,
     inboxes: Vec<VecDeque<SimMsg>>,
+    /// Cores are positional and never removed; a retired slot just goes
+    /// inactive (routing stops pointing at it). Mirrors the runtime's
+    /// active-slot discipline.
+    active: Vec<bool>,
     assembler: CutAssembler,
     store: Arc<PartitionedStore>,
     rejected: u64,
+}
+
+/// Two distinct cores of one slice, mutably.
+fn pair_mut(cores: &mut [ShardCore], a: usize, b: usize) -> (&mut ShardCore, &mut ShardCore) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = cores.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = cores.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
 }
 
 impl SimShards {
@@ -1207,15 +1487,98 @@ impl SimShards {
             routing,
             cores,
             inboxes: (0..shards).map(|_| VecDeque::new()).collect(),
+            active: vec![true; shards],
             assembler: CutAssembler::new(n),
             store,
             rejected: 0,
         }
     }
 
-    /// Number of shards.
+    /// Number of shard slots ever created (including retired ones).
     pub fn num_shards(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Number of currently active shards.
+    pub fn active_shards(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Is slot `s` active (routing may point at it)?
+    pub fn is_active(&self, s: ShardId) -> bool {
+        self.active.get(s).copied().unwrap_or(false)
+    }
+
+    /// Live-split shard `from`: activate a fresh core and move roughly half
+    /// of `from`'s (whole) clusters onto it, exactly like the runtime's
+    /// autoscaler between two messages. Returns the new shard id, or `None`
+    /// when the split must defer — fewer than two movable clusters, or
+    /// `from` is mid sync pair.
+    pub fn split_shard(&mut self, from: ShardId) -> Option<ShardId> {
+        if !self.is_active(from) || !self.cores[from].sync_quiescent() {
+            return None;
+        }
+        let (world, _) = self.env.sets.snapshot();
+        let groups = clusters_on(&world, &self.routing, from);
+        if groups.len() < 2 {
+            return None;
+        }
+        let n = self.routing.len() as u32;
+        let to = self.cores.len();
+        self.cores.push(ShardCore::new(
+            to,
+            n,
+            vec![false; n as usize],
+            Arc::clone(&self.store),
+            &self.env,
+        ));
+        self.inboxes.push(VecDeque::new());
+        self.active.push(true);
+        let mut wakes = Vec::new();
+        // Alternate clusters move; the source keeps the other half.
+        for group in groups.iter().skip(1).step_by(2) {
+            for &p in group {
+                let (src, dst) = pair_mut(&mut self.cores, from, to);
+                migrate_between(src, dst, p, &self.env, &mut wakes);
+                self.routing[p.idx()].store(to as u32, Ordering::Relaxed);
+            }
+        }
+        self.dispatch(wakes);
+        Some(to)
+    }
+
+    /// Live-retire shard `s`: move every cluster it owns onto the remaining
+    /// active shards (round-robin) and deactivate the slot. Returns `false`
+    /// when the retire must defer — `s` is the last active shard, it is mid
+    /// sync pair, or a mid-merge cluster straddles shards.
+    pub fn retire_shard(&mut self, s: ShardId) -> bool {
+        let others: Vec<ShardId> = (0..self.cores.len())
+            .filter(|&i| i != s && self.is_active(i))
+            .collect();
+        if !self.is_active(s) || others.is_empty() || !self.cores[s].sync_quiescent() {
+            return false;
+        }
+        let (world, _) = self.env.sets.snapshot();
+        let groups = clusters_on(&world, &self.routing, s);
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        let routed = (0..self.routing.len())
+            .filter(|&p| self.routing[p].load(Ordering::Relaxed) as usize == s)
+            .count();
+        if covered != routed {
+            return false; // a straddling cluster pins `s`; retry later
+        }
+        let mut wakes = Vec::new();
+        for (i, group) in groups.iter().enumerate() {
+            let to = others[i % others.len()];
+            for &p in group {
+                let (src, dst) = pair_mut(&mut self.cores, s, to);
+                migrate_between(src, dst, p, &self.env, &mut wakes);
+                self.routing[p.idx()].store(to as u32, Ordering::Relaxed);
+            }
+        }
+        self.active[s] = false;
+        self.dispatch(wakes);
+        true
     }
 
     /// Route one arriving event to its owning shard's inbox.
@@ -1405,6 +1768,101 @@ mod tests {
                 }
             }
             assert_eq!(sim.store().len(), t.num_events() as u64);
+        }
+    }
+
+    #[test]
+    fn placement_engine_splits_hot_retires_cold_respects_cooldown() {
+        let params = PlacementParams {
+            cooldown: 8,
+            ..PlacementParams::default()
+        };
+        let mut eng = PlacementEngine::new(4, params);
+        // All work lands on shard 0: it must become a split candidate.
+        for _ in 0..32 {
+            eng.note_message(0, 10);
+        }
+        let (share, hot) = eng.occupancy_q16(2);
+        assert_eq!(hot, 0);
+        assert!(share > Q16_ONE * 9 / 10, "share {share}");
+        assert_eq!(eng.decide(2, true, false), Some(PlacementAction::Split(0)));
+        // Cooldown just restarted: no immediate second action.
+        assert_eq!(eng.decide(2, true, false), None);
+        eng.note_split(0, 2);
+        // Balanced load across three shards, then shard 1 goes idle while
+        // 0 and 2 stay warm and even: retire fires on 1.
+        let mut eng = PlacementEngine::new(4, params);
+        for i in 0..30 {
+            eng.note_message(i % 3, 10);
+        }
+        for i in 0..64 {
+            eng.note_message(if i % 2 == 0 { 0 } else { 2 }, 10);
+        }
+        assert_eq!(eng.decide(3, true, false), Some(PlacementAction::Retire(1)));
+        eng.note_retire(1);
+        assert_eq!(eng.rescales, 1);
+        // Hot at the max shard count with balance on: steal, not split.
+        let mut eng = PlacementEngine::new(2, params);
+        for _ in 0..32 {
+            eng.note_message(1, 10);
+        }
+        assert_eq!(
+            eng.decide(2, true, true),
+            Some(PlacementAction::Split(1)),
+            "slots remain, split wins"
+        );
+        let mut eng = PlacementEngine::new(
+            2,
+            PlacementParams {
+                max_shards: 2,
+                ..params
+            },
+        );
+        for _ in 0..32 {
+            eng.note_message(1, 10);
+        }
+        assert_eq!(
+            eng.decide(2, true, true),
+            Some(PlacementAction::Steal { from: 1, to: 0 })
+        );
+    }
+
+    #[test]
+    fn sim_split_and_retire_stay_equivalent_to_offline() {
+        let t = Stencil1D { procs: 8, iters: 5 }.generate(23);
+        let events = relinearize(&t, 9);
+        let events = events.events();
+        let third = events.len() / 3;
+        let mut sim = SimShards::new("autoscale", t.num_processes(), 2, 4);
+        for &ev in &events[..third] {
+            sim.inject(ev);
+        }
+        sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+        let new = sim.split_shard(0);
+        assert!(new.is_some(), "quiescent split must succeed");
+        assert_eq!(sim.active_shards(), 3);
+        for &ev in &events[third..2 * third] {
+            sim.inject(ev);
+        }
+        sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+        assert!(sim.retire_shard(new.unwrap()), "quiescent retire");
+        assert_eq!(sim.active_shards(), 2);
+        for &ev in &events[2 * third..] {
+            sim.inject(ev);
+        }
+        sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+        assert_eq!(sim.delivered_total(), t.num_events() as u64);
+        let (trace, cts) = sim.cut();
+        assert_eq!(trace.num_events(), t.num_events());
+        let offline = ClusterEngine::run(&t, MergeOnFirst::new(4));
+        for e in t.all_event_ids() {
+            for f in t.all_event_ids() {
+                assert_eq!(
+                    cts.precedes(&trace, e, f),
+                    offline.precedes(&t, e, f),
+                    "{e} -> {f}"
+                );
+            }
         }
     }
 

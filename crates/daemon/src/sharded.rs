@@ -31,6 +31,24 @@
 //! in-flight message per shard. Initiators never hold a shard state mutex
 //! when they start a freeze, so the barrier cannot deadlock.
 //!
+//! ## Live autoscaling (no freeze)
+//!
+//! With `--shards auto` / `--balance` the runtime pre-allocates worker
+//! slots up to the host's parallelism and keeps only a prefix *active*.
+//! A [`PlacementEngine`] tracks per-shard occupancy EWMAs; splitting a hot
+//! shard, retiring a cold one, or stealing a cluster takes the freeze
+//! *mutex* (serializing against cuts and rebalances) but neither raises the
+//! pause flag nor touches any state mutex beyond the two shards involved —
+//! every other shard keeps ingesting throughout. This is sound for the same
+//! reason rebalance migrations are: ownership hand-off is entirely
+//! exchange-mediated ([`migrate_between`] publishes the released process's
+//! in-flight clocks before the new owner adopts), and the cut assembler —
+//! the only cross-shard aggregate — is reachable only under the freeze
+//! mutex the rescale holds. Retired slots keep their worker thread parked
+//! on an empty channel and their WAL directory in place; recovery unions
+//! every shard directory anyway, which is what makes shard-count changes
+//! crash-safe.
+//!
 //! ## Durability layout
 //!
 //! Each shard write-ahead logs *its own* delivered order into
@@ -48,7 +66,10 @@
 
 use crate::checkpoint::{self, CompMeta, RecoveryReport};
 use crate::pipeline::{lock, CompShared, ComputationConfig, DurabilityConfig, Snapshot};
-use crate::shard::{initial_routing, rebalance, CutAssembler, ShardCore, ShardEnv, ShardId, Wake};
+use crate::shard::{
+    clusters_on, initial_routing, migrate_between, rebalance, CutAssembler, PlacementAction,
+    PlacementEngine, ShardCore, ShardEnv, ShardId, Wake,
+};
 use crate::wal::{self, WalWriter};
 use cts_model::{Event, EventId};
 use cts_store::PartitionedStore;
@@ -56,7 +77,7 @@ use cts_util::failpoint::{DurableSink, FailpointFs};
 use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -127,9 +148,30 @@ pub(crate) struct ShardedRuntime {
     meta: Option<CompMeta>,
     env: ShardEnv,
     routing: Vec<AtomicU32>,
+    /// All pre-allocated worker slots; only `[0, active)` receive routed
+    /// traffic. Slots are never removed — a retired slot's thread parks on
+    /// its empty channel until a later split reactivates it.
     shards: Vec<ShardHandle>,
+    active: AtomicUsize,
+    auto_scale: bool,
+    balance: bool,
+    /// Shard workers were pinned to topology-chosen CPUs at spawn.
+    pinned: bool,
+    placement: Mutex<PlacementEngine>,
     ctl: Ctl,
     shared: Arc<CompShared>,
+}
+
+/// The placement state reported by the `QueryPlacement` wire verb.
+pub(crate) struct PlacementInfo {
+    pub(crate) shards: u64,
+    pub(crate) pinned: bool,
+    pub(crate) rescales: u64,
+    pub(crate) steals: u64,
+    /// Per-active-shard occupancy share, Q16.
+    pub(crate) occupancy_q16: Vec<u64>,
+    /// Process → shard routing table.
+    pub(crate) routing: Vec<u32>,
 }
 
 type Frozen<'a> = (MutexGuard<'a, ()>, Vec<MutexGuard<'a, ShardState>>);
@@ -143,9 +185,37 @@ impl ShardedRuntime {
         store: Arc<PartitionedStore>,
     ) -> Arc<ShardedRuntime> {
         let n = config.num_processes;
-        let shards = (config.shards.max(2) as usize).min(n.max(1) as usize);
+        let requested = (config.shards.max(2) as usize).min(n.max(1) as usize);
+        // With autoscaling, pre-allocate slots up to the host's parallelism
+        // so a later split never has to spawn a thread mid-stream; only the
+        // first `requested` slots start active. The floor of 4 keeps splits
+        // possible on 1- and 2-core hosts (splitting is demand-driven — it
+        // only fires past the hot threshold — and a parked slot is just an
+        // idle thread on an empty channel). An explicit finite `max_shards`
+        // in the placement params overrides the derived cap.
+        let shards = if config.auto_scale {
+            let cap = match config.placement {
+                Some(p) if p.max_shards != usize::MAX => p.max_shards,
+                _ => std::thread::available_parallelism()
+                    .map_or(requested, |p| p.get())
+                    .max(4),
+            };
+            requested.max(cap).min(n.max(1) as usize)
+        } else {
+            requested
+        };
+        let mut placement_params = config.placement.unwrap_or_default();
+        placement_params.min_shards = placement_params.min_shards.clamp(1, requested);
+        placement_params.max_shards = placement_params.max_shards.min(shards);
+        let plan = if config.pin_cores {
+            crate::topology::CpuTopology::discover()
+                .ok()
+                .map(|t| t.plan(shards, 0))
+        } else {
+            None
+        };
         let env = ShardEnv::new(n, config.strategy);
-        let routing = initial_routing(n, shards);
+        let routing = initial_routing(n, requested);
         let meta = config.durability.as_ref().map(|_| CompMeta {
             name: config.name.clone(),
             num_processes: n,
@@ -192,6 +262,11 @@ impl ShardedRuntime {
             env,
             routing,
             shards: handles,
+            active: AtomicUsize::new(requested),
+            auto_scale: config.auto_scale,
+            balance: config.balance || config.auto_scale,
+            pinned: plan.is_some(),
+            placement: Mutex::new(PlacementEngine::new(shards, placement_params)),
             ctl: Ctl {
                 pause: AtomicBool::new(false),
                 pause_lock: Mutex::new(false),
@@ -206,19 +281,50 @@ impl ShardedRuntime {
             },
             shared,
         });
+        rt.shared
+            .metrics
+            .place_shards
+            .store(requested as u64, Ordering::Relaxed);
         for (s, rx) in receivers.into_iter().enumerate() {
             let worker = Arc::clone(&rt);
+            let cpu = plan.as_ref().map(|pl| pl.shard_cpus[s]);
             let handle = std::thread::Builder::new()
                 .name(format!("shard-{}-{s}", config.name))
-                .spawn(move || shard_loop(&worker, s, rx))
+                .spawn(move || {
+                    #[cfg(target_os = "linux")]
+                    if let Some(cpu) = cpu {
+                        let _ = crate::netpoll::pin_current_thread(cpu);
+                    }
+                    #[cfg(not(target_os = "linux"))]
+                    let _ = cpu;
+                    shard_loop(&worker, s, rx)
+                })
                 .expect("spawn shard worker");
             *lock(&rt.shards[s].join) = Some(handle);
         }
         rt
     }
 
-    pub(crate) fn num_shards(&self) -> usize {
-        self.shards.len()
+    /// Shards currently receiving routed traffic.
+    pub(crate) fn active_shards(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn placement_info(&self) -> PlacementInfo {
+        let active = self.active.load(Ordering::Acquire);
+        let eng = lock(&self.placement);
+        PlacementInfo {
+            shards: active as u64,
+            pinned: self.pinned,
+            rescales: eng.rescales,
+            steals: eng.steals,
+            occupancy_q16: eng.shares_q16(active),
+            routing: self
+                .routing
+                .iter()
+                .map(|r| r.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     /// Recover on-disk state (when `recover` and durable), replay it through
@@ -713,6 +819,171 @@ impl ShardedRuntime {
         self.dispatch(all_wakes);
     }
 
+    /// Placement hook run by each shard worker after every message: feed
+    /// the occupancy EWMA, refresh the placement gauges, and apply at most
+    /// one autoscale/steal action.
+    fn maybe_rescale(&self, s: ShardId, work: u64) {
+        if !self.auto_scale && !self.balance {
+            return;
+        }
+        if self.ctl.closed.load(Ordering::Acquire) || self.shared.killed.load(Ordering::Acquire) {
+            return;
+        }
+        let active = self.active.load(Ordering::Acquire);
+        let action = {
+            let mut eng = lock(&self.placement);
+            eng.note_message(s, work);
+            let (occ, _) = eng.occupancy_q16(active);
+            let m = &self.shared.metrics;
+            m.place_occupancy_q16.store(occ, Ordering::Relaxed);
+            m.place_shards.store(active as u64, Ordering::Relaxed);
+            m.place_rescales.store(eng.rescales, Ordering::Relaxed);
+            m.place_steals.store(eng.steals, Ordering::Relaxed);
+            eng.decide(active, self.auto_scale, self.balance)
+        };
+        if let Some(action) = action {
+            self.rescale(action);
+        }
+    }
+
+    /// Lock the state mutexes of two distinct shards, always acquiring the
+    /// lower index first, and return the guards in argument order.
+    fn state_pair(
+        &self,
+        a: ShardId,
+        b: ShardId,
+    ) -> (MutexGuard<'_, ShardState>, MutexGuard<'_, ShardState>) {
+        assert_ne!(a, b);
+        if a < b {
+            let ga = lock(&self.shards[a].state);
+            let gb = lock(&self.shards[b].state);
+            (ga, gb)
+        } else {
+            let gb = lock(&self.shards[b].state);
+            let ga = lock(&self.shards[a].state);
+            (ga, gb)
+        }
+    }
+
+    /// Apply one placement action *without* a stop-the-world freeze: take
+    /// the freeze mutex (serializing against cuts, rebalances, flushes, and
+    /// other rescales) but never raise the pause flag, and lock only the two
+    /// shards being re-laid-out — every other shard keeps processing. An
+    /// action that is unsafe right now (mid sync pair, straddling cluster,
+    /// too few clusters to move) is simply dropped; the engine will propose
+    /// it again once its cooldown elapses.
+    fn rescale(&self, action: PlacementAction) {
+        let _f = lock(&self.ctl.freeze);
+        if self.ctl.closed.load(Ordering::Acquire) || self.shared.killed.load(Ordering::Acquire) {
+            return;
+        }
+        let active = self.active.load(Ordering::Acquire);
+        let (world, _) = self.env.sets.snapshot();
+        let mut wakes = Vec::new();
+        let mut delivered = 0u64;
+        match action {
+            PlacementAction::Split(from) => {
+                let to = active;
+                if from >= active || to >= self.shards.len() {
+                    return;
+                }
+                let (mut src, mut dst) = self.state_pair(from, to);
+                if !src.core.sync_quiescent() {
+                    return;
+                }
+                let groups = clusters_on(&world, &self.routing, from);
+                if groups.len() < 2 {
+                    return; // nothing splittable without breaking a cluster
+                }
+                // Alternate clusters move to the fresh shard; whole-cluster
+                // moves keep cluster-locality so rebalance never fights the
+                // placement engine.
+                for group in groups.iter().skip(1).step_by(2) {
+                    for &p in group {
+                        delivered +=
+                            migrate_between(&mut src.core, &mut dst.core, p, &self.env, &mut wakes);
+                        self.routing[p.idx()].store(to as u32, Ordering::Release);
+                    }
+                }
+                self.append_wal(&mut src, false);
+                self.append_wal(&mut dst, false);
+                self.active.store(active + 1, Ordering::Release);
+                lock(&self.placement).note_split(from, to);
+            }
+            PlacementAction::Retire(cold) => {
+                if active <= 1 || cold >= active {
+                    return;
+                }
+                // Retirement always empties the *top* slot so the active set
+                // stays a prefix; if the cold shard isn't the top one, the
+                // top shard's clusters land on it instead.
+                let top = active - 1;
+                let dst = if cold == top {
+                    lock(&self.placement).coldest(top)
+                } else {
+                    cold
+                };
+                if dst == top {
+                    return;
+                }
+                let (mut src, mut dstg) = self.state_pair(top, dst);
+                if !src.core.sync_quiescent() {
+                    return;
+                }
+                let groups = clusters_on(&world, &self.routing, top);
+                let covered: usize = groups.iter().map(Vec::len).sum();
+                let routed = (0..self.routing.len())
+                    .filter(|&p| self.routing[p].load(Ordering::Relaxed) as usize == top)
+                    .count();
+                if covered != routed {
+                    return; // a mid-merge cluster straddles shards: defer
+                }
+                for group in &groups {
+                    for &p in group {
+                        delivered += migrate_between(
+                            &mut src.core,
+                            &mut dstg.core,
+                            p,
+                            &self.env,
+                            &mut wakes,
+                        );
+                        self.routing[p.idx()].store(dst as u32, Ordering::Release);
+                    }
+                }
+                self.append_wal(&mut src, false);
+                self.append_wal(&mut dstg, false);
+                self.active.store(top, Ordering::Release);
+                lock(&self.placement).note_retire(top);
+            }
+            PlacementAction::Steal { from, to } => {
+                if from >= active || to >= active || from == to {
+                    return;
+                }
+                let (mut src, mut dst) = self.state_pair(from, to);
+                if !src.core.sync_quiescent() {
+                    return;
+                }
+                let groups = clusters_on(&world, &self.routing, from);
+                if groups.len() < 2 {
+                    return; // never empty the victim
+                }
+                let group = groups.last().expect("len checked");
+                for &p in group {
+                    delivered +=
+                        migrate_between(&mut src.core, &mut dst.core, p, &self.env, &mut wakes);
+                    self.routing[p.idx()].store(to as u32, Ordering::Release);
+                }
+                self.append_wal(&mut src, false);
+                self.append_wal(&mut dst, false);
+                lock(&self.placement).note_steal(1);
+            }
+        }
+        if delivered > 0 {
+            self.note_delivered(delivered);
+        }
+        self.dispatch(wakes);
+    }
+
     fn note_delivered(&self, delta: u64) {
         let total = self.ctl.delivered.fetch_add(delta, Ordering::AcqRel) + delta;
         self.shared
@@ -880,12 +1151,12 @@ fn shard_loop(rt: &ShardedRuntime, s: ShardId, rx: Receiver<ShardMsg>) {
         }
         rt.wait_unpaused();
         let mut wakes = Vec::new();
-        let (delivered, want_rebalance) = {
+        let (delivered, want_rebalance, depth) = {
             let mut st = lock(&rt.shards[s].state);
             let delivered = process_msg(rt, &mut st, msg, &mut wakes);
             rt.append_wal(&mut st, false);
             report_shard_metrics(rt, &mut st);
-            (delivered, st.core.rebalance_needed)
+            (delivered, st.core.rebalance_needed, st.core.depth() as u64)
         };
         // Follow-on work is enqueued before this message's count releases,
         // so pending_msgs can only hit zero at true quiescence.
@@ -897,6 +1168,7 @@ fn shard_loop(rt: &ShardedRuntime, s: ShardId, rx: Receiver<ShardMsg>) {
         if want_rebalance {
             rt.freeze_rebalance();
         }
+        rt.maybe_rescale(s, delivered + depth);
         rt.maybe_publish();
     }
 }

@@ -31,8 +31,9 @@ pub const VERSION: u8 = 1;
 /// adds `ListComputations` / `Subscribe` / `StreamBatch` (replication);
 /// level 3 adds the time-travel verbs (`QueryAsOf*`, `ListEpochs`,
 /// `ReplayInterval`); level 4 adds `QueryClusterMap` (adaptive
-/// re-clustering observability).
-pub const PROTOCOL: u16 = 4;
+/// re-clustering observability); level 5 adds `QueryPlacement` (shard
+/// autoscaling and worker-placement observability).
+pub const PROTOCOL: u16 = 5;
 
 /// Highest WAL record format this build can stream and replay (the `CTSWAL2`
 /// delta encoding; v1 fixed-width segments are still readable).
@@ -129,6 +130,13 @@ pub struct StatsSnapshot {
     /// forced by the migration soundness rules (markers + stale sources).
     pub drift_migrations: u64,
     pub drift_forced_full: u64,
+    /// Placement: hottest shard's occupancy share (Q16 gauge), active shard
+    /// count (gauge), completed splits + retires, and clusters stolen
+    /// between shards at a fixed count.
+    pub place_occupancy_q16: u64,
+    pub place_shards: u64,
+    pub place_rescales: u64,
+    pub place_steals: u64,
 }
 
 /// One computation's identity row in a [`Msg::ComputationList`] reply.
@@ -251,6 +259,10 @@ pub enum Msg {
     /// counters, so clients can watch migrations move processes between
     /// clusters without parsing stats deltas.
     QueryClusterMap,
+    /// Shard autoscaling (level 5): ask for the computation's current
+    /// placement — active shard count, per-shard occupancy shares, the
+    /// rescale/steal counters, and the process → shard routing table.
+    QueryPlacement,
 
     // ---- server → client ----
     HelloAck {
@@ -348,6 +360,22 @@ pub enum Msg {
         forced_full: u64,
         partition: Vec<u32>,
     },
+    /// Reply to [`Msg::QueryPlacement`]: the head snapshot's epoch and
+    /// delivered count, the active shard count, whether workers are pinned
+    /// to topology-chosen cores, the daemon-lifetime rescale/steal counters,
+    /// per-active-shard occupancy shares in Q16 (`occupancy_q16[s]` sums to
+    /// ~1.0 across shards), and `routing[p]` = the shard process `p`'s
+    /// events are routed to.
+    PlacementResult {
+        epoch: u64,
+        delivered: u64,
+        shards: u64,
+        pinned: bool,
+        rescales: u64,
+        steals: u64,
+        occupancy_q16: Vec<u64>,
+        routing: Vec<u32>,
+    },
     Error {
         code: u16,
         message: String,
@@ -377,6 +405,7 @@ mod tag {
     pub const LIST_EPOCHS: u8 = 0x12;
     pub const REPLAY_INTERVAL: u8 = 0x13;
     pub const QUERY_CLUSTER_MAP: u8 = 0x14;
+    pub const QUERY_PLACEMENT: u8 = 0x15;
     pub const HELLO_ACK: u8 = 0x81;
     pub const FLUSH_ACK: u8 = 0x83;
     pub const PRECEDES_RESULT: u8 = 0x84;
@@ -393,6 +422,7 @@ mod tag {
     pub const EPOCH_LIST: u8 = 0x8F;
     pub const REPLAY_CHUNK: u8 = 0x90;
     pub const CLUSTER_MAP_RESULT: u8 = 0x91;
+    pub const PLACEMENT_RESULT: u8 = 0x92;
     pub const ERROR: u8 = 0x7F;
 }
 
@@ -692,6 +722,7 @@ impl Msg {
                 put_u32(&mut out, *limit);
             }
             Msg::QueryClusterMap => out.push(tag::QUERY_CLUSTER_MAP),
+            Msg::QueryPlacement => out.push(tag::QUERY_PLACEMENT),
             Msg::HelloAck { session, existing } => {
                 out.push(tag::HELLO_ACK);
                 put_u64(&mut out, *session);
@@ -795,6 +826,10 @@ impl Msg {
                     s.asof_hits,
                     s.drift_migrations,
                     s.drift_forced_full,
+                    s.place_occupancy_q16,
+                    s.place_shards,
+                    s.place_rescales,
+                    s.place_steals,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -878,6 +913,32 @@ impl Msg {
                 put_u32(&mut out, partition.len() as u32);
                 for rep in partition {
                     put_u32(&mut out, *rep);
+                }
+            }
+            Msg::PlacementResult {
+                epoch,
+                delivered,
+                shards,
+                pinned,
+                rescales,
+                steals,
+                occupancy_q16,
+                routing,
+            } => {
+                out.push(tag::PLACEMENT_RESULT);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *delivered);
+                put_u64(&mut out, *shards);
+                out.push(u8::from(*pinned));
+                put_u64(&mut out, *rescales);
+                put_u64(&mut out, *steals);
+                put_u32(&mut out, occupancy_q16.len() as u32);
+                for occ in occupancy_q16 {
+                    put_u64(&mut out, *occ);
+                }
+                put_u32(&mut out, routing.len() as u32);
+                for shard in routing {
+                    put_u32(&mut out, *shard);
                 }
             }
             Msg::Error { code, message } => {
@@ -980,6 +1041,7 @@ impl Msg {
                 limit: c.u32()?,
             },
             tag::QUERY_CLUSTER_MAP => Msg::QueryClusterMap,
+            tag::QUERY_PLACEMENT => Msg::QueryPlacement,
             tag::HELLO_ACK => Msg::HelloAck {
                 session: c.u64()?,
                 existing: c.u8()? != 0,
@@ -1098,6 +1160,10 @@ impl Msg {
                 asof_hits: c.u64()?,
                 drift_migrations: c.u64()?,
                 drift_forced_full: c.u64()?,
+                place_occupancy_q16: c.u64()?,
+                place_shards: c.u64()?,
+                place_rescales: c.u64()?,
+                place_steals: c.u64()?,
             }),
             tag::SHUTDOWN_ACK => Msg::ShutdownAck,
             tag::PROTO_HELLO_ACK => Msg::ProtoHelloAck {
@@ -1174,6 +1240,44 @@ impl Msg {
                     migrations,
                     forced_full,
                     partition,
+                }
+            }
+            tag::PLACEMENT_RESULT => {
+                let epoch = c.u64()?;
+                let delivered = c.u64()?;
+                let shards = c.u64()?;
+                let pinned = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bad bool flag")),
+                };
+                let rescales = c.u64()?;
+                let steals = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > payload.len() / 8 + 1 {
+                    return Err(WireError::Malformed("occupancy size exceeds body"));
+                }
+                let mut occupancy_q16 = Vec::with_capacity(n);
+                for _ in 0..n {
+                    occupancy_q16.push(c.u64()?);
+                }
+                let n = c.u32()? as usize;
+                if n > payload.len() / 4 + 1 {
+                    return Err(WireError::Malformed("routing size exceeds body"));
+                }
+                let mut routing = Vec::with_capacity(n);
+                for _ in 0..n {
+                    routing.push(c.u32()?);
+                }
+                Msg::PlacementResult {
+                    epoch,
+                    delivered,
+                    shards,
+                    pinned,
+                    rescales,
+                    steals,
+                    occupancy_q16,
+                    routing,
                 }
             }
             tag::ERROR => Msg::Error {
@@ -1429,6 +1533,7 @@ mod tests {
                 limit: 256,
             },
             Msg::QueryClusterMap,
+            Msg::QueryPlacement,
             Msg::HelloAck {
                 session: 42,
                 existing: true,
@@ -1486,6 +1591,10 @@ mod tests {
                 asof_hits: 26,
                 drift_migrations: 27,
                 drift_forced_full: 28,
+                place_occupancy_q16: 29,
+                place_shards: 30,
+                place_rescales: 31,
+                place_steals: 32,
             }),
             Msg::ShutdownAck,
             Msg::ProtoHelloAck {
@@ -1543,6 +1652,16 @@ mod tests {
                 migrations: 3,
                 forced_full: 21,
                 partition: vec![0, 0, 2, 2, 0],
+            },
+            Msg::PlacementResult {
+                epoch: 13,
+                delivered: 4300,
+                shards: 3,
+                pinned: true,
+                rescales: 2,
+                steals: 5,
+                occupancy_q16: vec![30000, 20000, 15536],
+                routing: vec![0, 0, 1, 2, 1],
             },
             Msg::Error {
                 code: code::UNKNOWN_EVENT,

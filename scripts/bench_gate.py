@@ -69,6 +69,7 @@ NOISY_GROUPS = {
     "shard_ingest": 0.60,  # spawns worker threads, cross-shard handoff
     "query_path": 0.60,  # loopback RTTs + lock handoff under 1-cpu CI
     "timetravel": 0.60,  # loopback RTTs against retained-epoch snapshots
+    "placement": 0.60,  # live split/steal migrations + worker threads
 }
 
 # Benches faster than this are pure timer noise at --quick sample counts.
@@ -154,7 +155,18 @@ def main():
     base, _base_cpus = load(args.baseline)
     loaded = [load(p) for p in args.candidates]
     cand = merge_min([benches for benches, _ in loaded])
-    cand_cpus = next((c for _, c in loaded if c), None) or os.cpu_count() or 1
+    # Parallelism for speedup-claim scaling. The candidate report's recorded
+    # `host.cpus` (available_parallelism at bench time, which respects
+    # cgroup/affinity limits) is authoritative; `os.cpu_count()` is only a
+    # fallback for pre-schema-host reports, and it counts *logical* CPUs
+    # including SMT siblings, so it can overstate the parallelism actually
+    # available to the bench and make speedup requirements too strict.
+    cand_cpus = next((c for _, c in loaded if c), None)
+    if cand_cpus is None:
+        cand_cpus = os.cpu_count() or 1
+        print(f"warning: no candidate report records host.cpus; falling "
+              f"back to os.cpu_count()={cand_cpus} (logical CPUs incl. "
+              "SMT — may overstate available parallelism)")
 
     shared = sorted(set(base) & set(cand))
     added = sorted(set(cand) - set(base))

@@ -29,6 +29,12 @@
 #             strategy (--replay-as), a SIGKILL crash + restart proving
 #             retained history survives recovery, and the warm as-of
 #             claim gated: as-of queries <= 2x the head-epoch path
+#   place     shard autoscaling: the planted-imbalance soak through a
+#             --shards auto daemon (in-process and over the wire), gated
+#             on zero differential mismatches AND >= 1 live autoscale
+#             action, plus — on >= 4-core hosts — the placement claim:
+#             auto + --pin-cores >= 1.3x the worst static shard layout
+#             on the planted hot-group trace
 #   bench     two cts-bench --quick runs gated against the committed
 #             baseline by scripts/bench_gate.py
 #
@@ -366,6 +372,45 @@ stage_adapt() {
     adaptive/cr_static_worst_tiers:adaptive/cr_adaptive_tiers:1.2
 }
 
+stage_place() {
+  echo "==> place: shard autoscaling, planted-imbalance soak + topology placement"
+  # In-process soak: planted hot-group fixtures through a --shards auto
+  # daemon, the placement sampled mid-stream over the wire. Gates: zero
+  # differential mismatches AND >= 1 live autoscale action (a dead
+  # autoscaler fails even when every answer is right). Splits happen
+  # between batches under the freeze mutex only — ingest on the other
+  # shards never stops.
+  target/release/cts-loadgen --place >"$workdir/place-soak.txt"
+  tail -n 2 "$workdir/place-soak.txt"
+
+  # The same soak against a real daemon process started with --shards
+  # auto --pin-cores (exercises the QueryPlacement wire verb and the
+  # sysfs topology plan end to end).
+  local port_file="$workdir/place-daemon.port" port
+  target/release/cts-daemon --port 0 --port-file "$port_file" \
+    --shards auto --pin-cores &
+  pids+=("$!")
+  port=$(wait_port_file "$port_file")
+  target/release/cts-loadgen --place --addr "127.0.0.1:$port" \
+    --shutdown >"$workdir/place-soak-net.txt"
+
+  # The perf claim: auto + pinning beats the *worst* static layout by
+  # >= 1.3x on the planted hot-group trace. Only meaningful where there
+  # is parallelism for placement to reclaim, so hosts below 4 cores
+  # skip it (the soak gates above still ran).
+  local cpus
+  cpus=$(nproc)
+  if ((cpus >= 4)); then
+    target/release/cts-bench --quick placement >"$workdir/bench-place.json"
+    python3 scripts/bench_gate.py results/BENCH_baseline.json \
+      "$workdir/bench-place.json" --claims-only \
+      --require-speedup \
+      placement/hot6g4w_s1:placement/hot6g4w_auto_pin:1.3
+  else
+    echo "place: host has $cpus cpu(s) < 4; skipping the speedup claim"
+  fi
+}
+
 stage_bench() {
   echo "==> bench: quick suite x2 vs committed baseline"
   target/release/cts-bench --quick >"$workdir/bench-1.json"
@@ -381,7 +426,7 @@ stage_bench() {
     shard_ingest/sharded_web_288_s1:shard_ingest/sharded_web_288_s4:1.8
 }
 
-all_stages=(fmt clippy build test smoke recovery query net repl replay adapt bench)
+all_stages=(fmt clippy build test smoke recovery query net repl replay adapt place bench)
 if [[ "${1:-}" == "--list" ]]; then
   printf '%s\n' "${all_stages[@]}"
   exit 0
@@ -389,7 +434,7 @@ fi
 stages=("${@:-${all_stages[@]}}")
 for stage in "${stages[@]}"; do
   case "$stage" in
-  fmt | clippy | build | test | smoke | recovery | query | net | repl | replay | adapt | bench)
+  fmt | clippy | build | test | smoke | recovery | query | net | repl | replay | adapt | place | bench)
     current_stage="$stage"
     current_start=$SECONDS
     "stage_$stage"

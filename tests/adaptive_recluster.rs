@@ -437,6 +437,10 @@ fn adaptive_config(name: &str, n: u32, epoch_every: u64) -> ComputationConfig {
         queue_capacity: 8,
         epoch_every,
         shards: 1,
+        auto_scale: false,
+        balance: false,
+        pin_cores: false,
+        placement: None,
         durability: None,
         query_cache_capacity: 0,
         retain_epochs: 0,

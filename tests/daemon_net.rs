@@ -152,7 +152,12 @@ fn churn_keeps_connection_registry_bounded() {
         while s.read(&mut buf).map(|k| k > 0).unwrap_or(false) {}
     }
 
-    assert!(daemon.connections_accepted() >= CHURN as u64);
+    // Every connect was either accepted or (on an oversubscribed host where
+    // thread exit lags the socket close and the registry transiently fills)
+    // refused with OVERLOADED — both paths are closed-by-server, so the
+    // churn really happened either way.
+    let served = daemon.connections_accepted() + daemon.connections_refused();
+    assert!(served >= CHURN as u64, "served only {served} of {CHURN}");
     let len = daemon.conn_registry_len();
     assert!(
         len < 100,

@@ -174,6 +174,10 @@ fn sharded_shutdown_is_idempotent() {
         queue_capacity: 8,
         epoch_every: 64,
         shards: 4,
+        auto_scale: false,
+        balance: false,
+        pin_cores: false,
+        placement: None,
         durability: None,
         query_cache_capacity: 0,
         retain_epochs: 0,

@@ -282,6 +282,10 @@ fn pinned_epoch_survives_retention_pressure_until_unpinned() {
         queue_capacity: 8,
         epoch_every: 16,
         shards: 1,
+        auto_scale: false,
+        balance: false,
+        pin_cores: false,
+        placement: None,
         durability: None,
         query_cache_capacity: 0,
         // Cap 1: the pinned epoch + the newest head put the ring over cap

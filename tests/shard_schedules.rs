@@ -121,10 +121,16 @@ fn verify(t: &Trace, sim: &mut SimShards) -> Result<(), String> {
     Ok(())
 }
 
+/// A schedule runner: executes one complete choice vector and verifies the
+/// result. Both the plain runner and the autoscaling runner fit, so the
+/// shrinker works on either.
+type Runner = fn(&Trace, usize, u64, &[u32]) -> Result<(), String>;
+
 /// Shrink a failing choice vector: truncation first (any prefix is a
 /// complete schedule — the tail continues round-robin), then zeroing.
 /// Panics with the minimal reproducer.
 fn shrink_and_panic(
+    run: Runner,
     t: &Trace,
     shards: usize,
     arrival_seed: u64,
@@ -136,7 +142,7 @@ fn shrink_and_panic(
     // Halve while the prefix still fails.
     loop {
         let half = best.len() / 2;
-        match run_schedule(t, shards, arrival_seed, &best[..half]) {
+        match run(t, shards, arrival_seed, &best[..half]) {
             Err(e) => {
                 best.truncate(half);
                 best_err = e;
@@ -149,7 +155,7 @@ fn shrink_and_panic(
     }
     // Trim single trailing choices.
     while !best.is_empty() {
-        match run_schedule(t, shards, arrival_seed, &best[..best.len() - 1]) {
+        match run(t, shards, arrival_seed, &best[..best.len() - 1]) {
             Err(e) => {
                 best.pop();
                 best_err = e;
@@ -164,7 +170,7 @@ fn shrink_and_panic(
         }
         let saved = best[i];
         best[i] = 0;
-        match run_schedule(t, shards, arrival_seed, &best) {
+        match run(t, shards, arrival_seed, &best) {
             Err(e) => best_err = e,
             Ok(()) => best[i] = saved,
         }
@@ -176,16 +182,20 @@ fn shrink_and_panic(
     );
 }
 
-fn check_random_schedules(t: &Trace, shards: usize, seeds: u64) {
+fn check_schedules_with(run: Runner, t: &Trace, shards: usize, seeds: u64) {
     for seed in 0..seeds {
         let mut rng = ChaCha8Rng::seed_from_u64(seed * 7919 + shards as u64);
         // Enough choices to steer well past quiescence; the round-robin
         // tail finishes whatever the random prefix leaves queued.
         let choices: Vec<u32> = (0..4 * t.num_events()).map(|_| rng.next_u32()).collect();
-        if let Err(e) = run_schedule(t, shards, seed, &choices) {
-            shrink_and_panic(t, shards, seed, choices, e);
+        if let Err(e) = run(t, shards, seed, &choices) {
+            shrink_and_panic(run, t, shards, seed, choices, e);
         }
     }
+}
+
+fn check_random_schedules(t: &Trace, shards: usize, seeds: u64) {
+    check_schedules_with(run_schedule, t, shards, seeds);
 }
 
 #[test]
@@ -254,7 +264,7 @@ fn tiny_trace_exhaustive_schedules() {
             c /= BASE;
         }
         if let Err(e) = run_schedule(&t, 2, 17, &choices) {
-            shrink_and_panic(&t, 2, 17, choices, e);
+            shrink_and_panic(run_schedule, &t, 2, 17, choices, e);
         }
     }
 }
@@ -317,6 +327,117 @@ fn migrated_sync_half_takes_the_exchanged_frontier() {
         !cts.precedes(&trace, late_p3, half_p0),
         "post-sync P3 event leaked into the migrated half's stamp"
     );
+    verify(&t, &mut sim).unwrap();
+}
+
+/// Like [`run_schedule`], but the scheduler gets two extra options at every
+/// step: *split* a rotating target shard (activating a fresh slot and
+/// moving half its clusters there) or *retire* it (migrating every cluster
+/// off and deactivating the slot) — the same whole-cluster relayouts the
+/// daemon's placement engine performs live between batches. An op that is
+/// unsafe right now (mid sync pair, straddling cluster, too few clusters,
+/// last active shard) defers exactly as the runtime's does. Every schedule
+/// must still match the causal oracle bit for bit.
+fn run_rescale_schedule(
+    t: &Trace,
+    shards: usize,
+    arrival_seed: u64,
+    choices: &[u32],
+) -> Result<(), String> {
+    let arrivals = relinearize(t, arrival_seed);
+    let events = arrivals.events();
+    let mut sim = SimShards::new("rescale", t.num_processes(), shards, 4);
+    let mut sched = ShardSchedule::new(choices.to_vec());
+    let mut next = 0;
+    let mut rot = 0usize;
+    loop {
+        let runnable = sim.runnable();
+        let can_inject = next < events.len();
+        if runnable.is_empty() && !can_inject {
+            break;
+        }
+        // Last two options: split / retire the rotating target.
+        let options = runnable.len() + usize::from(can_inject) + 2;
+        let pick = sched.choose(options);
+        rot += 1;
+        let target = rot % sim.num_shards();
+        if pick < runnable.len() {
+            sim.step(runnable[pick]);
+        } else if can_inject && pick == runnable.len() {
+            let end = (next + INJECT_CHUNK).min(events.len());
+            sim.inject_batch(&events[next..end]);
+            next = end;
+        } else if pick == options - 2 {
+            sim.split_shard(target); // None = deferred; keep exploring
+        } else {
+            sim.retire_shard(target); // false = deferred; keep exploring
+        }
+    }
+    verify(t, &mut sim)
+}
+
+#[test]
+fn rescale_random_schedules() {
+    // Group-aligned traffic with cross-group merges: splits and retires
+    // race cluster merges, cross-shard wakes, and mid-stream rebalances.
+    let t = PlantedClusters {
+        procs: 8,
+        groups: 4,
+        messages: 48,
+        p_intra: 0.7,
+    }
+    .generate(29);
+    for shards in [2, 3] {
+        check_schedules_with(run_rescale_schedule, &t, shards, 10);
+    }
+}
+
+#[test]
+fn rescale_stencil_random_schedules() {
+    // Neighbor-exchange SPMD under live splits/retires: every process
+    // talks across a shard boundary somewhere, so relayouts constantly
+    // interleave with cross-shard clock traffic.
+    let t = Stencil1D { procs: 6, iters: 4 }.generate(3);
+    for shards in [2, 3] {
+        check_schedules_with(run_rescale_schedule, &t, shards, 8);
+    }
+}
+
+#[test]
+fn split_then_retire_mid_stream() {
+    // Deterministic shrink-then-grow: deliver a third of the trace on 2
+    // shards, split shard 0, deliver another third on 3, retire the new
+    // shard again, and finish on 2. The final cut must still match the
+    // oracle exactly — growth and shrink are both exercised mid-stream.
+    let t = PlantedClusters {
+        procs: 6,
+        groups: 3,
+        messages: 42,
+        p_intra: 0.85,
+    }
+    .generate(31);
+    let arrivals = relinearize(&t, 13);
+    let events = arrivals.events();
+    let mut sim = SimShards::new("split-retire", t.num_processes(), 2, 4);
+    let thirds = [events.len() / 3, 2 * events.len() / 3, events.len()];
+    let mut from = 0;
+    for (phase, &cut) in thirds.iter().enumerate() {
+        sim.inject_batch(&events[from..cut]);
+        sim.run_to_quiescence(&mut ShardSchedule::round_robin());
+        from = cut;
+        match phase {
+            0 => {
+                let to = sim.split_shard(0).expect("quiescent multi-cluster split");
+                assert!(sim.is_active(to), "split must activate the new slot");
+            }
+            1 => {
+                // Retire the slot the split created (index 2).
+                assert!(sim.retire_shard(2), "quiescent retire must succeed");
+                assert!(!sim.is_active(2), "retired slot must deactivate");
+            }
+            _ => {}
+        }
+    }
     verify(&t, &mut sim).unwrap();
 }
 
